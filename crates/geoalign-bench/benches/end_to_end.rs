@@ -1,0 +1,34 @@
+//! End-to-end pipeline bench: catalog generation, overlay, and a full
+//! cross-validated Figure-5-style evaluation at small scale — the
+//! "everything" path a downstream user exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geoalign::core::eval::cross_validate;
+use geoalign::{
+    ArealWeightingInterpolator, DasymetricInterpolator, GeoAlignInterpolator, Interpolator,
+};
+use geoalign_datagen::{ny_catalog, CatalogSize};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("ny_catalog_generation_small", |b| {
+        b.iter(|| ny_catalog(black_box(CatalogSize::small()), 3).unwrap())
+    });
+
+    let synth = ny_catalog(CatalogSize::small(), 3).unwrap();
+    let catalog = geoalign::to_eval_catalog(&synth).unwrap();
+    let ga = GeoAlignInterpolator::new();
+    let das = DasymetricInterpolator::new("Population");
+    let aw = ArealWeightingInterpolator::new(catalog.measure_dm().clone());
+    group.bench_function("cross_validate_ny_small_3methods", |b| {
+        let methods: Vec<&dyn Interpolator> = vec![&ga, &das, &aw];
+        b.iter(|| cross_validate(black_box(&catalog), black_box(&methods)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation bench: spatial overlay with R-tree acceleration vs brute
+//! force, across unit-system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoalign::geom::clip::clip_convex;
+use geoalign::geom::{Aabb, Point2};
+use geoalign::partition::{Overlay, PolygonUnitSystem};
+use geoalign_datagen::universe::voronoi_system;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn systems(n_source: usize, n_target: usize) -> (PolygonUnitSystem, PolygonUnitSystem) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let side = (n_source as f64).sqrt();
+    let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(side, side));
+    let s = voronoi_system("s", &bounds, n_source, &mut rng).unwrap();
+    let t = voronoi_system("t", &bounds, n_target, &mut rng).unwrap();
+    (s, t)
+}
+
+/// Brute-force overlay: every source against every target, bbox test only.
+fn overlay_brute(s: &PolygonUnitSystem, t: &PolygonUnitSystem) -> usize {
+    let mut pieces = 0usize;
+    for su in s.units() {
+        for tu in t.units() {
+            if su.bbox().intersects(tu.bbox()) {
+                if let Some(p) = clip_convex(su, tu) {
+                    pieces += 1;
+                    black_box(p.area());
+                }
+            }
+        }
+    }
+    pieces
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(10);
+    for &(ns, nt) in &[(500usize, 50usize), (2_000, 200)] {
+        let (s, t) = systems(ns, nt);
+        group.bench_with_input(
+            BenchmarkId::new("rtree", format!("{ns}x{nt}")),
+            &(&s, &t),
+            |bch, (s, t)| bch.iter(|| Overlay::polygons(black_box(s), black_box(t)).unwrap().len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("brute_force", format!("{ns}x{nt}")),
+            &(&s, &t),
+            |bch, (s, t)| bch.iter(|| overlay_brute(black_box(s), black_box(t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion version of paper Figure 6: GeoAlign runtime across the
+//! universe hierarchy (at a CI-friendly fraction of the paper's unit
+//! counts; the `fig6_scalability` binary runs the full protocol).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoalign::core::eval::Catalog;
+use geoalign::GeoAlign;
+use geoalign_datagen::{us_catalog, CatalogSize, HIERARCHY};
+use std::hint::black_box;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_geoalign_runtime");
+    group.sample_size(20);
+    let scale = 0.02;
+    for level in HIERARCHY {
+        let size = CatalogSize {
+            n_source: ((level.n_source as f64 * scale) as usize).max(8),
+            n_target: ((level.n_target as f64 * scale) as usize).max(3),
+            base_points: 20_000,
+        };
+        let synth = us_catalog(size, 1).unwrap();
+        let catalog: Catalog = geoalign::to_eval_catalog(&synth).unwrap();
+        let test_idx = catalog
+            .datasets()
+            .iter()
+            .position(|d| d.name() == "Population")
+            .unwrap();
+        let refs = catalog.references_excluding(test_idx);
+        let objective = catalog.datasets()[test_idx].reference().source();
+        let ga = GeoAlign::new();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "{} ({} src)",
+                level.name,
+                synth.universe.n_source()
+            )),
+            &(&objective, &refs),
+            |bch, (objective, refs)| {
+                bch.iter(|| ga.estimate(black_box(objective), black_box(refs)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation bench: the two Eq. 15 solvers (active set vs projected
+//! gradient) across reference counts and source-unit counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoalign::linalg::dense::DMatrix;
+use geoalign::linalg::simplex_ls::{solve, SimplexSolver};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_problem(m: usize, n: usize, seed: u64) -> (DMatrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..m).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    let a = DMatrix::from_columns(&cols).unwrap();
+    let beta: Vec<f64> = {
+        let raw: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        let s: f64 = raw.iter().sum();
+        raw.iter().map(|v| v / s).collect()
+    };
+    let mut b = a.matvec(&beta).unwrap();
+    for v in &mut b {
+        *v *= 1.0 + 0.05 * (rng.random::<f64>() - 0.5);
+    }
+    (a, b)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_ls");
+    for &(m, n) in &[(1_794usize, 7usize), (30_238, 9), (30_238, 32)] {
+        let (a, b) = random_problem(m, n, 42);
+        group.bench_with_input(
+            BenchmarkId::new("active_set", format!("{m}x{n}")),
+            &(&a, &b),
+            |bch, (a, b)| bch.iter(|| solve(black_box(a), black_box(b), SimplexSolver::ActiveSet)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("projected_gradient", format!("{m}x{n}")),
+            &(&a, &b),
+            |bch, (a, b)| {
+                bch.iter(|| solve(black_box(a), black_box(b), SimplexSolver::ProjectedGradient))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Structural diagnostics of the synthetic catalogs (not a paper figure).
+//!
+//! Quantifies the generative properties the evaluation relies on (see
+//! DESIGN.md §2 and EXPERIMENTS.md "Known deviations"):
+//!
+//! * target-level mass concentration (`county pop max/mean`);
+//! * how much objective mass sits in boundary-straddling source units;
+//! * how much of that mass an area-proportional split would misallocate —
+//!   the upper bound on areal weighting's possible error.
+use geoalign_bench::ScalePreset;
+use geoalign_datagen::us_catalog;
+
+fn main() {
+    let preset = ScalePreset::Small;
+    let cat = us_catalog(preset.us_size(), 20180326).unwrap();
+    let pop = cat.get("Population").unwrap();
+    let truth = &pop.target_truth;
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let max = truth.iter().cloned().fold(0.0f64, f64::max);
+    println!("county pop max/mean: {:.1}", max / mean);
+    // Straddling mass fraction: source units with >1 target in their DM row.
+    let dm = pop.dm.matrix();
+    let mut straddle_mass = 0.0;
+    let mut total = 0.0;
+    let mut n_straddle = 0;
+    for i in 0..dm.nrows() {
+        let (cols, vals) = dm.row(i);
+        let m: f64 = vals.iter().sum();
+        total += m;
+        if cols.len() > 1 {
+            straddle_mass += m;
+            n_straddle += 1;
+        }
+    }
+    println!("straddling zips: {} / {} holding {:.1}% of mass", n_straddle, dm.nrows(), 100.0*straddle_mass/total);
+    // For straddling zips: average |area_split - true_split| (L1/2) weighted by mass.
+    let area = cat.universe.area_dm.matrix();
+    let mut werr = 0.0;
+    for i in 0..dm.nrows() {
+        let (cols, vals) = dm.row(i);
+        if cols.len() < 2 { continue; }
+        let m: f64 = vals.iter().sum();
+        let (acols, avals) = area.row(i);
+        let asum: f64 = avals.iter().sum();
+        let mut l1 = 0.0;
+        for (c, v) in cols.iter().zip(vals) {
+            let af = acols.iter().position(|x| x == c).map(|k| avals[k]/asum).unwrap_or(0.0);
+            l1 += (v/m - af).abs();
+        }
+        werr += m * l1 / 2.0;
+    }
+    println!("mass misallocated by area split: {:.1}% of total", 100.0*werr/total);
+}

@@ -1,0 +1,120 @@
+//! Regenerates paper Figure 6: GeoAlign runtime vs the number of source
+//! and target units across the six nested universes (NY → Mid-Atlantic →
+//! Northeast → Eastern TZ → Non-West → US), averaged over trials.
+//!
+//! Also reproduces the §4.3 per-phase observation that the disaggregation
+//! step dominates runtime, and (with `--per-dataset`) the per-dataset
+//! runtime table whose residual variance tracks the DM's non-zero count.
+//!
+//! Usage: `fig6_scalability [--small|--medium|--paper] [--seed N]
+//!                          [--trials N] [--per-dataset]`
+
+use geoalign::core::eval::Catalog;
+use geoalign::{GeoAlign, Interpolator as _};
+use geoalign_bench::ScalePreset;
+use geoalign_datagen::{us_catalog, CatalogSize, HIERARCHY};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut preset = ScalePreset::Medium;
+    let mut seed = 20180326u64;
+    let mut trials = 10usize;
+    let mut per_dataset = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            "--trials" => trials = it.next().expect("--trials value").parse().expect("int"),
+            "--per-dataset" => per_dataset = true,
+            flag => {
+                if let Some(p) = ScalePreset::from_flag(flag) {
+                    preset = p;
+                } else {
+                    eprintln!("unknown argument: {flag}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    // Fraction of the paper's unit counts per preset.
+    let scale = match preset {
+        ScalePreset::Small => 0.01,
+        ScalePreset::Medium => 0.08,
+        ScalePreset::Paper => 1.0,
+    };
+
+    println!(
+        "# Figure 6 — GeoAlign runtime vs unit counts ({} trials, scale {:.2} of paper counts, seed {seed})",
+        trials, scale
+    );
+    println!(
+        "{:26}  {:>9}  {:>9}  {:>12}  {:>12}  {:>8}",
+        "universe", "sources", "targets", "runtime (ms)", "disagg (ms)", "disagg %"
+    );
+
+    for (li, level) in HIERARCHY.iter().enumerate() {
+        let size = CatalogSize {
+            n_source: ((level.n_source as f64 * scale).round() as usize).max(8),
+            n_target: ((level.n_target as f64 * scale).round() as usize).max(3),
+            // Point budget scales with the universe like the paper's
+            // subsetting of the national datasets.
+            base_points: ((600_000.0 * scale * level.n_source as f64
+                / HIERARCHY[5].n_source as f64)
+                .round() as usize)
+                .max(2_000),
+        };
+        let synth = us_catalog(size, seed + li as u64).expect("catalog");
+        let catalog: Catalog = geoalign::to_eval_catalog(&synth).expect("eval catalog");
+        // The timed operation is the GeoAlign run itself for a fixed test
+        // dataset (Population held out), matching the paper's protocol of
+        // timing the crosswalk, not the data preparation.
+        let test_idx = catalog
+            .datasets()
+            .iter()
+            .position(|d| d.name() == "Population")
+            .expect("population dataset");
+        let refs = catalog.references_excluding(test_idx);
+        let objective = catalog.datasets()[test_idx].reference().source();
+
+        let ga = GeoAlign::new();
+        // Warm-up.
+        let warm = ga.estimate(objective, &refs).expect("estimate");
+        let mut total_ms = 0.0;
+        let mut disagg_ms = 0.0;
+        for _ in 0..trials {
+            let t = Instant::now();
+            let out = ga.estimate(objective, &refs).expect("estimate");
+            total_ms += t.elapsed().as_secs_f64() * 1e3;
+            disagg_ms += out.timings.disaggregation.as_secs_f64() * 1e3;
+        }
+        total_ms /= trials as f64;
+        disagg_ms /= trials as f64;
+        println!(
+            "{:26}  {:>9}  {:>9}  {:>12.3}  {:>12.3}  {:>7.1}%",
+            level.name,
+            synth.universe.n_source(),
+            synth.universe.n_target(),
+            total_ms,
+            disagg_ms,
+            100.0 * disagg_ms / total_ms.max(1e-12)
+        );
+        drop(warm);
+
+        if per_dataset && li == HIERARCHY.len() - 1 {
+            println!("\n# §4.3 — per-dataset runtime at the largest universe (nnz drives the variance)");
+            println!("{:28}  {:>12}  {:>10}", "test dataset", "runtime (ms)", "DM nnz");
+            for (di, d) in catalog.datasets().iter().enumerate() {
+                let refs = catalog.references_excluding(di);
+                let obj = d.reference().source();
+                let ga_i = geoalign::GeoAlignInterpolator::new();
+                let t = Instant::now();
+                for _ in 0..trials {
+                    let _ = ga_i.estimate(obj, &refs).expect("estimate");
+                }
+                let ms = t.elapsed().as_secs_f64() * 1e3 / trials as f64;
+                println!("{:28}  {:>12.3}  {:>10}", d.name(), ms, d.reference().dm().nnz());
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Regenerates paper Figure 7: robustness of GeoAlign to noisy reference
+//! attributes. Every reference's source aggregates are perturbed by ±x%
+//! (random sign) at levels 1–50%, and the ratio
+//! RMSE(perturbed) / RMSE(original) is reported as a five-number summary
+//! over replicates, per US dataset.
+//!
+//! Usage: `fig7_noise [--small|--medium|--paper] [--seed N]
+//!                    [--replicates N]`
+
+use geoalign::core::eval::noise_experiment;
+use geoalign::GeoAlignInterpolator;
+use geoalign_bench::{us_eval_catalog, ScalePreset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut preset = ScalePreset::Medium;
+    let mut seed = 20180326u64;
+    let mut replicates = 20usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            "--replicates" => {
+                replicates = it.next().expect("--replicates value").parse().expect("int")
+            }
+            flag => {
+                if let Some(p) = ScalePreset::from_flag(flag) {
+                    preset = p;
+                } else {
+                    eprintln!("unknown argument: {flag}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    eprintln!("generating US catalog at {preset:?} scale (seed {seed})...");
+    let catalog = us_eval_catalog(preset, seed).expect("catalog");
+    eprintln!(
+        "universe: {} ({} sources, {} targets)",
+        catalog.universe(),
+        catalog.n_source(),
+        catalog.n_target()
+    );
+
+    let levels = [1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 50.0];
+    let ga = GeoAlignInterpolator::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let mut rand01 = move || rng.random::<f64>();
+    let report = noise_experiment(&catalog, &ga, &levels, replicates, &mut rand01)
+        .expect("noise experiment");
+
+    println!(
+        "# Figure 7 — RMSE(perturbed)/RMSE(orig), {replicates} replicates per level ({})",
+        report.method
+    );
+    println!(
+        "{:28} {:>6}  {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "dataset", "noise%", "min", "q1", "median", "q3", "max"
+    );
+    for cell in &report.cells {
+        let s = cell.summary;
+        println!(
+            "{:28} {:>6.0}  {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            cell.dataset, cell.level_pct, s.min, s.q1, s.median, s.q3, s.max
+        );
+    }
+    // Paper's headline: deviations stay near 1 even at 50% noise.
+    let worst_median = report
+        .cells
+        .iter()
+        .map(|c| c.summary.median)
+        .fold(0.0f64, f64::max);
+    println!("\nworst median ratio across all cells: {worst_median:.3} (paper: ~1, <1.1 mean even at 50%)");
+}

@@ -1,0 +1,71 @@
+//! Regenerates paper Figure 8: robustness of GeoAlign to the choice of
+//! reference attributes. For each US dataset the reference pool is reduced
+//! by leaving out the 1 or 2 references most (or least) correlated with
+//! the objective at the source level, and the NRMSE is compared with using
+//! all references.
+//!
+//! Usage: `fig8_selection [--small|--medium|--paper] [--seed N]`
+
+use geoalign::core::eval::{selection_experiment, LeaveOut};
+use geoalign::GeoAlignInterpolator;
+use geoalign_bench::{us_eval_catalog, ScalePreset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut preset = ScalePreset::Medium;
+    let mut seed = 20180326u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            flag => {
+                if let Some(p) = ScalePreset::from_flag(flag) {
+                    preset = p;
+                } else {
+                    eprintln!("unknown argument: {flag}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    eprintln!("generating US catalog at {preset:?} scale (seed {seed})...");
+    let catalog = us_eval_catalog(preset, seed).expect("catalog");
+
+    let policies = [
+        LeaveOut::LeastRelated(1),
+        LeaveOut::LeastRelated(2),
+        LeaveOut::MostRelated(1),
+        LeaveOut::MostRelated(2),
+        LeaveOut::None,
+    ];
+    let ga = GeoAlignInterpolator::new();
+    let report = selection_experiment(&catalog, &ga, &policies).expect("selection experiment");
+
+    println!("# Figure 8 — NRMSE under reference leave-out policies (GeoAlign)");
+    println!(
+        "{:28} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "-1 least", "-2 least", "-1 most", "-2 most", "all refs"
+    );
+    let mut datasets: Vec<&str> = Vec::new();
+    for c in &report.cells {
+        if !datasets.contains(&c.dataset.as_str()) {
+            datasets.push(&c.dataset);
+        }
+    }
+    for d in &datasets {
+        print!("{d:28}");
+        for p in policies {
+            match report.nrmse(d, p) {
+                Some(v) => print!(" {v:>12.4}"),
+                None => print!(" {:>12}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\n# withheld references per dataset (most-related, n=2):");
+    for c in &report.cells {
+        if c.policy == LeaveOut::MostRelated(2) {
+            println!("{:28} dropped: {}", c.dataset, c.dropped.join(", "));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared plumbing for the GeoAlign benchmark harness: catalog
+//! construction helpers and text rendering used by the per-figure
+//! binaries.
+
+#![warn(missing_docs)]
+
+use geoalign::core::eval::Catalog;
+use geoalign::CoreError;
+use geoalign_datagen::{CatalogSize, SyntheticCatalog};
+
+/// Scale presets shared by the figure binaries: `--small` (CI-friendly),
+/// `--medium` (minutes) and `--paper` (full unit counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalePreset {
+    /// Tiny catalogs for smoke runs.
+    Small,
+    /// Default: large enough for stable figure shapes, minutes of runtime.
+    Medium,
+    /// The paper's unit counts (30k zips / 3.1k counties for the US).
+    Paper,
+}
+
+impl ScalePreset {
+    /// Parses `--small` / `--medium` / `--paper` style flags; unknown
+    /// flags return `None`.
+    pub fn from_flag(flag: &str) -> Option<Self> {
+        match flag.trim_start_matches('-') {
+            "small" => Some(Self::Small),
+            "medium" => Some(Self::Medium),
+            "paper" | "full" => Some(Self::Paper),
+            _ => None,
+        }
+    }
+
+    /// The catalog size for the NY universe at this preset.
+    pub fn ny_size(self) -> CatalogSize {
+        match self {
+            Self::Small => CatalogSize::small(),
+            Self::Medium => CatalogSize::paper_ny().scaled(0.25),
+            Self::Paper => CatalogSize::paper_ny(),
+        }
+    }
+
+    /// The catalog size for the US universe at this preset.
+    pub fn us_size(self) -> CatalogSize {
+        match self {
+            Self::Small => CatalogSize::small(),
+            Self::Medium => CatalogSize::paper_us().scaled(0.04),
+            Self::Paper => CatalogSize::paper_us(),
+        }
+    }
+}
+
+/// Generates the NY evaluation catalog at a preset.
+pub fn ny_eval_catalog(preset: ScalePreset, seed: u64) -> Result<Catalog, CoreError> {
+    let synth = geoalign_datagen::ny_catalog(preset.ny_size(), seed).map_err(CoreError::Partition)?;
+    geoalign::to_eval_catalog(&synth)
+}
+
+/// Generates the US evaluation catalog at a preset.
+pub fn us_eval_catalog(preset: ScalePreset, seed: u64) -> Result<Catalog, CoreError> {
+    let synth = geoalign_datagen::us_catalog(preset.us_size(), seed).map_err(CoreError::Partition)?;
+    geoalign::to_eval_catalog(&synth)
+}
+
+/// Generates both the raw synthetic catalog and its eval version (some
+/// binaries need the universe geometry too).
+pub fn us_catalog_pair(
+    preset: ScalePreset,
+    seed: u64,
+) -> Result<(SyntheticCatalog, Catalog), CoreError> {
+    let synth = geoalign_datagen::us_catalog(preset.us_size(), seed).map_err(CoreError::Partition)?;
+    let eval = geoalign::to_eval_catalog(&synth)?;
+    Ok((synth, eval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_parsing() {
+        assert_eq!(ScalePreset::from_flag("--small"), Some(ScalePreset::Small));
+        assert_eq!(ScalePreset::from_flag("paper"), Some(ScalePreset::Paper));
+        assert_eq!(ScalePreset::from_flag("full"), Some(ScalePreset::Paper));
+        assert_eq!(ScalePreset::from_flag("--bogus"), None);
+    }
+
+    #[test]
+    fn small_catalogs_build() {
+        let ny = ny_eval_catalog(ScalePreset::Small, 1).unwrap();
+        assert_eq!(ny.len(), 8);
+        let us = us_eval_catalog(ScalePreset::Small, 1).unwrap();
+        assert_eq!(us.len(), 10);
+    }
+}

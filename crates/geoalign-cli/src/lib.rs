@@ -1,0 +1,284 @@
+//! Implementation of the `geoalign` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `crosswalk` — realign an aggregate table from its source units to the
+//!   target units of one or more reference crosswalk files;
+//! * `evaluate` — additionally compare the estimate against a ground-truth
+//!   table and report RMSE / NRMSE;
+//! * `weights` — print only the learned reference weights.
+//!
+//! All inputs are CSV: aggregate tables are `unit,value` with a header,
+//! crosswalk files are `source,target,value` (the HUD USPS crosswalk
+//! shape). The estimate is written as a `unit,value` table.
+
+#![warn(missing_docs)]
+
+use geoalign_core::{CoreError, GeoAlign, ReferenceData};
+use geoalign_linalg::stats;
+use geoalign_partition::{AggregateTable, CrosswalkTable, UnitIndex};
+use std::fmt::Write as _;
+
+/// Errors surfaced to the CLI user with exit code 1.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O failure reading or writing a file.
+    Io(String, std::io::Error),
+    /// Parse or algorithm failure.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(path, e) => write!(f, "cannot access '{path}': {e}"),
+            CliError::Run(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
+
+/// Parsed command line for the crosswalk-style subcommands.
+#[derive(Debug, Clone)]
+pub struct CrosswalkArgs {
+    /// Path of the objective aggregate table.
+    pub table: String,
+    /// Paths of the reference crosswalk files (at least one).
+    pub references: Vec<String>,
+    /// Optional ground-truth table for `evaluate`.
+    pub truth: Option<String>,
+    /// Output path (stdout when absent).
+    pub out: Option<String>,
+    /// Print the learned weights to stderr.
+    pub show_weights: bool,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+geoalign — multi-reference crosswalk of aggregate tables (GeoAlign, EDBT 2018)
+
+USAGE:
+    geoalign crosswalk --table T.csv --reference X1.csv [--reference X2.csv ...]
+                       [--out OUT.csv] [--weights]
+    geoalign evaluate  --table T.csv --reference X1.csv [...] --truth TRUE.csv
+    geoalign weights   --table T.csv --reference X1.csv [...]
+
+FILES:
+    aggregate tables:  CSV `unit,value` with a header line
+    crosswalk files:   CSV `source,target,value` with a header line
+                       (the value is the reference attribute's aggregate in
+                       each source∩target intersection, e.g. population)
+";
+
+/// Parses the flags shared by all subcommands.
+pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
+    let mut table = None;
+    let mut references = Vec::new();
+    let mut truth = None;
+    let mut out = None;
+    let mut show_weights = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--table" => table = Some(need(&mut it, "--table")?),
+            "--reference" => references.push(need(&mut it, "--reference")?),
+            "--truth" => truth = Some(need(&mut it, "--truth")?),
+            "--out" => out = Some(need(&mut it, "--out")?),
+            "--weights" => show_weights = true,
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    let table = table.ok_or_else(|| CliError::Usage("--table is required".into()))?;
+    if references.is_empty() {
+        return Err(CliError::Usage("at least one --reference is required".into()));
+    }
+    Ok(CrosswalkArgs { table, references, truth, out, show_weights })
+}
+
+fn need(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+/// Everything the run produced, for the caller to print or write.
+#[derive(Debug)]
+pub struct CrosswalkOutput {
+    /// The realigned table as CSV.
+    pub csv: String,
+    /// `(reference name, weight)` pairs.
+    pub weights: Vec<(String, f64)>,
+    /// RMSE / NRMSE vs the truth table, when supplied.
+    pub accuracy: Option<(f64, f64)>,
+}
+
+/// Runs a crosswalk from in-memory CSV strings (the testable core of the
+/// CLI; `main` only shuttles files).
+pub fn run_crosswalk(
+    table_csv: &str,
+    reference_csvs: &[(String, String)],
+    truth_csv: Option<&str>,
+) -> Result<CrosswalkOutput, CliError> {
+    let table = AggregateTable::parse_csv(table_csv)
+        .map_err(|e| CliError::Run(format!("objective table: {e}")))?;
+
+    // The source index is defined by the union of the crosswalk files'
+    // source units (tables may cover a subset). Target likewise.
+    let mut source = UnitIndex::new();
+    let mut target = UnitIndex::new();
+    let parsed: Vec<(String, CrosswalkTable)> = reference_csvs
+        .iter()
+        .map(|(name, csv)| {
+            CrosswalkTable::parse_csv(csv)
+                .map(|t| (name.clone(), t))
+                .map_err(|e| CliError::Run(format!("crosswalk '{name}': {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    for (_, x) in &parsed {
+        for (s, t, _) in &x.rows {
+            source.intern(s);
+            target.intern(t);
+        }
+    }
+
+    let refs: Vec<ReferenceData> = parsed
+        .iter()
+        .map(|(name, x)| {
+            let dm = x
+                .to_matrix(&source, &target)
+                .map_err(|e| CliError::Run(format!("crosswalk '{name}': {e}")))?;
+            let attr = if x.attribute.is_empty() { name.clone() } else { x.attribute.clone() };
+            ReferenceData::from_dm(attr, dm).map_err(CliError::from)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let objective = table
+        .to_vector(&source)
+        .map_err(|e| CliError::Run(format!("objective table: {e}")))?;
+
+    let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+    let result = GeoAlign::new().estimate(&objective, &ref_slices)?;
+
+    let mut csv = String::new();
+    let _ = writeln!(csv, "unit,{}", table.attribute);
+    for (j, id) in target.ids().iter().enumerate() {
+        let _ = writeln!(csv, "{},{}", id, result.estimate[j]);
+    }
+
+    let weights = refs
+        .iter()
+        .zip(&result.weights)
+        .map(|(r, &w)| (r.name().to_owned(), w))
+        .collect();
+
+    let accuracy = match truth_csv {
+        Some(text) => {
+            let truth_table = AggregateTable::parse_csv(text)
+                .map_err(|e| CliError::Run(format!("truth table: {e}")))?;
+            let truth = truth_table
+                .to_vector(&target)
+                .map_err(|e| CliError::Run(format!("truth table: {e}")))?;
+            let rmse = stats::rmse(&result.estimate, truth.values())
+                .map_err(|e| CliError::Run(e.to_string()))?;
+            let nrmse = stats::nrmse(&result.estimate, truth.values())
+                .map_err(|e| CliError::Run(e.to_string()))?;
+            Some((rmse, nrmse))
+        }
+        None => None,
+    };
+
+    Ok(CrosswalkOutput { csv, weights, accuracy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STEAM: &str = "zip,steam\nz1,10\nz2,20\nz3,30\n";
+    const POP: &str = "zip,county,population\nz1,A,100\nz2,A,60\nz2,B,40\nz3,B,80\n";
+    const ACC: &str = "zip,county,accidents\nz1,A,5\nz2,A,1\nz2,B,9\nz3,B,4\n";
+
+    #[test]
+    fn crosswalk_from_strings() {
+        let out = run_crosswalk(STEAM, &[("pop".into(), POP.into())], None).unwrap();
+        assert!(out.csv.contains("unit,steam"));
+        assert!(out.csv.contains("A,22"));
+        assert!(out.csv.contains("B,38"));
+        assert_eq!(out.weights.len(), 1);
+        assert_eq!(out.weights[0].0, "population");
+        assert!(out.accuracy.is_none());
+    }
+
+    #[test]
+    fn evaluate_reports_accuracy() {
+        // Objective proportional to the population reference: the learned
+        // mixture concentrates on population and reproduces its split
+        // exactly, so the truth table derived from that split gives
+        // zero error.
+        let steam = "zip,steam
+z1,50
+z2,50
+z3,40
+";
+        let truth = "county,steam
+A,80
+B,60
+";
+        let out = run_crosswalk(
+            steam,
+            &[("pop".into(), POP.into()), ("acc".into(), ACC.into())],
+            Some(truth),
+        )
+        .unwrap();
+        let (rmse, nrmse) = out.accuracy.unwrap();
+        assert!(rmse < 1e-6, "rmse {rmse}");
+        assert!(nrmse < 1e-6);
+        assert_eq!(out.weights.len(), 2);
+        let wsum: f64 = out.weights.iter().map(|(_, w)| w).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+        assert!(out.weights[0].1 > 0.99, "population should dominate: {:?}", out.weights);
+    }
+
+    #[test]
+    fn informative_errors() {
+        let e = run_crosswalk("zip,steam\n", &[("p".into(), POP.into())], None).unwrap_err();
+        assert!(e.to_string().contains("objective table"));
+        let e = run_crosswalk(STEAM, &[("p".into(), "a,b\nbad\n".into())], None).unwrap_err();
+        assert!(e.to_string().contains("crosswalk 'p'"), "{e}");
+        // Objective mentions a zip absent from every crosswalk.
+        let e = run_crosswalk(
+            "zip,steam\nz9,1\n",
+            &[("p".into(), POP.into())],
+            None,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("z9"), "{e}");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--table", "t.csv", "--reference", "x.csv", "--weights"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = parse_args(&args).unwrap();
+        assert_eq!(a.table, "t.csv");
+        assert_eq!(a.references, vec!["x.csv".to_owned()]);
+        assert!(a.show_weights);
+        assert!(a.out.is_none());
+
+        assert!(parse_args(&["--table".into()]).is_err());
+        assert!(parse_args(&["--bogus".into()]).is_err());
+        assert!(parse_args(&["--table".into(), "t".into()]).is_err()); // no refs
+    }
+}

@@ -1,0 +1,74 @@
+//! The `geoalign` command-line entry point; see [`geoalign_cli`] for the
+//! testable implementation.
+
+use geoalign_cli::{parse_args, run_crosswalk, CliError, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match real_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_owned(), e))
+}
+
+fn real_main(args: &[String]) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage("missing subcommand".into()));
+    };
+    match cmd.as_str() {
+        "crosswalk" | "evaluate" | "weights" => {
+            let mut parsed = parse_args(rest)?;
+            if cmd == "evaluate" && parsed.truth.is_none() {
+                return Err(CliError::Usage("evaluate requires --truth".into()));
+            }
+            let table_csv = read(&parsed.table)?;
+            let reference_csvs: Vec<(String, String)> = parsed
+                .references
+                .iter()
+                .map(|p| read(p).map(|text| (p.clone(), text)))
+                .collect::<Result<_, _>>()?;
+            let truth_csv = match &parsed.truth {
+                Some(p) => Some(read(p)?),
+                None => None,
+            };
+            let out = run_crosswalk(&table_csv, &reference_csvs, truth_csv.as_deref())?;
+
+            if cmd == "weights" {
+                parsed.show_weights = true;
+            } else {
+                match &parsed.out {
+                    Some(path) => std::fs::write(path, &out.csv)
+                        .map_err(|e| CliError::Io(path.clone(), e))?,
+                    None => print!("{}", out.csv),
+                }
+            }
+            if parsed.show_weights || cmd == "weights" {
+                for (name, w) in &out.weights {
+                    eprintln!("weight[{name}] = {w:.6}");
+                }
+            }
+            if let Some((rmse, nrmse)) = out.accuracy {
+                eprintln!("RMSE = {rmse:.6}");
+                eprintln!("NRMSE = {nrmse:.6}");
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}

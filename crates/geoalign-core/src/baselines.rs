@@ -1,0 +1,206 @@
+//! Baseline interpolators the paper compares against (§4):
+//!
+//! * the **dasymetric method** — redistribute the objective by the
+//!   disaggregation matrix of a *single* known reference attribute
+//!   (Langford 2006; Wright 1936);
+//! * the **areal weighting method** — the dasymetric method with *area*
+//!   as the reference, i.e. the homogeneity assumption (Goodchild & Lam);
+//! * an **unconstrained regression** combiner — an ablation showing why
+//!   Eq. 15's simplex constraint matters (related-work regression methods
+//!   fit unconstrained coefficients).
+
+use crate::error::CoreError;
+use crate::reference::{validate_references, ReferenceData};
+use geoalign_linalg::{CsrMatrix, DMatrix, HouseholderQr};
+use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+
+/// Dasymetric weighting by a single reference (paper §3.3): each source
+/// unit's objective mass is split across targets proportionally to the
+/// reference's split.
+///
+/// Source units where the reference has no mass contribute nothing
+/// (the method has no information there) — the classic failure mode that
+/// motivates multi-reference learning.
+pub fn dasymetric(
+    objective_source: &AggregateVector,
+    reference: &ReferenceData,
+) -> Result<Vec<f64>, CoreError> {
+    validate_references(objective_source.len(), &[reference])?;
+    let dm = reference.dm().matrix();
+    let denom = reference.source().values();
+    let obj = objective_source.values();
+    let mut out = vec![0.0; dm.ncols()];
+    for (i, (&oi, &di)) in obj.iter().zip(denom).enumerate() {
+        if di <= 0.0 {
+            continue;
+        }
+        let scale = oi / di;
+        let (cols, vals) = dm.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            out[j as usize] += scale * v;
+        }
+    }
+    Ok(out)
+}
+
+/// Areal weighting (paper §3.3's "special case ... using the disaggregation
+/// matrix of area as the reference"): dasymetric weighting with the measure
+/// (area / length / volume) disaggregation matrix, i.e. the homogeneity
+/// assumption.
+pub fn areal_weighting(
+    objective_source: &AggregateVector,
+    measure_dm: &DisaggregationMatrix,
+) -> Result<Vec<f64>, CoreError> {
+    let reference = ReferenceData::from_dm(measure_dm.attribute().to_owned(), measure_dm.clone())?;
+    dasymetric(objective_source, &reference)
+}
+
+/// Unconstrained-regression combiner (ablation): ordinary least squares on
+/// the normalized source aggregates with **no** simplex constraint, applied
+/// through the same Eq. 14 disaggregation. Coefficients may be negative;
+/// resulting matrix entries are clamped at zero and rows renormalized to
+/// preserve volume, mirroring what a practitioner would have to bolt on.
+pub fn regression_combiner(
+    objective_source: &AggregateVector,
+    refs: &[&ReferenceData],
+) -> Result<Vec<f64>, CoreError> {
+    let (n_source, n_target) = validate_references(objective_source.len(), refs)?;
+    let columns: Vec<Vec<f64>> = refs.iter().map(|r| r.source().normalized()).collect();
+    let a = DMatrix::from_columns(&columns)?;
+    let b = objective_source.normalized();
+    let coef = match HouseholderQr::new(&a)?.solve(&b) {
+        Ok(c) => c,
+        // Collinear references: fall back to a uniform mixture.
+        Err(geoalign_linalg::LinalgError::Singular) => vec![1.0 / refs.len() as f64; refs.len()],
+        Err(e) => return Err(e.into()),
+    };
+
+    // Eq. 14 with the raw coefficients, clamping negatives entry-wise.
+    let mats: Vec<&CsrMatrix> = refs.iter().map(|r| r.dm().matrix()).collect();
+    let combined = CsrMatrix::weighted_sum(&mats, &coef)?;
+    let obj = objective_source.values();
+    let _ = n_source; // shape validated above; iteration is value-driven
+    let mut out = vec![0.0; n_target];
+    for (i, &oi) in obj.iter().enumerate() {
+        let (cols, vals) = combined.row(i);
+        let clamped: Vec<f64> = vals.iter().map(|&v| v.max(0.0)).collect();
+        let row_sum: f64 = clamped.iter().sum();
+        if row_sum <= 0.0 {
+            continue;
+        }
+        let scale = oi / row_sum;
+        for (&j, &v) in cols.iter().zip(&clamped) {
+            out[j as usize] += scale * v;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::GeoAlign;
+
+    fn make_ref(name: &str, rows: &[&[f64]]) -> ReferenceData {
+        let mut triples = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    triples.push((i, j, v));
+                }
+            }
+        }
+        let dm =
+            DisaggregationMatrix::from_triples(name, rows.len(), rows[0].len(), triples).unwrap();
+        ReferenceData::from_dm(name, dm).unwrap()
+    }
+
+    fn agg(vals: &[f64]) -> AggregateVector {
+        AggregateVector::new("obj", vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn dasymetric_proportional_split() {
+        let r = make_ref("pop", &[&[10.0, 15.0], &[0.0, 8.0]]);
+        let obj = agg(&[100.0, 50.0]);
+        let est = dasymetric(&obj, &r).unwrap();
+        assert!((est[0] - 40.0).abs() < 1e-12);
+        assert!((est[1] - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dasymetric_equals_geoalign_with_one_reference() {
+        let r = make_ref("pop", &[&[3.0, 1.0, 0.0], &[2.0, 2.0, 5.0], &[0.0, 0.0, 4.0]]);
+        let obj = agg(&[10.0, 20.0, 30.0]);
+        let das = dasymetric(&obj, &r).unwrap();
+        let ga = GeoAlign::new().estimate(&obj, &[&r]).unwrap();
+        for (d, g) in das.iter().zip(&ga.estimate) {
+            assert!((d - g).abs() < 1e-9, "{d} vs {g}");
+        }
+    }
+
+    #[test]
+    fn dasymetric_drops_mass_where_reference_is_blind() {
+        // Reference zero at source 1 → its 50 units of objective vanish.
+        let r = make_ref("sparse", &[&[1.0, 1.0], &[0.0, 0.0]]);
+        let obj = agg(&[10.0, 50.0]);
+        let est = dasymetric(&obj, &r).unwrap();
+        let total: f64 = est.iter().sum();
+        assert!((total - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn areal_weighting_is_uniform_by_measure() {
+        // Source unit of area 2 split 1.5/0.5 across targets.
+        let area =
+            DisaggregationMatrix::from_triples("area", 1, 2, [(0, 0, 1.5), (0, 1, 0.5)]).unwrap();
+        let obj = agg(&[8.0]);
+        let est = areal_weighting(&obj, &area).unwrap();
+        assert!((est[0] - 6.0).abs() < 1e-12);
+        assert!((est[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn areal_weighting_fails_on_clustered_attribute() {
+        // True distribution is fully clustered in target 0, but areas are
+        // even — areal weighting must be badly wrong (the paper's headline
+        // observation: >15× worse than GeoAlign).
+        let area =
+            DisaggregationMatrix::from_triples("area", 1, 2, [(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let pop = make_ref("pop", &[&[100.0, 0.0]]);
+        let obj = agg(&[60.0]);
+        let aw = areal_weighting(&obj, &area).unwrap();
+        let das = dasymetric(&obj, &pop).unwrap();
+        let truth = [60.0, 0.0];
+        let aw_err: f64 = aw.iter().zip(&truth).map(|(a, t)| (a - t).abs()).sum();
+        let das_err: f64 = das.iter().zip(&truth).map(|(a, t)| (a - t).abs()).sum();
+        assert!(aw_err > 10.0 * das_err.max(1e-9));
+    }
+
+    #[test]
+    fn regression_combiner_preserves_volume() {
+        let r1 = make_ref("a", &[&[3.0, 1.0], &[2.0, 2.0], &[0.0, 5.0]]);
+        let r2 = make_ref("b", &[&[1.0, 1.0], &[4.0, 0.0], &[1.0, 1.0]]);
+        let obj = agg(&[10.0, 20.0, 30.0]);
+        let est = regression_combiner(&obj, &[&r1, &r2]).unwrap();
+        let total: f64 = est.iter().sum();
+        assert!((total - 60.0).abs() < 1e-9);
+        assert!(est.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn regression_combiner_handles_collinear_references() {
+        let r1 = make_ref("a", &[&[1.0, 1.0], &[2.0, 0.0]]);
+        let r2 = make_ref("a2", &[&[2.0, 2.0], &[4.0, 0.0]]); // 2× r1
+        let obj = agg(&[4.0, 4.0]);
+        let est = regression_combiner(&obj, &[&r1, &r2]).unwrap();
+        let total: f64 = est.iter().sum();
+        assert!((total - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let r = make_ref("a", &[&[1.0, 1.0]]);
+        assert!(dasymetric(&agg(&[1.0, 2.0]), &r).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type for the algorithm layer.
+
+use std::fmt;
+
+/// Errors raised by interpolators and the evaluation harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// No reference attributes were supplied where at least one is needed.
+    NoReferences,
+    /// A named reference was not found in the supplied set.
+    UnknownReference {
+        /// The requested reference name.
+        name: String,
+    },
+    /// Objective and references disagree on the number of source units.
+    SourceMismatch {
+        /// Number of source units of the objective.
+        objective: usize,
+        /// Number of source units of the offending reference.
+        reference: usize,
+        /// Name of the offending reference.
+        name: String,
+    },
+    /// Two references disagree on the number of target units.
+    TargetMismatch {
+        /// Target units of the first reference.
+        left: usize,
+        /// Target units of the offending reference.
+        right: usize,
+        /// Name of the offending reference.
+        name: String,
+    },
+    /// A reference's aggregate vector length does not match its own
+    /// disaggregation matrix.
+    InconsistentReference {
+        /// Name of the offending reference.
+        name: String,
+    },
+    /// The evaluation harness needs at least this many datasets.
+    NotEnoughDatasets {
+        /// Minimum required.
+        needed: usize,
+        /// Actually available.
+        got: usize,
+    },
+    /// Propagated partition-layer failure.
+    Partition(geoalign_partition::PartitionError),
+    /// Propagated linear-algebra failure.
+    Linalg(geoalign_linalg::LinalgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoReferences => write!(f, "at least one reference attribute is required"),
+            CoreError::UnknownReference { name } => write!(f, "unknown reference '{name}'"),
+            CoreError::SourceMismatch { objective, reference, name } => write!(
+                f,
+                "reference '{name}' covers {reference} source units but the objective covers {objective}"
+            ),
+            CoreError::TargetMismatch { left, right, name } => write!(
+                f,
+                "reference '{name}' covers {right} target units but others cover {left}"
+            ),
+            CoreError::InconsistentReference { name } => write!(
+                f,
+                "reference '{name}' has a disaggregation matrix inconsistent with its aggregate vector"
+            ),
+            CoreError::NotEnoughDatasets { needed, got } => {
+                write!(f, "need at least {needed} datasets, got {got}")
+            }
+            CoreError::Partition(e) => write!(f, "partition error: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Partition(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<geoalign_partition::PartitionError> for CoreError {
+    fn from(e: geoalign_partition::PartitionError) -> Self {
+        CoreError::Partition(e)
+    }
+}
+
+impl From<geoalign_linalg::LinalgError> for CoreError {
+    fn from(e: geoalign_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = CoreError::UnknownReference { name: "pop".into() };
+        assert!(e.to_string().contains("pop"));
+        let e = CoreError::SourceMismatch { objective: 3, reference: 5, name: "r".into() };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e: CoreError = geoalign_linalg::LinalgError::Singular.into();
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,232 @@
+//! Leave-one-dataset-out cross-validation (paper §4.1): each dataset in a
+//! catalog takes a turn as the test objective while the rest serve as the
+//! reference pool; every method's NRMSE against the ground truth is
+//! recorded. This is the protocol behind Figure 5.
+
+use crate::error::CoreError;
+use crate::eval::dataset::Catalog;
+use crate::interpolator::Interpolator;
+use geoalign_linalg::stats;
+
+/// One cell of the cross-validation table.
+#[derive(Debug, Clone)]
+pub struct CrossValCell {
+    /// Test dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// NRMSE of the method on the dataset, or `None` when the combination
+    /// is skipped (e.g. dasymetric-by-X tested on X itself, per §4.1).
+    pub nrmse: Option<f64>,
+}
+
+/// The full cross-validation result for one universe.
+#[derive(Debug, Clone)]
+pub struct CrossValReport {
+    /// Universe name.
+    pub universe: String,
+    /// All `(dataset × method)` cells, dataset-major.
+    pub cells: Vec<CrossValCell>,
+}
+
+impl CrossValReport {
+    /// NRMSE of `method` on `dataset`, if evaluated.
+    pub fn nrmse(&self, dataset: &str, method: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.dataset == dataset && c.method == method)
+            .and_then(|c| c.nrmse)
+    }
+
+    /// All evaluated NRMSE values of one method, across datasets.
+    pub fn method_nrmses(&self, method: &str) -> Vec<f64> {
+        self.cells
+            .iter()
+            .filter(|c| c.method == method)
+            .filter_map(|c| c.nrmse)
+            .collect()
+    }
+
+    /// Worst (maximum) NRMSE of a method across datasets, if any cell was
+    /// evaluated.
+    pub fn method_max_nrmse(&self, method: &str) -> Option<f64> {
+        self.method_nrmses(method).into_iter().reduce(f64::max)
+    }
+
+    /// Renders the report as an aligned text table (datasets as rows,
+    /// methods as columns), matching the shape of paper Figure 5.
+    pub fn to_table(&self) -> String {
+        let mut datasets: Vec<&str> = Vec::new();
+        let mut methods: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !datasets.contains(&c.dataset.as_str()) {
+                datasets.push(&c.dataset);
+            }
+            if !methods.contains(&c.method.as_str()) {
+                methods.push(&c.method);
+            }
+        }
+        let name_w = datasets.iter().map(|d| d.len()).max().unwrap_or(7).max(7);
+        let col_w = methods.iter().map(|m| m.len()).max().unwrap_or(8).max(8);
+        let mut out = String::new();
+        out.push_str(&format!("{:name_w$}", "dataset"));
+        for m in &methods {
+            out.push_str(&format!("  {m:>col_w$}"));
+        }
+        out.push('\n');
+        for d in &datasets {
+            out.push_str(&format!("{d:name_w$}"));
+            for m in &methods {
+                match self.nrmse(d, m) {
+                    Some(v) => out.push_str(&format!("  {v:>col_w$.4}")),
+                    None => out.push_str(&format!("  {:>col_w$}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Decides whether a method must be skipped for a given test dataset.
+///
+/// Mirrors §4.1: "when one of the population reference datasets or the area
+/// dataset is used as the test dataset, the performance of both methods
+/// referencing this dataset is not evaluated". A dasymetric method is
+/// skipped when its reference *is* the test dataset (the reference pool
+/// excludes the test dataset, so the method would have nothing to
+/// redistribute by); areal weighting is skipped when the test dataset is
+/// the measure attribute itself.
+fn skip(method_name: &str, dataset_name: &str, measure_attr: &str) -> bool {
+    if method_name == format!("dasymetric({dataset_name})") {
+        return true;
+    }
+    method_name == "areal weighting" && dataset_name == measure_attr
+}
+
+/// Runs leave-one-dataset-out cross-validation of `methods` over `catalog`.
+pub fn cross_validate(
+    catalog: &Catalog,
+    methods: &[&dyn Interpolator],
+) -> Result<CrossValReport, CoreError> {
+    if catalog.len() < 2 {
+        return Err(CoreError::NotEnoughDatasets { needed: 2, got: catalog.len() });
+    }
+    let measure_attr = catalog.measure_dm().attribute().to_owned();
+    let mut cells = Vec::with_capacity(catalog.len() * methods.len());
+    for (di, test) in catalog.datasets().iter().enumerate() {
+        let refs = catalog.references_excluding(di);
+        let objective = test.reference().source();
+        for method in methods {
+            let mname = method.name();
+            let nrmse = if skip(&mname, test.name(), &measure_attr) {
+                None
+            } else {
+                let estimate = method.estimate(objective, &refs)?;
+                Some(stats::nrmse(&estimate, test.target_truth())?)
+            };
+            cells.push(CrossValCell {
+                dataset: test.name().to_owned(),
+                method: mname,
+                nrmse,
+            });
+        }
+    }
+    Ok(CrossValReport { universe: catalog.universe().to_owned(), cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::dataset::Dataset;
+    use crate::interpolator::{
+        ArealWeightingInterpolator, DasymetricInterpolator, GeoAlignInterpolator,
+    };
+    use crate::reference::ReferenceData;
+    use geoalign_partition::DisaggregationMatrix;
+
+    fn make_ref(name: &str, rows: &[&[f64]]) -> ReferenceData {
+        let mut triples = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    triples.push((i, j, v));
+                }
+            }
+        }
+        let dm =
+            DisaggregationMatrix::from_triples(name, rows.len(), rows[0].len(), triples).unwrap();
+        ReferenceData::from_dm(name, dm).unwrap()
+    }
+
+    fn small_catalog() -> Catalog {
+        // Three correlated datasets over 3 source × 2 target units.
+        let a = Dataset::from_reference(make_ref("alpha", &[&[4.0, 1.0], &[1.0, 4.0], &[2.0, 2.0]]));
+        let b = Dataset::from_reference(make_ref("beta", &[&[8.0, 2.0], &[2.0, 8.0], &[4.0, 4.0]]));
+        let c = Dataset::from_reference(make_ref("gamma", &[&[3.0, 2.0], &[1.0, 1.0], &[0.0, 4.0]]));
+        let area = DisaggregationMatrix::from_triples(
+            "area",
+            3,
+            2,
+            [(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 1, 1.0)],
+        )
+        .unwrap();
+        Catalog::new("toy", vec![a, b, c], area).unwrap()
+    }
+
+    #[test]
+    fn report_covers_all_cells() {
+        let cat = small_catalog();
+        let ga = GeoAlignInterpolator::new();
+        let das = DasymetricInterpolator::new("beta");
+        let aw = ArealWeightingInterpolator::new(cat.measure_dm().clone());
+        let methods: Vec<&dyn Interpolator> = vec![&ga, &das, &aw];
+        let report = cross_validate(&cat, &methods).unwrap();
+        assert_eq!(report.cells.len(), 9);
+        // Dasymetric(beta) is skipped exactly on beta.
+        assert!(report.nrmse("beta", "dasymetric(beta)").is_none());
+        assert!(report.nrmse("alpha", "dasymetric(beta)").is_some());
+        // GeoAlign recovers alpha perfectly: beta is alpha scaled by 2.
+        let g = report.nrmse("alpha", "GeoAlign").unwrap();
+        assert!(g < 1e-6, "GeoAlign NRMSE on alpha should be ~0, got {g}");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let cat = small_catalog();
+        let ga = GeoAlignInterpolator::new();
+        let methods: Vec<&dyn Interpolator> = vec![&ga];
+        let report = cross_validate(&cat, &methods).unwrap();
+        let table = report.to_table();
+        for name in ["alpha", "beta", "gamma", "GeoAlign"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn method_summaries() {
+        let cat = small_catalog();
+        let ga = GeoAlignInterpolator::new();
+        let methods: Vec<&dyn Interpolator> = vec![&ga];
+        let report = cross_validate(&cat, &methods).unwrap();
+        let all = report.method_nrmses("GeoAlign");
+        assert_eq!(all.len(), 3);
+        let max = report.method_max_nrmse("GeoAlign").unwrap();
+        assert!(all.iter().all(|&v| v <= max));
+        assert!(report.method_max_nrmse("nope").is_none());
+    }
+
+    #[test]
+    fn needs_two_datasets() {
+        let a = Dataset::from_reference(make_ref("solo", &[&[1.0, 1.0]]));
+        let area = DisaggregationMatrix::from_triples("area", 1, 2, [(0, 0, 1.0), (0, 1, 1.0)])
+            .unwrap();
+        let cat = Catalog::new("u", vec![a], area).unwrap();
+        let ga = GeoAlignInterpolator::new();
+        let methods: Vec<&dyn Interpolator> = vec![&ga];
+        assert!(matches!(
+            cross_validate(&cat, &methods),
+            Err(CoreError::NotEnoughDatasets { .. })
+        ));
+    }
+}

@@ -1,0 +1,205 @@
+//! Datasets and catalogs for the evaluation harness.
+//!
+//! A *dataset* in the paper's sense (§4.1) is an attribute with an accurate
+//! distribution at both geographic levels plus its disaggregation matrix —
+//! so it can serve both as a reference (when another dataset is under test)
+//! and as a test objective (its own target aggregates are the ground
+//! truth).
+
+use crate::error::CoreError;
+use crate::reference::ReferenceData;
+use geoalign_partition::DisaggregationMatrix;
+
+/// One evaluation dataset: a reference plus its ground-truth target
+/// aggregates.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    reference: ReferenceData,
+    target_truth: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from a reference whose disaggregation matrix is
+    /// exact: the ground truth at the target level is the matrix's column
+    /// sums (paper Eq. 7).
+    pub fn from_reference(reference: ReferenceData) -> Self {
+        let target_truth = reference.dm().matrix().col_sums();
+        Self { reference, target_truth }
+    }
+
+    /// Builds a dataset with explicitly supplied target truth (used when
+    /// the truth comes from an independent tabulation).
+    pub fn with_truth(reference: ReferenceData, target_truth: Vec<f64>) -> Result<Self, CoreError> {
+        if target_truth.len() != reference.n_target() {
+            return Err(CoreError::TargetMismatch {
+                left: reference.n_target(),
+                right: target_truth.len(),
+                name: reference.name().to_owned(),
+            });
+        }
+        Ok(Self { reference, target_truth })
+    }
+
+    /// Dataset name (the attribute).
+    pub fn name(&self) -> &str {
+        self.reference.name()
+    }
+
+    /// The dataset viewed as a reference.
+    pub fn reference(&self) -> &ReferenceData {
+        &self.reference
+    }
+
+    /// Ground-truth aggregates at the target level.
+    pub fn target_truth(&self) -> &[f64] {
+        &self.target_truth
+    }
+}
+
+/// A universe's worth of datasets plus the measure (area) disaggregation
+/// matrix for areal weighting.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    universe: String,
+    datasets: Vec<Dataset>,
+    measure_dm: DisaggregationMatrix,
+}
+
+impl Catalog {
+    /// Assembles a catalog; all datasets must share source and target
+    /// dimensions with the measure matrix.
+    pub fn new(
+        universe: impl Into<String>,
+        datasets: Vec<Dataset>,
+        measure_dm: DisaggregationMatrix,
+    ) -> Result<Self, CoreError> {
+        for d in &datasets {
+            if d.reference().n_source() != measure_dm.n_source() {
+                return Err(CoreError::SourceMismatch {
+                    objective: measure_dm.n_source(),
+                    reference: d.reference().n_source(),
+                    name: d.name().to_owned(),
+                });
+            }
+            if d.reference().n_target() != measure_dm.n_target() {
+                return Err(CoreError::TargetMismatch {
+                    left: measure_dm.n_target(),
+                    right: d.reference().n_target(),
+                    name: d.name().to_owned(),
+                });
+            }
+        }
+        Ok(Self { universe: universe.into(), datasets, measure_dm })
+    }
+
+    /// Universe name (e.g. `"New York State"`).
+    pub fn universe(&self) -> &str {
+        &self.universe
+    }
+
+    /// The datasets.
+    pub fn datasets(&self) -> &[Dataset] {
+        &self.datasets
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Returns `true` when the catalog holds no datasets.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// The measure (area) disaggregation matrix.
+    pub fn measure_dm(&self) -> &DisaggregationMatrix {
+        &self.measure_dm
+    }
+
+    /// Number of source units.
+    pub fn n_source(&self) -> usize {
+        self.measure_dm.n_source()
+    }
+
+    /// Number of target units.
+    pub fn n_target(&self) -> usize {
+        self.measure_dm.n_target()
+    }
+
+    /// Looks up a dataset by name.
+    pub fn get(&self, name: &str) -> Option<&Dataset> {
+        self.datasets.iter().find(|d| d.name() == name)
+    }
+
+    /// References of every dataset except the one at `exclude` — the
+    /// reference pool for a cross-validation fold.
+    pub fn references_excluding(&self, exclude: usize) -> Vec<&ReferenceData> {
+        self.datasets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != exclude)
+            .map(|(_, d)| d.reference())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_ref(name: &str, rows: &[&[f64]]) -> ReferenceData {
+        let mut triples = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    triples.push((i, j, v));
+                }
+            }
+        }
+        let dm =
+            DisaggregationMatrix::from_triples(name, rows.len(), rows[0].len(), triples).unwrap();
+        ReferenceData::from_dm(name, dm).unwrap()
+    }
+
+    fn area_dm() -> DisaggregationMatrix {
+        DisaggregationMatrix::from_triples("area", 2, 2, [(0, 0, 1.0), (1, 1, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn truth_from_column_sums() {
+        let d = Dataset::from_reference(make_ref("a", &[&[1.0, 2.0], &[3.0, 0.0]]));
+        assert_eq!(d.target_truth(), &[4.0, 2.0]);
+        assert_eq!(d.name(), "a");
+    }
+
+    #[test]
+    fn explicit_truth_validated() {
+        let r = make_ref("a", &[&[1.0, 2.0], &[3.0, 0.0]]);
+        assert!(Dataset::with_truth(r.clone(), vec![1.0]).is_err());
+        let d = Dataset::with_truth(r, vec![5.0, 1.0]).unwrap();
+        assert_eq!(d.target_truth(), &[5.0, 1.0]);
+    }
+
+    #[test]
+    fn catalog_validates_shapes() {
+        let good = Dataset::from_reference(make_ref("a", &[&[1.0, 0.0], &[0.0, 1.0]]));
+        let bad = Dataset::from_reference(make_ref("b", &[&[1.0, 0.0, 1.0]]));
+        assert!(Catalog::new("u", vec![good.clone()], area_dm()).is_ok());
+        assert!(Catalog::new("u", vec![good, bad], area_dm()).is_err());
+    }
+
+    #[test]
+    fn reference_pool_excludes_test_dataset() {
+        let a = Dataset::from_reference(make_ref("a", &[&[1.0, 0.0], &[0.0, 1.0]]));
+        let b = Dataset::from_reference(make_ref("b", &[&[2.0, 0.0], &[0.0, 2.0]]));
+        let c = Dataset::from_reference(make_ref("c", &[&[0.0, 3.0], &[3.0, 0.0]]));
+        let cat = Catalog::new("u", vec![a, b, c], area_dm()).unwrap();
+        assert_eq!(cat.len(), 3);
+        let pool = cat.references_excluding(1);
+        assert_eq!(pool.len(), 2);
+        assert!(pool.iter().all(|r| r.name() != "b"));
+        assert!(cat.get("b").is_some());
+        assert!(cat.get("zzz").is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! Evaluation toolkit reproducing the paper's experimental protocols (§4):
+//! leave-one-dataset-out cross-validation (Figure 5), reference-noise
+//! robustness (Figure 7), and reference-selection robustness (Figure 8).
+//! Runtime scalability (Figure 6) is driven by the benchmark harness using
+//! [`crate::align::PhaseTimings`].
+
+pub mod crossval;
+pub mod dataset;
+pub mod noise;
+pub mod selection;
+
+pub use crossval::{cross_validate, CrossValCell, CrossValReport};
+pub use dataset::{Catalog, Dataset};
+pub use noise::{noise_experiment, perturb_source, NoiseCell, NoiseReport};
+pub use selection::{
+    apply_leave_out, rank_by_correlation, selection_experiment, LeaveOut, SelectionCell,
+    SelectionReport,
+};

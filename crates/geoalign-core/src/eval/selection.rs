@@ -1,0 +1,268 @@
+//! Reference-selection robustness (paper §4.4.2, Figure 8).
+//!
+//! The paper leaves the 1 or 2 references with the highest (or lowest)
+//! source-level correlation with the test attribute out of the pool and
+//! measures the impact on NRMSE, showing that GeoAlign tolerates poorly
+//! chosen references and only degrades when *every* well-related reference
+//! is removed.
+
+use crate::error::CoreError;
+use crate::eval::dataset::Catalog;
+use crate::interpolator::Interpolator;
+use crate::reference::ReferenceData;
+use geoalign_linalg::stats;
+
+/// Which references to withhold from the pool, relative to their
+/// source-level Pearson correlation with the objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaveOut {
+    /// Use every available reference.
+    None,
+    /// Drop the `n` references *most* correlated with the objective.
+    MostRelated(usize),
+    /// Drop the `n` references *least* correlated with the objective.
+    LeastRelated(usize),
+}
+
+impl LeaveOut {
+    /// Display label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            LeaveOut::None => "all references".to_owned(),
+            LeaveOut::MostRelated(n) => format!("leave {n} most related out"),
+            LeaveOut::LeastRelated(n) => format!("leave {n} least related out"),
+        }
+    }
+}
+
+/// Ranks `refs` by the absolute Pearson correlation of their source
+/// aggregates with `objective_source`, descending. Returns
+/// `(index, correlation)` pairs.
+pub fn rank_by_correlation(
+    objective_source: &[f64],
+    refs: &[&ReferenceData],
+) -> Result<Vec<(usize, f64)>, CoreError> {
+    let mut ranked: Vec<(usize, f64)> = refs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Ok((i, stats::pearson(objective_source, r.source().values())?)))
+        .collect::<Result<_, CoreError>>()?;
+    ranked.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
+    Ok(ranked)
+}
+
+/// Applies a [`LeaveOut`] policy: returns the subset of `refs` to keep.
+pub fn apply_leave_out<'a>(
+    objective_source: &[f64],
+    refs: &[&'a ReferenceData],
+    policy: LeaveOut,
+) -> Result<Vec<&'a ReferenceData>, CoreError> {
+    let drop: Vec<usize> = match policy {
+        LeaveOut::None => Vec::new(),
+        LeaveOut::MostRelated(n) => rank_by_correlation(objective_source, refs)?
+            .into_iter()
+            .take(n)
+            .map(|(i, _)| i)
+            .collect(),
+        LeaveOut::LeastRelated(n) => {
+            let ranked = rank_by_correlation(objective_source, refs)?;
+            ranked.into_iter().rev().take(n).map(|(i, _)| i).collect()
+        }
+    };
+    let kept: Vec<&ReferenceData> = refs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !drop.contains(i))
+        .map(|(_, r)| *r)
+        .collect();
+    if kept.is_empty() {
+        return Err(CoreError::NoReferences);
+    }
+    Ok(kept)
+}
+
+/// One cell of the selection-robustness report.
+#[derive(Debug, Clone)]
+pub struct SelectionCell {
+    /// Test dataset name.
+    pub dataset: String,
+    /// The leave-out policy applied to the reference pool.
+    pub policy: LeaveOut,
+    /// NRMSE under the reduced pool.
+    pub nrmse: f64,
+    /// Names of the withheld references.
+    pub dropped: Vec<String>,
+}
+
+/// Full result of the selection-robustness experiment.
+#[derive(Debug, Clone)]
+pub struct SelectionReport {
+    /// Universe name.
+    pub universe: String,
+    /// Method under test.
+    pub method: String,
+    /// One cell per `(dataset, policy)` pair.
+    pub cells: Vec<SelectionCell>,
+}
+
+impl SelectionReport {
+    /// NRMSE for a `(dataset, policy)` pair.
+    pub fn nrmse(&self, dataset: &str, policy: LeaveOut) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.dataset == dataset && c.policy == policy)
+            .map(|c| c.nrmse)
+    }
+}
+
+/// Runs the Figure 8 protocol over all datasets and policies.
+pub fn selection_experiment(
+    catalog: &Catalog,
+    method: &dyn Interpolator,
+    policies: &[LeaveOut],
+) -> Result<SelectionReport, CoreError> {
+    if catalog.len() < 3 {
+        return Err(CoreError::NotEnoughDatasets { needed: 3, got: catalog.len() });
+    }
+    let mut cells = Vec::with_capacity(catalog.len() * policies.len());
+    for (di, test) in catalog.datasets().iter().enumerate() {
+        let pool = catalog.references_excluding(di);
+        let objective = test.reference().source();
+        for &policy in policies {
+            let kept = apply_leave_out(objective.values(), &pool, policy)?;
+            let dropped: Vec<String> = pool
+                .iter()
+                .filter(|r| !kept.iter().any(|k| k.name() == r.name()))
+                .map(|r| r.name().to_owned())
+                .collect();
+            let estimate = method.estimate(objective, &kept)?;
+            let nrmse = stats::nrmse(&estimate, test.target_truth())?;
+            cells.push(SelectionCell {
+                dataset: test.name().to_owned(),
+                policy,
+                nrmse,
+                dropped,
+            });
+        }
+    }
+    Ok(SelectionReport {
+        universe: catalog.universe().to_owned(),
+        method: method.name(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::dataset::Dataset;
+    use crate::interpolator::GeoAlignInterpolator;
+    use geoalign_partition::DisaggregationMatrix;
+
+    fn make_ref(name: &str, rows: &[&[f64]]) -> ReferenceData {
+        let mut triples = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    triples.push((i, j, v));
+                }
+            }
+        }
+        let dm =
+            DisaggregationMatrix::from_triples(name, rows.len(), rows[0].len(), triples).unwrap();
+        ReferenceData::from_dm(name, dm).unwrap()
+    }
+
+    #[test]
+    fn ranking_orders_by_absolute_correlation() {
+        let objective = [1.0, 2.0, 3.0, 4.0];
+        let aligned = make_ref("aligned", &[&[2.0], &[4.0], &[6.0], &[8.0]]);
+        let inverse = make_ref("inverse", &[&[4.0], &[3.0], &[2.0], &[1.0]]);
+        let flat = make_ref("flat", &[&[1.0], &[1.0], &[1.0], &[1.0]]);
+        let refs = [&aligned, &flat, &inverse];
+        let ranked = rank_by_correlation(&objective, &refs).unwrap();
+        // aligned (|r|=1) and inverse (|r|=1) beat flat (|r|=0).
+        assert_eq!(ranked[2].0, 1, "flat must rank last: {ranked:?}");
+        assert!(ranked[0].1.abs() > 0.99);
+    }
+
+    #[test]
+    fn leave_out_policies() {
+        let objective = [1.0, 2.0, 3.0, 4.0];
+        let aligned = make_ref("aligned", &[&[2.0], &[4.0], &[6.0], &[8.0]]);
+        let noisy = make_ref("noisy", &[&[2.0], &[5.0], &[5.0], &[9.0]]);
+        let flat = make_ref("flat", &[&[1.0], &[1.0], &[1.0], &[1.0]]);
+        let refs = [&aligned, &noisy, &flat];
+
+        let all = apply_leave_out(&objective, &refs, LeaveOut::None).unwrap();
+        assert_eq!(all.len(), 3);
+
+        let no_best = apply_leave_out(&objective, &refs, LeaveOut::MostRelated(1)).unwrap();
+        assert_eq!(no_best.len(), 2);
+        assert!(no_best.iter().all(|r| r.name() != "aligned"));
+
+        let no_worst = apply_leave_out(&objective, &refs, LeaveOut::LeastRelated(1)).unwrap();
+        assert_eq!(no_worst.len(), 2);
+        assert!(no_worst.iter().all(|r| r.name() != "flat"));
+
+        // Dropping everything is rejected.
+        assert!(apply_leave_out(&objective, &refs, LeaveOut::MostRelated(3)).is_err());
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(LeaveOut::None.label(), "all references");
+        assert!(LeaveOut::MostRelated(2).label().contains("2 most"));
+        assert!(LeaveOut::LeastRelated(1).label().contains("1 least"));
+    }
+
+    #[test]
+    fn experiment_runs_over_policies() {
+        let a = Dataset::from_reference(make_ref(
+            "alpha",
+            &[&[4.0, 1.0], &[1.0, 4.0], &[2.0, 2.0], &[5.0, 0.0]],
+        ));
+        let b = Dataset::from_reference(make_ref(
+            "beta",
+            &[&[8.0, 2.0], &[2.0, 8.0], &[4.0, 4.0], &[10.0, 0.0]],
+        ));
+        let c = Dataset::from_reference(make_ref(
+            "gamma",
+            &[&[1.0, 4.0], &[4.0, 1.0], &[2.0, 3.0], &[0.0, 5.0]],
+        ));
+        let d = Dataset::from_reference(make_ref(
+            "delta",
+            &[&[2.0, 2.0], &[3.0, 2.0], &[2.0, 3.0], &[3.0, 3.0]],
+        ));
+        let area = DisaggregationMatrix::from_triples(
+            "area",
+            4,
+            2,
+            (0..4).flat_map(|i| [(i, 0, 1.0), (i, 1, 1.0)]),
+        )
+        .unwrap();
+        let cat = Catalog::new("toy", vec![a, b, c, d], area).unwrap();
+        let ga = GeoAlignInterpolator::new();
+        let policies = [
+            LeaveOut::None,
+            LeaveOut::LeastRelated(1),
+            LeaveOut::MostRelated(1),
+        ];
+        let report = selection_experiment(&cat, &ga, &policies).unwrap();
+        assert_eq!(report.cells.len(), 12);
+        // Alpha's best reference is beta (exact 2× copy): dropping the
+        // least-related reference must not hurt (beta still present).
+        let base = report.nrmse("alpha", LeaveOut::None).unwrap();
+        let least = report.nrmse("alpha", LeaveOut::LeastRelated(1)).unwrap();
+        assert!(least <= base + 1e-9, "least-related drop hurt: {least} vs {base}");
+        // Every cell records what was dropped.
+        for cell in &report.cells {
+            match cell.policy {
+                LeaveOut::None => assert!(cell.dropped.is_empty()),
+                LeaveOut::MostRelated(n) | LeaveOut::LeastRelated(n) => {
+                    assert_eq!(cell.dropped.len(), n)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! A uniform interface over interpolation methods, used by the evaluation
+//! harness to compare GeoAlign with the baselines on equal footing.
+
+use crate::align::{GeoAlign, GeoAlignConfig};
+use crate::baselines;
+use crate::error::CoreError;
+use crate::reference::ReferenceData;
+use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+
+/// An aggregate interpolation method: estimates the objective's target
+/// aggregates from its source aggregates and a set of references.
+pub trait Interpolator {
+    /// Display name used in reports (e.g. `"GeoAlign"`,
+    /// `"dasymetric(Population)"`).
+    fn name(&self) -> String;
+
+    /// Runs the method. Implementations may use all, one, or none of the
+    /// supplied references.
+    fn estimate(
+        &self,
+        objective_source: &AggregateVector,
+        refs: &[&ReferenceData],
+    ) -> Result<Vec<f64>, CoreError>;
+}
+
+/// [`Interpolator`] adapter for [`GeoAlign`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GeoAlignInterpolator {
+    config: GeoAlignConfig,
+}
+
+impl GeoAlignInterpolator {
+    /// Adapter with the paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adapter with an explicit configuration.
+    pub fn with_config(config: GeoAlignConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Interpolator for GeoAlignInterpolator {
+    fn name(&self) -> String {
+        "GeoAlign".to_owned()
+    }
+
+    fn estimate(
+        &self,
+        objective_source: &AggregateVector,
+        refs: &[&ReferenceData],
+    ) -> Result<Vec<f64>, CoreError> {
+        Ok(GeoAlign::with_config(self.config).estimate(objective_source, refs)?.estimate)
+    }
+}
+
+/// [`Interpolator`] adapter for the single-reference dasymetric method:
+/// selects its reference *by name* from the supplied set, so the
+/// cross-validation harness can exclude it when it coincides with the test
+/// dataset (paper §4.1).
+#[derive(Debug, Clone)]
+pub struct DasymetricInterpolator {
+    reference_name: String,
+}
+
+impl DasymetricInterpolator {
+    /// Dasymetric weighting by the named reference.
+    pub fn new(reference_name: impl Into<String>) -> Self {
+        Self { reference_name: reference_name.into() }
+    }
+
+    /// The reference this method redistributes by.
+    pub fn reference_name(&self) -> &str {
+        &self.reference_name
+    }
+}
+
+impl Interpolator for DasymetricInterpolator {
+    fn name(&self) -> String {
+        format!("dasymetric({})", self.reference_name)
+    }
+
+    fn estimate(
+        &self,
+        objective_source: &AggregateVector,
+        refs: &[&ReferenceData],
+    ) -> Result<Vec<f64>, CoreError> {
+        let r = refs
+            .iter()
+            .find(|r| r.name() == self.reference_name)
+            .ok_or_else(|| CoreError::UnknownReference { name: self.reference_name.clone() })?;
+        baselines::dasymetric(objective_source, r)
+    }
+}
+
+/// [`Interpolator`] adapter for areal weighting. Owns its measure (area)
+/// disaggregation matrix and ignores the supplied references.
+#[derive(Debug, Clone)]
+pub struct ArealWeightingInterpolator {
+    measure_dm: DisaggregationMatrix,
+}
+
+impl ArealWeightingInterpolator {
+    /// Areal weighting with the given measure disaggregation matrix
+    /// (typically [`geoalign_partition::Overlay::measure_dm`]).
+    pub fn new(measure_dm: DisaggregationMatrix) -> Self {
+        Self { measure_dm }
+    }
+}
+
+impl Interpolator for ArealWeightingInterpolator {
+    fn name(&self) -> String {
+        "areal weighting".to_owned()
+    }
+
+    fn estimate(
+        &self,
+        objective_source: &AggregateVector,
+        _refs: &[&ReferenceData],
+    ) -> Result<Vec<f64>, CoreError> {
+        baselines::areal_weighting(objective_source, &self.measure_dm)
+    }
+}
+
+/// [`Interpolator`] adapter for the unconstrained-regression ablation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegressionInterpolator;
+
+impl Interpolator for RegressionInterpolator {
+    fn name(&self) -> String {
+        "regression (unconstrained)".to_owned()
+    }
+
+    fn estimate(
+        &self,
+        objective_source: &AggregateVector,
+        refs: &[&ReferenceData],
+    ) -> Result<Vec<f64>, CoreError> {
+        baselines::regression_combiner(objective_source, refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_ref(name: &str, rows: &[&[f64]]) -> ReferenceData {
+        let mut triples = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    triples.push((i, j, v));
+                }
+            }
+        }
+        let dm =
+            DisaggregationMatrix::from_triples(name, rows.len(), rows[0].len(), triples).unwrap();
+        ReferenceData::from_dm(name, dm).unwrap()
+    }
+
+    #[test]
+    fn adapters_agree_with_direct_calls() {
+        let r = make_ref("pop", &[&[10.0, 15.0], &[2.0, 8.0]]);
+        let obj = AggregateVector::new("o", vec![100.0, 50.0]).unwrap();
+        let refs = [&r];
+
+        let ga = GeoAlignInterpolator::new();
+        assert_eq!(ga.name(), "GeoAlign");
+        let direct = crate::align::GeoAlign::new().estimate(&obj, &refs).unwrap().estimate;
+        assert_eq!(ga.estimate(&obj, &refs).unwrap(), direct);
+
+        let das = DasymetricInterpolator::new("pop");
+        assert_eq!(das.name(), "dasymetric(pop)");
+        assert_eq!(
+            das.estimate(&obj, &refs).unwrap(),
+            crate::baselines::dasymetric(&obj, &r).unwrap()
+        );
+    }
+
+    #[test]
+    fn dasymetric_adapter_requires_its_reference() {
+        let r = make_ref("pop", &[&[1.0, 1.0]]);
+        let obj = AggregateVector::new("o", vec![2.0]).unwrap();
+        let das = DasymetricInterpolator::new("households");
+        assert!(matches!(
+            das.estimate(&obj, &[&r]),
+            Err(CoreError::UnknownReference { .. })
+        ));
+        assert_eq!(das.reference_name(), "households");
+    }
+
+    #[test]
+    fn areal_adapter_ignores_references() {
+        let area =
+            DisaggregationMatrix::from_triples("area", 1, 2, [(0, 0, 3.0), (0, 1, 1.0)]).unwrap();
+        let aw = ArealWeightingInterpolator::new(area);
+        let obj = AggregateVector::new("o", vec![8.0]).unwrap();
+        let est = aw.estimate(&obj, &[]).unwrap();
+        assert!((est[0] - 6.0).abs() < 1e-12);
+        assert_eq!(aw.name(), "areal weighting");
+    }
+
+    #[test]
+    fn regression_adapter_runs() {
+        let r1 = make_ref("a", &[&[1.0, 0.0], &[0.0, 2.0]]);
+        let r2 = make_ref("b", &[&[0.5, 0.5], &[1.0, 1.0]]);
+        let obj = AggregateVector::new("o", vec![3.0, 3.0]).unwrap();
+        let reg = RegressionInterpolator;
+        let est = reg.estimate(&obj, &[&r1, &r2]).unwrap();
+        let total: f64 = est.iter().sum();
+        assert!((total - 6.0).abs() < 1e-9);
+        assert!(reg.name().contains("regression"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The GeoAlign algorithm (EDBT 2018) and its evaluation toolkit.
+//!
+//! GeoAlign realigns an attribute's aggregates from a set of *source*
+//! units (e.g. zip codes) to incongruent *target* units (e.g. counties)
+//! by learning, at the source level, which convex combination of known
+//! *reference* attributes best matches the objective's distribution
+//! (Eq. 15), transferring those weights to the references' disaggregation
+//! matrices (Eq. 14), and re-aggregating (Eq. 17).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use geoalign_core::{GeoAlign, ReferenceData};
+//! use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+//!
+//! // One source unit (a zip code) overlapping two target counties, with
+//! // a population reference split 10,000 / 15,000 across them.
+//! let dm = DisaggregationMatrix::from_triples(
+//!     "population", 1, 2, [(0, 0, 10_000.0), (0, 1, 15_000.0)],
+//! ).unwrap();
+//! let population = ReferenceData::from_dm("population", dm).unwrap();
+//!
+//! // 100 crimes reported in the zip code; how many per county?
+//! let crimes = AggregateVector::new("crimes", vec![100.0]).unwrap();
+//! let result = GeoAlign::new().estimate(&crimes, &[&population]).unwrap();
+//! assert!((result.estimate[0] - 40.0).abs() < 1e-9);
+//! assert!((result.estimate[1] - 60.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod baselines;
+pub mod error;
+pub mod eval;
+pub mod interpolator;
+pub mod pipeline;
+pub mod reference;
+
+pub use align::{GeoAlign, GeoAlignConfig, GeoAlignResult, PhaseTimings};
+pub use baselines::{areal_weighting, dasymetric, regression_combiner};
+pub use error::CoreError;
+pub use interpolator::{
+    ArealWeightingInterpolator, DasymetricInterpolator, GeoAlignInterpolator, Interpolator,
+    RegressionInterpolator,
+};
+pub use pipeline::{AlignedColumn, IntegrationPipeline, JoinedTable};
+pub use reference::{validate_references, ReferenceData};

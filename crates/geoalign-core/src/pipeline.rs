@@ -1,0 +1,318 @@
+//! Automatic aggregate-table integration — the paper's future-work
+//! direction (§6): "an automatic aggregate data integration system that
+//! joins multiple aggregate tables without user intervention".
+//!
+//! An [`IntegrationPipeline`] registers unit systems (by name, with their
+//! string unit identifiers) and reference crosswalks between pairs of
+//! systems. Given aggregate tables reported on *different* systems, it
+//! realigns every table to a chosen target system with GeoAlign — using
+//! all registered references for the relevant system pair — and emits one
+//! joined table, keyed by the target system's unit identifiers. No shape
+//! files, no user intervention beyond pointing at the data.
+
+use crate::align::GeoAlign;
+use crate::error::CoreError;
+use crate::reference::ReferenceData;
+use geoalign_partition::{AggregateTable, AggregateVector, UnitIndex};
+use std::collections::HashMap;
+
+/// A registered unit system: a name and its unit identifiers.
+#[derive(Debug, Clone)]
+struct SystemEntry {
+    index: UnitIndex,
+}
+
+/// A table realigned (or passed through) to the target system, with its
+/// provenance.
+#[derive(Debug, Clone)]
+pub struct AlignedColumn {
+    /// Attribute name.
+    pub attribute: String,
+    /// System the data was originally reported on.
+    pub reported_on: String,
+    /// Values per target unit.
+    pub values: Vec<f64>,
+    /// Learned reference weights, when a crosswalk was needed.
+    pub weights: Option<Vec<f64>>,
+}
+
+/// The joined result: one row per target unit, one column per input table.
+#[derive(Debug, Clone)]
+pub struct JoinedTable {
+    /// Target system name.
+    pub system: String,
+    /// Target unit identifiers, in system order.
+    pub unit_ids: Vec<String>,
+    /// The aligned columns, in input order.
+    pub columns: Vec<AlignedColumn>,
+}
+
+impl JoinedTable {
+    /// Renders the join as CSV (`unit` + one column per attribute).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("unit");
+        for c in &self.columns {
+            let _ = write!(out, ",{}", c.attribute);
+        }
+        out.push('\n');
+        for (j, id) in self.unit_ids.iter().enumerate() {
+            out.push_str(id);
+            for c in &self.columns {
+                let _ = write!(out, ",{}", c.values[j]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The automatic integration pipeline. See the module docs.
+#[derive(Debug, Default)]
+pub struct IntegrationPipeline {
+    systems: HashMap<String, SystemEntry>,
+    /// References keyed by `(source system, target system)`.
+    references: HashMap<(String, String), Vec<ReferenceData>>,
+    aligner: GeoAlign,
+}
+
+impl IntegrationPipeline {
+    /// An empty pipeline with the default GeoAlign configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uses a custom-configured aligner.
+    pub fn with_aligner(aligner: GeoAlign) -> Self {
+        Self { aligner, ..Self::default() }
+    }
+
+    /// Registers a unit system under `name` with its unit identifiers.
+    /// Re-registering a name replaces the previous identifiers.
+    pub fn register_system<I, S>(&mut self, name: impl Into<String>, unit_ids: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.systems
+            .insert(name.into(), SystemEntry { index: UnitIndex::from_ids(unit_ids) });
+    }
+
+    /// Registers a reference crosswalk from `source` to `target` system.
+    /// The reference's dimensions must match the registered systems.
+    pub fn register_reference(
+        &mut self,
+        source: &str,
+        target: &str,
+        reference: ReferenceData,
+    ) -> Result<(), CoreError> {
+        let s = self.system(source)?;
+        let t = self.system(target)?;
+        if reference.n_source() != s.index.len() {
+            return Err(CoreError::SourceMismatch {
+                objective: s.index.len(),
+                reference: reference.n_source(),
+                name: reference.name().to_owned(),
+            });
+        }
+        if reference.n_target() != t.index.len() {
+            return Err(CoreError::TargetMismatch {
+                left: t.index.len(),
+                right: reference.n_target(),
+                name: reference.name().to_owned(),
+            });
+        }
+        self.references
+            .entry((source.to_owned(), target.to_owned()))
+            .or_default()
+            .push(reference);
+        Ok(())
+    }
+
+    /// The registered unit identifiers of `system`.
+    pub fn unit_ids(&self, system: &str) -> Result<&[String], CoreError> {
+        Ok(self.system(system)?.index.ids())
+    }
+
+    /// Number of references registered for the `(source, target)` pair.
+    pub fn reference_count(&self, source: &str, target: &str) -> usize {
+        self.references
+            .get(&(source.to_owned(), target.to_owned()))
+            .map_or(0, Vec::len)
+    }
+
+    fn system(&self, name: &str) -> Result<&SystemEntry, CoreError> {
+        self.systems.get(name).ok_or_else(|| CoreError::UnknownReference {
+            name: format!("unit system '{name}'"),
+        })
+    }
+
+    /// Joins aggregate tables reported on (possibly different) registered
+    /// systems into one table on `target_system`. Tables already reported
+    /// on the target pass through; others are realigned with GeoAlign
+    /// using every reference registered for their system pair.
+    pub fn join(
+        &self,
+        tables: &[(&str, &AggregateTable)],
+        target_system: &str,
+    ) -> Result<JoinedTable, CoreError> {
+        let target = self.system(target_system)?;
+        let mut columns = Vec::with_capacity(tables.len());
+        for (system_name, table) in tables {
+            let entry = self.system(system_name)?;
+            let vector: AggregateVector =
+                table.to_vector(&entry.index).map_err(CoreError::Partition)?;
+            if *system_name == target_system {
+                columns.push(AlignedColumn {
+                    attribute: table.attribute.clone(),
+                    reported_on: (*system_name).to_owned(),
+                    values: vector.into_values(),
+                    weights: None,
+                });
+                continue;
+            }
+            let key = ((*system_name).to_owned(), target_system.to_owned());
+            let refs = self.references.get(&key).ok_or_else(|| CoreError::UnknownReference {
+                name: format!("crosswalk {system_name} -> {target_system}"),
+            })?;
+            let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+            let result = self.aligner.estimate(&vector, &ref_slices)?;
+            columns.push(AlignedColumn {
+                attribute: table.attribute.clone(),
+                reported_on: (*system_name).to_owned(),
+                values: result.estimate,
+                weights: Some(result.weights),
+            });
+        }
+        Ok(JoinedTable {
+            system: target_system.to_owned(),
+            unit_ids: target.index.ids().to_vec(),
+            columns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoalign_partition::DisaggregationMatrix;
+
+    /// Builds a 3-zip / 2-county world with a population crosswalk.
+    fn pipeline() -> IntegrationPipeline {
+        let mut p = IntegrationPipeline::new();
+        p.register_system("zip", ["z1", "z2", "z3"]);
+        p.register_system("county", ["A", "B"]);
+        let dm = DisaggregationMatrix::from_triples(
+            "population",
+            3,
+            2,
+            [
+                (0, 0, 100.0),          // z1 wholly in A
+                (1, 0, 60.0), (1, 1, 40.0), // z2 straddles
+                (2, 1, 80.0),           // z3 wholly in B
+            ],
+        )
+        .unwrap();
+        let population = ReferenceData::from_dm("population", dm).unwrap();
+        p.register_reference("zip", "county", population).unwrap();
+        p
+    }
+
+    fn table(csv: &str) -> AggregateTable {
+        AggregateTable::parse_csv(csv).unwrap()
+    }
+
+    #[test]
+    fn joins_mixed_system_tables() {
+        let p = pipeline();
+        let steam = table("zip,steam\nz1,10\nz2,20\nz3,30\n");
+        let income = table("county,income\nA,50000\nB,60000\n");
+        let joined = p
+            .join(&[("zip", &steam), ("county", &income)], "county")
+            .unwrap();
+        assert_eq!(joined.unit_ids, vec!["A".to_owned(), "B".to_owned()]);
+        assert_eq!(joined.columns.len(), 2);
+        // Steam realigned: A gets 10 + 20*0.6 = 22; B gets 20*0.4 + 30 = 38.
+        let steam_col = &joined.columns[0];
+        assert!((steam_col.values[0] - 22.0).abs() < 1e-9);
+        assert!((steam_col.values[1] - 38.0).abs() < 1e-9);
+        assert!(steam_col.weights.is_some());
+        // Income passed through untouched.
+        let income_col = &joined.columns[1];
+        assert_eq!(income_col.values, vec![50_000.0, 60_000.0]);
+        assert!(income_col.weights.is_none());
+        // CSV render includes everything.
+        let csv = joined.to_csv();
+        assert!(csv.contains("unit,steam,income"));
+        assert!(csv.lines().count() == 3);
+    }
+
+    #[test]
+    fn missing_crosswalk_is_reported() {
+        let p = pipeline();
+        let t = table("county,x\nA,1\nB,2\n");
+        // county -> zip was never registered.
+        let err = p.join(&[("county", &t)], "zip").unwrap_err();
+        assert!(err.to_string().contains("county -> zip"), "{err}");
+    }
+
+    #[test]
+    fn unknown_system_is_reported() {
+        let p = pipeline();
+        let t = table("tract,x\nt1,1\n");
+        assert!(p.join(&[("tract", &t)], "county").is_err());
+        assert!(p.unit_ids("tract").is_err());
+        assert_eq!(p.unit_ids("zip").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn reference_dimension_validation() {
+        let mut p = pipeline();
+        let bad = ReferenceData::from_dm(
+            "bad",
+            DisaggregationMatrix::from_triples("bad", 2, 2, [(0, 0, 1.0)]).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            p.register_reference("zip", "county", bad),
+            Err(CoreError::SourceMismatch { .. })
+        ));
+        assert_eq!(p.reference_count("zip", "county"), 1);
+        assert_eq!(p.reference_count("county", "zip"), 0);
+    }
+
+    #[test]
+    fn multiple_references_are_combined() {
+        let mut p = pipeline();
+        // A second, differently-shaped reference.
+        let dm2 = DisaggregationMatrix::from_triples(
+            "accidents",
+            3,
+            2,
+            [(0, 0, 5.0), (1, 0, 1.0), (1, 1, 9.0), (2, 1, 4.0)],
+        )
+        .unwrap();
+        p.register_reference("zip", "county", ReferenceData::from_dm("accidents", dm2).unwrap())
+            .unwrap();
+        assert_eq!(p.reference_count("zip", "county"), 2);
+        let steam = table("zip,steam\nz1,10\nz2,20\nz3,30\n");
+        let joined = p.join(&[("zip", &steam)], "county").unwrap();
+        let w = joined.columns[0].weights.as_ref().unwrap();
+        assert_eq!(w.len(), 2);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Mass conserved regardless of the mixture.
+        let total: f64 = joined.columns[0].values.iter().sum();
+        assert!((total - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tables_with_partial_unit_coverage() {
+        let p = pipeline();
+        // z2 missing from the table: treated as zero.
+        let steam = table("zip,steam\nz1,10\nz3,30\n");
+        let joined = p.join(&[("zip", &steam)], "county").unwrap();
+        assert!((joined.columns[0].values[0] - 10.0).abs() < 1e-9);
+        assert!((joined.columns[0].values[1] - 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Reference attributes: the ancillary data GeoAlign learns from.
+//!
+//! A reference is an attribute whose *true* disaggregation between source
+//! and target units is known (paper §3.3: "the disaggregation matrix of the
+//! reference attribute ... is often wrapped up in a crosswalk relationship
+//! file").
+
+use crate::error::CoreError;
+use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+
+/// A reference attribute: its aggregates at the source level plus its
+/// disaggregation matrix to the target level.
+#[derive(Debug, Clone)]
+pub struct ReferenceData {
+    name: String,
+    source: AggregateVector,
+    dm: DisaggregationMatrix,
+}
+
+impl ReferenceData {
+    /// Bundles a source aggregate vector with its disaggregation matrix.
+    /// The vector length must match the matrix's source dimension.
+    pub fn new(
+        name: impl Into<String>,
+        source: AggregateVector,
+        dm: DisaggregationMatrix,
+    ) -> Result<Self, CoreError> {
+        let name = name.into();
+        if source.len() != dm.n_source() {
+            return Err(CoreError::InconsistentReference { name });
+        }
+        Ok(Self { name, source, dm })
+    }
+
+    /// Builds the reference directly from a disaggregation matrix, taking
+    /// the source aggregates as the matrix's row sums (always consistent).
+    pub fn from_dm(name: impl Into<String>, dm: DisaggregationMatrix) -> Result<Self, CoreError> {
+        let source = dm.source_aggregates().map_err(CoreError::Partition)?;
+        Ok(Self { name: name.into(), source, dm })
+    }
+
+    /// Reference name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Source-level aggregates.
+    pub fn source(&self) -> &AggregateVector {
+        &self.source
+    }
+
+    /// Disaggregation matrix to the target level.
+    pub fn dm(&self) -> &DisaggregationMatrix {
+        &self.dm
+    }
+
+    /// Number of source units.
+    pub fn n_source(&self) -> usize {
+        self.dm.n_source()
+    }
+
+    /// Number of target units.
+    pub fn n_target(&self) -> usize {
+        self.dm.n_target()
+    }
+
+    /// Returns a copy with the source aggregates replaced (used by the
+    /// noise-robustness experiments, which perturb the source level only).
+    pub fn with_source(&self, source: AggregateVector) -> Result<Self, CoreError> {
+        Self::new(self.name.clone(), source, self.dm.clone())
+    }
+}
+
+/// Validates a set of references against an objective: consistent source
+/// count everywhere and a single common target count. Returns the common
+/// `(n_source, n_target)`.
+pub fn validate_references(
+    objective_source_len: usize,
+    refs: &[&ReferenceData],
+) -> Result<(usize, usize), CoreError> {
+    let Some(first) = refs.first() else {
+        return Err(CoreError::NoReferences);
+    };
+    let n_target = first.n_target();
+    for r in refs {
+        if r.n_source() != objective_source_len {
+            return Err(CoreError::SourceMismatch {
+                objective: objective_source_len,
+                reference: r.n_source(),
+                name: r.name().to_owned(),
+            });
+        }
+        if r.n_target() != n_target {
+            return Err(CoreError::TargetMismatch {
+                left: n_target,
+                right: r.n_target(),
+                name: r.name().to_owned(),
+            });
+        }
+    }
+    Ok((objective_source_len, n_target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm(n_source: usize, n_target: usize, triples: &[(usize, usize, f64)]) -> DisaggregationMatrix {
+        DisaggregationMatrix::from_triples("r", n_source, n_target, triples.iter().copied())
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_consistency() {
+        let m = dm(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        let good = AggregateVector::new("r", vec![1.0, 2.0]).unwrap();
+        let r = ReferenceData::new("r", good, m.clone()).unwrap();
+        assert_eq!(r.n_source(), 2);
+        assert_eq!(r.n_target(), 2);
+        let short = AggregateVector::new("r", vec![1.0]).unwrap();
+        assert!(ReferenceData::new("r", short, m).is_err());
+    }
+
+    #[test]
+    fn from_dm_derives_row_sums() {
+        let m = dm(2, 3, &[(0, 0, 1.0), (0, 1, 2.0), (1, 2, 4.0)]);
+        let r = ReferenceData::from_dm("r", m).unwrap();
+        assert_eq!(r.source().values(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let a = ReferenceData::from_dm("a", dm(2, 2, &[(0, 0, 1.0)])).unwrap();
+        let b = ReferenceData::from_dm("b", dm(2, 3, &[(0, 0, 1.0)])).unwrap();
+        let c = ReferenceData::from_dm("c", dm(3, 2, &[(0, 0, 1.0)])).unwrap();
+        assert!(validate_references(2, &[]).is_err());
+        assert_eq!(validate_references(2, &[&a]).unwrap(), (2, 2));
+        assert!(matches!(
+            validate_references(2, &[&a, &b]),
+            Err(CoreError::TargetMismatch { .. })
+        ));
+        assert!(matches!(
+            validate_references(2, &[&a, &c]),
+            Err(CoreError::SourceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn with_source_swaps_aggregates() {
+        let r = ReferenceData::from_dm("r", dm(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)])).unwrap();
+        let swapped =
+            r.with_source(AggregateVector::new("r", vec![5.0, 6.0]).unwrap()).unwrap();
+        assert_eq!(swapped.source().values(), &[5.0, 6.0]);
+        assert_eq!(swapped.dm().nnz(), r.dm().nnz());
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic-data substrate for the GeoAlign reproduction.
+//!
+//! The paper evaluates on real government data (data.ny.gov, Census, Esri)
+//! that is not redistributable here; this crate generates synthetic
+//! equivalents that preserve what the evaluation actually exercises — the
+//! spatial incongruence of the unit systems and the correlation structure
+//! among the attributes (see DESIGN.md §2 for the substitution argument).
+//!
+//! * [`intensity`] — latent population fields and per-dataset distortions;
+//! * [`process`] — inhomogeneous, clustered and hard-core point processes;
+//! * [`universe`] — paired fine/coarse Voronoi unit systems, including the
+//!   six-level scalability hierarchy of paper Figure 6;
+//! * [`datasets`] — the New York State (8 datasets) and United States
+//!   (10 datasets) catalogs of paper §4.1.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod intensity;
+pub mod process;
+pub mod towns;
+pub mod universe;
+
+pub use datasets::{ny_catalog, us_catalog, CatalogSize, SyntheticCatalog, SyntheticDataset};
+pub use towns::{Town, TownModel};
+pub use universe::{generate_hierarchy, SyntheticUniverse, HierarchyLevel, HIERARCHY};

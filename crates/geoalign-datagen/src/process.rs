@@ -1,0 +1,267 @@
+//! Spatial point processes.
+//!
+//! Individual-level records ("restaurants", "accidents", "Starbucks") are
+//! drawn from point processes over the universe:
+//!
+//! * [`sample_intensity`] — inhomogeneous sampling by rejection against an
+//!   [`IntensityField`];
+//! * [`sample_thomas`] — a Thomas cluster process (Poisson parents,
+//!   Gaussian offspring), for attributes that clump beyond what the latent
+//!   field explains;
+//! * [`sample_hardcore`] — Matérn-style hard-core thinning (dart
+//!   throwing), for attributes with minimum spacing such as cemeteries.
+
+use crate::intensity::IntensityField;
+use geoalign_geom::{Aabb, Point2};
+use rand::Rng;
+
+/// Draws one uniform point in `bounds`.
+pub fn uniform_point<R: Rng + ?Sized>(bounds: &Aabb, rng: &mut R) -> Point2 {
+    Point2::new(
+        rng.random_range(bounds.min.x..bounds.max.x),
+        rng.random_range(bounds.min.y..bounds.max.y),
+    )
+}
+
+/// Samples `n` points with density proportional to `field` over `bounds`,
+/// by rejection sampling. The field's [`IntensityField::max_intensity`]
+/// must be a valid upper bound or the distribution will be clipped.
+pub fn sample_intensity<F: IntensityField, R: Rng + ?Sized>(
+    n: usize,
+    bounds: &Aabb,
+    field: &F,
+    rng: &mut R,
+) -> Vec<Point2> {
+    let max = field.max_intensity().max(f64::MIN_POSITIVE);
+    let mut out = Vec::with_capacity(n);
+    // Guard against pathological fields (max far above typical values):
+    // cap the attempts per point, falling back to uniform after that.
+    let max_attempts = 10_000usize;
+    while out.len() < n {
+        let mut accepted = false;
+        for _ in 0..max_attempts {
+            let p = uniform_point(bounds, rng);
+            let u: f64 = rng.random();
+            if u * max <= field.intensity(p) {
+                out.push(p);
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            out.push(uniform_point(bounds, rng));
+        }
+    }
+    out
+}
+
+/// Samples a Thomas cluster process: `n_parents` cluster centers with
+/// density proportional to `field`, each spawning `Poisson(mean_offspring)`
+/// children at Gaussian offsets of spread `sigma` (children falling outside
+/// `bounds` are re-drawn). Returns all children.
+pub fn sample_thomas<F: IntensityField, R: Rng + ?Sized>(
+    n_parents: usize,
+    mean_offspring: f64,
+    sigma: f64,
+    bounds: &Aabb,
+    field: &F,
+    rng: &mut R,
+) -> Vec<Point2> {
+    let parents = sample_intensity(n_parents, bounds, field, rng);
+    let mut out = Vec::new();
+    for parent in parents {
+        let k = poisson(mean_offspring, rng);
+        for _ in 0..k {
+            // Redraw until inside bounds (clusters near the edge shrink,
+            // which is fine for synthetic data).
+            let mut child;
+            let mut tries = 0;
+            loop {
+                let (dx, dy) = gaussian_pair(rng);
+                child = Point2::new(parent.x + sigma * dx, parent.y + sigma * dy);
+                tries += 1;
+                if bounds.contains(child) || tries > 64 {
+                    break;
+                }
+            }
+            if bounds.contains(child) {
+                out.push(child);
+            }
+        }
+    }
+    out
+}
+
+/// Samples up to `n` points with density proportional to `field` under a
+/// hard-core constraint: no two points closer than `min_dist`. Dart
+/// throwing with a bounded number of attempts; may return fewer than `n`
+/// points when the constraint saturates.
+pub fn sample_hardcore<F: IntensityField, R: Rng + ?Sized>(
+    n: usize,
+    min_dist: f64,
+    bounds: &Aabb,
+    field: &F,
+    rng: &mut R,
+) -> Vec<Point2> {
+    let mut out: Vec<Point2> = Vec::with_capacity(n);
+    let max = field.max_intensity().max(f64::MIN_POSITIVE);
+    let budget = 200 * n.max(1);
+    let d2 = min_dist * min_dist;
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < budget {
+        attempts += 1;
+        let p = uniform_point(bounds, rng);
+        let u: f64 = rng.random();
+        if u * max > field.intensity(p) {
+            continue;
+        }
+        if out.iter().all(|q| q.dist_sq(p) >= d2) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Draws a Poisson-distributed count: Knuth's method for small means, a
+/// clamped normal approximation for large ones.
+pub fn poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let (z, _) = gaussian_pair(rng);
+        let v = mean + mean.sqrt() * z;
+        v.round().max(0.0) as usize
+    }
+}
+
+/// Draws a pair of independent standard normal variates (Box–Muller).
+pub fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let t = 2.0 * std::f64::consts::PI * u2;
+    (r * t.cos(), r * t.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::{Hotspot, HotspotField, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bounds() -> Aabb {
+        Aabb::new(Point2::new(0.0, 0.0), Point2::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn uniform_sampling_fills_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = sample_intensity(500, &bounds(), &Uniform { level: 1.0 }, &mut rng);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| bounds().contains(*p)));
+        // Roughly uniform: each quadrant gets a fair share.
+        let q1 = pts.iter().filter(|p| p.x < 5.0 && p.y < 5.0).count();
+        assert!(q1 > 80 && q1 < 170, "quadrant count {q1}");
+    }
+
+    #[test]
+    fn intensity_sampling_concentrates_at_hotspots() {
+        let field = HotspotField::new(
+            vec![Hotspot { center: Point2::new(2.0, 2.0), sigma: 0.5, weight: 50.0 }],
+            0.01,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = sample_intensity(1000, &bounds(), &field, &mut rng);
+        let near = pts.iter().filter(|p| p.dist(Point2::new(2.0, 2.0)) < 1.5).count();
+        assert!(near > 800, "only {near}/1000 near the hotspot");
+    }
+
+    #[test]
+    fn thomas_clusters_are_tight() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = sample_thomas(10, 20.0, 0.1, &bounds(), &Uniform { level: 1.0 }, &mut rng);
+        assert!(!pts.is_empty());
+        assert!(pts.iter().all(|p| bounds().contains(*p)));
+        // Most points have a neighbor within a few sigma — clustering.
+        let close_pairs = pts
+            .iter()
+            .filter(|p| pts.iter().any(|q| *q != **p && q.dist(**p) < 0.3))
+            .count();
+        assert!(close_pairs as f64 > 0.8 * pts.len() as f64);
+    }
+
+    #[test]
+    fn hardcore_respects_minimum_distance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = sample_hardcore(100, 0.5, &bounds(), &Uniform { level: 1.0 }, &mut rng);
+        assert!(pts.len() > 50);
+        for (i, p) in pts.iter().enumerate() {
+            for q in &pts[i + 1..] {
+                assert!(p.dist(*q) >= 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn hardcore_saturates_gracefully() {
+        // Impossible demand: 1000 points at spacing 3 in a 10×10 box.
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = sample_hardcore(1000, 3.0, &bounds(), &Uniform { level: 1.0 }, &mut rng);
+        assert!(pts.len() < 20);
+        assert!(!pts.is_empty());
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for &mean in &[0.5, 4.0, 60.0] {
+            let n = 3000;
+            let total: usize = (0..n).map(|_| poisson(mean, &mut rng)).sum();
+            let emp = total as f64 / n as f64;
+            assert!(
+                (emp - mean).abs() < 0.15 * mean.max(1.0),
+                "mean {mean}: empirical {emp}"
+            );
+        }
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        assert_eq!(poisson(-1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 5000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let (a, b) = gaussian_pair(&mut rng);
+            sum += a + b;
+            sum_sq += a * a + b * b;
+        }
+        let mean = sum / (2 * n) as f64;
+        let var = sum_sq / (2 * n) as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let f = Uniform { level: 1.0 };
+        let a = sample_intensity(50, &bounds(), &f, &mut StdRng::seed_from_u64(42));
+        let b = sample_intensity(50, &bounds(), &f, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,408 @@
+//! The settlement ("town") model: the shared generative structure behind
+//! every dataset of a catalog.
+//!
+//! Real socioeconomic mass is not smooth: people, businesses and
+//! points-of-interest sit in discrete settlements whose sizes are heavily
+//! skewed (a few metropolises hold much of the total) and whose spatial
+//! extent is far smaller than rural administrative units. That structure —
+//! not mere smooth density variation — is what makes the homogeneity
+//! assumption fail catastrophically in the paper's experiments: a huge
+//! rural zip code with one town at its edge gets its mass smeared evenly
+//! by areal weighting.
+//!
+//! A [`TownModel`] is a finite Gaussian mixture: towns with heavy-tailed
+//! masses and small spatial spreads, over a faint uniform background.
+//! Every dataset samples from the *same* towns with dataset-specific
+//! *tilt* (how strongly it favors big towns), *spread* (how far from the
+//! town core it reaches) and *uniform admixture* — so attributes correlate
+//! through the shared settlement structure exactly like real data.
+
+use geoalign_geom::{Aabb, Point2, PointGrid};
+use rand::Rng;
+
+use crate::intensity::IntensityField;
+use crate::process::gaussian_pair;
+
+/// One settlement: a clump of mass organised into neighborhoods.
+///
+/// A town is not a smooth Gaussian blob: its mass concentrates in a
+/// handful of *neighborhoods* (sub-centers with heavy-tailed weights).
+/// This sub-unit-scale lumpiness is shared by every dataset sampled from
+/// the model — people, businesses and points-of-interest sit in the same
+/// neighborhoods — and is precisely what makes an area-proportional split
+/// of a boundary-straddling unit badly wrong while a population-based
+/// split stays accurate.
+#[derive(Debug, Clone)]
+pub struct Town {
+    /// Town center.
+    pub center: Point2,
+    /// Spatial spread (standard deviation) of the whole town.
+    pub sigma: f64,
+    /// Total mass (e.g. population) of the town, arbitrary units.
+    pub mass: f64,
+    /// Neighborhood centers with cumulative sampling weights.
+    pub neighborhoods: Vec<(Point2, f64)>,
+    /// Spatial spread of a single neighborhood.
+    pub sub_sigma: f64,
+}
+
+/// A finite Gaussian-mixture settlement model over a bounded universe.
+#[derive(Debug, Clone)]
+pub struct TownModel {
+    towns: Vec<Town>,
+    bounds: Aabb,
+    /// Fraction of total mass living outside towns, uniformly.
+    background_frac: f64,
+    grid: PointGrid,
+    max_sigma: f64,
+}
+
+impl TownModel {
+    /// Generates `n_towns` towns: centers uniform over `bounds` (metros
+    /// emerge from the mass distribution, not the placement), masses
+    /// Pareto(`alpha`) truncated to `[1, mass_cap]`, spreads growing
+    /// weakly with mass (big towns are physically larger), scaled so a
+    /// typical town is `sigma_frac` of the universe side.
+    pub fn generate<R: Rng + ?Sized>(
+        bounds: Aabb,
+        n_towns: usize,
+        alpha: f64,
+        mass_cap: f64,
+        sigma_frac: f64,
+        background_frac: f64,
+        rng: &mut R,
+    ) -> Self {
+        let side = bounds.width().max(bounds.height());
+        let base_sigma = sigma_frac * side;
+        let mut towns = Vec::with_capacity(n_towns.max(1));
+        for _ in 0..n_towns.max(1) {
+            let center = Point2::new(
+                rng.random_range(bounds.min.x..bounds.max.x),
+                rng.random_range(bounds.min.y..bounds.max.y),
+            );
+            let u: f64 = rng.random_range(1e-6..1.0);
+            let mass = u.powf(-1.0 / alpha).min(mass_cap);
+            // Area of a settlement grows sublinearly with its population.
+            let sigma = base_sigma * mass.powf(0.25);
+            // Bigger towns have more neighborhoods; weights heavy-tailed so
+            // one or two neighborhoods dominate even a metropolis.
+            let k = (1.0 + mass.powf(0.35)).min(16.0) as usize;
+            let mut cum = 0.0;
+            let mut neighborhoods = Vec::with_capacity(k);
+            for _ in 0..k {
+                let (dx, dy) = gaussian_pair(rng);
+                // Clamp into the universe so the sampling loop (which
+                // shrinks its spread toward the neighborhood center) always
+                // terminates for edge towns.
+                let c = Point2::new(
+                    (center.x + sigma * dx).clamp(bounds.min.x, bounds.max.x),
+                    (center.y + sigma * dy).clamp(bounds.min.y, bounds.max.y),
+                );
+                let w: f64 = rng.random_range(1e-4..1.0f64).powf(-1.0 / 1.3).min(50.0);
+                cum += w;
+                neighborhoods.push((c, cum));
+            }
+            let sub_sigma = sigma * 0.18;
+            towns.push(Town { center, sigma, mass, neighborhoods, sub_sigma });
+        }
+        let grid = PointGrid::build(towns.iter().map(|t| t.center).collect(), 4);
+        let max_sigma = towns.iter().map(|t| t.sigma).fold(0.0f64, f64::max);
+        Self { towns, bounds, background_frac, grid, max_sigma }
+    }
+
+    /// The towns.
+    pub fn towns(&self) -> &[Town] {
+        &self.towns
+    }
+
+    /// The universe bounds.
+    pub fn bounds(&self) -> &Aabb {
+        &self.bounds
+    }
+
+    /// Samples `n` points from the tilted mixture:
+    ///
+    /// * with probability `uniform_mix`, a uniform background point;
+    /// * otherwise a town chosen with probability proportional to
+    ///   `mass^tilt`, then a Gaussian offset of spread `sigma · spread`.
+    ///
+    /// `tilt > 1` favors big towns (downtown-concentrated attributes),
+    /// `tilt < 1` flattens town choice (diffuse attributes). Offsets
+    /// falling outside the bounds are redrawn.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        tilt: f64,
+        spread: f64,
+        uniform_mix: f64,
+        rng: &mut R,
+    ) -> Vec<Point2> {
+        let cum = self.cumulative_masses(tilt);
+        let total = *cum.last().unwrap_or(&0.0);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if total <= 0.0 || rng.random::<f64>() < uniform_mix {
+                out.push(Point2::new(
+                    rng.random_range(self.bounds.min.x..self.bounds.max.x),
+                    rng.random_range(self.bounds.min.y..self.bounds.max.y),
+                ));
+                continue;
+            }
+            let t = &self.towns[pick_from_cumulative(&cum, rng.random_range(0.0..total))];
+            // Pick a neighborhood, then offset within it. Redraw
+            // out-of-bounds offsets, shrinking the spread for settlements
+            // hugging the boundary so the loop always terminates at a
+            // distinct (continuous) point.
+            let sub_total = t.neighborhoods.last().map_or(0.0, |&(_, c)| c);
+            let center = if sub_total > 0.0 {
+                let x = rng.random_range(0.0..sub_total);
+                let idx = t
+                    .neighborhoods
+                    .partition_point(|&(_, c)| c < x)
+                    .min(t.neighborhoods.len() - 1);
+                t.neighborhoods[idx].0
+            } else {
+                t.center
+            };
+            let mut s = t.sub_sigma * spread;
+            let mut p;
+            let mut tries = 0;
+            loop {
+                let (dx, dy) = gaussian_pair(rng);
+                p = Point2::new(center.x + s * dx, center.y + s * dy);
+                if self.bounds.contains(p) {
+                    break;
+                }
+                tries += 1;
+                if tries % 8 == 0 {
+                    s *= 0.5;
+                }
+            }
+            out.push(p);
+        }
+        out
+    }
+
+    /// Samples `n` points from the *anti-town* distribution: uniform
+    /// candidates accepted with probability `floor / (floor + density)`,
+    /// so mass concentrates where settlements are absent ("USA Uninhabited
+    /// Places").
+    pub fn sample_inverse<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Point2> {
+        // Floor at a low quantile of the density over random probes.
+        let mut probes: Vec<f64> = (0..256)
+            .map(|_| {
+                let p = Point2::new(
+                    rng.random_range(self.bounds.min.x..self.bounds.max.x),
+                    rng.random_range(self.bounds.min.y..self.bounds.max.y),
+                );
+                self.intensity(p)
+            })
+            .collect();
+        probes.sort_by(f64::total_cmp);
+        let floor = probes[probes.len() / 4].max(1e-9);
+        let mut out = Vec::with_capacity(n);
+        let budget = 2_000 * n.max(1);
+        let mut attempts = 0;
+        while out.len() < n && attempts < budget {
+            attempts += 1;
+            let p = Point2::new(
+                rng.random_range(self.bounds.min.x..self.bounds.max.x),
+                rng.random_range(self.bounds.min.y..self.bounds.max.y),
+            );
+            let accept = floor / (floor + self.intensity(p));
+            if rng.random::<f64>() < accept {
+                out.push(p);
+            }
+        }
+        while out.len() < n {
+            out.push(Point2::new(
+                rng.random_range(self.bounds.min.x..self.bounds.max.x),
+                rng.random_range(self.bounds.min.y..self.bounds.max.y),
+            ));
+        }
+        out
+    }
+
+    /// Per-town sampling weights `mass^tilt`, cumulated for inversion
+    /// sampling.
+    fn cumulative_masses(&self, tilt: f64) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.towns
+            .iter()
+            .map(|t| {
+                acc += t.mass.powf(tilt);
+                acc
+            })
+            .collect()
+    }
+}
+
+impl IntensityField for TownModel {
+    /// Local mixture density at `p`, evaluated over nearby towns only
+    /// (towns beyond `6 max_sigma` contribute negligibly).
+    fn intensity(&self, p: Point2) -> f64 {
+        let total_mass: f64 = self.towns.iter().map(|t| t.mass).sum();
+        let mut v = self.background_frac * total_mass / self.bounds.area().max(1e-12);
+        let radius = 9.0 * self.max_sigma;
+        for i in self.grid.within_radius(p, radius) {
+            let t = &self.towns[i];
+            let s2 = t.sigma * t.sigma;
+            let d2 = p.dist_sq(t.center);
+            v += t.mass / (2.0 * std::f64::consts::PI * s2) * (-0.5 * d2 / s2).exp();
+        }
+        v
+    }
+
+    fn max_intensity(&self) -> f64 {
+        // Peak is near some town center; probe all centers and add margin.
+        let peak = self
+            .towns
+            .iter()
+            .map(|t| self.intensity(t.center))
+            .fold(0.0f64, f64::max);
+        peak * 1.5 + 1e-12
+    }
+}
+
+/// Index of the first cumulative entry `>= x` (binary search).
+fn pick_from_cumulative(cum: &[f64], x: f64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = cum.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if cum[mid] < x {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo.min(cum.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bounds() -> Aabb {
+        Aabb::new(Point2::new(0.0, 0.0), Point2::new(20.0, 20.0))
+    }
+
+    fn model(seed: u64) -> TownModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TownModel::generate(bounds(), 60, 1.0, 1000.0, 0.004, 0.02, &mut rng)
+    }
+
+    #[test]
+    fn masses_are_heavy_tailed() {
+        let m = model(1);
+        let mut masses: Vec<f64> = m.towns().iter().map(|t| t.mass).collect();
+        masses.sort_by(f64::total_cmp);
+        let total: f64 = masses.iter().sum();
+        let top3: f64 = masses.iter().rev().take(3).sum();
+        assert!(
+            top3 / total > 0.3,
+            "top-3 towns should dominate: {:.2}",
+            top3 / total
+        );
+        assert!(masses.iter().all(|&w| (1.0..=1000.0).contains(&w)));
+    }
+
+    #[test]
+    fn sampling_concentrates_in_towns() {
+        let m = model(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = m.sample(2000, 1.0, 1.0, 0.02, &mut rng);
+        assert_eq!(pts.len(), 2000);
+        assert!(pts.iter().all(|p| m.bounds().contains(*p)));
+        // Most points within a few sigma of some town.
+        let near = pts
+            .iter()
+            .filter(|p| m.towns().iter().any(|t| p.dist(t.center) < 5.0 * t.sigma))
+            .count();
+        assert!(near > 1800, "{near}/2000 near towns");
+    }
+
+    #[test]
+    fn tilt_shifts_mass_to_big_towns() {
+        let m = model(4);
+        let biggest = m
+            .towns()
+            .iter()
+            .max_by(|a, b| a.mass.total_cmp(&b.mass))
+            .cloned()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let frac_near_big = |pts: &[Point2]| {
+            pts.iter().filter(|p| p.dist(biggest.center) < 6.0 * biggest.sigma).count() as f64
+                / pts.len() as f64
+        };
+        let flat = m.sample(3000, 0.3, 1.0, 0.0, &mut rng);
+        let sharp = m.sample(3000, 1.6, 1.0, 0.0, &mut rng);
+        assert!(
+            frac_near_big(&sharp) > frac_near_big(&flat),
+            "tilt must concentrate mass: {} vs {}",
+            frac_near_big(&sharp),
+            frac_near_big(&flat)
+        );
+    }
+
+    #[test]
+    fn inverse_sampling_avoids_towns() {
+        let m = model(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let normal = m.sample(1000, 1.0, 1.0, 0.0, &mut rng);
+        let inverse = m.sample_inverse(1000, &mut rng);
+        let mean_density = |pts: &[Point2]| {
+            pts.iter().map(|p| m.intensity(*p)).sum::<f64>() / pts.len() as f64
+        };
+        assert!(
+            mean_density(&inverse) < 0.2 * mean_density(&normal),
+            "inverse points should sit in empty space: {} vs {}",
+            mean_density(&inverse),
+            mean_density(&normal)
+        );
+    }
+
+    #[test]
+    fn intensity_peaks_at_heavy_towns() {
+        let m = model(8);
+        let biggest = m
+            .towns()
+            .iter()
+            .max_by(|a, b| a.mass.total_cmp(&b.mass))
+            .cloned()
+            .unwrap();
+        let at_big = m.intensity(biggest.center);
+        // Far corner should be near-background.
+        let far = m.intensity(Point2::new(0.01, 0.01));
+        assert!(at_big > 10.0 * far, "{at_big} vs {far}");
+        assert!(at_big <= m.max_intensity());
+    }
+
+    #[test]
+    fn cumulative_pick_is_correct() {
+        let cum = [1.0, 3.0, 6.0];
+        assert_eq!(pick_from_cumulative(&cum, 0.5), 0);
+        assert_eq!(pick_from_cumulative(&cum, 1.0), 0);
+        assert_eq!(pick_from_cumulative(&cum, 1.5), 1);
+        assert_eq!(pick_from_cumulative(&cum, 5.9), 2);
+        assert_eq!(pick_from_cumulative(&cum, 6.0), 2);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = model(9);
+        let b = model(9);
+        assert_eq!(a.towns().len(), b.towns().len());
+        assert_eq!(a.towns()[0].center, b.towns()[0].center);
+        let pa = a.sample(10, 1.0, 1.0, 0.0, &mut StdRng::seed_from_u64(1));
+        let pb = b.sample(10, 1.0, 1.0, 0.0, &mut StdRng::seed_from_u64(1));
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,256 @@
+//! Synthetic universes: paired fine ("zip-code-like") and coarse
+//! ("county-like") unit systems over a rectangular region.
+//!
+//! Substitutes for the paper's real shapefiles (see DESIGN.md): two
+//! independent jittered-Voronoi tessellations at different granularities
+//! are spatially incongruent exactly the way zips and counties are — a
+//! fine cell straddles several coarse cells and vice versa — which is the
+//! only geometric property the algorithm and its evaluation exercise.
+
+use geoalign_geom::{Aabb, Point2, VoronoiDiagram};
+use geoalign_partition::{DisaggregationMatrix, Overlay, PartitionError, PolygonUnitSystem};
+use rand::Rng;
+
+/// A synthetic universe: region bounds, source (fine) and target (coarse)
+/// unit systems, their overlay, and the area disaggregation matrix.
+#[derive(Debug, Clone)]
+pub struct SyntheticUniverse {
+    /// Universe name (e.g. `"New York State"`).
+    pub name: String,
+    /// Region covered.
+    pub bounds: Aabb,
+    /// Fine, zip-code-like system (the crosswalk's source).
+    pub source: PolygonUnitSystem,
+    /// Coarse, county-like system (the crosswalk's target).
+    pub target: PolygonUnitSystem,
+    /// Area disaggregation matrix between the systems (the areal-weighting
+    /// ancillary data and the "Area (Sq. Miles)" dataset of §4.1).
+    pub area_dm: DisaggregationMatrix,
+}
+
+impl SyntheticUniverse {
+    /// Generates a universe with approximately `n_source` fine units and
+    /// `n_target` coarse units (actual counts are the nearest grid
+    /// factorization, reported by the unit systems themselves).
+    pub fn generate<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        bounds: Aabb,
+        n_source: usize,
+        n_target: usize,
+        rng: &mut R,
+    ) -> Result<Self, PartitionError> {
+        let name = name.into();
+        let source = voronoi_system("source", &bounds, n_source, rng)?;
+        let target = voronoi_system("target", &bounds, n_target, rng)?;
+        let overlay = Overlay::polygons(&source, &target)?;
+        let area_dm = overlay.measure_dm("Area (Sq. Miles)")?;
+        Ok(Self { name, bounds, source, target, area_dm })
+    }
+
+    /// Number of source units.
+    pub fn n_source(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Number of target units.
+    pub fn n_target(&self) -> usize {
+        self.target.len()
+    }
+}
+
+impl SyntheticUniverse {
+    /// Generates a universe whose unit sizes adapt to a latent density
+    /// field: seeds are drawn with probability proportional to
+    /// `field^gamma` blended with a uniform floor, so units are small
+    /// where the field is dense — mirroring real administrative geography
+    /// (urban zip codes are tiny, rural ones huge). This is the structural
+    /// property that makes areal weighting fail on real data, so the
+    /// dataset catalogs use it.
+    pub fn generate_adaptive<F, R>(
+        name: impl Into<String>,
+        bounds: Aabb,
+        n_source: usize,
+        n_target: usize,
+        field: &F,
+        rng: &mut R,
+    ) -> Result<Self, PartitionError>
+    where
+        F: crate::intensity::IntensityField,
+        R: Rng + ?Sized,
+    {
+        let name = name.into();
+        // Zips are strongly population-balanced; counties less so.
+        let source = adaptive_voronoi_system("source", &bounds, n_source, field, 0.9, 0.15, rng)?;
+        let target = adaptive_voronoi_system("target", &bounds, n_target, field, 0.6, 0.30, rng)?;
+        let overlay = Overlay::polygons(&source, &target)?;
+        let area_dm = overlay.measure_dm("Area (Sq. Miles)")?;
+        Ok(Self { name, bounds, source, target, area_dm })
+    }
+}
+
+/// Builds a Voronoi unit system from `n` seeds drawn with density
+/// proportional to `uniform_mix + (1 - uniform_mix) · field^gamma`
+/// (normalized), so cell sizes shrink where the field is dense.
+pub fn adaptive_voronoi_system<F, R>(
+    name: &str,
+    bounds: &Aabb,
+    n: usize,
+    field: &F,
+    gamma: f64,
+    uniform_mix: f64,
+    rng: &mut R,
+) -> Result<PolygonUnitSystem, PartitionError>
+where
+    F: crate::intensity::IntensityField,
+    R: Rng + ?Sized,
+{
+    let n = n.max(1);
+    let max = field.max_intensity().powf(gamma).max(f64::MIN_POSITIVE);
+    let mut seeds: Vec<Point2> = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    let budget = 50_000usize.max(400 * n);
+    while seeds.len() < n && attempts < budget {
+        attempts += 1;
+        let p = Point2::new(
+            rng.random_range(bounds.min.x..bounds.max.x),
+            rng.random_range(bounds.min.y..bounds.max.y),
+        );
+        let accept = uniform_mix + (1.0 - uniform_mix) * field.intensity(p).powf(gamma) / max;
+        if rng.random::<f64>() <= accept {
+            seeds.push(p);
+        }
+    }
+    // Fallback: top up uniformly (only reachable for pathological fields).
+    while seeds.len() < n {
+        seeds.push(Point2::new(
+            rng.random_range(bounds.min.x..bounds.max.x),
+            rng.random_range(bounds.min.y..bounds.max.y),
+        ));
+    }
+    let diagram = geoalign_geom::VoronoiDiagram::build(seeds, *bounds)?;
+    PolygonUnitSystem::from_voronoi(name, diagram)
+}
+
+/// Builds a jittered-grid Voronoi unit system with approximately `n` cells
+/// over `bounds` (grid dimensions chosen to respect the aspect ratio).
+pub fn voronoi_system<R: Rng + ?Sized>(
+    name: &str,
+    bounds: &Aabb,
+    n: usize,
+    rng: &mut R,
+) -> Result<PolygonUnitSystem, PartitionError> {
+    let n = n.max(1);
+    let aspect = bounds.width() / bounds.height().max(1e-12);
+    let nx = ((n as f64 * aspect).sqrt().round() as usize).clamp(1, n);
+    let ny = (n as f64 / nx as f64).round().max(1.0) as usize;
+    let diagram = VoronoiDiagram::jittered_grid(*bounds, nx, ny, 0.45, |_| rng.random())?;
+    PolygonUnitSystem::from_voronoi(name, diagram)
+}
+
+/// One level of the scalability hierarchy (paper Figure 6): a universe
+/// name with its unit counts at full scale.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyLevel {
+    /// Universe name as in the paper.
+    pub name: &'static str,
+    /// Zip-code-level unit count at full scale.
+    pub n_source: usize,
+    /// County-level unit count at full scale.
+    pub n_target: usize,
+}
+
+/// The six nested universes of §4.3, with unit counts matching the paper's
+/// x-axes (US: 30,238 zips / 3,142 counties; NY: 1,794 / 62; intermediate
+/// levels interpolated from Census geography).
+pub const HIERARCHY: [HierarchyLevel; 6] = [
+    HierarchyLevel { name: "New York State", n_source: 1_794, n_target: 62 },
+    HierarchyLevel { name: "Mid-Atlantic States", n_source: 4_990, n_target: 150 },
+    HierarchyLevel { name: "Northeast States", n_source: 6_963, n_target: 217 },
+    HierarchyLevel { name: "Eastern Time Zone States", n_source: 14_000, n_target: 1_500 },
+    HierarchyLevel { name: "Non-West States", n_source: 24_000, n_target: 2_700 },
+    HierarchyLevel { name: "United States", n_source: 30_238, n_target: 3_142 },
+];
+
+/// Generates the hierarchy at a fractional `scale` of the paper's unit
+/// counts (`scale = 1.0` is full size; tests use small scales). Each level
+/// covers a region whose area is proportional to its unit count, keeping
+/// unit sizes comparable across levels.
+pub fn generate_hierarchy<R: Rng + ?Sized>(
+    scale: f64,
+    rng: &mut R,
+) -> Result<Vec<SyntheticUniverse>, PartitionError> {
+    let mut out = Vec::with_capacity(HIERARCHY.len());
+    for level in HIERARCHY {
+        let n_source = ((level.n_source as f64 * scale).round() as usize).max(4);
+        let n_target = ((level.n_target as f64 * scale).round() as usize).max(2);
+        // Region side proportional to sqrt of unit count.
+        let side = (n_source as f64).sqrt();
+        let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(side, side));
+        out.push(SyntheticUniverse::generate(level.name, bounds, n_source, n_target, rng)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn universe_systems_cover_the_same_region() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(4.0, 3.0));
+        let u = SyntheticUniverse::generate("test", bounds, 60, 8, &mut rng).unwrap();
+        let area = bounds.area();
+        assert!((u.source.total_measure() - area).abs() < 1e-6);
+        assert!((u.target.total_measure() - area).abs() < 1e-6);
+        // Counts are approximately as requested.
+        assert!(u.n_source() >= 48 && u.n_source() <= 72, "{}", u.n_source());
+        assert!(u.n_target() >= 6 && u.n_target() <= 10, "{}", u.n_target());
+        // Area DM row sums are the source areas.
+        let rows = u.area_dm.matrix().row_sums();
+        for (r, a) in rows.iter().zip(u.source.measures()) {
+            assert!((r - a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incongruence_fine_cells_straddle_coarse_cells() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(5.0, 5.0));
+        let u = SyntheticUniverse::generate("t", bounds, 100, 9, &mut rng).unwrap();
+        // The overlay must have strictly more pieces than source units —
+        // i.e. at least one source unit intersects several target units.
+        assert!(u.area_dm.nnz() > u.n_source());
+    }
+
+    #[test]
+    fn hierarchy_scales_unit_counts() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hs = generate_hierarchy(0.01, &mut rng).unwrap();
+        assert_eq!(hs.len(), 6);
+        // Monotone growth in source units along the hierarchy.
+        for w in hs.windows(2) {
+            assert!(w[1].n_source() >= w[0].n_source());
+        }
+        assert_eq!(hs[0].name, "New York State");
+        assert_eq!(hs[5].name, "United States");
+        // 1% of 30,238 ≈ 302 units.
+        assert!(hs[5].n_source() > 200 && hs[5].n_source() < 400);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
+        let a = SyntheticUniverse::generate("a", bounds, 20, 4, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let b = SyntheticUniverse::generate("b", bounds, 20, 4, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(a.n_source(), b.n_source());
+        assert_eq!(
+            a.source.units()[0].vertices(),
+            b.source.units()[0].vertices()
+        );
+    }
+}

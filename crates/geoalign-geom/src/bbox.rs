@@ -1,0 +1,238 @@
+//! Axis-aligned bounding boxes in the plane.
+
+use crate::point::Point2;
+
+/// An axis-aligned bounding rectangle, stored as min/max corners.
+///
+/// An `Aabb` may be *empty* (constructed with [`Aabb::empty`]), in which case
+/// `min > max` component-wise and the box contains nothing; growing an empty
+/// box by a point yields the degenerate box at that point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Lower-left corner.
+    pub min: Point2,
+    /// Upper-right corner.
+    pub max: Point2,
+}
+
+impl Aabb {
+    /// Box spanning the two corner points (in any order).
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Self { min: a.min(b), max: a.max(b) }
+    }
+
+    /// The empty box: contains no point and is the identity for [`Aabb::union`].
+    pub fn empty() -> Self {
+        Self {
+            min: Point2::new(f64::INFINITY, f64::INFINITY),
+            max: Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Returns `true` when the box contains no point.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Smallest box containing every point of the iterator; empty for an
+    /// empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point2>>(points: I) -> Self {
+        let mut b = Self::empty();
+        for p in points {
+            b.grow(p);
+        }
+        b
+    }
+
+    /// Expands the box (in place) to contain `p`.
+    pub fn grow(&mut self, p: Point2) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Smallest box containing both operands.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Box width (zero if empty).
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Box height (zero if empty).
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Box area (zero if empty).
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half the perimeter; a common R-tree node cost metric.
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Center point. Meaningless for empty boxes.
+    pub fn center(&self) -> Point2 {
+        self.min.midpoint(self.max)
+    }
+
+    /// Closed-box point containment.
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` when the closed boxes share at least one point.
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Intersection of the two closed boxes, or `None` when disjoint.
+    pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Aabb {
+            min: self.min.max(other.min),
+            max: self.max.min(other.max),
+        })
+    }
+
+    /// Returns `true` when `other` lies entirely within `self`.
+    pub fn contains_box(&self, other: &Aabb) -> bool {
+        !other.is_empty()
+            && self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// Box expanded outward by `margin` on every side.
+    pub fn inflate(&self, margin: f64) -> Aabb {
+        Aabb {
+            min: Point2::new(self.min.x - margin, self.min.y - margin),
+            max: Point2::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// Squared distance from `p` to the nearest point of the box (zero when
+    /// inside).
+    pub fn dist_sq_to_point(&self, p: Point2) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx * dx + dy * dy
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point2; 4] {
+        [
+            self.min,
+            Point2::new(self.max.x, self.min.y),
+            self.max,
+            Point2::new(self.min.x, self.max.y),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes_corners() {
+        let b = Aabb::new(Point2::new(2.0, -1.0), Point2::new(-3.0, 4.0));
+        assert_eq!(b.min, Point2::new(-3.0, -1.0));
+        assert_eq!(b.max, Point2::new(2.0, 4.0));
+        assert_eq!(b.width(), 5.0);
+        assert_eq!(b.height(), 5.0);
+        assert_eq!(b.area(), 25.0);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert!(!e.contains(Point2::ORIGIN));
+        let b = Aabb::new(Point2::ORIGIN, Point2::new(1.0, 1.0));
+        assert_eq!(e.union(&b), b);
+        let mut g = Aabb::empty();
+        g.grow(Point2::new(3.0, 3.0));
+        assert!(!g.is_empty());
+        assert_eq!(g.min, g.max);
+    }
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [
+            Point2::new(1.0, 2.0),
+            Point2::new(-1.0, 5.0),
+            Point2::new(0.0, 0.0),
+        ];
+        let b = Aabb::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Point2::new(-1.0, 0.0));
+        assert_eq!(b.max, Point2::new(1.0, 5.0));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Aabb::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
+        let b = Aabb::new(Point2::new(1.0, 1.0), Point2::new(3.0, 3.0));
+        let c = Aabb::new(Point2::new(5.0, 5.0), Point2::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Aabb::new(Point2::new(1.0, 1.0), Point2::new(2.0, 2.0)));
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+        // Touching edges count as intersecting (closed boxes).
+        let d = Aabb::new(Point2::new(2.0, 0.0), Point2::new(3.0, 2.0));
+        assert!(a.intersects(&d));
+        assert_eq!(a.intersection(&d).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Aabb::new(Point2::new(0.0, 0.0), Point2::new(10.0, 10.0));
+        let inner = Aabb::new(Point2::new(2.0, 2.0), Point2::new(3.0, 3.0));
+        assert!(outer.contains_box(&inner));
+        assert!(!inner.contains_box(&outer));
+        assert!(!outer.contains_box(&Aabb::empty()));
+        assert!(outer.contains(Point2::new(10.0, 10.0)));
+        assert!(!outer.contains(Point2::new(10.1, 10.0)));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let b = Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        assert_eq!(b.dist_sq_to_point(Point2::new(0.5, 0.5)), 0.0);
+        assert_eq!(b.dist_sq_to_point(Point2::new(2.0, 0.5)), 1.0);
+        assert_eq!(b.dist_sq_to_point(Point2::new(2.0, 2.0)), 2.0);
+        assert_eq!(b.dist_sq_to_point(Point2::new(-3.0, 0.5)), 9.0);
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let b = Aabb::new(Point2::new(0.0, 0.0), Point2::new(2.0, 1.0));
+        let c = b.corners();
+        assert_eq!(c[0], Point2::new(0.0, 0.0));
+        assert_eq!(c[1], Point2::new(2.0, 0.0));
+        assert_eq!(c[2], Point2::new(2.0, 1.0));
+        assert_eq!(c[3], Point2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let b = Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)).inflate(0.5);
+        assert_eq!(b.min, Point2::new(-0.5, -0.5));
+        assert_eq!(b.max, Point2::new(1.5, 1.5));
+    }
+}

@@ -1,0 +1,287 @@
+//! Polygon clipping against convex regions.
+//!
+//! The overlay step of aggregate interpolation intersects source units with
+//! target units. GeoAlign's synthetic universes are Voronoi tessellations,
+//! whose cells are convex, so convex–convex clipping (Sutherland–Hodgman)
+//! covers every overlay the library performs. The subject polygon may be
+//! arbitrary (clipping a concave subject against a convex clip region is
+//! exact as long as the result is connected, which holds for convex
+//! subjects and is how the library uses it).
+
+use crate::point::Point2;
+use crate::polygon::{signed_area_of, Polygon};
+
+/// A half-plane `{ p : n · p <= c }` described by an inward... outward normal
+/// `n` and offset `c`; points with `n · p <= c` are kept.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    /// Outward normal of the boundary line.
+    pub normal: Point2,
+    /// Offset: the boundary is `{ p : normal · p = offset }`.
+    pub offset: f64,
+}
+
+impl HalfPlane {
+    /// Half-plane of points at least as close to `a` as to `b` (the
+    /// Voronoi dominance region of `a` over `b`): the perpendicular
+    /// bisector keeps the `a` side.
+    pub fn bisector(a: Point2, b: Point2) -> Self {
+        let normal = b - a;
+        let mid = a.midpoint(b);
+        HalfPlane { normal, offset: normal.dot(mid) }
+    }
+
+    /// Half-plane keeping the left side of the directed edge `a -> b`
+    /// (the interior side for a counter-clockwise ring).
+    pub fn left_of_edge(a: Point2, b: Point2) -> Self {
+        // Left of a->b means cross(b-a, p-a) >= 0, i.e. outward normal is
+        // the clockwise perpendicular of (b - a).
+        let d = b - a;
+        let normal = Point2::new(d.y, -d.x);
+        HalfPlane { normal, offset: normal.dot(a) }
+    }
+
+    /// Signed distance-like value: negative inside, positive outside
+    /// (not normalized by `|normal|`).
+    #[inline]
+    pub fn excess(&self, p: Point2) -> f64 {
+        self.normal.dot(p) - self.offset
+    }
+
+    /// Returns `true` when `p` is inside the (closed) half-plane.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        self.excess(p) <= 0.0
+    }
+}
+
+/// Clips a vertex ring against one half-plane (one Sutherland–Hodgman pass),
+/// appending the result to `out` (cleared first). Returns the number of
+/// vertices kept.
+pub fn clip_ring_halfplane(ring: &[Point2], hp: &HalfPlane, out: &mut Vec<Point2>) -> usize {
+    out.clear();
+    let n = ring.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut prev = ring[n - 1];
+    let mut prev_excess = hp.excess(prev);
+    for &cur in ring {
+        let cur_excess = hp.excess(cur);
+        let cur_in = cur_excess <= 0.0;
+        let prev_in = prev_excess <= 0.0;
+        if cur_in {
+            if !prev_in {
+                out.push(intersect_at(prev, cur, prev_excess, cur_excess));
+            }
+            out.push(cur);
+        } else if prev_in {
+            out.push(intersect_at(prev, cur, prev_excess, cur_excess));
+        }
+        prev = cur;
+        prev_excess = cur_excess;
+    }
+    out.len()
+}
+
+/// Point where the segment `prev -> cur` crosses the half-plane boundary,
+/// given the precomputed excesses at the endpoints (opposite signs).
+#[inline]
+fn intersect_at(prev: Point2, cur: Point2, e_prev: f64, e_cur: f64) -> Point2 {
+    let t = e_prev / (e_prev - e_cur);
+    prev.lerp(cur, t.clamp(0.0, 1.0))
+}
+
+/// Clips `subject` against the convex polygon `clip` with the
+/// Sutherland–Hodgman algorithm.
+///
+/// Returns `None` when the intersection is empty or degenerates to a point
+/// or segment (zero area). `clip` must be convex; `subject` should be convex
+/// or at least produce a connected intersection with `clip`.
+pub fn clip_convex(subject: &Polygon, clip: &Polygon) -> Option<Polygon> {
+    debug_assert!(clip.is_convex(), "clip polygon must be convex");
+    if !subject.bbox().intersects(clip.bbox()) {
+        return None;
+    }
+    let mut ring: Vec<Point2> = subject.vertices().to_vec();
+    let mut scratch: Vec<Point2> = Vec::with_capacity(ring.len() + 4);
+    for (a, b) in clip.edges() {
+        let hp = HalfPlane::left_of_edge(a, b);
+        if clip_ring_halfplane(&ring, &hp, &mut scratch) == 0 {
+            return None;
+        }
+        std::mem::swap(&mut ring, &mut scratch);
+    }
+    ring_to_polygon(ring)
+}
+
+/// Clips a vertex ring by a sequence of half-planes, returning the resulting
+/// polygon (used by the Voronoi construction). Returns `None` when empty or
+/// degenerate.
+pub fn clip_ring_halfplanes<I>(start: Vec<Point2>, halfplanes: I) -> Option<Polygon>
+where
+    I: IntoIterator<Item = HalfPlane>,
+{
+    let mut ring = start;
+    let mut scratch = Vec::with_capacity(ring.len() + 4);
+    for hp in halfplanes {
+        if clip_ring_halfplane(&ring, &hp, &mut scratch) == 0 {
+            return None;
+        }
+        std::mem::swap(&mut ring, &mut scratch);
+    }
+    ring_to_polygon(ring)
+}
+
+/// Converts a raw clipped ring into a validated polygon, filtering
+/// degenerate output (area below an absolute epsilon scaled to the ring's
+/// extent).
+fn ring_to_polygon(ring: Vec<Point2>) -> Option<Polygon> {
+    if ring.len() < 3 {
+        return None;
+    }
+    let area = signed_area_of(&ring).abs();
+    // Relative degeneracy threshold: slivers thinner than ~1e-12 of the
+    // bbox scale are clipping noise, not real intersection units.
+    let bbox = crate::bbox::Aabb::from_points(ring.iter().copied());
+    let scale = bbox.width().max(bbox.height()).max(1e-300);
+    if area <= 1e-12 * scale * scale {
+        return None;
+    }
+    Polygon::new(ring).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::rect(Point2::new(x0, y0), Point2::new(x1, y1)).unwrap()
+    }
+
+    #[test]
+    fn halfplane_bisector_sides() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 0.0);
+        let hp = HalfPlane::bisector(a, b);
+        assert!(hp.contains(a));
+        assert!(!hp.contains(b));
+        assert!(hp.contains(Point2::new(1.0, 5.0))); // boundary
+    }
+
+    #[test]
+    fn halfplane_left_of_edge() {
+        let hp = HalfPlane::left_of_edge(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0));
+        assert!(hp.contains(Point2::new(0.5, 1.0)));
+        assert!(!hp.contains(Point2::new(0.5, -1.0)));
+        assert!(hp.contains(Point2::new(0.5, 0.0)));
+    }
+
+    #[test]
+    fn overlapping_squares() {
+        let a = square(0.0, 0.0, 2.0, 2.0);
+        let b = square(1.0, 1.0, 3.0, 3.0);
+        let i = clip_convex(&a, &b).unwrap();
+        assert!((i.area() - 1.0).abs() < 1e-12);
+        let c = i.centroid();
+        assert!((c.x - 1.5).abs() < 1e-12 && (c.y - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_squares_yield_none() {
+        let a = square(0.0, 0.0, 1.0, 1.0);
+        let b = square(2.0, 2.0, 3.0, 3.0);
+        assert!(clip_convex(&a, &b).is_none());
+        // Touching along an edge: zero-area intersection filtered out.
+        let c = square(1.0, 0.0, 2.0, 1.0);
+        assert!(clip_convex(&a, &c).is_none());
+    }
+
+    #[test]
+    fn containment_returns_inner() {
+        let outer = square(0.0, 0.0, 10.0, 10.0);
+        let inner = square(2.0, 2.0, 3.0, 3.0);
+        let i = clip_convex(&inner, &outer).unwrap();
+        assert!((i.area() - 1.0).abs() < 1e-12);
+        let j = clip_convex(&outer, &inner).unwrap();
+        assert!((j.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_vs_square() {
+        let tri = Polygon::new(vec![
+            Point2::new(-1.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(1.0, 4.0),
+        ])
+        .unwrap();
+        let sq = square(0.0, 0.0, 2.0, 2.0);
+        let i = clip_convex(&tri, &sq).unwrap();
+        // Intersection area computed analytically:
+        // The triangle has vertices (-1,0),(3,0),(1,4); inside [0,2]^2 the
+        // region is bounded by y=0, x=0, x=2, y=2 and the two slanted edges
+        // y = 2(x+1) (left) and y = -2(x-3) (right). At y<=2, left edge is at
+        // x = y/2 - 1 <= 0 for y <= 2, so x=0 cut only matters below y=2 ...
+        // easier: area = integral over y in [0,2] of width(y).
+        // width(y) = min(2, 3 - y/2) - max(0, y/2 - 1) = 2 - 0 = 2 for y<=2
+        // since 3 - y/2 >= 2 for y <= 2 and y/2 - 1 <= 0 for y <= 2.
+        assert!((i.area() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_area_never_exceeds_either_input() {
+        let a = Polygon::regular(Point2::new(0.3, 0.2), 1.0, 9).unwrap();
+        let b = Polygon::regular(Point2::new(0.8, -0.1), 0.7, 5).unwrap();
+        if let Some(i) = clip_convex(&a, &b) {
+            assert!(i.area() <= a.area() + 1e-12);
+            assert!(i.area() <= b.area() + 1e-12);
+            assert!(i.is_convex());
+        } else {
+            panic!("overlapping polygons must intersect");
+        }
+    }
+
+    #[test]
+    fn identical_polygons_clip_to_themselves() {
+        let a = Polygon::regular(Point2::ORIGIN, 2.0, 6).unwrap();
+        let i = clip_convex(&a, &a).unwrap();
+        assert!((i.area() - a.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halfplane_sequence_builds_cell() {
+        // Clip the unit square to the quadrant x >= 0.5, y >= 0.5 via
+        // half-planes (keep side is <= 0, so flip normals).
+        let start = square(0.0, 0.0, 1.0, 1.0).into_vertices();
+        let hps = vec![
+            HalfPlane { normal: Point2::new(-1.0, 0.0), offset: -0.5 }, // x >= 0.5
+            HalfPlane { normal: Point2::new(0.0, -1.0), offset: -0.5 }, // y >= 0.5
+        ];
+        let p = clip_ring_halfplanes(start, hps).unwrap();
+        assert!((p.area() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_halfplane_clip_returns_none() {
+        let start = square(0.0, 0.0, 1.0, 1.0).into_vertices();
+        let hps = vec![HalfPlane { normal: Point2::new(1.0, 0.0), offset: -1.0 }]; // x <= -1
+        assert!(clip_ring_halfplanes(start, hps).is_none());
+    }
+
+    #[test]
+    fn concave_subject_convex_clip() {
+        // L-shape clipped by a square covering its notch region.
+        let l = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ])
+        .unwrap();
+        let clip = square(0.0, 0.0, 1.0, 1.0);
+        let i = clip_convex(&l, &clip).unwrap();
+        assert!((i.area() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Convex hulls (Andrew's monotone chain).
+
+use crate::point::Point2;
+use crate::predicates::{orient2d, Orientation};
+
+/// Computes the convex hull of a point set with Andrew's monotone chain in
+/// O(n log n).
+///
+/// Returns the hull vertices in counter-clockwise order with collinear
+/// boundary points removed. Degenerate inputs (fewer than 3 distinct points,
+/// or all collinear) return the reduced chain (possibly fewer than 3 points).
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    pts.dedup();
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let mut hull: Vec<Point2> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::{signed_area_of, Polygon};
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.5, 0.5),
+            Point2::new(0.25, 0.75),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(signed_area_of(&hull) > 0.0); // CCW
+        let poly = Polygon::new(hull).unwrap();
+        assert_eq!(poly.area(), 1.0);
+    }
+
+    #[test]
+    fn collinear_points_on_boundary_removed() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0), // collinear on bottom edge
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point2::new(1.0, 1.0)]).len(), 1);
+        // Duplicates collapse.
+        assert_eq!(
+            convex_hull(&[Point2::new(1.0, 1.0), Point2::new(1.0, 1.0)]).len(),
+            1
+        );
+        // All collinear: the chain keeps only the two extremes.
+        let line: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64, 2.0 * i as f64)).collect();
+        let hull = convex_hull(&line);
+        assert_eq!(hull.len(), 2);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        // Deterministic pseudo-random points via a simple LCG.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point2> = (0..200).map(|_| Point2::new(next(), next())).collect();
+        let hull = convex_hull(&pts);
+        assert!(hull.len() >= 3);
+        let poly = Polygon::new(hull).unwrap();
+        assert!(poly.is_convex());
+        for p in &pts {
+            assert!(poly.contains(*p), "hull must contain {p}");
+        }
+    }
+}

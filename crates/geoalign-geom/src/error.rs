@@ -1,0 +1,83 @@
+//! Error types for geometric construction and queries.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating geometric objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeomError {
+    /// A polygon needs at least three distinct vertices.
+    TooFewVertices {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+    /// The polygon ring has (numerically) zero area.
+    DegenerateRing,
+    /// An interval or box was constructed with `lo > hi` on some axis.
+    InvertedBounds {
+        /// Axis on which the bounds were inverted (0 for 1-D intervals).
+        axis: usize,
+    },
+    /// Dimension mismatch between two n-dimensional objects.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+    /// A Voronoi diagram was requested with no seed points.
+    NoSeeds,
+    /// Voronoi seeds must be pairwise distinct; two coincided.
+    DuplicateSeed {
+        /// Index of the first seed of the coinciding pair.
+        first: usize,
+        /// Index of the second seed of the coinciding pair.
+        second: usize,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::TooFewVertices { got } => {
+                write!(f, "polygon needs at least 3 vertices, got {got}")
+            }
+            GeomError::NonFiniteCoordinate => write!(f, "non-finite coordinate"),
+            GeomError::DegenerateRing => write!(f, "polygon ring has zero area"),
+            GeomError::InvertedBounds { axis } => {
+                write!(f, "inverted bounds (lo > hi) on axis {axis}")
+            }
+            GeomError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            GeomError::NoSeeds => write!(f, "Voronoi diagram requires at least one seed"),
+            GeomError::DuplicateSeed { first, second } => {
+                write!(f, "Voronoi seeds {first} and {second} coincide")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GeomError, &str)> = vec![
+            (GeomError::TooFewVertices { got: 2 }, "at least 3"),
+            (GeomError::NonFiniteCoordinate, "non-finite"),
+            (GeomError::DegenerateRing, "zero area"),
+            (GeomError::InvertedBounds { axis: 1 }, "axis 1"),
+            (GeomError::DimensionMismatch { left: 2, right: 3 }, "2 vs 3"),
+            (GeomError::NoSeeds, "at least one seed"),
+            (GeomError::DuplicateSeed { first: 0, second: 7 }, "0 and 7"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

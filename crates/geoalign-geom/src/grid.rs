@@ -1,0 +1,412 @@
+//! Uniform grid index over point sets.
+//!
+//! Supports the expanding-ring neighbor enumeration that drives the
+//! grid-accelerated Voronoi construction: neighbors are visited in
+//! (approximately) increasing distance, cell ring by cell ring, with an
+//! exact lower bound on the distance of any unvisited point.
+
+use crate::bbox::Aabb;
+use crate::point::Point2;
+
+/// A uniform grid bucketing point indices by cell.
+#[derive(Debug, Clone)]
+pub struct PointGrid {
+    bounds: Aabb,
+    nx: usize,
+    ny: usize,
+    cell_w: f64,
+    cell_h: f64,
+    /// CSR-style bucket layout: `starts[c]..starts[c+1]` indexes into `items`.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+    points: Vec<Point2>,
+}
+
+impl PointGrid {
+    /// Builds a grid over `points`, sized so the average bucket holds about
+    /// `target_per_cell` points (minimum 1×1 grid).
+    pub fn build(points: Vec<Point2>, target_per_cell: usize) -> Self {
+        let bounds = Aabb::from_points(points.iter().copied());
+        let n = points.len().max(1);
+        let cells = (n / target_per_cell.max(1)).max(1);
+        // Aspect-ratio aware split of `cells` into nx × ny. Both dimensions
+        // are clamped to the cell budget so degenerate extents (e.g. all
+        // points collinear) cannot blow the grid up to millions of empty
+        // cells.
+        let w = bounds.width().max(1e-12);
+        let h = bounds.height().max(1e-12);
+        let nx = ((cells as f64 * w / h).sqrt().round() as usize).clamp(1, cells);
+        let ny = (cells / nx).clamp(1, cells);
+        let cell_w = w / nx as f64;
+        let cell_h = h / ny as f64;
+
+        let cell_of = |p: Point2| -> usize {
+            let cx = (((p.x - bounds.min.x) / cell_w) as usize).min(nx - 1);
+            let cy = (((p.y - bounds.min.y) / cell_h) as usize).min(ny - 1);
+            cy * nx + cx
+        };
+
+        // Counting sort into CSR buckets.
+        let mut counts = vec![0u32; nx * ny + 1];
+        for &p in &points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut items = vec![0u32; points.len()];
+        let mut cursor = counts.clone();
+        for (i, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        Self { bounds, nx, ny, cell_w, cell_h, starts: counts, items, points }
+    }
+
+    /// The indexed points, in input order.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    fn cell_coords(&self, p: Point2) -> (isize, isize) {
+        let cx = ((p.x - self.bounds.min.x) / self.cell_w).floor() as isize;
+        let cy = ((p.y - self.bounds.min.y) / self.cell_h).floor() as isize;
+        (cx.clamp(0, self.nx as isize - 1), cy.clamp(0, self.ny as isize - 1))
+    }
+
+    fn bucket(&self, cx: isize, cy: isize) -> &[u32] {
+        if cx < 0 || cy < 0 || cx >= self.nx as isize || cy >= self.ny as isize {
+            return &[];
+        }
+        let c = cy as usize * self.nx + cx as usize;
+        let s = self.starts[c] as usize;
+        let e = self.starts[c + 1] as usize;
+        &self.items[s..e]
+    }
+
+    /// Indices of all points within `radius` of `q` (inclusive).
+    pub fn within_radius(&self, q: Point2, radius: f64) -> Vec<usize> {
+        let r2 = radius * radius;
+        let (cx0, cy0) = self.cell_coords(Point2::new(q.x - radius, q.y - radius));
+        let (cx1, cy1) = self.cell_coords(Point2::new(q.x + radius, q.y + radius));
+        let mut out = Vec::new();
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for &i in self.bucket(cx, cy) {
+                    if self.points[i as usize].dist_sq(q) <= r2 {
+                        out.push(i as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the nearest point to `q`, or `None` when empty. When several
+    /// points are equally near, one of them is returned (which one is
+    /// unspecified). Terminates early once the ring lower bound proves no
+    /// closer point remains.
+    pub fn nearest(&self, q: Point2) -> Option<usize> {
+        let mut it = self.neighbors(q);
+        let mut best: Option<(usize, f64)> = None;
+        while let Some((i, d2)) = it.next() {
+            match best {
+                Some((bi, bd)) => {
+                    if d2 < bd || (d2 == bd && i < bi) {
+                        best = Some((i, d2));
+                    }
+                }
+                None => best = Some((i, d2)),
+            }
+            if let Some((_, bd)) = best {
+                let lb = it.ring_min_dist();
+                if lb * lb > bd {
+                    break;
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Enumerates point indices in rings of grid cells centered at `q`,
+    /// yielding `(index, dist_sq)` pairs. Rings are visited in increasing
+    /// ring number; [`NeighborIter::ring_min_dist`] lower-bounds the distance
+    /// of any point not yet visited, enabling early termination.
+    pub fn neighbors(&self, q: Point2) -> NeighborIter<'_> {
+        NeighborIter::new(self, q, usize::MAX)
+    }
+}
+
+/// Ring-expanding neighbor iterator; see [`PointGrid::neighbors`].
+pub struct NeighborIter<'a> {
+    grid: &'a PointGrid,
+    q: Point2,
+    qcx: isize,
+    qcy: isize,
+    ring: isize,
+    max_ring: isize,
+    buf: Vec<(usize, f64)>,
+    buf_pos: usize,
+    exhausted: bool,
+    limit: usize,
+    yielded: usize,
+}
+
+impl<'a> NeighborIter<'a> {
+    fn new(grid: &'a PointGrid, q: Point2, limit: usize) -> Self {
+        let (qcx, qcy) = if grid.is_empty() { (0, 0) } else { grid.cell_coords(q) };
+        let max_ring = grid.nx.max(grid.ny) as isize;
+        Self {
+            grid,
+            q,
+            qcx,
+            qcy,
+            ring: -1,
+            max_ring,
+            buf: Vec::new(),
+            buf_pos: 0,
+            exhausted: grid.is_empty(),
+            limit,
+            yielded: 0,
+        }
+    }
+
+    /// The ring currently being drained (-1 before the first ring starts).
+    pub fn current_ring(&self) -> isize {
+        self.ring
+    }
+
+    /// Lower bound on the distance from the query to any point in a ring
+    /// that has not been *started* yet (i.e. rings `> current_ring()`).
+    /// Points still buffered in the current ring may be closer than this
+    /// bound; they are, however, yielded in sorted order, so consumers that
+    /// track the best distance seen so far can combine both facts for a
+    /// sound early exit (see [`PointGrid::nearest`]).
+    pub fn ring_min_dist(&self) -> f64 {
+        if self.exhausted {
+            return f64::INFINITY;
+        }
+        let next = (self.ring + 1).max(0) as f64 - 1.0;
+        if next <= 0.0 {
+            return 0.0;
+        }
+        // Any cell in ring r is at least (r-1) cells away in Chebyshev
+        // terms; convert to Euclidean via the smaller cell dimension.
+        next * self.grid.cell_w.min(self.grid.cell_h)
+    }
+
+    fn fill_ring(&mut self) -> bool {
+        self.ring += 1;
+        if self.ring > self.max_ring {
+            self.exhausted = true;
+            return false;
+        }
+        self.buf.clear();
+        self.buf_pos = 0;
+        let r = self.ring;
+        let (gx, gy) = (self.grid.nx as isize, self.grid.ny as isize);
+        // Outside the grid entirely: done once the ring can no longer touch.
+        if self.qcx - r >= gx && self.qcx + r < 0 && self.qcy - r >= gy && self.qcy + r < 0 {
+            self.exhausted = true;
+            return false;
+        }
+        let visit = |cx: isize, cy: isize, me: &mut Self| {
+            for &i in me.grid.bucket(cx, cy) {
+                let d2 = me.grid.points[i as usize].dist_sq(me.q);
+                me.buf.push((i as usize, d2));
+            }
+        };
+        if r == 0 {
+            visit(self.qcx, self.qcy, self);
+        } else {
+            for cx in (self.qcx - r)..=(self.qcx + r) {
+                visit(cx, self.qcy - r, self);
+                visit(cx, self.qcy + r, self);
+            }
+            for cy in (self.qcy - r + 1)..=(self.qcy + r - 1) {
+                visit(self.qcx - r, cy, self);
+                visit(self.qcx + r, cy, self);
+            }
+        }
+        // Sort the ring's points by distance so consumers see a useful order.
+        self.buf.sort_by(|a, b| a.1.total_cmp(&b.1));
+        true
+    }
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.yielded >= self.limit {
+            return None;
+        }
+        loop {
+            if self.exhausted {
+                return None;
+            }
+            if self.buf_pos < self.buf.len() {
+                let item = self.buf[self.buf_pos];
+                self.buf_pos += 1;
+                self.yielded += 1;
+                return Some(item);
+            }
+            if !self.fill_ring() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> Vec<Point2> {
+        // Deterministic LCG points in the unit square.
+        let mut state: u64 = 42;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point2::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = cloud(500);
+        let grid = PointGrid::build(pts.clone(), 4);
+        for q in cloud(100).into_iter().map(|p| Point2::new(p.x * 1.4 - 0.2, p.y * 1.4 - 0.2)) {
+            let bf = pts
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.dist_sq(q).total_cmp(&b.1.dist_sq(q)))
+                .map(|(i, _)| i)
+                .unwrap();
+            let got = grid.nearest(q).unwrap();
+            assert_eq!(
+                pts[got].dist_sq(q),
+                pts[bf].dist_sq(q),
+                "nearest mismatch at {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let pts = cloud(300);
+        let grid = PointGrid::build(pts.clone(), 8);
+        let q = Point2::new(0.5, 0.5);
+        for &r in &[0.01, 0.1, 0.25, 2.0] {
+            let mut got = grid.within_radius(q, r);
+            got.sort_unstable();
+            let mut expect: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.dist(q) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn neighbors_enumerate_everything_once() {
+        let pts = cloud(250);
+        let grid = PointGrid::build(pts, 4);
+        let mut seen: Vec<usize> = grid.neighbors(Point2::new(0.3, 0.7)).map(|(i, _)| i).collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..250).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn ring_lower_bound_is_valid() {
+        let pts = cloud(400);
+        let grid = PointGrid::build(pts, 4);
+        let q = Point2::new(0.5, 0.5);
+        let mut it = grid.neighbors(q);
+        let mut max_seen: f64 = 0.0;
+        while let Some((_, d2)) = it.next() {
+            max_seen = max_seen.max(d2.sqrt());
+            let lb = it.ring_min_dist();
+            // Every *future* point must be at distance >= lb. We can't check
+            // the future directly here, but lb must never exceed the distance
+            // of the next yielded point; peek by cloning is unavailable, so
+            // instead assert lb is finite and non-negative during iteration.
+            assert!(lb >= 0.0);
+        }
+        assert!(max_seen > 0.0);
+    }
+
+    #[test]
+    fn lower_bound_soundness_against_future_rings() {
+        let pts = cloud(400);
+        let grid = PointGrid::build(pts, 4);
+        let q = Point2::new(0.2, 0.8);
+        // Record (distance, ring, bound-at-yield-time) triples. The bound
+        // promises nothing about the remainder of the *current* ring, only
+        // about rings that have not started yet.
+        let mut it = grid.neighbors(q);
+        let mut log: Vec<(f64, isize, f64)> = Vec::new();
+        while let Some((_, d2)) = it.next() {
+            log.push((d2.sqrt(), it.current_ring(), it.ring_min_dist()));
+        }
+        for i in 0..log.len() {
+            let (_, ring_i, bound) = log[i];
+            for &(dist_j, ring_j, _) in &log[i + 1..] {
+                if ring_j > ring_i {
+                    assert!(
+                        dist_j >= bound - 1e-12,
+                        "ring {ring_j} point at {dist_j} violates bound {bound} from ring {ring_i}"
+                    );
+                }
+            }
+        }
+        // Within a ring, yields are sorted ascending.
+        for w in log.windows(2) {
+            if w[0].1 == w[1].1 {
+                assert!(w[0].0 <= w[1].0 + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point_grids() {
+        let empty = PointGrid::build(Vec::new(), 4);
+        assert!(empty.is_empty());
+        assert!(empty.nearest(Point2::ORIGIN).is_none());
+        assert!(empty.within_radius(Point2::ORIGIN, 1.0).is_empty());
+
+        let single = PointGrid::build(vec![Point2::new(3.0, 4.0)], 4);
+        assert_eq!(single.nearest(Point2::ORIGIN), Some(0));
+        assert_eq!(single.within_radius(Point2::ORIGIN, 5.0), vec![0]);
+        assert!(single.within_radius(Point2::ORIGIN, 4.9).is_empty());
+    }
+
+    #[test]
+    fn degenerate_collinear_points() {
+        // All points on a horizontal line: grid height collapses.
+        let pts: Vec<Point2> = (0..50).map(|i| Point2::new(i as f64, 7.0)).collect();
+        let grid = PointGrid::build(pts, 4);
+        assert_eq!(grid.nearest(Point2::new(12.4, 0.0)), Some(12));
+        assert_eq!(grid.within_radius(Point2::new(10.0, 7.0), 2.0).len(), 5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Closed intervals on the real line — the 1-D units of the aggregate
+//! interpolation problem (paper §2.2, Eq. 3; Figure 3's histogram bins).
+
+use crate::error::GeomError;
+
+/// A closed interval `[lo, hi]` with `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Builds the interval `[lo, hi]`; fails when `lo > hi` or either bound
+    /// is not finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, GeomError> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(GeomError::NonFiniteCoordinate);
+        }
+        if lo > hi {
+            return Err(GeomError::InvertedBounds { axis: 0 });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Interval length (`hi - lo`); the 1-D analogue of area.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    #[inline]
+    pub fn center(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Closed containment of a point.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Returns `true` when the closed intervals share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection with positive length, or `None` when disjoint or
+    /// touching only at a point.
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo < hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of `self` covered by `other` (in `[0, 1]`); zero-length
+    /// intervals report 0.
+    pub fn overlap_fraction(&self, other: &Interval) -> f64 {
+        if self.length() <= 0.0 {
+            return 0.0;
+        }
+        self.intersection(other).map_or(0.0, |i| i.length() / self.length())
+    }
+}
+
+/// Splits `[lo, hi]` into `n` equal-width contiguous intervals.
+pub fn equal_bins(lo: f64, hi: f64, n: usize) -> Result<Vec<Interval>, GeomError> {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let span = Interval::new(lo, hi)?;
+    let w = span.length() / n as f64;
+    (0..n)
+        .map(|i| {
+            let a = lo + w * i as f64;
+            let b = if i + 1 == n { hi } else { lo + w * (i + 1) as f64 };
+            Interval::new(a, b)
+        })
+        .collect()
+}
+
+/// Splits `[lo, hi]` at the given interior breakpoints (must be strictly
+/// increasing and inside the range), producing contiguous intervals.
+pub fn bins_at(lo: f64, hi: f64, breaks: &[f64]) -> Result<Vec<Interval>, GeomError> {
+    let mut edges = Vec::with_capacity(breaks.len() + 2);
+    edges.push(lo);
+    edges.extend_from_slice(breaks);
+    edges.push(hi);
+    let mut out = Vec::with_capacity(edges.len() - 1);
+    for w in edges.windows(2) {
+        out.push(Interval::new(w[0], w[1])?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rules() {
+        assert!(Interval::new(0.0, 1.0).is_ok());
+        assert!(Interval::new(1.0, 1.0).is_ok()); // degenerate allowed
+        assert_eq!(Interval::new(2.0, 1.0), Err(GeomError::InvertedBounds { axis: 0 }));
+        assert_eq!(Interval::new(f64::NAN, 1.0), Err(GeomError::NonFiniteCoordinate));
+    }
+
+    #[test]
+    fn basic_queries() {
+        let i = Interval::new(1.0, 3.0).unwrap();
+        assert_eq!(i.length(), 2.0);
+        assert_eq!(i.center(), 2.0);
+        assert!(i.contains(1.0) && i.contains(3.0) && i.contains(2.0));
+        assert!(!i.contains(0.999) && !i.contains(3.001));
+    }
+
+    #[test]
+    fn intersections() {
+        let a = Interval::new(0.0, 2.0).unwrap();
+        let b = Interval::new(1.0, 3.0).unwrap();
+        let c = Interval::new(2.0, 4.0).unwrap();
+        let d = Interval::new(5.0, 6.0).unwrap();
+        assert_eq!(a.intersection(&b), Some(Interval::new(1.0, 2.0).unwrap()));
+        assert!(a.intersects(&c)); // touching
+        assert!(a.intersection(&c).is_none()); // but zero-length
+        assert!(!a.intersects(&d));
+        assert_eq!(a.overlap_fraction(&b), 0.5);
+        assert_eq!(a.overlap_fraction(&d), 0.0);
+    }
+
+    #[test]
+    fn equal_bins_partition() {
+        let bins = equal_bins(0.0, 10.0, 4).unwrap();
+        assert_eq!(bins.len(), 4);
+        let total: f64 = bins.iter().map(|b| b.length()).sum();
+        assert!((total - 10.0).abs() < 1e-12);
+        // Contiguity.
+        for w in bins.windows(2) {
+            assert_eq!(w[0].hi(), w[1].lo());
+        }
+        assert_eq!(bins[0].lo(), 0.0);
+        assert_eq!(bins[3].hi(), 10.0);
+        assert!(equal_bins(0.0, 1.0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bins_at_breakpoints() {
+        let bins = bins_at(0.0, 100.0, &[18.0, 65.0]).unwrap();
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0], Interval::new(0.0, 18.0).unwrap());
+        assert_eq!(bins[1], Interval::new(18.0, 65.0).unwrap());
+        assert_eq!(bins[2], Interval::new(65.0, 100.0).unwrap());
+        // Unordered breakpoints produce an inverted interval error.
+        assert!(bins_at(0.0, 10.0, &[7.0, 3.0]).is_err());
+    }
+}

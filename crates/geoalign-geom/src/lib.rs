@@ -1,0 +1,50 @@
+//! Computational-geometry substrate for the GeoAlign reproduction.
+//!
+//! The aggregate interpolation problem (paper §2) is defined over *unit
+//! systems*: partitions of an n-dimensional universe into disjoint units.
+//! This crate supplies everything the partition layer needs to realize such
+//! systems geometrically:
+//!
+//! * [`Point2`], robust [`predicates`], [`Aabb`] — planar primitives;
+//! * [`Polygon`] — the simple polygons of the 2-D problem (paper Eq. 2),
+//!   with area, centroid, and point containment;
+//! * [`clip`] — Sutherland–Hodgman clipping, the engine behind both spatial
+//!   overlay (source ∩ target intersection units) and Voronoi construction;
+//! * [`convex_hull`] — monotone-chain hulls;
+//! * [`VoronoiDiagram`] — bounded Voronoi tessellations used to synthesize
+//!   zip-code-like and county-like unit systems;
+//! * [`PointGrid`] and [`RTree`] — spatial indexes for nearest-neighbor and
+//!   bbox-overlap queries;
+//! * [`Interval`] and [`NdBox`] — 1-D and n-dimensional units (paper Eq. 3
+//!   and §2.2 "other dimensions").
+//!
+//! All coordinates are `f64`. Orientation-critical code paths route through
+//! the exact predicate [`predicates::orient2d`].
+
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod clip;
+pub mod convex;
+pub mod error;
+pub mod grid;
+pub mod interval;
+pub mod ndbox;
+pub mod point;
+pub mod polygon;
+pub mod predicates;
+pub mod rtree;
+pub mod triangulate;
+pub mod voronoi;
+pub mod wkt;
+
+pub use bbox::Aabb;
+pub use convex::convex_hull;
+pub use error::GeomError;
+pub use grid::PointGrid;
+pub use interval::Interval;
+pub use ndbox::NdBox;
+pub use point::Point2;
+pub use polygon::Polygon;
+pub use rtree::RTree;
+pub use voronoi::VoronoiDiagram;

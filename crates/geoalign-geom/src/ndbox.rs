@@ -1,0 +1,194 @@
+//! Axis-aligned boxes in arbitrary dimension — the units that make the
+//! aggregate interpolation problem dimension-agnostic (paper §2.2 and §3.4:
+//! "GeoAlign is applicable to any dimension").
+//!
+//! A [`NdBox`] in 1-D is an interval, in 2-D a rectangle, in 3-D a cube-like
+//! cell (e.g. the disease-distribution example of §2.2), and in 4-D a
+//! space–time cell.
+
+use crate::error::GeomError;
+use crate::interval::Interval;
+
+/// An axis-aligned box `[lo_1, hi_1] × ... × [lo_n, hi_n]` in n dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdBox {
+    axes: Vec<Interval>,
+}
+
+impl NdBox {
+    /// Builds a box from per-axis intervals. The dimension is the number of
+    /// intervals; a zero-dimensional box is permitted and has volume 1
+    /// (empty product), though nothing in the library creates one.
+    pub fn new(axes: Vec<Interval>) -> Self {
+        Self { axes }
+    }
+
+    /// Builds a box from `(lo, hi)` pairs.
+    pub fn from_bounds(bounds: &[(f64, f64)]) -> Result<Self, GeomError> {
+        let axes = bounds
+            .iter()
+            .enumerate()
+            .map(|(axis, &(lo, hi))| {
+                Interval::new(lo, hi).map_err(|e| match e {
+                    GeomError::InvertedBounds { .. } => GeomError::InvertedBounds { axis },
+                    other => other,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { axes })
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Per-axis intervals.
+    pub fn axes(&self) -> &[Interval] {
+        &self.axes
+    }
+
+    /// Lebesgue measure: length in 1-D, area in 2-D, volume in 3-D, etc.
+    pub fn volume(&self) -> f64 {
+        self.axes.iter().map(Interval::length).product()
+    }
+
+    /// Center point, one coordinate per axis.
+    pub fn center(&self) -> Vec<f64> {
+        self.axes.iter().map(Interval::center).collect()
+    }
+
+    /// Closed containment of a point given as one coordinate per axis.
+    /// Returns an error when the point dimension does not match.
+    pub fn contains(&self, point: &[f64]) -> Result<bool, GeomError> {
+        if point.len() != self.dim() {
+            return Err(GeomError::DimensionMismatch { left: self.dim(), right: point.len() });
+        }
+        Ok(self.axes.iter().zip(point).all(|(ax, &x)| ax.contains(x)))
+    }
+
+    /// Intersection with positive volume, or `Ok(None)` when the boxes are
+    /// disjoint or touch only on a face. Errors on dimension mismatch.
+    pub fn intersection(&self, other: &NdBox) -> Result<Option<NdBox>, GeomError> {
+        if self.dim() != other.dim() {
+            return Err(GeomError::DimensionMismatch { left: self.dim(), right: other.dim() });
+        }
+        let mut axes = Vec::with_capacity(self.dim());
+        for (a, b) in self.axes.iter().zip(&other.axes) {
+            match a.intersection(b) {
+                Some(i) => axes.push(i),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(NdBox { axes }))
+    }
+}
+
+/// Builds the regular grid partition of a box into `counts[d]` equal slices
+/// per axis, in row-major order (last axis fastest).
+pub fn grid_partition(bounds: &[(f64, f64)], counts: &[usize]) -> Result<Vec<NdBox>, GeomError> {
+    if bounds.len() != counts.len() {
+        return Err(GeomError::DimensionMismatch { left: bounds.len(), right: counts.len() });
+    }
+    let mut per_axis: Vec<Vec<Interval>> = Vec::with_capacity(bounds.len());
+    for (&(lo, hi), &n) in bounds.iter().zip(counts) {
+        per_axis.push(crate::interval::equal_bins(lo, hi, n)?);
+    }
+    let total: usize = counts.iter().product();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; counts.len()];
+    if total == 0 {
+        return Ok(out);
+    }
+    loop {
+        let axes: Vec<Interval> = idx.iter().zip(&per_axis).map(|(&i, bins)| bins[i]).collect();
+        out.push(NdBox::new(axes));
+        // Increment the mixed-radix counter, last axis fastest.
+        let mut d = counts.len();
+        loop {
+            if d == 0 {
+                return Ok(out);
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < counts[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(bounds: &[(f64, f64)]) -> NdBox {
+        NdBox::from_bounds(bounds).unwrap()
+    }
+
+    #[test]
+    fn volume_across_dimensions() {
+        assert_eq!(boxed(&[(0.0, 5.0)]).volume(), 5.0);
+        assert_eq!(boxed(&[(0.0, 2.0), (0.0, 3.0)]).volume(), 6.0);
+        assert_eq!(boxed(&[(0.0, 2.0), (0.0, 3.0), (1.0, 2.0)]).volume(), 6.0);
+        assert_eq!(boxed(&[]).volume(), 1.0); // empty product convention
+    }
+
+    #[test]
+    fn construction_reports_failing_axis() {
+        let err = NdBox::from_bounds(&[(0.0, 1.0), (3.0, 2.0)]).unwrap_err();
+        assert_eq!(err, GeomError::InvertedBounds { axis: 1 });
+    }
+
+    #[test]
+    fn containment() {
+        let b = boxed(&[(0.0, 1.0), (0.0, 2.0), (0.0, 3.0)]);
+        assert!(b.contains(&[0.5, 1.0, 2.9]).unwrap());
+        assert!(b.contains(&[0.0, 0.0, 0.0]).unwrap()); // corner
+        assert!(!b.contains(&[1.5, 1.0, 1.0]).unwrap());
+        assert!(b.contains(&[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn intersection_3d() {
+        let a = boxed(&[(0.0, 2.0), (0.0, 2.0), (0.0, 2.0)]);
+        let b = boxed(&[(1.0, 3.0), (1.0, 3.0), (1.0, 3.0)]);
+        let i = a.intersection(&b).unwrap().unwrap();
+        assert_eq!(i.volume(), 1.0);
+        // Face-touching boxes do not produce a positive-volume intersection.
+        let c = boxed(&[(2.0, 3.0), (0.0, 2.0), (0.0, 2.0)]);
+        assert!(a.intersection(&c).unwrap().is_none());
+        // Dimension mismatch is an error, not a silent None.
+        let d = boxed(&[(0.0, 1.0)]);
+        assert!(a.intersection(&d).is_err());
+    }
+
+    #[test]
+    fn grid_partition_covers_volume() {
+        let cells = grid_partition(&[(0.0, 1.0), (0.0, 2.0)], &[4, 5]).unwrap();
+        assert_eq!(cells.len(), 20);
+        let total: f64 = cells.iter().map(NdBox::volume).sum();
+        assert!((total - 2.0).abs() < 1e-12);
+        // Cells are pairwise volume-disjoint.
+        for i in 0..cells.len() {
+            for j in (i + 1)..cells.len() {
+                assert!(cells[i].intersection(&cells[j]).unwrap().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_partition_3d_counts() {
+        let cells = grid_partition(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)], &[2, 3, 4]).unwrap();
+        assert_eq!(cells.len(), 24);
+        let total: f64 = cells.iter().map(NdBox::volume).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_partition_zero_count_is_empty() {
+        let cells = grid_partition(&[(0.0, 1.0), (0.0, 1.0)], &[0, 5]).unwrap();
+        assert!(cells.is_empty());
+    }
+}

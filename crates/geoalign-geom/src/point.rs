@@ -1,0 +1,243 @@
+//! Points and vectors in the Euclidean plane.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or free vector) in the Euclidean plane, stored as `f64`
+/// coordinates.
+///
+/// `Point2` is `Copy` and all arithmetic is by value; the type doubles as a
+/// 2-vector, with `-`, `+` and scalar `*`/`/` defined component-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2::new(0.0, 0.0);
+
+    /// Dot product of `self` and `other` viewed as vectors.
+    #[inline]
+    pub fn dot(self, other: Point2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the 3-D cross product of `self` and `other` viewed as
+    /// vectors; positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Point2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Squared Euclidean length of `self` viewed as a vector.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean length of `self` viewed as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean distance between two points.
+    #[inline]
+    pub fn dist_sq(self, other: Point2) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Euclidean distance between two points.
+    #[inline]
+    pub fn dist(self, other: Point2) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Midpoint of the segment joining `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        Point2::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+    }
+
+    /// The vector rotated by 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Point2 {
+        Point2::new(-self.y, self.x)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(self, other: Point2) -> Point2 {
+        Point2::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(self, other: Point2) -> Point2 {
+        Point2::new(self.x.max(other.x), self.y.max(other.y))
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn neg(self) -> Point2 {
+        Point2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point2 {
+        Point2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Point2> for f64 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, rhs: Point2) -> Point2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn div(self, rhs: f64) -> Point2 {
+        Point2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<Point2> for (f64, f64) {
+    #[inline]
+    fn from(p: Point2) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_componentwise() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, -4.0);
+        assert_eq!(a + b, Point2::new(4.0, -2.0));
+        assert_eq!(a - b, Point2::new(-2.0, 6.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Point2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point2::new(1.5, -2.0));
+        assert_eq!(-a, Point2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Point2::new(1.0, 0.0);
+        let b = Point2::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(b.norm(), 5.0);
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 4.0);
+        assert_eq!(a.midpoint(b), Point2::new(1.0, 2.0));
+        assert_eq!(a.lerp(b, 0.25), Point2::new(0.5, 1.0));
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn perp_rotates_ccw() {
+        let a = Point2::new(1.0, 0.0);
+        assert_eq!(a.perp(), Point2::new(0.0, 1.0));
+        assert!(a.cross(a.perp()) > 0.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point2::new(1.0, 2.0).is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point2::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Point2::new(1.0, 5.0);
+        let b = Point2::new(2.0, 3.0);
+        assert_eq!(a.min(b), Point2::new(1.0, 3.0));
+        assert_eq!(a.max(b), Point2::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point2 = (1.0, 2.0).into();
+        assert_eq!(p, Point2::new(1.0, 2.0));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.0, 2.0));
+    }
+}

@@ -1,0 +1,461 @@
+//! Simple polygons: closed areas bounded by a single non-self-intersecting
+//! ring, as used for the 2-D units of the aggregate interpolation problem
+//! (paper §2.2, Eq. 2).
+
+use crate::bbox::Aabb;
+use crate::error::GeomError;
+use crate::point::Point2;
+use crate::predicates::{orient2d, Orientation};
+
+/// A simple polygon stored as a counter-clockwise ring of vertices.
+///
+/// The ring is *open*: the closing edge from the last vertex back to the
+/// first is implicit. Construction normalizes orientation to CCW and strips
+/// consecutive duplicate vertices; it rejects rings with fewer than three
+/// distinct vertices, non-finite coordinates, or zero area. Self-intersection
+/// is **not** checked at construction (it is O(n log n)); callers producing
+/// polygons from clipping/Voronoi get simplicity by construction, and
+/// [`Polygon::is_simple`] offers an explicit check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    verts: Vec<Point2>,
+    bbox: Aabb,
+}
+
+impl Polygon {
+    /// Builds a polygon from a vertex ring (either orientation; the stored
+    /// ring is normalized to counter-clockwise).
+    pub fn new(mut verts: Vec<Point2>) -> Result<Self, GeomError> {
+        if verts.iter().any(|p| !p.is_finite()) {
+            return Err(GeomError::NonFiniteCoordinate);
+        }
+        // Strip consecutive duplicates (including last == first wrap).
+        verts.dedup();
+        while verts.len() > 1 && verts.last() == verts.first() {
+            verts.pop();
+        }
+        if verts.len() < 3 {
+            return Err(GeomError::TooFewVertices { got: verts.len() });
+        }
+        let signed = signed_area_of(&verts);
+        if signed == 0.0 {
+            return Err(GeomError::DegenerateRing);
+        }
+        if signed < 0.0 {
+            verts.reverse();
+        }
+        let bbox = Aabb::from_points(verts.iter().copied());
+        Ok(Self { verts, bbox })
+    }
+
+    /// The axis-aligned rectangle `[x0, x1] × [y0, y1]` as a polygon.
+    pub fn rect(min: Point2, max: Point2) -> Result<Self, GeomError> {
+        let b = Aabb::new(min, max);
+        Self::new(b.corners().to_vec())
+    }
+
+    /// A regular `n`-gon centered at `c` with circumradius `r`.
+    pub fn regular(c: Point2, r: f64, n: usize) -> Result<Self, GeomError> {
+        let verts = (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                Point2::new(c.x + r * t.cos(), c.y + r * t.sin())
+            })
+            .collect();
+        Self::new(verts)
+    }
+
+    /// The vertex ring (counter-clockwise, open).
+    pub fn vertices(&self) -> &[Point2] {
+        &self.verts
+    }
+
+    /// Number of vertices (equal to the number of edges).
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Always `false` — a constructed polygon has at least three vertices.
+    /// Provided for clippy's `len_without_is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cached axis-aligned bounding box.
+    pub fn bbox(&self) -> &Aabb {
+        &self.bbox
+    }
+
+    /// Iterator over directed edges `(v[i], v[i+1])`, wrapping.
+    pub fn edges(&self) -> impl Iterator<Item = (Point2, Point2)> + '_ {
+        let n = self.verts.len();
+        (0..n).map(move |i| (self.verts[i], self.verts[(i + 1) % n]))
+    }
+
+    /// Enclosed area, by the shoelace formula. Always positive.
+    pub fn area(&self) -> f64 {
+        signed_area_of(&self.verts).abs()
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|(a, b)| a.dist(b)).sum()
+    }
+
+    /// Area centroid.
+    pub fn centroid(&self) -> Point2 {
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a2 = 0.0;
+        // Shift by the first vertex for numerical stability with far-from-
+        // origin coordinates.
+        let o = self.verts[0];
+        for (p, q) in self.edges() {
+            let p = p - o;
+            let q = q - o;
+            let w = p.cross(q);
+            a2 += w;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        // a2 is twice the signed area (positive: ring is CCW).
+        Point2::new(o.x + cx / (3.0 * a2), o.y + cy / (3.0 * a2))
+    }
+
+    /// Returns `true` when every interior angle turns the same way, i.e. the
+    /// polygon is convex (collinear runs allowed).
+    pub fn is_convex(&self) -> bool {
+        let n = self.verts.len();
+        for i in 0..n {
+            let a = self.verts[i];
+            let b = self.verts[(i + 1) % n];
+            let c = self.verts[(i + 2) % n];
+            if orient2d(a, b, c) == Orientation::Clockwise {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// O(n²) simplicity check: no two non-adjacent edges intersect. Intended
+    /// for tests and validation of externally supplied rings, not hot paths.
+    pub fn is_simple(&self) -> bool {
+        let n = self.verts.len();
+        for i in 0..n {
+            let (a1, a2) = (self.verts[i], self.verts[(i + 1) % n]);
+            for j in (i + 1)..n {
+                // Skip adjacent edges (sharing a vertex).
+                if j == i || (j + 1) % n == i || (i + 1) % n == j {
+                    continue;
+                }
+                let (b1, b2) = (self.verts[j], self.verts[(j + 1) % n]);
+                if segments_intersect(a1, a2, b1, b2) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Point-in-polygon by the crossing-number method with exact boundary
+    /// handling: points on the boundary count as contained.
+    pub fn contains(&self, p: Point2) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let mut inside = false;
+        let n = self.verts.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.verts[j];
+            let b = self.verts[i];
+            if crate::predicates::on_segment(p, a, b) {
+                return true;
+            }
+            // Half-open rule on the y-range avoids double-counting vertices.
+            if (b.y > p.y) != (a.y > p.y) {
+                // x coordinate of the edge at height p.y.
+                let t = (p.y - b.y) / (a.y - b.y);
+                let x = b.x + t * (a.x - b.x);
+                if p.x < x {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Translates all vertices by `d`.
+    pub fn translated(&self, d: Point2) -> Polygon {
+        // Translation preserves validity; rebuild the bbox cheaply.
+        let verts: Vec<Point2> = self.verts.iter().map(|&v| v + d).collect();
+        let bbox = Aabb::new(self.bbox.min + d, self.bbox.max + d);
+        Polygon { verts, bbox }
+    }
+
+    /// Consumes the polygon, returning its vertex ring.
+    pub fn into_vertices(self) -> Vec<Point2> {
+        self.verts
+    }
+}
+
+/// Signed shoelace area of a ring (positive for counter-clockwise).
+/// Coordinates are shifted by the first vertex before summing to avoid
+/// catastrophic cancellation far from the origin.
+pub fn signed_area_of(verts: &[Point2]) -> f64 {
+    if verts.len() < 3 {
+        return 0.0;
+    }
+    let o = verts[0];
+    let mut acc = 0.0;
+    for i in 1..verts.len() - 1 {
+        acc += (verts[i] - o).cross(verts[i + 1] - o);
+    }
+    0.5 * acc
+}
+
+/// Proper or touching intersection test for closed segments `[a1,a2]` and
+/// `[b1,b2]` using robust orientation predicates.
+pub fn segments_intersect(a1: Point2, a2: Point2, b1: Point2, b2: Point2) -> bool {
+    let o1 = orient2d(a1, a2, b1);
+    let o2 = orient2d(a1, a2, b2);
+    let o3 = orient2d(b1, b2, a1);
+    let o4 = orient2d(b1, b2, a2);
+    // General position: strict straddling on both sides.
+    if o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
+    {
+        return true;
+    }
+    // Collinear/touching special cases.
+    use crate::predicates::on_segment;
+    if o1 == Orientation::Collinear && on_segment(b1, a1, a2) {
+        return true;
+    }
+    if o2 == Orientation::Collinear && on_segment(b2, a1, a2) {
+        return true;
+    }
+    if o3 == Orientation::Collinear && on_segment(a1, b1, b2) {
+        return true;
+    }
+    if o4 == Orientation::Collinear && on_segment(a2, b1, b2) {
+        return true;
+    }
+    o1 != o2 && o3 != o4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rect(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_bad_rings() {
+        assert_eq!(
+            Polygon::new(vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)]),
+            Err(GeomError::TooFewVertices { got: 2 })
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(2.0, 0.0)
+            ]),
+            Err(GeomError::DegenerateRing)
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point2::new(f64::NAN, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0)
+            ]),
+            Err(GeomError::NonFiniteCoordinate)
+        );
+    }
+
+    #[test]
+    fn orientation_is_normalized() {
+        let cw = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert!(signed_area_of(cw.vertices()) > 0.0);
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_and_closing_vertices_are_stripped() {
+        let p = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 0.0), // closing repeat
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert!((p.area() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_perimeter_centroid_of_square() {
+        let sq = unit_square();
+        assert_eq!(sq.area(), 1.0);
+        assert_eq!(sq.perimeter(), 4.0);
+        let c = sq.centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_far_from_origin_is_stable() {
+        let off = Point2::new(1e8, -1e8);
+        let sq = unit_square().translated(off);
+        let c = sq.centroid();
+        assert!((c.x - (1e8 + 0.5)).abs() < 1e-4);
+        assert!((c.y - (-1e8 + 0.5)).abs() < 1e-4);
+        assert!((sq.area() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_centroid_is_vertex_mean() {
+        let t = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(0.0, 3.0),
+        ])
+        .unwrap();
+        let c = t.centroid();
+        assert!((c.x - 1.0).abs() < 1e-12 && (c.y - 1.0).abs() < 1e-12);
+        assert_eq!(t.area(), 4.5);
+    }
+
+    #[test]
+    fn convexity() {
+        assert!(unit_square().is_convex());
+        assert!(Polygon::regular(Point2::ORIGIN, 1.0, 7).unwrap().is_convex());
+        // An L-shape is not convex.
+        let l = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(!l.is_convex());
+        assert!(l.is_simple());
+        assert_eq!(l.area(), 3.0);
+    }
+
+    #[test]
+    fn simplicity_detects_bowtie() {
+        // A symmetric bowtie has zero signed area and is rejected outright.
+        assert_eq!(
+            Polygon::new(vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(2.0, 2.0),
+                Point2::new(2.0, 0.0),
+                Point2::new(0.0, 2.0),
+            ]),
+            Err(GeomError::DegenerateRing)
+        );
+        // An asymmetric self-intersecting ring survives construction but is
+        // flagged by the explicit simplicity check.
+        let bow = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(0.0, 3.0),
+        ])
+        .unwrap();
+        assert!(!bow.is_simple());
+    }
+
+    #[test]
+    fn containment_including_boundary() {
+        let sq = unit_square();
+        assert!(sq.contains(Point2::new(0.5, 0.5)));
+        assert!(sq.contains(Point2::new(0.0, 0.0))); // corner
+        assert!(sq.contains(Point2::new(0.5, 0.0))); // edge
+        assert!(sq.contains(Point2::new(1.0, 1.0)));
+        assert!(!sq.contains(Point2::new(1.5, 0.5)));
+        assert!(!sq.contains(Point2::new(-0.0001, 0.5)));
+    }
+
+    #[test]
+    fn containment_concave() {
+        let l = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(l.contains(Point2::new(0.5, 1.5)));
+        assert!(l.contains(Point2::new(1.5, 0.5)));
+        assert!(!l.contains(Point2::new(1.5, 1.5))); // the notch
+    }
+
+    #[test]
+    fn containment_vertex_ray_degeneracy() {
+        // Horizontal ray through a vertex must not double count.
+        let tri = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(2.0, 2.0),
+        ])
+        .unwrap();
+        // Query at the same height as the apex, outside.
+        assert!(!tri.contains(Point2::new(-1.0, 2.0)));
+        assert!(!tri.contains(Point2::new(5.0, 2.0)));
+        // At apex height only the apex itself is inside.
+        assert!(tri.contains(Point2::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn regular_polygon_area_converges_to_circle() {
+        let p = Polygon::regular(Point2::ORIGIN, 1.0, 4096).unwrap();
+        assert!((p.area() - std::f64::consts::PI).abs() < 1e-4);
+        assert!((p.perimeter() - 2.0 * std::f64::consts::PI).abs() < 1e-4);
+    }
+
+    #[test]
+    fn edges_wrap_around() {
+        let sq = unit_square();
+        let edges: Vec<_> = sq.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].1, sq.vertices()[0]);
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let o = Point2::new(0.0, 0.0);
+        let e = Point2::new(2.0, 2.0);
+        // Proper crossing.
+        assert!(segments_intersect(o, e, Point2::new(0.0, 2.0), Point2::new(2.0, 0.0)));
+        // Touching at endpoint.
+        assert!(segments_intersect(o, e, e, Point2::new(3.0, 0.0)));
+        // Collinear overlap.
+        assert!(segments_intersect(o, e, Point2::new(1.0, 1.0), Point2::new(3.0, 3.0)));
+        // Collinear disjoint.
+        assert!(!segments_intersect(o, Point2::new(1.0, 1.0), Point2::new(1.5, 1.5), e));
+        // Parallel disjoint.
+        assert!(!segments_intersect(o, e, Point2::new(0.0, 1.0), Point2::new(1.0, 2.0)));
+        // Fully disjoint.
+        assert!(!segments_intersect(o, Point2::new(1.0, 0.0), Point2::new(0.0, 1.0), Point2::new(1.0, 2.0)));
+    }
+}

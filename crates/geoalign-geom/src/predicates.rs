@@ -1,0 +1,295 @@
+//! Geometric predicates with floating-point error filtering.
+//!
+//! The workhorse is [`orient2d`], the signed area of the parallelogram
+//! spanned by `b - a` and `c - a`. A naive evaluation can return a wrong
+//! *sign* when the true value is near zero; following Shewchuk's adaptive
+//! scheme we first evaluate with a forward error bound and fall back to an
+//! exact evaluation (via error-free float transformations) only when the
+//! filtered result is inconclusive.
+
+use crate::point::Point2;
+
+/// Orientation of an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// The triple `(a, b, c)` turns counter-clockwise (positive signed area).
+    CounterClockwise,
+    /// The triple turns clockwise (negative signed area).
+    Clockwise,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Error-free transformation: returns `(s, e)` with `s = fl(a + b)` and
+/// `a + b = s + e` exactly (Knuth's TwoSum).
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free transformation: returns `(p, e)` with `p = fl(a * b)` and
+/// `a * b = p + e` exactly, using FMA.
+#[inline]
+fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = f64::mul_add(a, b, -p);
+    (p, e)
+}
+
+/// Error-free transformation: returns `(s, e)` with `s = fl(a - b)` and
+/// `a - b = s + e` exactly.
+#[inline]
+fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let s = a - b;
+    let bb = a - s;
+    let e = (a - (s + bb)) + (bb - b);
+    (s, e)
+}
+
+/// Grows an exact floating-point expansion by one exact term
+/// (Shewchuk's grow-expansion). `exp[..len]` holds the expansion in
+/// increasing-magnitude order; returns the new length.
+fn grow_expansion(exp: &mut [f64], len: usize, term: f64) -> usize {
+    let mut carry = term;
+    let mut j = 0usize;
+    for i in 0..len {
+        let (s, e) = two_sum(exp[i], carry);
+        carry = s;
+        if e != 0.0 {
+            exp[j] = e;
+            j += 1;
+        }
+    }
+    if carry != 0.0 {
+        exp[j] = carry;
+        j += 1;
+    }
+    j
+}
+
+/// Exact sign of the orientation determinant
+/// `(a.x - c.x)(b.y - c.y) - (a.y - c.y)(b.x - c.x)` computed from the
+/// *original* coordinates: every subtraction and product is expanded with
+/// error-free transformations so no rounding is ever discarded.
+/// Returns `-1`, `0` or `1`.
+fn sign_of_orient_exact(a: Point2, b: Point2, c: Point2) -> i32 {
+    let (axh, axl) = two_diff(a.x, c.x);
+    let (ayh, ayl) = two_diff(a.y, c.y);
+    let (bxh, bxl) = two_diff(b.x, c.x);
+    let (byh, byl) = two_diff(b.y, c.y);
+
+    // (axh + axl)(byh + byl) - (ayh + ayl)(bxh + bxl): 8 exact products,
+    // each split into hi + lo → up to 16 exact terms.
+    let mut terms: [f64; 16] = [0.0; 16];
+    let mut k = 0usize;
+    let push_prod = |terms: &mut [f64; 16], k: &mut usize, x: f64, y: f64, sign: f64| {
+        let (p, e) = two_product(x, y);
+        terms[*k] = sign * p;
+        terms[*k + 1] = sign * e;
+        *k += 2;
+    };
+    push_prod(&mut terms, &mut k, axh, byh, 1.0);
+    push_prod(&mut terms, &mut k, axh, byl, 1.0);
+    push_prod(&mut terms, &mut k, axl, byh, 1.0);
+    push_prod(&mut terms, &mut k, axl, byl, 1.0);
+    push_prod(&mut terms, &mut k, ayh, bxh, -1.0);
+    push_prod(&mut terms, &mut k, ayh, bxl, -1.0);
+    push_prod(&mut terms, &mut k, ayl, bxh, -1.0);
+    push_prod(&mut terms, &mut k, ayl, bxl, -1.0);
+
+    // Sum the exact terms into an expansion; the largest-magnitude
+    // component carries the sign.
+    let mut exp: [f64; 32] = [0.0; 32];
+    let mut len = 0usize;
+    for &t in &terms[..k] {
+        if t != 0.0 {
+            len = grow_expansion(&mut exp, len, t);
+        }
+    }
+    if len == 0 {
+        0
+    } else {
+        let m = exp[len - 1];
+        if m > 0.0 {
+            1
+        } else if m < 0.0 {
+            -1
+        } else {
+            0
+        }
+    }
+}
+
+/// Relative error bound coefficient for the orient2d filter
+/// (Shewchuk, "Adaptive Precision Floating-Point Arithmetic").
+const ORIENT2D_FILTER: f64 = (3.0 + 16.0 * f64::EPSILON) * f64::EPSILON;
+
+/// Signed area of the parallelogram `(b - a) × (c - a)`.
+///
+/// Positive when `(a, b, c)` is a counter-clockwise turn. The returned
+/// *value* is the straightforward floating-point evaluation; only the
+/// companion [`orient2d`] guarantees a correct sign.
+#[inline]
+pub fn signed_area2(a: Point2, b: Point2, c: Point2) -> f64 {
+    (b - a).cross(c - a)
+}
+
+/// Robust orientation test for the ordered triple `(a, b, c)`.
+///
+/// Uses a floating-point filter and falls back to exact arithmetic when the
+/// filtered value cannot be trusted, so the result is the orientation of the
+/// *exact* points.
+pub fn orient2d(a: Point2, b: Point2, c: Point2) -> Orientation {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return classify(det);
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return classify(det);
+        }
+        -(detleft + detright)
+    } else {
+        return classify(det);
+    };
+
+    let errbound = ORIENT2D_FILTER * detsum;
+    if det >= errbound || -det >= errbound {
+        return classify(det);
+    }
+
+    // Filter failed: decide exactly.
+    match sign_of_orient_exact(a, b, c) {
+        1 => Orientation::CounterClockwise,
+        -1 => Orientation::Clockwise,
+        _ => Orientation::Collinear,
+    }
+}
+
+#[inline]
+fn classify(det: f64) -> Orientation {
+    if det > 0.0 {
+        Orientation::CounterClockwise
+    } else if det < 0.0 {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// Returns `true` when point `p` lies strictly inside the (closed) axis
+/// range spanned by `a` and `b` on both coordinates — a cheap bounding test
+/// used before exact on-segment checks.
+#[inline]
+pub fn in_segment_bbox(p: Point2, a: Point2, b: Point2) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+/// Tests whether `p` lies on the closed segment `[a, b]` (exactly).
+pub fn on_segment(p: Point2, a: Point2, b: Point2) -> bool {
+    orient2d(a, b, p) == Orientation::Collinear && in_segment_bbox(p, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_orientations() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let c = Point2::new(0.0, 1.0);
+        assert_eq!(orient2d(a, b, c), Orientation::CounterClockwise);
+        assert_eq!(orient2d(a, c, b), Orientation::Clockwise);
+        assert_eq!(orient2d(a, b, Point2::new(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn near_degenerate_is_decided_exactly() {
+        // Points nearly collinear: c on the line from a to b up to the last
+        // ulp. Constructed so the naive determinant is tiny and noisy.
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1e17, 1e17);
+        // Exactly on the line y = x.
+        let c = Point2::new(12345.0, 12345.0);
+        assert_eq!(orient2d(a, b, c), Orientation::Collinear);
+        // One ulp above the line.
+        let c_up = Point2::new(12345.0, 12345.0f64.next_up());
+        assert_eq!(orient2d(a, b, c_up), Orientation::CounterClockwise);
+        let c_dn = Point2::new(12345.0, 12345.0f64.next_down());
+        assert_eq!(orient2d(a, b, c_dn), Orientation::Clockwise);
+    }
+
+    #[test]
+    fn classic_shewchuk_failure_case() {
+        // A grid of perturbed points around (0.5, 0.5) vs the segment from
+        // (12, 12) to (24, 24): naive arithmetic misclassifies some; the
+        // robust predicate must be antisymmetric and consistent.
+        let b = Point2::new(12.0, 12.0);
+        let c = Point2::new(24.0, 24.0);
+        for i in 0..32 {
+            for j in 0..32 {
+                let p = Point2::new(
+                    0.5 + i as f64 * f64::EPSILON,
+                    0.5 + j as f64 * f64::EPSILON,
+                );
+                let o1 = orient2d(p, b, c);
+                let o2 = orient2d(p, c, b);
+                // Antisymmetry under swapping b and c.
+                match o1 {
+                    Orientation::CounterClockwise => assert_eq!(o2, Orientation::Clockwise),
+                    Orientation::Clockwise => assert_eq!(o2, Orientation::CounterClockwise),
+                    Orientation::Collinear => assert_eq!(o2, Orientation::Collinear),
+                }
+                // Exact classification: p is on the line y = x iff i == j.
+                if i == j {
+                    assert_eq!(o1, Orientation::Collinear, "i={i} j={j}");
+                } else {
+                    assert_ne!(o1, Orientation::Collinear, "i={i} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_segment_tests() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(4.0, 4.0);
+        assert!(on_segment(Point2::new(2.0, 2.0), a, b));
+        assert!(on_segment(a, a, b));
+        assert!(on_segment(b, a, b));
+        assert!(!on_segment(Point2::new(5.0, 5.0), a, b));
+        assert!(!on_segment(Point2::new(2.0, 2.1), a, b));
+    }
+
+    #[test]
+    fn two_sum_exactness() {
+        // 1e16 + 1 is not representable (ulp spacing is 2 there); the
+        // rounded sum drops the 1 and the error term recovers it exactly.
+        let (s, e) = two_sum(1e16, 1.0);
+        assert_eq!(s, 1e16);
+        assert_eq!(e, 1.0);
+        // two_diff is exact the same way.
+        let (d, de) = two_diff(1e16, 1.0);
+        assert_eq!(d, 1e16);
+        assert_eq!(de, -1.0);
+    }
+
+    #[test]
+    fn two_product_exactness() {
+        let a = 1.0 + f64::EPSILON;
+        let b = 1.0 + f64::EPSILON;
+        let (p, e) = two_product(a, b);
+        // a*b = 1 + 2eps + eps^2; p misses the eps^2 term.
+        assert_eq!(p, 1.0 + 2.0 * f64::EPSILON);
+        assert_eq!(e, f64::EPSILON * f64::EPSILON);
+    }
+}

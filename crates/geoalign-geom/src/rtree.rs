@@ -1,0 +1,307 @@
+//! A static, bulk-loaded R-tree (Sort-Tile-Recursive packing).
+//!
+//! The overlay step queries, for every source unit, all target units whose
+//! bounding boxes intersect it. An STR-packed R-tree gives near-optimal leaf
+//! clustering for static data, which is exactly the workload here: unit
+//! systems never change after construction.
+
+use crate::bbox::Aabb;
+use crate::point::Point2;
+
+/// Fan-out of internal and leaf nodes.
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: Aabb,
+    /// Children: for internal nodes, indices into `nodes`; for leaves,
+    /// payload item indices.
+    children: Vec<u32>,
+    is_leaf: bool,
+}
+
+/// A static R-tree over items identified by `usize` index, each with a
+/// bounding box supplied at build time.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    item_boxes: Vec<Aabb>,
+    len: usize,
+}
+
+impl RTree {
+    /// Bulk-loads the tree from item bounding boxes using STR packing.
+    /// Item `i`'s box is `boxes[i]`; queries report item indices.
+    pub fn build(boxes: &[Aabb]) -> Self {
+        let len = boxes.len();
+        if len == 0 {
+            return Self { nodes: Vec::new(), root: None, item_boxes: Vec::new(), len: 0 };
+        }
+        // --- Pack leaves ---
+        let mut order: Vec<u32> = (0..len as u32).collect();
+        // Sort by center-x, tile into vertical slices, sort each by center-y.
+        order.sort_by(|&a, &b| {
+            boxes[a as usize].center().x.total_cmp(&boxes[b as usize].center().x)
+        });
+        let leaf_count = len.div_ceil(NODE_CAPACITY);
+        let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_slice = len.div_ceil(slice_count);
+        let mut nodes: Vec<Node> = Vec::with_capacity(2 * leaf_count + 2);
+        let mut level: Vec<u32> = Vec::with_capacity(leaf_count);
+        for slice in order.chunks(per_slice) {
+            let mut slice: Vec<u32> = slice.to_vec();
+            slice.sort_by(|&a, &b| {
+                boxes[a as usize].center().y.total_cmp(&boxes[b as usize].center().y)
+            });
+            for group in slice.chunks(NODE_CAPACITY) {
+                let mut bbox = Aabb::empty();
+                for &i in group {
+                    bbox = bbox.union(&boxes[i as usize]);
+                }
+                nodes.push(Node { bbox, children: group.to_vec(), is_leaf: true });
+                level.push((nodes.len() - 1) as u32);
+            }
+        }
+        // --- Pack upper levels ---
+        while level.len() > 1 {
+            let mut next: Vec<u32> = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            // Keep spatial order: sort level nodes by center-x then tile.
+            level.sort_by(|&a, &b| {
+                nodes[a as usize]
+                    .bbox
+                    .center()
+                    .x
+                    .total_cmp(&nodes[b as usize].bbox.center().x)
+            });
+            let count = level.len().div_ceil(NODE_CAPACITY);
+            let slices = (count as f64).sqrt().ceil() as usize;
+            let per = level.len().div_ceil(slices);
+            let mut regrouped: Vec<u32> = Vec::with_capacity(level.len());
+            for slice in level.chunks(per) {
+                let mut s: Vec<u32> = slice.to_vec();
+                s.sort_by(|&a, &b| {
+                    nodes[a as usize]
+                        .bbox
+                        .center()
+                        .y
+                        .total_cmp(&nodes[b as usize].bbox.center().y)
+                });
+                regrouped.extend(s);
+            }
+            for group in regrouped.chunks(NODE_CAPACITY) {
+                let mut bbox = Aabb::empty();
+                for &i in group {
+                    bbox = bbox.union(&nodes[i as usize].bbox);
+                }
+                nodes.push(Node { bbox, children: group.to_vec(), is_leaf: false });
+                next.push((nodes.len() - 1) as u32);
+            }
+            level = next;
+        }
+        let root = level.first().copied();
+        Self { nodes, root, item_boxes: boxes.to_vec(), len }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the tree indexes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding box of the whole tree (empty box when the tree is empty).
+    pub fn bbox(&self) -> Aabb {
+        self.root.map_or_else(Aabb::empty, |r| self.nodes[r as usize].bbox)
+    }
+
+    /// Calls `visit` with the index of every item whose box intersects
+    /// `query`.
+    pub fn query<F: FnMut(usize)>(&self, query: &Aabb, mut visit: F) {
+        let Some(root) = self.root else { return };
+        let mut stack: Vec<u32> = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if !node.bbox.intersects(query) {
+                continue;
+            }
+            if node.is_leaf {
+                for &item in &node.children {
+                    if self.item_boxes[item as usize].intersects(query) {
+                        visit(item as usize);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+    }
+
+    /// Collects the indices of all items whose box intersects `query`.
+    /// Matches are exact with respect to the supplied item boxes; callers
+    /// working with polygons still refine with exact geometry.
+    pub fn query_vec(&self, query: &Aabb) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.query(query, |i| out.push(i));
+        out
+    }
+
+    /// Calls `visit` with every item whose box contains the point `p`.
+    pub fn query_point<F: FnMut(usize)>(&self, p: Point2, mut visit: F) {
+        let Some(root) = self.root else { return };
+        let mut stack: Vec<u32> = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if !node.bbox.contains(p) {
+                continue;
+            }
+            if node.is_leaf {
+                for &item in &node.children {
+                    if self.item_boxes[item as usize].contains(p) {
+                        visit(item as usize);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+    }
+
+    /// Height of the tree (0 for empty, 1 for a single leaf level).
+    pub fn height(&self) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut h = 1;
+        let mut ni = root;
+        while !self.nodes[ni as usize].is_leaf {
+            ni = self.nodes[ni as usize].children[0];
+            h += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_boxes(n: usize) -> Vec<Aabb> {
+        // n×n unit squares tiling [0, n]².
+        let mut out = Vec::with_capacity(n * n);
+        for y in 0..n {
+            for x in 0..n {
+                out.push(Aabb::new(
+                    Point2::new(x as f64, y as f64),
+                    Point2::new(x as f64 + 1.0, y as f64 + 1.0),
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t
+            .query_vec(&Aabb::new(Point2::ORIGIN, Point2::new(1.0, 1.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let boxes = grid_boxes(17); // 289 items, multiple levels
+        let tree = RTree::build(&boxes);
+        assert_eq!(tree.len(), 289);
+        assert!(tree.height() >= 2);
+        let queries = [
+            Aabb::new(Point2::new(2.5, 3.5), Point2::new(5.5, 4.5)),
+            Aabb::new(Point2::new(-1.0, -1.0), Point2::new(0.5, 0.5)),
+            Aabb::new(Point2::new(100.0, 100.0), Point2::new(101.0, 101.0)),
+            Aabb::new(Point2::new(0.0, 0.0), Point2::new(17.0, 17.0)),
+            Aabb::new(Point2::new(8.0, 8.0), Point2::new(8.0, 8.0)), // point-like
+        ];
+        for q in &queries {
+            let mut got = tree.query_vec(q);
+            got.sort_unstable();
+            let mut expect: Vec<usize> = boxes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.intersects(q))
+                .map(|(i, _)| i)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn point_queries() {
+        let boxes = grid_boxes(10);
+        let tree = RTree::build(&boxes);
+        let mut got = Vec::new();
+        tree.query_point(Point2::new(3.5, 7.5), |i| got.push(i));
+        assert_eq!(got, vec![7 * 10 + 3]);
+        // Grid corner point hits the four adjacent cells.
+        let mut corner = Vec::new();
+        tree.query_point(Point2::new(5.0, 5.0), |i| corner.push(i));
+        corner.sort_unstable();
+        assert_eq!(corner, vec![4 * 10 + 4, 4 * 10 + 5, 5 * 10 + 4, 5 * 10 + 5]);
+        let mut outside = Vec::new();
+        tree.query_point(Point2::new(-0.1, 5.0), |i| outside.push(i));
+        assert!(outside.is_empty());
+    }
+
+    #[test]
+    fn single_item_tree() {
+        let b = Aabb::new(Point2::ORIGIN, Point2::new(1.0, 1.0));
+        let tree = RTree::build(&[b]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.query_vec(&b), vec![0]);
+        assert_eq!(tree.bbox(), b);
+    }
+
+    #[test]
+    fn tree_bbox_covers_all_items() {
+        let boxes = grid_boxes(13);
+        let tree = RTree::build(&boxes);
+        let root = tree.bbox();
+        for b in &boxes {
+            assert!(root.contains_box(b));
+        }
+        assert_eq!(root, Aabb::new(Point2::ORIGIN, Point2::new(13.0, 13.0)));
+    }
+
+    #[test]
+    fn overlapping_random_boxes() {
+        let mut state: u64 = 7;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let boxes: Vec<Aabb> = (0..400)
+            .map(|_| {
+                let c = Point2::new(next() * 10.0, next() * 10.0);
+                let w = next();
+                let h = next();
+                Aabb::new(c, Point2::new(c.x + w, c.y + h))
+            })
+            .collect();
+        let tree = RTree::build(&boxes);
+        let q = Aabb::new(Point2::new(3.0, 3.0), Point2::new(6.0, 6.0));
+        let mut got = tree.query_vec(&q);
+        got.sort_unstable();
+        let mut expect: Vec<usize> = boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects(&q))
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}

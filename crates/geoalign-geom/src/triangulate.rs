@@ -1,0 +1,259 @@
+//! Polygon triangulation by ear clipping.
+//!
+//! Triangulating a unit polygon enables exact area decomposition and
+//! area-uniform point sampling inside arbitrary (simple, possibly concave)
+//! units — used for synthetic workloads that need points "uniformly over a
+//! unit" rather than over its bounding box, and as an independent witness
+//! for the shoelace area in tests.
+
+use crate::point::Point2;
+use crate::polygon::Polygon;
+use crate::predicates::{orient2d, Orientation};
+
+/// A triangle as three vertices in counter-clockwise order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// The vertices, counter-clockwise.
+    pub vertices: [Point2; 3],
+}
+
+impl Triangle {
+    /// Triangle area (non-negative for CCW input).
+    pub fn area(&self) -> f64 {
+        let [a, b, c] = self.vertices;
+        0.5 * (b - a).cross(c - a)
+    }
+
+    /// Closed containment including edges and vertices.
+    pub fn contains(&self, p: Point2) -> bool {
+        let [a, b, c] = self.vertices;
+        orient2d(a, b, p) != Orientation::Clockwise
+            && orient2d(b, c, p) != Orientation::Clockwise
+            && orient2d(c, a, p) != Orientation::Clockwise
+    }
+
+    /// Maps barycentric-ish uniform coordinates `(u, v)` in `[0,1)²` to a
+    /// uniformly distributed point inside the triangle.
+    pub fn sample(&self, u: f64, v: f64) -> Point2 {
+        let (mut u, mut v) = (u, v);
+        if u + v > 1.0 {
+            u = 1.0 - u;
+            v = 1.0 - v;
+        }
+        let [a, b, c] = self.vertices;
+        a + (b - a) * u + (c - a) * v
+    }
+}
+
+/// Triangulates a simple polygon into `n − 2` triangles by ear clipping
+/// (O(n²); unit polygons are small).
+///
+/// The input ring must be simple; the polygon type guarantees CCW
+/// orientation and non-zero area. Collinear vertices are tolerated.
+pub fn triangulate(poly: &Polygon) -> Vec<Triangle> {
+    let verts = poly.vertices();
+    let n = verts.len();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n.saturating_sub(2));
+
+    // Guard against pathological rings: each full pass must clip at least
+    // one ear for a simple polygon; if none is found (numerical trouble),
+    // fall back to fan triangulation of the remainder.
+    'outer: while indices.len() > 3 {
+        let m = indices.len();
+        for k in 0..m {
+            let ia = indices[(k + m - 1) % m];
+            let ib = indices[k];
+            let ic = indices[(k + 1) % m];
+            let (a, b, c) = (verts[ia], verts[ib], verts[ic]);
+            // Ear tip must be convex.
+            if orient2d(a, b, c) != Orientation::CounterClockwise {
+                continue;
+            }
+            // No other remaining vertex may lie inside the candidate ear.
+            let tri = Triangle { vertices: [a, b, c] };
+            let blocked = indices.iter().any(|&j| {
+                j != ia && j != ib && j != ic && tri.contains(verts[j])
+            });
+            if blocked {
+                continue;
+            }
+            out.push(tri);
+            indices.remove(k);
+            continue 'outer;
+        }
+        // No ear found: numerical fallback (fan from the first vertex).
+        for w in 1..indices.len() - 1 {
+            out.push(Triangle {
+                vertices: [verts[indices[0]], verts[indices[w]], verts[indices[w + 1]]],
+            });
+        }
+        indices.truncate(0);
+        return out;
+    }
+    if indices.len() == 3 {
+        out.push(Triangle {
+            vertices: [verts[indices[0]], verts[indices[1]], verts[indices[2]]],
+        });
+    }
+    out
+}
+
+/// Samples `n` points uniformly over a polygon's interior: triangulate,
+/// pick triangles with probability proportional to area, then sample each
+/// triangle uniformly. `rand01(k)` supplies uniform-[0,1) variates.
+pub fn sample_uniform(
+    poly: &Polygon,
+    n: usize,
+    mut rand01: impl FnMut() -> f64,
+) -> Vec<Point2> {
+    let tris = triangulate(poly);
+    if tris.is_empty() {
+        return Vec::new();
+    }
+    let mut cum = Vec::with_capacity(tris.len());
+    let mut acc = 0.0;
+    for t in &tris {
+        acc += t.area().max(0.0);
+        cum.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let x = rand01() * total;
+            let idx = cum.partition_point(|&c| c < x).min(tris.len() - 1);
+            tris[idx].sample(rand01(), rand01())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg() -> impl FnMut() -> f64 {
+        let mut state: u64 = 0xC0FFEE;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn assert_covers_area(poly: &Polygon) {
+        let tris = triangulate(poly);
+        assert_eq!(tris.len(), poly.len() - 2);
+        let total: f64 = tris.iter().map(Triangle::area).sum();
+        assert!(
+            (total - poly.area()).abs() < 1e-9 * poly.area().max(1.0),
+            "triangle areas {total} vs polygon {}",
+            poly.area()
+        );
+        for t in &tris {
+            assert!(t.area() > 0.0, "degenerate triangle {t:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let t = Triangle {
+            vertices: [Point2::new(0.0, 0.0), Point2::new(2.0, 0.0), Point2::new(0.0, 2.0)],
+        };
+        assert_eq!(t.area(), 2.0);
+        assert!(t.contains(Point2::new(0.5, 0.5)));
+        assert!(t.contains(Point2::new(0.0, 0.0))); // vertex
+        assert!(t.contains(Point2::new(1.0, 1.0))); // hypotenuse
+        assert!(!t.contains(Point2::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn triangulates_convex_polygons() {
+        assert_covers_area(&Polygon::rect(Point2::new(0.0, 0.0), Point2::new(3.0, 2.0)).unwrap());
+        assert_covers_area(&Polygon::regular(Point2::new(1.0, 1.0), 2.0, 9).unwrap());
+    }
+
+    #[test]
+    fn triangulates_concave_polygons() {
+        // L-shape.
+        let l = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(3.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 3.0),
+            Point2::new(0.0, 3.0),
+        ])
+        .unwrap();
+        assert_covers_area(&l);
+        // A comb-like polygon with two notches.
+        let comb = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(6.0, 0.0),
+            Point2::new(6.0, 3.0),
+            Point2::new(5.0, 3.0),
+            Point2::new(5.0, 1.0),
+            Point2::new(4.0, 1.0),
+            Point2::new(4.0, 3.0),
+            Point2::new(2.0, 3.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 3.0),
+            Point2::new(0.0, 3.0),
+        ])
+        .unwrap();
+        assert_covers_area(&comb);
+    }
+
+    #[test]
+    fn triangles_stay_inside_the_polygon() {
+        let l = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(3.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 3.0),
+            Point2::new(0.0, 3.0),
+        ])
+        .unwrap();
+        for t in triangulate(&l) {
+            // Triangle centroid must lie inside the polygon.
+            let c = (t.vertices[0] + t.vertices[1] + t.vertices[2]) / 3.0;
+            assert!(l.contains(c), "centroid {c} escaped the polygon");
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_is_area_proportional() {
+        // An L-shape where the vertical arm has twice the area of the
+        // horizontal arm.
+        let l = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 5.0),
+            Point2::new(0.0, 5.0),
+        ])
+        .unwrap();
+        let mut rng = lcg();
+        let pts = sample_uniform(&l, 4000, &mut rng);
+        assert_eq!(pts.len(), 4000);
+        for p in &pts {
+            assert!(l.contains(*p), "sample {p} escaped");
+        }
+        // Vertical arm x<1,y>1 has area 4; rest has area 2.
+        let in_arm = pts.iter().filter(|p| p.y > 1.0).count() as f64 / 4000.0;
+        assert!((in_arm - 4.0 / 6.0).abs() < 0.05, "arm fraction {in_arm}");
+    }
+
+    #[test]
+    fn triangle_sampler_folds_into_the_triangle() {
+        let t = Triangle {
+            vertices: [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(0.0, 1.0)],
+        };
+        // u + v > 1 folds back inside.
+        let p = t.sample(0.9, 0.9);
+        assert!(t.contains(p));
+        assert!(t.contains(t.sample(0.0, 0.0)));
+        assert!(t.contains(t.sample(0.5, 0.49)));
+    }
+}

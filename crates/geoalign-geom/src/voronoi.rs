@@ -1,0 +1,279 @@
+//! Bounded Voronoi tessellations.
+//!
+//! GeoAlign's synthetic universes are Voronoi partitions of a rectangular
+//! universe: many seeds produce a fine "zip-code-like" layer, few seeds a
+//! coarse "county-like" layer. Cells are convex, pairwise disjoint, and
+//! cover the universe — exactly the unit-system axioms of paper §2.1
+//! (Eq. 1).
+//!
+//! The construction is the classic half-plane clipping method with a
+//! security-radius cutoff: cell *i* starts as the bounding rectangle and is
+//! clipped by the perpendicular bisector against neighbors in increasing
+//! distance (enumerated through a [`PointGrid`]); once the next candidate
+//! is farther than twice the cell's current circumradius, no later seed can
+//! cut the cell and the loop stops. With roughly uniform seeds this builds
+//! the whole diagram in near-linear time.
+
+use crate::bbox::Aabb;
+use crate::clip::{clip_ring_halfplane, HalfPlane};
+use crate::error::GeomError;
+use crate::grid::PointGrid;
+use crate::point::Point2;
+use crate::polygon::Polygon;
+
+/// A bounded Voronoi diagram: one convex cell per seed.
+#[derive(Debug, Clone)]
+pub struct VoronoiDiagram {
+    seeds: Vec<Point2>,
+    cells: Vec<Polygon>,
+    bounds: Aabb,
+}
+
+impl VoronoiDiagram {
+    /// Computes the Voronoi diagram of `seeds` clipped to the rectangle
+    /// `bounds`.
+    ///
+    /// Seeds must be non-empty, pairwise distinct and lie inside `bounds`
+    /// (seeds outside simply produce cells clipped to the rectangle, which
+    /// may be empty — that case is rejected as a duplicate-like error to
+    /// keep the "one cell per seed" invariant simple, so keep seeds inside).
+    pub fn build(seeds: Vec<Point2>, bounds: Aabb) -> Result<Self, GeomError> {
+        if seeds.is_empty() {
+            return Err(GeomError::NoSeeds);
+        }
+        if seeds.iter().any(|s| !s.is_finite()) {
+            return Err(GeomError::NonFiniteCoordinate);
+        }
+        let grid = PointGrid::build(seeds.clone(), 2);
+        let rect = bounds.corners().to_vec();
+        let mut cells: Vec<Polygon> = Vec::with_capacity(seeds.len());
+        let mut ring: Vec<Point2> = Vec::with_capacity(16);
+        let mut scratch: Vec<Point2> = Vec::with_capacity(16);
+
+        for (i, &seed) in seeds.iter().enumerate() {
+            ring.clear();
+            ring.extend_from_slice(&rect);
+            // Circumradius of the current cell around its seed.
+            let mut radius_sq = ring
+                .iter()
+                .map(|v| v.dist_sq(seed))
+                .fold(0.0f64, f64::max);
+
+            let mut it = grid.neighbors(seed);
+            while let Some((j, d2)) = it.next() {
+                if j == i {
+                    continue;
+                }
+                if d2 == 0.0 {
+                    return Err(GeomError::DuplicateSeed {
+                        first: i.min(j),
+                        second: i.max(j),
+                    });
+                }
+                // Security radius: a seed at distance d has its bisector at
+                // d/2 from `seed`; it can only cut the cell if d/2 < R,
+                // i.e. d² < 4R². Points within a grid ring arrive sorted by
+                // distance, so when this one is too far the rest of its ring
+                // is too — but a *later* ring may still hold closer seeds
+                // (ring distance and Euclidean distance interleave), so we
+                // may only stop once the lower bound on all future rings is
+                // itself beyond the security radius.
+                if d2 >= 4.0 * radius_sq {
+                    let lb = it.ring_min_dist();
+                    if lb * lb >= 4.0 * radius_sq {
+                        break;
+                    }
+                    continue;
+                }
+                let hp = HalfPlane::bisector(seed, grid.points()[j]);
+                if clip_ring_halfplane(&ring, &hp, &mut scratch) == 0 {
+                    // Seed outside bounds can lose its whole cell; treat as
+                    // construction failure to preserve the bijection.
+                    return Err(GeomError::DegenerateRing);
+                }
+                std::mem::swap(&mut ring, &mut scratch);
+                radius_sq = ring.iter().map(|v| v.dist_sq(seed)).fold(0.0f64, f64::max);
+            }
+            let cell = Polygon::new(ring.clone()).map_err(|_| GeomError::DegenerateRing)?;
+            cells.push(cell);
+        }
+        Ok(Self { seeds, cells, bounds })
+    }
+
+    /// Builds a diagram from seeds scattered on a jittered grid — the
+    /// standard way the data generator creates "organic" unit systems with
+    /// deterministic seeding. `jitter` in `[0, 0.5)` is the fraction of a
+    /// grid step each seed may deviate; `rand(k)` must return a value in
+    /// `[0, 1)` for counter `k`.
+    pub fn jittered_grid(
+        bounds: Aabb,
+        nx: usize,
+        ny: usize,
+        jitter: f64,
+        mut rand: impl FnMut(u64) -> f64,
+    ) -> Result<Self, GeomError> {
+        if nx == 0 || ny == 0 {
+            return Err(GeomError::NoSeeds);
+        }
+        let sx = bounds.width() / nx as f64;
+        let sy = bounds.height() / ny as f64;
+        let mut seeds = Vec::with_capacity(nx * ny);
+        let mut k = 0u64;
+        for gy in 0..ny {
+            for gx in 0..nx {
+                let jx = (rand(k) - 0.5) * 2.0 * jitter;
+                k += 1;
+                let jy = (rand(k) - 0.5) * 2.0 * jitter;
+                k += 1;
+                seeds.push(Point2::new(
+                    bounds.min.x + (gx as f64 + 0.5 + jx) * sx,
+                    bounds.min.y + (gy as f64 + 0.5 + jy) * sy,
+                ));
+            }
+        }
+        Self::build(seeds, bounds)
+    }
+
+    /// The seed points, in input order.
+    pub fn seeds(&self) -> &[Point2] {
+        &self.seeds
+    }
+
+    /// The cells; `cells()[i]` is the dominance region of `seeds()[i]`.
+    pub fn cells(&self) -> &[Polygon] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` for a diagram with no cells (never constructed by
+    /// [`VoronoiDiagram::build`], which rejects empty seed sets).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The bounding rectangle the diagram was clipped to.
+    pub fn bounds(&self) -> &Aabb {
+        &self.bounds
+    }
+
+    /// Consumes the diagram, returning its cells.
+    pub fn into_cells(self) -> Vec<Polygon> {
+        self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_bounds() -> Aabb {
+        Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0))
+    }
+
+    fn lcg(seed: u64) -> impl FnMut(u64) -> f64 {
+        let mut state = seed | 1;
+        move |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn single_seed_owns_everything() {
+        let d = VoronoiDiagram::build(vec![Point2::new(0.3, 0.7)], unit_bounds()).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!((d.cells()[0].area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_seeds_split_by_bisector() {
+        let d = VoronoiDiagram::build(
+            vec![Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)],
+            unit_bounds(),
+        )
+        .unwrap();
+        assert!((d.cells()[0].area() - 0.5).abs() < 1e-12);
+        assert!((d.cells()[1].area() - 0.5).abs() < 1e-12);
+        // Cell 0 is the left half.
+        assert!(d.cells()[0].contains(Point2::new(0.1, 0.5)));
+        assert!(!d.cells()[0].contains(Point2::new(0.9, 0.5)));
+    }
+
+    #[test]
+    fn duplicate_seeds_rejected() {
+        let e = VoronoiDiagram::build(
+            vec![Point2::new(0.5, 0.5), Point2::new(0.5, 0.5)],
+            unit_bounds(),
+        )
+        .unwrap_err();
+        assert_eq!(e, GeomError::DuplicateSeed { first: 0, second: 1 });
+        assert_eq!(
+            VoronoiDiagram::build(vec![], unit_bounds()).unwrap_err(),
+            GeomError::NoSeeds
+        );
+    }
+
+    #[test]
+    fn cells_partition_the_bounds() {
+        let d = VoronoiDiagram::jittered_grid(unit_bounds(), 8, 8, 0.4, lcg(99)).unwrap();
+        assert_eq!(d.len(), 64);
+        let total: f64 = d.cells().iter().map(Polygon::area).sum();
+        assert!((total - 1.0).abs() < 1e-9, "areas must sum to the universe: {total}");
+        // All cells are convex and inside bounds.
+        for c in d.cells() {
+            assert!(c.is_convex());
+            assert!(d.bounds().contains_box(c.bbox()));
+        }
+    }
+
+    #[test]
+    fn each_cell_contains_its_seed_and_no_other() {
+        let d = VoronoiDiagram::jittered_grid(unit_bounds(), 6, 6, 0.45, lcg(7)).unwrap();
+        for (i, cell) in d.cells().iter().enumerate() {
+            assert!(cell.contains(d.seeds()[i]), "cell {i} must contain its seed");
+        }
+        // Interior sample points belong to the cell of their nearest seed.
+        let mut r = lcg(1234);
+        for k in 0..200 {
+            let q = Point2::new(r(k), r(k));
+            let nearest = d
+                .seeds()
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.dist_sq(q).total_cmp(&b.1.dist_sq(q)))
+                .map(|(i, _)| i)
+                .unwrap();
+            assert!(
+                d.cells()[nearest].contains(q),
+                "point {q} must lie in the cell of its nearest seed {nearest}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_diagram_builds_and_partitions() {
+        let d = VoronoiDiagram::jittered_grid(unit_bounds(), 40, 40, 0.49, lcg(5)).unwrap();
+        assert_eq!(d.len(), 1600);
+        let total: f64 = d.cells().iter().map(Polygon::area).sum();
+        assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn collinear_seeds() {
+        let seeds: Vec<Point2> = (0..5).map(|i| Point2::new(0.1 + 0.2 * i as f64, 0.5)).collect();
+        let d = VoronoiDiagram::build(seeds, unit_bounds()).unwrap();
+        let total: f64 = d.cells().iter().map(Polygon::area).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Interior cells are 0.2-wide strips.
+        assert!((d.cells()[2].area() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jittered_grid_rejects_zero_counts() {
+        assert!(VoronoiDiagram::jittered_grid(unit_bounds(), 0, 3, 0.1, lcg(1)).is_err());
+    }
+}

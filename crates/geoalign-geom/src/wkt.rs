@@ -1,0 +1,237 @@
+//! Well-Known Text (WKT) interchange for points and polygons.
+//!
+//! Unit-system geometry usually arrives as shapefile exports; WKT is the
+//! lowest-common-denominator text form (`POINT (x y)`,
+//! `POLYGON ((x y, x y, ...))`). This module reads and writes the subset
+//! the library models: single-ring polygons without holes.
+
+use crate::error::GeomError;
+use crate::point::Point2;
+use crate::polygon::Polygon;
+use std::fmt::Write as _;
+
+/// Errors raised by WKT parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WktError {
+    /// The geometry tag was not recognized or not supported.
+    UnsupportedGeometry {
+        /// The offending tag.
+        tag: String,
+    },
+    /// A coordinate failed to parse.
+    BadCoordinate {
+        /// The offending token.
+        token: String,
+    },
+    /// Parentheses or commas were malformed.
+    Malformed {
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// Polygons with interior rings (holes) are not supported.
+    HolesUnsupported,
+    /// The parsed ring failed polygon validation.
+    InvalidPolygon(GeomError),
+}
+
+impl std::fmt::Display for WktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WktError::UnsupportedGeometry { tag } => {
+                write!(f, "unsupported WKT geometry '{tag}'")
+            }
+            WktError::BadCoordinate { token } => write!(f, "bad coordinate '{token}'"),
+            WktError::Malformed { what } => write!(f, "malformed WKT: {what}"),
+            WktError::HolesUnsupported => write!(f, "polygons with holes are not supported"),
+            WktError::InvalidPolygon(e) => write!(f, "invalid polygon ring: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WktError {}
+
+/// Renders a point as `POINT (x y)`.
+pub fn point_to_wkt(p: Point2) -> String {
+    format!("POINT ({} {})", p.x, p.y)
+}
+
+/// Renders a polygon as `POLYGON ((x y, ...))`, closing the ring
+/// explicitly as WKT convention requires.
+pub fn polygon_to_wkt(poly: &Polygon) -> String {
+    let mut out = String::from("POLYGON ((");
+    for (i, v) in poly.vertices().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", v.x, v.y);
+    }
+    // Close the ring.
+    let first = poly.vertices()[0];
+    let _ = write!(out, ", {} {}))", first.x, first.y);
+    out
+}
+
+/// Parses `POINT (x y)`.
+pub fn point_from_wkt(text: &str) -> Result<Point2, WktError> {
+    let (tag, body) = split_tag(text)?;
+    if !tag.eq_ignore_ascii_case("POINT") {
+        return Err(WktError::UnsupportedGeometry { tag: tag.to_owned() });
+    }
+    let inner = strip_parens(body)?;
+    parse_coord(inner.trim())
+}
+
+/// Parses `POLYGON ((x y, x y, ...))` (single ring; holes are rejected).
+pub fn polygon_from_wkt(text: &str) -> Result<Polygon, WktError> {
+    let (tag, body) = split_tag(text)?;
+    if !tag.eq_ignore_ascii_case("POLYGON") {
+        return Err(WktError::UnsupportedGeometry { tag: tag.to_owned() });
+    }
+    let outer = strip_parens(body)?;
+    // outer now holds one or more parenthesized rings separated by commas.
+    let rings = split_rings(outer)?;
+    if rings.is_empty() {
+        return Err(WktError::Malformed { what: "polygon has no rings" });
+    }
+    if rings.len() > 1 {
+        return Err(WktError::HolesUnsupported);
+    }
+    let verts = rings[0]
+        .split(',')
+        .map(|c| parse_coord(c.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
+    Polygon::new(verts).map_err(WktError::InvalidPolygon)
+}
+
+/// Splits `TAG (...)` into the tag and the parenthesized remainder.
+fn split_tag(text: &str) -> Result<(&str, &str), WktError> {
+    let trimmed = text.trim();
+    let open = trimmed
+        .find('(')
+        .ok_or(WktError::Malformed { what: "missing '('" })?;
+    Ok((trimmed[..open].trim(), trimmed[open..].trim()))
+}
+
+/// Strips one balanced layer of parentheses.
+fn strip_parens(text: &str) -> Result<&str, WktError> {
+    let t = text.trim();
+    if !t.starts_with('(') || !t.ends_with(')') {
+        return Err(WktError::Malformed { what: "expected parenthesized body" });
+    }
+    Ok(&t[1..t.len() - 1])
+}
+
+/// Splits the body of a POLYGON into its parenthesized rings.
+fn split_rings(body: &str) -> Result<Vec<&str>, WktError> {
+    let mut rings = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => {
+                if depth == 0 {
+                    start = Some(i + 1);
+                }
+                depth += 1;
+            }
+            ')' => {
+                if depth == 0 {
+                    return Err(WktError::Malformed { what: "unbalanced ')'" });
+                }
+                depth -= 1;
+                if depth == 0 {
+                    let s = start.take().ok_or(WktError::Malformed { what: "ring state" })?;
+                    rings.push(&body[s..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(WktError::Malformed { what: "unbalanced '('" });
+    }
+    Ok(rings)
+}
+
+fn parse_coord(token: &str) -> Result<Point2, WktError> {
+    let mut parts = token.split_whitespace();
+    let (Some(xs), Some(ys), None) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(WktError::BadCoordinate { token: token.to_owned() });
+    };
+    let x: f64 = xs.parse().map_err(|_| WktError::BadCoordinate { token: token.to_owned() })?;
+    let y: f64 = ys.parse().map_err(|_| WktError::BadCoordinate { token: token.to_owned() })?;
+    Ok(Point2::new(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_roundtrip() {
+        let p = Point2::new(1.5, -2.25);
+        let wkt = point_to_wkt(p);
+        assert_eq!(wkt, "POINT (1.5 -2.25)");
+        assert_eq!(point_from_wkt(&wkt).unwrap(), p);
+        assert_eq!(point_from_wkt("  point ( 3 4 ) ").unwrap(), Point2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn polygon_roundtrip() {
+        let poly = Polygon::rect(Point2::new(0.0, 0.0), Point2::new(2.0, 1.0)).unwrap();
+        let wkt = polygon_to_wkt(&poly);
+        assert!(wkt.starts_with("POLYGON (("));
+        assert!(wkt.ends_with("))"));
+        let back = polygon_from_wkt(&wkt).unwrap();
+        assert_eq!(back.vertices(), poly.vertices());
+        assert_eq!(back.area(), poly.area());
+    }
+
+    #[test]
+    fn parses_unclosed_and_closed_rings() {
+        // WKT convention closes the ring; the parser accepts both forms
+        // because Polygon::new strips the closing duplicate.
+        let closed = "POLYGON ((0 0, 4 0, 4 3, 0 0))";
+        let open = "POLYGON ((0 0, 4 0, 4 3))";
+        assert_eq!(
+            polygon_from_wkt(closed).unwrap().area(),
+            polygon_from_wkt(open).unwrap().area()
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_and_malformed() {
+        assert!(matches!(
+            polygon_from_wkt("LINESTRING (0 0, 1 1)"),
+            Err(WktError::UnsupportedGeometry { .. })
+        ));
+        assert!(matches!(
+            polygon_from_wkt("POLYGON ((0 0, 1 0, 1 1), (0.2 0.2, 0.8 0.2, 0.8 0.8))"),
+            Err(WktError::HolesUnsupported)
+        ));
+        assert!(matches!(
+            polygon_from_wkt("POLYGON"),
+            Err(WktError::Malformed { .. })
+        ));
+        assert!(matches!(
+            polygon_from_wkt("POLYGON ((0 0, 1 x, 1 1))"),
+            Err(WktError::BadCoordinate { .. })
+        ));
+        assert!(matches!(
+            polygon_from_wkt("POLYGON ((0 0, 1 0, 2 0))"),
+            Err(WktError::InvalidPolygon(_))
+        ));
+        assert!(matches!(
+            point_from_wkt("POINT (1 2 3)"),
+            Err(WktError::BadCoordinate { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = polygon_from_wkt("CIRCLE (0 0, 1)").unwrap_err();
+        assert!(e.to_string().contains("CIRCLE"));
+        let e = polygon_from_wkt("POLYGON ((0 0, 1 b, 1 1))").unwrap_err();
+        assert!(e.to_string().contains("1 b"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the geometry substrate's core invariants.
+
+use geoalign_geom::clip::clip_convex;
+use geoalign_geom::convex::convex_hull;
+use geoalign_geom::polygon::signed_area_of;
+use geoalign_geom::{Aabb, Point2, Polygon, RTree, VoronoiDiagram};
+use proptest::prelude::*;
+
+fn pt(x: f64, y: f64) -> Point2 {
+    Point2::new(x, y)
+}
+
+prop_compose! {
+    /// A random convex polygon: the hull of 3..16 random points.
+    fn convex_poly()(pts in prop::collection::vec((0.0..10.0f64, 0.0..10.0f64), 3..16))
+        -> Option<Polygon>
+    {
+        let points: Vec<Point2> = pts.into_iter().map(|(x, y)| pt(x, y)).collect();
+        let hull = convex_hull(&points);
+        (hull.len() >= 3).then(|| Polygon::new(hull).ok()).flatten()
+    }
+}
+
+proptest! {
+    #[test]
+    fn hull_is_convex_and_contains_inputs(
+        pts in prop::collection::vec((0.0..10.0f64, 0.0..10.0f64), 3..40)
+    ) {
+        let points: Vec<Point2> = pts.into_iter().map(|(x, y)| pt(x, y)).collect();
+        let hull = convex_hull(&points);
+        prop_assume!(hull.len() >= 3);
+        let poly = Polygon::new(hull).unwrap();
+        prop_assert!(poly.is_convex());
+        for p in &points {
+            prop_assert!(poly.contains(*p));
+        }
+    }
+
+    #[test]
+    fn shoelace_orientation_normalized(
+        pts in prop::collection::vec((0.0..10.0f64, 0.0..10.0f64), 3..20)
+    ) {
+        let points: Vec<Point2> = pts.into_iter().map(|(x, y)| pt(x, y)).collect();
+        let hull = convex_hull(&points);
+        prop_assume!(hull.len() >= 3);
+        let poly = Polygon::new(hull).unwrap();
+        // Stored ring is CCW: signed area positive; area matches.
+        let signed = signed_area_of(poly.vertices());
+        prop_assert!(signed > 0.0);
+        prop_assert!((signed - poly.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipping_is_monotone_and_commutative(a in convex_poly(), b in convex_poly()) {
+        prop_assume!(a.is_some() && b.is_some());
+        let (a, b) = (a.unwrap(), b.unwrap());
+        let ab = clip_convex(&a, &b);
+        let ba = clip_convex(&b, &a);
+        match (&ab, &ba) {
+            (Some(x), Some(y)) => {
+                // Intersection area is symmetric and bounded by both inputs.
+                prop_assert!((x.area() - y.area()).abs() < 1e-6 * x.area().max(1.0));
+                prop_assert!(x.area() <= a.area() + 1e-9);
+                prop_assert!(x.area() <= b.area() + 1e-9);
+                prop_assert!(x.is_convex());
+            }
+            (None, None) => {}
+            // One None, one tiny sliver can disagree only below the
+            // degeneracy threshold; verify the area really is negligible.
+            (Some(x), None) | (None, Some(x)) => {
+                prop_assert!(x.area() < 1e-6, "asymmetric clip with area {}", x.area());
+            }
+        }
+    }
+
+    #[test]
+    fn clip_by_containing_box_is_identity(a in convex_poly()) {
+        prop_assume!(a.is_some());
+        let a = a.unwrap();
+        let big = Polygon::rect(pt(-100.0, -100.0), pt(100.0, 100.0)).unwrap();
+        let clipped = clip_convex(&a, &big).unwrap();
+        prop_assert!((clipped.area() - a.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voronoi_partitions_area(
+        seeds in prop::collection::vec((0.01..0.99f64, 0.01..0.99f64), 1..40)
+    ) {
+        let pts: Vec<Point2> = seeds.into_iter().map(|(x, y)| pt(x, y)).collect();
+        // Dedup nearly identical seeds to respect the distinctness contract.
+        let mut unique: Vec<Point2> = Vec::new();
+        for p in pts {
+            if unique.iter().all(|q| q.dist(p) > 1e-9) {
+                unique.push(p);
+            }
+        }
+        let bounds = Aabb::new(pt(0.0, 0.0), pt(1.0, 1.0));
+        let d = VoronoiDiagram::build(unique.clone(), bounds).unwrap();
+        let total: f64 = d.cells().iter().map(Polygon::area).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "cells must tile the square: {total}");
+        for (i, c) in d.cells().iter().enumerate() {
+            prop_assert!(c.contains(unique[i]));
+            prop_assert!(c.is_convex());
+        }
+    }
+
+    #[test]
+    fn rtree_matches_brute_force(
+        boxes in prop::collection::vec(
+            (0.0..10.0f64, 0.0..10.0f64, 0.01..3.0f64, 0.01..3.0f64), 1..60),
+        query in (0.0..10.0f64, 0.0..10.0f64, 0.1..5.0f64, 0.1..5.0f64)
+    ) {
+        let aabbs: Vec<Aabb> = boxes
+            .iter()
+            .map(|&(x, y, w, h)| Aabb::new(pt(x, y), pt(x + w, y + h)))
+            .collect();
+        let tree = RTree::build(&aabbs);
+        let q = Aabb::new(pt(query.0, query.1), pt(query.0 + query.2, query.1 + query.3));
+        let mut got = tree.query_vec(&q);
+        got.sort_unstable();
+        let mut expect: Vec<usize> = aabbs
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects(&q))
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn polygon_contains_consistent_with_area_sampling(a in convex_poly()) {
+        prop_assume!(a.is_some());
+        let a = a.unwrap();
+        // The centroid of a convex polygon is inside it.
+        prop_assert!(a.contains(a.centroid()));
+        // Points far outside the bbox are not.
+        let far = a.bbox().max + pt(1.0, 1.0);
+        prop_assert!(!a.contains(far));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors raised by matrix construction, factorization and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or not positive definite for Cholesky).
+    Singular,
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        bound: usize,
+    },
+    /// A value was NaN or infinite where finiteness is required.
+    NonFinite,
+    /// An iterative solver failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// The problem is empty (zero rows or zero columns) where data is
+    /// required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular or not positive definite"),
+            LinalgError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound})")
+            }
+            LinalgError::NonFinite => write!(f, "non-finite value"),
+            LinalgError::DidNotConverge { iterations } => {
+                write!(f, "solver did not converge after {iterations} iterations")
+            }
+            LinalgError::Empty => write!(f, "empty problem"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = LinalgError::ShapeMismatch { op: "matmul", left: (2, 3), right: (4, 5) };
+        let s = e.to_string();
+        assert!(s.contains("matmul") && s.contains("2x3") && s.contains("4x5"));
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+        assert!(LinalgError::DidNotConverge { iterations: 10 }.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Linear-algebra substrate for the GeoAlign reproduction.
+//!
+//! The paper's weight-learning step (Eq. 15) is a least-squares problem on
+//! the probability simplex; the disaggregation step (Eq. 14) is a weighted
+//! combination of sparse disaggregation matrices; re-aggregation (Eq. 17)
+//! is a sparse column sum. This crate implements everything from scratch:
+//!
+//! * [`DMatrix`], [`Cholesky`], [`HouseholderQr`] — dense kernels;
+//! * [`CooMatrix`], [`CsrMatrix`] — sparse builders and compute format;
+//! * [`nnls()`] — Lawson–Hanson non-negative least squares;
+//! * [`simplex_ls`] — two independent solvers for Eq. 15;
+//! * [`stats`] — RMSE/NRMSE, Pearson correlation, quantiles.
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod error;
+pub mod nnls;
+pub mod simplex_ls;
+pub mod sparse;
+pub mod stats;
+
+pub use dense::{Cholesky, DMatrix, HouseholderQr};
+pub use error::LinalgError;
+pub use nnls::{nnls, NnlsSolution};
+pub use simplex_ls::{SimplexLsSolution, SimplexSolver};
+pub use sparse::{CooMatrix, CsrMatrix};

@@ -1,0 +1,263 @@
+//! Non-negative least squares (Lawson–Hanson active set method).
+//!
+//! Solves `min ||A x - b||²  subject to  x >= 0`. This is the workhorse
+//! behind the simplex-constrained weight learning of Eq. 15: the equality
+//! constraint is handled by the wrapper in [`crate::simplex_ls`].
+
+use crate::dense::{DMatrix, HouseholderQr};
+use crate::error::LinalgError;
+
+/// Result of an NNLS solve.
+#[derive(Debug, Clone)]
+pub struct NnlsSolution {
+    /// The minimizer, component-wise non-negative.
+    pub x: Vec<f64>,
+    /// Residual norm `||A x - b||`.
+    pub residual_norm: f64,
+    /// Outer iterations used.
+    pub iterations: usize,
+}
+
+/// Solves `min ||A x - b||²` with `x >= 0` by the Lawson–Hanson algorithm.
+///
+/// `A` is `m × n` with `m >= 1`, `n >= 1`. Terminates in finitely many
+/// steps for any full-rank passive subproblem sequence; a generous
+/// iteration cap guards degenerate inputs.
+pub fn nnls(a: &DMatrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
+    let (m, n) = (a.nrows(), a.ncols());
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch { op: "nnls", left: (m, n), right: (b.len(), 1) });
+    }
+    if b.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite);
+    }
+
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+    // Gradient of ½||Ax−b||² is Aᵀ(Ax−b); w = −gradient = Aᵀ(b−Ax).
+    let mut resid: Vec<f64> = b.to_vec(); // b - A x (x = 0 initially)
+    let max_iter = 3 * n + 30;
+    let mut iterations = 0;
+
+    // Tolerance scaled to the problem.
+    let bnorm = crate::dense::norm2(b);
+    let tol = f64::EPSILON * (m.max(n) as f64) * bnorm.max(1.0) * a.frobenius_norm().max(1.0);
+
+    loop {
+        iterations += 1;
+        if iterations > max_iter {
+            return Err(LinalgError::DidNotConverge { iterations });
+        }
+        let w = a.tr_matvec(&resid)?;
+        // Pick the most violated KKT multiplier among active constraints.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if !passive[j] && w[j] > tol {
+                match best {
+                    Some((_, bw)) if w[j] <= bw => {}
+                    _ => best = Some((j, w[j])),
+                }
+            }
+        }
+        let Some((enter, _)) = best else {
+            break; // KKT satisfied
+        };
+        passive[enter] = true;
+
+        // Inner loop: solve the unconstrained LS on the passive set and
+        // backtrack while any passive coordinate would go negative.
+        loop {
+            let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let cols: Vec<Vec<f64>> = idx.iter().map(|&j| a.column(j).to_vec()).collect();
+            let sub = DMatrix::from_columns(&cols)?;
+            let z_sub = match HouseholderQr::new(&sub)?.solve(b) {
+                Ok(z) => z,
+                Err(LinalgError::Singular) => {
+                    // The entering column is linearly dependent on the
+                    // passive set; drop it and accept the current iterate.
+                    passive[enter] = false;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            let mut z = vec![0.0; n];
+            for (&j, &v) in idx.iter().zip(&z_sub) {
+                z[j] = v;
+            }
+            if idx.iter().all(|&j| z[j] > 0.0) {
+                x = z;
+                break;
+            }
+            // Step from x toward z, stopping at the first boundary.
+            let mut alpha = f64::INFINITY;
+            for &j in &idx {
+                if z[j] <= 0.0 {
+                    let denom = x[j] - z[j];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for j in 0..n {
+                if passive[j] {
+                    x[j] += alpha * (z[j] - x[j]);
+                }
+            }
+            // Move coordinates that hit zero back to the active set.
+            for j in 0..n {
+                if passive[j] && x[j] <= tol.max(f64::EPSILON) {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+            if !passive.iter().any(|&p| p) {
+                break;
+            }
+        }
+        // Refresh the residual.
+        let ax = a.matvec(&x)?;
+        for (r, (&bi, &axi)) in resid.iter_mut().zip(b.iter().zip(&ax)) {
+            *r = bi - axi;
+        }
+    }
+
+    let residual_norm = crate::dense::norm2(&resid);
+    Ok(NnlsSolution { x, residual_norm, iterations })
+}
+
+/// Verifies the KKT conditions of an NNLS solution up to `tol`:
+/// `x >= 0`, and `Aᵀ(b − Ax) <= tol` with complementary slackness
+/// `x_j > 0 ⇒ |(Aᵀ(b − Ax))_j| <= tol`. Returns the maximum violation.
+pub fn kkt_violation(a: &DMatrix, b: &[f64], x: &[f64]) -> Result<f64, LinalgError> {
+    let ax = a.matvec(x)?;
+    let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+    let w = a.tr_matvec(&resid)?;
+    let mut v: f64 = 0.0;
+    for j in 0..x.len() {
+        v = v.max(-x[j]); // negativity violation
+        if x[j] > 0.0 {
+            v = v.max(w[j].abs()); // stationarity on the support
+        } else {
+            v = v.max(w[j]); // dual feasibility off the support
+        }
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(a: &DMatrix, b: &[f64]) -> Vec<f64> {
+        let s = nnls(a, b).unwrap();
+        let v = kkt_violation(a, b, &s.x).unwrap();
+        let scale = crate::dense::norm2(b).max(1.0) * a.frobenius_norm().max(1.0);
+        assert!(v <= 1e-8 * scale, "KKT violation {v}");
+        s.x
+    }
+
+    #[test]
+    fn unconstrained_optimum_inside() {
+        // x = [1, 2] solves exactly and is positive.
+        let a = DMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = solve(&a, &b);
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constraint_binds() {
+        // Unconstrained optimum has a negative component; NNLS clamps it.
+        let a = DMatrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]).unwrap();
+        let b = vec![0.0, 2.0]; // unconstrained solution x = [1, -1]
+        let x = solve(&a, &b);
+        assert!(x.iter().all(|&v| v >= 0.0));
+        // Optimal constrained solution: minimize (x0+x1)² + (x0−x1−2)²
+        // on the boundary x1 = 0 → x0 = 1.
+        assert!((x[0] - 1.0).abs() < 1e-10, "{x:?}");
+        assert!(x[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let x = solve(&a, &[0.0, 0.0]);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn negative_correlated_rhs_gives_zero() {
+        // b in the cone opposite to all columns → x = 0 optimal.
+        let a = DMatrix::from_rows(&[&[1.0, 0.5], &[0.5, 1.0]]).unwrap();
+        let x = solve(&a, &[-1.0, -1.0]);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn recovers_sparse_nonnegative_combination() {
+        // b = 3·col0 + 0·col1 + 2·col2 exactly.
+        let a = DMatrix::from_rows(&[
+            &[1.0, 0.3, 0.0],
+            &[0.0, 0.8, 1.0],
+            &[2.0, 0.1, 0.5],
+            &[0.5, 0.9, 0.2],
+        ])
+        .unwrap();
+        let x_true = [3.0, 0.0, 2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve(&a, &b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{x:?}");
+        }
+        let s = nnls(&a, &b).unwrap();
+        assert!(s.residual_norm < 1e-10);
+    }
+
+    #[test]
+    fn duplicate_columns_handled() {
+        // Two identical columns: any split is optimal; solver must not loop.
+        let a = DMatrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]).unwrap();
+        let b = vec![1.0, 2.0];
+        let s = nnls(&a, &b).unwrap();
+        assert!(s.residual_norm < 1e-10);
+        assert!((s.x[0] + s.x[1] - 1.0).abs() < 1e-8);
+        assert!(s.x.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn shape_and_validity_errors() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(nnls(&a, &[1.0, 2.0]).is_err()); // b wrong length
+        assert!(nnls(&a, &[f64::NAN]).is_err());
+        let empty = DMatrix::zeros(0, 0);
+        assert!(nnls(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn random_problems_satisfy_kkt() {
+        let mut state: u64 = 0xDEADBEEF;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..30 {
+            let m = 8;
+            let n = 4;
+            let mut a = DMatrix::zeros(m, n);
+            for j in 0..n {
+                for i in 0..m {
+                    a[(i, j)] = next() * 2.0 - 0.5;
+                }
+            }
+            let b: Vec<f64> = (0..m).map(|_| next() * 4.0 - 2.0).collect();
+            let _ = solve(&a, &b); // assertion lives inside `solve`
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Least squares on the probability simplex — the weight-learning problem
+//! of GeoAlign (paper Eq. 15):
+//!
+//! ```text
+//! min_β  ½ ||A β − b||²   subject to   Σ_k β_k = 1,  β_k >= 0
+//! ```
+//!
+//! Two independent solvers are provided:
+//!
+//! * [`solve_projected_gradient`] — accelerated projected gradient (FISTA)
+//!   with exact Euclidean projection onto the simplex (Duchi et al. 2008);
+//!   the default used by the algorithm.
+//! * [`solve_active_set`] — an exact active-set method that eliminates the
+//!   equality constraint and enumerates KKT-consistent supports via the
+//!   Lawson–Hanson machinery.
+//!
+//! Tests assert the two agree, giving mutual validation without an external
+//! reference implementation.
+
+use crate::dense::{axpy, dot, norm2, DMatrix, HouseholderQr};
+
+use crate::error::LinalgError;
+
+/// Result of a simplex-constrained least-squares solve.
+#[derive(Debug, Clone)]
+pub struct SimplexLsSolution {
+    /// The weight vector; non-negative, sums to 1.
+    pub beta: Vec<f64>,
+    /// Objective value `½||Aβ − b||²`.
+    pub objective: f64,
+    /// Iterations used by the solver.
+    pub iterations: usize,
+}
+
+/// Which simplex least-squares solver to use.
+///
+/// The active-set method is the default: reference counts are small (the
+/// paper uses at most ten), the method is exact, and its cost is a handful
+/// of length-`|U^s|` dot products — keeping weight learning negligible
+/// next to disaggregation, as the paper reports (§4.3). The projected
+/// gradient solver scales to many references and serves as an independent
+/// cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimplexSolver {
+    /// Accelerated projected gradient (FISTA with simplex projection).
+    ProjectedGradient,
+    /// Exact active-set method (default).
+    #[default]
+    ActiveSet,
+}
+
+/// Euclidean projection of `v` onto the probability simplex
+/// `{ x : x >= 0, Σx = 1 }` (Duchi, Shalev-Shwartz, Singer, Chandra 2008).
+pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    assert!(n > 0, "cannot project an empty vector");
+    let mut u: Vec<f64> = v.to_vec();
+    u.sort_by(|a, b| b.total_cmp(a)); // descending
+    let mut css = 0.0;
+    let mut rho = 0usize;
+    let mut theta = 0.0;
+    for (i, &ui) in u.iter().enumerate() {
+        css += ui;
+        let t = (css - 1.0) / (i + 1) as f64;
+        if ui - t > 0.0 {
+            rho = i + 1;
+            theta = t;
+        }
+    }
+    debug_assert!(rho > 0);
+    v.iter().map(|&vi| (vi - theta).max(0.0)).collect()
+}
+
+/// Solves Eq. 15 by FISTA with simplex projection.
+///
+/// Converges at rate O(1/k²) for this convex quadratic; iterations stop
+/// when the projected-gradient step stalls below a scaled tolerance or the
+/// iteration cap is hit (the best iterate found is still returned —
+/// the cap is generous and the result is then still feasible, just
+/// possibly short of full stationarity).
+pub fn solve_projected_gradient(
+    a: &DMatrix,
+    b: &[f64],
+    max_iter: usize,
+    tol: f64,
+) -> Result<SimplexLsSolution, LinalgError> {
+    let (m, n) = (a.nrows(), a.ncols());
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            op: "simplex_ls",
+            left: (m, n),
+            right: (b.len(), 1),
+        });
+    }
+    if b.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite);
+    }
+
+    // Lipschitz constant of the gradient: λ_max(AᵀA). Power iteration only
+    // gives a *lower* bound, and an understated constant makes FISTA
+    // oscillate; the Gershgorin row-sum norm of the Gram matrix is a cheap
+    // guaranteed upper bound (λ_max ≤ max_i Σ_j |G_ij| for symmetric G).
+    let g = a.gram();
+    let mut lmax = 0.0f64;
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            row_sum += g[(i, j)].abs();
+        }
+        lmax = lmax.max(row_sum);
+    }
+    let step = 1.0 / lmax.max(f64::MIN_POSITIVE);
+
+    let objective = |beta: &[f64]| -> Result<f64, LinalgError> {
+        let ax = a.matvec(beta)?;
+        Ok(0.5 * ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>())
+    };
+
+    let mut x = vec![1.0 / n as f64; n];
+    let mut y = x.clone();
+    let mut t = 1.0f64;
+    let mut iterations = 0;
+    let scale = norm2(b).max(1.0);
+    // FISTA is not monotone: track the best feasible iterate seen, and
+    // restart the momentum when the objective rises (O'Donoghue–Candès
+    // adaptive restart), which restores monotone-ish behavior without
+    // giving up acceleration.
+    let mut best = x.clone();
+    let mut best_obj = objective(&x)?;
+    let mut prev_obj = best_obj;
+    for _ in 0..max_iter {
+        iterations += 1;
+        // Gradient at y: Aᵀ(Ay − b).
+        let ay = a.matvec(&y)?;
+        let r: Vec<f64> = ay.iter().zip(b).map(|(p, q)| p - q).collect();
+        let grad = a.tr_matvec(&r)?;
+        let mut z: Vec<f64> = y.clone();
+        axpy(-step, &grad, &mut z);
+        let x_next = project_to_simplex(&z);
+        let obj = objective(&x_next)?;
+        if obj < best_obj {
+            best_obj = obj;
+            best.clone_from(&x_next);
+        }
+        let restart = obj > prev_obj;
+        prev_obj = obj;
+        let t_next = if restart { 1.0 } else { 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt()) };
+        let momentum = if restart { 0.0 } else { (t - 1.0) / t_next };
+        let diff: Vec<f64> = x_next.iter().zip(&x).map(|(p, q)| p - q).collect();
+        let delta = norm2(&diff);
+        y = x_next.clone();
+        axpy(momentum, &diff, &mut y);
+        x = x_next;
+        t = t_next;
+        if delta <= tol * scale {
+            break;
+        }
+    }
+    let beta = project_to_simplex(&best);
+    let objective = objective(&beta)?;
+    Ok(SimplexLsSolution { beta, objective, iterations })
+}
+
+/// Solves Eq. 15 exactly with an active-set method.
+///
+/// The equality constraint is eliminated by substituting
+/// `β_n = 1 − Σ_{k<n} β_k` *for a chosen pivot column*, transforming the
+/// problem into a bound-constrained LS over the remaining coordinates plus
+/// the implicit constraint `Σ β_k <= 1`. Rather than handling that general
+/// polytope, the method enumerates supports in Lawson–Hanson style directly
+/// on the simplex: starting from the best single vertex, it repeatedly
+/// solves the equality-constrained LS restricted to the current support via
+/// a KKT system, adds the most violated coordinate, and steps back to the
+/// boundary when a coordinate would leave the support.
+pub fn solve_active_set(a: &DMatrix, b: &[f64]) -> Result<SimplexLsSolution, LinalgError> {
+    let (m, n) = (a.nrows(), a.ncols());
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            op: "simplex_ls_active_set",
+            left: (m, n),
+            right: (b.len(), 1),
+        });
+    }
+    if b.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite);
+    }
+
+    let objective = |beta: &[f64]| -> Result<f64, LinalgError> {
+        let ax = a.matvec(beta)?;
+        Ok(0.5 * ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>())
+    };
+
+    // Start from the best single vertex e_k.
+    let mut best_k = 0;
+    let mut best_obj = f64::INFINITY;
+    for k in 0..n {
+        let mut e = vec![0.0; n];
+        e[k] = 1.0;
+        let o = objective(&e)?;
+        if o < best_obj {
+            best_obj = o;
+            best_k = k;
+        }
+    }
+    let mut x = vec![0.0; n];
+    x[best_k] = 1.0;
+    let mut support: Vec<bool> = (0..n).map(|j| j == best_k).collect();
+
+    let scale = norm2(b).max(1.0) * a.frobenius_norm().max(1.0);
+    let tol = 1e-12 * scale.max(1.0) * (n as f64);
+    let max_outer = 4 * n + 32;
+    let mut iterations = 0;
+
+    for _ in 0..max_outer {
+        iterations += 1;
+        // Solve the equality-constrained LS on the current support:
+        //   min ||A_S z − b||²  s.t.  1ᵀz = 1
+        // via the KKT system [G 1; 1ᵀ 0][z; λ] = [A_Sᵀ b; 1].
+        let idx: Vec<usize> = (0..n).filter(|&j| support[j]).collect();
+        let z = eq_constrained_ls(a, b, &idx)?;
+        let negative = idx.iter().enumerate().any(|(q, _)| z[q] < -tol);
+        if !negative {
+            // Accept z on the support.
+            x.iter_mut().for_each(|v| *v = 0.0);
+            for (q, &j) in idx.iter().enumerate() {
+                x[j] = z[q].max(0.0);
+            }
+            renormalize(&mut x);
+            // Check outer KKT: gradient g = Aᵀ(Ax − b); with multiplier λ
+            // for the equality, optimality needs g_j >= λ for all j with
+            // equality on the support. λ = min over support of g_j.
+            let ax = a.matvec(&x)?;
+            let r: Vec<f64> = ax.iter().zip(b).map(|(p, q)| p - q).collect();
+            let g = a.tr_matvec(&r)?;
+            let lambda = idx.iter().map(|&j| g[j]).fold(f64::INFINITY, f64::min);
+            let mut enter: Option<(usize, f64)> = None;
+            for j in 0..n {
+                if !support[j] {
+                    let viol = lambda - g[j]; // g_j < λ violates optimality
+                    if viol > tol * 1e3 {
+                        match enter {
+                            Some((_, bv)) if viol <= bv => {}
+                            _ => enter = Some((j, viol)),
+                        }
+                    }
+                }
+            }
+            match enter {
+                Some((j, _)) => {
+                    support[j] = true;
+                    continue;
+                }
+                None => break, // optimal
+            }
+        }
+        // Backtrack toward z until the first support coordinate hits zero.
+        let mut alpha = 1.0f64;
+        for (q, &j) in idx.iter().enumerate() {
+            if z[q] < 0.0 {
+                let denom = x[j] - z[q];
+                if denom > 0.0 {
+                    alpha = alpha.min(x[j] / denom);
+                }
+            }
+        }
+        for (q, &j) in idx.iter().enumerate() {
+            x[j] += alpha * (z[q] - x[j]);
+        }
+        for j in 0..n {
+            if support[j] && x[j] <= tol {
+                x[j] = 0.0;
+                support[j] = false;
+            }
+        }
+        if !support.iter().any(|&s| s) {
+            // Numerical corner: restart from the best vertex.
+            support[best_k] = true;
+            x[best_k] = 1.0;
+        }
+        renormalize(&mut x);
+    }
+
+    renormalize(&mut x);
+    let objective = objective(&x)?;
+    Ok(SimplexLsSolution { beta: x, objective, iterations })
+}
+
+/// Solves `min ||A_S z − b||²` s.t. `Σz = 1` on the columns `idx` via the
+/// KKT linear system, solved with QR on the bordered matrix.
+fn eq_constrained_ls(a: &DMatrix, b: &[f64], idx: &[usize]) -> Result<Vec<f64>, LinalgError> {
+    let k = idx.len();
+    if k == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if k == 1 {
+        return Ok(vec![1.0]);
+    }
+    // KKT: [G  1][z]   [c]
+    //      [1ᵀ 0][λ] = [1]
+    // where G = A_Sᵀ A_S and c = A_Sᵀ b.
+    let mut kkt = DMatrix::zeros(k + 1, k + 1);
+    for (p, &jp) in idx.iter().enumerate() {
+        for (q, &jq) in idx.iter().enumerate() {
+            kkt[(p, q)] = dot(a.column(jp), a.column(jq));
+        }
+        kkt[(p, k)] = 1.0;
+        kkt[(k, p)] = 1.0;
+    }
+    let mut rhs = vec![0.0; k + 1];
+    for (p, &jp) in idx.iter().enumerate() {
+        rhs[p] = dot(a.column(jp), b);
+    }
+    rhs[k] = 1.0;
+    let sol = HouseholderQr::new(&kkt)?.solve(&rhs).or_else(|_| {
+        // Singular KKT (duplicate columns in the support): fall back to a
+        // ridge-regularized system, which picks the minimum-norm split.
+        let mut reg = kkt.clone();
+        let scale = (0..k).map(|p| reg[(p, p)].abs()).fold(0.0f64, f64::max);
+        for p in 0..k {
+            reg[(p, p)] += 1e-10 * scale.max(1.0);
+        }
+        HouseholderQr::new(&reg)?.solve(&rhs)
+    })?;
+    Ok(sol[..k].to_vec())
+}
+
+/// Clamps tiny negatives to zero and rescales so the vector sums to 1.
+fn renormalize(x: &mut [f64]) {
+    let mut s = 0.0;
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+        s += *v;
+    }
+    if s > 0.0 {
+        for v in x.iter_mut() {
+            *v /= s;
+        }
+    } else if let Some(first) = x.first_mut() {
+        *first = 1.0;
+    }
+}
+
+/// Dispatches to the configured solver with library-default parameters.
+pub fn solve(
+    a: &DMatrix,
+    b: &[f64],
+    solver: SimplexSolver,
+) -> Result<SimplexLsSolution, LinalgError> {
+    match solver {
+        SimplexSolver::ProjectedGradient => solve_projected_gradient(a, b, 2000, 1e-12),
+        SimplexSolver::ActiveSet => solve_active_set(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_feasible(beta: &[f64]) {
+        assert!(beta.iter().all(|&v| v >= 0.0), "negative weight in {beta:?}");
+        let s: f64 = beta.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "weights sum to {s}");
+    }
+
+    #[test]
+    fn projection_known_cases() {
+        // Already on the simplex.
+        let p = project_to_simplex(&[0.2, 0.3, 0.5]);
+        for (a, b) in p.iter().zip(&[0.2, 0.3, 0.5]) {
+            assert!((a - b).abs() < 1e-15);
+        }
+        // Uniform shift invariance: projecting [c, c] gives [0.5, 0.5].
+        let p = project_to_simplex(&[10.0, 10.0]);
+        assert!((p[0] - 0.5).abs() < 1e-15);
+        // Dominant coordinate saturates.
+        let p = project_to_simplex(&[5.0, 0.0, 0.0]);
+        assert_eq!(p, vec![1.0, 0.0, 0.0]);
+        // Negative entries clamp to zero.
+        let p = project_to_simplex(&[0.9, -5.0, 0.3]);
+        assert_feasible(&p);
+        assert_eq!(p[1], 0.0);
+    }
+
+    #[test]
+    fn projection_is_idempotent_and_feasible() {
+        let mut state: u64 = 99;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        for _ in 0..50 {
+            let v: Vec<f64> = (0..7).map(|_| next()).collect();
+            let p = project_to_simplex(&v);
+            assert_feasible(&p);
+            let pp = project_to_simplex(&p);
+            for (a, b) in p.iter().zip(&pp) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_convex_combination_is_recovered() {
+        // b = 0.3 col0 + 0.7 col1 exactly; both solvers must find it.
+        let a = DMatrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[2.0, 1.0],
+            &[0.5, 3.0],
+        ])
+        .unwrap();
+        let beta_true = [0.3, 0.7];
+        let b = a.matvec(&beta_true).unwrap();
+        for solver in [SimplexSolver::ProjectedGradient, SimplexSolver::ActiveSet] {
+            let s = solve(&a, &b, solver).unwrap();
+            assert_feasible(&s.beta);
+            assert!(s.objective < 1e-12, "{solver:?}: {}", s.objective);
+            for (got, want) in s.beta.iter().zip(&beta_true) {
+                assert!((got - want).abs() < 1e-5, "{solver:?}: {:?}", s.beta);
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_solution_when_one_reference_dominates() {
+        // b equals column 2: optimal beta is the vertex e2.
+        let a = DMatrix::from_rows(&[
+            &[1.0, 0.2, 0.0],
+            &[0.1, 0.9, 1.0],
+            &[0.3, 0.4, 2.0],
+        ])
+        .unwrap();
+        let b = a.column(2).to_vec();
+        for solver in [SimplexSolver::ProjectedGradient, SimplexSolver::ActiveSet] {
+            let s = solve(&a, &b, solver).unwrap();
+            assert_feasible(&s.beta);
+            assert!(s.beta[2] > 0.999, "{solver:?}: {:?}", s.beta);
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_random_problems() {
+        let mut state: u64 = 0xABCDEF;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..25 {
+            let m = 12;
+            let n = 2 + trial % 5;
+            let mut a = DMatrix::zeros(m, n);
+            for j in 0..n {
+                for i in 0..m {
+                    a[(i, j)] = next();
+                }
+            }
+            let b: Vec<f64> = (0..m).map(|_| next() * 1.5).collect();
+            let pg = solve(&a, &b, SimplexSolver::ProjectedGradient).unwrap();
+            let acts = solve(&a, &b, SimplexSolver::ActiveSet).unwrap();
+            assert_feasible(&pg.beta);
+            assert_feasible(&acts.beta);
+            let scale = norm2(&b).max(1.0);
+            assert!(
+                (pg.objective - acts.objective).abs() <= 1e-6 * scale * scale,
+                "trial {trial}: objectives {} vs {}",
+                pg.objective,
+                acts.objective
+            );
+        }
+    }
+
+    #[test]
+    fn single_reference_gets_weight_one() {
+        let a = DMatrix::from_columns(&[vec![0.5, 0.1, 0.9]]).unwrap();
+        let b = vec![1.0, 1.0, 1.0];
+        for solver in [SimplexSolver::ProjectedGradient, SimplexSolver::ActiveSet] {
+            let s = solve(&a, &b, solver).unwrap();
+            assert_eq!(s.beta.len(), 1);
+            assert!((s.beta[0] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn highly_correlated_columns_split_weight_stably() {
+        // Columns 0 and 1 are nearly identical (the USPS business vs
+        // residential situation of §4.4.2); the solver must not blow up and
+        // total weight on {0,1} should dominate.
+        let a = DMatrix::from_rows(&[
+            &[1.00, 0.99, 0.1],
+            &[2.00, 2.02, 0.2],
+            &[0.50, 0.51, 0.9],
+            &[1.50, 1.49, 0.3],
+        ])
+        .unwrap();
+        let b = a.matvec(&[0.5, 0.5, 0.0]).unwrap();
+        for solver in [SimplexSolver::ProjectedGradient, SimplexSolver::ActiveSet] {
+            let s = solve(&a, &b, solver).unwrap();
+            assert_feasible(&s.beta);
+            assert!(s.beta[0] + s.beta[1] > 0.95, "{solver:?}: {:?}", s.beta);
+            assert!(s.objective < 1e-8);
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_shapes() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(solve(&a, &[1.0, 2.0], SimplexSolver::ProjectedGradient).is_err());
+        assert!(solve(&a, &[1.0, 2.0], SimplexSolver::ActiveSet).is_err());
+        assert!(solve(&a, &[f64::INFINITY], SimplexSolver::ProjectedGradient).is_err());
+        let empty = DMatrix::zeros(0, 0);
+        assert!(solve(&empty, &[], SimplexSolver::ActiveSet).is_err());
+    }
+
+    #[test]
+    fn identical_columns_do_not_loop_forever() {
+        let a = DMatrix::from_columns(&[vec![1.0, 2.0], vec![1.0, 2.0], vec![1.0, 2.0]])
+            .unwrap();
+        let b = vec![1.0, 2.0];
+        for solver in [SimplexSolver::ProjectedGradient, SimplexSolver::ActiveSet] {
+            let s = solve(&a, &b, solver).unwrap();
+            assert_feasible(&s.beta);
+            assert!(s.objective < 1e-10, "{solver:?}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Descriptive statistics used across the evaluation harness: means,
+//! variances, Pearson correlation (reference selection, §4.4.2), RMSE /
+//! NRMSE (the paper's accuracy criteria, §4.2), and quantiles (the box
+//! plots of Figure 7).
+
+use crate::error::LinalgError;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 when either sample is constant (the convention the reference
+/// selection experiments need: a constant reference carries no signal).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, LinalgError> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "pearson",
+            left: (xs.len(), 1),
+            right: (ys.len(), 1),
+        });
+    }
+    if xs.len() < 2 {
+        return Ok(0.0);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Root mean square error between an estimate and the truth.
+pub fn rmse(estimate: &[f64], truth: &[f64]) -> Result<f64, LinalgError> {
+    if estimate.len() != truth.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "rmse",
+            left: (estimate.len(), 1),
+            right: (truth.len(), 1),
+        });
+    }
+    if estimate.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let mse = estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum::<f64>()
+        / estimate.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// RMSE normalized by the mean of the measured (true) data — the NRMSE of
+/// paper §4.2, which makes errors comparable across datasets of
+/// heterogeneous scale. Errors when the truth has zero mean.
+pub fn nrmse(estimate: &[f64], truth: &[f64]) -> Result<f64, LinalgError> {
+    let r = rmse(estimate, truth)?;
+    let m = mean(truth);
+    if m == 0.0 {
+        return Err(LinalgError::Singular);
+    }
+    Ok(r / m.abs())
+}
+
+/// Mean absolute error.
+pub fn mae(estimate: &[f64], truth: &[f64]) -> Result<f64, LinalgError> {
+    if estimate.len() != truth.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "mae",
+            left: (estimate.len(), 1),
+            right: (truth.len(), 1),
+        });
+    }
+    if estimate.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    Ok(estimate.iter().zip(truth).map(|(e, t)| (e - t).abs()).sum::<f64>()
+        / estimate.len() as f64)
+}
+
+/// Linear-interpolated quantile (`q` in `[0, 1]`) of a sample.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64, LinalgError> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+        return Err(LinalgError::NonFinite);
+    }
+    let mut s: Vec<f64> = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let pos = q * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(s[lo] + frac * (s[hi] - s[lo]))
+}
+
+/// Five-number summary used by box plots: min, Q1, median, Q3, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Sample minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Sample maximum.
+    pub max: f64,
+}
+
+/// Computes the five-number summary of a sample.
+pub fn five_number(xs: &[f64]) -> Result<FiveNumber, LinalgError> {
+    Ok(FiveNumber {
+        min: quantile(xs, 0.0)?,
+        q1: quantile(xs, 0.25)?,
+        median: quantile(xs, 0.5)?,
+        q3: quantile(xs, 0.75)?,
+        max: quantile(xs, 1.0)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(variance(&[1.0, 3.0]), 1.0);
+        assert_eq!(std_dev(&[1.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        // Perfect positive and negative correlation.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+        // Constant series convention.
+        assert_eq!(pearson(&x, &[7.0; 4]).unwrap(), 0.0);
+        // Orthogonal pattern.
+        let r = pearson(&[1.0, 2.0, 3.0, 4.0], &[1.0, -1.0, -1.0, 1.0]).unwrap();
+        assert!(r.abs() < 1e-12);
+        assert!(pearson(&x, &[1.0]).is_err());
+        assert_eq!(pearson(&[1.0], &[2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rmse_and_nrmse() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&t, &t).unwrap(), 0.0);
+        let e = [2.0, 3.0, 4.0];
+        assert!((rmse(&e, &t).unwrap() - 1.0).abs() < 1e-15);
+        assert!((nrmse(&e, &t).unwrap() - 0.5).abs() < 1e-15);
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(rmse(&[], &[]).is_err());
+        assert!(nrmse(&[1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn mae_basics() {
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 0.0]).unwrap(), 1.5);
+        assert!(mae(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn quantiles_and_five_number() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 9.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 3.5);
+        let f = five_number(&xs).unwrap();
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.max, 9.0);
+        assert_eq!(f.median, 3.5);
+        assert!(f.q1 <= f.median && f.median <= f.q3);
+        assert!(quantile(&xs, 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[42.0], 0.3).unwrap(), 42.0);
+        let f = five_number(&[42.0]).unwrap();
+        assert_eq!(f.min, 42.0);
+        assert_eq!(f.max, 42.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the linear-algebra invariants.
+
+use geoalign_linalg::dense::DMatrix;
+use geoalign_linalg::nnls::{kkt_violation, nnls};
+use geoalign_linalg::simplex_ls::{project_to_simplex, solve, SimplexSolver};
+use geoalign_linalg::sparse::CooMatrix;
+use geoalign_linalg::stats;
+use proptest::prelude::*;
+
+fn matrix_from(vals: &[f64], m: usize, n: usize) -> DMatrix {
+    let cols: Vec<Vec<f64>> = (0..n).map(|j| vals[j * m..(j + 1) * m].to_vec()).collect();
+    DMatrix::from_columns(&cols).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn simplex_projection_is_feasible_and_idempotent(
+        v in prop::collection::vec(-10.0..10.0f64, 1..12)
+    ) {
+        let p = project_to_simplex(&v);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+        let s: f64 = p.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        let pp = project_to_simplex(&p);
+        for (a, b) in p.iter().zip(&pp) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simplex_projection_is_closest_feasible_point(
+        pairs in prop::collection::vec((-5.0..5.0f64, 0.0..1.0f64), 2..8)
+    ) {
+        let (v, trial): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let p = project_to_simplex(&v);
+        // Any other feasible point is no closer to v.
+        let t = project_to_simplex(&trial);
+        let d = |a: &[f64]| -> f64 {
+            a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        prop_assert!(d(&p) <= d(&t) + 1e-9);
+    }
+
+    #[test]
+    fn nnls_satisfies_kkt(
+        vals in prop::collection::vec(-2.0..2.0f64, 24),
+        b in prop::collection::vec(-3.0..3.0f64, 6)
+    ) {
+        let a = matrix_from(&vals, 6, 4);
+        let sol = nnls(&a, &b).unwrap();
+        prop_assert!(sol.x.iter().all(|&x| x >= 0.0));
+        let viol = kkt_violation(&a, &b, &sol.x).unwrap();
+        let scale = stats::mean(&b).abs().max(1.0) * 100.0;
+        prop_assert!(viol < 1e-6 * scale, "KKT violation {viol}");
+    }
+
+    #[test]
+    fn simplex_solvers_agree(
+        vals in prop::collection::vec(0.0..2.0f64, 30),
+        b in prop::collection::vec(0.0..3.0f64, 10)
+    ) {
+        let a = matrix_from(&vals, 10, 3);
+        let pg = solve(&a, &b, SimplexSolver::ProjectedGradient).unwrap();
+        let act = solve(&a, &b, SimplexSolver::ActiveSet).unwrap();
+        for beta in [&pg.beta, &act.beta] {
+            prop_assert!(beta.iter().all(|&x| x >= -1e-12));
+            let s: f64 = beta.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8);
+        }
+        // The active-set solver is exact; FISTA is first-order and may
+        // stop within a small relative gap of the optimum on flat valleys.
+        // Agreement within a 0.1% relative gap (and the right direction:
+        // the exact solver can only be better) validates both.
+        prop_assert!(
+            pg.objective >= act.objective - 1e-7 * (act.objective.abs() + 1.0),
+            "exact solver worse than first-order: {} vs {}", act.objective, pg.objective
+        );
+        prop_assert!(
+            pg.objective - act.objective <= 1e-3 * (act.objective.abs() + 1.0),
+            "objectives {} vs {}", pg.objective, act.objective
+        );
+    }
+
+    #[test]
+    fn csr_roundtrip_and_marginals(
+        entries in prop::collection::vec((0usize..8, 0usize..6, 0.0..10.0f64), 0..50)
+    ) {
+        let mut coo = CooMatrix::new(8, 6);
+        let mut dense = vec![vec![0.0f64; 6]; 8];
+        for &(i, j, v) in &entries {
+            coo.push(i, j, v).unwrap();
+            dense[i][j] += v;
+        }
+        let csr = coo.to_csr();
+        // Values round-trip.
+        for (i, row) in dense.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                prop_assert!((csr.get(i, j) - v).abs() < 1e-12);
+            }
+        }
+        // Marginals agree with the dense accumulation.
+        let rows = csr.row_sums();
+        for (i, row) in dense.iter().enumerate() {
+            prop_assert!((rows[i] - row.iter().sum::<f64>()).abs() < 1e-9);
+        }
+        let cols = csr.col_sums();
+        for j in 0..6 {
+            let expect: f64 = dense.iter().map(|r| r[j]).sum();
+            prop_assert!((cols[j] - expect).abs() < 1e-9);
+        }
+        // Transpose is an involution.
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal(
+        vals in prop::collection::vec(-3.0..3.0f64, 21),
+        b in prop::collection::vec(-5.0..5.0f64, 7)
+    ) {
+        let a = matrix_from(&vals, 7, 3);
+        let qr = match geoalign_linalg::HouseholderQr::new(&a) {
+            Ok(qr) => qr,
+            Err(_) => return Ok(()),
+        };
+        let x = match qr.solve(&b) {
+            Ok(x) => x,
+            Err(_) => return Ok(()), // numerically rank-deficient sample
+        };
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(p, q)| p - q).collect();
+        let atr = a.tr_matvec(&r).unwrap();
+        let scale = a.frobenius_norm() * (1.0 + stats::mean(&b).abs()) * 100.0;
+        for v in atr {
+            prop_assert!(v.abs() < 1e-7 * scale.max(1.0), "residual not orthogonal: {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in prop::collection::vec(-100.0..100.0f64, 1..30)) {
+        let f = stats::five_number(&xs).unwrap();
+        prop_assert!(f.min <= f.q1 && f.q1 <= f.median);
+        prop_assert!(f.median <= f.q3 && f.q3 <= f.max);
+        // Pearson of a series with itself is 1 (when non-constant).
+        if stats::variance(&xs) > 1e-9 {
+            let r = stats::pearson(&xs, &xs).unwrap();
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Aggregate vectors: an attribute's values per unit of a unit system
+//! (the `a_x^y` vectors of paper §2.1).
+
+use crate::error::PartitionError;
+
+/// The aggregate vector of one attribute over one unit system.
+///
+/// Values are non-negative (counts, amounts); the unit system is referenced
+/// by length only — the structs are deliberately decoupled so tabular data
+/// (plain aggregate tables without shape files, which the paper §5 argues
+/// extensive methods must support) can be loaded directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateVector {
+    attribute: String,
+    values: Vec<f64>,
+}
+
+impl AggregateVector {
+    /// Builds an aggregate vector; rejects empty, negative or non-finite
+    /// values.
+    pub fn new(attribute: impl Into<String>, values: Vec<f64>) -> Result<Self, PartitionError> {
+        if values.is_empty() {
+            return Err(PartitionError::EmptySystem);
+        }
+        for (index, &value) in values.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(PartitionError::NonFinite);
+            }
+            if value < 0.0 {
+                return Err(PartitionError::NegativeAggregate { index, value });
+            }
+        }
+        Ok(Self { attribute: attribute.into(), values })
+    }
+
+    /// Attribute name (e.g. `"population"`).
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// The per-unit values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of units covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always `false`: construction rejects empty vectors.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sum over all units.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Max-normalization `a' = a / max_i a[i]` — the scale adjustment of
+    /// paper §3.4 applied before weight learning, so that references
+    /// measured on different scales contribute comparably. A zero vector
+    /// normalizes to itself.
+    pub fn normalized(&self) -> Vec<f64> {
+        let max = self.values.iter().copied().fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return self.values.clone();
+        }
+        self.values.iter().map(|v| v / max).collect()
+    }
+
+    /// Consumes the vector, returning its values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Returns a renamed copy (same values).
+    pub fn renamed(&self, attribute: impl Into<String>) -> AggregateVector {
+        AggregateVector { attribute: attribute.into(), values: self.values.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(AggregateVector::new("a", vec![]).is_err());
+        assert!(AggregateVector::new("a", vec![1.0, f64::NAN]).is_err());
+        assert_eq!(
+            AggregateVector::new("a", vec![1.0, -2.0]).unwrap_err(),
+            PartitionError::NegativeAggregate { index: 1, value: -2.0 }
+        );
+        let v = AggregateVector::new("a", vec![1.0, 2.0]).unwrap();
+        assert_eq!(v.attribute(), "a");
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.total(), 3.0);
+    }
+
+    #[test]
+    fn normalization_divides_by_max() {
+        let v = AggregateVector::new("a", vec![2.0, 4.0, 1.0]).unwrap();
+        assert_eq!(v.normalized(), vec![0.5, 1.0, 0.25]);
+        // Zero vector stays zero (no division by zero).
+        let z = AggregateVector::new("z", vec![0.0, 0.0]).unwrap();
+        assert_eq!(z.normalized(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn rename_preserves_values() {
+        let v = AggregateVector::new("a", vec![1.0]).unwrap();
+        let r = v.renamed("b");
+        assert_eq!(r.attribute(), "b");
+        assert_eq!(r.values(), v.values());
+        assert_eq!(v.into_values(), vec![1.0]);
+    }
+}

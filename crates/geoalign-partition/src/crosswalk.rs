@@ -1,0 +1,191 @@
+//! Point-data crosswalk aggregation.
+//!
+//! The paper builds its reference data by aggregating individual-level GIS
+//! records "for the intersection area of the two geographic types to form
+//! their disaggregation matrices" (§4.1, done there with ArcGIS Pro). This
+//! module is the open equivalent: given weighted points and two polygon
+//! unit systems, it produces the aggregate vectors at the source and target
+//! levels and the disaggregation matrix between them, in one pass.
+
+use crate::aggregate::AggregateVector;
+use crate::disagg::DisaggregationMatrix;
+use crate::error::PartitionError;
+use crate::unit_system::PolygonUnitSystem;
+use geoalign_geom::Point2;
+use geoalign_linalg::CooMatrix;
+
+/// A point record with a weight (1 for plain counts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedPoint {
+    /// Location of the record.
+    pub pos: Point2,
+    /// Contribution of the record to every aggregate it falls into.
+    pub weight: f64,
+}
+
+impl WeightedPoint {
+    /// A unit-weight record.
+    pub fn unit(pos: Point2) -> Self {
+        Self { pos, weight: 1.0 }
+    }
+}
+
+/// What to do with records that fall outside one of the unit systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutsidePolicy {
+    /// Skip the record silently (count reported in the result).
+    #[default]
+    Skip,
+    /// Fail the aggregation with [`PartitionError::PointOutsideUniverse`].
+    Error,
+}
+
+/// Result of a crosswalk aggregation: the attribute observed at all three
+/// levels of paper Figure 4.
+#[derive(Debug, Clone)]
+pub struct CrosswalkAggregates {
+    /// Aggregates per source unit (`a^s`).
+    pub source: AggregateVector,
+    /// Aggregates per target unit (`a^t`) — the ground truth the
+    /// evaluation compares estimates against.
+    pub target: AggregateVector,
+    /// The disaggregation matrix between source and target units.
+    pub dm: DisaggregationMatrix,
+    /// Number of records skipped because they fell outside a system
+    /// (always 0 under [`OutsidePolicy::Error`]).
+    pub skipped: usize,
+}
+
+/// Aggregates weighted point records of `attribute` into the source and
+/// target systems and their intersections.
+///
+/// A record contributes to the source unit containing it, the target unit
+/// containing it, and the corresponding `(source, target)` intersection
+/// cell of the disaggregation matrix. Records outside either system follow
+/// `policy`.
+pub fn aggregate_points(
+    attribute: &str,
+    points: &[WeightedPoint],
+    source: &PolygonUnitSystem,
+    target: &PolygonUnitSystem,
+    policy: OutsidePolicy,
+) -> Result<CrosswalkAggregates, PartitionError> {
+    let mut src = vec![0.0; source.len()];
+    let mut tgt = vec![0.0; target.len()];
+    let mut coo = CooMatrix::new(source.len(), target.len());
+    let mut skipped = 0usize;
+    for (index, p) in points.iter().enumerate() {
+        if !p.pos.is_finite() || !p.weight.is_finite() {
+            return Err(PartitionError::NonFinite);
+        }
+        let (Some(si), Some(ti)) = (source.locate(p.pos), target.locate(p.pos)) else {
+            match policy {
+                OutsidePolicy::Skip => {
+                    skipped += 1;
+                    continue;
+                }
+                OutsidePolicy::Error => {
+                    return Err(PartitionError::PointOutsideUniverse { index })
+                }
+            }
+        };
+        src[si] += p.weight;
+        tgt[ti] += p.weight;
+        coo.push(si, ti, p.weight)?;
+    }
+    Ok(CrosswalkAggregates {
+        source: AggregateVector::new(attribute, src)?,
+        target: AggregateVector::new(attribute, tgt)?,
+        dm: DisaggregationMatrix::new(attribute, coo.to_csr())?,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoalign_geom::Polygon;
+
+    fn source_sys() -> PolygonUnitSystem {
+        // Two vertical strips of [0,2]×[0,2].
+        PolygonUnitSystem::new(
+            "strips",
+            vec![
+                Polygon::rect(Point2::new(0.0, 0.0), Point2::new(1.0, 2.0)).unwrap(),
+                Polygon::rect(Point2::new(1.0, 0.0), Point2::new(2.0, 2.0)).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn target_sys() -> PolygonUnitSystem {
+        // Two horizontal bands of [0,2]×[0,2].
+        PolygonUnitSystem::new(
+            "bands",
+            vec![
+                Polygon::rect(Point2::new(0.0, 0.0), Point2::new(2.0, 1.0)).unwrap(),
+                Polygon::rect(Point2::new(0.0, 1.0), Point2::new(2.0, 2.0)).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregation_hits_all_three_levels() {
+        let pts = vec![
+            WeightedPoint::unit(Point2::new(0.5, 0.5)), // strip 0, band 0
+            WeightedPoint::unit(Point2::new(0.5, 1.5)), // strip 0, band 1
+            WeightedPoint::unit(Point2::new(1.5, 0.5)), // strip 1, band 0
+            WeightedPoint { pos: Point2::new(1.5, 1.5), weight: 2.0 }, // strip 1, band 1
+        ];
+        let agg =
+            aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Error)
+                .unwrap();
+        assert_eq!(agg.source.values(), &[2.0, 3.0]);
+        assert_eq!(agg.target.values(), &[2.0, 3.0]);
+        assert_eq!(agg.dm.matrix().get(0, 0), 1.0);
+        assert_eq!(agg.dm.matrix().get(1, 1), 2.0);
+        assert_eq!(agg.skipped, 0);
+        // DM is consistent with both marginals.
+        assert_eq!(agg.dm.matrix().row_sums(), agg.source.values());
+        assert_eq!(agg.dm.matrix().col_sums(), agg.target.values());
+    }
+
+    #[test]
+    fn outside_policy_skip_counts() {
+        let pts = vec![
+            WeightedPoint::unit(Point2::new(0.5, 0.5)),
+            WeightedPoint::unit(Point2::new(9.0, 9.0)), // outside
+        ];
+        let agg = aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Skip)
+            .unwrap();
+        assert_eq!(agg.skipped, 1);
+        assert_eq!(agg.source.total(), 1.0);
+    }
+
+    #[test]
+    fn outside_policy_error_fails() {
+        let pts = vec![WeightedPoint::unit(Point2::new(9.0, 9.0))];
+        let err = aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Error)
+            .unwrap_err();
+        assert_eq!(err, PartitionError::PointOutsideUniverse { index: 0 });
+    }
+
+    #[test]
+    fn non_finite_records_rejected() {
+        let pts = vec![WeightedPoint { pos: Point2::new(0.5, 0.5), weight: f64::NAN }];
+        assert!(
+            aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Skip)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn empty_point_set_gives_zero_aggregates() {
+        let agg = aggregate_points("x", &[], &source_sys(), &target_sys(), OutsidePolicy::Skip)
+            .unwrap();
+        assert_eq!(agg.source.total(), 0.0);
+        assert_eq!(agg.target.total(), 0.0);
+        assert_eq!(agg.dm.nnz(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Disaggregation matrices (paper §3.3, Eq. 13).
+//!
+//! `DM_x[i, j]` is the aggregate of attribute `x` in the intersection of
+//! source unit `i` and target unit `j`. In practice these are the
+//! "crosswalk relationship files" agencies publish (e.g. the HUD USPS
+//! zip–county crosswalk the paper uses). Rows index source units, columns
+//! target units; the matrix is stored sparse.
+
+use crate::aggregate::AggregateVector;
+use crate::error::PartitionError;
+use geoalign_linalg::{CooMatrix, CsrMatrix};
+
+/// A sparse disaggregation matrix for one attribute between a source and a
+/// target unit system.
+#[derive(Debug, Clone)]
+pub struct DisaggregationMatrix {
+    attribute: String,
+    matrix: CsrMatrix,
+}
+
+impl DisaggregationMatrix {
+    /// Wraps a CSR matrix as a disaggregation matrix. All entries must be
+    /// non-negative and finite.
+    pub fn new(attribute: impl Into<String>, matrix: CsrMatrix) -> Result<Self, PartitionError> {
+        for (i, _, v) in matrix.iter() {
+            if !v.is_finite() {
+                return Err(PartitionError::NonFinite);
+            }
+            if v < 0.0 {
+                return Err(PartitionError::NegativeAggregate { index: i, value: v });
+            }
+        }
+        Ok(Self { attribute: attribute.into(), matrix })
+    }
+
+    /// Builds from `(source, target, value)` triples.
+    pub fn from_triples(
+        attribute: impl Into<String>,
+        n_source: usize,
+        n_target: usize,
+        triples: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self, PartitionError> {
+        let mut coo = CooMatrix::new(n_source, n_target);
+        for (i, j, v) in triples {
+            coo.push(i, j, v)?;
+        }
+        Self::new(attribute, coo.to_csr())
+    }
+
+    /// Attribute name.
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// The underlying sparse matrix (rows = source units, cols = target
+    /// units).
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+
+    /// Number of source units.
+    pub fn n_source(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    /// Number of target units.
+    pub fn n_target(&self) -> usize {
+        self.matrix.ncols()
+    }
+
+    /// Number of stored intersections.
+    pub fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    /// The attribute's aggregate vector in source units, implied by the
+    /// matrix (row sums) — `a_x^s` per Eq. 6.
+    pub fn source_aggregates(&self) -> Result<AggregateVector, PartitionError> {
+        AggregateVector::new(self.attribute.clone(), self.matrix.row_sums())
+    }
+
+    /// The attribute's aggregate vector in target units, implied by the
+    /// matrix (column sums) — `a_x^t` per Eq. 7.
+    pub fn target_aggregates(&self) -> Result<AggregateVector, PartitionError> {
+        AggregateVector::new(self.attribute.clone(), self.matrix.col_sums())
+    }
+
+    /// Checks the volume-preserving property (Eq. 10 / Eq. 16) against a
+    /// source aggregate vector: every row of the matrix must sum to the
+    /// corresponding source aggregate within `rel_tol` (relative to the
+    /// aggregate's own scale, with an absolute floor for zero entries).
+    pub fn is_volume_preserving(
+        &self,
+        source: &AggregateVector,
+        rel_tol: f64,
+    ) -> Result<bool, PartitionError> {
+        if source.len() != self.n_source() {
+            return Err(PartitionError::SystemMismatch {
+                what: "volume preservation check",
+                left: source.len(),
+                right: self.n_source(),
+            });
+        }
+        let sums = self.matrix.row_sums();
+        Ok(sums.iter().zip(source.values()).all(|(&s, &a)| {
+            let tol = rel_tol * a.abs().max(1e-12);
+            (s - a).abs() <= tol
+        }))
+    }
+
+    /// Returns a renamed copy (same matrix).
+    pub fn renamed(&self, attribute: impl Into<String>) -> DisaggregationMatrix {
+        DisaggregationMatrix { attribute: attribute.into(), matrix: self.matrix.clone() }
+    }
+
+    /// Consumes the wrapper, returning the raw CSR matrix.
+    pub fn into_matrix(self) -> CsrMatrix {
+        self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DisaggregationMatrix {
+        // 2 source units × 3 target units:
+        //   source 0 splits 10/5 across targets 0 and 1;
+        //   source 1 sits entirely in target 2 with 7.
+        DisaggregationMatrix::from_triples(
+            "pop",
+            2,
+            3,
+            [(0, 0, 10.0), (0, 1, 5.0), (1, 2, 7.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let dm = sample();
+        assert_eq!(dm.attribute(), "pop");
+        assert_eq!(dm.n_source(), 2);
+        assert_eq!(dm.n_target(), 3);
+        assert_eq!(dm.nnz(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_entries() {
+        assert!(DisaggregationMatrix::from_triples("x", 1, 1, [(0, 0, -1.0)]).is_err());
+        assert!(DisaggregationMatrix::from_triples("x", 1, 1, [(0, 0, f64::NAN)]).is_err());
+        assert!(DisaggregationMatrix::from_triples("x", 1, 1, [(1, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn implied_aggregates() {
+        let dm = sample();
+        assert_eq!(dm.source_aggregates().unwrap().values(), &[15.0, 7.0]);
+        assert_eq!(dm.target_aggregates().unwrap().values(), &[10.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn volume_preservation() {
+        let dm = sample();
+        let good = AggregateVector::new("pop", vec![15.0, 7.0]).unwrap();
+        assert!(dm.is_volume_preserving(&good, 1e-12).unwrap());
+        let off = AggregateVector::new("pop", vec![15.0, 8.0]).unwrap();
+        assert!(!dm.is_volume_preserving(&off, 1e-6).unwrap());
+        // Within a loose relative tolerance it passes.
+        assert!(dm.is_volume_preserving(&off, 0.2).unwrap());
+        let wrong_len = AggregateVector::new("pop", vec![1.0]).unwrap();
+        assert!(dm.is_volume_preserving(&wrong_len, 1e-6).is_err());
+    }
+
+    #[test]
+    fn rename_and_unwrap() {
+        let dm = sample().renamed("households");
+        assert_eq!(dm.attribute(), "households");
+        let m = dm.into_matrix();
+        assert_eq!(m.nnz(), 3);
+    }
+}

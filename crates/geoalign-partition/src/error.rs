@@ -1,0 +1,112 @@
+//! Error types for the partition layer.
+
+use std::fmt;
+
+/// Errors raised when constructing or combining unit systems, aggregate
+/// vectors and disaggregation matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// A unit system was created with no units.
+    EmptySystem,
+    /// An aggregate vector's length does not match its unit system.
+    LengthMismatch {
+        /// Expected number of units.
+        expected: usize,
+        /// Supplied number of values.
+        got: usize,
+    },
+    /// An aggregate value was negative where counts are required.
+    NegativeAggregate {
+        /// Index of the offending unit.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A value was NaN or infinite.
+    NonFinite,
+    /// Two objects refer to unit systems of different sizes.
+    SystemMismatch {
+        /// Context of the mismatch.
+        what: &'static str,
+        /// Left-hand size.
+        left: usize,
+        /// Right-hand size.
+        right: usize,
+    },
+    /// The underlying geometry failed.
+    Geometry(geoalign_geom::GeomError),
+    /// The underlying linear algebra failed.
+    Linalg(geoalign_linalg::LinalgError),
+    /// A point fell outside every unit during crosswalk aggregation.
+    PointOutsideUniverse {
+        /// Index of the point in its dataset.
+        index: usize,
+    },
+    /// A tabular input failed to parse or reference the expected units.
+    Table(crate::table::TableError),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::EmptySystem => write!(f, "unit system has no units"),
+            PartitionError::LengthMismatch { expected, got } => {
+                write!(f, "aggregate vector length {got} does not match {expected} units")
+            }
+            PartitionError::NegativeAggregate { index, value } => {
+                write!(f, "negative aggregate {value} at unit {index}")
+            }
+            PartitionError::NonFinite => write!(f, "non-finite value"),
+            PartitionError::SystemMismatch { what, left, right } => {
+                write!(f, "unit-system mismatch in {what}: {left} vs {right}")
+            }
+            PartitionError::Geometry(e) => write!(f, "geometry error: {e}"),
+            PartitionError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            PartitionError::PointOutsideUniverse { index } => {
+                write!(f, "point {index} lies outside every unit of the universe")
+            }
+            PartitionError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartitionError::Geometry(e) => Some(e),
+            PartitionError::Linalg(e) => Some(e),
+            PartitionError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<geoalign_geom::GeomError> for PartitionError {
+    fn from(e: geoalign_geom::GeomError) -> Self {
+        PartitionError::Geometry(e)
+    }
+}
+
+impl From<geoalign_linalg::LinalgError> for PartitionError {
+    fn from(e: geoalign_linalg::LinalgError) -> Self {
+        PartitionError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = PartitionError::LengthMismatch { expected: 5, got: 3 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+        let g: PartitionError = geoalign_geom::GeomError::NoSeeds.into();
+        assert!(g.to_string().contains("geometry"));
+        use std::error::Error;
+        assert!(g.source().is_some());
+        let l: PartitionError = geoalign_linalg::LinalgError::Singular.into();
+        assert!(l.source().is_some());
+        assert!(PartitionError::EmptySystem.source().is_none());
+    }
+}

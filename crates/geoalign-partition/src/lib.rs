@@ -1,0 +1,34 @@
+//! Partition layer of the GeoAlign reproduction: unit systems, aggregate
+//! vectors, disaggregation matrices, spatial overlay and point crosswalk
+//! aggregation — the data model of paper §2–3.
+//!
+//! * [`PolygonUnitSystem`], [`IntervalUnitSystem`], [`BoxUnitSystem`] —
+//!   partitions of 2-D, 1-D and n-D universes;
+//! * [`AggregateVector`] — an attribute's per-unit aggregates, with the
+//!   max-normalization of §3.4;
+//! * [`DisaggregationMatrix`] — the sparse `DM_x` of Eq. 13, with the
+//!   volume-preservation audit of Eq. 10/16;
+//! * [`Overlay`] — the intersection unit system `U^st` of Eq. 4 plus the
+//!   measure (area) disaggregation matrix for areal weighting;
+//! * [`crosswalk::aggregate_points`] — ArcGIS-style aggregation of point
+//!   records to source, target and intersection levels at once.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod crosswalk;
+pub mod disagg;
+pub mod error;
+pub mod overlay;
+pub mod subset;
+pub mod table;
+pub mod unit_system;
+
+pub use aggregate::AggregateVector;
+pub use crosswalk::{aggregate_points, CrosswalkAggregates, OutsidePolicy, WeightedPoint};
+pub use disagg::DisaggregationMatrix;
+pub use error::PartitionError;
+pub use overlay::{Overlay, OverlayPiece};
+pub use subset::UniverseSubset;
+pub use table::{AggregateTable, CrosswalkTable, TableError, UnitIndex};
+pub use unit_system::{BoxUnitSystem, IntervalUnitSystem, PolygonUnitSystem};

@@ -1,0 +1,237 @@
+//! Universe subsetting — the paper's factor-control protocol (§4.3):
+//! "instead of collecting more datasets for new universes, for each
+//! universe, we subset the ten datasets covering the United States,
+//! keeping the entries collected from units within the universe".
+//!
+//! A [`UniverseSubset`] selects the units of a source and a target system
+//! that fall inside a region (by centroid membership, the standard GIS
+//! convention for assigning units to regions) and restricts aggregate
+//! vectors and disaggregation matrices to the selection.
+
+use crate::aggregate::AggregateVector;
+use crate::disagg::DisaggregationMatrix;
+use crate::error::PartitionError;
+use crate::unit_system::PolygonUnitSystem;
+use geoalign_geom::Aabb;
+
+/// A consistent selection of source and target units.
+#[derive(Debug, Clone)]
+pub struct UniverseSubset {
+    source_idx: Vec<usize>,
+    target_idx: Vec<usize>,
+    n_source_full: usize,
+    n_target_full: usize,
+}
+
+impl UniverseSubset {
+    /// Selects the units of both systems whose centroids fall inside
+    /// `region`. Errors when either selection is empty.
+    pub fn by_region(
+        source: &PolygonUnitSystem,
+        target: &PolygonUnitSystem,
+        region: &Aabb,
+    ) -> Result<Self, PartitionError> {
+        let source_idx: Vec<usize> = source
+            .units()
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| region.contains(u.centroid()))
+            .map(|(i, _)| i)
+            .collect();
+        let target_idx: Vec<usize> = target
+            .units()
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| region.contains(u.centroid()))
+            .map(|(i, _)| i)
+            .collect();
+        if source_idx.is_empty() || target_idx.is_empty() {
+            return Err(PartitionError::EmptySystem);
+        }
+        Ok(Self {
+            source_idx,
+            target_idx,
+            n_source_full: source.len(),
+            n_target_full: target.len(),
+        })
+    }
+
+    /// Builds a subset from explicit index lists (deduplicated, sorted).
+    pub fn from_indices(
+        mut source_idx: Vec<usize>,
+        mut target_idx: Vec<usize>,
+        n_source_full: usize,
+        n_target_full: usize,
+    ) -> Result<Self, PartitionError> {
+        source_idx.sort_unstable();
+        source_idx.dedup();
+        target_idx.sort_unstable();
+        target_idx.dedup();
+        if source_idx.is_empty() || target_idx.is_empty() {
+            return Err(PartitionError::EmptySystem);
+        }
+        if source_idx.last().copied().unwrap_or(0) >= n_source_full
+            || target_idx.last().copied().unwrap_or(0) >= n_target_full
+        {
+            return Err(PartitionError::SystemMismatch {
+                what: "subset indices",
+                left: n_source_full,
+                right: n_target_full,
+            });
+        }
+        Ok(Self { source_idx, target_idx, n_source_full, n_target_full })
+    }
+
+    /// Selected source unit indices (into the full system).
+    pub fn source_indices(&self) -> &[usize] {
+        &self.source_idx
+    }
+
+    /// Selected target unit indices (into the full system).
+    pub fn target_indices(&self) -> &[usize] {
+        &self.target_idx
+    }
+
+    /// Number of selected source units.
+    pub fn n_source(&self) -> usize {
+        self.source_idx.len()
+    }
+
+    /// Number of selected target units.
+    pub fn n_target(&self) -> usize {
+        self.target_idx.len()
+    }
+
+    /// Restricts a full-universe source aggregate vector to the subset.
+    pub fn restrict_source(
+        &self,
+        vector: &AggregateVector,
+    ) -> Result<AggregateVector, PartitionError> {
+        if vector.len() != self.n_source_full {
+            return Err(PartitionError::LengthMismatch {
+                expected: self.n_source_full,
+                got: vector.len(),
+            });
+        }
+        let values = self.source_idx.iter().map(|&i| vector.values()[i]).collect();
+        AggregateVector::new(vector.attribute().to_owned(), values)
+    }
+
+    /// Restricts a full-universe target aggregate vector to the subset.
+    pub fn restrict_target(
+        &self,
+        vector: &AggregateVector,
+    ) -> Result<AggregateVector, PartitionError> {
+        if vector.len() != self.n_target_full {
+            return Err(PartitionError::LengthMismatch {
+                expected: self.n_target_full,
+                got: vector.len(),
+            });
+        }
+        let values = self.target_idx.iter().map(|&i| vector.values()[i]).collect();
+        AggregateVector::new(vector.attribute().to_owned(), values)
+    }
+
+    /// Restricts a disaggregation matrix to the subset's source rows and
+    /// target columns. Mass flowing to unselected units is dropped — the
+    /// same boundary truncation the paper's subsetting performs.
+    pub fn restrict_dm(
+        &self,
+        dm: &DisaggregationMatrix,
+    ) -> Result<DisaggregationMatrix, PartitionError> {
+        if dm.n_source() != self.n_source_full || dm.n_target() != self.n_target_full {
+            return Err(PartitionError::SystemMismatch {
+                what: "subset disaggregation matrix",
+                left: dm.n_source(),
+                right: self.n_source_full,
+            });
+        }
+        let sub = dm.matrix().submatrix(&self.source_idx, &self.target_idx)?;
+        DisaggregationMatrix::new(dm.attribute().to_owned(), sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoalign_geom::{Point2, Polygon};
+
+    fn strip_system(name: &str, n: usize) -> PolygonUnitSystem {
+        let units = (0..n)
+            .map(|i| {
+                Polygon::rect(
+                    Point2::new(i as f64, 0.0),
+                    Point2::new(i as f64 + 1.0, 1.0),
+                )
+                .unwrap()
+            })
+            .collect();
+        PolygonUnitSystem::new(name, units).unwrap()
+    }
+
+    #[test]
+    fn region_selection_by_centroid() {
+        let source = strip_system("s", 10);
+        let target = strip_system("t", 5);
+        // Region covering x in [0, 4): source strips 0..4, target 0..3
+        // (target strips are also 1-wide here; centroids at 0.5, 1.5, ...).
+        let region = Aabb::new(Point2::new(0.0, 0.0), Point2::new(4.0, 1.0));
+        let sub = UniverseSubset::by_region(&source, &target, &region).unwrap();
+        assert_eq!(sub.source_indices(), &[0, 1, 2, 3]);
+        assert_eq!(sub.target_indices(), &[0, 1, 2, 3]);
+        // Empty regions error.
+        let off = Aabb::new(Point2::new(50.0, 0.0), Point2::new(51.0, 1.0));
+        assert!(UniverseSubset::by_region(&source, &target, &off).is_err());
+    }
+
+    #[test]
+    fn vector_restriction() {
+        let sub = UniverseSubset::from_indices(vec![1, 3], vec![0], 4, 2).unwrap();
+        let v = AggregateVector::new("x", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        let r = sub.restrict_source(&v).unwrap();
+        assert_eq!(r.values(), &[20.0, 40.0]);
+        let t = AggregateVector::new("x", vec![7.0, 8.0]).unwrap();
+        assert_eq!(sub.restrict_target(&t).unwrap().values(), &[7.0]);
+        // Wrong lengths rejected.
+        let short = AggregateVector::new("x", vec![1.0]).unwrap();
+        assert!(sub.restrict_source(&short).is_err());
+        assert!(sub.restrict_target(&v).is_err());
+    }
+
+    #[test]
+    fn dm_restriction_drops_outside_mass() {
+        let dm = DisaggregationMatrix::from_triples(
+            "pop",
+            3,
+            3,
+            [
+                (0, 0, 5.0),
+                (1, 0, 2.0),
+                (1, 1, 3.0), // straddles into target 1
+                (2, 2, 9.0),
+            ],
+        )
+        .unwrap();
+        let sub = UniverseSubset::from_indices(vec![0, 1], vec![0], 3, 3).unwrap();
+        let r = sub.restrict_dm(&dm).unwrap();
+        assert_eq!(r.n_source(), 2);
+        assert_eq!(r.n_target(), 1);
+        assert_eq!(r.matrix().get(0, 0), 5.0);
+        assert_eq!(r.matrix().get(1, 0), 2.0); // the 3.0 to target 1 dropped
+        assert_eq!(r.nnz(), 2);
+        // Shape mismatch rejected.
+        let wrong = UniverseSubset::from_indices(vec![0], vec![0], 5, 3).unwrap();
+        assert!(wrong.restrict_dm(&dm).is_err());
+    }
+
+    #[test]
+    fn from_indices_validates() {
+        assert!(UniverseSubset::from_indices(vec![], vec![0], 3, 3).is_err());
+        assert!(UniverseSubset::from_indices(vec![0], vec![], 3, 3).is_err());
+        assert!(UniverseSubset::from_indices(vec![3], vec![0], 3, 3).is_err());
+        // Dedup and sort.
+        let s = UniverseSubset::from_indices(vec![2, 0, 2], vec![1, 1], 3, 3).unwrap();
+        assert_eq!(s.source_indices(), &[0, 2]);
+        assert_eq!(s.n_target(), 1);
+    }
+}

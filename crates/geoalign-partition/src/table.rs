@@ -1,0 +1,516 @@
+//! Tabular interchange: aggregate tables and crosswalk (disaggregation)
+//! files as CSV.
+//!
+//! The paper's inputs are exactly these artifacts: "plain aggregate
+//! tables" keyed by a geographic unit (§5 stresses that extensive methods
+//! need no shape files, only tables), and "crosswalk relationship files"
+//! like the HUD USPS zip–county crosswalk (§3.3). This module parses and
+//! writes both, mapping string unit identifiers to dense indices via a
+//! [`UnitIndex`].
+//!
+//! The CSV dialect is deliberately small: comma-separated, first line is a
+//! header, fields may be double-quoted (with `""` escaping); no embedded
+//! newlines.
+
+use crate::aggregate::AggregateVector;
+use crate::disagg::DisaggregationMatrix;
+use crate::error::PartitionError;
+use geoalign_linalg::CooMatrix;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Errors specific to table parsing, wrapped into [`PartitionError`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// A line had the wrong number of fields.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+        /// Fields expected.
+        expected: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A quoted field was not terminated.
+    UnterminatedQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The input had no header or no data rows.
+    Empty,
+    /// A unit identifier appeared twice in an aggregate table.
+    DuplicateUnit {
+        /// 1-based line number.
+        line: usize,
+        /// The duplicated identifier.
+        id: String,
+    },
+    /// A unit identifier is not present in the supplied index.
+    UnknownUnit {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown identifier.
+        id: String,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::BadArity { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            TableError::BadNumber { line, text } => {
+                write!(f, "line {line}: '{text}' is not a number")
+            }
+            TableError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            TableError::Empty => write!(f, "table has no data"),
+            TableError::DuplicateUnit { line, id } => {
+                write!(f, "line {line}: duplicate unit '{id}'")
+            }
+            TableError::UnknownUnit { line, id } => {
+                write!(f, "line {line}: unknown unit '{id}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<TableError> for PartitionError {
+    fn from(e: TableError) -> Self {
+        // Table errors surface through the partition error's NonFinite /
+        // mismatch categories poorly; carry the message via Geometry? No —
+        // extend PartitionError would be cleaner, but to keep the error
+        // enum stable we wrap as a dedicated variant below.
+        PartitionError::Table(e)
+    }
+}
+
+/// A bidirectional mapping between string unit identifiers and dense
+/// indices, fixing the unit order of vectors and matrices built from
+/// tables.
+#[derive(Debug, Clone, Default)]
+pub struct UnitIndex {
+    ids: Vec<String>,
+    lookup: HashMap<String, usize>,
+}
+
+impl UnitIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index from identifiers in order; duplicates collapse to
+    /// the first occurrence.
+    pub fn from_ids<I, S>(ids: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut idx = Self::new();
+        for id in ids {
+            idx.intern(&id.into());
+        }
+        idx
+    }
+
+    /// Returns the index of `id`, interning it if new.
+    pub fn intern(&mut self, id: &str) -> usize {
+        if let Some(&i) = self.lookup.get(id) {
+            return i;
+        }
+        let i = self.ids.len();
+        self.ids.push(id.to_owned());
+        self.lookup.insert(id.to_owned(), i);
+        i
+    }
+
+    /// Returns the index of `id` if present.
+    pub fn get(&self, id: &str) -> Option<usize> {
+        self.lookup.get(id).copied()
+    }
+
+    /// The identifier at `index`.
+    pub fn id(&self, index: usize) -> Option<&str> {
+        self.ids.get(index).map(String::as_str)
+    }
+
+    /// All identifiers in index order.
+    pub fn ids(&self) -> &[String] {
+        &self.ids
+    }
+
+    /// Number of interned identifiers.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Splits one CSV line into fields, honoring double quotes.
+fn split_csv_line(line: &str, lineno: usize) -> Result<Vec<String>, TableError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::UnterminatedQuote { line: lineno });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Quotes a CSV field when needed.
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// An aggregate table: `(unit id, value)` rows for one attribute.
+#[derive(Debug, Clone)]
+pub struct AggregateTable {
+    /// The attribute name (taken from the value column's header).
+    pub attribute: String,
+    /// Rows in file order.
+    pub rows: Vec<(String, f64)>,
+}
+
+impl AggregateTable {
+    /// Parses a two-column CSV (`unit,value`) with a header line.
+    pub fn parse_csv(text: &str) -> Result<Self, TableError> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let Some((hline, header)) = lines.next() else {
+            return Err(TableError::Empty);
+        };
+        let hfields = split_csv_line(header, hline + 1)?;
+        if hfields.len() != 2 {
+            return Err(TableError::BadArity { line: hline + 1, expected: 2, got: hfields.len() });
+        }
+        let attribute = hfields[1].trim().to_owned();
+        let mut rows = Vec::new();
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for (i, line) in lines {
+            let lineno = i + 1;
+            let fields = split_csv_line(line, lineno)?;
+            if fields.len() != 2 {
+                return Err(TableError::BadArity { line: lineno, expected: 2, got: fields.len() });
+            }
+            let id = fields[0].trim().to_owned();
+            if seen.insert(id.clone(), lineno).is_some() {
+                return Err(TableError::DuplicateUnit { line: lineno, id });
+            }
+            let value: f64 = fields[1]
+                .trim()
+                .parse()
+                .map_err(|_| TableError::BadNumber { line: lineno, text: fields[1].clone() })?;
+            rows.push((id, value));
+        }
+        if rows.is_empty() {
+            return Err(TableError::Empty);
+        }
+        Ok(Self { attribute, rows })
+    }
+
+    /// Converts to an aggregate vector against a unit index. Units in the
+    /// index but absent from the table default to 0; units in the table
+    /// but absent from the index are an error.
+    pub fn to_vector(&self, index: &UnitIndex) -> Result<AggregateVector, PartitionError> {
+        let mut values = vec![0.0; index.len()];
+        for (lineno, (id, v)) in self.rows.iter().enumerate() {
+            let i = index
+                .get(id)
+                .ok_or_else(|| TableError::UnknownUnit { line: lineno + 2, id: id.clone() })?;
+            values[i] = *v;
+        }
+        AggregateVector::new(self.attribute.clone(), values)
+    }
+
+    /// Builds a unit index from the table's own unit order.
+    pub fn unit_index(&self) -> UnitIndex {
+        UnitIndex::from_ids(self.rows.iter().map(|(id, _)| id.clone()))
+    }
+
+    /// Renders the table back to CSV (header + rows).
+    pub fn to_csv(&self, unit_header: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{},{}", quote(unit_header), quote(&self.attribute));
+        for (id, v) in &self.rows {
+            let _ = writeln!(out, "{},{v}", quote(id));
+        }
+        out
+    }
+}
+
+/// A crosswalk table: `(source id, target id, value)` rows — the file form
+/// of a disaggregation matrix (e.g. the HUD USPS crosswalk).
+#[derive(Debug, Clone)]
+pub struct CrosswalkTable {
+    /// Attribute name (value column header).
+    pub attribute: String,
+    /// Rows in file order.
+    pub rows: Vec<(String, String, f64)>,
+}
+
+impl CrosswalkTable {
+    /// Parses a three-column CSV (`source,target,value`) with a header.
+    /// Duplicate `(source, target)` pairs are summed when converting.
+    pub fn parse_csv(text: &str) -> Result<Self, TableError> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let Some((hline, header)) = lines.next() else {
+            return Err(TableError::Empty);
+        };
+        let hfields = split_csv_line(header, hline + 1)?;
+        if hfields.len() != 3 {
+            return Err(TableError::BadArity { line: hline + 1, expected: 3, got: hfields.len() });
+        }
+        let attribute = hfields[2].trim().to_owned();
+        let mut rows = Vec::new();
+        for (i, line) in lines {
+            let lineno = i + 1;
+            let fields = split_csv_line(line, lineno)?;
+            if fields.len() != 3 {
+                return Err(TableError::BadArity { line: lineno, expected: 3, got: fields.len() });
+            }
+            let value: f64 = fields[2]
+                .trim()
+                .parse()
+                .map_err(|_| TableError::BadNumber { line: lineno, text: fields[2].clone() })?;
+            rows.push((fields[0].trim().to_owned(), fields[1].trim().to_owned(), value));
+        }
+        if rows.is_empty() {
+            return Err(TableError::Empty);
+        }
+        Ok(Self { attribute, rows })
+    }
+
+    /// Builds source and target unit indices from the table's own order.
+    pub fn unit_indices(&self) -> (UnitIndex, UnitIndex) {
+        let mut s = UnitIndex::new();
+        let mut t = UnitIndex::new();
+        for (src, tgt, _) in &self.rows {
+            s.intern(src);
+            t.intern(tgt);
+        }
+        (s, t)
+    }
+
+    /// Converts to a disaggregation matrix against explicit indices.
+    pub fn to_matrix(
+        &self,
+        source: &UnitIndex,
+        target: &UnitIndex,
+    ) -> Result<DisaggregationMatrix, PartitionError> {
+        let mut coo = CooMatrix::new(source.len(), target.len());
+        for (lineno, (sid, tid, v)) in self.rows.iter().enumerate() {
+            let i = source
+                .get(sid)
+                .ok_or_else(|| TableError::UnknownUnit { line: lineno + 2, id: sid.clone() })?;
+            let j = target
+                .get(tid)
+                .ok_or_else(|| TableError::UnknownUnit { line: lineno + 2, id: tid.clone() })?;
+            coo.push(i, j, *v)?;
+        }
+        DisaggregationMatrix::new(self.attribute.clone(), coo.to_csr())
+    }
+
+    /// Renders back to CSV.
+    pub fn to_csv(&self, source_header: &str, target_header: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{},{},{}",
+            quote(source_header),
+            quote(target_header),
+            quote(&self.attribute)
+        );
+        for (s, t, v) in &self.rows {
+            let _ = writeln!(out, "{},{},{v}", quote(s), quote(t));
+        }
+        out
+    }
+
+    /// Builds a crosswalk table from a disaggregation matrix and indices.
+    pub fn from_matrix(
+        dm: &DisaggregationMatrix,
+        source: &UnitIndex,
+        target: &UnitIndex,
+    ) -> Self {
+        let rows = dm
+            .matrix()
+            .iter()
+            .map(|(i, j, v)| {
+                (
+                    source.id(i).unwrap_or("?").to_owned(),
+                    target.id(j).unwrap_or("?").to_owned(),
+                    v,
+                )
+            })
+            .collect();
+        Self { attribute: dm.attribute().to_owned(), rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AGG: &str = "zip,steam\n10001,5946\n10002,210.5\n10003,3519\n";
+    const XWALK: &str =
+        "zip,county,population\n10001,New York,21102\n10003,New York,56024\n10003,Kings,1200\n";
+
+    #[test]
+    fn parse_aggregate_table() {
+        let t = AggregateTable::parse_csv(AGG).unwrap();
+        assert_eq!(t.attribute, "steam");
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[1], ("10002".to_owned(), 210.5));
+        let idx = t.unit_index();
+        assert_eq!(idx.len(), 3);
+        let v = t.to_vector(&idx).unwrap();
+        assert_eq!(v.values(), &[5946.0, 210.5, 3519.0]);
+    }
+
+    #[test]
+    fn aggregate_table_defaults_missing_units_to_zero() {
+        let t = AggregateTable::parse_csv(AGG).unwrap();
+        let idx = UnitIndex::from_ids(["10001", "10002", "10003", "10099"]);
+        let v = t.to_vector(&idx).unwrap();
+        assert_eq!(v.values(), &[5946.0, 210.5, 3519.0, 0.0]);
+        // Unknown table units fail.
+        let small = UnitIndex::from_ids(["10001"]);
+        assert!(t.to_vector(&small).is_err());
+    }
+
+    #[test]
+    fn aggregate_table_errors() {
+        assert_eq!(AggregateTable::parse_csv("").unwrap_err(), TableError::Empty);
+        assert_eq!(
+            AggregateTable::parse_csv("zip,steam\n").unwrap_err(),
+            TableError::Empty
+        );
+        assert!(matches!(
+            AggregateTable::parse_csv("zip,steam\n10001\n"),
+            Err(TableError::BadArity { line: 2, expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            AggregateTable::parse_csv("zip,steam\n10001,abc\n"),
+            Err(TableError::BadNumber { line: 2, .. })
+        ));
+        assert!(matches!(
+            AggregateTable::parse_csv("zip,steam\n10001,1\n10001,2\n"),
+            Err(TableError::DuplicateUnit { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn quoted_fields_roundtrip() {
+        let t = AggregateTable::parse_csv(
+            "zip,\"steam, total\"\n\"100,01\",5\n\"say \"\"hi\"\"\",7\n",
+        )
+        .unwrap();
+        assert_eq!(t.attribute, "steam, total");
+        assert_eq!(t.rows[0].0, "100,01");
+        assert_eq!(t.rows[1].0, "say \"hi\"");
+        let csv = t.to_csv("zip");
+        let back = AggregateTable::parse_csv(&csv).unwrap();
+        assert_eq!(back.rows, t.rows);
+        assert_eq!(back.attribute, t.attribute);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(matches!(
+            AggregateTable::parse_csv("zip,steam\n\"abc,1\n"),
+            Err(TableError::UnterminatedQuote { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn parse_crosswalk_table() {
+        let x = CrosswalkTable::parse_csv(XWALK).unwrap();
+        assert_eq!(x.attribute, "population");
+        assert_eq!(x.rows.len(), 3);
+        let (s, t) = x.unit_indices();
+        assert_eq!(s.ids(), &["10001".to_owned(), "10003".to_owned()]);
+        assert_eq!(t.ids(), &["New York".to_owned(), "Kings".to_owned()]);
+        let dm = x.to_matrix(&s, &t).unwrap();
+        assert_eq!(dm.n_source(), 2);
+        assert_eq!(dm.n_target(), 2);
+        assert_eq!(dm.matrix().get(1, 0), 56024.0);
+        assert_eq!(dm.matrix().get(1, 1), 1200.0);
+    }
+
+    #[test]
+    fn crosswalk_duplicates_sum() {
+        let x = CrosswalkTable::parse_csv("s,t,v\na,b,1\na,b,2\n").unwrap();
+        let (s, t) = x.unit_indices();
+        let dm = x.to_matrix(&s, &t).unwrap();
+        assert_eq!(dm.matrix().get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn crosswalk_roundtrip_via_matrix() {
+        let x = CrosswalkTable::parse_csv(XWALK).unwrap();
+        let (s, t) = x.unit_indices();
+        let dm = x.to_matrix(&s, &t).unwrap();
+        let back = CrosswalkTable::from_matrix(&dm, &s, &t);
+        let dm2 = back.to_matrix(&s, &t).unwrap();
+        assert_eq!(dm.matrix(), dm2.matrix());
+        // CSV round trip too.
+        let csv = back.to_csv("zip", "county");
+        let reparsed = CrosswalkTable::parse_csv(&csv).unwrap();
+        assert_eq!(reparsed.rows.len(), back.rows.len());
+    }
+
+    #[test]
+    fn unit_index_basics() {
+        let mut idx = UnitIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.intern("a"), 0);
+        assert_eq!(idx.intern("b"), 1);
+        assert_eq!(idx.intern("a"), 0);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get("b"), Some(1));
+        assert_eq!(idx.get("zzz"), None);
+        assert_eq!(idx.id(0), Some("a"));
+        assert_eq!(idx.id(9), None);
+    }
+}

@@ -1,0 +1,367 @@
+//! Unit systems: partitions of a universe into disjoint units
+//! (paper §2.1).
+//!
+//! Three concrete realizations cover the paper's settings:
+//!
+//! * [`PolygonUnitSystem`] — 2-D feature layers (zip codes, counties);
+//! * [`IntervalUnitSystem`] — 1-D bins (age histograms, Figure 3);
+//! * [`BoxUnitSystem`] — axis-aligned cells in arbitrary dimension
+//!   (3-D disease grids, 4-D space–time cells; §2.2).
+
+use crate::error::PartitionError;
+use geoalign_geom::{Aabb, Interval, NdBox, Point2, Polygon, RTree, VoronoiDiagram};
+
+/// A 2-D unit system: a set of disjoint polygons covering (part of) the
+/// plane, indexed by an R-tree for point location and overlay queries.
+#[derive(Debug, Clone)]
+pub struct PolygonUnitSystem {
+    name: String,
+    units: Vec<Polygon>,
+    rtree: RTree,
+}
+
+impl PolygonUnitSystem {
+    /// Builds a system from named polygons. Disjointness is the caller's
+    /// contract (systems produced by [`PolygonUnitSystem::from_voronoi`] or
+    /// by subsetting satisfy it by construction); [`Self::overlap_area`]
+    /// offers an explicit audit.
+    pub fn new(name: impl Into<String>, units: Vec<Polygon>) -> Result<Self, PartitionError> {
+        if units.is_empty() {
+            return Err(PartitionError::EmptySystem);
+        }
+        let boxes: Vec<Aabb> = units.iter().map(|u| *u.bbox()).collect();
+        let rtree = RTree::build(&boxes);
+        Ok(Self { name: name.into(), units, rtree })
+    }
+
+    /// Builds a system from a Voronoi tessellation (cells are disjoint and
+    /// cover the diagram bounds by construction).
+    pub fn from_voronoi(name: impl Into<String>, diagram: VoronoiDiagram) -> Result<Self, PartitionError> {
+        Self::new(name, diagram.into_cells())
+    }
+
+    /// Human-readable system name (e.g. `"zip"`, `"county"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The units.
+    pub fn units(&self) -> &[Polygon] {
+        &self.units
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Always `false`: construction rejects empty systems.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// The spatial index over unit bounding boxes.
+    pub fn rtree(&self) -> &RTree {
+        &self.rtree
+    }
+
+    /// Per-unit areas — the measure vector used by areal weighting.
+    pub fn measures(&self) -> Vec<f64> {
+        self.units.iter().map(Polygon::area).collect()
+    }
+
+    /// Total area of the system.
+    pub fn total_measure(&self) -> f64 {
+        self.units.iter().map(Polygon::area).sum()
+    }
+
+    /// Index of a unit containing `p`, or `None`. Boundary points may
+    /// belong to several units; the lowest index wins, making assignment
+    /// deterministic.
+    pub fn locate(&self, p: Point2) -> Option<usize> {
+        let mut found: Option<usize> = None;
+        self.rtree.query_point(p, |i| {
+            if (found.is_none() || i < found.unwrap()) && self.units[i].contains(p) {
+                found = Some(i);
+            }
+        });
+        found
+    }
+
+    /// Total pairwise overlap area between distinct units — an audit for
+    /// the disjointness contract (O(n·k) with k candidates per unit;
+    /// intended for tests and validation, not hot paths).
+    pub fn overlap_area(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, u) in self.units.iter().enumerate() {
+            let mut cands = Vec::new();
+            self.rtree.query(u.bbox(), |j| {
+                if j > i {
+                    cands.push(j);
+                }
+            });
+            for j in cands {
+                if let Some(p) = geoalign_geom::clip::clip_convex(u, &self.units[j]) {
+                    total += p.area();
+                }
+            }
+        }
+        total
+    }
+}
+
+/// A 1-D unit system: disjoint intervals (histogram bins).
+#[derive(Debug, Clone)]
+pub struct IntervalUnitSystem {
+    name: String,
+    units: Vec<Interval>,
+}
+
+impl IntervalUnitSystem {
+    /// Builds a system from intervals sorted by lower bound; rejects empty
+    /// input and overlapping (positively intersecting) intervals.
+    pub fn new(name: impl Into<String>, mut units: Vec<Interval>) -> Result<Self, PartitionError> {
+        if units.is_empty() {
+            return Err(PartitionError::EmptySystem);
+        }
+        units.sort_by(|a, b| a.lo().total_cmp(&b.lo()));
+        for w in units.windows(2) {
+            if w[0].intersection(&w[1]).is_some() {
+                return Err(PartitionError::SystemMismatch {
+                    what: "interval overlap",
+                    left: 0,
+                    right: 0,
+                });
+            }
+        }
+        Ok(Self { name: name.into(), units })
+    }
+
+    /// Human-readable system name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The intervals, sorted by lower bound.
+    pub fn units(&self) -> &[Interval] {
+        &self.units
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Always `false`: construction rejects empty systems.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Per-unit lengths.
+    pub fn measures(&self) -> Vec<f64> {
+        self.units.iter().map(Interval::length).collect()
+    }
+
+    /// Index of a unit containing `x` (binary search; lowest index on
+    /// shared boundaries).
+    pub fn locate(&self, x: f64) -> Option<usize> {
+        // Find the last interval with lo <= x, then check containment; a
+        // shared boundary point `hi == next.lo` belongs to the earlier bin.
+        let mut lo = 0usize;
+        let mut hi = self.units.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.units[mid].lo() <= x {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // At most two sorted, non-overlapping intervals can contain x (when
+        // x sits exactly on a shared boundary); prefer the earlier one so
+        // boundary assignment is deterministic.
+        let c = lo.saturating_sub(1);
+        [c.saturating_sub(1), c, lo].into_iter().find(|&idx| idx < self.units.len() && self.units[idx].contains(x))
+    }
+}
+
+/// An n-dimensional unit system: disjoint axis-aligned boxes.
+#[derive(Debug, Clone)]
+pub struct BoxUnitSystem {
+    name: String,
+    units: Vec<NdBox>,
+    dim: usize,
+}
+
+impl BoxUnitSystem {
+    /// Builds a system from boxes of uniform dimension; rejects empty input
+    /// and mixed dimensions. Disjointness is the caller's contract (grid
+    /// partitions from [`geoalign_geom::ndbox::grid_partition`] satisfy it).
+    pub fn new(name: impl Into<String>, units: Vec<NdBox>) -> Result<Self, PartitionError> {
+        let Some(first) = units.first() else {
+            return Err(PartitionError::EmptySystem);
+        };
+        let dim = first.dim();
+        if let Some(bad) = units.iter().find(|u| u.dim() != dim) {
+            return Err(PartitionError::SystemMismatch {
+                what: "box dimension",
+                left: dim,
+                right: bad.dim(),
+            });
+        }
+        Ok(Self { name: name.into(), units, dim })
+    }
+
+    /// Human-readable system name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The boxes.
+    pub fn units(&self) -> &[NdBox] {
+        &self.units
+    }
+
+    /// Number of boxes.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Always `false`: construction rejects empty systems.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Dimension shared by all boxes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Per-unit volumes.
+    pub fn measures(&self) -> Vec<f64> {
+        self.units.iter().map(NdBox::volume).collect()
+    }
+
+    /// Index of a unit containing the point (lowest index on shared
+    /// boundaries). Linear scan — box systems in this library are small or
+    /// used only in batch overlay, which does not locate points.
+    pub fn locate(&self, point: &[f64]) -> Result<Option<usize>, PartitionError> {
+        for (i, u) in self.units.iter().enumerate() {
+            if u.contains(point)? {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoalign_geom::interval::equal_bins;
+    use geoalign_geom::ndbox::grid_partition;
+
+    fn two_cell_system() -> PolygonUnitSystem {
+        let left = Polygon::rect(Point2::new(0.0, 0.0), Point2::new(1.0, 2.0)).unwrap();
+        let right = Polygon::rect(Point2::new(1.0, 0.0), Point2::new(2.0, 2.0)).unwrap();
+        PolygonUnitSystem::new("halves", vec![left, right]).unwrap()
+    }
+
+    #[test]
+    fn polygon_system_basics() {
+        let sys = two_cell_system();
+        assert_eq!(sys.name(), "halves");
+        assert_eq!(sys.len(), 2);
+        assert_eq!(sys.measures(), vec![2.0, 2.0]);
+        assert_eq!(sys.total_measure(), 4.0);
+        assert!(PolygonUnitSystem::new("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn polygon_locate() {
+        let sys = two_cell_system();
+        assert_eq!(sys.locate(Point2::new(0.5, 1.0)), Some(0));
+        assert_eq!(sys.locate(Point2::new(1.5, 1.0)), Some(1));
+        // Shared boundary: deterministic lowest index.
+        assert_eq!(sys.locate(Point2::new(1.0, 1.0)), Some(0));
+        assert_eq!(sys.locate(Point2::new(5.0, 5.0)), None);
+    }
+
+    #[test]
+    fn polygon_overlap_audit() {
+        let sys = two_cell_system();
+        assert!(sys.overlap_area() < 1e-12);
+        // Deliberately overlapping system is detected.
+        let a = Polygon::rect(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0)).unwrap();
+        let b = Polygon::rect(Point2::new(1.0, 0.0), Point2::new(3.0, 2.0)).unwrap();
+        let bad = PolygonUnitSystem::new("bad", vec![a, b]).unwrap();
+        assert!((bad.overlap_area() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voronoi_system() {
+        let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let d = VoronoiDiagram::build(
+            vec![Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)],
+            bounds,
+        )
+        .unwrap();
+        let sys = PolygonUnitSystem::from_voronoi("vor", d).unwrap();
+        assert_eq!(sys.len(), 2);
+        assert!((sys.total_measure() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_system_basics_and_locate() {
+        let sys = IntervalUnitSystem::new("ages", equal_bins(0.0, 100.0, 5).unwrap()).unwrap();
+        assert_eq!(sys.len(), 5);
+        assert_eq!(sys.measures(), vec![20.0; 5]);
+        assert_eq!(sys.locate(10.0), Some(0));
+        assert_eq!(sys.locate(99.9), Some(4));
+        assert_eq!(sys.locate(100.0), Some(4));
+        // Shared boundary belongs to the earlier bin.
+        assert_eq!(sys.locate(20.0), Some(0));
+        assert_eq!(sys.locate(-1.0), None);
+        assert_eq!(sys.locate(101.0), None);
+    }
+
+    #[test]
+    fn interval_system_rejects_overlap() {
+        let a = Interval::new(0.0, 2.0).unwrap();
+        let b = Interval::new(1.0, 3.0).unwrap();
+        assert!(IntervalUnitSystem::new("bad", vec![a, b]).is_err());
+        assert!(IntervalUnitSystem::new("empty", vec![]).is_err());
+        // Touching intervals are fine.
+        let c = Interval::new(2.0, 3.0).unwrap();
+        assert!(IntervalUnitSystem::new("ok", vec![a, c]).is_ok());
+    }
+
+    #[test]
+    fn interval_system_sorts_input() {
+        let a = Interval::new(5.0, 6.0).unwrap();
+        let b = Interval::new(0.0, 1.0).unwrap();
+        let sys = IntervalUnitSystem::new("s", vec![a, b]).unwrap();
+        assert_eq!(sys.units()[0].lo(), 0.0);
+    }
+
+    #[test]
+    fn box_system_basics() {
+        let cells = grid_partition(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)], &[2, 2, 2]).unwrap();
+        let sys = BoxUnitSystem::new("cubes", cells).unwrap();
+        assert_eq!(sys.len(), 8);
+        assert_eq!(sys.dim(), 3);
+        let total: f64 = sys.measures().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(sys.locate(&[0.1, 0.1, 0.1]).unwrap().is_some());
+        assert!(sys.locate(&[2.0, 0.0, 0.0]).unwrap().is_none());
+        assert!(sys.locate(&[0.1, 0.1]).is_err());
+        assert!(BoxUnitSystem::new("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn box_system_rejects_mixed_dims() {
+        let a = NdBox::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let b = NdBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        assert!(BoxUnitSystem::new("bad", vec![a, b]).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! The aggregate interpolation problem in three dimensions (paper §2.2:
+//! "3-D GIS data, such as the distribution of disease, evaluated for cubic
+//! units of different size scales").
+//!
+//! GeoAlign is dimension-agnostic (§3.4): the algorithm consumes only
+//! aggregate vectors and disaggregation matrices, so this example runs the
+//! identical code path over 3-D box units — a fine 6×6×6 grid realigned to
+//! a coarse, *shifted* 3×3×3 grid (spatially incongruent in all axes).
+//!
+//! Run with `cargo run --example spacetime_3d`.
+
+use geoalign::geom::ndbox::grid_partition;
+use geoalign::linalg::stats;
+use geoalign::partition::{BoxUnitSystem, DisaggregationMatrix, Overlay};
+use geoalign::{AggregateVector, GeoAlign, ReferenceData};
+
+/// A deterministic synthetic "case count" field over the unit cube:
+/// two disease clusters plus a weak background.
+fn disease_intensity(p: &[f64]) -> f64 {
+    let cluster = |c: [f64; 3], s: f64| -> f64 {
+        let d2: f64 = p.iter().zip(c).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-0.5 * d2 / (s * s)).exp()
+    };
+    0.05 + 8.0 * cluster([0.25, 0.3, 0.4], 0.12) + 5.0 * cluster([0.7, 0.75, 0.6], 0.15)
+}
+
+/// A correlated reference ("hospital admissions"): same clusters, slightly
+/// different mix, plus its own bump.
+fn admissions_intensity(p: &[f64]) -> f64 {
+    let cluster = |c: [f64; 3], s: f64| -> f64 {
+        let d2: f64 = p.iter().zip(c).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-0.5 * d2 / (s * s)).exp()
+    };
+    0.08 + 6.0 * cluster([0.25, 0.3, 0.4], 0.13)
+        + 6.0 * cluster([0.7, 0.75, 0.6], 0.14)
+        + 1.5 * cluster([0.5, 0.2, 0.8], 0.1)
+}
+
+/// Low-discrepancy points in the unit cube (Halton-ish by golden ratios).
+fn quasi_points(n: usize) -> Vec<[f64; 3]> {
+    (0..n)
+        .map(|k| {
+            let k = k as f64;
+            [
+                (k * 0.8191725133961645) % 1.0,
+                (k * 0.6710436067037893) % 1.0,
+                (k * 0.5497004779019703) % 1.0,
+            ]
+        })
+        .collect()
+}
+
+/// Aggregates weighted sample points into a box system and builds the DM
+/// to the target system by point membership.
+fn tabulate(
+    name: &str,
+    weight_of: impl Fn(&[f64]) -> f64,
+    points: &[[f64; 3]],
+    source: &BoxUnitSystem,
+    target: &BoxUnitSystem,
+) -> Result<(AggregateVector, Vec<f64>, DisaggregationMatrix), Box<dyn std::error::Error>> {
+    let mut src = vec![0.0; source.len()];
+    let mut tgt = vec![0.0; target.len()];
+    let mut triples = Vec::new();
+    for p in points {
+        let (Some(i), Some(j)) = (source.locate(p)?, target.locate(p)?) else { continue };
+        let w = weight_of(p);
+        src[i] += w;
+        tgt[j] += w;
+        triples.push((i, j, w));
+    }
+    let dm = DisaggregationMatrix::from_triples(name, source.len(), target.len(), triples)?;
+    Ok((AggregateVector::new(name, src)?, tgt, dm))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fine cells [0,1]^3 in 6×6×6; coarse cells over a shifted cube so no
+    // boundary aligns.
+    let fine = BoxUnitSystem::new(
+        "fine",
+        grid_partition(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)], &[6, 6, 6])?,
+    )?;
+    let coarse = BoxUnitSystem::new(
+        "coarse",
+        grid_partition(&[(0.05, 0.95), (0.05, 0.95), (0.05, 0.95)], &[3, 3, 3])?,
+    )?;
+
+    let pts = quasi_points(120_000);
+    let (disease_src, disease_truth, _) =
+        tabulate("disease", disease_intensity, &pts, &fine, &coarse)?;
+    let (adm_src, _, adm_dm) = tabulate("admissions", admissions_intensity, &pts, &fine, &coarse)?;
+    let admissions = ReferenceData::new("admissions", adm_src, adm_dm)?;
+
+    // GeoAlign in 3-D: identical call as in 2-D.
+    let result = GeoAlign::new().estimate(&disease_src, &[&admissions])?;
+
+    // Baseline: volume weighting via the 3-D overlay's measure matrix.
+    let overlay = Overlay::boxes(&fine, &coarse)?;
+    let volume_dm = overlay.measure_dm("volume")?;
+    let vw = geoalign::areal_weighting(&disease_src, &volume_dm)?;
+
+    let ga_err = stats::nrmse(&result.estimate, &disease_truth)?;
+    let vw_err = stats::nrmse(&vw, &disease_truth)?;
+    println!("3-D realignment of disease counts (6³ fine cells → shifted 3³ coarse cells)");
+    println!("NRMSE — GeoAlign: {ga_err:.4}, volume weighting: {vw_err:.4}");
+    println!(
+        "total mass: estimate {:.0} vs truth-in-coarse {:.0}",
+        result.estimate.iter().sum::<f64>(),
+        disease_truth.iter().sum::<f64>()
+    );
+    assert!(ga_err < vw_err, "the reference should beat the homogeneity assumption in 3-D too");
+    Ok(())
+}

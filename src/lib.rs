@@ -1,0 +1,76 @@
+//! # GeoAlign
+//!
+//! A from-scratch Rust reproduction of **"GeoAlign: Interpolating
+//! Aggregates over Unaligned Partitions"** (EDBT 2018): a multi-reference
+//! crosswalk algorithm that realigns an attribute's aggregates from one
+//! set of data-collection units (e.g. zip codes) to a spatially
+//! incongruent set (e.g. counties) by learning which convex combination of
+//! *reference* attributes best matches the objective's distribution.
+//!
+//! The workspace layers:
+//!
+//! * [`geom`] — computational geometry (polygons, clipping, Voronoi,
+//!   spatial indexes, n-D boxes);
+//! * [`linalg`] — dense/sparse linear algebra and the simplex-constrained
+//!   least-squares solvers behind Eq. 15;
+//! * [`partition`] — unit systems, aggregate vectors, disaggregation
+//!   matrices, overlay and point-crosswalk aggregation;
+//! * [`datagen`] — synthetic universes and dataset catalogs reproducing
+//!   the paper's evaluation data;
+//! * [`core`] — the GeoAlign algorithm, baselines and evaluation toolkit.
+//!
+//! The most common entry points are re-exported at the crate root; see the
+//! examples directory for end-to-end walkthroughs.
+
+#![warn(missing_docs)]
+
+pub use geoalign_core as core;
+pub use geoalign_datagen as datagen;
+pub use geoalign_geom as geom;
+pub use geoalign_linalg as linalg;
+pub use geoalign_partition as partition;
+
+pub use geoalign_core::{
+    areal_weighting, dasymetric, regression_combiner, AlignedColumn, ArealWeightingInterpolator,
+    CoreError, DasymetricInterpolator, GeoAlign, GeoAlignConfig, GeoAlignInterpolator,
+    GeoAlignResult, IntegrationPipeline, Interpolator, JoinedTable, ReferenceData,
+    RegressionInterpolator,
+};
+pub use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+
+use geoalign_core::eval::{Catalog, Dataset};
+use geoalign_datagen::SyntheticCatalog;
+
+/// Converts a synthetic catalog from [`datagen`] into the evaluation
+/// [`Catalog`] consumed by [`core::eval`]'s harnesses.
+pub fn to_eval_catalog(synthetic: &SyntheticCatalog) -> Result<Catalog, CoreError> {
+    let mut datasets = Vec::with_capacity(synthetic.datasets.len());
+    for d in &synthetic.datasets {
+        let reference = ReferenceData::new(d.name.clone(), d.source.clone(), d.dm.clone())?;
+        datasets.push(Dataset::with_truth(reference, d.target_truth.clone())?);
+    }
+    Catalog::new(
+        synthetic.universe.name.clone(),
+        datasets,
+        synthetic.universe.area_dm.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoalign_datagen::CatalogSize;
+
+    #[test]
+    fn synthetic_catalog_converts_to_eval_catalog() {
+        let synth = geoalign_datagen::ny_catalog(
+            CatalogSize { n_source: 30, n_target: 4, base_points: 1500 },
+            5,
+        )
+        .unwrap();
+        let cat = to_eval_catalog(&synth).unwrap();
+        assert_eq!(cat.len(), 8);
+        assert_eq!(cat.universe(), "New York State");
+        assert_eq!(cat.n_source(), synth.universe.n_source());
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration tests of the dimension-agnostic claim (§3.4): the identical
+//! algorithm code path over 1-D intervals and 3-D boxes.
+
+use geoalign::geom::interval::{bins_at, equal_bins};
+use geoalign::geom::ndbox::grid_partition;
+use geoalign::partition::{BoxUnitSystem, DisaggregationMatrix, IntervalUnitSystem, Overlay};
+use geoalign::{AggregateVector, GeoAlign, ReferenceData};
+
+#[test]
+fn histogram_realignment_is_exact_when_distributions_match() {
+    // When the objective is distributed exactly like the reference, the
+    // realignment is exact regardless of bin misalignment.
+    let narrow = IntervalUnitSystem::new("narrow", equal_bins(0.0, 60.0, 12).unwrap()).unwrap();
+    let wide =
+        IntervalUnitSystem::new("wide", bins_at(0.0, 60.0, &[13.0, 37.0]).unwrap()).unwrap();
+
+    // Records at deterministic positions; objective = 3 × reference.
+    let records: Vec<f64> = (0..600).map(|k| 60.0 * ((k as f64 * 0.618) % 1.0)).collect();
+    let mut ref_src = vec![0.0; narrow.len()];
+    let mut obj_src = vec![0.0; narrow.len()];
+    let mut triples = Vec::new();
+    let mut obj_truth = vec![0.0; wide.len()];
+    for &x in &records {
+        let i = narrow.locate(x).unwrap();
+        let j = wide.locate(x).unwrap();
+        ref_src[i] += 1.0;
+        obj_src[i] += 3.0;
+        obj_truth[j] += 3.0;
+        triples.push((i, j, 1.0));
+    }
+    let dm = DisaggregationMatrix::from_triples("ref", narrow.len(), wide.len(), triples).unwrap();
+    let reference =
+        ReferenceData::new("ref", AggregateVector::new("ref", ref_src).unwrap(), dm).unwrap();
+    let objective = AggregateVector::new("obj", obj_src).unwrap();
+
+    let out = GeoAlign::new().estimate(&objective, &[&reference]).unwrap();
+    for (e, t) in out.estimate.iter().zip(&obj_truth) {
+        assert!((e - t).abs() < 1e-9, "estimate {e} vs truth {t}");
+    }
+}
+
+#[test]
+fn interval_overlay_measure_dm_is_volume_preserving() {
+    let narrow = IntervalUnitSystem::new("narrow", equal_bins(0.0, 10.0, 7).unwrap()).unwrap();
+    let wide = IntervalUnitSystem::new("wide", bins_at(0.0, 10.0, &[3.3, 6.6]).unwrap()).unwrap();
+    let overlay = Overlay::intervals(&narrow, &wide).unwrap();
+    let dm = overlay.measure_dm("length").unwrap();
+    let lengths = narrow.measures();
+    let rows = dm.matrix().row_sums();
+    for (r, l) in rows.iter().zip(&lengths) {
+        assert!((r - l).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn three_dimensional_crosswalk_runs_the_same_code_path() {
+    // Fine 4×4×4 grid to a shifted 2×2×2 grid, with a synthetic attribute
+    // concentrated in one corner.
+    let fine = BoxUnitSystem::new(
+        "fine",
+        grid_partition(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)], &[4, 4, 4]).unwrap(),
+    )
+    .unwrap();
+    // Three coarse cells per axis over a shifted cube: interior boundaries
+    // at 0.35 and 0.65 never align with the fine grid's 0.25/0.5/0.75.
+    let coarse = BoxUnitSystem::new(
+        "coarse",
+        grid_partition(&[(0.05, 0.95), (0.05, 0.95), (0.05, 0.95)], &[3, 3, 3]).unwrap(),
+    )
+    .unwrap();
+
+    // Quasi-random points weighted toward the (0,0,0) corner.
+    let mut ref_src = vec![0.0; fine.len()];
+    let mut obj_src = vec![0.0; fine.len()];
+    let mut obj_truth = vec![0.0; coarse.len()];
+    let mut triples = Vec::new();
+    for k in 0..20_000u32 {
+        let p = [
+            (k as f64 * 0.8191725133961645) % 1.0,
+            (k as f64 * 0.6710436067037893) % 1.0,
+            (k as f64 * 0.5497004779019703) % 1.0,
+        ];
+        let w = (1.5 - p[0] - p[1] * 0.3 - p[2] * 0.2).max(0.1);
+        let (Some(i), Some(j)) = (fine.locate(&p).unwrap(), coarse.locate(&p).unwrap()) else {
+            continue;
+        };
+        ref_src[i] += w;
+        obj_src[i] += 2.0 * w;
+        obj_truth[j] += 2.0 * w;
+        triples.push((i, j, w));
+    }
+    let dm =
+        DisaggregationMatrix::from_triples("ref", fine.len(), coarse.len(), triples).unwrap();
+    let reference =
+        ReferenceData::new("ref", AggregateVector::new("ref", ref_src).unwrap(), dm).unwrap();
+    let objective = AggregateVector::new("obj", obj_src).unwrap();
+
+    let out = GeoAlign::new().estimate(&objective, &[&reference]).unwrap();
+    for (e, t) in out.estimate.iter().zip(&obj_truth) {
+        assert!((e - t).abs() < 1e-9, "3-D estimate {e} vs truth {t}");
+    }
+
+    // Volume weighting via the box overlay also runs, with higher error.
+    let overlay = Overlay::boxes(&fine, &coarse).unwrap();
+    let volume_dm = overlay.measure_dm("volume").unwrap();
+    let vw = geoalign::areal_weighting(&objective, &volume_dm).unwrap();
+    let vw_err: f64 = vw.iter().zip(&obj_truth).map(|(a, b)| (a - b).abs()).sum();
+    assert!(vw_err > 1.0, "volume weighting should err on a skewed field: {vw_err}");
+}

@@ -1,0 +1,165 @@
+//! End-to-end integration tests spanning all crates: synthetic universe
+//! generation → crosswalk aggregation → GeoAlign estimation → evaluation.
+
+use geoalign::core::eval::{cross_validate, noise_experiment, selection_experiment, LeaveOut};
+use geoalign::datagen::{ny_catalog, us_catalog, CatalogSize};
+use geoalign::{
+    ArealWeightingInterpolator, DasymetricInterpolator, GeoAlign, GeoAlignInterpolator,
+    Interpolator,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small() -> CatalogSize {
+    CatalogSize { n_source: 90, n_target: 9, base_points: 6_000 }
+}
+
+#[test]
+fn geoalign_recovers_planted_attributes_well() {
+    // On every NY dataset, leave-one-out GeoAlign stays under a loose NRMSE
+    // budget — the algorithm works end to end on realistic structure.
+    let synth = ny_catalog(small(), 11).unwrap();
+    let catalog = geoalign::to_eval_catalog(&synth).unwrap();
+    let ga = GeoAlignInterpolator::new();
+    let methods: Vec<&dyn Interpolator> = vec![&ga];
+    let report = cross_validate(&catalog, &methods).unwrap();
+    for cell in &report.cells {
+        let v = cell.nrmse.unwrap();
+        assert!(v.is_finite() && v >= 0.0);
+        assert!(v < 0.5, "{}: NRMSE {v}", cell.dataset);
+    }
+}
+
+#[test]
+fn geoalign_beats_areal_weighting_on_demographics() {
+    // The paper's headline comparison, at integration-test scale: on the
+    // population-like datasets GeoAlign is much more accurate than the
+    // homogeneity assumption.
+    let synth = us_catalog(small(), 5).unwrap();
+    let catalog = geoalign::to_eval_catalog(&synth).unwrap();
+    let ga = GeoAlignInterpolator::new();
+    let aw = ArealWeightingInterpolator::new(catalog.measure_dm().clone());
+    let methods: Vec<&dyn Interpolator> = vec![&ga, &aw];
+    let report = cross_validate(&catalog, &methods).unwrap();
+    for dataset in ["Population", "USPS Residential Address"] {
+        let g = report.nrmse(dataset, "GeoAlign").unwrap();
+        let a = report.nrmse(dataset, "areal weighting").unwrap();
+        assert!(a > 2.0 * g, "{dataset}: areal weighting {a} vs GeoAlign {g}");
+    }
+}
+
+#[test]
+fn dasymetric_fails_on_anticorrelated_objectives() {
+    // Figure 5b's observation: single-reference dasymetric methods break
+    // down on Area and USA Uninhabited Places while GeoAlign stays sane.
+    let synth = us_catalog(small(), 5).unwrap();
+    let catalog = geoalign::to_eval_catalog(&synth).unwrap();
+    let ga = GeoAlignInterpolator::new();
+    let das = DasymetricInterpolator::new("Population");
+    let methods: Vec<&dyn Interpolator> = vec![&ga, &das];
+    let report = cross_validate(&catalog, &methods).unwrap();
+    for dataset in ["Area (Sq. Miles)", "USA Uninhabited Places"] {
+        let g = report.nrmse(dataset, "GeoAlign").unwrap();
+        let d = report.nrmse(dataset, "dasymetric(Population)").unwrap();
+        assert!(d > g, "{dataset}: dasymetric {d} should exceed GeoAlign {g}");
+    }
+}
+
+#[test]
+fn volume_preservation_holds_across_the_catalog() {
+    // Eq. 16 at integration scale: estimated DM row sums reproduce the
+    // objective's source aggregates for every cross-validation fold.
+    let synth = ny_catalog(small(), 3).unwrap();
+    let catalog = geoalign::to_eval_catalog(&synth).unwrap();
+    for (di, test) in catalog.datasets().iter().enumerate() {
+        let refs = catalog.references_excluding(di);
+        let out = GeoAlign::new().estimate(test.reference().source(), &refs).unwrap();
+        let sums = out.dm_estimate.row_sums();
+        for (i, (&s, &o)) in
+            sums.iter().zip(test.reference().source().values()).enumerate()
+        {
+            // Units where no reference has mass legitimately drop to zero.
+            if s == 0.0 {
+                continue;
+            }
+            assert!(
+                (s - o).abs() <= 1e-6 * o.max(1.0),
+                "{}: row {i} sum {s} vs source {o}",
+                test.name()
+            );
+        }
+        // Total estimated mass never exceeds the objective's total.
+        let est_total: f64 = out.estimate.iter().sum();
+        let src_total = test.reference().source().total();
+        assert!(est_total <= src_total * (1.0 + 1e-9));
+    }
+}
+
+#[test]
+fn noise_experiment_is_stable_at_low_levels() {
+    let synth = us_catalog(small(), 19).unwrap();
+    let catalog = geoalign::to_eval_catalog(&synth).unwrap();
+    let ga = GeoAlignInterpolator::new();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut rand01 = move || rng.random::<f64>();
+    let report = noise_experiment(&catalog, &ga, &[1.0, 5.0], 5, &mut rand01).unwrap();
+    for cell in &report.cells {
+        assert!(
+            cell.summary.median < 1.5,
+            "{} at {}%: median ratio {}",
+            cell.dataset,
+            cell.level_pct,
+            cell.summary.median
+        );
+    }
+}
+
+#[test]
+fn selection_experiment_least_related_is_harmless() {
+    let synth = us_catalog(small(), 23).unwrap();
+    let catalog = geoalign::to_eval_catalog(&synth).unwrap();
+    let ga = GeoAlignInterpolator::new();
+    let policies = [LeaveOut::None, LeaveOut::LeastRelated(1)];
+    let report = selection_experiment(&catalog, &ga, &policies).unwrap();
+    let mut names: Vec<String> = Vec::new();
+    for c in &report.cells {
+        if !names.contains(&c.dataset) {
+            names.push(c.dataset.clone());
+        }
+    }
+    let mut regressions = 0usize;
+    for d in &names {
+        let all = report.nrmse(d, LeaveOut::None).unwrap();
+        let without = report.nrmse(d, LeaveOut::LeastRelated(1)).unwrap();
+        // Dropping the least-related reference should essentially never
+        // hurt; allow benign jitter on a couple of datasets.
+        if without > all * 1.3 + 0.02 {
+            regressions += 1;
+        }
+    }
+    assert!(regressions <= 2, "{regressions} datasets regressed badly");
+}
+
+#[test]
+fn runtime_is_dominated_by_disaggregation_at_scale() {
+    // §4.3: the disaggregation step dominates. Check at a size where the
+    // effect is measurable.
+    let synth = us_catalog(
+        CatalogSize { n_source: 1_000, n_target: 100, base_points: 40_000 },
+        31,
+    )
+    .unwrap();
+    let catalog = geoalign::to_eval_catalog(&synth).unwrap();
+    let refs = catalog.references_excluding(0);
+    let objective = catalog.datasets()[0].reference().source();
+    let ga = GeoAlign::new();
+    // Warm up, then measure.
+    let _ = ga.estimate(objective, &refs).unwrap();
+    let out = ga.estimate(objective, &refs).unwrap();
+    let total = out.timings.total().as_secs_f64();
+    let disagg = out.timings.disaggregation.as_secs_f64();
+    assert!(
+        disagg > 0.4 * total,
+        "disaggregation {disagg}s of {total}s total"
+    );
+}

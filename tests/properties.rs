@@ -1,0 +1,167 @@
+//! Property-based tests of the GeoAlign algorithm's invariants over random
+//! reference sets.
+
+use geoalign::{AggregateVector, DisaggregationMatrix, GeoAlign, ReferenceData};
+use proptest::prelude::*;
+
+/// Strategy: a random reference over `n_source × n_target` units with a
+/// random sparse non-negative DM in which every row has at least one entry.
+fn reference(n_source: usize, n_target: usize) -> impl Strategy<Value = ReferenceData> {
+    prop::collection::vec(
+        (prop::collection::vec(0.0..5.0f64, n_target), 0usize..n_target),
+        n_source,
+    )
+    .prop_map(move |rows| {
+        let mut triples = Vec::new();
+        for (i, (vals, anchor)) in rows.iter().enumerate() {
+            let mut has_entry = false;
+            for (j, &v) in vals.iter().enumerate() {
+                if v > 2.0 {
+                    triples.push((i, j, v));
+                    has_entry = true;
+                }
+            }
+            if !has_entry {
+                triples.push((i, *anchor, 1.0));
+            }
+        }
+        let dm = DisaggregationMatrix::from_triples("r", n_source, n_target, triples).unwrap();
+        ReferenceData::from_dm("r", dm).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weights_live_on_the_simplex(
+        r1 in reference(6, 3),
+        r2 in reference(6, 3),
+        r3 in reference(6, 3),
+        obj in prop::collection::vec(0.0..50.0f64, 6)
+    ) {
+        let objective = AggregateVector::new("o", obj).unwrap();
+        let r2 = ReferenceData::new("r2", r2.source().clone(), r2.dm().clone()).unwrap();
+        let r3 = ReferenceData::new("r3", r3.source().clone(), r3.dm().clone()).unwrap();
+        let out = GeoAlign::new().estimate(&objective, &[&r1, &r2, &r3]).unwrap();
+        prop_assert!(out.weights.iter().all(|&w| w >= 0.0));
+        let s: f64 = out.weights.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-8, "weights sum {s}");
+    }
+
+    #[test]
+    fn estimates_preserve_total_mass(
+        r1 in reference(5, 4),
+        r2 in reference(5, 4),
+        obj in prop::collection::vec(0.1..50.0f64, 5)
+    ) {
+        // Every row of every reference has mass, so no objective mass can
+        // be dropped (Eq. 16 holds with equality).
+        let objective = AggregateVector::new("o", obj).unwrap();
+        let r2 = ReferenceData::new("r2", r2.source().clone(), r2.dm().clone()).unwrap();
+        let out = GeoAlign::new().estimate(&objective, &[&r1, &r2]).unwrap();
+        let est: f64 = out.estimate.iter().sum();
+        prop_assert!((est - objective.total()).abs() < 1e-6 * objective.total().max(1.0));
+        // Entries non-negative.
+        prop_assert!(out.estimate.iter().all(|&v| v >= 0.0));
+        for (_, _, v) in out.dm_estimate.iter() {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn single_reference_equals_dasymetric(
+        r in reference(5, 3),
+        obj in prop::collection::vec(0.0..20.0f64, 5)
+    ) {
+        let objective = AggregateVector::new("o", obj).unwrap();
+        let ga = GeoAlign::new().estimate(&objective, &[&r]).unwrap();
+        let das = geoalign::dasymetric(&objective, &r).unwrap();
+        for (g, d) in ga.estimate.iter().zip(&das) {
+            prop_assert!((g - d).abs() < 1e-8, "{g} vs {d}");
+        }
+    }
+
+    #[test]
+    fn estimate_is_invariant_to_reference_scale(
+        r1 in reference(5, 3),
+        r2 in reference(5, 3),
+        obj in prop::collection::vec(0.1..20.0f64, 5),
+        scale in 0.01..100.0f64
+    ) {
+        // Scaling an entire reference (its source vector and DM together)
+        // must not change the estimate: §3.4's normalization makes the
+        // magnitude of references a non-factor.
+        let objective = AggregateVector::new("o", obj).unwrap();
+        let r2 = ReferenceData::new("r2", r2.source().clone(), r2.dm().clone()).unwrap();
+        let out1 = GeoAlign::new().estimate(&objective, &[&r1, &r2]).unwrap();
+
+        let scaled_vals: Vec<f64> = r1.source().values().iter().map(|v| v * scale).collect();
+        let scaled_dm = DisaggregationMatrix::new(
+            "r",
+            r1.dm().matrix().scaled(scale),
+        ).unwrap();
+        let r1s = ReferenceData::new(
+            "r",
+            AggregateVector::new("r", scaled_vals).unwrap(),
+            scaled_dm,
+        ).unwrap();
+        let out2 = GeoAlign::new().estimate(&objective, &[&r1s, &r2]).unwrap();
+        // When weight learning has a unique optimum the estimates must
+        // match exactly. With degenerate references (collinear or constant
+        // columns) any weight vector on the optimal face is a valid answer
+        // and tiny rounding differences in the normalization may select
+        // different vertices — in that case what scale invariance *does*
+        // guarantee is that both solutions fit the (normalized) objective
+        // equally well.
+        let close_weights = out1
+            .weights
+            .iter()
+            .zip(&out2.weights)
+            .all(|(a, b)| (a - b).abs() < 1e-6);
+        if close_weights {
+            for (a, b) in out1.estimate.iter().zip(&out2.estimate) {
+                prop_assert!(
+                    (a - b).abs() < 1e-6 * a.abs().max(1.0),
+                    "scale variance: {a} vs {b} (scale {scale})"
+                );
+            }
+        } else {
+            let fit = |weights: &[f64]| -> f64 {
+                let cols = [r1.source().normalized(), r2.source().normalized()];
+                let b = objective.normalized();
+                (0..b.len())
+                    .map(|i| {
+                        let pred: f64 =
+                            weights.iter().zip(&cols).map(|(w, c)| w * c[i]).sum();
+                        (pred - b[i]) * (pred - b[i])
+                    })
+                    .sum()
+            };
+            let f1 = fit(&out1.weights);
+            let f2 = fit(&out2.weights);
+            prop_assert!(
+                (f1 - f2).abs() < 1e-6 * f1.max(1.0),
+                "different weights with different fit: {f1} vs {f2}"
+            );
+        }
+    }
+
+    #[test]
+    fn permuting_references_permutes_weights(
+        r1 in reference(6, 3),
+        r2 in reference(6, 3),
+        obj in prop::collection::vec(0.1..20.0f64, 6)
+    ) {
+        let objective = AggregateVector::new("o", obj).unwrap();
+        let r2 = ReferenceData::new("r2", r2.source().clone(), r2.dm().clone()).unwrap();
+        let ab = GeoAlign::new().estimate(&objective, &[&r1, &r2]).unwrap();
+        let ba = GeoAlign::new().estimate(&objective, &[&r2, &r1]).unwrap();
+        // Estimates identical; weights swapped. (Ties in degenerate cases
+        // could pick different optima, so compare objectives through the
+        // estimates rather than the raw weights.)
+        for (x, y) in ab.estimate.iter().zip(&ba.estimate) {
+            prop_assert!((x - y).abs() < 1e-6 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+}
