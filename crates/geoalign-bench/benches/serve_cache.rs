@@ -1,0 +1,135 @@
+//! Serving-cache bench: the value of the prepare/apply split.
+//!
+//! `geoalign-serve` answers `/crosswalk` batches by preparing one
+//! [`PreparedCrosswalk`] per (source, target, reference set) and reusing
+//! it for every attribute vector. This bench measures the per-query cost
+//! of that warm path against the cold one-shot `GeoAlign::estimate`,
+//! which rebuilds the design matrix, Gram system, row sums, and the full
+//! disaggregation-matrix estimate on every call. The acceptance bar is a
+//! ≥5× per-query speedup when one snapshot serves a batch of 16
+//! attribute vectors; the `speedup` line printed at the end states the
+//! measured ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geoalign::{AggregateVector, DisaggregationMatrix, GeoAlign, ReferenceData};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N_SOURCE: usize = 1500;
+const N_TARGET: usize = 400;
+const N_REFS: usize = 6;
+const BATCH: usize = 16;
+
+/// Deterministic pseudo-random stream (splitmix64) — no RNG dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A reference whose every source row spreads over ~5 target units.
+fn reference(idx: usize) -> ReferenceData {
+    let mut state = 0x5eed_0000 + idx as u64;
+    let mut triples = Vec::with_capacity(N_SOURCE * 5);
+    for i in 0..N_SOURCE {
+        let base = (splitmix(&mut state) as usize) % N_TARGET;
+        for k in 0..5 {
+            let j = (base + k * 7) % N_TARGET;
+            triples.push((i, j, 0.5 + 10.0 * unit_f64(&mut state)));
+        }
+    }
+    let name = format!("ref{idx}");
+    let dm = DisaggregationMatrix::from_triples(&name, N_SOURCE, N_TARGET, triples).unwrap();
+    ReferenceData::from_dm(&name, dm).unwrap()
+}
+
+fn attribute(idx: usize) -> AggregateVector {
+    let mut state = 0xa77e_0000 + idx as u64;
+    let values: Vec<f64> = (0..N_SOURCE)
+        .map(|_| 100.0 * unit_f64(&mut state))
+        .collect();
+    AggregateVector::new(format!("attr{idx}"), values).unwrap()
+}
+
+fn median_ns<F: FnMut()>(mut f: F, samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench_serve_cache(c: &mut Criterion) {
+    let refs: Vec<ReferenceData> = (0..N_REFS).map(reference).collect();
+    let refs_view: Vec<&ReferenceData> = refs.iter().collect();
+    let attrs: Vec<AggregateVector> = (0..BATCH).map(attribute).collect();
+    let aligner = GeoAlign::new();
+    let prepared = aligner.prepare(&refs_view).unwrap();
+
+    let mut group = c.benchmark_group("serve_cache");
+    group.sample_size(10);
+    group.bench_function("cold_estimate_per_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let a = &attrs[i % BATCH];
+            i += 1;
+            aligner
+                .estimate(black_box(a), black_box(&refs_view))
+                .unwrap()
+        })
+    });
+    group.bench_function("prepared_apply_per_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let a = &attrs[i % BATCH];
+            i += 1;
+            prepared.apply_values(black_box(a)).unwrap()
+        })
+    });
+    group.finish();
+
+    // Explicit acceptance check: amortize one prepare over a batch of 16
+    // queries (the serving pattern) and report per-query speedup over the
+    // cold one-shot path.
+    let cold = median_ns(
+        || {
+            for a in &attrs {
+                black_box(aligner.estimate(a, &refs_view).unwrap());
+            }
+        },
+        9,
+    );
+    let warm = median_ns(
+        || {
+            let p = aligner.prepare(&refs_view).unwrap();
+            for a in &attrs {
+                black_box(p.apply_values(a).unwrap());
+            }
+        },
+        9,
+    );
+    let speedup = cold / warm;
+    println!(
+        "serve_cache/speedup: batch of {BATCH} queries, cold {:.2} ms vs prepared {:.2} ms \
+         -> {speedup:.1}x per query",
+        cold / 1e6,
+        warm / 1e6
+    );
+    assert!(
+        speedup >= 5.0,
+        "prepared-crosswalk reuse must be at least 5x faster per query (got {speedup:.2}x)"
+    );
+}
+
+criterion_group!(benches, bench_serve_cache);
+criterion_main!(benches);

@@ -79,7 +79,10 @@ fn main() {
     let regression = RegressionInterpolator;
     let methods: Vec<&dyn Interpolator> = vec![&default, &no_norm, &pg, &regression];
     let report = cross_validate(&catalog, &methods).expect("cross validation");
-    println!("# Ablation — NRMSE by dataset and GeoAlign variant ({})", report.universe);
+    println!(
+        "# Ablation — NRMSE by dataset and GeoAlign variant ({})",
+        report.universe
+    );
     println!("{}", report.to_table());
 
     let mean = |m: &str| {
@@ -87,7 +90,16 @@ fn main() {
         v.iter().sum::<f64>() / v.len().max(1) as f64
     };
     println!("mean NRMSE — default: {:.4}", mean("GeoAlign (default)"));
-    println!("mean NRMSE — no normalization: {:.4}", mean("no normalization"));
-    println!("mean NRMSE — projected gradient: {:.4} (should match default)", mean("projected gradient"));
-    println!("mean NRMSE — unconstrained regression: {:.4}", mean("regression (unconstrained)"));
+    println!(
+        "mean NRMSE — no normalization: {:.4}",
+        mean("no normalization")
+    );
+    println!(
+        "mean NRMSE — projected gradient: {:.4} (should match default)",
+        mean("projected gradient")
+    );
+    println!(
+        "mean NRMSE — unconstrained regression: {:.4}",
+        mean("regression (unconstrained)")
+    );
 }

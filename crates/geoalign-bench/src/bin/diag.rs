@@ -32,22 +32,36 @@ fn main() {
             n_straddle += 1;
         }
     }
-    println!("straddling zips: {} / {} holding {:.1}% of mass", n_straddle, dm.nrows(), 100.0*straddle_mass/total);
+    println!(
+        "straddling zips: {} / {} holding {:.1}% of mass",
+        n_straddle,
+        dm.nrows(),
+        100.0 * straddle_mass / total
+    );
     // For straddling zips: average |area_split - true_split| (L1/2) weighted by mass.
     let area = cat.universe.area_dm.matrix();
     let mut werr = 0.0;
     for i in 0..dm.nrows() {
         let (cols, vals) = dm.row(i);
-        if cols.len() < 2 { continue; }
+        if cols.len() < 2 {
+            continue;
+        }
         let m: f64 = vals.iter().sum();
         let (acols, avals) = area.row(i);
         let asum: f64 = avals.iter().sum();
         let mut l1 = 0.0;
         for (c, v) in cols.iter().zip(vals) {
-            let af = acols.iter().position(|x| x == c).map(|k| avals[k]/asum).unwrap_or(0.0);
-            l1 += (v/m - af).abs();
+            let af = acols
+                .iter()
+                .position(|x| x == c)
+                .map(|k| avals[k] / asum)
+                .unwrap_or(0.0);
+            l1 += (v / m - af).abs();
         }
         werr += m * l1 / 2.0;
     }
-    println!("mass misallocated by area split: {:.1}% of total", 100.0*werr/total);
+    println!(
+        "mass misallocated by area split: {:.1}% of total",
+        100.0 * werr / total
+    );
 }

@@ -23,7 +23,11 @@ fn main() {
         match a.as_str() {
             "ny" | "us" => universe = a.clone(),
             "--seed" => {
-                seed = it.next().expect("--seed needs a value").parse().expect("seed int")
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed int")
             }
             "--no-normalize" => normalize = false,
             flag => {
@@ -62,7 +66,10 @@ fn main() {
     let methods: Vec<&dyn Interpolator> = vec![&ga, &das_pop, &das_res, &das_bus, &aw];
 
     let report = cross_validate(&catalog, &methods).expect("cross validation");
-    println!("# Figure 5 ({}) — NRMSE by dataset and method", report.universe);
+    println!(
+        "# Figure 5 ({}) — NRMSE by dataset and method",
+        report.universe
+    );
     println!("{}", report.to_table());
 
     // The paper's headline claims, restated on this run's numbers.

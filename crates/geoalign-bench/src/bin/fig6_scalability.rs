@@ -59,10 +59,10 @@ fn main() {
             n_target: ((level.n_target as f64 * scale).round() as usize).max(3),
             // Point budget scales with the universe like the paper's
             // subsetting of the national datasets.
-            base_points: ((600_000.0 * scale * level.n_source as f64
-                / HIERARCHY[5].n_source as f64)
-                .round() as usize)
-                .max(2_000),
+            base_points:
+                ((600_000.0 * scale * level.n_source as f64 / HIERARCHY[5].n_source as f64).round()
+                    as usize)
+                    .max(2_000),
         };
         let synth = us_catalog(size, seed + li as u64).expect("catalog");
         let catalog: Catalog = geoalign::to_eval_catalog(&synth).expect("eval catalog");
@@ -102,8 +102,13 @@ fn main() {
         drop(warm);
 
         if per_dataset && li == HIERARCHY.len() - 1 {
-            println!("\n# §4.3 — per-dataset runtime at the largest universe (nnz drives the variance)");
-            println!("{:28}  {:>12}  {:>10}", "test dataset", "runtime (ms)", "DM nnz");
+            println!(
+                "\n# §4.3 — per-dataset runtime at the largest universe (nnz drives the variance)"
+            );
+            println!(
+                "{:28}  {:>12}  {:>10}",
+                "test dataset", "runtime (ms)", "DM nnz"
+            );
             for (di, d) in catalog.datasets().iter().enumerate() {
                 let refs = catalog.references_excluding(di);
                 let obj = d.reference().source();
@@ -113,7 +118,12 @@ fn main() {
                     let _ = ga_i.estimate(obj, &refs).expect("estimate");
                 }
                 let ms = t.elapsed().as_secs_f64() * 1e3 / trials as f64;
-                println!("{:28}  {:>12.3}  {:>10}", d.name(), ms, d.reference().dm().nnz());
+                println!(
+                    "{:28}  {:>12.3}  {:>10}",
+                    d.name(),
+                    ms,
+                    d.reference().dm().nnz()
+                );
             }
         }
     }

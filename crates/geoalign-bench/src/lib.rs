@@ -53,13 +53,15 @@ impl ScalePreset {
 
 /// Generates the NY evaluation catalog at a preset.
 pub fn ny_eval_catalog(preset: ScalePreset, seed: u64) -> Result<Catalog, CoreError> {
-    let synth = geoalign_datagen::ny_catalog(preset.ny_size(), seed).map_err(CoreError::Partition)?;
+    let synth =
+        geoalign_datagen::ny_catalog(preset.ny_size(), seed).map_err(CoreError::Partition)?;
     geoalign::to_eval_catalog(&synth)
 }
 
 /// Generates the US evaluation catalog at a preset.
 pub fn us_eval_catalog(preset: ScalePreset, seed: u64) -> Result<Catalog, CoreError> {
-    let synth = geoalign_datagen::us_catalog(preset.us_size(), seed).map_err(CoreError::Partition)?;
+    let synth =
+        geoalign_datagen::us_catalog(preset.us_size(), seed).map_err(CoreError::Partition)?;
     geoalign::to_eval_catalog(&synth)
 }
 
@@ -69,7 +71,8 @@ pub fn us_catalog_pair(
     preset: ScalePreset,
     seed: u64,
 ) -> Result<(SyntheticCatalog, Catalog), CoreError> {
-    let synth = geoalign_datagen::us_catalog(preset.us_size(), seed).map_err(CoreError::Partition)?;
+    let synth =
+        geoalign_datagen::us_catalog(preset.us_size(), seed).map_err(CoreError::Partition)?;
     let eval = geoalign::to_eval_catalog(&synth)?;
     Ok((synth, eval))
 }

@@ -6,7 +6,8 @@
 //!   target units of one or more reference crosswalk files;
 //! * `evaluate` — additionally compare the estimate against a ground-truth
 //!   table and report RMSE / NRMSE;
-//! * `weights` — print only the learned reference weights.
+//! * `weights` — print only the learned reference weights;
+//! * `serve` — run the batch crosswalk HTTP service (`geoalign-serve`).
 //!
 //! All inputs are CSV: aggregate tables are `unit,value` with a header,
 //! crosswalk files are `source,target,value` (the HUD USPS crosswalk
@@ -14,7 +15,7 @@
 
 #![warn(missing_docs)]
 
-use geoalign_core::{CoreError, GeoAlign, ReferenceData};
+use geoalign_core::{CoreError, GeoAlign, PhaseTimings, ReferenceData};
 use geoalign_linalg::stats;
 use geoalign_partition::{AggregateTable, CrosswalkTable, UnitIndex};
 use std::fmt::Write as _;
@@ -61,6 +62,8 @@ pub struct CrosswalkArgs {
     pub out: Option<String>,
     /// Print the learned weights to stderr.
     pub show_weights: bool,
+    /// Print per-phase wall-clock timings to stderr.
+    pub show_timings: bool,
 }
 
 /// Usage text.
@@ -69,9 +72,16 @@ geoalign — multi-reference crosswalk of aggregate tables (GeoAlign, EDBT 2018)
 
 USAGE:
     geoalign crosswalk --table T.csv --reference X1.csv [--reference X2.csv ...]
-                       [--out OUT.csv] [--weights]
+                       [--out OUT.csv] [--weights] [--timings]
     geoalign evaluate  --table T.csv --reference X1.csv [...] --truth TRUE.csv
     geoalign weights   --table T.csv --reference X1.csv [...]
+    geoalign serve     [--addr HOST:PORT] [--workers N] [--cache-capacity M]
+
+FLAGS:
+    --timings          print per-phase wall-clock timings to stderr
+    --addr             serve: listen address (default 127.0.0.1:8077)
+    --workers          serve: worker threads (default 4)
+    --cache-capacity   serve: prepared-crosswalk cache size (default 64)
 
 FILES:
     aggregate tables:  CSV `unit,value` with a header line
@@ -87,6 +97,7 @@ pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
     let mut truth = None;
     let mut out = None;
     let mut show_weights = false;
+    let mut show_timings = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -95,14 +106,83 @@ pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
             "--truth" => truth = Some(need(&mut it, "--truth")?),
             "--out" => out = Some(need(&mut it, "--out")?),
             "--weights" => show_weights = true,
+            "--timings" => show_timings = true,
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
     let table = table.ok_or_else(|| CliError::Usage("--table is required".into()))?;
     if references.is_empty() {
-        return Err(CliError::Usage("at least one --reference is required".into()));
+        return Err(CliError::Usage(
+            "at least one --reference is required".into(),
+        ));
     }
-    Ok(CrosswalkArgs { table, references, truth, out, show_weights })
+    Ok(CrosswalkArgs {
+        table,
+        references,
+        truth,
+        out,
+        show_weights,
+        show_timings,
+    })
+}
+
+/// Parsed command line for `geoalign serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Listen address.
+    pub addr: String,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Prepared-crosswalk cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:8077".to_owned(),
+            workers: 4,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// Parses the `serve` subcommand's flags.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut parsed = ServeArgs::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => parsed.addr = need(&mut it, "--addr")?,
+            "--workers" => {
+                parsed.workers = need(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--workers needs an integer".into()))?;
+            }
+            "--cache-capacity" => {
+                parsed.cache_capacity = need(&mut it, "--cache-capacity")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--cache-capacity needs an integer".into()))?;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    if parsed.workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+    Ok(parsed)
+}
+
+/// Renders per-phase timings as the stderr lines `--timings` prints.
+pub fn format_timings(t: &PhaseTimings) -> String {
+    let micros = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    format!(
+        "phase[weight_learning] = {:.1} µs\nphase[disaggregation] = {:.1} µs\nphase[reaggregation] = {:.1} µs\nphase[total] = {:.1} µs",
+        micros(t.weight_learning),
+        micros(t.disaggregation),
+        micros(t.reaggregation),
+        micros(t.total()),
+    )
 }
 
 fn need(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, CliError> {
@@ -120,6 +200,9 @@ pub struct CrosswalkOutput {
     pub weights: Vec<(String, f64)>,
     /// RMSE / NRMSE vs the truth table, when supplied.
     pub accuracy: Option<(f64, f64)>,
+    /// Per-phase wall-clock timings of the run (the same struct the
+    /// serving layer's `/metrics` histograms are fed from).
+    pub timings: PhaseTimings,
 }
 
 /// Runs a crosswalk from in-memory CSV strings (the testable core of the
@@ -157,7 +240,11 @@ pub fn run_crosswalk(
             let dm = x
                 .to_matrix(&source, &target)
                 .map_err(|e| CliError::Run(format!("crosswalk '{name}': {e}")))?;
-            let attr = if x.attribute.is_empty() { name.clone() } else { x.attribute.clone() };
+            let attr = if x.attribute.is_empty() {
+                name.clone()
+            } else {
+                x.attribute.clone()
+            };
             ReferenceData::from_dm(attr, dm).map_err(CliError::from)
         })
         .collect::<Result<_, _>>()?;
@@ -197,7 +284,12 @@ pub fn run_crosswalk(
         None => None,
     };
 
-    Ok(CrosswalkOutput { csv, weights, accuracy })
+    Ok(CrosswalkOutput {
+        csv,
+        weights,
+        accuracy,
+        timings: result.timings,
+    })
 }
 
 #[cfg(test)]
@@ -246,7 +338,11 @@ B,60
         assert_eq!(out.weights.len(), 2);
         let wsum: f64 = out.weights.iter().map(|(_, w)| w).sum();
         assert!((wsum - 1.0).abs() < 1e-9);
-        assert!(out.weights[0].1 > 0.99, "population should dominate: {:?}", out.weights);
+        assert!(
+            out.weights[0].1 > 0.99,
+            "population should dominate: {:?}",
+            out.weights
+        );
     }
 
     #[test]
@@ -256,29 +352,64 @@ B,60
         let e = run_crosswalk(STEAM, &[("p".into(), "a,b\nbad\n".into())], None).unwrap_err();
         assert!(e.to_string().contains("crosswalk 'p'"), "{e}");
         // Objective mentions a zip absent from every crosswalk.
-        let e = run_crosswalk(
-            "zip,steam\nz9,1\n",
-            &[("p".into(), POP.into())],
-            None,
-        )
-        .unwrap_err();
+        let e = run_crosswalk("zip,steam\nz9,1\n", &[("p".into(), POP.into())], None).unwrap_err();
         assert!(e.to_string().contains("z9"), "{e}");
     }
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> = ["--table", "t.csv", "--reference", "x.csv", "--weights"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--table",
+            "t.csv",
+            "--reference",
+            "x.csv",
+            "--weights",
+            "--timings",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let a = parse_args(&args).unwrap();
         assert_eq!(a.table, "t.csv");
         assert_eq!(a.references, vec!["x.csv".to_owned()]);
         assert!(a.show_weights);
+        assert!(a.show_timings);
         assert!(a.out.is_none());
 
         assert!(parse_args(&["--table".into()]).is_err());
         assert!(parse_args(&["--bogus".into()]).is_err());
         assert!(parse_args(&["--table".into(), "t".into()]).is_err()); // no refs
+    }
+
+    #[test]
+    fn serve_arg_parsing() {
+        assert_eq!(parse_serve_args(&[]).unwrap(), ServeArgs::default());
+        let args: Vec<String> = [
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--cache-capacity",
+            "16",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let a = parse_serve_args(&args).unwrap();
+        assert_eq!(a.addr, "0.0.0.0:9000");
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.cache_capacity, 16);
+        assert!(parse_serve_args(&["--workers".into(), "zero".into()]).is_err());
+        assert!(parse_serve_args(&["--workers".into(), "0".into()]).is_err());
+        assert!(parse_serve_args(&["--nope".into()]).is_err());
+    }
+
+    #[test]
+    fn timings_are_returned_and_formatted() {
+        let out = run_crosswalk(STEAM, &[("pop".into(), POP.into())], None).unwrap();
+        let text = format_timings(&out.timings);
+        assert!(text.contains("phase[weight_learning]"), "{text}");
+        assert!(text.contains("phase[total]"));
+        assert_eq!(text.lines().count(), 4);
     }
 }

@@ -1,7 +1,7 @@
 //! The `geoalign` command-line entry point; see [`geoalign_cli`] for the
 //! testable implementation.
 
-use geoalign_cli::{parse_args, run_crosswalk, CliError, USAGE};
+use geoalign_cli::{format_timings, parse_args, parse_serve_args, run_crosswalk, CliError, USAGE};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -49,8 +49,9 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
                 parsed.show_weights = true;
             } else {
                 match &parsed.out {
-                    Some(path) => std::fs::write(path, &out.csv)
-                        .map_err(|e| CliError::Io(path.clone(), e))?,
+                    Some(path) => {
+                        std::fs::write(path, &out.csv).map_err(|e| CliError::Io(path.clone(), e))?
+                    }
                     None => print!("{}", out.csv),
                 }
             }
@@ -63,7 +64,25 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
                 eprintln!("RMSE = {rmse:.6}");
                 eprintln!("NRMSE = {nrmse:.6}");
             }
+            if parsed.show_timings {
+                eprintln!("{}", format_timings(&out.timings));
+            }
             Ok(())
+        }
+        "serve" => {
+            let parsed = parse_serve_args(rest)?;
+            let config = geoalign_serve::ServerConfig {
+                workers: parsed.workers,
+                cache_capacity: parsed.cache_capacity,
+            };
+            let server = geoalign_serve::Server::bind(parsed.addr.as_str(), config)
+                .map_err(|e| CliError::Io(parsed.addr.clone(), e))?;
+            eprintln!("geoalign-serve listening on http://{}", server.addr());
+            eprintln!("endpoints: POST /systems /references /crosswalk — GET /healthz /metrics");
+            // Serve until the process is killed.
+            loop {
+                std::thread::park();
+            }
         }
         "--help" | "-h" | "help" => {
             print!("{USAGE}");

@@ -34,7 +34,10 @@ pub struct GeoAlignConfig {
 
 impl Default for GeoAlignConfig {
     fn default() -> Self {
-        Self { solver: SimplexSolver::default(), normalize: true }
+        Self {
+            solver: SimplexSolver::default(),
+            normalize: true,
+        }
     }
 }
 
@@ -43,6 +46,11 @@ impl Default for GeoAlignConfig {
 /// matrix; these timers let the benchmarks verify the same holds here.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
+    /// Time spent snapshotting the objective-independent state (Gram
+    /// matrix, reference row sums) in [`GeoAlign::prepare`]. Zero for
+    /// one-shot [`GeoAlign::estimate`] runs and for
+    /// [`crate::PreparedCrosswalk::apply`], where that cost is amortized.
+    pub prepare: Duration,
     /// Time in weight learning (Eq. 15).
     pub weight_learning: Duration,
     /// Time in disaggregation (Eq. 14).
@@ -54,7 +62,7 @@ pub struct PhaseTimings {
 impl PhaseTimings {
     /// Total across phases.
     pub fn total(&self) -> Duration {
-        self.weight_learning + self.disaggregation + self.reaggregation
+        self.prepare + self.weight_learning + self.disaggregation + self.reaggregation
     }
 }
 
@@ -119,7 +127,12 @@ impl GeoAlign {
         let estimate = dm_estimate.col_sums();
         timings.reaggregation = t2.elapsed();
 
-        Ok(GeoAlignResult { estimate, weights, dm_estimate, timings })
+        Ok(GeoAlignResult {
+            estimate,
+            weights,
+            dm_estimate,
+            timings,
+        })
     }
 
     /// Step 1 alone: the learned weight vector `β`.
@@ -186,38 +199,41 @@ fn disaggregate(
     n_source: usize,
     n_target: usize,
 ) -> Result<CsrMatrix, CoreError> {
-    // Scale-adapted weights: β'_k = β_k / max_i a_rk^s[i] (see above).
     let mats: Vec<&CsrMatrix> = refs.iter().map(|r| r.dm().matrix()).collect();
-    let row_sums_per_ref: Vec<Vec<f64>> =
-        refs.iter().map(|r| r.dm().matrix().row_sums()).collect();
-    let adapted: Vec<f64> = weights
-        .iter()
-        .zip(&row_sums_per_ref)
-        .map(|(&w, sums)| {
-            let m = sums.iter().copied().fold(0.0f64, f64::max);
-            if m > 0.0 {
-                w / m
-            } else {
-                0.0
-            }
-        })
-        .collect();
+    let row_sums_per_ref: Vec<Vec<f64>> = refs.iter().map(|r| r.dm().matrix().row_sums()).collect();
+    disaggregate_with(
+        &mats,
+        &row_sums_per_ref,
+        objective_source.values(),
+        weights,
+        n_source,
+        n_target,
+    )
+}
+
+/// [`disaggregate`] on precomputed per-reference row sums. One-shot
+/// [`GeoAlign::estimate`] computes the row sums on the fly; the prepared
+/// path ([`crate::PreparedCrosswalk`]) snapshots them once and reuses them
+/// per query — both funnel through this function, so the two paths are the
+/// same arithmetic by construction.
+pub(crate) fn disaggregate_with(
+    mats: &[&CsrMatrix],
+    row_sums_per_ref: &[Vec<f64>],
+    obj: &[f64],
+    weights: &[f64],
+    n_source: usize,
+    n_target: usize,
+) -> Result<CsrMatrix, CoreError> {
+    // Scale-adapted weights: β'_k = β_k / max_i a_rk^s[i] (see above).
+    let adapted = scale_adapted_weights(weights, row_sums_per_ref);
     // Numerator: Σ_k β'_k DM_rk, assembled sparsely.
-    let numerator = CsrMatrix::weighted_sum(&mats, &adapted)?;
+    let numerator = CsrMatrix::weighted_sum(mats, &adapted)?;
 
     // Weighted and unweighted denominators per source unit, from the DM
     // row sums (see the doc comment above for why not the source vectors).
-    let mut weighted = vec![0.0; n_source];
-    let mut unweighted = vec![0.0; n_source];
-    for (sums, &w) in row_sums_per_ref.iter().zip(&adapted) {
-        for (i, &v) in sums.iter().enumerate() {
-            weighted[i] += w * v;
-            unweighted[i] += v;
-        }
-    }
+    let (weighted, unweighted) = row_denominators(row_sums_per_ref, &adapted, n_source);
 
     // Row scale factors: a_o^s[i] / denominator[i].
-    let obj = objective_source.values();
     let mut row_factors = vec![0.0; n_source];
     let mut fallback_rows: Vec<usize> = Vec::new();
     for i in 0..n_source {
@@ -236,14 +252,14 @@ fn disaggregate(
 
     if !fallback_rows.is_empty() {
         // Rebuild the affected rows from the unweighted sum.
-        let uniform = vec![1.0 / refs.len() as f64; refs.len()];
-        let fallback_num = CsrMatrix::weighted_sum(&mats, &uniform)?;
+        let uniform = vec![1.0 / mats.len() as f64; mats.len()];
+        let fallback_num = CsrMatrix::weighted_sum(mats, &uniform)?;
         let mut coo = geoalign_linalg::CooMatrix::new(n_source, n_target);
         for (i, j, v) in scaled.iter() {
             coo.push(i, j, v)?;
         }
         for &i in &fallback_rows {
-            let denom = unweighted[i] / refs.len() as f64;
+            let denom = unweighted[i] / mats.len() as f64;
             let (cols, vals) = fallback_num.row(i);
             for (&j, &v) in cols.iter().zip(vals) {
                 coo.push(i, j as usize, v / denom * obj[i])?;
@@ -253,6 +269,39 @@ fn disaggregate(
     }
 
     Ok(scaled)
+}
+
+/// The effective weights `β'_k = β_k / max_i a_rk^s[i]` of Eq. 14.
+pub(crate) fn scale_adapted_weights(weights: &[f64], row_sums_per_ref: &[Vec<f64>]) -> Vec<f64> {
+    weights
+        .iter()
+        .zip(row_sums_per_ref)
+        .map(|(&w, sums)| {
+            let m = sums.iter().copied().fold(0.0f64, f64::max);
+            if m > 0.0 {
+                w / m
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Weighted and unweighted per-source-unit denominators of Eq. 14.
+pub(crate) fn row_denominators(
+    row_sums_per_ref: &[Vec<f64>],
+    adapted: &[f64],
+    n_source: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut weighted = vec![0.0; n_source];
+    let mut unweighted = vec![0.0; n_source];
+    for (sums, &w) in row_sums_per_ref.iter().zip(adapted) {
+        for (i, &v) in sums.iter().enumerate() {
+            weighted[i] += w * v;
+            unweighted[i] += v;
+        }
+    }
+    (weighted, unweighted)
 }
 
 #[cfg(test)]
@@ -328,11 +377,23 @@ mod tests {
         // "bad" is wildly different. Weight must concentrate on "good".
         let good = make_ref(
             "good",
-            &[&[9.0, 1.0], &[1.0, 9.0], &[5.0, 5.0], &[8.0, 0.0], &[0.0, 2.0]],
+            &[
+                &[9.0, 1.0],
+                &[1.0, 9.0],
+                &[5.0, 5.0],
+                &[8.0, 0.0],
+                &[0.0, 2.0],
+            ],
         );
         let bad = make_ref(
             "bad",
-            &[&[0.0, 1.0], &[9.0, 0.0], &[1.0, 0.0], &[0.0, 7.0], &[9.0, 9.0]],
+            &[
+                &[0.0, 1.0],
+                &[9.0, 0.0],
+                &[1.0, 0.0],
+                &[0.0, 7.0],
+                &[9.0, 9.0],
+            ],
         );
         // Objective at source level proportional to good's row sums.
         let gs: Vec<f64> = good.source().values().iter().map(|v| 3.0 * v).collect();
@@ -423,10 +484,7 @@ mod tests {
         // distribution similarity — dictates the weights. This is exactly
         // why §3.4 normalizes.
         let small = make_ref("small", &[&[2.0, 0.0], &[0.0, 0.5], &[0.1, 0.4]]);
-        let big = make_ref(
-            "big",
-            &[&[400.0, 500.0], &[1800.0, 200.0], &[500.0, 700.0]],
-        );
+        let big = make_ref("big", &[&[400.0, 500.0], &[1800.0, 200.0], &[500.0, 700.0]]);
         // obj ∝ big's source sums [900, 2000, 1200], scaled down 1000×.
         let obj = agg(&[0.9, 2.0, 1.2]);
         let with = GeoAlign::with_config(GeoAlignConfig {
@@ -474,7 +532,12 @@ mod tests {
         let total = out.timings.total();
         assert_eq!(
             total,
-            out.timings.weight_learning + out.timings.disaggregation + out.timings.reaggregation
+            out.timings.prepare
+                + out.timings.weight_learning
+                + out.timings.disaggregation
+                + out.timings.reaggregation
         );
+        // One-shot estimates have no prepare phase.
+        assert_eq!(out.timings.prepare, Duration::ZERO);
     }
 }

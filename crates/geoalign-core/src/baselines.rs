@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn dasymetric_equals_geoalign_with_one_reference() {
-        let r = make_ref("pop", &[&[3.0, 1.0, 0.0], &[2.0, 2.0, 5.0], &[0.0, 0.0, 4.0]]);
+        let r = make_ref(
+            "pop",
+            &[&[3.0, 1.0, 0.0], &[2.0, 2.0, 5.0], &[0.0, 0.0, 4.0]],
+        );
         let obj = agg(&[10.0, 20.0, 30.0]);
         let das = dasymetric(&obj, &r).unwrap();
         let ga = GeoAlign::new().estimate(&obj, &[&r]).unwrap();

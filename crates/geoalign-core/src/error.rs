@@ -105,7 +105,11 @@ mod tests {
     fn messages_name_the_offender() {
         let e = CoreError::UnknownReference { name: "pop".into() };
         assert!(e.to_string().contains("pop"));
-        let e = CoreError::SourceMismatch { objective: 3, reference: 5, name: "r".into() };
+        let e = CoreError::SourceMismatch {
+            objective: 3,
+            reference: 5,
+            name: "r".into(),
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
         let e: CoreError = geoalign_linalg::LinalgError::Singular.into();
         use std::error::Error;

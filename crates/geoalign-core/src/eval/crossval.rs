@@ -110,7 +110,10 @@ pub fn cross_validate(
     methods: &[&dyn Interpolator],
 ) -> Result<CrossValReport, CoreError> {
     if catalog.len() < 2 {
-        return Err(CoreError::NotEnoughDatasets { needed: 2, got: catalog.len() });
+        return Err(CoreError::NotEnoughDatasets {
+            needed: 2,
+            got: catalog.len(),
+        });
     }
     let measure_attr = catalog.measure_dm().attribute().to_owned();
     let mut cells = Vec::with_capacity(catalog.len() * methods.len());
@@ -132,7 +135,10 @@ pub fn cross_validate(
             });
         }
     }
-    Ok(CrossValReport { universe: catalog.universe().to_owned(), cells })
+    Ok(CrossValReport {
+        universe: catalog.universe().to_owned(),
+        cells,
+    })
 }
 
 #[cfg(test)]
@@ -161,14 +167,23 @@ mod tests {
 
     fn small_catalog() -> Catalog {
         // Three correlated datasets over 3 source × 2 target units.
-        let a = Dataset::from_reference(make_ref("alpha", &[&[4.0, 1.0], &[1.0, 4.0], &[2.0, 2.0]]));
+        let a =
+            Dataset::from_reference(make_ref("alpha", &[&[4.0, 1.0], &[1.0, 4.0], &[2.0, 2.0]]));
         let b = Dataset::from_reference(make_ref("beta", &[&[8.0, 2.0], &[2.0, 8.0], &[4.0, 4.0]]));
-        let c = Dataset::from_reference(make_ref("gamma", &[&[3.0, 2.0], &[1.0, 1.0], &[0.0, 4.0]]));
+        let c =
+            Dataset::from_reference(make_ref("gamma", &[&[3.0, 2.0], &[1.0, 1.0], &[0.0, 4.0]]));
         let area = DisaggregationMatrix::from_triples(
             "area",
             3,
             2,
-            [(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 1, 1.0)],
+            [
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 0, 1.0),
+                (2, 1, 1.0),
+            ],
         )
         .unwrap();
         Catalog::new("toy", vec![a, b, c], area).unwrap()
@@ -219,8 +234,8 @@ mod tests {
     #[test]
     fn needs_two_datasets() {
         let a = Dataset::from_reference(make_ref("solo", &[&[1.0, 1.0]]));
-        let area = DisaggregationMatrix::from_triples("area", 1, 2, [(0, 0, 1.0), (0, 1, 1.0)])
-            .unwrap();
+        let area =
+            DisaggregationMatrix::from_triples("area", 1, 2, [(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
         let cat = Catalog::new("u", vec![a], area).unwrap();
         let ga = GeoAlignInterpolator::new();
         let methods: Vec<&dyn Interpolator> = vec![&ga];

@@ -24,7 +24,10 @@ impl Dataset {
     /// sums (paper Eq. 7).
     pub fn from_reference(reference: ReferenceData) -> Self {
         let target_truth = reference.dm().matrix().col_sums();
-        Self { reference, target_truth }
+        Self {
+            reference,
+            target_truth,
+        }
     }
 
     /// Builds a dataset with explicitly supplied target truth (used when
@@ -37,7 +40,10 @@ impl Dataset {
                 name: reference.name().to_owned(),
             });
         }
-        Ok(Self { reference, target_truth })
+        Ok(Self {
+            reference,
+            target_truth,
+        })
     }
 
     /// Dataset name (the attribute).
@@ -89,7 +95,11 @@ impl Catalog {
                 });
             }
         }
-        Ok(Self { universe: universe.into(), datasets, measure_dm })
+        Ok(Self {
+            universe: universe.into(),
+            datasets,
+            measure_dm,
+        })
     }
 
     /// Universe name (e.g. `"New York State"`).

@@ -64,7 +64,9 @@ pub struct NoiseReport {
 impl NoiseReport {
     /// The cell for a `(dataset, level)` pair.
     pub fn cell(&self, dataset: &str, level_pct: f64) -> Option<&NoiseCell> {
-        self.cells.iter().find(|c| c.dataset == dataset && c.level_pct == level_pct)
+        self.cells
+            .iter()
+            .find(|c| c.dataset == dataset && c.level_pct == level_pct)
     }
 }
 
@@ -80,7 +82,10 @@ pub fn noise_experiment(
     rand01: &mut impl FnMut() -> f64,
 ) -> Result<NoiseReport, CoreError> {
     if catalog.len() < 2 {
-        return Err(CoreError::NotEnoughDatasets { needed: 2, got: catalog.len() });
+        return Err(CoreError::NotEnoughDatasets {
+            needed: 2,
+            got: catalog.len(),
+        });
     }
     let mut cells = Vec::with_capacity(catalog.len() * levels_pct.len());
     for (di, test) in catalog.datasets().iter().enumerate() {
@@ -150,7 +155,9 @@ mod tests {
     fn lcg() -> impl FnMut() -> f64 {
         let mut state: u64 = 0x1234_5678_9ABC_DEF0;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         }
     }
@@ -202,8 +209,7 @@ mod tests {
         let cat = Catalog::new("toy", vec![a, b, c], area).unwrap();
         let ga = GeoAlignInterpolator::new();
         let mut rng = lcg();
-        let report =
-            noise_experiment(&cat, &ga, &[1.0, 10.0, 50.0], 5, &mut rng).unwrap();
+        let report = noise_experiment(&cat, &ga, &[1.0, 10.0, 50.0], 5, &mut rng).unwrap();
         assert_eq!(report.cells.len(), 9);
         for cell in &report.cells {
             assert_eq!(cell.ratios.len(), 5);

@@ -122,7 +122,10 @@ pub fn selection_experiment(
     policies: &[LeaveOut],
 ) -> Result<SelectionReport, CoreError> {
     if catalog.len() < 3 {
-        return Err(CoreError::NotEnoughDatasets { needed: 3, got: catalog.len() });
+        return Err(CoreError::NotEnoughDatasets {
+            needed: 3,
+            got: catalog.len(),
+        });
     }
     let mut cells = Vec::with_capacity(catalog.len() * policies.len());
     for (di, test) in catalog.datasets().iter().enumerate() {
@@ -254,7 +257,10 @@ mod tests {
         // least-related reference must not hurt (beta still present).
         let base = report.nrmse("alpha", LeaveOut::None).unwrap();
         let least = report.nrmse("alpha", LeaveOut::LeastRelated(1)).unwrap();
-        assert!(least <= base + 1e-9, "least-related drop hurt: {least} vs {base}");
+        assert!(
+            least <= base + 1e-9,
+            "least-related drop hurt: {least} vs {base}"
+        );
         // Every cell records what was dropped.
         for cell in &report.cells {
             match cell.policy {

@@ -51,7 +51,9 @@ impl Interpolator for GeoAlignInterpolator {
         objective_source: &AggregateVector,
         refs: &[&ReferenceData],
     ) -> Result<Vec<f64>, CoreError> {
-        Ok(GeoAlign::with_config(self.config).estimate(objective_source, refs)?.estimate)
+        Ok(GeoAlign::with_config(self.config)
+            .estimate(objective_source, refs)?
+            .estimate)
     }
 }
 
@@ -67,7 +69,9 @@ pub struct DasymetricInterpolator {
 impl DasymetricInterpolator {
     /// Dasymetric weighting by the named reference.
     pub fn new(reference_name: impl Into<String>) -> Self {
-        Self { reference_name: reference_name.into() }
+        Self {
+            reference_name: reference_name.into(),
+        }
     }
 
     /// The reference this method redistributes by.
@@ -89,7 +93,9 @@ impl Interpolator for DasymetricInterpolator {
         let r = refs
             .iter()
             .find(|r| r.name() == self.reference_name)
-            .ok_or_else(|| CoreError::UnknownReference { name: self.reference_name.clone() })?;
+            .ok_or_else(|| CoreError::UnknownReference {
+                name: self.reference_name.clone(),
+            })?;
         baselines::dasymetric(objective_source, r)
     }
 }
@@ -167,7 +173,10 @@ mod tests {
 
         let ga = GeoAlignInterpolator::new();
         assert_eq!(ga.name(), "GeoAlign");
-        let direct = crate::align::GeoAlign::new().estimate(&obj, &refs).unwrap().estimate;
+        let direct = crate::align::GeoAlign::new()
+            .estimate(&obj, &refs)
+            .unwrap()
+            .estimate;
         assert_eq!(ga.estimate(&obj, &refs).unwrap(), direct);
 
         let das = DasymetricInterpolator::new("pop");

@@ -35,7 +35,9 @@ pub mod error;
 pub mod eval;
 pub mod interpolator;
 pub mod pipeline;
+pub mod prepare;
 pub mod reference;
+pub mod store;
 
 pub use align::{GeoAlign, GeoAlignConfig, GeoAlignResult, PhaseTimings};
 pub use baselines::{areal_weighting, dasymetric, regression_combiner};
@@ -45,4 +47,6 @@ pub use interpolator::{
     RegressionInterpolator,
 };
 pub use pipeline::{AlignedColumn, IntegrationPipeline, JoinedTable};
+pub use prepare::{CrosswalkEstimate, PreparedCrosswalk};
 pub use reference::{validate_references, ReferenceData};
+pub use store::{fingerprint_references, CrosswalkKey, CrosswalkStore, StoreStats};

@@ -48,23 +48,42 @@ pub struct JoinedTable {
 }
 
 impl JoinedTable {
-    /// Renders the join as CSV (`unit` + one column per attribute).
+    /// Renders the join as CSV (`unit` + one column per attribute), with
+    /// RFC 4180 quoting: fields containing commas, quotes, or line breaks
+    /// are wrapped in double quotes and embedded quotes are doubled.
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         out.push_str("unit");
         for c in &self.columns {
-            let _ = write!(out, ",{}", c.attribute);
+            out.push(',');
+            push_csv_field(&mut out, &c.attribute);
         }
         out.push('\n');
         for (j, id) in self.unit_ids.iter().enumerate() {
-            out.push_str(id);
+            push_csv_field(&mut out, id);
             for c in &self.columns {
                 let _ = write!(out, ",{}", c.values[j]);
             }
             out.push('\n');
         }
         out
+    }
+}
+
+/// Appends `field` to `out`, quoting per RFC 4180 when needed.
+fn push_csv_field(out: &mut String, field: &str) {
+    if field.contains(['"', ',', '\n', '\r']) {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
     }
 }
 
@@ -85,7 +104,10 @@ impl IntegrationPipeline {
 
     /// Uses a custom-configured aligner.
     pub fn with_aligner(aligner: GeoAlign) -> Self {
-        Self { aligner, ..Self::default() }
+        Self {
+            aligner,
+            ..Self::default()
+        }
     }
 
     /// Registers a unit system under `name` with its unit identifiers.
@@ -95,8 +117,12 @@ impl IntegrationPipeline {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.systems
-            .insert(name.into(), SystemEntry { index: UnitIndex::from_ids(unit_ids) });
+        self.systems.insert(
+            name.into(),
+            SystemEntry {
+                index: UnitIndex::from_ids(unit_ids),
+            },
+        );
     }
 
     /// Registers a reference crosswalk from `source` to `target` system.
@@ -137,15 +163,40 @@ impl IntegrationPipeline {
 
     /// Number of references registered for the `(source, target)` pair.
     pub fn reference_count(&self, source: &str, target: &str) -> usize {
+        self.references(source, target).len()
+    }
+
+    /// The references registered for the `(source, target)` pair, in
+    /// registration order; empty when the pair has no crosswalk.
+    pub fn references(&self, source: &str, target: &str) -> &[ReferenceData] {
         self.references
             .get(&(source.to_owned(), target.to_owned()))
-            .map_or(0, Vec::len)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether a unit system is registered under `name`.
+    pub fn has_system(&self, name: &str) -> bool {
+        self.systems.contains_key(name)
+    }
+
+    /// Names of all registered unit systems, sorted.
+    pub fn system_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.systems.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The aligner the pipeline realigns with.
+    pub fn aligner(&self) -> &GeoAlign {
+        &self.aligner
     }
 
     fn system(&self, name: &str) -> Result<&SystemEntry, CoreError> {
-        self.systems.get(name).ok_or_else(|| CoreError::UnknownReference {
-            name: format!("unit system '{name}'"),
-        })
+        self.systems
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownReference {
+                name: format!("unit system '{name}'"),
+            })
     }
 
     /// Joins aggregate tables reported on (possibly different) registered
@@ -161,8 +212,9 @@ impl IntegrationPipeline {
         let mut columns = Vec::with_capacity(tables.len());
         for (system_name, table) in tables {
             let entry = self.system(system_name)?;
-            let vector: AggregateVector =
-                table.to_vector(&entry.index).map_err(CoreError::Partition)?;
+            let vector: AggregateVector = table
+                .to_vector(&entry.index)
+                .map_err(CoreError::Partition)?;
             if *system_name == target_system {
                 columns.push(AlignedColumn {
                     attribute: table.attribute.clone(),
@@ -173,9 +225,12 @@ impl IntegrationPipeline {
                 continue;
             }
             let key = ((*system_name).to_owned(), target_system.to_owned());
-            let refs = self.references.get(&key).ok_or_else(|| CoreError::UnknownReference {
-                name: format!("crosswalk {system_name} -> {target_system}"),
-            })?;
+            let refs = self
+                .references
+                .get(&key)
+                .ok_or_else(|| CoreError::UnknownReference {
+                    name: format!("crosswalk {system_name} -> {target_system}"),
+                })?;
             let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
             let result = self.aligner.estimate(&vector, &ref_slices)?;
             columns.push(AlignedColumn {
@@ -208,9 +263,10 @@ mod tests {
             3,
             2,
             [
-                (0, 0, 100.0),          // z1 wholly in A
-                (1, 0, 60.0), (1, 1, 40.0), // z2 straddles
-                (2, 1, 80.0),           // z3 wholly in B
+                (0, 0, 100.0), // z1 wholly in A
+                (1, 0, 60.0),
+                (1, 1, 40.0), // z2 straddles
+                (2, 1, 80.0), // z3 wholly in B
             ],
         )
         .unwrap();
@@ -246,6 +302,46 @@ mod tests {
         let csv = joined.to_csv();
         assert!(csv.contains("unit,steam,income"));
         assert!(csv.lines().count() == 3);
+    }
+
+    #[test]
+    fn to_csv_quotes_per_rfc_4180() {
+        let joined = JoinedTable {
+            system: "county".to_owned(),
+            unit_ids: vec![
+                "plain".to_owned(),
+                "has,comma".to_owned(),
+                "has \"quote\"".to_owned(),
+                "has\nnewline".to_owned(),
+            ],
+            columns: vec![AlignedColumn {
+                attribute: "crimes, total".to_owned(),
+                reported_on: "zip".to_owned(),
+                values: vec![1.0, 2.0, 3.0, 4.0],
+                weights: None,
+            }],
+        };
+        let csv = joined.to_csv();
+        let mut lines = csv.split('\n');
+        assert_eq!(lines.next(), Some("unit,\"crimes, total\""));
+        assert_eq!(lines.next(), Some("plain,1"));
+        assert_eq!(lines.next(), Some("\"has,comma\",2"));
+        assert_eq!(lines.next(), Some("\"has \"\"quote\"\"\",3"));
+        // The embedded newline stays inside one quoted field.
+        assert_eq!(lines.next(), Some("\"has"));
+        assert_eq!(lines.next(), Some("newline\",4"));
+    }
+
+    #[test]
+    fn reference_accessors() {
+        let p = pipeline();
+        assert!(p.has_system("zip"));
+        assert!(!p.has_system("tract"));
+        assert_eq!(p.system_names(), vec!["county", "zip"]);
+        let refs = p.references("zip", "county");
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].name(), "population");
+        assert!(p.references("county", "zip").is_empty());
     }
 
     #[test]
@@ -293,8 +389,12 @@ mod tests {
             [(0, 0, 5.0), (1, 0, 1.0), (1, 1, 9.0), (2, 1, 4.0)],
         )
         .unwrap();
-        p.register_reference("zip", "county", ReferenceData::from_dm("accidents", dm2).unwrap())
-            .unwrap();
+        p.register_reference(
+            "zip",
+            "county",
+            ReferenceData::from_dm("accidents", dm2).unwrap(),
+        )
+        .unwrap();
         assert_eq!(p.reference_count("zip", "county"), 2);
         let steam = table("zip,steam\nz1,10\nz2,20\nz3,30\n");
         let joined = p.join(&[("zip", &steam)], "county").unwrap();

@@ -1,0 +1,353 @@
+//! The prepare/apply split: snapshot everything about a crosswalk that
+//! does not depend on the objective's values, then answer many queries
+//! against the snapshot.
+//!
+//! A GeoAlign run factors cleanly into an objective-independent half and a
+//! per-query half:
+//!
+//! * **prepare** — the references' disaggregation matrices and their row
+//!   sums (the denominators of Eq. 14), the stacked source-level design
+//!   matrix of Eq. 15, and its Gram matrix `AᵀA` (the normal-equations
+//!   state both simplex solvers run on);
+//! * **apply** — per objective vector `b`, only the right-hand-side
+//!   products `Aᵀb` and `bᵀb`, the simplex solve, and the sparse mixture.
+//!
+//! Because [`GeoAlign::estimate`] itself routes through the same
+//! Gram-state solver ([`geoalign_linalg::simplex_ls::solve_gram`]) and the
+//! same mixture kernel, `prepare(refs).apply(v)` is numerically identical
+//! to `estimate(v, refs)` — not merely close.
+
+use crate::align::{
+    disaggregate_with, row_denominators, scale_adapted_weights, GeoAlign, GeoAlignConfig,
+    GeoAlignResult, PhaseTimings,
+};
+use crate::error::CoreError;
+use crate::reference::{validate_references, ReferenceData};
+use geoalign_linalg::dense::dot;
+use geoalign_linalg::simplex_ls::{self, GramSystem};
+use geoalign_linalg::{CsrMatrix, DMatrix};
+use geoalign_partition::AggregateVector;
+use std::time::{Duration, Instant};
+
+/// The value-independent snapshot of a crosswalk: everything
+/// [`GeoAlign::estimate`] computes that depends only on the references,
+/// ready to be applied to any number of objective vectors.
+#[derive(Debug, Clone)]
+pub struct PreparedCrosswalk {
+    config: GeoAlignConfig,
+    refs: Vec<ReferenceData>,
+    /// Stacked source-level reference matrix of Eq. 15 (normalized
+    /// per-column when the config says so).
+    design: DMatrix,
+    /// Normal-equations state `AᵀA` of the design matrix.
+    gram: GramSystem,
+    /// Per-reference disaggregation-matrix row sums (Eq. 14 denominators).
+    row_sums_per_ref: Vec<Vec<f64>>,
+    n_source: usize,
+    n_target: usize,
+    prepare_time: Duration,
+}
+
+/// Lightweight output of [`PreparedCrosswalk::apply_values`]: the estimate
+/// without the materialized disaggregation matrix.
+#[derive(Debug, Clone)]
+pub struct CrosswalkEstimate {
+    /// Estimated aggregates in target units.
+    pub estimate: Vec<f64>,
+    /// Learned reference weights `β`.
+    pub weights: Vec<f64>,
+    /// Per-phase wall-clock timings of this apply.
+    pub timings: PhaseTimings,
+}
+
+impl GeoAlign {
+    /// Snapshots the objective-independent half of Algorithm 1 for the
+    /// given references. The returned [`PreparedCrosswalk`] owns copies of
+    /// the references and can be applied to any number of objective
+    /// vectors — including concurrently, since applying is `&self`.
+    pub fn prepare(&self, refs: &[&ReferenceData]) -> Result<PreparedCrosswalk, CoreError> {
+        let t0 = Instant::now();
+        let (n_source, n_target) = validate_references_nonempty(refs)?;
+        let columns: Vec<Vec<f64>> = refs
+            .iter()
+            .map(|r| {
+                if self.config().normalize {
+                    r.source().normalized()
+                } else {
+                    r.source().values().to_vec()
+                }
+            })
+            .collect();
+        let design = DMatrix::from_columns(&columns)?;
+        let gram = GramSystem::new(&design)?;
+        let row_sums_per_ref: Vec<Vec<f64>> =
+            refs.iter().map(|r| r.dm().matrix().row_sums()).collect();
+        Ok(PreparedCrosswalk {
+            config: *self.config(),
+            refs: refs.iter().map(|&r| r.clone()).collect(),
+            design,
+            gram,
+            row_sums_per_ref,
+            n_source,
+            n_target,
+            prepare_time: t0.elapsed(),
+        })
+    }
+}
+
+/// [`validate_references`] against the references' own source dimension
+/// (prepare has no objective vector yet to validate against).
+fn validate_references_nonempty(refs: &[&ReferenceData]) -> Result<(usize, usize), CoreError> {
+    let Some(first) = refs.first() else {
+        return Err(CoreError::NoReferences);
+    };
+    validate_references(first.n_source(), refs)
+}
+
+impl PreparedCrosswalk {
+    /// Number of source units the snapshot expects.
+    pub fn n_source(&self) -> usize {
+        self.n_source
+    }
+
+    /// Number of target units estimates are produced over.
+    pub fn n_target(&self) -> usize {
+        self.n_target
+    }
+
+    /// The snapshotted references, in supply order.
+    pub fn references(&self) -> &[ReferenceData] {
+        &self.refs
+    }
+
+    /// The configuration the snapshot was prepared under.
+    pub fn config(&self) -> &GeoAlignConfig {
+        &self.config
+    }
+
+    /// Wall-clock cost of building this snapshot — the amortized half of
+    /// the prepare/apply split.
+    pub fn prepare_duration(&self) -> Duration {
+        self.prepare_time
+    }
+
+    /// Runs the per-query half of Algorithm 1 against the snapshot.
+    /// Numerically identical to [`GeoAlign::estimate`] with the same
+    /// references: both run the simplex solver on the same Gram state and
+    /// the same mixture kernel.
+    pub fn apply(&self, objective_source: &AggregateVector) -> Result<GeoAlignResult, CoreError> {
+        self.check_objective(objective_source)?;
+        let mut timings = PhaseTimings::default();
+
+        let t0 = Instant::now();
+        let weights = self.learn_weights(objective_source)?;
+        timings.weight_learning = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mats: Vec<&CsrMatrix> = self.refs.iter().map(|r| r.dm().matrix()).collect();
+        let dm_estimate = disaggregate_with(
+            &mats,
+            &self.row_sums_per_ref,
+            objective_source.values(),
+            &weights,
+            self.n_source,
+            self.n_target,
+        )?;
+        timings.disaggregation = t1.elapsed();
+
+        let t2 = Instant::now();
+        let estimate = dm_estimate.col_sums();
+        timings.reaggregation = t2.elapsed();
+
+        Ok(GeoAlignResult {
+            estimate,
+            weights,
+            dm_estimate,
+            timings,
+        })
+    }
+
+    /// The serving fast path: like [`PreparedCrosswalk::apply`] but never
+    /// materializes the estimated disaggregation matrix. The estimate is
+    /// accumulated directly as
+    /// `est[j] += f_k(i) · DM_k[i, j]` with per-row factors
+    /// `f_k(i) = β'_k · a_o[i] / den(i)` (and the uniform fallback factor
+    /// on rows whose weighted denominator vanishes) — the distributive
+    /// reordering of Eq. 14 + Eq. 17. Same arithmetic as `apply` up to
+    /// floating-point summation order; agreement is covered by tests at
+    /// 1e-9 relative.
+    pub fn apply_values(
+        &self,
+        objective_source: &AggregateVector,
+    ) -> Result<CrosswalkEstimate, CoreError> {
+        self.check_objective(objective_source)?;
+        let mut timings = PhaseTimings::default();
+
+        let t0 = Instant::now();
+        let weights = self.learn_weights(objective_source)?;
+        timings.weight_learning = t0.elapsed();
+
+        let t1 = Instant::now();
+        let adapted = scale_adapted_weights(&weights, &self.row_sums_per_ref);
+        let (weighted, unweighted) =
+            row_denominators(&self.row_sums_per_ref, &adapted, self.n_source);
+        let obj = objective_source.values();
+        // Per-row factors: the weighted-mixture factor and the uniform
+        // fallback factor; exactly one of the two is nonzero per live row.
+        let mut rf_weighted = vec![0.0; self.n_source];
+        let mut rf_fallback = vec![0.0; self.n_source];
+        for i in 0..self.n_source {
+            if weighted[i] > 0.0 {
+                rf_weighted[i] = obj[i] / weighted[i];
+            } else if unweighted[i] > 0.0 {
+                rf_fallback[i] = obj[i] / unweighted[i];
+            }
+        }
+        let mut estimate = vec![0.0; self.n_target];
+        for (k, r) in self.refs.iter().enumerate() {
+            let bk = adapted[k];
+            for (i, j, v) in r.dm().matrix().iter() {
+                let f = bk * rf_weighted[i] + rf_fallback[i];
+                if f != 0.0 {
+                    estimate[j] += f * v;
+                }
+            }
+        }
+        timings.disaggregation = t1.elapsed();
+
+        Ok(CrosswalkEstimate {
+            estimate,
+            weights,
+            timings,
+        })
+    }
+
+    /// The per-query weight learning (Eq. 15) on the prepared Gram state.
+    pub fn learn_weights(&self, objective_source: &AggregateVector) -> Result<Vec<f64>, CoreError> {
+        self.check_objective(objective_source)?;
+        let b = if self.config.normalize {
+            objective_source.normalized()
+        } else {
+            objective_source.values().to_vec()
+        };
+        let atb = self.design.tr_matvec(&b)?;
+        let btb = dot(&b, &b);
+        let solution = simplex_ls::solve_gram(&self.gram, &atb, btb, self.config.solver)?;
+        Ok(solution.beta)
+    }
+
+    fn check_objective(&self, objective_source: &AggregateVector) -> Result<(), CoreError> {
+        if objective_source.len() != self.n_source {
+            return Err(CoreError::SourceMismatch {
+                objective: objective_source.len(),
+                reference: self.n_source,
+                name: self
+                    .refs
+                    .first()
+                    .map(|r| r.name().to_owned())
+                    .unwrap_or_default(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoalign_partition::DisaggregationMatrix;
+
+    fn make_ref(name: &str, rows: &[&[f64]]) -> ReferenceData {
+        let n_source = rows.len();
+        let n_target = rows[0].len();
+        let mut triples = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    triples.push((i, j, v));
+                }
+            }
+        }
+        let dm = DisaggregationMatrix::from_triples(name, n_source, n_target, triples).unwrap();
+        ReferenceData::from_dm(name, dm).unwrap()
+    }
+
+    fn agg(vals: &[f64]) -> AggregateVector {
+        AggregateVector::new("obj", vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn apply_matches_estimate_exactly() {
+        let r1 = make_ref("a", &[&[3.0, 1.0], &[2.0, 2.0], &[0.0, 5.0]]);
+        let r2 = make_ref("b", &[&[1.0, 1.0], &[4.0, 0.0], &[1.0, 1.0]]);
+        let ga = GeoAlign::new();
+        let prepared = ga.prepare(&[&r1, &r2]).unwrap();
+        for vals in [
+            vec![10.0, 20.0, 30.0],
+            vec![1.0, 0.0, 2.0],
+            vec![5.5, 5.5, 5.5],
+        ] {
+            let obj = agg(&vals);
+            let one_shot = ga.estimate(&obj, &[&r1, &r2]).unwrap();
+            let applied = prepared.apply(&obj).unwrap();
+            for (p, q) in applied.estimate.iter().zip(&one_shot.estimate) {
+                assert!((p - q).abs() <= 1e-12, "estimate {p} vs {q}");
+            }
+            for (p, q) in applied.weights.iter().zip(&one_shot.weights) {
+                assert!((p - q).abs() <= 1e-12, "weights {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_values_matches_apply() {
+        // Includes a fallback row: reference "a" is zero at unit 1.
+        let a = make_ref("a", &[&[8.0, 2.0], &[0.0, 0.0], &[3.0, 3.0]]);
+        let b = make_ref("b", &[&[1.0, 0.0], &[2.0, 6.0], &[0.0, 1.0]]);
+        let prepared = GeoAlign::new().prepare(&[&a, &b]).unwrap();
+        let obj = agg(&[10.0, 4.0, 6.0]);
+        let full = prepared.apply(&obj).unwrap();
+        let fast = prepared.apply_values(&obj).unwrap();
+        let scale: f64 = obj.total().max(1.0);
+        for (p, q) in fast.estimate.iter().zip(&full.estimate) {
+            assert!((p - q).abs() <= 1e-9 * scale, "{p} vs {q}");
+        }
+        let total: f64 = fast.estimate.iter().sum();
+        assert!((total - obj.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepared_learn_weights_matches_one_shot() {
+        let r1 = make_ref("a", &[&[1.0, 2.0], &[3.0, 4.0]]);
+        let r2 = make_ref("b", &[&[5.0, 1.0], &[2.0, 2.0]]);
+        let ga = GeoAlign::new();
+        let prepared = ga.prepare(&[&r1, &r2]).unwrap();
+        let obj = agg(&[4.0, 9.0]);
+        let w_prep = prepared.learn_weights(&obj).unwrap();
+        let w_once = ga.learn_weights(&obj, &[&r1, &r2]).unwrap();
+        for (p, q) in w_prep.iter().zip(&w_once) {
+            assert!((p - q).abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let r = make_ref("a", &[&[1.0, 2.0], &[3.0, 4.0]]);
+        let prepared = GeoAlign::new().prepare(&[&r]).unwrap();
+        assert!(matches!(
+            prepared.apply(&agg(&[1.0])),
+            Err(CoreError::SourceMismatch { .. })
+        ));
+        assert!(GeoAlign::new().prepare(&[]).is_err());
+    }
+
+    #[test]
+    fn snapshot_metadata_is_exposed() {
+        let r = make_ref("pop", &[&[1.0, 2.0, 0.0], &[3.0, 0.0, 4.0]]);
+        let prepared = GeoAlign::new().prepare(&[&r]).unwrap();
+        assert_eq!(prepared.n_source(), 2);
+        assert_eq!(prepared.n_target(), 3);
+        assert_eq!(prepared.references().len(), 1);
+        assert_eq!(prepared.references()[0].name(), "pop");
+    }
+}

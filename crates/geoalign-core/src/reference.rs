@@ -36,7 +36,11 @@ impl ReferenceData {
     /// the source aggregates as the matrix's row sums (always consistent).
     pub fn from_dm(name: impl Into<String>, dm: DisaggregationMatrix) -> Result<Self, CoreError> {
         let source = dm.source_aggregates().map_err(CoreError::Partition)?;
-        Ok(Self { name: name.into(), source, dm })
+        Ok(Self {
+            name: name.into(),
+            source,
+            dm,
+        })
     }
 
     /// Reference name.
@@ -105,7 +109,11 @@ pub fn validate_references(
 mod tests {
     use super::*;
 
-    fn dm(n_source: usize, n_target: usize, triples: &[(usize, usize, f64)]) -> DisaggregationMatrix {
+    fn dm(
+        n_source: usize,
+        n_target: usize,
+        triples: &[(usize, usize, f64)],
+    ) -> DisaggregationMatrix {
         DisaggregationMatrix::from_triples("r", n_source, n_target, triples.iter().copied())
             .unwrap()
     }
@@ -148,8 +156,9 @@ mod tests {
     #[test]
     fn with_source_swaps_aggregates() {
         let r = ReferenceData::from_dm("r", dm(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)])).unwrap();
-        let swapped =
-            r.with_source(AggregateVector::new("r", vec![5.0, 6.0]).unwrap()).unwrap();
+        let swapped = r
+            .with_source(AggregateVector::new("r", vec![5.0, 6.0]).unwrap())
+            .unwrap();
         assert_eq!(swapped.source().values(), &[5.0, 6.0]);
         assert_eq!(swapped.dm().nnz(), r.dm().nnz());
     }

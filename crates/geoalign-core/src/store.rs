@@ -1,0 +1,378 @@
+//! A sharded, concurrency-friendly cache of [`PreparedCrosswalk`]s.
+//!
+//! The serving layer answers many crosswalk queries against few distinct
+//! (source system, target system, reference set) combinations, so the
+//! expensive prepare half of the prepare/apply split is cached here.
+//! Entries are keyed by the two system names plus a fingerprint of the
+//! reference set, so re-registering different references under the same
+//! system pair can never serve a stale snapshot.
+//!
+//! The map is split into [`SHARDS`] independent `RwLock`ed shards hashed
+//! by key, so concurrent readers on different crosswalks never contend on
+//! one lock, and readers of the *same* crosswalk share a read lock.
+//! Hit/miss/eviction counters are lock-free atomics. Eviction is
+//! approximate LRU over last-used stamps from a global atomic clock.
+
+use crate::error::CoreError;
+use crate::prepare::PreparedCrosswalk;
+use crate::reference::ReferenceData;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent lock shards.
+const SHARDS: usize = 16;
+
+/// Identity of one cached crosswalk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CrosswalkKey {
+    /// Name of the source unit system (e.g. `"zip"`).
+    pub source: String,
+    /// Name of the target unit system (e.g. `"county"`).
+    pub target: String,
+    /// Fingerprint of the exact reference set the snapshot was prepared
+    /// from (see [`fingerprint_references`]).
+    pub fingerprint: u64,
+}
+
+impl CrosswalkKey {
+    /// Key for `source → target` over the given reference set.
+    pub fn new(
+        source: impl Into<String>,
+        target: impl Into<String>,
+        refs: &[&ReferenceData],
+    ) -> Self {
+        CrosswalkKey {
+            source: source.into(),
+            target: target.into(),
+            fingerprint: fingerprint_references(refs),
+        }
+    }
+}
+
+/// Content fingerprint of a reference set: FNV-1a over each reference's
+/// name, dimensions, source aggregates, and every disaggregation-matrix
+/// entry (as exact f64 bit patterns). Order-sensitive — the same
+/// references supplied in a different order learn weights in a different
+/// order and are deliberately treated as a different crosswalk.
+pub fn fingerprint_references(refs: &[&ReferenceData]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(refs.len() as u64).to_le_bytes());
+    for r in refs {
+        eat(r.name().as_bytes());
+        eat(&[0xff]); // name terminator so "ab"+"c" != "a"+"bc"
+        eat(&(r.n_source() as u64).to_le_bytes());
+        eat(&(r.n_target() as u64).to_le_bytes());
+        for v in r.source().values() {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        for (i, j, v) in r.dm().matrix().iter() {
+            eat(&(i as u64).to_le_bytes());
+            eat(&(j as u64).to_le_bytes());
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+struct Entry {
+    prepared: Arc<PreparedCrosswalk>,
+    last_used: AtomicU64,
+}
+
+/// Counter snapshot of a [`CrosswalkStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+impl StoreStats {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded concurrent cache of prepared crosswalks. All methods take
+/// `&self`; the store is meant to be shared as an `Arc` across serving
+/// threads.
+pub struct CrosswalkStore {
+    shards: Vec<RwLock<HashMap<CrosswalkKey, Entry>>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for CrosswalkStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("CrosswalkStore")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl CrosswalkStore {
+    /// Store holding at most `capacity` prepared crosswalks (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CrosswalkStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CrosswalkKey) -> &RwLock<HashMap<CrosswalkKey, Entry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up a prepared crosswalk, counting a hit or miss.
+    pub fn get(&self, key: &CrosswalkKey) -> Option<Arc<PreparedCrosswalk>> {
+        let shard = self.shard(key).read().unwrap_or_else(|e| e.into_inner());
+        match shard.get(key) {
+            Some(entry) => {
+                entry.last_used.store(self.tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.prepared))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a prepared crosswalk, evicting the
+    /// least-recently-used entries if the store grows past capacity.
+    pub fn insert(&self, key: CrosswalkKey, prepared: Arc<PreparedCrosswalk>) {
+        let entry = Entry {
+            prepared,
+            last_used: AtomicU64::new(self.tick()),
+        };
+        {
+            let mut shard = self.shard(&key).write().unwrap_or_else(|e| e.into_inner());
+            shard.insert(key, entry);
+        }
+        self.evict_over_capacity();
+    }
+
+    /// Cache-through lookup: returns the cached snapshot or prepares one
+    /// with `prepare`, stores it, and returns it. The boolean is `true`
+    /// on a hit. `prepare` runs outside any shard lock, so a slow prepare
+    /// never blocks readers; two threads racing on the same cold key may
+    /// both prepare, with one result winning the insert — acceptable for
+    /// a cache of deterministic values.
+    pub fn get_or_insert_with<F>(
+        &self,
+        key: &CrosswalkKey,
+        prepare: F,
+    ) -> Result<(Arc<PreparedCrosswalk>, bool), CoreError>
+    where
+        F: FnOnce() -> Result<PreparedCrosswalk, CoreError>,
+    {
+        if let Some(found) = self.get(key) {
+            return Ok((found, true));
+        }
+        let prepared = Arc::new(prepare()?);
+        self.insert(key.clone(), Arc::clone(&prepared));
+        Ok((prepared, false))
+    }
+
+    /// Drops the entry for `key`, if present. Used when a reference set
+    /// is re-registered.
+    pub fn invalidate(&self, key: &CrosswalkKey) -> bool {
+        let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
+        shard.remove(key).is_some()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Evicts approximate-LRU entries until the store fits its capacity.
+    fn evict_over_capacity(&self) {
+        while self.len() > self.capacity {
+            // Find the globally oldest stamp under read locks...
+            let mut victim: Option<(usize, CrosswalkKey, u64)> = None;
+            for (s, shard) in self.shards.iter().enumerate() {
+                let shard = shard.read().unwrap_or_else(|e| e.into_inner());
+                for (key, entry) in shard.iter() {
+                    let stamp = entry.last_used.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|(_, _, best)| stamp < *best) {
+                        victim = Some((s, key.clone(), stamp));
+                    }
+                }
+            }
+            // ...then remove it under the shard's write lock. A concurrent
+            // touch between the scan and the removal makes this merely
+            // approximate LRU, which is fine for a cache.
+            let Some((s, key, _)) = victim else { break };
+            let removed = {
+                let mut shard = self.shards[s].write().unwrap_or_else(|e| e.into_inner());
+                shard.remove(&key).is_some()
+            };
+            if removed {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::GeoAlign;
+    use geoalign_partition::DisaggregationMatrix;
+
+    fn make_ref(name: &str, scale: f64) -> ReferenceData {
+        let dm = DisaggregationMatrix::from_triples(
+            name,
+            2,
+            2,
+            [(0, 0, scale), (0, 1, 2.0 * scale), (1, 1, 3.0 * scale)],
+        )
+        .unwrap();
+        ReferenceData::from_dm(name, dm).unwrap()
+    }
+
+    fn prepared(r: &ReferenceData) -> Arc<PreparedCrosswalk> {
+        Arc::new(GeoAlign::new().prepare(&[r]).unwrap())
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        let a = make_ref("pop", 1.0);
+        let b = make_ref("pop", 2.0); // same name, different values
+        let c = make_ref("jobs", 1.0); // different name, same values
+        let fa = fingerprint_references(&[&a]);
+        assert_eq!(fa, fingerprint_references(&[&a]));
+        assert_ne!(fa, fingerprint_references(&[&b]));
+        assert_ne!(fa, fingerprint_references(&[&c]));
+        assert_ne!(
+            fingerprint_references(&[&a, &c]),
+            fingerprint_references(&[&c, &a])
+        );
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let store = CrosswalkStore::new(8);
+        let r = make_ref("pop", 1.0);
+        let key = CrosswalkKey::new("zip", "county", &[&r]);
+        assert!(store.get(&key).is_none());
+        store.insert(key.clone(), prepared(&r));
+        assert!(store.get(&key).is_some());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let store = CrosswalkStore::new(2);
+        let refs: Vec<ReferenceData> = (0..5)
+            .map(|k| make_ref(&format!("r{k}"), k as f64 + 1.0))
+            .collect();
+        let keys: Vec<CrosswalkKey> = refs
+            .iter()
+            .map(|r| CrosswalkKey::new("zip", "county", &[r]))
+            .collect();
+        store.insert(keys[0].clone(), prepared(&refs[0]));
+        store.insert(keys[1].clone(), prepared(&refs[1]));
+        // Touch key 0 so key 1 is the LRU when key 2 arrives.
+        assert!(store.get(&keys[0]).is_some());
+        store.insert(keys[2].clone(), prepared(&refs[2]));
+        assert_eq!(store.len(), 2);
+        assert!(store.get(&keys[1]).is_none(), "LRU entry should be evicted");
+        assert!(store.get(&keys[0]).is_some());
+        let stats = store.stats();
+        assert_eq!(stats.evictions, 1);
+        store.insert(keys[3].clone(), prepared(&refs[3]));
+        store.insert(keys[4].clone(), prepared(&refs[4]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 3);
+    }
+
+    #[test]
+    fn get_or_insert_with_prepares_once_per_key() {
+        let store = CrosswalkStore::new(4);
+        let r = make_ref("pop", 1.0);
+        let key = CrosswalkKey::new("zip", "county", &[&r]);
+        let ga = GeoAlign::new();
+        let (first, hit1) = store
+            .get_or_insert_with(&key, || ga.prepare(&[&r]))
+            .unwrap();
+        assert!(!hit1);
+        let (second, hit2) = store
+            .get_or_insert_with(&key, || panic!("must not re-prepare"))
+            .unwrap();
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn invalidate_removes_entries() {
+        let store = CrosswalkStore::new(4);
+        let r = make_ref("pop", 1.0);
+        let key = CrosswalkKey::new("zip", "county", &[&r]);
+        store.insert(key.clone(), prepared(&r));
+        assert!(store.invalidate(&key));
+        assert!(!store.invalidate(&key));
+        assert!(store.is_empty());
+    }
+}

@@ -78,7 +78,11 @@ pub struct CatalogSize {
 impl CatalogSize {
     /// A small size for tests and CI (sub-second generation).
     pub fn small() -> Self {
-        Self { n_source: 120, n_target: 12, base_points: 8_000 }
+        Self {
+            n_source: 120,
+            n_target: 12,
+            base_points: 8_000,
+        }
     }
 
     /// New York State at the paper's unit counts (1,794 zips / 62
@@ -86,13 +90,21 @@ impl CatalogSize {
     /// hundred records per source unit, comparable to the census-backed
     /// real data's effective resolution.
     pub fn paper_ny() -> Self {
-        Self { n_source: 1_794, n_target: 62, base_points: 900_000 }
+        Self {
+            n_source: 1_794,
+            n_target: 62,
+            base_points: 900_000,
+        }
     }
 
     /// United States at the paper's unit counts (30,238 zips / 3,142
     /// counties).
     pub fn paper_us() -> Self {
-        Self { n_source: 30_238, n_target: 3_142, base_points: 6_000_000 }
+        Self {
+            n_source: 30_238,
+            n_target: 3_142,
+            base_points: 6_000_000,
+        }
     }
 
     /// A proportionally scaled copy (`scale` in `(0, 1]`).
@@ -139,27 +151,165 @@ struct Spec {
 }
 
 const US_SPECS: &[Spec] = &[
-    Spec { name: "Accidents", fraction: 0.12, tilt: 0.85, spread: 2.2, uniform_mix: 0.05, private_mix: 0.08, style: Style::Plain },
+    Spec {
+        name: "Accidents",
+        fraction: 0.12,
+        tilt: 0.85,
+        spread: 2.2,
+        uniform_mix: 0.05,
+        private_mix: 0.08,
+        style: Style::Plain,
+    },
     // "Area (Sq. Miles)" is inserted separately from the overlay.
-    Spec { name: "Cemeteries", fraction: 0.012, tilt: 0.55, spread: 2.0, uniform_mix: 0.12, private_mix: 0.08, style: Style::HardCore { min_dist_frac: 0.004 } },
-    Spec { name: "Population", fraction: 1.0, tilt: 1.0, spread: 1.0, uniform_mix: 0.02, private_mix: 0.02, style: Style::Plain },
-    Spec { name: "Public Buildings", fraction: 0.02, tilt: 0.9, spread: 0.9, uniform_mix: 0.06, private_mix: 0.10, style: Style::Plain },
-    Spec { name: "Shopping Centers", fraction: 0.015, tilt: 1.2, spread: 0.9, uniform_mix: 0.02, private_mix: 0.10, style: Style::Plain },
-    Spec { name: "Starbucks", fraction: 0.008, tilt: 1.5, spread: 0.5, uniform_mix: 0.0, private_mix: 0.08, style: Style::Plain },
-    Spec { name: "USA Uninhabited Places", fraction: 0.02, tilt: 1.0, spread: 1.0, uniform_mix: 0.0, private_mix: 0.0, style: Style::Inverse },
-    Spec { name: "USPS Business Address", fraction: 0.25, tilt: 1.12, spread: 0.7, uniform_mix: 0.01, private_mix: 0.02, style: Style::Plain },
-    Spec { name: "USPS Residential Address", fraction: 0.8, tilt: 1.0, spread: 1.05, uniform_mix: 0.03, private_mix: 0.02, style: Style::Plain },
+    Spec {
+        name: "Cemeteries",
+        fraction: 0.012,
+        tilt: 0.55,
+        spread: 2.0,
+        uniform_mix: 0.12,
+        private_mix: 0.08,
+        style: Style::HardCore {
+            min_dist_frac: 0.004,
+        },
+    },
+    Spec {
+        name: "Population",
+        fraction: 1.0,
+        tilt: 1.0,
+        spread: 1.0,
+        uniform_mix: 0.02,
+        private_mix: 0.02,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "Public Buildings",
+        fraction: 0.02,
+        tilt: 0.9,
+        spread: 0.9,
+        uniform_mix: 0.06,
+        private_mix: 0.10,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "Shopping Centers",
+        fraction: 0.015,
+        tilt: 1.2,
+        spread: 0.9,
+        uniform_mix: 0.02,
+        private_mix: 0.10,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "Starbucks",
+        fraction: 0.008,
+        tilt: 1.5,
+        spread: 0.5,
+        uniform_mix: 0.0,
+        private_mix: 0.08,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "USA Uninhabited Places",
+        fraction: 0.02,
+        tilt: 1.0,
+        spread: 1.0,
+        uniform_mix: 0.0,
+        private_mix: 0.0,
+        style: Style::Inverse,
+    },
+    Spec {
+        name: "USPS Business Address",
+        fraction: 0.25,
+        tilt: 1.12,
+        spread: 0.7,
+        uniform_mix: 0.01,
+        private_mix: 0.02,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "USPS Residential Address",
+        fraction: 0.8,
+        tilt: 1.0,
+        spread: 1.05,
+        uniform_mix: 0.03,
+        private_mix: 0.02,
+        style: Style::Plain,
+    },
 ];
 
 const NY_SPECS: &[Spec] = &[
-    Spec { name: "Attorney Registration", fraction: 0.06, tilt: 1.45, spread: 0.6, uniform_mix: 0.01, private_mix: 0.10, style: Style::Plain },
-    Spec { name: "DMV License Facilities", fraction: 0.006, tilt: 0.7, spread: 1.5, uniform_mix: 0.20, private_mix: 0.12, style: Style::Plain },
-    Spec { name: "Food Service Inspections", fraction: 0.18, tilt: 1.05, spread: 1.0, uniform_mix: 0.03, private_mix: 0.06, style: Style::Plain },
-    Spec { name: "Liquor Licenses", fraction: 0.09, tilt: 1.08, spread: 1.0, uniform_mix: 0.04, private_mix: 0.08, style: Style::Plain },
-    Spec { name: "New York State Restaurants", fraction: 0.05, tilt: 1.05, spread: 1.0, uniform_mix: 0.03, private_mix: 0.07, style: Style::Plain },
-    Spec { name: "Population", fraction: 1.0, tilt: 1.0, spread: 1.0, uniform_mix: 0.02, private_mix: 0.02, style: Style::Plain },
-    Spec { name: "USPS Business Address", fraction: 0.25, tilt: 1.12, spread: 0.7, uniform_mix: 0.01, private_mix: 0.02, style: Style::Plain },
-    Spec { name: "USPS Residential Address", fraction: 0.8, tilt: 1.0, spread: 1.05, uniform_mix: 0.03, private_mix: 0.02, style: Style::Plain },
+    Spec {
+        name: "Attorney Registration",
+        fraction: 0.06,
+        tilt: 1.45,
+        spread: 0.6,
+        uniform_mix: 0.01,
+        private_mix: 0.10,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "DMV License Facilities",
+        fraction: 0.006,
+        tilt: 0.7,
+        spread: 1.5,
+        uniform_mix: 0.20,
+        private_mix: 0.12,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "Food Service Inspections",
+        fraction: 0.18,
+        tilt: 1.05,
+        spread: 1.0,
+        uniform_mix: 0.03,
+        private_mix: 0.06,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "Liquor Licenses",
+        fraction: 0.09,
+        tilt: 1.08,
+        spread: 1.0,
+        uniform_mix: 0.04,
+        private_mix: 0.08,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "New York State Restaurants",
+        fraction: 0.05,
+        tilt: 1.05,
+        spread: 1.0,
+        uniform_mix: 0.03,
+        private_mix: 0.07,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "Population",
+        fraction: 1.0,
+        tilt: 1.0,
+        spread: 1.0,
+        uniform_mix: 0.02,
+        private_mix: 0.02,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "USPS Business Address",
+        fraction: 0.25,
+        tilt: 1.12,
+        spread: 0.7,
+        uniform_mix: 0.01,
+        private_mix: 0.02,
+        style: Style::Plain,
+    },
+    Spec {
+        name: "USPS Residential Address",
+        fraction: 0.8,
+        tilt: 1.0,
+        spread: 1.05,
+        uniform_mix: 0.03,
+        private_mix: 0.02,
+        style: Style::Plain,
+    },
 ];
 
 /// Builds the paired unit systems over the settlement structure: seeds are
@@ -176,17 +326,19 @@ fn universe_from_towns(
     let bounds = *towns.bounds();
     let zip_seeds = towns.sample(n_source, 0.6, 5.0, 0.40, rng);
     let county_seeds = towns.sample(n_target, 0.75, 6.0, 0.25, rng);
-    let source = PolygonUnitSystem::from_voronoi(
-        "source",
-        VoronoiDiagram::build(zip_seeds, bounds)?,
-    )?;
-    let target = PolygonUnitSystem::from_voronoi(
-        "target",
-        VoronoiDiagram::build(county_seeds, bounds)?,
-    )?;
+    let source =
+        PolygonUnitSystem::from_voronoi("source", VoronoiDiagram::build(zip_seeds, bounds)?)?;
+    let target =
+        PolygonUnitSystem::from_voronoi("target", VoronoiDiagram::build(county_seeds, bounds)?)?;
     let overlay = Overlay::polygons(&source, &target)?;
     let area_dm = overlay.measure_dm("Area (Sq. Miles)")?;
-    Ok(SyntheticUniverse { name: name.to_owned(), bounds, source, target, area_dm })
+    Ok(SyntheticUniverse {
+        name: name.to_owned(),
+        bounds,
+        source,
+        target,
+        area_dm,
+    })
 }
 
 /// Generates a dataset from its spec over a universe.
@@ -208,8 +360,7 @@ fn generate_dataset(
                 towns.sample(n - n_private, spec.tilt, spec.spread, spec.uniform_mix, rng);
             if n_private > 0 {
                 // Idiosyncratic settlement component private to the dataset.
-                let private =
-                    TownModel::generate(universe.bounds, 8, 1.2, 100.0, 0.01, 0.1, rng);
+                let private = TownModel::generate(universe.bounds, 8, 1.2, 100.0, 0.01, 0.1, rng);
                 pts.extend(private.sample(n_private, 1.0, 1.0, 0.1, rng));
             }
             pts
@@ -252,7 +403,12 @@ fn area_dataset(universe: &SyntheticUniverse) -> Result<SyntheticDataset, Partit
     let dm = universe.area_dm.renamed("Area (Sq. Miles)");
     let source = dm.source_aggregates()?;
     let target_truth = dm.matrix().col_sums();
-    Ok(SyntheticDataset { name: "Area (Sq. Miles)".to_owned(), source, target_truth, dm })
+    Ok(SyntheticDataset {
+        name: "Area (Sq. Miles)".to_owned(),
+        source,
+        target_truth,
+        dm,
+    })
 }
 
 fn build_catalog(
@@ -273,11 +429,22 @@ fn build_catalog(
     // few metropolises, as in real demography.
     let n_towns = (size.n_source / 3).max(12);
     let towns = TownModel::generate(bounds, n_towns, 1.05, 20_000.0, 0.0035, 0.02, &mut rng);
-    let universe =
-        universe_from_towns(universe_name, &towns, size.n_source, size.n_target, &mut rng)?;
+    let universe = universe_from_towns(
+        universe_name,
+        &towns,
+        size.n_source,
+        size.n_target,
+        &mut rng,
+    )?;
     let mut datasets = Vec::with_capacity(specs.len() + 1);
     for spec in specs {
-        datasets.push(generate_dataset(spec, &universe, &towns, size.base_points, &mut rng)?);
+        datasets.push(generate_dataset(
+            spec,
+            &universe,
+            &towns,
+            size.base_points,
+            &mut rng,
+        )?);
     }
     if include_area_dataset {
         datasets.push(area_dataset(&universe)?);

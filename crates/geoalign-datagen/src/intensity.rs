@@ -65,7 +65,11 @@ impl HotspotField {
         // Upper bound: background plus the sum of peak contributions (the
         // true max is at most this; cheap and safe for rejection sampling).
         let max_cache = background + hotspots.iter().map(|h| h.weight).sum::<f64>();
-        Self { hotspots, background, max_cache }
+        Self {
+            hotspots,
+            background,
+            max_cache,
+        }
     }
 
     /// Samples a field with `n` hotspots inside `bounds`: centers uniform,
@@ -90,7 +94,11 @@ impl HotspotField {
             // Pareto(α = 1.2) truncated: weight in [1, 100].
             let u: f64 = rng.random_range(0.0001..1.0);
             let weight = (u.powf(-1.0 / 1.2)).min(100.0);
-            hotspots.push(Hotspot { center, sigma, weight });
+            hotspots.push(Hotspot {
+                center,
+                sigma,
+                weight,
+            });
         }
         Self::new(hotspots, background)
     }
@@ -223,7 +231,11 @@ mod tests {
     #[test]
     fn hotspot_peaks_at_center() {
         let f = HotspotField::new(
-            vec![Hotspot { center: Point2::new(5.0, 5.0), sigma: 1.0, weight: 10.0 }],
+            vec![Hotspot {
+                center: Point2::new(5.0, 5.0),
+                sigma: 1.0,
+                weight: 10.0,
+            }],
             0.1,
         );
         let at_center = f.intensity(Point2::new(5.0, 5.0));
@@ -253,11 +265,21 @@ mod tests {
     #[test]
     fn power_sharpen_and_flatten() {
         let f = HotspotField::new(
-            vec![Hotspot { center: Point2::new(5.0, 5.0), sigma: 1.0, weight: 4.0 }],
+            vec![Hotspot {
+                center: Point2::new(5.0, 5.0),
+                sigma: 1.0,
+                weight: 4.0,
+            }],
             1.0,
         );
-        let sharp = Power { base: f.clone(), exponent: 2.0 };
-        let flat = Power { base: f.clone(), exponent: 0.5 };
+        let sharp = Power {
+            base: f.clone(),
+            exponent: 2.0,
+        };
+        let flat = Power {
+            base: f.clone(),
+            exponent: 0.5,
+        };
         let peak = Point2::new(5.0, 5.0);
         let edge = Point2::new(0.0, 0.0);
         let contrast = |a: f64, b: f64| a / b;
@@ -283,10 +305,17 @@ mod tests {
     #[test]
     fn inverse_flips_the_field() {
         let f = HotspotField::new(
-            vec![Hotspot { center: Point2::new(5.0, 5.0), sigma: 1.0, weight: 8.0 }],
+            vec![Hotspot {
+                center: Point2::new(5.0, 5.0),
+                sigma: 1.0,
+                weight: 8.0,
+            }],
             0.5,
         );
-        let inv = Inverse { base: f.clone(), floor: 0.01 };
+        let inv = Inverse {
+            base: f.clone(),
+            floor: 0.01,
+        };
         let peak = Point2::new(5.0, 5.0);
         let rural = Point2::new(0.5, 9.5);
         assert!(f.intensity(peak) > f.intensity(rural));

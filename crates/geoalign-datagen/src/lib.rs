@@ -23,4 +23,4 @@ pub mod universe;
 
 pub use datasets::{ny_catalog, us_catalog, CatalogSize, SyntheticCatalog, SyntheticDataset};
 pub use towns::{Town, TownModel};
-pub use universe::{generate_hierarchy, SyntheticUniverse, HierarchyLevel, HIERARCHY};
+pub use universe::{generate_hierarchy, HierarchyLevel, SyntheticUniverse, HIERARCHY};

@@ -180,12 +180,19 @@ mod tests {
     #[test]
     fn intensity_sampling_concentrates_at_hotspots() {
         let field = HotspotField::new(
-            vec![Hotspot { center: Point2::new(2.0, 2.0), sigma: 0.5, weight: 50.0 }],
+            vec![Hotspot {
+                center: Point2::new(2.0, 2.0),
+                sigma: 0.5,
+                weight: 50.0,
+            }],
             0.01,
         );
         let mut rng = StdRng::seed_from_u64(2);
         let pts = sample_intensity(1000, &bounds(), &field, &mut rng);
-        let near = pts.iter().filter(|p| p.dist(Point2::new(2.0, 2.0)) < 1.5).count();
+        let near = pts
+            .iter()
+            .filter(|p| p.dist(Point2::new(2.0, 2.0)) < 1.5)
+            .count();
         assert!(near > 800, "only {near}/1000 near the hotspot");
     }
 

@@ -44,7 +44,13 @@ impl SyntheticUniverse {
         let target = voronoi_system("target", &bounds, n_target, rng)?;
         let overlay = Overlay::polygons(&source, &target)?;
         let area_dm = overlay.measure_dm("Area (Sq. Miles)")?;
-        Ok(Self { name, bounds, source, target, area_dm })
+        Ok(Self {
+            name,
+            bounds,
+            source,
+            target,
+            area_dm,
+        })
     }
 
     /// Number of source units.
@@ -84,7 +90,13 @@ impl SyntheticUniverse {
         let target = adaptive_voronoi_system("target", &bounds, n_target, field, 0.6, 0.30, rng)?;
         let overlay = Overlay::polygons(&source, &target)?;
         let area_dm = overlay.measure_dm("Area (Sq. Miles)")?;
-        Ok(Self { name, bounds, source, target, area_dm })
+        Ok(Self {
+            name,
+            bounds,
+            source,
+            target,
+            area_dm,
+        })
     }
 }
 
@@ -163,12 +175,36 @@ pub struct HierarchyLevel {
 /// x-axes (US: 30,238 zips / 3,142 counties; NY: 1,794 / 62; intermediate
 /// levels interpolated from Census geography).
 pub const HIERARCHY: [HierarchyLevel; 6] = [
-    HierarchyLevel { name: "New York State", n_source: 1_794, n_target: 62 },
-    HierarchyLevel { name: "Mid-Atlantic States", n_source: 4_990, n_target: 150 },
-    HierarchyLevel { name: "Northeast States", n_source: 6_963, n_target: 217 },
-    HierarchyLevel { name: "Eastern Time Zone States", n_source: 14_000, n_target: 1_500 },
-    HierarchyLevel { name: "Non-West States", n_source: 24_000, n_target: 2_700 },
-    HierarchyLevel { name: "United States", n_source: 30_238, n_target: 3_142 },
+    HierarchyLevel {
+        name: "New York State",
+        n_source: 1_794,
+        n_target: 62,
+    },
+    HierarchyLevel {
+        name: "Mid-Atlantic States",
+        n_source: 4_990,
+        n_target: 150,
+    },
+    HierarchyLevel {
+        name: "Northeast States",
+        n_source: 6_963,
+        n_target: 217,
+    },
+    HierarchyLevel {
+        name: "Eastern Time Zone States",
+        n_source: 14_000,
+        n_target: 1_500,
+    },
+    HierarchyLevel {
+        name: "Non-West States",
+        n_source: 24_000,
+        n_target: 2_700,
+    },
+    HierarchyLevel {
+        name: "United States",
+        n_source: 30_238,
+        n_target: 3_142,
+    },
 ];
 
 /// Generates the hierarchy at a fractional `scale` of the paper's unit
@@ -186,7 +222,9 @@ pub fn generate_hierarchy<R: Rng + ?Sized>(
         // Region side proportional to sqrt of unit count.
         let side = (n_source as f64).sqrt();
         let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(side, side));
-        out.push(SyntheticUniverse::generate(level.name, bounds, n_source, n_target, rng)?);
+        out.push(SyntheticUniverse::generate(
+            level.name, bounds, n_source, n_target, rng,
+        )?);
     }
     Ok(out)
 }
@@ -243,10 +281,10 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
-        let a = SyntheticUniverse::generate("a", bounds, 20, 4, &mut StdRng::seed_from_u64(5))
-            .unwrap();
-        let b = SyntheticUniverse::generate("b", bounds, 20, 4, &mut StdRng::seed_from_u64(5))
-            .unwrap();
+        let a =
+            SyntheticUniverse::generate("a", bounds, 20, 4, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b =
+            SyntheticUniverse::generate("b", bounds, 20, 4, &mut StdRng::seed_from_u64(5)).unwrap();
         assert_eq!(a.n_source(), b.n_source());
         assert_eq!(
             a.source.units()[0].vertices(),

@@ -18,7 +18,10 @@ pub struct Aabb {
 impl Aabb {
     /// Box spanning the two corner points (in any order).
     pub fn new(a: Point2, b: Point2) -> Self {
-        Self { min: a.min(b), max: a.max(b) }
+        Self {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// The empty box: contains no point and is the identity for [`Aabb::union`].
@@ -52,7 +55,10 @@ impl Aabb {
 
     /// Smallest box containing both operands.
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Box width (zero if empty).

@@ -28,7 +28,10 @@ impl HalfPlane {
     pub fn bisector(a: Point2, b: Point2) -> Self {
         let normal = b - a;
         let mid = a.midpoint(b);
-        HalfPlane { normal, offset: normal.dot(mid) }
+        HalfPlane {
+            normal,
+            offset: normal.dot(mid),
+        }
     }
 
     /// Half-plane keeping the left side of the directed edge `a -> b`
@@ -38,7 +41,10 @@ impl HalfPlane {
         // the clockwise perpendicular of (b - a).
         let d = b - a;
         let normal = Point2::new(d.y, -d.x);
-        HalfPlane { normal, offset: normal.dot(a) }
+        HalfPlane {
+            normal,
+            offset: normal.dot(a),
+        }
     }
 
     /// Signed distance-like value: negative inside, positive outside
@@ -254,8 +260,14 @@ mod tests {
         // half-planes (keep side is <= 0, so flip normals).
         let start = square(0.0, 0.0, 1.0, 1.0).into_vertices();
         let hps = vec![
-            HalfPlane { normal: Point2::new(-1.0, 0.0), offset: -0.5 }, // x >= 0.5
-            HalfPlane { normal: Point2::new(0.0, -1.0), offset: -0.5 }, // y >= 0.5
+            HalfPlane {
+                normal: Point2::new(-1.0, 0.0),
+                offset: -0.5,
+            }, // x >= 0.5
+            HalfPlane {
+                normal: Point2::new(0.0, -1.0),
+                offset: -0.5,
+            }, // y >= 0.5
         ];
         let p = clip_ring_halfplanes(start, hps).unwrap();
         assert!((p.area() - 0.25).abs() < 1e-12);
@@ -264,7 +276,10 @@ mod tests {
     #[test]
     fn empty_halfplane_clip_returns_none() {
         let start = square(0.0, 0.0, 1.0, 1.0).into_vertices();
-        let hps = vec![HalfPlane { normal: Point2::new(1.0, 0.0), offset: -1.0 }]; // x <= -1
+        let hps = vec![HalfPlane {
+            normal: Point2::new(1.0, 0.0),
+            offset: -1.0,
+        }]; // x <= -1
         assert!(clip_ring_halfplanes(start, hps).is_none());
     }
 

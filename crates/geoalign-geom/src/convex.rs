@@ -88,7 +88,9 @@ mod tests {
             1
         );
         // All collinear: the chain keeps only the two extremes.
-        let line: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64, 2.0 * i as f64)).collect();
+        let line: Vec<Point2> = (0..10)
+            .map(|i| Point2::new(i as f64, 2.0 * i as f64))
+            .collect();
         let hull = convex_hull(&line);
         assert_eq!(hull.len(), 2);
     }
@@ -98,7 +100,9 @@ mod tests {
         // Deterministic pseudo-random points via a simple LCG.
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let pts: Vec<Point2> = (0..200).map(|_| Point2::new(next(), next())).collect();

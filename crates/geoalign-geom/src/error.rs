@@ -74,7 +74,13 @@ mod tests {
             (GeomError::InvertedBounds { axis: 1 }, "axis 1"),
             (GeomError::DimensionMismatch { left: 2, right: 3 }, "2 vs 3"),
             (GeomError::NoSeeds, "at least one seed"),
-            (GeomError::DuplicateSeed { first: 0, second: 7 }, "0 and 7"),
+            (
+                GeomError::DuplicateSeed {
+                    first: 0,
+                    second: 7,
+                },
+                "0 and 7",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

@@ -61,7 +61,16 @@ impl PointGrid {
             items[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
-        Self { bounds, nx, ny, cell_w, cell_h, starts: counts, items, points }
+        Self {
+            bounds,
+            nx,
+            ny,
+            cell_w,
+            cell_h,
+            starts: counts,
+            items,
+            points,
+        }
     }
 
     /// The indexed points, in input order.
@@ -87,7 +96,10 @@ impl PointGrid {
     fn cell_coords(&self, p: Point2) -> (isize, isize) {
         let cx = ((p.x - self.bounds.min.x) / self.cell_w).floor() as isize;
         let cy = ((p.y - self.bounds.min.y) / self.cell_h).floor() as isize;
-        (cx.clamp(0, self.nx as isize - 1), cy.clamp(0, self.ny as isize - 1))
+        (
+            cx.clamp(0, self.nx as isize - 1),
+            cy.clamp(0, self.ny as isize - 1),
+        )
     }
 
     fn bucket(&self, cx: isize, cy: isize) -> &[u32] {
@@ -170,7 +182,11 @@ pub struct NeighborIter<'a> {
 
 impl<'a> NeighborIter<'a> {
     fn new(grid: &'a PointGrid, q: Point2, limit: usize) -> Self {
-        let (qcx, qcy) = if grid.is_empty() { (0, 0) } else { grid.cell_coords(q) };
+        let (qcx, qcy) = if grid.is_empty() {
+            (0, 0)
+        } else {
+            grid.cell_coords(q)
+        };
         let max_ring = grid.nx.max(grid.ny) as isize;
         Self {
             grid,
@@ -282,7 +298,9 @@ mod tests {
         // Deterministic LCG points in the unit square.
         let mut state: u64 = 42;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n).map(|_| Point2::new(next(), next())).collect()
@@ -292,7 +310,10 @@ mod tests {
     fn nearest_matches_brute_force() {
         let pts = cloud(500);
         let grid = PointGrid::build(pts.clone(), 4);
-        for q in cloud(100).into_iter().map(|p| Point2::new(p.x * 1.4 - 0.2, p.y * 1.4 - 0.2)) {
+        for q in cloud(100)
+            .into_iter()
+            .map(|p| Point2::new(p.x * 1.4 - 0.2, p.y * 1.4 - 0.2))
+        {
             let bf = pts
                 .iter()
                 .enumerate()
@@ -331,7 +352,10 @@ mod tests {
     fn neighbors_enumerate_everything_once() {
         let pts = cloud(250);
         let grid = PointGrid::build(pts, 4);
-        let mut seen: Vec<usize> = grid.neighbors(Point2::new(0.3, 0.7)).map(|(i, _)| i).collect();
+        let mut seen: Vec<usize> = grid
+            .neighbors(Point2::new(0.3, 0.7))
+            .map(|(i, _)| i)
+            .collect();
         seen.sort_unstable();
         let expect: Vec<usize> = (0..250).collect();
         assert_eq!(seen, expect);

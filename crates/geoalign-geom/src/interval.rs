@@ -77,7 +77,8 @@ impl Interval {
         if self.length() <= 0.0 {
             return 0.0;
         }
-        self.intersection(other).map_or(0.0, |i| i.length() / self.length())
+        self.intersection(other)
+            .map_or(0.0, |i| i.length() / self.length())
     }
 }
 
@@ -91,7 +92,11 @@ pub fn equal_bins(lo: f64, hi: f64, n: usize) -> Result<Vec<Interval>, GeomError
     (0..n)
         .map(|i| {
             let a = lo + w * i as f64;
-            let b = if i + 1 == n { hi } else { lo + w * (i + 1) as f64 };
+            let b = if i + 1 == n {
+                hi
+            } else {
+                lo + w * (i + 1) as f64
+            };
             Interval::new(a, b)
         })
         .collect()
@@ -119,8 +124,14 @@ mod tests {
     fn construction_rules() {
         assert!(Interval::new(0.0, 1.0).is_ok());
         assert!(Interval::new(1.0, 1.0).is_ok()); // degenerate allowed
-        assert_eq!(Interval::new(2.0, 1.0), Err(GeomError::InvertedBounds { axis: 0 }));
-        assert_eq!(Interval::new(f64::NAN, 1.0), Err(GeomError::NonFiniteCoordinate));
+        assert_eq!(
+            Interval::new(2.0, 1.0),
+            Err(GeomError::InvertedBounds { axis: 0 })
+        );
+        assert_eq!(
+            Interval::new(f64::NAN, 1.0),
+            Err(GeomError::NonFiniteCoordinate)
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl NdBox {
     /// Returns an error when the point dimension does not match.
     pub fn contains(&self, point: &[f64]) -> Result<bool, GeomError> {
         if point.len() != self.dim() {
-            return Err(GeomError::DimensionMismatch { left: self.dim(), right: point.len() });
+            return Err(GeomError::DimensionMismatch {
+                left: self.dim(),
+                right: point.len(),
+            });
         }
         Ok(self.axes.iter().zip(point).all(|(ax, &x)| ax.contains(x)))
     }
@@ -71,7 +74,10 @@ impl NdBox {
     /// disjoint or touch only on a face. Errors on dimension mismatch.
     pub fn intersection(&self, other: &NdBox) -> Result<Option<NdBox>, GeomError> {
         if self.dim() != other.dim() {
-            return Err(GeomError::DimensionMismatch { left: self.dim(), right: other.dim() });
+            return Err(GeomError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
         }
         let mut axes = Vec::with_capacity(self.dim());
         for (a, b) in self.axes.iter().zip(&other.axes) {
@@ -88,7 +94,10 @@ impl NdBox {
 /// per axis, in row-major order (last axis fastest).
 pub fn grid_partition(bounds: &[(f64, f64)], counts: &[usize]) -> Result<Vec<NdBox>, GeomError> {
     if bounds.len() != counts.len() {
-        return Err(GeomError::DimensionMismatch { left: bounds.len(), right: counts.len() });
+        return Err(GeomError::DimensionMismatch {
+            left: bounds.len(),
+            right: counts.len(),
+        });
     }
     let mut per_axis: Vec<Vec<Interval>> = Vec::with_capacity(bounds.len());
     for (&(lo, hi), &n) in bounds.iter().zip(counts) {
@@ -101,7 +110,11 @@ pub fn grid_partition(bounds: &[(f64, f64)], counts: &[usize]) -> Result<Vec<NdB
         return Ok(out);
     }
     loop {
-        let axes: Vec<Interval> = idx.iter().zip(&per_axis).map(|(&i, bins)| bins[i]).collect();
+        let axes: Vec<Interval> = idx
+            .iter()
+            .zip(&per_axis)
+            .map(|(&i, bins)| bins[i])
+            .collect();
         out.push(NdBox::new(axes));
         // Increment the mixed-radix counter, last axis fastest.
         let mut d = counts.len();

@@ -72,7 +72,10 @@ impl Point2 {
     /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
     #[inline]
     pub fn lerp(self, other: Point2, t: f64) -> Point2 {
-        Point2::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+        Point2::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
     }
 
     /// The vector rotated by 90° counter-clockwise.

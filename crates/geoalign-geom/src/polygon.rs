@@ -343,7 +343,9 @@ mod tests {
     #[test]
     fn convexity() {
         assert!(unit_square().is_convex());
-        assert!(Polygon::regular(Point2::ORIGIN, 1.0, 7).unwrap().is_convex());
+        assert!(Polygon::regular(Point2::ORIGIN, 1.0, 7)
+            .unwrap()
+            .is_convex());
         // An L-shape is not convex.
         let l = Polygon::new(vec![
             Point2::new(0.0, 0.0),
@@ -446,16 +448,41 @@ mod tests {
         let o = Point2::new(0.0, 0.0);
         let e = Point2::new(2.0, 2.0);
         // Proper crossing.
-        assert!(segments_intersect(o, e, Point2::new(0.0, 2.0), Point2::new(2.0, 0.0)));
+        assert!(segments_intersect(
+            o,
+            e,
+            Point2::new(0.0, 2.0),
+            Point2::new(2.0, 0.0)
+        ));
         // Touching at endpoint.
         assert!(segments_intersect(o, e, e, Point2::new(3.0, 0.0)));
         // Collinear overlap.
-        assert!(segments_intersect(o, e, Point2::new(1.0, 1.0), Point2::new(3.0, 3.0)));
+        assert!(segments_intersect(
+            o,
+            e,
+            Point2::new(1.0, 1.0),
+            Point2::new(3.0, 3.0)
+        ));
         // Collinear disjoint.
-        assert!(!segments_intersect(o, Point2::new(1.0, 1.0), Point2::new(1.5, 1.5), e));
+        assert!(!segments_intersect(
+            o,
+            Point2::new(1.0, 1.0),
+            Point2::new(1.5, 1.5),
+            e
+        ));
         // Parallel disjoint.
-        assert!(!segments_intersect(o, e, Point2::new(0.0, 1.0), Point2::new(1.0, 2.0)));
+        assert!(!segments_intersect(
+            o,
+            e,
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 2.0)
+        ));
         // Fully disjoint.
-        assert!(!segments_intersect(o, Point2::new(1.0, 0.0), Point2::new(0.0, 1.0), Point2::new(1.0, 2.0)));
+        assert!(!segments_intersect(
+            o,
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 2.0)
+        ));
     }
 }

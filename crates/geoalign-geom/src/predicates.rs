@@ -209,7 +209,10 @@ mod tests {
         let c = Point2::new(0.0, 1.0);
         assert_eq!(orient2d(a, b, c), Orientation::CounterClockwise);
         assert_eq!(orient2d(a, c, b), Orientation::Clockwise);
-        assert_eq!(orient2d(a, b, Point2::new(2.0, 0.0)), Orientation::Collinear);
+        assert_eq!(
+            orient2d(a, b, Point2::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
     }
 
     #[test]
@@ -237,10 +240,7 @@ mod tests {
         let c = Point2::new(24.0, 24.0);
         for i in 0..32 {
             for j in 0..32 {
-                let p = Point2::new(
-                    0.5 + i as f64 * f64::EPSILON,
-                    0.5 + j as f64 * f64::EPSILON,
-                );
+                let p = Point2::new(0.5 + i as f64 * f64::EPSILON, 0.5 + j as f64 * f64::EPSILON);
                 let o1 = orient2d(p, b, c);
                 let o2 = orient2d(p, c, b);
                 // Antisymmetry under swapping b and c.

@@ -36,13 +36,21 @@ impl RTree {
     pub fn build(boxes: &[Aabb]) -> Self {
         let len = boxes.len();
         if len == 0 {
-            return Self { nodes: Vec::new(), root: None, item_boxes: Vec::new(), len: 0 };
+            return Self {
+                nodes: Vec::new(),
+                root: None,
+                item_boxes: Vec::new(),
+                len: 0,
+            };
         }
         // --- Pack leaves ---
         let mut order: Vec<u32> = (0..len as u32).collect();
         // Sort by center-x, tile into vertical slices, sort each by center-y.
         order.sort_by(|&a, &b| {
-            boxes[a as usize].center().x.total_cmp(&boxes[b as usize].center().x)
+            boxes[a as usize]
+                .center()
+                .x
+                .total_cmp(&boxes[b as usize].center().x)
         });
         let leaf_count = len.div_ceil(NODE_CAPACITY);
         let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
@@ -52,14 +60,21 @@ impl RTree {
         for slice in order.chunks(per_slice) {
             let mut slice: Vec<u32> = slice.to_vec();
             slice.sort_by(|&a, &b| {
-                boxes[a as usize].center().y.total_cmp(&boxes[b as usize].center().y)
+                boxes[a as usize]
+                    .center()
+                    .y
+                    .total_cmp(&boxes[b as usize].center().y)
             });
             for group in slice.chunks(NODE_CAPACITY) {
                 let mut bbox = Aabb::empty();
                 for &i in group {
                     bbox = bbox.union(&boxes[i as usize]);
                 }
-                nodes.push(Node { bbox, children: group.to_vec(), is_leaf: true });
+                nodes.push(Node {
+                    bbox,
+                    children: group.to_vec(),
+                    is_leaf: true,
+                });
                 level.push((nodes.len() - 1) as u32);
             }
         }
@@ -94,13 +109,22 @@ impl RTree {
                 for &i in group {
                     bbox = bbox.union(&nodes[i as usize].bbox);
                 }
-                nodes.push(Node { bbox, children: group.to_vec(), is_leaf: false });
+                nodes.push(Node {
+                    bbox,
+                    children: group.to_vec(),
+                    is_leaf: false,
+                });
                 next.push((nodes.len() - 1) as u32);
             }
             level = next;
         }
         let root = level.first().copied();
-        Self { nodes, root, item_boxes: boxes.to_vec(), len }
+        Self {
+            nodes,
+            root,
+            item_boxes: boxes.to_vec(),
+            len,
+        }
     }
 
     /// Number of indexed items.
@@ -115,7 +139,8 @@ impl RTree {
 
     /// Bounding box of the whole tree (empty box when the tree is empty).
     pub fn bbox(&self) -> Aabb {
-        self.root.map_or_else(Aabb::empty, |r| self.nodes[r as usize].bbox)
+        self.root
+            .map_or_else(Aabb::empty, |r| self.nodes[r as usize].bbox)
     }
 
     /// Calls `visit` with the index of every item whose box intersects
@@ -280,7 +305,9 @@ mod tests {
     fn overlapping_random_boxes() {
         let mut state: u64 = 7;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let boxes: Vec<Aabb> = (0..400)

@@ -71,10 +71,12 @@ pub fn triangulate(poly: &Polygon) -> Vec<Triangle> {
                 continue;
             }
             // No other remaining vertex may lie inside the candidate ear.
-            let tri = Triangle { vertices: [a, b, c] };
-            let blocked = indices.iter().any(|&j| {
-                j != ia && j != ib && j != ic && tri.contains(verts[j])
-            });
+            let tri = Triangle {
+                vertices: [a, b, c],
+            };
+            let blocked = indices
+                .iter()
+                .any(|&j| j != ia && j != ib && j != ic && tri.contains(verts[j]));
             if blocked {
                 continue;
             }
@@ -102,11 +104,7 @@ pub fn triangulate(poly: &Polygon) -> Vec<Triangle> {
 /// Samples `n` points uniformly over a polygon's interior: triangulate,
 /// pick triangles with probability proportional to area, then sample each
 /// triangle uniformly. `rand01(k)` supplies uniform-[0,1) variates.
-pub fn sample_uniform(
-    poly: &Polygon,
-    n: usize,
-    mut rand01: impl FnMut() -> f64,
-) -> Vec<Point2> {
+pub fn sample_uniform(poly: &Polygon, n: usize, mut rand01: impl FnMut() -> f64) -> Vec<Point2> {
     let tris = triangulate(poly);
     if tris.is_empty() {
         return Vec::new();
@@ -134,7 +132,9 @@ mod tests {
     fn lcg() -> impl FnMut() -> f64 {
         let mut state: u64 = 0xC0FFEE;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         }
     }
@@ -156,7 +156,11 @@ mod tests {
     #[test]
     fn triangle_basics() {
         let t = Triangle {
-            vertices: [Point2::new(0.0, 0.0), Point2::new(2.0, 0.0), Point2::new(0.0, 2.0)],
+            vertices: [
+                Point2::new(0.0, 0.0),
+                Point2::new(2.0, 0.0),
+                Point2::new(0.0, 2.0),
+            ],
         };
         assert_eq!(t.area(), 2.0);
         assert!(t.contains(Point2::new(0.5, 0.5)));
@@ -248,7 +252,11 @@ mod tests {
     #[test]
     fn triangle_sampler_folds_into_the_triangle() {
         let t = Triangle {
-            vertices: [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(0.0, 1.0)],
+            vertices: [
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0),
+            ],
         };
         // u + v > 1 folds back inside.
         let p = t.sample(0.9, 0.9);

@@ -54,10 +54,7 @@ impl VoronoiDiagram {
             ring.clear();
             ring.extend_from_slice(&rect);
             // Circumradius of the current cell around its seed.
-            let mut radius_sq = ring
-                .iter()
-                .map(|v| v.dist_sq(seed))
-                .fold(0.0f64, f64::max);
+            let mut radius_sq = ring.iter().map(|v| v.dist_sq(seed)).fold(0.0f64, f64::max);
 
             let mut it = grid.neighbors(seed);
             while let Some((j, d2)) = it.next() {
@@ -97,7 +94,11 @@ impl VoronoiDiagram {
             let cell = Polygon::new(ring.clone()).map_err(|_| GeomError::DegenerateRing)?;
             cells.push(cell);
         }
-        Ok(Self { seeds, cells, bounds })
+        Ok(Self {
+            seeds,
+            cells,
+            bounds,
+        })
     }
 
     /// Builds a diagram from seeds scattered on a jittered grid — the
@@ -177,7 +178,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut(u64) -> f64 {
         let mut state = seed | 1;
         move |_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         }
     }
@@ -210,7 +213,13 @@ mod tests {
             unit_bounds(),
         )
         .unwrap_err();
-        assert_eq!(e, GeomError::DuplicateSeed { first: 0, second: 1 });
+        assert_eq!(
+            e,
+            GeomError::DuplicateSeed {
+                first: 0,
+                second: 1
+            }
+        );
         assert_eq!(
             VoronoiDiagram::build(vec![], unit_bounds()).unwrap_err(),
             GeomError::NoSeeds
@@ -222,7 +231,10 @@ mod tests {
         let d = VoronoiDiagram::jittered_grid(unit_bounds(), 8, 8, 0.4, lcg(99)).unwrap();
         assert_eq!(d.len(), 64);
         let total: f64 = d.cells().iter().map(Polygon::area).sum();
-        assert!((total - 1.0).abs() < 1e-9, "areas must sum to the universe: {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "areas must sum to the universe: {total}"
+        );
         // All cells are convex and inside bounds.
         for c in d.cells() {
             assert!(c.is_convex());
@@ -234,7 +246,10 @@ mod tests {
     fn each_cell_contains_its_seed_and_no_other() {
         let d = VoronoiDiagram::jittered_grid(unit_bounds(), 6, 6, 0.45, lcg(7)).unwrap();
         for (i, cell) in d.cells().iter().enumerate() {
-            assert!(cell.contains(d.seeds()[i]), "cell {i} must contain its seed");
+            assert!(
+                cell.contains(d.seeds()[i]),
+                "cell {i} must contain its seed"
+            );
         }
         // Interior sample points belong to the cell of their nearest seed.
         let mut r = lcg(1234);
@@ -264,7 +279,9 @@ mod tests {
 
     #[test]
     fn collinear_seeds() {
-        let seeds: Vec<Point2> = (0..5).map(|i| Point2::new(0.1 + 0.2 * i as f64, 0.5)).collect();
+        let seeds: Vec<Point2> = (0..5)
+            .map(|i| Point2::new(0.1 + 0.2 * i as f64, 0.5))
+            .collect();
         let d = VoronoiDiagram::build(seeds, unit_bounds()).unwrap();
         let total: f64 = d.cells().iter().map(Polygon::area).sum();
         assert!((total - 1.0).abs() < 1e-12);

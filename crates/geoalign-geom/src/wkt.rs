@@ -75,7 +75,9 @@ pub fn polygon_to_wkt(poly: &Polygon) -> String {
 pub fn point_from_wkt(text: &str) -> Result<Point2, WktError> {
     let (tag, body) = split_tag(text)?;
     if !tag.eq_ignore_ascii_case("POINT") {
-        return Err(WktError::UnsupportedGeometry { tag: tag.to_owned() });
+        return Err(WktError::UnsupportedGeometry {
+            tag: tag.to_owned(),
+        });
     }
     let inner = strip_parens(body)?;
     parse_coord(inner.trim())
@@ -85,13 +87,17 @@ pub fn point_from_wkt(text: &str) -> Result<Point2, WktError> {
 pub fn polygon_from_wkt(text: &str) -> Result<Polygon, WktError> {
     let (tag, body) = split_tag(text)?;
     if !tag.eq_ignore_ascii_case("POLYGON") {
-        return Err(WktError::UnsupportedGeometry { tag: tag.to_owned() });
+        return Err(WktError::UnsupportedGeometry {
+            tag: tag.to_owned(),
+        });
     }
     let outer = strip_parens(body)?;
     // outer now holds one or more parenthesized rings separated by commas.
     let rings = split_rings(outer)?;
     if rings.is_empty() {
-        return Err(WktError::Malformed { what: "polygon has no rings" });
+        return Err(WktError::Malformed {
+            what: "polygon has no rings",
+        });
     }
     if rings.len() > 1 {
         return Err(WktError::HolesUnsupported);
@@ -106,9 +112,9 @@ pub fn polygon_from_wkt(text: &str) -> Result<Polygon, WktError> {
 /// Splits `TAG (...)` into the tag and the parenthesized remainder.
 fn split_tag(text: &str) -> Result<(&str, &str), WktError> {
     let trimmed = text.trim();
-    let open = trimmed
-        .find('(')
-        .ok_or(WktError::Malformed { what: "missing '('" })?;
+    let open = trimmed.find('(').ok_or(WktError::Malformed {
+        what: "missing '('",
+    })?;
     Ok((trimmed[..open].trim(), trimmed[open..].trim()))
 }
 
@@ -116,7 +122,9 @@ fn split_tag(text: &str) -> Result<(&str, &str), WktError> {
 fn strip_parens(text: &str) -> Result<&str, WktError> {
     let t = text.trim();
     if !t.starts_with('(') || !t.ends_with(')') {
-        return Err(WktError::Malformed { what: "expected parenthesized body" });
+        return Err(WktError::Malformed {
+            what: "expected parenthesized body",
+        });
     }
     Ok(&t[1..t.len() - 1])
 }
@@ -136,11 +144,15 @@ fn split_rings(body: &str) -> Result<Vec<&str>, WktError> {
             }
             ')' => {
                 if depth == 0 {
-                    return Err(WktError::Malformed { what: "unbalanced ')'" });
+                    return Err(WktError::Malformed {
+                        what: "unbalanced ')'",
+                    });
                 }
                 depth -= 1;
                 if depth == 0 {
-                    let s = start.take().ok_or(WktError::Malformed { what: "ring state" })?;
+                    let s = start
+                        .take()
+                        .ok_or(WktError::Malformed { what: "ring state" })?;
                     rings.push(&body[s..i]);
                 }
             }
@@ -148,7 +160,9 @@ fn split_rings(body: &str) -> Result<Vec<&str>, WktError> {
         }
     }
     if depth != 0 {
-        return Err(WktError::Malformed { what: "unbalanced '('" });
+        return Err(WktError::Malformed {
+            what: "unbalanced '('",
+        });
     }
     Ok(rings)
 }
@@ -156,10 +170,16 @@ fn split_rings(body: &str) -> Result<Vec<&str>, WktError> {
 fn parse_coord(token: &str) -> Result<Point2, WktError> {
     let mut parts = token.split_whitespace();
     let (Some(xs), Some(ys), None) = (parts.next(), parts.next(), parts.next()) else {
-        return Err(WktError::BadCoordinate { token: token.to_owned() });
+        return Err(WktError::BadCoordinate {
+            token: token.to_owned(),
+        });
     };
-    let x: f64 = xs.parse().map_err(|_| WktError::BadCoordinate { token: token.to_owned() })?;
-    let y: f64 = ys.parse().map_err(|_| WktError::BadCoordinate { token: token.to_owned() })?;
+    let x: f64 = xs.parse().map_err(|_| WktError::BadCoordinate {
+        token: token.to_owned(),
+    })?;
+    let y: f64 = ys.parse().map_err(|_| WktError::BadCoordinate {
+        token: token.to_owned(),
+    })?;
     Ok(Point2::new(x, y))
 }
 
@@ -173,7 +193,10 @@ mod tests {
         let wkt = point_to_wkt(p);
         assert_eq!(wkt, "POINT (1.5 -2.25)");
         assert_eq!(point_from_wkt(&wkt).unwrap(), p);
-        assert_eq!(point_from_wkt("  point ( 3 4 ) ").unwrap(), Point2::new(3.0, 4.0));
+        assert_eq!(
+            point_from_wkt("  point ( 3 4 ) ").unwrap(),
+            Point2::new(3.0, 4.0)
+        );
     }
 
     #[test]

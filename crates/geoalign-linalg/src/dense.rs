@@ -15,7 +15,11 @@ pub struct DMatrix {
 impl DMatrix {
     /// All-zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -270,7 +274,11 @@ impl HouseholderQr {
             return Err(LinalgError::Empty);
         }
         if m < n {
-            return Err(LinalgError::ShapeMismatch { op: "qr", left: (m, n), right: (n, n) });
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr",
+                left: (m, n),
+                right: (n, n),
+            });
         }
         let mut qr = a.clone();
         let mut tau = vec![0.0; n];
@@ -419,8 +427,8 @@ mod tests {
 
     #[test]
     fn cholesky_solves_spd_system() {
-        let a = DMatrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
-            .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]]).unwrap();
         let ch = Cholesky::new(&a).unwrap();
         let x_true = vec![1.0, -2.0, 3.0];
         let b = a.matvec(&x_true).unwrap();
@@ -512,8 +520,12 @@ mod tests {
             Ok(x) => {
                 assert!(x.iter().all(|v| v.is_finite()));
                 let ax = a.matvec(&x).unwrap();
-                let resid: f64 =
-                    ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+                let resid: f64 = ax
+                    .iter()
+                    .zip(&b)
+                    .map(|(p, q)| (p - q) * (p - q))
+                    .sum::<f64>()
+                    .sqrt();
                 assert!(resid < 1e-8, "residual {resid} for {x:?}");
             }
         }

@@ -64,10 +64,16 @@ mod tests {
 
     #[test]
     fn display_contains_context() {
-        let e = LinalgError::ShapeMismatch { op: "matmul", left: (2, 3), right: (4, 5) };
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
         let s = e.to_string();
         assert!(s.contains("matmul") && s.contains("2x3") && s.contains("4x5"));
         assert!(LinalgError::Singular.to_string().contains("singular"));
-        assert!(LinalgError::DidNotConverge { iterations: 10 }.to_string().contains("10"));
+        assert!(LinalgError::DidNotConverge { iterations: 10 }
+            .to_string()
+            .contains("10"));
     }
 }

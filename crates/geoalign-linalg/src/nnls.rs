@@ -29,7 +29,11 @@ pub fn nnls(a: &DMatrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
         return Err(LinalgError::Empty);
     }
     if b.len() != m {
-        return Err(LinalgError::ShapeMismatch { op: "nnls", left: (m, n), right: (b.len(), 1) });
+        return Err(LinalgError::ShapeMismatch {
+            op: "nnls",
+            left: (m, n),
+            right: (b.len(), 1),
+        });
     }
     if b.iter().any(|v| !v.is_finite()) {
         return Err(LinalgError::NonFinite);
@@ -128,7 +132,11 @@ pub fn nnls(a: &DMatrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
     }
 
     let residual_norm = crate::dense::norm2(&resid);
-    Ok(NnlsSolution { x, residual_norm, iterations })
+    Ok(NnlsSolution {
+        x,
+        residual_norm,
+        iterations,
+    })
 }
 
 /// Verifies the KKT conditions of an NNLS solution up to `tol`:
@@ -244,7 +252,9 @@ mod tests {
     fn random_problems_satisfy_kkt() {
         let mut state: u64 = 0xDEADBEEF;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..30 {

@@ -49,6 +49,74 @@ pub enum SimplexSolver {
     ActiveSet,
 }
 
+/// The objective's value-independent normal-equations state: the Gram
+/// matrix `G = AᵀA` plus the norms the solvers use for scaling. Building
+/// it costs `O(n²m)`; afterwards each solve over the same design matrix
+/// only needs the `O(nm)` right-hand-side products `Aᵀb` and `bᵀb` — the
+/// *prepare* half of the prepare/apply split used by
+/// `geoalign_core`'s `PreparedCrosswalk`.
+#[derive(Debug, Clone)]
+pub struct GramSystem {
+    gram: DMatrix,
+    frobenius: f64,
+}
+
+impl GramSystem {
+    /// Precomputes the Gram state of the design matrix `a`.
+    pub fn new(a: &DMatrix) -> Result<Self, LinalgError> {
+        if a.nrows() == 0 || a.ncols() == 0 {
+            return Err(LinalgError::Empty);
+        }
+        Ok(GramSystem {
+            gram: a.gram(),
+            frobenius: a.frobenius_norm(),
+        })
+    }
+
+    /// Number of columns of the underlying design matrix.
+    pub fn n(&self) -> usize {
+        self.gram.ncols()
+    }
+
+    /// The Gram matrix `AᵀA`.
+    pub fn gram(&self) -> &DMatrix {
+        &self.gram
+    }
+
+    /// `½ ||Aβ − b||²` expressed through the Gram state:
+    /// `½ βᵀGβ − βᵀ(Aᵀb) + ½ bᵀb`.
+    fn objective(&self, beta: &[f64], atb: &[f64], btb: f64) -> Result<f64, LinalgError> {
+        let gb = self.gram.matvec(beta)?;
+        let quad = dot(beta, &gb);
+        let lin = dot(beta, atb);
+        Ok(0.5 * quad - lin + 0.5 * btb)
+    }
+
+    /// Gradient `Aᵀ(Aβ − b) = Gβ − Aᵀb`.
+    fn gradient(&self, beta: &[f64], atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut g = self.gram.matvec(beta)?;
+        for (gi, ci) in g.iter_mut().zip(atb) {
+            *gi -= ci;
+        }
+        Ok(g)
+    }
+}
+
+/// Validates the per-query right-hand-side pair for a Gram-state solve.
+fn validate_rhs(gs: &GramSystem, atb: &[f64], btb: f64) -> Result<(), LinalgError> {
+    if atb.len() != gs.n() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "simplex_ls_gram",
+            left: (gs.n(), 1),
+            right: (atb.len(), 1),
+        });
+    }
+    if !btb.is_finite() || atb.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite);
+    }
+    Ok(())
+}
+
 /// Euclidean projection of `v` onto the probability simplex
 /// `{ x : x >= 0, Σx = 1 }` (Duchi, Shalev-Shwartz, Singer, Chandra 2008).
 pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
@@ -84,13 +152,24 @@ pub fn solve_projected_gradient(
     max_iter: usize,
     tol: f64,
 ) -> Result<SimplexLsSolution, LinalgError> {
+    let (gs, atb, btb) = split_problem(a, b, "simplex_ls")?;
+    solve_projected_gradient_gram(&gs, &atb, btb, max_iter, tol)
+}
+
+/// Builds the Gram state and right-hand-side products of one problem,
+/// validating shapes and finiteness on the way.
+fn split_problem(
+    a: &DMatrix,
+    b: &[f64],
+    op: &'static str,
+) -> Result<(GramSystem, Vec<f64>, f64), LinalgError> {
     let (m, n) = (a.nrows(), a.ncols());
     if m == 0 || n == 0 {
         return Err(LinalgError::Empty);
     }
     if b.len() != m {
         return Err(LinalgError::ShapeMismatch {
-            op: "simplex_ls",
+            op,
             left: (m, n),
             right: (b.len(), 1),
         });
@@ -98,12 +177,29 @@ pub fn solve_projected_gradient(
     if b.iter().any(|v| !v.is_finite()) {
         return Err(LinalgError::NonFinite);
     }
+    let gs = GramSystem::new(a)?;
+    let atb = a.tr_matvec(b)?;
+    let btb = dot(b, b);
+    Ok((gs, atb, btb))
+}
+
+/// [`solve_projected_gradient`] on a precomputed Gram state: `atb = Aᵀb`,
+/// `btb = bᵀb`.
+pub fn solve_projected_gradient_gram(
+    gs: &GramSystem,
+    atb: &[f64],
+    btb: f64,
+    max_iter: usize,
+    tol: f64,
+) -> Result<SimplexLsSolution, LinalgError> {
+    validate_rhs(gs, atb, btb)?;
+    let n = gs.n();
 
     // Lipschitz constant of the gradient: λ_max(AᵀA). Power iteration only
     // gives a *lower* bound, and an understated constant makes FISTA
     // oscillate; the Gershgorin row-sum norm of the Gram matrix is a cheap
     // guaranteed upper bound (λ_max ≤ max_i Σ_j |G_ij| for symmetric G).
-    let g = a.gram();
+    let g = gs.gram();
     let mut lmax = 0.0f64;
     for i in 0..n {
         let mut row_sum = 0.0;
@@ -114,16 +210,13 @@ pub fn solve_projected_gradient(
     }
     let step = 1.0 / lmax.max(f64::MIN_POSITIVE);
 
-    let objective = |beta: &[f64]| -> Result<f64, LinalgError> {
-        let ax = a.matvec(beta)?;
-        Ok(0.5 * ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>())
-    };
+    let objective = |beta: &[f64]| -> Result<f64, LinalgError> { gs.objective(beta, atb, btb) };
 
     let mut x = vec![1.0 / n as f64; n];
     let mut y = x.clone();
     let mut t = 1.0f64;
     let mut iterations = 0;
-    let scale = norm2(b).max(1.0);
+    let scale = btb.sqrt().max(1.0);
     // FISTA is not monotone: track the best feasible iterate seen, and
     // restart the momentum when the objective rises (O'Donoghue–Candès
     // adaptive restart), which restores monotone-ish behavior without
@@ -133,10 +226,8 @@ pub fn solve_projected_gradient(
     let mut prev_obj = best_obj;
     for _ in 0..max_iter {
         iterations += 1;
-        // Gradient at y: Aᵀ(Ay − b).
-        let ay = a.matvec(&y)?;
-        let r: Vec<f64> = ay.iter().zip(b).map(|(p, q)| p - q).collect();
-        let grad = a.tr_matvec(&r)?;
+        // Gradient at y: Aᵀ(Ay − b) = Gy − Aᵀb.
+        let grad = gs.gradient(&y, atb)?;
         let mut z: Vec<f64> = y.clone();
         axpy(-step, &grad, &mut z);
         let x_next = project_to_simplex(&z);
@@ -147,7 +238,11 @@ pub fn solve_projected_gradient(
         }
         let restart = obj > prev_obj;
         prev_obj = obj;
-        let t_next = if restart { 1.0 } else { 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt()) };
+        let t_next = if restart {
+            1.0
+        } else {
+            0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt())
+        };
         let momentum = if restart { 0.0 } else { (t - 1.0) / t_next };
         let diff: Vec<f64> = x_next.iter().zip(&x).map(|(p, q)| p - q).collect();
         let delta = norm2(&diff);
@@ -161,7 +256,11 @@ pub fn solve_projected_gradient(
     }
     let beta = project_to_simplex(&best);
     let objective = objective(&beta)?;
-    Ok(SimplexLsSolution { beta, objective, iterations })
+    Ok(SimplexLsSolution {
+        beta,
+        objective,
+        iterations,
+    })
 }
 
 /// Solves Eq. 15 exactly with an active-set method.
@@ -176,33 +275,28 @@ pub fn solve_projected_gradient(
 /// a KKT system, adds the most violated coordinate, and steps back to the
 /// boundary when a coordinate would leave the support.
 pub fn solve_active_set(a: &DMatrix, b: &[f64]) -> Result<SimplexLsSolution, LinalgError> {
-    let (m, n) = (a.nrows(), a.ncols());
-    if m == 0 || n == 0 {
-        return Err(LinalgError::Empty);
-    }
-    if b.len() != m {
-        return Err(LinalgError::ShapeMismatch {
-            op: "simplex_ls_active_set",
-            left: (m, n),
-            right: (b.len(), 1),
-        });
-    }
-    if b.iter().any(|v| !v.is_finite()) {
-        return Err(LinalgError::NonFinite);
-    }
+    let (gs, atb, btb) = split_problem(a, b, "simplex_ls_active_set")?;
+    solve_active_set_gram(&gs, &atb, btb)
+}
 
-    let objective = |beta: &[f64]| -> Result<f64, LinalgError> {
-        let ax = a.matvec(beta)?;
-        Ok(0.5 * ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>())
-    };
+/// [`solve_active_set`] on a precomputed Gram state: `atb = Aᵀb`,
+/// `btb = bᵀb`.
+pub fn solve_active_set_gram(
+    gs: &GramSystem,
+    atb: &[f64],
+    btb: f64,
+) -> Result<SimplexLsSolution, LinalgError> {
+    validate_rhs(gs, atb, btb)?;
+    let n = gs.n();
 
-    // Start from the best single vertex e_k.
+    let objective = |beta: &[f64]| -> Result<f64, LinalgError> { gs.objective(beta, atb, btb) };
+
+    // Start from the best single vertex e_k; on a vertex the objective
+    // reduces to ½G[k,k] − (Aᵀb)[k] + ½bᵀb.
     let mut best_k = 0;
     let mut best_obj = f64::INFINITY;
-    for k in 0..n {
-        let mut e = vec![0.0; n];
-        e[k] = 1.0;
-        let o = objective(&e)?;
+    for (k, &atb_k) in atb.iter().enumerate() {
+        let o = 0.5 * gs.gram()[(k, k)] - atb_k + 0.5 * btb;
         if o < best_obj {
             best_obj = o;
             best_k = k;
@@ -212,7 +306,7 @@ pub fn solve_active_set(a: &DMatrix, b: &[f64]) -> Result<SimplexLsSolution, Lin
     x[best_k] = 1.0;
     let mut support: Vec<bool> = (0..n).map(|j| j == best_k).collect();
 
-    let scale = norm2(b).max(1.0) * a.frobenius_norm().max(1.0);
+    let scale = btb.sqrt().max(1.0) * gs.frobenius.max(1.0);
     let tol = 1e-12 * scale.max(1.0) * (n as f64);
     let max_outer = 4 * n + 32;
     let mut iterations = 0;
@@ -223,7 +317,7 @@ pub fn solve_active_set(a: &DMatrix, b: &[f64]) -> Result<SimplexLsSolution, Lin
         //   min ||A_S z − b||²  s.t.  1ᵀz = 1
         // via the KKT system [G 1; 1ᵀ 0][z; λ] = [A_Sᵀ b; 1].
         let idx: Vec<usize> = (0..n).filter(|&j| support[j]).collect();
-        let z = eq_constrained_ls(a, b, &idx)?;
+        let z = eq_constrained_ls(gs, atb, &idx)?;
         let negative = idx.iter().enumerate().any(|(q, _)| z[q] < -tol);
         if !negative {
             // Accept z on the support.
@@ -232,12 +326,10 @@ pub fn solve_active_set(a: &DMatrix, b: &[f64]) -> Result<SimplexLsSolution, Lin
                 x[j] = z[q].max(0.0);
             }
             renormalize(&mut x);
-            // Check outer KKT: gradient g = Aᵀ(Ax − b); with multiplier λ
-            // for the equality, optimality needs g_j >= λ for all j with
-            // equality on the support. λ = min over support of g_j.
-            let ax = a.matvec(&x)?;
-            let r: Vec<f64> = ax.iter().zip(b).map(|(p, q)| p - q).collect();
-            let g = a.tr_matvec(&r)?;
+            // Check outer KKT: gradient g = Aᵀ(Ax − b) = Gx − Aᵀb; with
+            // multiplier λ for the equality, optimality needs g_j >= λ for
+            // all j with equality on the support. λ = min over support.
+            let g = gs.gradient(&x, atb)?;
             let lambda = idx.iter().map(|&j| g[j]).fold(f64::INFINITY, f64::min);
             let mut enter: Option<(usize, f64)> = None;
             for j in 0..n {
@@ -288,12 +380,17 @@ pub fn solve_active_set(a: &DMatrix, b: &[f64]) -> Result<SimplexLsSolution, Lin
 
     renormalize(&mut x);
     let objective = objective(&x)?;
-    Ok(SimplexLsSolution { beta: x, objective, iterations })
+    Ok(SimplexLsSolution {
+        beta: x,
+        objective,
+        iterations,
+    })
 }
 
 /// Solves `min ||A_S z − b||²` s.t. `Σz = 1` on the columns `idx` via the
-/// KKT linear system, solved with QR on the bordered matrix.
-fn eq_constrained_ls(a: &DMatrix, b: &[f64], idx: &[usize]) -> Result<Vec<f64>, LinalgError> {
+/// KKT linear system, solved with QR on the bordered matrix. Works purely
+/// off the Gram state: `G_S` is a sub-block of `AᵀA` and `c = (Aᵀb)_S`.
+fn eq_constrained_ls(gs: &GramSystem, atb: &[f64], idx: &[usize]) -> Result<Vec<f64>, LinalgError> {
     let k = idx.len();
     if k == 0 {
         return Err(LinalgError::Empty);
@@ -304,17 +401,18 @@ fn eq_constrained_ls(a: &DMatrix, b: &[f64], idx: &[usize]) -> Result<Vec<f64>, 
     // KKT: [G  1][z]   [c]
     //      [1ᵀ 0][λ] = [1]
     // where G = A_Sᵀ A_S and c = A_Sᵀ b.
+    let gram = gs.gram();
     let mut kkt = DMatrix::zeros(k + 1, k + 1);
     for (p, &jp) in idx.iter().enumerate() {
         for (q, &jq) in idx.iter().enumerate() {
-            kkt[(p, q)] = dot(a.column(jp), a.column(jq));
+            kkt[(p, q)] = gram[(jp, jq)];
         }
         kkt[(p, k)] = 1.0;
         kkt[(k, p)] = 1.0;
     }
     let mut rhs = vec![0.0; k + 1];
     for (p, &jp) in idx.iter().enumerate() {
-        rhs[p] = dot(a.column(jp), b);
+        rhs[p] = atb[jp];
     }
     rhs[k] = 1.0;
     let sol = HouseholderQr::new(&kkt)?.solve(&rhs).or_else(|_| {
@@ -354,9 +452,25 @@ pub fn solve(
     b: &[f64],
     solver: SimplexSolver,
 ) -> Result<SimplexLsSolution, LinalgError> {
+    let (gs, atb, btb) = split_problem(a, b, "simplex_ls")?;
+    solve_gram(&gs, &atb, btb, solver)
+}
+
+/// [`solve`] on a precomputed Gram state — the *apply* half of the
+/// prepare/apply split. Because [`solve`] itself routes through this
+/// function, a prepared solve is numerically identical to a one-shot
+/// solve by construction.
+pub fn solve_gram(
+    gs: &GramSystem,
+    atb: &[f64],
+    btb: f64,
+    solver: SimplexSolver,
+) -> Result<SimplexLsSolution, LinalgError> {
     match solver {
-        SimplexSolver::ProjectedGradient => solve_projected_gradient(a, b, 2000, 1e-12),
-        SimplexSolver::ActiveSet => solve_active_set(a, b),
+        SimplexSolver::ProjectedGradient => {
+            solve_projected_gradient_gram(gs, atb, btb, 2000, 1e-12)
+        }
+        SimplexSolver::ActiveSet => solve_active_set_gram(gs, atb, btb),
     }
 }
 
@@ -365,7 +479,10 @@ mod tests {
     use super::*;
 
     fn assert_feasible(beta: &[f64]) {
-        assert!(beta.iter().all(|&v| v >= 0.0), "negative weight in {beta:?}");
+        assert!(
+            beta.iter().all(|&v| v >= 0.0),
+            "negative weight in {beta:?}"
+        );
         let s: f64 = beta.iter().sum();
         assert!((s - 1.0).abs() < 1e-9, "weights sum to {s}");
     }
@@ -393,7 +510,9 @@ mod tests {
     fn projection_is_idempotent_and_feasible() {
         let mut state: u64 = 99;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
         };
         for _ in 0..50 {
@@ -410,13 +529,7 @@ mod tests {
     #[test]
     fn exact_convex_combination_is_recovered() {
         // b = 0.3 col0 + 0.7 col1 exactly; both solvers must find it.
-        let a = DMatrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[2.0, 1.0],
-            &[0.5, 3.0],
-        ])
-        .unwrap();
+        let a = DMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 1.0], &[0.5, 3.0]]).unwrap();
         let beta_true = [0.3, 0.7];
         let b = a.matvec(&beta_true).unwrap();
         for solver in [SimplexSolver::ProjectedGradient, SimplexSolver::ActiveSet] {
@@ -432,12 +545,8 @@ mod tests {
     #[test]
     fn vertex_solution_when_one_reference_dominates() {
         // b equals column 2: optimal beta is the vertex e2.
-        let a = DMatrix::from_rows(&[
-            &[1.0, 0.2, 0.0],
-            &[0.1, 0.9, 1.0],
-            &[0.3, 0.4, 2.0],
-        ])
-        .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[1.0, 0.2, 0.0], &[0.1, 0.9, 1.0], &[0.3, 0.4, 2.0]]).unwrap();
         let b = a.column(2).to_vec();
         for solver in [SimplexSolver::ProjectedGradient, SimplexSolver::ActiveSet] {
             let s = solve(&a, &b, solver).unwrap();
@@ -450,7 +559,9 @@ mod tests {
     fn solvers_agree_on_random_problems() {
         let mut state: u64 = 0xABCDEF;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for trial in 0..25 {
@@ -521,8 +632,7 @@ mod tests {
 
     #[test]
     fn identical_columns_do_not_loop_forever() {
-        let a = DMatrix::from_columns(&[vec![1.0, 2.0], vec![1.0, 2.0], vec![1.0, 2.0]])
-            .unwrap();
+        let a = DMatrix::from_columns(&[vec![1.0, 2.0], vec![1.0, 2.0], vec![1.0, 2.0]]).unwrap();
         let b = vec![1.0, 2.0];
         for solver in [SimplexSolver::ProjectedGradient, SimplexSolver::ActiveSet] {
             let s = solve(&a, &b, solver).unwrap();

@@ -21,16 +21,26 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Empty builder with the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Records `a[i, j] += v`. Entries with `v == 0` are skipped.
     pub fn push(&mut self, i: usize, j: usize, v: f64) -> Result<(), LinalgError> {
         if i >= self.rows {
-            return Err(LinalgError::IndexOutOfBounds { index: i, bound: self.rows });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: i,
+                bound: self.rows,
+            });
         }
         if j >= self.cols {
-            return Err(LinalgError::IndexOutOfBounds { index: j, bound: self.cols });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: j,
+                bound: self.cols,
+            });
         }
         if !v.is_finite() {
             return Err(LinalgError::NonFinite);
@@ -75,7 +85,13 @@ impl CooMatrix {
         }
         let col_idx: Vec<u32> = merged.iter().map(|&(_, j, _)| j).collect();
         let values: Vec<f64> = merged.iter().map(|&(_, _, v)| v).collect();
-        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -92,7 +108,13 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// All-zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -121,7 +143,9 @@ impl CsrMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |i| {
             let (cols, vals) = self.row(i);
-            cols.iter().zip(vals).map(move |(&j, &v)| (i, j as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&j, &v)| (i, j as usize, v))
         })
     }
 
@@ -166,7 +190,10 @@ impl CsrMatrix {
         Ok((0..self.rows)
             .map(|i| {
                 let (cols, vals) = self.row(i);
-                cols.iter().zip(vals).map(|(&j, &v)| v * x[j as usize]).sum()
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&j, &v)| v * x[j as usize])
+                    .sum()
             })
             .collect())
     }
@@ -214,7 +241,13 @@ impl CsrMatrix {
                 cursor[j as usize] += 1;
             }
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Returns a copy with every stored value multiplied by `s`.
@@ -286,14 +319,20 @@ impl CsrMatrix {
     pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Result<CsrMatrix, LinalgError> {
         for &r in rows {
             if r >= self.rows {
-                return Err(LinalgError::IndexOutOfBounds { index: r, bound: self.rows });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: r,
+                    bound: self.rows,
+                });
             }
         }
         // Column remap: old index -> new position.
         let mut remap = vec![usize::MAX; self.cols];
         for (b, &c) in cols.iter().enumerate() {
             if c >= self.cols {
-                return Err(LinalgError::IndexOutOfBounds { index: c, bound: self.cols });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: c,
+                    bound: self.cols,
+                });
             }
             remap[c] = b;
         }
@@ -429,7 +468,7 @@ mod tests {
         let w = CsrMatrix::weighted_sum(&[&a, &b], &[1.0, 0.5]).unwrap();
         assert_eq!(w.get(0, 0), 6.0); // 1 + 0.5*10
         assert_eq!(w.get(2, 1), 24.0); // 4 + 0.5*40
-        // Zero weight skips the matrix entirely.
+                                       // Zero weight skips the matrix entirely.
         let z = CsrMatrix::weighted_sum(&[&a, &b], &[1.0, 0.0]).unwrap();
         assert_eq!(z, a);
         // Shape mismatch and empty inputs error.
@@ -460,7 +499,7 @@ mod tests {
         assert_eq!(sub.get(0, 1), 3.0); // m[2,0]
         assert_eq!(sub.get(1, 1), 1.0); // m[0,0]
         assert_eq!(sub.get(1, 0), 0.0); // m[0,1]
-        // Empty selections are fine.
+                                        // Empty selections are fine.
         let empty = m.submatrix(&[], &[0]).unwrap();
         assert_eq!(empty.nrows(), 0);
         assert_eq!(empty.nnz(), 0);
@@ -477,6 +516,9 @@ mod tests {
         assert_eq!(d[1], vec![0.0, 0.0, 0.0]);
         assert_eq!(d[2], vec![3.0, 4.0, 0.0]);
         let collected: Vec<_> = m.iter().collect();
-        assert_eq!(collected, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+        assert_eq!(
+            collected,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
     }
 }

@@ -106,7 +106,11 @@ pub fn mae(estimate: &[f64], truth: &[f64]) -> Result<f64, LinalgError> {
     if estimate.is_empty() {
         return Err(LinalgError::Empty);
     }
-    Ok(estimate.iter().zip(truth).map(|(e, t)| (e - t).abs()).sum::<f64>()
+    Ok(estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .sum::<f64>()
         / estimate.len() as f64)
 }
 

@@ -30,7 +30,10 @@ impl AggregateVector {
                 return Err(PartitionError::NegativeAggregate { index, value });
             }
         }
-        Ok(Self { attribute: attribute.into(), values })
+        Ok(Self {
+            attribute: attribute.into(),
+            values,
+        })
     }
 
     /// Attribute name (e.g. `"population"`).
@@ -77,7 +80,10 @@ impl AggregateVector {
 
     /// Returns a renamed copy (same values).
     pub fn renamed(&self, attribute: impl Into<String>) -> AggregateVector {
-        AggregateVector { attribute: attribute.into(), values: self.values.clone() }
+        AggregateVector {
+            attribute: attribute.into(),
+            values: self.values.clone(),
+        }
     }
 }
 
@@ -91,7 +97,10 @@ mod tests {
         assert!(AggregateVector::new("a", vec![1.0, f64::NAN]).is_err());
         assert_eq!(
             AggregateVector::new("a", vec![1.0, -2.0]).unwrap_err(),
-            PartitionError::NegativeAggregate { index: 1, value: -2.0 }
+            PartitionError::NegativeAggregate {
+                index: 1,
+                value: -2.0
+            }
         );
         let v = AggregateVector::new("a", vec![1.0, 2.0]).unwrap();
         assert_eq!(v.attribute(), "a");

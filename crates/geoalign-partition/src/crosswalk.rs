@@ -84,9 +84,7 @@ pub fn aggregate_points(
                     skipped += 1;
                     continue;
                 }
-                OutsidePolicy::Error => {
-                    return Err(PartitionError::PointOutsideUniverse { index })
-                }
+                OutsidePolicy::Error => return Err(PartitionError::PointOutsideUniverse { index }),
             }
         };
         src[si] += p.weight;
@@ -136,11 +134,19 @@ mod tests {
             WeightedPoint::unit(Point2::new(0.5, 0.5)), // strip 0, band 0
             WeightedPoint::unit(Point2::new(0.5, 1.5)), // strip 0, band 1
             WeightedPoint::unit(Point2::new(1.5, 0.5)), // strip 1, band 0
-            WeightedPoint { pos: Point2::new(1.5, 1.5), weight: 2.0 }, // strip 1, band 1
+            WeightedPoint {
+                pos: Point2::new(1.5, 1.5),
+                weight: 2.0,
+            }, // strip 1, band 1
         ];
-        let agg =
-            aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Error)
-                .unwrap();
+        let agg = aggregate_points(
+            "x",
+            &pts,
+            &source_sys(),
+            &target_sys(),
+            OutsidePolicy::Error,
+        )
+        .unwrap();
         assert_eq!(agg.source.values(), &[2.0, 3.0]);
         assert_eq!(agg.target.values(), &[2.0, 3.0]);
         assert_eq!(agg.dm.matrix().get(0, 0), 1.0);
@@ -157,8 +163,8 @@ mod tests {
             WeightedPoint::unit(Point2::new(0.5, 0.5)),
             WeightedPoint::unit(Point2::new(9.0, 9.0)), // outside
         ];
-        let agg = aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Skip)
-            .unwrap();
+        let agg =
+            aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Skip).unwrap();
         assert_eq!(agg.skipped, 1);
         assert_eq!(agg.source.total(), 1.0);
     }
@@ -166,24 +172,32 @@ mod tests {
     #[test]
     fn outside_policy_error_fails() {
         let pts = vec![WeightedPoint::unit(Point2::new(9.0, 9.0))];
-        let err = aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Error)
-            .unwrap_err();
+        let err = aggregate_points(
+            "x",
+            &pts,
+            &source_sys(),
+            &target_sys(),
+            OutsidePolicy::Error,
+        )
+        .unwrap_err();
         assert_eq!(err, PartitionError::PointOutsideUniverse { index: 0 });
     }
 
     #[test]
     fn non_finite_records_rejected() {
-        let pts = vec![WeightedPoint { pos: Point2::new(0.5, 0.5), weight: f64::NAN }];
+        let pts = vec![WeightedPoint {
+            pos: Point2::new(0.5, 0.5),
+            weight: f64::NAN,
+        }];
         assert!(
-            aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Skip)
-                .is_err()
+            aggregate_points("x", &pts, &source_sys(), &target_sys(), OutsidePolicy::Skip).is_err()
         );
     }
 
     #[test]
     fn empty_point_set_gives_zero_aggregates() {
-        let agg = aggregate_points("x", &[], &source_sys(), &target_sys(), OutsidePolicy::Skip)
-            .unwrap();
+        let agg =
+            aggregate_points("x", &[], &source_sys(), &target_sys(), OutsidePolicy::Skip).unwrap();
         assert_eq!(agg.source.total(), 0.0);
         assert_eq!(agg.target.total(), 0.0);
         assert_eq!(agg.dm.nnz(), 0);

@@ -30,7 +30,10 @@ impl DisaggregationMatrix {
                 return Err(PartitionError::NegativeAggregate { index: i, value: v });
             }
         }
-        Ok(Self { attribute: attribute.into(), matrix })
+        Ok(Self {
+            attribute: attribute.into(),
+            matrix,
+        })
     }
 
     /// Builds from `(source, target, value)` triples.
@@ -110,7 +113,10 @@ impl DisaggregationMatrix {
 
     /// Returns a renamed copy (same matrix).
     pub fn renamed(&self, attribute: impl Into<String>) -> DisaggregationMatrix {
-        DisaggregationMatrix { attribute: attribute.into(), matrix: self.matrix.clone() }
+        DisaggregationMatrix {
+            attribute: attribute.into(),
+            matrix: self.matrix.clone(),
+        }
     }
 
     /// Consumes the wrapper, returning the raw CSR matrix.
@@ -127,13 +133,8 @@ mod tests {
         // 2 source units × 3 target units:
         //   source 0 splits 10/5 across targets 0 and 1;
         //   source 1 sits entirely in target 2 with 7.
-        DisaggregationMatrix::from_triples(
-            "pop",
-            2,
-            3,
-            [(0, 0, 10.0), (0, 1, 5.0), (1, 2, 7.0)],
-        )
-        .unwrap()
+        DisaggregationMatrix::from_triples("pop", 2, 3, [(0, 0, 10.0), (0, 1, 5.0), (1, 2, 7.0)])
+            .unwrap()
     }
 
     #[test]

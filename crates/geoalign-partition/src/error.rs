@@ -51,7 +51,10 @@ impl fmt::Display for PartitionError {
         match self {
             PartitionError::EmptySystem => write!(f, "unit system has no units"),
             PartitionError::LengthMismatch { expected, got } => {
-                write!(f, "aggregate vector length {got} does not match {expected} units")
+                write!(
+                    f,
+                    "aggregate vector length {got} does not match {expected} units"
+                )
             }
             PartitionError::NegativeAggregate { index, value } => {
                 write!(f, "negative aggregate {value} at unit {index}")
@@ -99,7 +102,10 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        let e = PartitionError::LengthMismatch { expected: 5, got: 3 };
+        let e = PartitionError::LengthMismatch {
+            expected: 5,
+            got: 3,
+        };
         assert!(e.to_string().contains('5') && e.to_string().contains('3'));
         let g: PartitionError = geoalign_geom::GeomError::NoSeeds.into();
         assert!(g.to_string().contains("geometry"));

@@ -60,7 +60,11 @@ impl Overlay {
                 }
             }
         }
-        Ok(Self { n_source: source.len(), n_target: target.len(), pieces })
+        Ok(Self {
+            n_source: source.len(),
+            n_target: target.len(),
+            pieces,
+        })
     }
 
     /// Overlays two 1-D interval unit systems (the histogram realignment of
@@ -93,7 +97,11 @@ impl Overlay {
                 tj += 1;
             }
         }
-        Ok(Self { n_source: source.len(), n_target: target.len(), pieces })
+        Ok(Self {
+            n_source: source.len(),
+            n_target: target.len(),
+            pieces,
+        })
     }
 
     /// Overlays two n-dimensional box unit systems (O(|S|·|T|); box systems
@@ -119,7 +127,11 @@ impl Overlay {
                 }
             }
         }
-        Ok(Self { n_source: source.len(), n_target: target.len(), pieces })
+        Ok(Self {
+            n_source: source.len(),
+            n_target: target.len(),
+            pieces,
+        })
     }
 
     /// Number of source units.
@@ -156,7 +168,10 @@ impl Overlay {
     /// The disaggregation matrix of the measure attribute ("Area (Sq.
     /// Miles)" in the paper's US catalog) — the ancillary input of the
     /// areal weighting method.
-    pub fn measure_dm(&self, attribute: impl Into<String>) -> Result<DisaggregationMatrix, PartitionError> {
+    pub fn measure_dm(
+        &self,
+        attribute: impl Into<String>,
+    ) -> Result<DisaggregationMatrix, PartitionError> {
         DisaggregationMatrix::from_triples(
             attribute,
             self.n_source,
@@ -239,8 +254,9 @@ mod tests {
         let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
         let mut rng_state: u64 = 31;
         let mut r = move |_| {
-            rng_state =
-                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng_state >> 11) as f64 / (1u64 << 53) as f64
         };
         let fine = VoronoiDiagram::jittered_grid(bounds, 9, 9, 0.45, &mut r).unwrap();
@@ -293,11 +309,8 @@ mod tests {
         assert_eq!(ov.len(), 64);
         assert!((ov.total_measure() - 1.0).abs() < 1e-12);
         // Dimension mismatch errors.
-        let flat = BoxUnitSystem::new(
-            "flat",
-            grid_partition(&[(0.0, 1.0)], &[2]).unwrap(),
-        )
-        .unwrap();
+        let flat =
+            BoxUnitSystem::new("flat", grid_partition(&[(0.0, 1.0)], &[2]).unwrap()).unwrap();
         assert!(Overlay::boxes(&s, &flat).is_err());
     }
 

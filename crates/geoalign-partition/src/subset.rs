@@ -79,7 +79,12 @@ impl UniverseSubset {
                 right: n_target_full,
             });
         }
-        Ok(Self { source_idx, target_idx, n_source_full, n_target_full })
+        Ok(Self {
+            source_idx,
+            target_idx,
+            n_source_full,
+            n_target_full,
+        })
     }
 
     /// Selected source unit indices (into the full system).
@@ -113,7 +118,11 @@ impl UniverseSubset {
                 got: vector.len(),
             });
         }
-        let values = self.source_idx.iter().map(|&i| vector.values()[i]).collect();
+        let values = self
+            .source_idx
+            .iter()
+            .map(|&i| vector.values()[i])
+            .collect();
         AggregateVector::new(vector.attribute().to_owned(), values)
     }
 
@@ -128,7 +137,11 @@ impl UniverseSubset {
                 got: vector.len(),
             });
         }
-        let values = self.target_idx.iter().map(|&i| vector.values()[i]).collect();
+        let values = self
+            .target_idx
+            .iter()
+            .map(|&i| vector.values()[i])
+            .collect();
         AggregateVector::new(vector.attribute().to_owned(), values)
     }
 
@@ -159,11 +172,7 @@ mod tests {
     fn strip_system(name: &str, n: usize) -> PolygonUnitSystem {
         let units = (0..n)
             .map(|i| {
-                Polygon::rect(
-                    Point2::new(i as f64, 0.0),
-                    Point2::new(i as f64 + 1.0, 1.0),
-                )
-                .unwrap()
+                Polygon::rect(Point2::new(i as f64, 0.0), Point2::new(i as f64 + 1.0, 1.0)).unwrap()
             })
             .collect();
         PolygonUnitSystem::new(name, units).unwrap()

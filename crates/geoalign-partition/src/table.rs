@@ -64,7 +64,11 @@ pub enum TableError {
 impl std::fmt::Display for TableError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TableError::BadArity { line, expected, got } => {
+            TableError::BadArity {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, got {got}")
             }
             TableError::BadNumber { line, text } => {
@@ -216,13 +220,20 @@ pub struct AggregateTable {
 impl AggregateTable {
     /// Parses a two-column CSV (`unit,value`) with a header line.
     pub fn parse_csv(text: &str) -> Result<Self, TableError> {
-        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
         let Some((hline, header)) = lines.next() else {
             return Err(TableError::Empty);
         };
         let hfields = split_csv_line(header, hline + 1)?;
         if hfields.len() != 2 {
-            return Err(TableError::BadArity { line: hline + 1, expected: 2, got: hfields.len() });
+            return Err(TableError::BadArity {
+                line: hline + 1,
+                expected: 2,
+                got: hfields.len(),
+            });
         }
         let attribute = hfields[1].trim().to_owned();
         let mut rows = Vec::new();
@@ -231,7 +242,11 @@ impl AggregateTable {
             let lineno = i + 1;
             let fields = split_csv_line(line, lineno)?;
             if fields.len() != 2 {
-                return Err(TableError::BadArity { line: lineno, expected: 2, got: fields.len() });
+                return Err(TableError::BadArity {
+                    line: lineno,
+                    expected: 2,
+                    got: fields.len(),
+                });
             }
             let id = fields[0].trim().to_owned();
             if seen.insert(id.clone(), lineno).is_some() {
@@ -240,7 +255,10 @@ impl AggregateTable {
             let value: f64 = fields[1]
                 .trim()
                 .parse()
-                .map_err(|_| TableError::BadNumber { line: lineno, text: fields[1].clone() })?;
+                .map_err(|_| TableError::BadNumber {
+                    line: lineno,
+                    text: fields[1].clone(),
+                })?;
             rows.push((id, value));
         }
         if rows.is_empty() {
@@ -255,9 +273,10 @@ impl AggregateTable {
     pub fn to_vector(&self, index: &UnitIndex) -> Result<AggregateVector, PartitionError> {
         let mut values = vec![0.0; index.len()];
         for (lineno, (id, v)) in self.rows.iter().enumerate() {
-            let i = index
-                .get(id)
-                .ok_or_else(|| TableError::UnknownUnit { line: lineno + 2, id: id.clone() })?;
+            let i = index.get(id).ok_or_else(|| TableError::UnknownUnit {
+                line: lineno + 2,
+                id: id.clone(),
+            })?;
             values[i] = *v;
         }
         AggregateVector::new(self.attribute.clone(), values)
@@ -293,13 +312,20 @@ impl CrosswalkTable {
     /// Parses a three-column CSV (`source,target,value`) with a header.
     /// Duplicate `(source, target)` pairs are summed when converting.
     pub fn parse_csv(text: &str) -> Result<Self, TableError> {
-        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
         let Some((hline, header)) = lines.next() else {
             return Err(TableError::Empty);
         };
         let hfields = split_csv_line(header, hline + 1)?;
         if hfields.len() != 3 {
-            return Err(TableError::BadArity { line: hline + 1, expected: 3, got: hfields.len() });
+            return Err(TableError::BadArity {
+                line: hline + 1,
+                expected: 3,
+                got: hfields.len(),
+            });
         }
         let attribute = hfields[2].trim().to_owned();
         let mut rows = Vec::new();
@@ -307,13 +333,24 @@ impl CrosswalkTable {
             let lineno = i + 1;
             let fields = split_csv_line(line, lineno)?;
             if fields.len() != 3 {
-                return Err(TableError::BadArity { line: lineno, expected: 3, got: fields.len() });
+                return Err(TableError::BadArity {
+                    line: lineno,
+                    expected: 3,
+                    got: fields.len(),
+                });
             }
             let value: f64 = fields[2]
                 .trim()
                 .parse()
-                .map_err(|_| TableError::BadNumber { line: lineno, text: fields[2].clone() })?;
-            rows.push((fields[0].trim().to_owned(), fields[1].trim().to_owned(), value));
+                .map_err(|_| TableError::BadNumber {
+                    line: lineno,
+                    text: fields[2].clone(),
+                })?;
+            rows.push((
+                fields[0].trim().to_owned(),
+                fields[1].trim().to_owned(),
+                value,
+            ));
         }
         if rows.is_empty() {
             return Err(TableError::Empty);
@@ -340,12 +377,14 @@ impl CrosswalkTable {
     ) -> Result<DisaggregationMatrix, PartitionError> {
         let mut coo = CooMatrix::new(source.len(), target.len());
         for (lineno, (sid, tid, v)) in self.rows.iter().enumerate() {
-            let i = source
-                .get(sid)
-                .ok_or_else(|| TableError::UnknownUnit { line: lineno + 2, id: sid.clone() })?;
-            let j = target
-                .get(tid)
-                .ok_or_else(|| TableError::UnknownUnit { line: lineno + 2, id: tid.clone() })?;
+            let i = source.get(sid).ok_or_else(|| TableError::UnknownUnit {
+                line: lineno + 2,
+                id: sid.clone(),
+            })?;
+            let j = target.get(tid).ok_or_else(|| TableError::UnknownUnit {
+                line: lineno + 2,
+                id: tid.clone(),
+            })?;
             coo.push(i, j, *v)?;
         }
         DisaggregationMatrix::new(self.attribute.clone(), coo.to_csr())
@@ -368,11 +407,7 @@ impl CrosswalkTable {
     }
 
     /// Builds a crosswalk table from a disaggregation matrix and indices.
-    pub fn from_matrix(
-        dm: &DisaggregationMatrix,
-        source: &UnitIndex,
-        target: &UnitIndex,
-    ) -> Self {
+    pub fn from_matrix(dm: &DisaggregationMatrix, source: &UnitIndex, target: &UnitIndex) -> Self {
         let rows = dm
             .matrix()
             .iter()
@@ -384,7 +419,10 @@ impl CrosswalkTable {
                 )
             })
             .collect();
-        Self { attribute: dm.attribute().to_owned(), rows }
+        Self {
+            attribute: dm.attribute().to_owned(),
+            rows,
+        }
     }
 }
 
@@ -421,14 +459,21 @@ mod tests {
 
     #[test]
     fn aggregate_table_errors() {
-        assert_eq!(AggregateTable::parse_csv("").unwrap_err(), TableError::Empty);
+        assert_eq!(
+            AggregateTable::parse_csv("").unwrap_err(),
+            TableError::Empty
+        );
         assert_eq!(
             AggregateTable::parse_csv("zip,steam\n").unwrap_err(),
             TableError::Empty
         );
         assert!(matches!(
             AggregateTable::parse_csv("zip,steam\n10001\n"),
-            Err(TableError::BadArity { line: 2, expected: 2, got: 1 })
+            Err(TableError::BadArity {
+                line: 2,
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             AggregateTable::parse_csv("zip,steam\n10001,abc\n"),
@@ -442,10 +487,9 @@ mod tests {
 
     #[test]
     fn quoted_fields_roundtrip() {
-        let t = AggregateTable::parse_csv(
-            "zip,\"steam, total\"\n\"100,01\",5\n\"say \"\"hi\"\"\",7\n",
-        )
-        .unwrap();
+        let t =
+            AggregateTable::parse_csv("zip,\"steam, total\"\n\"100,01\",5\n\"say \"\"hi\"\"\",7\n")
+                .unwrap();
         assert_eq!(t.attribute, "steam, total");
         assert_eq!(t.rows[0].0, "100,01");
         assert_eq!(t.rows[1].0, "say \"hi\"");

@@ -31,12 +31,19 @@ impl PolygonUnitSystem {
         }
         let boxes: Vec<Aabb> = units.iter().map(|u| *u.bbox()).collect();
         let rtree = RTree::build(&boxes);
-        Ok(Self { name: name.into(), units, rtree })
+        Ok(Self {
+            name: name.into(),
+            units,
+            rtree,
+        })
     }
 
     /// Builds a system from a Voronoi tessellation (cells are disjoint and
     /// cover the diagram bounds by construction).
-    pub fn from_voronoi(name: impl Into<String>, diagram: VoronoiDiagram) -> Result<Self, PartitionError> {
+    pub fn from_voronoi(
+        name: impl Into<String>,
+        diagram: VoronoiDiagram,
+    ) -> Result<Self, PartitionError> {
         Self::new(name, diagram.into_cells())
     }
 
@@ -134,7 +141,10 @@ impl IntervalUnitSystem {
                 });
             }
         }
-        Ok(Self { name: name.into(), units })
+        Ok(Self {
+            name: name.into(),
+            units,
+        })
     }
 
     /// Human-readable system name.
@@ -181,7 +191,9 @@ impl IntervalUnitSystem {
         // x sits exactly on a shared boundary); prefer the earlier one so
         // boundary assignment is deterministic.
         let c = lo.saturating_sub(1);
-        [c.saturating_sub(1), c, lo].into_iter().find(|&idx| idx < self.units.len() && self.units[idx].contains(x))
+        [c.saturating_sub(1), c, lo]
+            .into_iter()
+            .find(|&idx| idx < self.units.len() && self.units[idx].contains(x))
     }
 }
 
@@ -209,7 +221,11 @@ impl BoxUnitSystem {
                 right: bad.dim(),
             });
         }
-        Ok(Self { name: name.into(), units, dim })
+        Ok(Self {
+            name: name.into(),
+            units,
+            dim,
+        })
     }
 
     /// Human-readable system name.
@@ -301,11 +317,8 @@ mod tests {
     #[test]
     fn voronoi_system() {
         let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
-        let d = VoronoiDiagram::build(
-            vec![Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)],
-            bounds,
-        )
-        .unwrap();
+        let d = VoronoiDiagram::build(vec![Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)], bounds)
+            .unwrap();
         let sys = PolygonUnitSystem::from_voronoi("vor", d).unwrap();
         assert_eq!(sys.len(), 2);
         assert!((sys.total_measure() - 1.0).abs() < 1e-12);

@@ -1,0 +1,89 @@
+//! Spin up a geoalign-serve instance on an ephemeral port, register two
+//! unit systems and two references over HTTP, then crosswalk a batch of
+//! attribute vectors in a single request and print the realigned columns.
+//!
+//! ```text
+//! cargo run -p geoalign-serve --example batch_crosswalk
+//! ```
+
+use geoalign_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: example\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    raw.split("\r\n\r\n").nth(1).unwrap_or("").to_owned()
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    request(addr, "POST", path, body)
+}
+
+fn main() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    println!("serving on http://{addr}");
+
+    // Two unit systems: four zips crosswalked onto three counties.
+    post(
+        addr,
+        "/systems",
+        r#"{"name":"zip","units":["z1","z2","z3","z4"]}"#,
+    );
+    post(
+        addr,
+        "/systems",
+        r#"{"name":"county","units":["A","B","C"]}"#,
+    );
+
+    // Two references with known zip→county disaggregations.
+    post(
+        addr,
+        "/references",
+        r#"{"source":"zip","target":"county","name":"population",
+            "entries":[["z1","A",120],["z1","B",40],["z2","B",75],
+                       ["z3","B",10],["z3","C",90],["z4","C",55]]}"#,
+    );
+    post(
+        addr,
+        "/references",
+        r#"{"source":"zip","target":"county","name":"households",
+            "entries":[["z1","A",50],["z2","A",5],["z2","B",30],
+                       ["z3","C",42],["z4","B",8],["z4","C",12]]}"#,
+    );
+
+    // One batch request: three attributes realigned with a single
+    // prepared crosswalk (the second run of this example would hit the
+    // snapshot cache).
+    let body = r#"{"source":"zip","target":"county","attributes":[
+        {"name":"crimes","values":[16,7.5,10,5.5]},
+        {"name":"permits","values":[0,12,0,9]},
+        {"name":"outages","values":[5,5,5,5]}]}"#;
+    let reply = post(addr, "/crosswalk", body);
+    let doc = geoalign_serve::json::parse(&reply).unwrap();
+
+    let units = doc.get("target_units").unwrap().as_array().unwrap();
+    println!("cache_hit: {:?}", doc.get("cache_hit").unwrap());
+    for col in doc.get("columns").unwrap().as_array().unwrap() {
+        let name = col.get("name").unwrap().as_str().unwrap();
+        let values = col.get("values").unwrap().as_array().unwrap();
+        print!("{name:>10}:");
+        for (u, v) in units.iter().zip(values) {
+            print!("  {}={:.3}", u.as_str().unwrap(), v.as_f64().unwrap());
+        }
+        println!();
+    }
+
+    let metrics = request(addr, "GET", "/metrics", "");
+    println!("metrics: {metrics}");
+    server.shutdown();
+}

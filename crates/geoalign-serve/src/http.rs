@@ -1,0 +1,275 @@
+//! A hand-rolled HTTP/1.1 subset on `std::io` — request parsing and
+//! response writing for the crosswalk service. One request per
+//! connection (`Connection: close`), bodies sized by `Content-Length`,
+//! no chunked encoding, no TLS. Deliberately minimal: the service's
+//! clients are programs, not browsers.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on accepted request bodies (16 MiB) — a guard against
+/// unbounded allocation from a hostile or broken client.
+pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string (`/crosswalk`).
+    pub path: String,
+    /// Raw query string, without the `?`; empty when absent.
+    pub query: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::bad_request("request body is not valid UTF-8"))
+    }
+}
+
+/// A request-level protocol failure, carrying the status to answer with.
+#[derive(Debug, Clone)]
+pub struct HttpError {
+    /// HTTP status code to respond with.
+    pub status: u16,
+    /// Human-readable message (sent in the JSON error body).
+    pub message: String,
+}
+
+impl HttpError {
+    /// A 400.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HTTP {}: {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads and parses one request from `stream`. `Ok(None)` means the
+/// client closed the connection before sending anything.
+pub fn read_request<S: Read>(stream: S) -> Result<Option<Request>, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
+    }
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad_request(format!(
+            "malformed request line '{line}'"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError {
+            status: 505,
+            message: format!("unsupported {version}"),
+        });
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let mut header_line = String::new();
+        match reader.read_line(&mut header_line) {
+            Ok(0) => return Err(HttpError::bad_request("connection closed mid-headers")),
+            Ok(_) => {}
+            Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
+        }
+        let header_line = header_line.trim_end_matches(['\r', '\n']);
+        if header_line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header_line.split_once(':') else {
+            return Err(HttpError::bad_request(format!(
+                "malformed header '{header_line}'"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| HttpError::bad_request("unparsable Content-Length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError {
+            status: 413,
+            message: "request body too large".into(),
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::bad_request(format!("short body: {e}")))?;
+
+    Ok(Some(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 with a JSON body.
+    pub fn json(body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// An error response with a `{"error": ...}` JSON body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = crate::json::Json::object([("error", crate::json::Json::from(message))]);
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.to_string().into_bytes(),
+        }
+    }
+
+    /// Serializes the response onto `stream`.
+    pub fn write_to<S: Write>(&self, stream: &mut S) -> std::io::Result<()> {
+        let reason = reason_phrase(self.status);
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+impl From<HttpError> for Response {
+    fn from(e: HttpError) -> Self {
+        Response::error(e.status, &e.message)
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw =
+            b"POST /crosswalk?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/crosswalk");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("HOST"), Some("localhost"));
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.body_text().unwrap(), "abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn empty_stream_is_none() {
+        assert!(read_request(&b""[..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(read_request(&b"BROKEN\r\n\r\n"[..]).is_err());
+        assert!(read_request(&b"GET / HTTP/2\r\n\r\n"[..]).is_err());
+        assert!(read_request(&b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"[..]).is_err());
+        assert!(read_request(&b"GET / HTTP/1.1\r\nContent-Length: zep\r\n\r\n"[..]).is_err());
+        // Body shorter than Content-Length.
+        assert!(read_request(&b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc"[..]).is_err());
+    }
+
+    #[test]
+    fn response_serializes() {
+        let mut out = Vec::new();
+        Response::json(br#"{"ok":true}"#.to_vec())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        Response::error(404, "no such route")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains(r#"{"error":"no such route"}"#));
+    }
+}

@@ -1,0 +1,45 @@
+//! **geoalign-serve** — a batch crosswalk HTTP service over the
+//! prepare/apply split of `geoalign-core`.
+//!
+//! The serving thesis mirrors the paper's workload (§4.3): the expensive
+//! part of a crosswalk — the references' Gram matrix and disaggregation
+//! state — depends only on the *reference set*, while each query
+//! contributes only a cheap right-hand side. So the service snapshots
+//! each distinct (source system, target system, reference set) into a
+//! [`geoalign_core::PreparedCrosswalk`], caches it in a sharded
+//! [`geoalign_core::CrosswalkStore`], and answers `/crosswalk` batches by
+//! applying the snapshot to every attribute vector in the request.
+//!
+//! Everything is `std`-only: a [`std::net::TcpListener`] accept loop, a
+//! fixed worker thread pool, a hand-rolled HTTP/1.1 subset ([`http`]) and
+//! a minimal JSON codec ([`json`]). No async runtime, no external
+//! dependencies — the handlers are CPU-bound sparse algebra, so threads
+//! are the right concurrency primitive and the binary stays small.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use geoalign_serve::{Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:8077", ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! // POST /systems, /references, then /crosswalk — see the module docs
+//! // of `router` for the request shapes.
+//! # server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod store;
+
+pub use http::{Request, Response};
+pub use json::Json;
+pub use metrics::Metrics;
+pub use router::route;
+pub use server::{Server, ServerConfig};
+pub use store::AppState;

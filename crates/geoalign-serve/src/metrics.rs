@@ -1,0 +1,196 @@
+//! Lock-free service metrics: per-endpoint request counters and
+//! log-bucketed latency histograms per algorithm phase, fed from the
+//! [`geoalign_core::PhaseTimings`] every crosswalk apply reports.
+
+use crate::json::Json;
+use geoalign_core::PhaseTimings;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` covers durations in
+/// `[2^i, 2^(i+1))` microseconds, with the last bucket open-ended.
+const BUCKETS: usize = 24;
+
+/// A log₂-bucketed latency histogram with lock-free recording.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = if micros == 0 {
+            0
+        } else {
+            (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded duration in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_micros.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// JSON rendering: count, sum, mean, and the non-empty buckets as
+    /// `[lower_bound_micros, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                buckets.push(Json::Array(vec![
+                    Json::Number(lower as f64),
+                    Json::Number(n as f64),
+                ]));
+            }
+        }
+        Json::object([
+            ("count", Json::Number(self.count() as f64)),
+            (
+                "sum_micros",
+                Json::Number(self.sum_micros.load(Ordering::Relaxed) as f64),
+            ),
+            ("mean_micros", Json::Number(self.mean_micros())),
+            ("buckets_micros", Json::Array(buckets)),
+        ])
+    }
+}
+
+/// All service metrics; shared via `Arc` across worker threads.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests answered, total (any route, any status).
+    pub requests_total: AtomicU64,
+    /// Requests answered with a 2xx status.
+    pub requests_ok: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub requests_failed: AtomicU64,
+    /// `/crosswalk` attribute vectors applied.
+    pub attributes_applied: AtomicU64,
+    /// Wall-clock latency of whole requests.
+    pub request_latency: Histogram,
+    /// Prepare-phase latency (cache misses only).
+    pub prepare_latency: Histogram,
+    /// Weight-learning latency per applied attribute.
+    pub weight_learning_latency: Histogram,
+    /// Disaggregation latency per applied attribute.
+    pub disaggregation_latency: Histogram,
+}
+
+impl Metrics {
+    /// Counts one finished request.
+    pub fn record_request(&self, status: u16, latency: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        if (200..300).contains(&status) {
+            self.requests_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.requests_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.request_latency.record(latency);
+    }
+
+    /// Feeds one apply's phase timings into the per-phase histograms.
+    pub fn record_phases(&self, t: &PhaseTimings) {
+        self.attributes_applied.fetch_add(1, Ordering::Relaxed);
+        self.weight_learning_latency.record(t.weight_learning);
+        self.disaggregation_latency.record(t.disaggregation);
+    }
+
+    /// JSON snapshot of every counter and histogram.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "requests_total",
+                Json::Number(self.requests_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "requests_ok",
+                Json::Number(self.requests_ok.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "requests_failed",
+                Json::Number(self.requests_failed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "attributes_applied",
+                Json::Number(self.attributes_applied.load(Ordering::Relaxed) as f64),
+            ),
+            ("request_latency", self.request_latency.to_json()),
+            ("prepare_latency", self.prepare_latency.to_json()),
+            (
+                "weight_learning_latency",
+                self.weight_learning_latency.to_json(),
+            ),
+            (
+                "disaggregation_latency",
+                self.disaggregation_latency.to_json(),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_micros() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        assert_eq!(h.count(), 4);
+        assert!((h.mean_micros() - 251.0).abs() < 1e-9);
+        let json = h.to_json();
+        assert_eq!(json.get("count").unwrap().as_f64(), Some(4.0));
+        // 0µs and 1µs land in bucket 0; 3µs in [2,4); 1000µs in [512,1024).
+        let buckets = json.get("buckets_micros").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 3);
+    }
+
+    #[test]
+    fn request_counters_split_by_status() {
+        let m = Metrics::default();
+        m.record_request(200, Duration::from_micros(5));
+        m.record_request(404, Duration::from_micros(7));
+        m.record_request(200, Duration::from_micros(2));
+        let json = m.to_json();
+        assert_eq!(json.get("requests_total").unwrap().as_f64(), Some(3.0));
+        assert_eq!(json.get("requests_ok").unwrap().as_f64(), Some(2.0));
+        assert_eq!(json.get("requests_failed").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn phase_timings_feed_histograms() {
+        let m = Metrics::default();
+        let t = PhaseTimings {
+            weight_learning: Duration::from_micros(10),
+            disaggregation: Duration::from_micros(20),
+            ..PhaseTimings::default()
+        };
+        m.record_phases(&t);
+        m.record_phases(&t);
+        assert_eq!(m.attributes_applied.load(Ordering::Relaxed), 2);
+        assert_eq!(m.weight_learning_latency.count(), 2);
+        assert_eq!(m.disaggregation_latency.count(), 2);
+    }
+}

@@ -1,0 +1,397 @@
+//! Route dispatch and the endpoint handlers.
+//!
+//! | Method | Path          | Purpose                                        |
+//! |--------|---------------|------------------------------------------------|
+//! | POST   | `/systems`    | register a unit system                         |
+//! | POST   | `/references` | register a reference crosswalk                 |
+//! | POST   | `/crosswalk`  | apply one crosswalk to a batch of attributes   |
+//! | GET    | `/healthz`    | liveness probe                                 |
+//! | GET    | `/metrics`    | counters, cache stats, latency histograms      |
+
+use crate::http::{HttpError, Request, Response};
+use crate::json::{self, Json};
+use crate::store::AppState;
+use geoalign_core::{CoreError, ReferenceData};
+use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+
+/// Dispatches one request to its handler. Never panics; every failure
+/// becomes a JSON error response.
+pub fn route(state: &AppState, req: &Request) -> Response {
+    let result = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/systems") => post_systems(state, req),
+        ("POST", "/references") => post_references(state, req),
+        ("POST", "/crosswalk") => post_crosswalk(state, req),
+        ("GET", "/healthz") => Ok(Response::json(
+            Json::object([("status", Json::from("ok"))])
+                .to_string()
+                .into_bytes(),
+        )),
+        ("GET", "/metrics") => Ok(get_metrics(state)),
+        (_, "/systems" | "/references" | "/crosswalk" | "/healthz" | "/metrics") => {
+            Err(HttpError {
+                status: 405,
+                message: format!("method {} not allowed", req.method),
+            })
+        }
+        _ => Err(HttpError {
+            status: 404,
+            message: format!("no route for {}", req.path),
+        }),
+    };
+    result.unwrap_or_else(Response::from)
+}
+
+fn parse_body(req: &Request) -> Result<Json, HttpError> {
+    json::parse(req.body_text()?).map_err(|e| HttpError::bad_request(e.to_string()))
+}
+
+fn str_field<'a>(doc: &'a Json, key: &str) -> Result<&'a str, HttpError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| HttpError::bad_request(format!("missing string field '{key}'")))
+}
+
+fn array_field<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], HttpError> {
+    doc.get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| HttpError::bad_request(format!("missing array field '{key}'")))
+}
+
+fn core_error(e: &CoreError) -> HttpError {
+    let status = match e {
+        CoreError::UnknownReference { .. } => 404,
+        _ => 400,
+    };
+    HttpError {
+        status,
+        message: e.to_string(),
+    }
+}
+
+/// `POST /systems` — body `{"name": "zip", "units": ["z1", "z2", ...]}`.
+fn post_systems(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+    let doc = parse_body(req)?;
+    let name = str_field(&doc, "name")?;
+    let units: Vec<String> = array_field(&doc, "units")?
+        .iter()
+        .map(|u| {
+            u.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| HttpError::bad_request("'units' must be an array of strings"))
+        })
+        .collect::<Result<_, _>>()?;
+    if units.is_empty() {
+        return Err(HttpError::bad_request("'units' must not be empty"));
+    }
+    let n = units.len();
+    state.pipeline_mut().register_system(name, units);
+    Ok(Response::json(
+        Json::object([
+            ("registered", Json::from(name)),
+            ("units", Json::Number(n as f64)),
+        ])
+        .to_string()
+        .into_bytes(),
+    ))
+}
+
+/// `POST /references` — body
+/// `{"source": "zip", "target": "county", "name": "population",
+///   "entries": [["z1", "A", 100.0], ...]}`
+/// where each entry is `[source unit id, target unit id, value]`.
+fn post_references(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+    let doc = parse_body(req)?;
+    let source = str_field(&doc, "source")?;
+    let target = str_field(&doc, "target")?;
+    let name = str_field(&doc, "name")?;
+    let entries = array_field(&doc, "entries")?;
+
+    let mut pipeline = state.pipeline_mut();
+    let source_ids = pipeline
+        .unit_ids(source)
+        .map_err(|e| core_error(&e))?
+        .to_vec();
+    let target_ids = pipeline
+        .unit_ids(target)
+        .map_err(|e| core_error(&e))?
+        .to_vec();
+    let find = |ids: &[String], id: &str, system: &str| -> Result<usize, HttpError> {
+        ids.iter().position(|u| u == id).ok_or_else(|| {
+            HttpError::bad_request(format!("unknown unit '{id}' in system '{system}'"))
+        })
+    };
+
+    let mut triples = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let fields = entry
+            .as_array()
+            .filter(|f| f.len() == 3)
+            .ok_or_else(|| HttpError::bad_request("each entry must be [source, target, value]"))?;
+        let s = fields[0]
+            .as_str()
+            .ok_or_else(|| HttpError::bad_request("entry source unit must be a string"))?;
+        let t = fields[1]
+            .as_str()
+            .ok_or_else(|| HttpError::bad_request("entry target unit must be a string"))?;
+        let v = fields[2]
+            .as_f64()
+            .ok_or_else(|| HttpError::bad_request("entry value must be a number"))?;
+        triples.push((
+            find(&source_ids, s, source)?,
+            find(&target_ids, t, target)?,
+            v,
+        ));
+    }
+
+    let dm = DisaggregationMatrix::from_triples(name, source_ids.len(), target_ids.len(), triples)
+        .map_err(|e| HttpError::bad_request(e.to_string()))?;
+    let nnz = dm.nnz();
+    let reference = ReferenceData::from_dm(name, dm).map_err(|e| core_error(&e))?;
+    pipeline
+        .register_reference(source, target, reference)
+        .map_err(|e| core_error(&e))?;
+    let count = pipeline.reference_count(source, target);
+    Ok(Response::json(
+        Json::object([
+            ("registered", Json::from(name)),
+            ("pair", Json::from(format!("{source}->{target}"))),
+            ("nnz", Json::Number(nnz as f64)),
+            ("references_for_pair", Json::Number(count as f64)),
+        ])
+        .to_string()
+        .into_bytes(),
+    ))
+}
+
+/// `POST /crosswalk` — body
+/// `{"source": "zip", "target": "county",
+///   "attributes": [{"name": "crimes", "values": [...]}, ...]}`
+/// with `values` positional in the source system's registered unit order.
+/// One prepared crosswalk (cached across requests) is applied to every
+/// attribute in the batch.
+fn post_crosswalk(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+    let doc = parse_body(req)?;
+    let source = str_field(&doc, "source")?;
+    let target = str_field(&doc, "target")?;
+    let attributes = array_field(&doc, "attributes")?;
+    if attributes.is_empty() {
+        return Err(HttpError::bad_request("'attributes' must not be empty"));
+    }
+
+    let (prepared, cache_hit) = state
+        .prepared_crosswalk(source, target)
+        .map_err(|e| core_error(&e))?;
+    let target_units: Vec<Json> = {
+        let pipeline = state.pipeline();
+        let ids = pipeline.unit_ids(target).map_err(|e| core_error(&e))?;
+        ids.iter().map(|id| Json::from(id.clone())).collect()
+    };
+
+    let mut columns = Vec::with_capacity(attributes.len());
+    for attr in attributes {
+        let name = str_field(attr, "name")?;
+        let values: Vec<f64> = array_field(attr, "values")?
+            .iter()
+            .map(|v| {
+                v.as_f64().ok_or_else(|| {
+                    HttpError::bad_request(format!("attribute '{name}': values must be numbers"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if values.len() != prepared.n_source() {
+            return Err(HttpError::bad_request(format!(
+                "attribute '{name}': {} values for {} source units",
+                values.len(),
+                prepared.n_source()
+            )));
+        }
+        let vector = AggregateVector::new(name, values)
+            .map_err(|e| HttpError::bad_request(format!("attribute '{name}': {e}")))?;
+        let applied = prepared.apply_values(&vector).map_err(|e| core_error(&e))?;
+        state.metrics.record_phases(&applied.timings);
+        columns.push(Json::object([
+            ("name", Json::from(name)),
+            (
+                "values",
+                Json::Array(applied.estimate.into_iter().map(Json::Number).collect()),
+            ),
+            (
+                "weights",
+                Json::Array(applied.weights.into_iter().map(Json::Number).collect()),
+            ),
+        ]));
+    }
+
+    Ok(Response::json(
+        Json::object([
+            ("target_system", Json::from(target)),
+            ("target_units", Json::Array(target_units)),
+            ("cache_hit", Json::Bool(cache_hit)),
+            ("columns", Json::Array(columns)),
+        ])
+        .to_string()
+        .into_bytes(),
+    ))
+}
+
+/// `GET /metrics` — counters, cache stats, per-phase latency histograms.
+fn get_metrics(state: &AppState) -> Response {
+    let stats = state.cache.stats();
+    let cache = Json::object([
+        ("hits", Json::Number(stats.hits as f64)),
+        ("misses", Json::Number(stats.misses as f64)),
+        ("evictions", Json::Number(stats.evictions as f64)),
+        ("entries", Json::Number(stats.entries as f64)),
+        ("hit_rate", Json::Number(stats.hit_rate())),
+    ]);
+    let mut doc = match state.metrics.to_json() {
+        Json::Object(pairs) => pairs,
+        _ => unreachable!("Metrics::to_json returns an object"),
+    };
+    doc.push(("cache".to_owned(), cache));
+    Response::json(Json::Object(doc).to_string().into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn body_json(resp: &Response) -> Json {
+        json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    fn state_with_world() -> std::sync::Arc<AppState> {
+        let state = AppState::new(8);
+        let r = route(
+            &state,
+            &request(
+                "POST",
+                "/systems",
+                r#"{"name":"zip","units":["z1","z2","z3"]}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let r = route(
+            &state,
+            &request("POST", "/systems", r#"{"name":"county","units":["A","B"]}"#),
+        );
+        assert_eq!(r.status, 200);
+        let r = route(
+            &state,
+            &request(
+                "POST",
+                "/references",
+                r#"{"source":"zip","target":"county","name":"population",
+                   "entries":[["z1","A",100],["z2","A",60],["z2","B",40],["z3","B",80]]}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        state
+    }
+
+    #[test]
+    fn health_and_unknown_routes() {
+        let state = AppState::new(4);
+        let r = route(&state, &request("GET", "/healthz", ""));
+        assert_eq!(r.status, 200);
+        assert_eq!(body_json(&r).get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(route(&state, &request("GET", "/nope", "")).status, 404);
+        assert_eq!(
+            route(&state, &request("DELETE", "/healthz", "")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn crosswalk_end_to_end() {
+        let state = state_with_world();
+        let body = r#"{"source":"zip","target":"county",
+            "attributes":[{"name":"steam","values":[10,20,30]}]}"#;
+        let r = route(&state, &request("POST", "/crosswalk", body));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let doc = body_json(&r);
+        assert_eq!(doc.get("cache_hit"), Some(&Json::Bool(false)));
+        let col = &doc.get("columns").unwrap().as_array().unwrap()[0];
+        let values = col.get("values").unwrap().as_array().unwrap();
+        // z1 wholly in A, z2 splits 60/40, z3 wholly in B: A=22, B=38.
+        assert!((values[0].as_f64().unwrap() - 22.0).abs() < 1e-9);
+        assert!((values[1].as_f64().unwrap() - 38.0).abs() < 1e-9);
+        // Second request hits the cache.
+        let r = route(&state, &request("POST", "/crosswalk", body));
+        assert_eq!(body_json(&r).get("cache_hit"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn crosswalk_validates_input() {
+        let state = state_with_world();
+        // Wrong value count.
+        let r = route(
+            &state,
+            &request(
+                "POST",
+                "/crosswalk",
+                r#"{"source":"zip","target":"county","attributes":[{"name":"x","values":[1]}]}"#,
+            ),
+        );
+        assert_eq!(r.status, 400);
+        // Unregistered pair.
+        let r = route(
+            &state,
+            &request(
+                "POST",
+                "/crosswalk",
+                r#"{"source":"county","target":"zip","attributes":[{"name":"x","values":[1,2]}]}"#,
+            ),
+        );
+        assert_eq!(r.status, 404);
+        // Malformed JSON.
+        let r = route(&state, &request("POST", "/crosswalk", "{nope"));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn references_validate_units() {
+        let state = state_with_world();
+        let r = route(
+            &state,
+            &request(
+                "POST",
+                "/references",
+                r#"{"source":"zip","target":"county","name":"bad",
+                   "entries":[["z9","A",1]]}"#,
+            ),
+        );
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8_lossy(&r.body).contains("z9"));
+    }
+
+    #[test]
+    fn metrics_include_cache_stats() {
+        let state = state_with_world();
+        let body = r#"{"source":"zip","target":"county",
+            "attributes":[{"name":"steam","values":[10,20,30]}]}"#;
+        route(&state, &request("POST", "/crosswalk", body));
+        route(&state, &request("POST", "/crosswalk", body));
+        let r = route(&state, &request("GET", "/metrics", ""));
+        let doc = body_json(&r);
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache.get("entries").unwrap().as_f64(), Some(1.0));
+        assert_eq!(doc.get("attributes_applied").unwrap().as_f64(), Some(2.0));
+        assert!(doc
+            .get("weight_learning_latency")
+            .unwrap()
+            .get("count")
+            .is_some());
+    }
+}

@@ -1,0 +1,204 @@
+//! The TCP front end: a `std::net::TcpListener` accept loop feeding a
+//! fixed pool of worker threads over an mpsc channel. No async runtime —
+//! the request handlers are CPU-bound sparse algebra, so a thread per
+//! in-flight request up to the pool size is the right shape.
+
+use crate::http::{read_request, Response};
+use crate::router::route;
+use crate::store::AppState;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Capacity of the prepared-crosswalk cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            cache_capacity: crate::store::DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// A running server: its address, state handle, and shutdown control.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and starts accepting in background threads. Returns
+    /// once the socket is bound (so the port is immediately connectable —
+    /// handy for tests binding port 0).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        Self::bind_with_state(addr, config.clone(), AppState::new(config.cache_capacity))
+    }
+
+    /// Like [`Server::bind`] but serving pre-populated state.
+    pub fn bind_with_state(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        state: Arc<AppState>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&rx, &state))
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    // A send can only fail after shutdown dropped the
+                    // workers; the connection is dropped with them.
+                    Ok(s) => {
+                        let _ = tx.send(s);
+                    }
+                    Err(_) => continue,
+                }
+            }
+        });
+
+        Ok(Server {
+            addr: local_addr,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (with the OS-chosen port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (registry, cache, metrics).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains the workers, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Dropping the server drops the sender inside the accept thread's
+        // closure; with the accept thread joined, the channel is closed
+        // and each worker's recv() errors out.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<AppState>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok(stream) = stream else { return };
+        handle_connection(stream, state);
+    }
+}
+
+/// Serves one connection: parse, route, respond, close.
+fn handle_connection(mut stream: TcpStream, state: &Arc<AppState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let t0 = Instant::now();
+    let response = match read_request(&mut stream) {
+        Ok(Some(request)) => route(state, &request),
+        Ok(None) => return, // client connected and went away
+        Err(e) => Response::from(e),
+    };
+    state.metrics.record_request(response.status, t0.elapsed());
+    let _ = response.write_to(&mut stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn send(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_health_and_counts_requests() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let reply = send(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains(r#"{"status":"ok"}"#));
+        let reply = send(addr, "GET /missing HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+        let metrics = send(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(metrics.contains("\"requests_total\":"), "{metrics}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_hang() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let reply = send(server.addr(), "TOTALLY BOGUS\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                cache_capacity: 4,
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        send(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        server.shutdown();
+        // The port no longer accepts (give the OS a beat to tear down).
+        std::thread::sleep(Duration::from_millis(50));
+        let refused = TcpStream::connect(addr).is_err();
+        assert!(refused, "listener should be closed after shutdown");
+    }
+}

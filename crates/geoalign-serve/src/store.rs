@@ -1,0 +1,149 @@
+//! Shared service state: the registry of unit systems and references
+//! (an [`IntegrationPipeline`] behind a `RwLock`) plus the prepared-
+//! crosswalk cache and the metrics. Registration takes the write lock;
+//! the `/crosswalk` hot path only ever takes the read lock, and all
+//! cache and metrics traffic is lock-free or sharded.
+
+use crate::metrics::Metrics;
+use geoalign_core::{
+    CoreError, CrosswalkKey, CrosswalkStore, IntegrationPipeline, PreparedCrosswalk, ReferenceData,
+};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+/// Default number of prepared crosswalks the cache retains.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Everything the worker threads share.
+#[derive(Debug)]
+pub struct AppState {
+    pipeline: RwLock<IntegrationPipeline>,
+    /// The prepared-crosswalk cache.
+    pub cache: CrosswalkStore,
+    /// Service metrics.
+    pub metrics: Metrics,
+}
+
+impl AppState {
+    /// Fresh state with an empty pipeline and a cache of `capacity`.
+    pub fn new(cache_capacity: usize) -> Arc<Self> {
+        Arc::new(AppState {
+            pipeline: RwLock::new(IntegrationPipeline::new()),
+            cache: CrosswalkStore::new(cache_capacity),
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// State wrapping an already-populated pipeline (used by tests and by
+    /// embedders that register data programmatically).
+    pub fn with_pipeline(pipeline: IntegrationPipeline, cache_capacity: usize) -> Arc<Self> {
+        Arc::new(AppState {
+            pipeline: RwLock::new(pipeline),
+            cache: CrosswalkStore::new(cache_capacity),
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// Read access to the registry.
+    pub fn pipeline(&self) -> RwLockReadGuard<'_, IntegrationPipeline> {
+        self.pipeline.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write access to the registry (registration endpoints only).
+    pub fn pipeline_mut(&self) -> RwLockWriteGuard<'_, IntegrationPipeline> {
+        self.pipeline.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The prepared crosswalk for `source → target` over the references
+    /// currently registered for that pair — cached by content
+    /// fingerprint, so re-registered references can never serve a stale
+    /// snapshot. Returns the snapshot and whether it was a cache hit;
+    /// cache misses feed the prepare-latency histogram.
+    pub fn prepared_crosswalk(
+        &self,
+        source: &str,
+        target: &str,
+    ) -> Result<(Arc<PreparedCrosswalk>, bool), CoreError> {
+        let pipeline = self.pipeline();
+        let refs: Vec<&ReferenceData> = pipeline.references(source, target).iter().collect();
+        if refs.is_empty() {
+            return Err(CoreError::UnknownReference {
+                name: format!("crosswalk {source} -> {target}"),
+            });
+        }
+        let key = CrosswalkKey::new(source, target, &refs);
+        let aligner = *pipeline.aligner();
+        let t0 = Instant::now();
+        let (prepared, hit) = self
+            .cache
+            .get_or_insert_with(&key, || aligner.prepare(&refs))?;
+        if !hit {
+            self.metrics.prepare_latency.record(t0.elapsed());
+        }
+        Ok((prepared, hit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoalign_partition::DisaggregationMatrix;
+
+    fn populated() -> Arc<AppState> {
+        let state = AppState::new(8);
+        {
+            let mut p = state.pipeline_mut();
+            p.register_system("zip", ["z1", "z2"]);
+            p.register_system("county", ["A", "B"]);
+            let dm = DisaggregationMatrix::from_triples(
+                "pop",
+                2,
+                2,
+                [(0, 0, 10.0), (0, 1, 30.0), (1, 1, 5.0)],
+            )
+            .unwrap();
+            p.register_reference("zip", "county", ReferenceData::from_dm("pop", dm).unwrap())
+                .unwrap();
+        }
+        state
+    }
+
+    #[test]
+    fn prepared_crosswalk_caches_by_fingerprint() {
+        let state = populated();
+        let (first, hit1) = state.prepared_crosswalk("zip", "county").unwrap();
+        assert!(!hit1);
+        let (second, hit2) = state.prepared_crosswalk("zip", "county").unwrap();
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(state.cache.stats().entries, 1);
+        assert_eq!(state.metrics.prepare_latency.count(), 1);
+    }
+
+    #[test]
+    fn re_registering_references_changes_the_key() {
+        let state = populated();
+        let (_, _) = state.prepared_crosswalk("zip", "county").unwrap();
+        {
+            let mut p = state.pipeline_mut();
+            let dm = DisaggregationMatrix::from_triples(
+                "jobs",
+                2,
+                2,
+                [(0, 0, 1.0), (1, 0, 2.0), (1, 1, 2.0)],
+            )
+            .unwrap();
+            p.register_reference("zip", "county", ReferenceData::from_dm("jobs", dm).unwrap())
+                .unwrap();
+        }
+        let (prepared, hit) = state.prepared_crosswalk("zip", "county").unwrap();
+        assert!(!hit, "new reference set must not reuse the old snapshot");
+        assert_eq!(prepared.references().len(), 2);
+    }
+
+    #[test]
+    fn missing_crosswalk_is_an_error() {
+        let state = populated();
+        assert!(state.prepared_crosswalk("county", "zip").is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end test over a real TCP socket: register two unit systems and
+//! two references through the HTTP API, crosswalk a batch of eight
+//! attribute vectors in one request, and check the served numbers against
+//! an in-process `IntegrationPipeline::join` on the same data.
+
+use geoalign_core::{IntegrationPipeline, ReferenceData};
+use geoalign_partition::{AggregateTable, DisaggregationMatrix};
+use geoalign_serve::{Json, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+const ZIPS: [&str; 4] = ["z1", "z2", "z3", "z4"];
+const COUNTIES: [&str; 3] = ["A", "B", "C"];
+
+/// (source, target, value) crosswalk entries for the two references.
+const POPULATION: [(&str, &str, f64); 6] = [
+    ("z1", "A", 120.0),
+    ("z1", "B", 40.0),
+    ("z2", "B", 75.0),
+    ("z3", "B", 10.0),
+    ("z3", "C", 90.0),
+    ("z4", "C", 55.0),
+];
+const HOUSEHOLDS: [(&str, &str, f64); 6] = [
+    ("z1", "A", 50.0),
+    ("z2", "A", 5.0),
+    ("z2", "B", 30.0),
+    ("z3", "C", 42.0),
+    ("z4", "B", 8.0),
+    ("z4", "C", 12.0),
+];
+
+/// Eight attribute batches over the four zips.
+const ATTRIBUTES: [(&str, [f64; 4]); 8] = [
+    ("crimes", [16.0, 7.5, 10.0, 5.5]),
+    ("steam", [1.0, 2.0, 3.0, 4.0]),
+    ("permits", [0.0, 12.0, 0.0, 9.0]),
+    ("outages", [5.0, 5.0, 5.0, 5.0]),
+    ("complaints", [100.0, 0.0, 0.0, 1.0]),
+    ("inspections", [3.25, 8.5, 0.75, 2.0]),
+    ("licenses", [40.0, 41.0, 42.0, 43.0]),
+    ("spills", [0.5, 0.25, 0.125, 0.0625]),
+];
+
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw}"));
+    let json_body = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+    let doc = geoalign_serve::json::parse(json_body)
+        .unwrap_or_else(|e| panic!("bad JSON body ({e}): {json_body}"));
+    (status, doc)
+}
+
+fn entries_json(entries: &[(&str, &str, f64)]) -> String {
+    let items: Vec<String> = entries
+        .iter()
+        .map(|(s, t, v)| format!(r#"["{s}","{t}",{v}]"#))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn reference_data(name: &str, entries: &[(&str, &str, f64)]) -> ReferenceData {
+    let zi = |id: &str| ZIPS.iter().position(|z| *z == id).unwrap();
+    let ci = |id: &str| COUNTIES.iter().position(|c| *c == id).unwrap();
+    let triples: Vec<(usize, usize, f64)> =
+        entries.iter().map(|(s, t, v)| (zi(s), ci(t), *v)).collect();
+    let dm = DisaggregationMatrix::from_triples(name, ZIPS.len(), COUNTIES.len(), triples).unwrap();
+    ReferenceData::from_dm(name, dm).unwrap()
+}
+
+/// The same world built in-process, realigned with the library pipeline.
+fn expected_columns() -> Vec<(String, Vec<f64>)> {
+    let mut pipeline = IntegrationPipeline::new();
+    pipeline.register_system("zip", ZIPS);
+    pipeline.register_system("county", COUNTIES);
+    pipeline
+        .register_reference("zip", "county", reference_data("population", &POPULATION))
+        .unwrap();
+    pipeline
+        .register_reference("zip", "county", reference_data("households", &HOUSEHOLDS))
+        .unwrap();
+
+    let tables: Vec<AggregateTable> = ATTRIBUTES
+        .iter()
+        .map(|(name, values)| {
+            let mut csv = format!("zip,{name}\n");
+            for (z, v) in ZIPS.iter().zip(values) {
+                csv.push_str(&format!("{z},{v}\n"));
+            }
+            AggregateTable::parse_csv(&csv).unwrap()
+        })
+        .collect();
+    let with_system: Vec<(&str, &AggregateTable)> = tables.iter().map(|t| ("zip", t)).collect();
+    let joined = pipeline.join(&with_system, "county").unwrap();
+    joined
+        .columns
+        .into_iter()
+        .map(|c| (c.attribute, c.values))
+        .collect()
+}
+
+#[test]
+fn batch_crosswalk_over_tcp_matches_in_process_join() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Register the world over HTTP.
+    let (status, _) = http_post(
+        addr,
+        "/systems",
+        r#"{"name":"zip","units":["z1","z2","z3","z4"]}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, _) = http_post(
+        addr,
+        "/systems",
+        r#"{"name":"county","units":["A","B","C"]}"#,
+    );
+    assert_eq!(status, 200);
+    for (name, entries) in [
+        ("population", &POPULATION[..]),
+        ("households", &HOUSEHOLDS[..]),
+    ] {
+        let body = format!(
+            r#"{{"source":"zip","target":"county","name":"{name}","entries":{}}}"#,
+            entries_json(entries)
+        );
+        let (status, doc) = http_post(addr, "/references", &body);
+        assert_eq!(status, 200, "{doc:?}");
+    }
+
+    // One batch request carrying all eight attributes.
+    let attrs: Vec<String> = ATTRIBUTES
+        .iter()
+        .map(|(name, values)| {
+            let vals: Vec<String> = values.iter().map(f64::to_string).collect();
+            format!(r#"{{"name":"{name}","values":[{}]}}"#, vals.join(","))
+        })
+        .collect();
+    let body = format!(
+        r#"{{"source":"zip","target":"county","attributes":[{}]}}"#,
+        attrs.join(",")
+    );
+    let (status, doc) = http_post(addr, "/crosswalk", &body);
+    assert_eq!(status, 200, "{doc:?}");
+
+    // Served values match the in-process pipeline join to 1e-9.
+    let units = doc.get("target_units").unwrap().as_array().unwrap();
+    let unit_ids: Vec<&str> = units.iter().map(|u| u.as_str().unwrap()).collect();
+    assert_eq!(unit_ids, COUNTIES);
+    let columns = doc.get("columns").unwrap().as_array().unwrap();
+    let expected = expected_columns();
+    assert_eq!(columns.len(), expected.len());
+    for (col, (want_name, want_values)) in columns.iter().zip(&expected) {
+        assert_eq!(col.get("name").unwrap().as_str(), Some(want_name.as_str()));
+        let got = col.get("values").unwrap().as_array().unwrap();
+        assert_eq!(got.len(), want_values.len());
+        for (g, w) in got.iter().zip(want_values) {
+            let g = g.as_f64().unwrap();
+            assert!(
+                (g - w).abs() <= 1e-9,
+                "{want_name}: served {g} vs in-process {w}"
+            );
+        }
+        let weights = col.get("weights").unwrap().as_array().unwrap();
+        assert_eq!(weights.len(), 2);
+        let wsum: f64 = weights.iter().map(|w| w.as_f64().unwrap()).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+    }
+
+    // The batch shares one snapshot: a second identical batch is a
+    // cache hit and agrees with the first.
+    let (_, doc2) = http_post(addr, "/crosswalk", &body);
+    assert_eq!(doc2.get("cache_hit"), Some(&Json::Bool(true)));
+    assert_eq!(doc2.get("columns"), doc.get("columns"));
+
+    server.shutdown();
+}

@@ -32,12 +32,13 @@ fn dm_of(
     source: &IntervalUnitSystem,
     target: &IntervalUnitSystem,
 ) -> DisaggregationMatrix {
-    let triples = records.iter().filter_map(|&(age, w)| {
-        match (source.locate(age), target.locate(age)) {
-            (Some(i), Some(j)) => Some((i, j, w)),
-            _ => None,
-        }
-    });
+    let triples =
+        records
+            .iter()
+            .filter_map(|&(age, w)| match (source.locate(age), target.locate(age)) {
+                (Some(i), Some(j)) => Some((i, j, w)),
+                _ => None,
+            });
     DisaggregationMatrix::from_triples(name, source.len(), target.len(), triples).unwrap()
 }
 
@@ -142,6 +143,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ga_err = stats::nrmse(&result.estimate, &truth_wide)?;
     let lw_err = stats::nrmse(&lw, &truth_wide)?;
     println!("\nNRMSE — GeoAlign: {ga_err:.4}, length weighting: {lw_err:.4}");
-    assert!(ga_err < lw_err, "multi-reference should beat the homogeneity assumption");
+    assert!(
+        ga_err < lw_err,
+        "multi-reference should beat the homogeneity assumption"
+    );
     Ok(())
 }

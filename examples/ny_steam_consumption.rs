@@ -12,9 +12,7 @@
 use geoalign::datagen::TownModel;
 use geoalign::geom::{Aabb, Point2, VoronoiDiagram};
 use geoalign::linalg::stats;
-use geoalign::partition::{
-    aggregate_points, OutsidePolicy, PolygonUnitSystem, WeightedPoint,
-};
+use geoalign::partition::{aggregate_points, OutsidePolicy, PolygonUnitSystem, WeightedPoint};
 use geoalign::{GeoAlign, ReferenceData};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,13 +34,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Reference attributes with known crosswalk files (Figure 4):
     //     population and accidents. ---
-    let pop_pts: Vec<WeightedPoint> =
-        towns.sample(40_000, 1.0, 1.0, 0.02, &mut rng).into_iter().map(WeightedPoint::unit).collect();
-    let pop = aggregate_points("population", &pop_pts, &zips, &counties, OutsidePolicy::Skip)?;
+    let pop_pts: Vec<WeightedPoint> = towns
+        .sample(40_000, 1.0, 1.0, 0.02, &mut rng)
+        .into_iter()
+        .map(WeightedPoint::unit)
+        .collect();
+    let pop = aggregate_points(
+        "population",
+        &pop_pts,
+        &zips,
+        &counties,
+        OutsidePolicy::Skip,
+    )?;
     let population = ReferenceData::new("population", pop.source.clone(), pop.dm)?;
 
-    let acc_pts: Vec<WeightedPoint> =
-        towns.sample(4_000, 0.85, 2.0, 0.08, &mut rng).into_iter().map(WeightedPoint::unit).collect();
+    let acc_pts: Vec<WeightedPoint> = towns
+        .sample(4_000, 0.85, 2.0, 0.08, &mut rng)
+        .into_iter()
+        .map(WeightedPoint::unit)
+        .collect();
     let acc = aggregate_points("accidents", &acc_pts, &zips, &counties, OutsidePolicy::Skip)?;
     let accidents = ReferenceData::new("accidents", acc.source, acc.dm)?;
 
@@ -51,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let steam_pts: Vec<WeightedPoint> = towns
         .sample(12_000, 1.1, 0.9, 0.01, &mut rng)
         .into_iter()
-        .map(|p| WeightedPoint { pos: p, weight: 0.5 }) // mg per meter read
+        .map(|p| WeightedPoint {
+            pos: p,
+            weight: 0.5,
+        }) // mg per meter read
         .collect();
     let steam = aggregate_points("steam", &steam_pts, &zips, &counties, OutsidePolicy::Skip)?;
 
@@ -65,8 +78,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Crosswalk the steam table to counties and join. ---
     let result = GeoAlign::new().estimate(&steam.source, &[&population, &accidents])?;
-    println!("learned weights: population={:.3}, accidents={:.3}", result.weights[0], result.weights[1]);
-    println!("\n{:>7}  {:>14}  {:>14}  {:>12}", "county", "steam est (mg)", "steam true (mg)", "income ($)");
+    println!(
+        "learned weights: population={:.3}, accidents={:.3}",
+        result.weights[0], result.weights[1]
+    );
+    println!(
+        "\n{:>7}  {:>14}  {:>14}  {:>12}",
+        "county", "steam est (mg)", "steam true (mg)", "income ($)"
+    );
     for (j, ((est, tru), inc)) in result
         .estimate
         .iter()

@@ -6,8 +6,8 @@
 use geoalign::core::eval::cross_validate;
 use geoalign::datagen::{ny_catalog, CatalogSize};
 use geoalign::{
-    AggregateVector, DasymetricInterpolator, DisaggregationMatrix, GeoAlign,
-    GeoAlignInterpolator, Interpolator, ReferenceData,
+    AggregateVector, DasymetricInterpolator, DisaggregationMatrix, GeoAlign, GeoAlignInterpolator,
+    Interpolator, ReferenceData,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

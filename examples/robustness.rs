@@ -28,15 +28,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     for d in &names {
-        let at = |lvl: f64| noise.cell(d, lvl).map(|c| c.summary.median).unwrap_or(f64::NAN);
+        let at = |lvl: f64| {
+            noise
+                .cell(d, lvl)
+                .map(|c| c.summary.median)
+                .unwrap_or(f64::NAN)
+        };
         println!("{d:28} {:>10.3} {:>10.3}", at(10.0), at(50.0));
     }
 
     // --- Reference selection robustness (§4.4.2). ---
-    let policies = [LeaveOut::None, LeaveOut::LeastRelated(2), LeaveOut::MostRelated(2)];
+    let policies = [
+        LeaveOut::None,
+        LeaveOut::LeastRelated(2),
+        LeaveOut::MostRelated(2),
+    ];
     let sel = selection_experiment(&catalog, &ga, &policies)?;
     println!("\n# NRMSE under reference leave-out — robustness to reference choice");
-    println!("{:28} {:>10} {:>10} {:>10}", "dataset", "all", "-2 least", "-2 most");
+    println!(
+        "{:28} {:>10} {:>10} {:>10}",
+        "dataset", "all", "-2 least", "-2 most"
+    );
     for d in &names {
         let at = |p: LeaveOut| sel.nrmse(d, p).unwrap_or(f64::NAN);
         println!(

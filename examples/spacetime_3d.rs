@@ -63,7 +63,9 @@ fn tabulate(
     let mut tgt = vec![0.0; target.len()];
     let mut triples = Vec::new();
     for p in points {
-        let (Some(i), Some(j)) = (source.locate(p)?, target.locate(p)?) else { continue };
+        let (Some(i), Some(j)) = (source.locate(p)?, target.locate(p)?) else {
+            continue;
+        };
         let w = weight_of(p);
         src[i] += w;
         tgt[j] += w;
@@ -108,6 +110,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.estimate.iter().sum::<f64>(),
         disease_truth.iter().sum::<f64>()
     );
-    assert!(ga_err < vw_err, "the reference should beat the homogeneity assumption in 3-D too");
+    assert!(
+        ga_err < vw_err,
+        "the reference should beat the homogeneity assumption in 3-D too"
+    );
     Ok(())
 }

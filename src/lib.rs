@@ -64,7 +64,11 @@ mod tests {
     #[test]
     fn synthetic_catalog_converts_to_eval_catalog() {
         let synth = geoalign_datagen::ny_catalog(
-            CatalogSize { n_source: 30, n_target: 4, base_points: 1500 },
+            CatalogSize {
+                n_source: 30,
+                n_target: 4,
+                base_points: 1500,
+            },
             5,
         )
         .unwrap();

@@ -11,11 +11,12 @@ fn histogram_realignment_is_exact_when_distributions_match() {
     // When the objective is distributed exactly like the reference, the
     // realignment is exact regardless of bin misalignment.
     let narrow = IntervalUnitSystem::new("narrow", equal_bins(0.0, 60.0, 12).unwrap()).unwrap();
-    let wide =
-        IntervalUnitSystem::new("wide", bins_at(0.0, 60.0, &[13.0, 37.0]).unwrap()).unwrap();
+    let wide = IntervalUnitSystem::new("wide", bins_at(0.0, 60.0, &[13.0, 37.0]).unwrap()).unwrap();
 
     // Records at deterministic positions; objective = 3 × reference.
-    let records: Vec<f64> = (0..600).map(|k| 60.0 * ((k as f64 * 0.618) % 1.0)).collect();
+    let records: Vec<f64> = (0..600)
+        .map(|k| 60.0 * ((k as f64 * 0.618) % 1.0))
+        .collect();
     let mut ref_src = vec![0.0; narrow.len()];
     let mut obj_src = vec![0.0; narrow.len()];
     let mut triples = Vec::new();
@@ -89,8 +90,7 @@ fn three_dimensional_crosswalk_runs_the_same_code_path() {
         obj_truth[j] += 2.0 * w;
         triples.push((i, j, w));
     }
-    let dm =
-        DisaggregationMatrix::from_triples("ref", fine.len(), coarse.len(), triples).unwrap();
+    let dm = DisaggregationMatrix::from_triples("ref", fine.len(), coarse.len(), triples).unwrap();
     let reference =
         ReferenceData::new("ref", AggregateVector::new("ref", ref_src).unwrap(), dm).unwrap();
     let objective = AggregateVector::new("obj", obj_src).unwrap();
@@ -105,5 +105,8 @@ fn three_dimensional_crosswalk_runs_the_same_code_path() {
     let volume_dm = overlay.measure_dm("volume").unwrap();
     let vw = geoalign::areal_weighting(&objective, &volume_dm).unwrap();
     let vw_err: f64 = vw.iter().zip(&obj_truth).map(|(a, b)| (a - b).abs()).sum();
-    assert!(vw_err > 1.0, "volume weighting should err on a skewed field: {vw_err}");
+    assert!(
+        vw_err > 1.0,
+        "volume weighting should err on a skewed field: {vw_err}"
+    );
 }

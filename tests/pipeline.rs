@@ -11,7 +11,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn small() -> CatalogSize {
-    CatalogSize { n_source: 90, n_target: 9, base_points: 6_000 }
+    CatalogSize {
+        n_source: 90,
+        n_target: 9,
+        base_points: 6_000,
+    }
 }
 
 #[test]
@@ -44,7 +48,10 @@ fn geoalign_beats_areal_weighting_on_demographics() {
     for dataset in ["Population", "USPS Residential Address"] {
         let g = report.nrmse(dataset, "GeoAlign").unwrap();
         let a = report.nrmse(dataset, "areal weighting").unwrap();
-        assert!(a > 2.0 * g, "{dataset}: areal weighting {a} vs GeoAlign {g}");
+        assert!(
+            a > 2.0 * g,
+            "{dataset}: areal weighting {a} vs GeoAlign {g}"
+        );
     }
 }
 
@@ -61,7 +68,10 @@ fn dasymetric_fails_on_anticorrelated_objectives() {
     for dataset in ["Area (Sq. Miles)", "USA Uninhabited Places"] {
         let g = report.nrmse(dataset, "GeoAlign").unwrap();
         let d = report.nrmse(dataset, "dasymetric(Population)").unwrap();
-        assert!(d > g, "{dataset}: dasymetric {d} should exceed GeoAlign {g}");
+        assert!(
+            d > g,
+            "{dataset}: dasymetric {d} should exceed GeoAlign {g}"
+        );
     }
 }
 
@@ -73,10 +83,14 @@ fn volume_preservation_holds_across_the_catalog() {
     let catalog = geoalign::to_eval_catalog(&synth).unwrap();
     for (di, test) in catalog.datasets().iter().enumerate() {
         let refs = catalog.references_excluding(di);
-        let out = GeoAlign::new().estimate(test.reference().source(), &refs).unwrap();
+        let out = GeoAlign::new()
+            .estimate(test.reference().source(), &refs)
+            .unwrap();
         let sums = out.dm_estimate.row_sums();
-        for (i, (&s, &o)) in
-            sums.iter().zip(test.reference().source().values()).enumerate()
+        for (i, (&s, &o)) in sums
+            .iter()
+            .zip(test.reference().source().values())
+            .enumerate()
         {
             // Units where no reference has mass legitimately drop to zero.
             if s == 0.0 {
@@ -145,7 +159,11 @@ fn runtime_is_dominated_by_disaggregation_at_scale() {
     // §4.3: the disaggregation step dominates. Check at a size where the
     // effect is measurable.
     let synth = us_catalog(
-        CatalogSize { n_source: 1_000, n_target: 100, base_points: 40_000 },
+        CatalogSize {
+            n_source: 1_000,
+            n_target: 100,
+            base_points: 40_000,
+        },
         31,
     )
     .unwrap();

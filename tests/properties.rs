@@ -8,7 +8,10 @@ use proptest::prelude::*;
 /// random sparse non-negative DM in which every row has at least one entry.
 fn reference(n_source: usize, n_target: usize) -> impl Strategy<Value = ReferenceData> {
     prop::collection::vec(
-        (prop::collection::vec(0.0..5.0f64, n_target), 0usize..n_target),
+        (
+            prop::collection::vec(0.0..5.0f64, n_target),
+            0usize..n_target,
+        ),
         n_source,
     )
     .prop_map(move |rows| {
@@ -144,6 +147,40 @@ proptest! {
                 (f1 - f2).abs() < 1e-6 * f1.max(1.0),
                 "different weights with different fit: {f1} vs {f2}"
             );
+        }
+    }
+
+    #[test]
+    fn prepared_crosswalk_matches_one_shot_estimate(
+        r1 in reference(6, 3),
+        r2 in reference(6, 3),
+        r3 in reference(6, 3),
+        objs in prop::collection::vec(prop::collection::vec(0.0..50.0f64, 6), 1..4)
+    ) {
+        // The two-step prepare/apply split must be numerically identical
+        // to the one-shot path: both funnel through the same Gram-system
+        // solve and the same disaggregation arithmetic.
+        let r2 = ReferenceData::new("r2", r2.source().clone(), r2.dm().clone()).unwrap();
+        let r3 = ReferenceData::new("r3", r3.source().clone(), r3.dm().clone()).unwrap();
+        let aligner = GeoAlign::new();
+        let prepared = aligner.prepare(&[&r1, &r2, &r3]).unwrap();
+        for (k, obj) in objs.iter().enumerate() {
+            let objective = AggregateVector::new(format!("o{k}"), obj.clone()).unwrap();
+            let one_shot = aligner.estimate(&objective, &[&r1, &r2, &r3]).unwrap();
+            let applied = prepared.apply(&objective).unwrap();
+            for (w1, w2) in one_shot.weights.iter().zip(&applied.weights) {
+                prop_assert!((w1 - w2).abs() <= 1e-12, "weights {w1} vs {w2}");
+            }
+            for (e1, e2) in one_shot.estimate.iter().zip(&applied.estimate) {
+                prop_assert!((e1 - e2).abs() <= 1e-12, "estimate {e1} vs {e2}");
+            }
+            let fast = prepared.apply_values(&objective).unwrap();
+            for (e1, e2) in applied.estimate.iter().zip(&fast.estimate) {
+                prop_assert!(
+                    (e1 - e2).abs() <= 1e-9 * e1.abs().max(1.0),
+                    "fast path {e1} vs {e2}"
+                );
+            }
         }
     }
 

@@ -2,9 +2,7 @@
 //! universe subsetting, spanning partition and core.
 
 use geoalign::core::eval::Catalog;
-use geoalign::partition::{
-    AggregateTable, CrosswalkTable, UniverseSubset,
-};
+use geoalign::partition::{AggregateTable, CrosswalkTable, UniverseSubset};
 use geoalign::{GeoAlign, IntegrationPipeline, ReferenceData};
 use geoalign_datagen::{us_catalog, CatalogSize};
 use geoalign_geom::{Aabb, Point2};
@@ -14,10 +12,9 @@ fn csv_roundtrip_through_the_pipeline() {
     // Simulate the motivating scenario entirely from CSV text.
     let steam = AggregateTable::parse_csv("zip,steam\nz1,10\nz2,20\nz3,30\n").unwrap();
     let income = AggregateTable::parse_csv("county,income\nA,50000\nB,60000\n").unwrap();
-    let xwalk = CrosswalkTable::parse_csv(
-        "zip,county,population\nz1,A,100\nz2,A,60\nz2,B,40\nz3,B,80\n",
-    )
-    .unwrap();
+    let xwalk =
+        CrosswalkTable::parse_csv("zip,county,population\nz1,A,100\nz2,A,60\nz2,B,40\nz3,B,80\n")
+            .unwrap();
 
     let (source_idx, target_idx) = xwalk.unit_indices();
     let dm = xwalk.to_matrix(&source_idx, &target_idx).unwrap();
@@ -26,7 +23,9 @@ fn csv_roundtrip_through_the_pipeline() {
     let mut pipeline = IntegrationPipeline::new();
     pipeline.register_system("zip", source_idx.ids().iter().cloned());
     pipeline.register_system("county", target_idx.ids().iter().cloned());
-    pipeline.register_reference("zip", "county", population).unwrap();
+    pipeline
+        .register_reference("zip", "county", population)
+        .unwrap();
 
     let joined = pipeline
         .join(&[("zip", &steam), ("county", &income)], "county")
@@ -43,7 +42,11 @@ fn subsetting_reproduces_the_papers_factor_control() {
     // not by regenerating data. Check that a region subset of a synthetic
     // US catalog still supports accurate GeoAlign estimates.
     let synth = us_catalog(
-        CatalogSize { n_source: 200, n_target: 20, base_points: 15_000 },
+        CatalogSize {
+            n_source: 200,
+            n_target: 20,
+            base_points: 15_000,
+        },
         77,
     )
     .unwrap();
@@ -52,7 +55,11 @@ fn subsetting_reproduces_the_papers_factor_control() {
     let half = Aabb::new(bounds.min, Point2::new(bounds.center().x, bounds.max.y));
     let subset =
         UniverseSubset::by_region(&synth.universe.source, &synth.universe.target, &half).unwrap();
-    assert!(subset.n_source() > 20, "selection too small: {}", subset.n_source());
+    assert!(
+        subset.n_source() > 20,
+        "selection too small: {}",
+        subset.n_source()
+    );
     assert!(subset.n_source() < synth.universe.n_source());
 
     // Restrict every dataset; use Population as objective, rest as refs.
@@ -82,7 +89,11 @@ fn subsetting_reproduces_the_papers_factor_control() {
 fn eval_catalog_from_synthetic_subset() {
     // The subset path composes with the evaluation harness.
     let synth = us_catalog(
-        CatalogSize { n_source: 120, n_target: 12, base_points: 8_000 },
+        CatalogSize {
+            n_source: 120,
+            n_target: 12,
+            base_points: 8_000,
+        },
         3,
     )
     .unwrap();

@@ -1,0 +1,253 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of criterion's surface its benches use: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Unlike the real
+//! crate there is no statistical analysis or HTML report — each benchmark
+//! is timed over `sample_size` samples (auto-calibrated iteration counts)
+//! and the median per-iteration time is printed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Times closures over calibrated iteration batches.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration, one entry per sample
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that takes ≥ ~2ms so timer
+        // resolution is irrelevant.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 4;
+        };
+        self.samples.push(per_iter_ns);
+        // Remaining samples at the calibrated iteration count, bounded so a
+        // single benchmark cannot run for minutes.
+        let target_iters = iters;
+        for _ in 1..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..target_iters {
+                black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / target_iters as f64);
+        }
+        let _ = per_iter_ns;
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.sort_by(f64::total_cmp);
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let median = bencher.median_ns();
+        println!(
+            "{}/{:<40} time: [{}]",
+            self.name,
+            id.name,
+            format_ns(median)
+        );
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id.name), median));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// `(name, median ns)` of every completed benchmark.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored: the stub
+    /// has no filters, but `cargo bench` passes `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut bencher);
+        let median = bencher.median_ns();
+        println!("{:<48} time: [{}]", id.name, format_ns(median));
+        self.results.push((id.name, median));
+        self
+    }
+
+    /// Prints the closing summary.
+    pub fn final_summary(&self) {
+        println!("benchmarks complete: {} results", self.results.len());
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|(_, ns)| *ns > 0.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Deterministic case generation and execution.
+
+use crate::strategy::Strategy;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the property does not hold.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The result type of a generated test-case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies. A fixed-seed xoshiro256++ keeps every run
+/// of a test binary deterministic.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.rng.next_u64()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        use rand::Rng;
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        use rand::Rng;
+        self.rng.random_range(lo..hi)
+    }
+}
+
+/// Generates inputs and drives the case closure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner for `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs the property: draws inputs from `strategy` until
+    /// `config.cases` cases have passed, panicking on the first failure.
+    /// Rejected cases (via `prop_assume!`) are skipped, with a global
+    /// attempt cap so a pathological assumption cannot loop forever.
+    pub fn run<S, F>(&mut self, strategy: &S, mut case: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        // Seed derived from the case count only: deterministic across runs
+        // of the same binary, independent of scheduling.
+        let mut rng = TestRng::new(0x9E3779B97F4A7C15 ^ u64::from(self.config.cases));
+        let mut passed = 0u32;
+        let max_attempts = self.config.cases.saturating_mul(20).max(1024);
+        let mut rejected = 0u32;
+        for attempt in 0..max_attempts {
+            if passed >= self.config.cases {
+                return;
+            }
+            let value = strategy.generate(&mut rng);
+            match case(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest: case failed (attempt {attempt}, after {passed} passing cases): {msg}"
+                    );
+                }
+            }
+        }
+        panic!(
+            "proptest: too many rejected cases ({rejected} rejections, {passed}/{} passed)",
+            self.config.cases
+        );
+    }
+}
