@@ -64,6 +64,8 @@ pub struct CrosswalkArgs {
     pub show_weights: bool,
     /// Print per-phase wall-clock timings to stderr.
     pub show_timings: bool,
+    /// Write JSON-lines span records of the run to this path.
+    pub trace: Option<String>,
 }
 
 /// Usage text.
@@ -72,16 +74,19 @@ geoalign — multi-reference crosswalk of aggregate tables (GeoAlign, EDBT 2018)
 
 USAGE:
     geoalign crosswalk --table T.csv --reference X1.csv [--reference X2.csv ...]
-                       [--out OUT.csv] [--weights] [--timings]
+                       [--out OUT.csv] [--weights] [--timings] [--trace SPANS.jsonl]
     geoalign evaluate  --table T.csv --reference X1.csv [...] --truth TRUE.csv
     geoalign weights   --table T.csv --reference X1.csv [...]
     geoalign serve     [--addr HOST:PORT] [--workers N] [--cache-capacity M]
+                       [--access-log LOG.jsonl]
 
 FLAGS:
     --timings          print per-phase wall-clock timings to stderr
+    --trace            write JSON-lines span records of the run to a file
     --addr             serve: listen address (default 127.0.0.1:8077)
     --workers          serve: worker threads (default 4)
     --cache-capacity   serve: prepared-crosswalk cache size (default 64)
+    --access-log       serve: append one JSON line per request to a file
 
 FILES:
     aggregate tables:  CSV `unit,value` with a header line
@@ -98,6 +103,7 @@ pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
     let mut out = None;
     let mut show_weights = false;
     let mut show_timings = false;
+    let mut trace = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -107,6 +113,7 @@ pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
             "--out" => out = Some(need(&mut it, "--out")?),
             "--weights" => show_weights = true,
             "--timings" => show_timings = true,
+            "--trace" => trace = Some(need(&mut it, "--trace")?),
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
@@ -123,6 +130,7 @@ pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
         out,
         show_weights,
         show_timings,
+        trace,
     })
 }
 
@@ -135,6 +143,8 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Prepared-crosswalk cache capacity.
     pub cache_capacity: usize,
+    /// JSON-lines access-log path (`--access-log`); `None` disables it.
+    pub access_log: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -143,6 +153,7 @@ impl Default for ServeArgs {
             addr: "127.0.0.1:8077".to_owned(),
             workers: 4,
             cache_capacity: 64,
+            access_log: None,
         }
     }
 }
@@ -164,6 +175,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("--cache-capacity needs an integer".into()))?;
             }
+            "--access-log" => parsed.access_log = Some(need(&mut it, "--access-log")?),
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
@@ -365,6 +377,8 @@ B,60
             "x.csv",
             "--weights",
             "--timings",
+            "--trace",
+            "spans.jsonl",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -374,9 +388,11 @@ B,60
         assert_eq!(a.references, vec!["x.csv".to_owned()]);
         assert!(a.show_weights);
         assert!(a.show_timings);
+        assert_eq!(a.trace.as_deref(), Some("spans.jsonl"));
         assert!(a.out.is_none());
 
         assert!(parse_args(&["--table".into()]).is_err());
+        assert!(parse_args(&["--trace".into()]).is_err());
         assert!(parse_args(&["--bogus".into()]).is_err());
         assert!(parse_args(&["--table".into(), "t".into()]).is_err()); // no refs
     }
@@ -391,6 +407,8 @@ B,60
             "8",
             "--cache-capacity",
             "16",
+            "--access-log",
+            "access.jsonl",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -399,7 +417,9 @@ B,60
         assert_eq!(a.addr, "0.0.0.0:9000");
         assert_eq!(a.workers, 8);
         assert_eq!(a.cache_capacity, 16);
+        assert_eq!(a.access_log.as_deref(), Some("access.jsonl"));
         assert!(parse_serve_args(&["--workers".into(), "zero".into()]).is_err());
+        assert!(parse_serve_args(&["--access-log".into()]).is_err());
         assert!(parse_serve_args(&["--workers".into(), "0".into()]).is_err());
         assert!(parse_serve_args(&["--nope".into()]).is_err());
     }

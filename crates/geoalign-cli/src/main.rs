@@ -33,6 +33,18 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
             if cmd == "evaluate" && parsed.truth.is_none() {
                 return Err(CliError::Usage("evaluate requires --truth".into()));
             }
+            // `--trace PATH`: stream every span the run finishes (prepare,
+            // weight learning, disaggregation, ...) to PATH as JSON lines.
+            let trace_subscriber = match &parsed.trace {
+                Some(path) => {
+                    let subscriber = geoalign_obs::JsonLinesSubscriber::create(path)
+                        .map_err(|e| CliError::Io(path.clone(), e))?;
+                    Some(geoalign_obs::trace::subscribe(std::sync::Arc::new(
+                        subscriber,
+                    )))
+                }
+                None => None,
+            };
             let table_csv = read(&parsed.table)?;
             let reference_csvs: Vec<(String, String)> = parsed
                 .references
@@ -43,7 +55,16 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
                 Some(p) => Some(read(p)?),
                 None => None,
             };
-            let out = run_crosswalk(&table_csv, &reference_csvs, truth_csv.as_deref())?;
+            let result = {
+                let scope = geoalign_obs::begin_trace(&geoalign_obs::new_trace_id());
+                let result = run_crosswalk(&table_csv, &reference_csvs, truth_csv.as_deref());
+                scope.finish();
+                result
+            };
+            if let Some(id) = trace_subscriber {
+                geoalign_obs::trace::unsubscribe(id);
+            }
+            let out = result?;
 
             if cmd == "weights" {
                 parsed.show_weights = true;
@@ -74,6 +95,7 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
             let config = geoalign_serve::ServerConfig {
                 workers: parsed.workers,
                 cache_capacity: parsed.cache_capacity,
+                access_log: parsed.access_log.clone(),
             };
             let server = geoalign_serve::Server::bind(parsed.addr.as_str(), config)
                 .map_err(|e| CliError::Io(parsed.addr.clone(), e))?;

@@ -16,6 +16,7 @@ use crate::error::CoreError;
 use crate::reference::{validate_references, ReferenceData};
 use geoalign_linalg::simplex_ls::{self, SimplexSolver};
 use geoalign_linalg::{CsrMatrix, DMatrix};
+use geoalign_obs::span;
 use geoalign_partition::AggregateVector;
 use std::time::{Duration, Instant};
 
@@ -110,21 +111,31 @@ impl GeoAlign {
         refs: &[&ReferenceData],
     ) -> Result<GeoAlignResult, CoreError> {
         let (n_source, n_target) = validate_references(objective_source.len(), refs)?;
+        let _estimate_span = span!("estimate", refs = refs.len(), n_source = n_source);
         let mut timings = PhaseTimings::default();
 
         // --- Step 1: weight learning (Eq. 15) ---
         let t0 = Instant::now();
-        let weights = self.learn_weights(objective_source, refs)?;
+        let weights = {
+            let _span = span!("weight_learning");
+            self.learn_weights(objective_source, refs)?
+        };
         timings.weight_learning = t0.elapsed();
 
         // --- Step 2: disaggregation (Eq. 14) ---
         let t1 = Instant::now();
-        let dm_estimate = disaggregate(objective_source, refs, &weights, n_source, n_target)?;
+        let dm_estimate = {
+            let _span = span!("disaggregation");
+            disaggregate(objective_source, refs, &weights, n_source, n_target)?
+        };
         timings.disaggregation = t1.elapsed();
 
         // --- Step 3: re-aggregation (Eq. 17) ---
         let t2 = Instant::now();
-        let estimate = dm_estimate.col_sums();
+        let estimate = {
+            let _span = span!("reaggregation");
+            dm_estimate.col_sums()
+        };
         timings.reaggregation = t2.elapsed();
 
         Ok(GeoAlignResult {
@@ -159,6 +170,7 @@ impl GeoAlign {
             objective_source.values().to_vec()
         };
         let solution = simplex_ls::solve(&a, &b, self.config.solver)?;
+        crate::obs::record_solver(solution.iterations, &solution.beta);
         Ok(solution.beta)
     }
 }

@@ -34,6 +34,7 @@ pub mod baselines;
 pub mod error;
 pub mod eval;
 pub mod interpolator;
+mod obs;
 pub mod pipeline;
 pub mod prepare;
 pub mod reference;

@@ -1,0 +1,73 @@
+//! Library-level metric handles, registered once in the process-global
+//! [`Registry`](geoalign_obs::Registry).
+//!
+//! Handles are cached in `OnceLock` statics so the hot paths pay only the
+//! atomic increment, never a registry lookup. Names follow the workspace
+//! convention `geoalign_<crate>_<name>_<unit>` (DESIGN.md §8).
+
+use geoalign_obs::{Counter, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
+
+macro_rules! global_histogram {
+    ($fn_name:ident, $metric:literal, $help:literal) => {
+        /// Cached global handle for the metric named in the body.
+        pub(crate) fn $fn_name() -> &'static Arc<Histogram> {
+            static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+            H.get_or_init(|| Registry::global().histogram($metric, $help))
+        }
+    };
+}
+
+macro_rules! global_counter {
+    ($fn_name:ident, $metric:literal, $help:literal) => {
+        /// Cached global handle for the metric named in the body.
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static C: OnceLock<Counter> = OnceLock::new();
+            C.get_or_init(|| Registry::global().counter($metric, $help))
+        }
+    };
+}
+
+global_histogram!(
+    prepare_micros,
+    "geoalign_core_prepare_micros",
+    "Wall time of GeoAlign::prepare (Gram matrix + row-sum snapshot)"
+);
+global_histogram!(
+    apply_micros,
+    "geoalign_core_apply_micros",
+    "Wall time of a prepared-crosswalk apply (weight learning + disaggregation)"
+);
+global_histogram!(
+    solver_iterations,
+    "geoalign_core_solver_iterations",
+    "Iterations taken by the Eq. 15 simplex least-squares solver"
+);
+global_histogram!(
+    solver_support_size,
+    "geoalign_core_solver_support_size",
+    "Active-set size of the learned weights (references with nonzero beta)"
+);
+global_counter!(
+    store_hits,
+    "geoalign_core_store_hits_total",
+    "CrosswalkStore lookups served from cache"
+);
+global_counter!(
+    store_misses,
+    "geoalign_core_store_misses_total",
+    "CrosswalkStore lookups that found no entry"
+);
+global_counter!(
+    store_evictions,
+    "geoalign_core_store_evictions_total",
+    "CrosswalkStore entries evicted to stay within capacity"
+);
+
+/// Records the Eq. 15 solver outcome: iteration count and the number of
+/// references carrying weight (active-set size).
+pub(crate) fn record_solver(iterations: usize, beta: &[f64]) {
+    solver_iterations().record_value(iterations as u64);
+    let support = beta.iter().filter(|&&b| b > 1e-12).count();
+    solver_support_size().record_value(support as u64);
+}

@@ -26,6 +26,7 @@ use crate::reference::{validate_references, ReferenceData};
 use geoalign_linalg::dense::dot;
 use geoalign_linalg::simplex_ls::{self, GramSystem};
 use geoalign_linalg::{CsrMatrix, DMatrix};
+use geoalign_obs::span;
 use geoalign_partition::AggregateVector;
 use std::time::{Duration, Instant};
 
@@ -67,6 +68,7 @@ impl GeoAlign {
     /// vectors — including concurrently, since applying is `&self`.
     pub fn prepare(&self, refs: &[&ReferenceData]) -> Result<PreparedCrosswalk, CoreError> {
         let t0 = Instant::now();
+        let _span = span!("prepare", refs = refs.len());
         let (n_source, n_target) = validate_references_nonempty(refs)?;
         let columns: Vec<Vec<f64>> = refs
             .iter()
@@ -82,7 +84,7 @@ impl GeoAlign {
         let gram = GramSystem::new(&design)?;
         let row_sums_per_ref: Vec<Vec<f64>> =
             refs.iter().map(|r| r.dm().matrix().row_sums()).collect();
-        Ok(PreparedCrosswalk {
+        let prepared = PreparedCrosswalk {
             config: *self.config(),
             refs: refs.iter().map(|&r| r.clone()).collect(),
             design,
@@ -91,7 +93,9 @@ impl GeoAlign {
             n_source,
             n_target,
             prepare_time: t0.elapsed(),
-        })
+        };
+        crate::obs::prepare_micros().record(prepared.prepare_time);
+        Ok(prepared)
     }
 }
 
@@ -137,28 +141,40 @@ impl PreparedCrosswalk {
     /// the same mixture kernel.
     pub fn apply(&self, objective_source: &AggregateVector) -> Result<GeoAlignResult, CoreError> {
         self.check_objective(objective_source)?;
+        let _apply_span = span!("apply", refs = self.refs.len(), n_source = self.n_source);
+        let t_apply = Instant::now();
         let mut timings = PhaseTimings::default();
 
         let t0 = Instant::now();
-        let weights = self.learn_weights(objective_source)?;
+        let weights = {
+            let _span = span!("weight_learning");
+            self.learn_weights(objective_source)?
+        };
         timings.weight_learning = t0.elapsed();
 
         let t1 = Instant::now();
-        let mats: Vec<&CsrMatrix> = self.refs.iter().map(|r| r.dm().matrix()).collect();
-        let dm_estimate = disaggregate_with(
-            &mats,
-            &self.row_sums_per_ref,
-            objective_source.values(),
-            &weights,
-            self.n_source,
-            self.n_target,
-        )?;
+        let dm_estimate = {
+            let _span = span!("disaggregation");
+            let mats: Vec<&CsrMatrix> = self.refs.iter().map(|r| r.dm().matrix()).collect();
+            disaggregate_with(
+                &mats,
+                &self.row_sums_per_ref,
+                objective_source.values(),
+                &weights,
+                self.n_source,
+                self.n_target,
+            )?
+        };
         timings.disaggregation = t1.elapsed();
 
         let t2 = Instant::now();
-        let estimate = dm_estimate.col_sums();
+        let estimate = {
+            let _span = span!("reaggregation");
+            dm_estimate.col_sums()
+        };
         timings.reaggregation = t2.elapsed();
 
+        crate::obs::apply_micros().record(t_apply.elapsed());
         Ok(GeoAlignResult {
             estimate,
             weights,
@@ -181,13 +197,19 @@ impl PreparedCrosswalk {
         objective_source: &AggregateVector,
     ) -> Result<CrosswalkEstimate, CoreError> {
         self.check_objective(objective_source)?;
+        let _apply_span = span!("apply", refs = self.refs.len(), n_source = self.n_source);
+        let t_apply = Instant::now();
         let mut timings = PhaseTimings::default();
 
         let t0 = Instant::now();
-        let weights = self.learn_weights(objective_source)?;
+        let weights = {
+            let _span = span!("weight_learning");
+            self.learn_weights(objective_source)?
+        };
         timings.weight_learning = t0.elapsed();
 
         let t1 = Instant::now();
+        let _disagg_span = span!("disaggregation");
         let adapted = scale_adapted_weights(&weights, &self.row_sums_per_ref);
         let (weighted, unweighted) =
             row_denominators(&self.row_sums_per_ref, &adapted, self.n_source);
@@ -213,8 +235,10 @@ impl PreparedCrosswalk {
                 }
             }
         }
+        drop(_disagg_span);
         timings.disaggregation = t1.elapsed();
 
+        crate::obs::apply_micros().record(t_apply.elapsed());
         Ok(CrosswalkEstimate {
             estimate,
             weights,
@@ -233,6 +257,7 @@ impl PreparedCrosswalk {
         let atb = self.design.tr_matvec(&b)?;
         let btb = dot(&b, &b);
         let solution = simplex_ls::solve_gram(&self.gram, &atb, btb, self.config.solver)?;
+        crate::obs::record_solver(solution.iterations, &solution.beta);
         Ok(solution.beta)
     }
 

@@ -167,10 +167,12 @@ impl CrosswalkStore {
             Some(entry) => {
                 entry.last_used.store(self.tick(), Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::obs::store_hits().inc();
                 Some(Arc::clone(&entry.prepared))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::obs::store_misses().inc();
                 None
             }
         }
@@ -266,6 +268,7 @@ impl CrosswalkStore {
             };
             if removed {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                crate::obs::store_evictions().inc();
             }
         }
     }

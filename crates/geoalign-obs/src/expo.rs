@@ -1,0 +1,206 @@
+//! Exposition encoders over [`Registry`](crate::Registry) snapshots.
+//!
+//! Two formats, both hand-rolled on `std`:
+//!
+//! * [`prometheus_text`] — Prometheus text exposition format 0.0.4:
+//!   `# HELP`/`# TYPE` comments, bare samples for counters and gauges,
+//!   cumulative `_bucket{le="..."}`/`_sum`/`_count` series for
+//!   histograms.
+//! * [`json_text`] — a compact JSON object keyed by metric name, in the
+//!   same shape the serve layer's `/metrics` endpoint has always used for
+//!   histograms (`count`, `sum`, `mean`, `buckets: [[lower, count], ...]`).
+//!
+//! Both take any number of registries and merge them; when two registries
+//! define the same metric name, the first registry passed wins and later
+//! duplicates are skipped (the serve layer scrapes its per-instance
+//! registry ahead of the process-global one).
+
+use crate::metrics::{bucket_lower_bound, bucket_upper_bound, MetricSnapshot, Registry, BUCKETS};
+use std::collections::BTreeSet;
+
+/// Merged `(name, help, value)` snapshots, first-registry-wins on
+/// duplicate names, sorted by name within each registry's block.
+fn merged_snapshots<'a>(
+    registries: impl IntoIterator<Item = &'a Registry>,
+) -> Vec<(String, String, MetricSnapshot)> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for registry in registries {
+        for (name, help, value) in registry.snapshot() {
+            if seen.insert(name.clone()) {
+                out.push((name, help, value));
+            }
+        }
+    }
+    out
+}
+
+/// Escapes a HELP string per the Prometheus text format (backslash and
+/// newline only).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Encodes the registries' current state in Prometheus text exposition
+/// format 0.0.4. Serve with `Content-Type: text/plain; version=0.0.4`.
+pub fn prometheus_text<'a>(registries: impl IntoIterator<Item = &'a Registry>) -> String {
+    let mut out = String::new();
+    for (name, help, value) in merged_snapshots(registries) {
+        match value {
+            MetricSnapshot::Counter(v) => {
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(&help)));
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                out.push_str(&format!("{name} {v}\n"));
+            }
+            MetricSnapshot::Gauge(v) => {
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(&help)));
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                out.push_str(&format!("{name} {v}\n"));
+            }
+            MetricSnapshot::Histogram(h) => {
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(&help)));
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for (i, &count) in h.buckets.iter().enumerate() {
+                    cumulative += count;
+                    match bucket_upper_bound(i) {
+                        // `le` is inclusive: bucket i's exclusive upper
+                        // bound 2^i means every sample in it is <= 2^i − 1.
+                        Some(ub) => out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            ub - 1
+                        )),
+                        None => {
+                            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"))
+                        }
+                    }
+                }
+                out.push_str(&format!("{name}_sum {}\n", h.sum));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+/// Encodes the registries' current state as a JSON object keyed by metric
+/// name. Counters and gauges are bare numbers; histograms are objects
+/// with `count`, `sum`, `mean`, and `buckets` (pairs of inclusive lower
+/// bound and sample count, empty buckets omitted).
+pub fn json_text<'a>(registries: impl IntoIterator<Item = &'a Registry>) -> String {
+    let mut out = String::from("{");
+    for (i, (name, _, value)) in merged_snapshots(registries).into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":"));
+        match value {
+            MetricSnapshot::Counter(v) => out.push_str(&v.to_string()),
+            MetricSnapshot::Gauge(v) => out.push_str(&v.to_string()),
+            MetricSnapshot::Histogram(h) => {
+                let mean = if h.count == 0 {
+                    0.0
+                } else {
+                    h.sum as f64 / h.count as f64
+                };
+                out.push_str(&format!(
+                    "{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"buckets\":[",
+                    h.count, h.sum, mean
+                ));
+                let mut first = true;
+                for (b, &count) in h.buckets.iter().enumerate().take(BUCKETS) {
+                    if count == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!("[{},{}]", bucket_lower_bound(b), count));
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("geoalign_expo_requests_total", "requests served")
+            .add(3);
+        r.gauge("geoalign_expo_entries", "cache entries").set(12);
+        let h = r.histogram("geoalign_expo_latency_micros", "request latency");
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(3));
+        r
+    }
+
+    #[test]
+    fn prometheus_counters_and_gauges() {
+        let text = prometheus_text([&sample_registry()]);
+        assert!(text.contains("# HELP geoalign_expo_requests_total requests served\n"));
+        assert!(text.contains("# TYPE geoalign_expo_requests_total counter\n"));
+        assert!(text.contains("\ngeoalign_expo_requests_total 3\n"));
+        assert!(text.contains("# TYPE geoalign_expo_entries gauge\n"));
+        assert!(text.contains("\ngeoalign_expo_entries 12\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_series_are_cumulative() {
+        let text = prometheus_text([&sample_registry()]);
+        assert!(text.contains("# TYPE geoalign_expo_latency_micros histogram\n"));
+        // 1µs is in bucket 1 (le=1); both 3µs samples in bucket 2 (le=3).
+        assert!(text.contains("geoalign_expo_latency_micros_bucket{le=\"0\"} 0\n"));
+        assert!(text.contains("geoalign_expo_latency_micros_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("geoalign_expo_latency_micros_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("geoalign_expo_latency_micros_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("geoalign_expo_latency_micros_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("geoalign_expo_latency_micros_sum 7\n"));
+        assert!(text.contains("geoalign_expo_latency_micros_count 3\n"));
+        // Exactly BUCKETS bucket lines.
+        assert_eq!(
+            text.matches("geoalign_expo_latency_micros_bucket{").count(),
+            BUCKETS
+        );
+    }
+
+    #[test]
+    fn json_shape_matches_serve_conventions() {
+        let text = json_text([&sample_registry()]);
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains("\"geoalign_expo_requests_total\":3"));
+        assert!(text.contains("\"geoalign_expo_entries\":12"));
+        assert!(text.contains(
+            "\"geoalign_expo_latency_micros\":{\"count\":3,\"sum\":7,\"mean\":2.333,\"buckets\":[[1,1],[2,2]]}"
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_first_registry_wins() {
+        let a = Registry::new();
+        a.counter("geoalign_expo_dup_total", "from a").add(1);
+        let b = Registry::new();
+        b.counter("geoalign_expo_dup_total", "from b").add(99);
+        b.counter("geoalign_expo_only_b_total", "only in b").add(5);
+        let text = prometheus_text([&a, &b]);
+        assert!(text.contains("\ngeoalign_expo_dup_total 1\n"));
+        assert!(!text.contains("geoalign_expo_dup_total 99"));
+        assert!(text.contains("\ngeoalign_expo_only_b_total 5\n"));
+        assert_eq!(text.matches("# TYPE geoalign_expo_dup_total").count(), 1);
+    }
+
+    #[test]
+    fn empty_registry_encodes_to_empty_documents() {
+        let r = Registry::new();
+        assert_eq!(prometheus_text([&r]), "");
+        assert_eq!(json_text([&r]), "{}");
+    }
+}

@@ -1,0 +1,60 @@
+//! **geoalign-obs** — workspace-wide observability on `std` only.
+//!
+//! The GeoAlign pipeline (disaggregation, simplex least squares,
+//! re-aggregation) computes plenty of structure worth watching — overlay
+//! fan-out, solver iteration counts, cache hit rates, per-phase wall
+//! time — and before this crate every layer threw it away or printed it
+//! ad hoc. This crate gives the workspace one coherent layer:
+//!
+//! * [`metrics`] — named [`Counter`]s, [`Gauge`]s, and log₂-bucketed
+//!   [`Histogram`]s collected in a [`Registry`]. Recording is lock-free
+//!   (relaxed atomics); registration is get-or-create by name. A process
+//!   [`Registry::global`] holds library-level metrics; embedders (the
+//!   serve layer) can also keep per-instance registries.
+//! * [`trace`] — a lightweight span/event facade: [`span!`] returns a
+//!   guard that records wall time, thread, parent span, and key/value
+//!   fields on drop. Finished records go to a lock-free ring buffer
+//!   ([`trace::drain_recent`]) and to pluggable [`trace::Subscriber`]s
+//!   (stderr text, JSON-lines writer, in-memory for tests). A
+//!   [`trace::begin_trace`] scope tags every span finished on the thread
+//!   with a request trace ID and collects them for access logging.
+//! * [`expo`] — exposition encoders: Prometheus text format
+//!   (`_bucket`/`_sum`/`_count` series for histograms) and a hand-rolled
+//!   JSON shape, both over registry snapshots.
+//!
+//! Metric names follow `geoalign_<crate>_<name>_<unit>` (see DESIGN.md
+//! §8). Everything is `std`-only and adds no dependencies anywhere.
+//!
+//! # Quick taste
+//!
+//! ```
+//! use geoalign_obs::{span, Registry};
+//!
+//! let registry = Registry::new();
+//! let solves = registry.counter("geoalign_demo_solves_total", "solves run");
+//! let latency = registry.histogram("geoalign_demo_solve_micros", "solve wall time");
+//!
+//! {
+//!     let _span = span!("solve", refs = 3usize);
+//!     solves.inc();
+//!     latency.record(std::time::Duration::from_micros(42));
+//! } // span finishes here
+//!
+//! let text = geoalign_obs::expo::prometheus_text([&registry]);
+//! assert!(text.contains("geoalign_demo_solves_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Counter, Gauge, Histogram,
+    HistogramSnapshot, MetricSnapshot, Registry, BUCKETS,
+};
+pub use trace::{
+    begin_trace, new_trace_id, FieldValue, JsonLinesSubscriber, MemorySubscriber, SpanRecord,
+    StderrSubscriber, Subscriber, TraceScope,
+};

@@ -1,0 +1,439 @@
+//! Named counters, gauges, and log₂-bucketed histograms in a [`Registry`].
+//!
+//! Handles ([`Counter`], [`Gauge`], `Arc<`[`Histogram`]`>`) are cheap
+//! clones of shared atomics: recording never takes a lock, and a handle
+//! stays valid for the life of the process regardless of what happens to
+//! the registry it came from. Registration is get-or-create by name, so
+//! library code can fetch its handles through `OnceLock` statics without
+//! coordinating initialization order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `0` covers values in `[0, 1)`
+/// (sub-unit recordings, e.g. sub-microsecond durations); bucket `i >= 1`
+/// covers `[2^(i-1), 2^i)`; the last bucket is open-ended.
+pub const BUCKETS: usize = 26;
+
+/// Index of the bucket holding `value` under the scheme documented on
+/// [`BUCKETS`]: `0` for sub-unit values, else `floor(log2(value)) + 1`,
+/// saturating at the last (open-ended) bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (`0` for bucket 0, else `2^(i-1)`).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Exclusive upper bound of bucket `i`, or `None` for the open-ended last
+/// bucket. Bucket 0's upper bound is `1` (it holds sub-unit values).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i + 1 >= BUCKETS {
+        None
+    } else {
+        Some(1u64 << i)
+    }
+}
+
+/// A log₂-bucketed histogram with lock-free recording.
+///
+/// Generic over the recorded unit: [`Histogram::record`] takes a
+/// [`Duration`] and records microseconds, [`Histogram::record_value`]
+/// takes any `u64` (iteration counts, fan-out sizes, ...).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration, in microseconds.
+    pub fn record(&self, d: Duration) {
+        self.record_value(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one raw value.
+    pub fn record_value(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// A point-in-time copy of all counters. Buckets are read relaxed, so
+    /// a snapshot taken under concurrent recording may be internally off
+    /// by in-flight increments — fine for exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, slot) in buckets.iter_mut().zip(&self.buckets) {
+            *b = slot.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`BUCKETS`] for the bounds).
+    pub buckets: [u64; BUCKETS],
+}
+
+/// A monotonically increasing counter handle. Clones share the value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge handle. Clones share the value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric's current value, for the exposition encoders.
+// The histogram variant dominates the size, but snapshots are built once
+// per scrape and iterated immediately — indirection would cost more than
+// the transient stack space saves.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// A counter's value.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(i64),
+    /// A histogram's counters.
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: String,
+    handle: Handle,
+}
+
+/// A collection of named metrics.
+///
+/// Names must match `[a-zA-Z_][a-zA-Z0-9_]*`; the workspace convention is
+/// `geoalign_<crate>_<name>_<unit>` (DESIGN.md §8). Registration is
+/// get-or-create: asking twice for the same name returns handles to the
+/// same underlying metric. Asking for an existing name with a *different
+/// metric type* panics — that is a programming error, not runtime input.
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Entry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.metrics.read().unwrap_or_else(|e| e.into_inner()).len();
+        f.debug_struct("Registry").field("metrics", &n).finish()
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry library code records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn get_or_insert(&self, name: &str, help: &str, make: impl FnOnce() -> Handle) -> Handle {
+        assert!(valid_name(name), "invalid metric name '{name}'");
+        {
+            let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = metrics.get(name) {
+                return entry.handle.clone();
+            }
+        }
+        let mut metrics = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Entry {
+                help: help.to_owned(),
+                handle: make(),
+            })
+            .handle
+            .clone()
+    }
+
+    /// The counter named `name`, created with `help` on first use.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match self.get_or_insert(name, help, || Handle::Counter(Counter::new())) {
+            Handle::Counter(c) => c,
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// The gauge named `name`, created with `help` on first use.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.get_or_insert(name, help, || Handle::Gauge(Gauge::new())) {
+            Handle::Gauge(g) => g,
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// The histogram named `name`, created with `help` on first use.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, || Handle::Histogram(Arc::new(Histogram::new()))) {
+            Handle::Histogram(h) => h,
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(name, help, value)` for every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, String, MetricSnapshot)> {
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        metrics
+            .iter()
+            .map(|(name, entry)| {
+                let value = match &entry.handle {
+                    Handle::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Handle::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Handle::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), entry.help.clone(), value)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_separates_sub_unit_from_unit() {
+        // The old scheme lumped 0µs and 1µs into one bucket; the fix puts
+        // sub-unit values in bucket 0 and 1 in bucket 1.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_power_of_two_boundaries() {
+        // 2^i lands in bucket i+1 and 2^i − 1 in bucket i, for every i the
+        // table can distinguish — the exact-boundary regression test for
+        // the bucket-math fix.
+        for i in 1..(BUCKETS - 2) {
+            let pow = 1u64 << i;
+            assert_eq!(bucket_index(pow), i + 1, "2^{i} must open bucket {}", i + 1);
+            assert_eq!(bucket_index(pow - 1), i, "2^{i}-1 must close bucket {i}");
+            assert_eq!(bucket_lower_bound(i + 1), pow);
+            assert_eq!(bucket_upper_bound(i), Some(pow));
+        }
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_upper_bound(0), Some(1));
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_records_durations_and_values() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(250)); // sub-microsecond → bucket 0
+        h.record(Duration::from_micros(1)); // bucket 1
+        h.record(Duration::from_micros(1000)); // bucket 10: [512, 1024)
+        h.record_value(7); // bucket 3: [4, 8)
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1 + 1000 + 7);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert!((h.mean() - 252.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6, "clones share the value");
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn registry_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("geoalign_test_ops_total", "ops");
+        let b = r.counter("geoalign_test_ops_total", "ignored on re-register");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.len(), 1);
+
+        let h = r.histogram("geoalign_test_latency_micros", "latency");
+        h.record_value(3);
+        r.gauge("geoalign_test_entries", "entries").set(9);
+        assert_eq!(r.len(), 3);
+
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _, _)| n.as_str()).collect();
+        // Sorted by name.
+        assert_eq!(
+            names,
+            [
+                "geoalign_test_entries",
+                "geoalign_test_latency_micros",
+                "geoalign_test_ops_total"
+            ]
+        );
+        match &snap[2].2 {
+            MetricSnapshot::Counter(v) => assert_eq!(*v, 2),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("geoalign_test_thing", "a counter");
+        r.gauge("geoalign_test_thing", "now a gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_panic() {
+        Registry::new().counter("not a metric name", "spaces are invalid");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = Registry::global().counter("geoalign_obs_test_global_total", "test");
+        let b = Registry::global().counter("geoalign_obs_test_global_total", "test");
+        let before = a.get();
+        b.inc();
+        assert_eq!(a.get(), before + 1);
+    }
+}

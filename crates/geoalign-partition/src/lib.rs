@@ -19,6 +19,7 @@ pub mod aggregate;
 pub mod crosswalk;
 pub mod disagg;
 pub mod error;
+mod obs;
 pub mod overlay;
 pub mod subset;
 pub mod table;

@@ -1,0 +1,42 @@
+//! Library-level metric handles for the partition layer, registered once
+//! in the process-global [`Registry`](geoalign_obs::Registry).
+//!
+//! Names follow `geoalign_<crate>_<name>_<unit>` (DESIGN.md §8). Handles
+//! are cached in `OnceLock` statics so overlay loops pay only the atomic
+//! increments.
+
+use geoalign_obs::{Counter, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
+
+/// Overlays computed (any kind: polygon, interval, box).
+pub(crate) fn overlay_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        Registry::global().counter(
+            "geoalign_partition_overlay_total",
+            "Overlay computations (intersection unit systems built)",
+        )
+    })
+}
+
+/// Intersection pieces produced across all overlays.
+pub(crate) fn overlay_pieces_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        Registry::global().counter(
+            "geoalign_partition_overlay_pieces_total",
+            "Intersection pieces produced across all overlays",
+        )
+    })
+}
+
+/// R-tree candidate count per source-unit probe in polygon overlays.
+pub(crate) fn rtree_candidates() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        Registry::global().histogram(
+            "geoalign_partition_rtree_candidates",
+            "Candidate target units returned per R-tree bbox probe",
+        )
+    })
+}

@@ -11,6 +11,7 @@ use crate::error::PartitionError;
 use crate::unit_system::{BoxUnitSystem, IntervalUnitSystem, PolygonUnitSystem};
 use geoalign_geom::clip::clip_convex;
 use geoalign_geom::Polygon;
+use geoalign_obs::span;
 
 /// One intersection unit: a piece of some source unit inside some target
 /// unit.
@@ -42,11 +43,18 @@ impl Overlay {
         source: &PolygonUnitSystem,
         target: &PolygonUnitSystem,
     ) -> Result<Self, PartitionError> {
+        let mut span = span!(
+            "overlay_polygons",
+            n_source = source.len(),
+            n_target = target.len()
+        );
         let mut pieces = Vec::new();
         let mut candidates: Vec<usize> = Vec::new();
+        let probe_hist = crate::obs::rtree_candidates();
         for (si, su) in source.units().iter().enumerate() {
             candidates.clear();
             target.rtree().query(su.bbox(), |ti| candidates.push(ti));
+            probe_hist.record_value(candidates.len() as u64);
             // Deterministic order regardless of tree layout.
             candidates.sort_unstable();
             for &ti in &candidates {
@@ -60,6 +68,9 @@ impl Overlay {
                 }
             }
         }
+        crate::obs::overlay_total().inc();
+        crate::obs::overlay_pieces_total().add(pieces.len() as u64);
+        span.record("pieces", pieces.len());
         Ok(Self {
             n_source: source.len(),
             n_target: target.len(),
@@ -73,6 +84,11 @@ impl Overlay {
         source: &IntervalUnitSystem,
         target: &IntervalUnitSystem,
     ) -> Result<Self, PartitionError> {
+        let mut span = span!(
+            "overlay_intervals",
+            n_source = source.len(),
+            n_target = target.len()
+        );
         let mut pieces = Vec::new();
         let mut ti = 0usize;
         for (si, su) in source.units().iter().enumerate() {
@@ -97,6 +113,9 @@ impl Overlay {
                 tj += 1;
             }
         }
+        crate::obs::overlay_total().inc();
+        crate::obs::overlay_pieces_total().add(pieces.len() as u64);
+        span.record("pieces", pieces.len());
         Ok(Self {
             n_source: source.len(),
             n_target: target.len(),
@@ -114,6 +133,11 @@ impl Overlay {
                 right: target.dim(),
             });
         }
+        let mut span = span!(
+            "overlay_boxes",
+            n_source = source.len(),
+            n_target = target.len()
+        );
         let mut pieces = Vec::new();
         for (si, su) in source.units().iter().enumerate() {
             for (ti, tu) in target.units().iter().enumerate() {
@@ -127,6 +151,9 @@ impl Overlay {
                 }
             }
         }
+        crate::obs::overlay_total().inc();
+        crate::obs::overlay_pieces_total().add(pieces.len() as u64);
+        span.record("pieces", pieces.len());
         Ok(Self {
             n_source: source.len(),
             n_target: target.len(),

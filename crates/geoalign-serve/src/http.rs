@@ -152,6 +152,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` of the body.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `X-Trace-Id`), written verbatim after
+    /// the standard ones.
+    pub headers: Vec<(String, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
 }
@@ -162,6 +165,18 @@ impl Response {
         Response {
             status: 200,
             content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A 200 with a plain-text body of the given `Content-Type` (used by
+    /// the Prometheus exposition of `/metrics`).
+    pub fn text(content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -172,8 +187,14 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.to_string().into_bytes(),
         }
+    }
+
+    /// Appends an extra response header.
+    pub fn set_header(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.headers.push((name.into(), value.into()));
     }
 
     /// Serializes the response onto `stream`.
@@ -181,12 +202,16 @@ impl Response {
         let reason = reason_phrase(self.status);
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason,
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(stream, "\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -271,5 +296,16 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains(r#"{"error":"no such route"}"#));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut resp = Response::json(br#"{}"#.to_vec());
+        resp.set_header("X-Trace-Id", "abc123");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nX-Trace-Id: abc123\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 }

@@ -16,6 +16,13 @@
 //! dependencies — the handlers are CPU-bound sparse algebra, so threads
 //! are the right concurrency primitive and the binary stays small.
 //!
+//! The service is observable through `geoalign-obs`: every request runs
+//! under a trace scope keyed by its `X-Trace-Id` header (generated when
+//! absent, always echoed back), finished spans go into the optional
+//! JSON-lines access log ([`ServerConfig::access_log`]), and `/metrics`
+//! serves both the legacy JSON shape and Prometheus text exposition
+//! (`?format=prometheus`). See DESIGN.md §8.
+//!
 //! # Quick start
 //!
 //! ```no_run

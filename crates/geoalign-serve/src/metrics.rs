@@ -1,150 +1,173 @@
-//! Lock-free service metrics: per-endpoint request counters and
-//! log-bucketed latency histograms per algorithm phase, fed from the
-//! [`geoalign_core::PhaseTimings`] every crosswalk apply reports.
+//! Service metrics, backed by a per-instance [`geoalign_obs::Registry`].
+//!
+//! The histogram type is [`geoalign_obs::Histogram`] re-exported — the
+//! serve-local log₂ histogram this module used to define moved there
+//! (with fixed bucket math: sub-microsecond and 1µs durations now land in
+//! distinct buckets). The `/metrics` JSON shape is unchanged from the
+//! pre-registry implementation; the registry additionally enables the
+//! Prometheus text exposition of `GET /metrics?format=prometheus`.
+//!
+//! Each [`Metrics`] owns its registry (metric values are per-server, not
+//! process-global), under names following the `geoalign_<crate>_<name>_
+//! <unit>` convention of DESIGN.md §8.
 
 use crate::json::Json;
 use geoalign_core::PhaseTimings;
-use std::sync::atomic::{AtomicU64, Ordering};
+pub use geoalign_obs::Histogram;
+use geoalign_obs::{bucket_lower_bound, Counter, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of histogram buckets: bucket `i` covers durations in
-/// `[2^i, 2^(i+1))` microseconds, with the last bucket open-ended.
-const BUCKETS: usize = 24;
-
-/// A log₂-bucketed latency histogram with lock-free recording.
-#[derive(Debug, Default)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-}
-
-impl Histogram {
-    /// Records one duration.
-    pub fn record(&self, d: Duration) {
-        let micros = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = if micros == 0 {
-            0
-        } else {
-            (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
-        };
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean recorded duration in microseconds (0 when empty).
-    pub fn mean_micros(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum_micros.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// JSON rendering: count, sum, mean, and the non-empty buckets as
-    /// `[lower_bound_micros, count]` pairs.
-    pub fn to_json(&self) -> Json {
-        let mut buckets = Vec::new();
-        for (i, b) in self.buckets.iter().enumerate() {
-            let n = b.load(Ordering::Relaxed);
-            if n > 0 {
-                let lower = if i == 0 { 0 } else { 1u64 << i };
-                buckets.push(Json::Array(vec![
-                    Json::Number(lower as f64),
-                    Json::Number(n as f64),
-                ]));
-            }
-        }
-        Json::object([
-            ("count", Json::Number(self.count() as f64)),
-            (
-                "sum_micros",
-                Json::Number(self.sum_micros.load(Ordering::Relaxed) as f64),
-            ),
-            ("mean_micros", Json::Number(self.mean_micros())),
-            ("buckets_micros", Json::Array(buckets)),
-        ])
-    }
-}
-
 /// All service metrics; shared via `Arc` across worker threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
+    registry: Registry,
     /// Requests answered, total (any route, any status).
-    pub requests_total: AtomicU64,
+    pub requests_total: Counter,
     /// Requests answered with a 2xx status.
-    pub requests_ok: AtomicU64,
+    pub requests_ok: Counter,
     /// Requests answered with a 4xx/5xx status.
-    pub requests_failed: AtomicU64,
+    pub requests_failed: Counter,
     /// `/crosswalk` attribute vectors applied.
-    pub attributes_applied: AtomicU64,
+    pub attributes_applied: Counter,
     /// Wall-clock latency of whole requests.
-    pub request_latency: Histogram,
+    pub request_latency: Arc<Histogram>,
     /// Prepare-phase latency (cache misses only).
-    pub prepare_latency: Histogram,
+    pub prepare_latency: Arc<Histogram>,
     /// Weight-learning latency per applied attribute.
-    pub weight_learning_latency: Histogram,
+    pub weight_learning_latency: Arc<Histogram>,
     /// Disaggregation latency per applied attribute.
-    pub disaggregation_latency: Histogram,
+    pub disaggregation_latency: Arc<Histogram>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        let registry = Registry::new();
+        let requests_total = registry.counter(
+            "geoalign_serve_requests_total",
+            "Requests answered (any route, any status)",
+        );
+        let requests_ok = registry.counter(
+            "geoalign_serve_requests_ok_total",
+            "Requests answered with a 2xx status",
+        );
+        let requests_failed = registry.counter(
+            "geoalign_serve_requests_failed_total",
+            "Requests answered with a 4xx/5xx status",
+        );
+        let attributes_applied = registry.counter(
+            "geoalign_serve_attributes_applied_total",
+            "/crosswalk attribute vectors applied",
+        );
+        let request_latency = registry.histogram(
+            "geoalign_serve_request_latency_micros",
+            "Wall-clock latency of whole requests",
+        );
+        let prepare_latency = registry.histogram(
+            "geoalign_serve_prepare_latency_micros",
+            "Prepare-phase latency on cache misses",
+        );
+        let weight_learning_latency = registry.histogram(
+            "geoalign_serve_weight_learning_latency_micros",
+            "Weight-learning latency per applied attribute",
+        );
+        let disaggregation_latency = registry.histogram(
+            "geoalign_serve_disaggregation_latency_micros",
+            "Disaggregation latency per applied attribute",
+        );
+        Metrics {
+            registry,
+            requests_total,
+            requests_ok,
+            requests_failed,
+            attributes_applied,
+            request_latency,
+            prepare_latency,
+            weight_learning_latency,
+            disaggregation_latency,
+        }
+    }
 }
 
 impl Metrics {
+    /// The backing registry — input to the Prometheus exposition.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Counts one finished request.
     pub fn record_request(&self, status: u16, latency: Duration) {
-        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.requests_total.inc();
         if (200..300).contains(&status) {
-            self.requests_ok.fetch_add(1, Ordering::Relaxed);
+            self.requests_ok.inc();
         } else {
-            self.requests_failed.fetch_add(1, Ordering::Relaxed);
+            self.requests_failed.inc();
         }
         self.request_latency.record(latency);
     }
 
     /// Feeds one apply's phase timings into the per-phase histograms.
     pub fn record_phases(&self, t: &PhaseTimings) {
-        self.attributes_applied.fetch_add(1, Ordering::Relaxed);
+        self.attributes_applied.inc();
         self.weight_learning_latency.record(t.weight_learning);
         self.disaggregation_latency.record(t.disaggregation);
     }
 
-    /// JSON snapshot of every counter and histogram.
+    /// JSON snapshot of every counter and histogram, in the shape the
+    /// `/metrics` endpoint has served since the endpoint existed.
     pub fn to_json(&self) -> Json {
         Json::object([
             (
                 "requests_total",
-                Json::Number(self.requests_total.load(Ordering::Relaxed) as f64),
+                Json::Number(self.requests_total.get() as f64),
             ),
-            (
-                "requests_ok",
-                Json::Number(self.requests_ok.load(Ordering::Relaxed) as f64),
-            ),
+            ("requests_ok", Json::Number(self.requests_ok.get() as f64)),
             (
                 "requests_failed",
-                Json::Number(self.requests_failed.load(Ordering::Relaxed) as f64),
+                Json::Number(self.requests_failed.get() as f64),
             ),
             (
                 "attributes_applied",
-                Json::Number(self.attributes_applied.load(Ordering::Relaxed) as f64),
+                Json::Number(self.attributes_applied.get() as f64),
             ),
-            ("request_latency", self.request_latency.to_json()),
-            ("prepare_latency", self.prepare_latency.to_json()),
+            ("request_latency", histogram_to_json(&self.request_latency)),
+            ("prepare_latency", histogram_to_json(&self.prepare_latency)),
             (
                 "weight_learning_latency",
-                self.weight_learning_latency.to_json(),
+                histogram_to_json(&self.weight_learning_latency),
             ),
             (
                 "disaggregation_latency",
-                self.disaggregation_latency.to_json(),
+                histogram_to_json(&self.disaggregation_latency),
             ),
         ])
     }
+}
+
+/// A histogram's `/metrics` JSON rendering: count, sum, mean, and the
+/// non-empty buckets as `[lower_bound_micros, count]` pairs.
+pub fn histogram_to_json(h: &Histogram) -> Json {
+    let snap = h.snapshot();
+    let mut buckets = Vec::new();
+    for (i, &n) in snap.buckets.iter().enumerate() {
+        if n > 0 {
+            buckets.push(Json::Array(vec![
+                Json::Number(bucket_lower_bound(i) as f64),
+                Json::Number(n as f64),
+            ]));
+        }
+    }
+    let mean = if snap.count == 0 {
+        0.0
+    } else {
+        snap.sum as f64 / snap.count as f64
+    };
+    Json::object([
+        ("count", Json::Number(snap.count as f64)),
+        ("sum_micros", Json::Number(snap.sum as f64)),
+        ("mean_micros", Json::Number(mean)),
+        ("buckets_micros", Json::Array(buckets)),
+    ])
 }
 
 #[cfg(test)]
@@ -153,18 +176,25 @@ mod tests {
 
     #[test]
     fn histogram_buckets_by_log2_micros() {
-        let h = Histogram::default();
+        let h = Histogram::new();
         h.record(Duration::from_micros(0));
         h.record(Duration::from_micros(1));
         h.record(Duration::from_micros(3));
         h.record(Duration::from_micros(1000));
         assert_eq!(h.count(), 4);
-        assert!((h.mean_micros() - 251.0).abs() < 1e-9);
-        let json = h.to_json();
+        assert!((h.mean() - 251.0).abs() < 1e-9);
+        let json = histogram_to_json(&h);
         assert_eq!(json.get("count").unwrap().as_f64(), Some(4.0));
-        // 0µs and 1µs land in bucket 0; 3µs in [2,4); 1000µs in [512,1024).
+        // Distinct buckets after the bucket-math fix: 0µs in [0,1), 1µs in
+        // [1,2), 3µs in [2,4), 1000µs in [512,1024) — four buckets, where
+        // the old math collapsed 0µs and 1µs into one.
         let buckets = json.get("buckets_micros").unwrap().as_array().unwrap();
-        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets.len(), 4);
+        let lowers: Vec<f64> = buckets
+            .iter()
+            .map(|b| b.as_array().unwrap()[0].as_f64().unwrap())
+            .collect();
+        assert_eq!(lowers, [0.0, 1.0, 2.0, 512.0]);
     }
 
     #[test]
@@ -189,8 +219,57 @@ mod tests {
         };
         m.record_phases(&t);
         m.record_phases(&t);
-        assert_eq!(m.attributes_applied.load(Ordering::Relaxed), 2);
+        assert_eq!(m.attributes_applied.get(), 2);
         assert_eq!(m.weight_learning_latency.count(), 2);
         assert_eq!(m.disaggregation_latency.count(), 2);
+    }
+
+    #[test]
+    fn json_shape_is_backward_compatible() {
+        // Compatibility contract for pre-registry /metrics clients: same
+        // keys, same nesting, same histogram sub-shape, same key order.
+        let m = Metrics::default();
+        m.record_request(200, Duration::from_micros(3));
+        let json = m.to_json();
+        let Json::Object(pairs) = &json else {
+            panic!("metrics JSON must be an object")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "requests_total",
+                "requests_ok",
+                "requests_failed",
+                "attributes_applied",
+                "request_latency",
+                "prepare_latency",
+                "weight_learning_latency",
+                "disaggregation_latency"
+            ]
+        );
+        let hist = json.get("request_latency").unwrap();
+        let Json::Object(hpairs) = hist else {
+            panic!("histogram JSON must be an object")
+        };
+        let hkeys: Vec<&str> = hpairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            hkeys,
+            ["count", "sum_micros", "mean_micros", "buckets_micros"]
+        );
+        // Buckets are [lower_micros, count] pairs.
+        let bucket = &hist.get("buckets_micros").unwrap().as_array().unwrap()[0];
+        assert_eq!(bucket.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn registry_drives_prometheus_exposition() {
+        let m = Metrics::default();
+        m.record_request(200, Duration::from_micros(3));
+        let text = geoalign_obs::expo::prometheus_text([m.registry()]);
+        assert!(text.contains("# TYPE geoalign_serve_requests_total counter"));
+        assert!(text.contains("geoalign_serve_requests_total 1"));
+        assert!(text.contains("geoalign_serve_request_latency_micros_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("geoalign_serve_request_latency_micros_count 1"));
     }
 }

@@ -5,14 +5,22 @@
 //! | POST   | `/systems`    | register a unit system                         |
 //! | POST   | `/references` | register a reference crosswalk                 |
 //! | POST   | `/crosswalk`  | apply one crosswalk to a batch of attributes   |
-//! | GET    | `/healthz`    | liveness probe                                 |
+//! | GET    | `/healthz`    | readiness: store size, uptime, build info      |
 //! | GET    | `/metrics`    | counters, cache stats, latency histograms      |
+//!
+//! `/metrics` serves the JSON snapshot by default and Prometheus text
+//! exposition when asked — either `GET /metrics?format=prometheus` or an
+//! `Accept: text/plain` header.
 
 use crate::http::{HttpError, Request, Response};
 use crate::json::{self, Json};
 use crate::store::AppState;
 use geoalign_core::{CoreError, ReferenceData};
+use geoalign_obs::{expo, Registry};
 use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+
+/// `Content-Type` of the Prometheus text exposition format.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 /// Dispatches one request to its handler. Never panics; every failure
 /// becomes a JSON error response.
@@ -21,12 +29,8 @@ pub fn route(state: &AppState, req: &Request) -> Response {
         ("POST", "/systems") => post_systems(state, req),
         ("POST", "/references") => post_references(state, req),
         ("POST", "/crosswalk") => post_crosswalk(state, req),
-        ("GET", "/healthz") => Ok(Response::json(
-            Json::object([("status", Json::from("ok"))])
-                .to_string()
-                .into_bytes(),
-        )),
-        ("GET", "/metrics") => Ok(get_metrics(state)),
+        ("GET", "/healthz") => Ok(get_healthz(state)),
+        ("GET", "/metrics") => Ok(get_metrics(state, req)),
         (_, "/systems" | "/references" | "/crosswalk" | "/healthz" | "/metrics") => {
             Err(HttpError {
                 status: 405,
@@ -234,9 +238,83 @@ fn post_crosswalk(state: &AppState, req: &Request) -> Result<Response, HttpError
     ))
 }
 
+/// `GET /healthz` — readiness detail: cached crosswalks, uptime, and the
+/// build this binary came from (`GEOALIGN_GIT_HASH` is stamped at build
+/// time when available; "unknown" otherwise).
+fn get_healthz(state: &AppState) -> Response {
+    let build = Json::object([
+        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+        (
+            "git_hash",
+            Json::from(option_env!("GEOALIGN_GIT_HASH").unwrap_or("unknown")),
+        ),
+    ]);
+    Response::json(
+        Json::object([
+            ("status", Json::from("ok")),
+            (
+                "store_entries",
+                Json::Number(state.cache.stats().entries as f64),
+            ),
+            (
+                "uptime_seconds",
+                Json::Number(state.uptime().as_secs() as f64),
+            ),
+            ("build", build),
+        ])
+        .to_string()
+        .into_bytes(),
+    )
+}
+
+/// Whether the request asked for Prometheus text exposition — via
+/// `?format=prometheus` or an `Accept: text/plain` header.
+fn wants_prometheus(req: &Request) -> bool {
+    if req.query.split('&').any(|kv| kv == "format=prometheus") {
+        return true;
+    }
+    req.header("accept")
+        .is_some_and(|accept| accept.contains("text/plain"))
+}
+
 /// `GET /metrics` — counters, cache stats, per-phase latency histograms.
-fn get_metrics(state: &AppState) -> Response {
+/// JSON by default (the shape pre-registry clients rely on), Prometheus
+/// text exposition when asked (see [`wants_prometheus`]).
+fn get_metrics(state: &AppState, req: &Request) -> Response {
     let stats = state.cache.stats();
+    if wants_prometheus(req) {
+        // Cache stats live as plain atomics on the store, so mirror them
+        // into a scratch registry for this scrape. The serve registry is
+        // scraped first, then the scratch, then the process-global
+        // registry with the core/partition library metrics.
+        let scratch = Registry::new();
+        scratch
+            .counter(
+                "geoalign_serve_cache_hits_total",
+                "Prepared-crosswalk cache hits",
+            )
+            .add(stats.hits);
+        scratch
+            .counter(
+                "geoalign_serve_cache_misses_total",
+                "Prepared-crosswalk cache misses",
+            )
+            .add(stats.misses);
+        scratch
+            .counter(
+                "geoalign_serve_cache_evictions_total",
+                "Prepared-crosswalk cache evictions",
+            )
+            .add(stats.evictions);
+        scratch
+            .gauge(
+                "geoalign_serve_cache_entries",
+                "Prepared crosswalks currently cached",
+            )
+            .set(stats.entries as i64);
+        let text = expo::prometheus_text([state.metrics.registry(), &scratch, Registry::global()]);
+        return Response::text(PROMETHEUS_CONTENT_TYPE, text.into_bytes());
+    }
     let cache = Json::object([
         ("hits", Json::Number(stats.hits as f64)),
         ("misses", Json::Number(stats.misses as f64)),
@@ -373,6 +451,65 @@ mod tests {
         );
         assert_eq!(r.status, 400);
         assert!(String::from_utf8_lossy(&r.body).contains("z9"));
+    }
+
+    #[test]
+    fn healthz_reports_readiness_detail() {
+        let state = state_with_world();
+        let body = r#"{"source":"zip","target":"county",
+            "attributes":[{"name":"steam","values":[10,20,30]}]}"#;
+        route(&state, &request("POST", "/crosswalk", body));
+        let r = route(&state, &request("GET", "/healthz", ""));
+        assert_eq!(r.status, 200);
+        let doc = body_json(&r);
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("store_entries").unwrap().as_f64(), Some(1.0));
+        assert!(doc.get("uptime_seconds").unwrap().as_f64().unwrap() >= 0.0);
+        let build = doc.get("build").unwrap();
+        assert_eq!(
+            build.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(build.get("git_hash").unwrap().as_str().is_some());
+    }
+
+    #[test]
+    fn metrics_content_negotiation() {
+        let state = state_with_world();
+        let body = r#"{"source":"zip","target":"county",
+            "attributes":[{"name":"steam","values":[10,20,30]}]}"#;
+        route(&state, &request("POST", "/crosswalk", body));
+
+        // ?format=prometheus switches to text exposition.
+        let mut prom_req = request("GET", "/metrics", "");
+        prom_req.query = "format=prometheus".to_owned();
+        let r = route(&state, &prom_req);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "text/plain; version=0.0.4");
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("# TYPE geoalign_serve_requests_total counter"));
+        assert!(
+            text.contains("geoalign_serve_weight_learning_latency_micros_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("geoalign_serve_weight_learning_latency_micros_count 1"));
+        assert!(text.contains("geoalign_serve_cache_misses_total 1"));
+        assert!(text.contains("geoalign_serve_cache_entries 1"));
+        // Library metrics from the process-global registry ride along.
+        assert!(text.contains("geoalign_core_solver_iterations"), "{text}");
+
+        // Accept: text/plain also selects Prometheus.
+        let mut accept_req = request("GET", "/metrics", "");
+        accept_req
+            .headers
+            .push(("accept".to_owned(), "text/plain".to_owned()));
+        let r = route(&state, &accept_req);
+        assert_eq!(r.content_type, "text/plain; version=0.0.4");
+
+        // The default stays JSON, same shape as ever.
+        let r = route(&state, &request("GET", "/metrics", ""));
+        assert_eq!(r.content_type, "application/json");
+        assert!(body_json(&r).get("request_latency").is_some());
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! the request handlers are CPU-bound sparse algebra, so a thread per
 //! in-flight request up to the pool size is the right shape.
 
-use crate::http::{read_request, Response};
+use crate::http::{read_request, Request, Response};
 use crate::router::route;
 use crate::store::AppState;
+use geoalign_obs::{begin_trace, new_trace_id, SpanRecord};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,6 +22,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Capacity of the prepared-crosswalk cache.
     pub cache_capacity: usize,
+    /// Path of the JSON-lines access log (`serve --access-log`); `None`
+    /// disables access logging.
+    pub access_log: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -28,6 +32,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             cache_capacity: crate::store::DEFAULT_CACHE_CAPACITY,
+            access_log: None,
         }
     }
 }
@@ -56,6 +61,13 @@ impl Server {
         config: ServerConfig,
         state: Arc<AppState>,
     ) -> io::Result<Server> {
+        if let Some(path) = &config.access_log {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            state.set_access_log(Box::new(file));
+        }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -135,17 +147,73 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<AppState>
 }
 
 /// Serves one connection: parse, route, respond, close.
+///
+/// Every parsed request runs under a trace scope keyed by its
+/// `X-Trace-Id` header (one is generated when absent); the ID is echoed
+/// in the response, and the spans finished while routing — the core's
+/// per-phase spans among them — go into the access-log line.
 fn handle_connection(mut stream: TcpStream, state: &Arc<AppState>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let t0 = Instant::now();
     let response = match read_request(&mut stream) {
-        Ok(Some(request)) => route(state, &request),
+        Ok(Some(request)) => {
+            let trace_id = request
+                .header("x-trace-id")
+                .map(str::to_owned)
+                .unwrap_or_else(new_trace_id);
+            let scope = begin_trace(&trace_id);
+            let mut response = route(state, &request);
+            let spans = scope.finish();
+            response.set_header("X-Trace-Id", trace_id.clone());
+            state.log_access(&access_log_line(
+                &trace_id,
+                &request,
+                response.status,
+                t0.elapsed(),
+                &spans,
+            ));
+            response
+        }
         Ok(None) => return, // client connected and went away
         Err(e) => Response::from(e),
     };
     state.metrics.record_request(response.status, t0.elapsed());
     let _ = response.write_to(&mut stream);
+}
+
+/// One JSON access-log line: the trace ID, request line, status, total
+/// duration, and a `spans` array with each finished span's name and wall
+/// time (the per-phase breakdown of `/crosswalk` requests).
+fn access_log_line(
+    trace_id: &str,
+    request: &Request,
+    status: u16,
+    duration: Duration,
+    spans: &[SpanRecord],
+) -> String {
+    use crate::json::Json;
+    let span_entries: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            Json::object([
+                ("name", Json::from(s.name)),
+                ("duration_micros", Json::Number(s.duration_micros as f64)),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("trace_id", Json::from(trace_id)),
+        ("method", Json::from(request.method.as_str())),
+        ("path", Json::from(request.path.as_str())),
+        ("status", Json::Number(f64::from(status))),
+        (
+            "duration_micros",
+            Json::Number(duration.as_micros().min(u128::from(u64::MAX)) as f64),
+        ),
+        ("spans", Json::Array(span_entries)),
+    ])
+    .to_string()
 }
 
 #[cfg(test)]
@@ -167,7 +235,9 @@ mod tests {
         let addr = server.addr();
         let reply = send(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
         assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
-        assert!(reply.contains(r#"{"status":"ok"}"#));
+        assert!(reply.contains(r#""status":"ok""#));
+        assert!(reply.contains(r#""uptime_seconds":"#));
+        assert!(reply.contains("\r\nX-Trace-Id: "), "{reply}");
         let reply = send(addr, "GET /missing HTTP/1.1\r\n\r\n");
         assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
         let metrics = send(addr, "GET /metrics HTTP/1.1\r\n\r\n");
@@ -190,6 +260,7 @@ mod tests {
             ServerConfig {
                 workers: 2,
                 cache_capacity: 4,
+                access_log: None,
             },
         )
         .unwrap();

@@ -8,30 +8,38 @@ use crate::metrics::Metrics;
 use geoalign_core::{
     CoreError, CrosswalkKey, CrosswalkStore, IntegrationPipeline, PreparedCrosswalk, ReferenceData,
 };
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::io::Write;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 /// Default number of prepared crosswalks the cache retains.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 
 /// Everything the worker threads share.
-#[derive(Debug)]
 pub struct AppState {
     pipeline: RwLock<IntegrationPipeline>,
     /// The prepared-crosswalk cache.
     pub cache: CrosswalkStore,
     /// Service metrics.
     pub metrics: Metrics,
+    started: Instant,
+    access_log: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for AppState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppState")
+            .field("cache", &self.cache)
+            .field("metrics", &self.metrics)
+            .field("uptime_seconds", &self.uptime().as_secs())
+            .finish_non_exhaustive()
+    }
 }
 
 impl AppState {
     /// Fresh state with an empty pipeline and a cache of `capacity`.
     pub fn new(cache_capacity: usize) -> Arc<Self> {
-        Arc::new(AppState {
-            pipeline: RwLock::new(IntegrationPipeline::new()),
-            cache: CrosswalkStore::new(cache_capacity),
-            metrics: Metrics::default(),
-        })
+        Self::with_pipeline(IntegrationPipeline::new(), cache_capacity)
     }
 
     /// State wrapping an already-populated pipeline (used by tests and by
@@ -41,7 +49,38 @@ impl AppState {
             pipeline: RwLock::new(pipeline),
             cache: CrosswalkStore::new(cache_capacity),
             metrics: Metrics::default(),
+            started: Instant::now(),
+            access_log: Mutex::new(None),
         })
+    }
+
+    /// Time since this state was created (the server's uptime).
+    pub fn uptime(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Installs an access-log sink; each finished request appends one
+    /// JSON line. Passing a fresh sink replaces the previous one.
+    pub fn set_access_log(&self, sink: Box<dyn Write + Send>) {
+        *self.access_log.lock().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+    }
+
+    /// Whether an access-log sink is installed.
+    pub fn access_log_enabled(&self) -> bool {
+        self.access_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Appends one line to the access log, if a sink is installed. Write
+    /// failures are swallowed — logging must never break serving.
+    pub fn log_access(&self, line: &str) {
+        let mut guard = self.access_log.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(sink) = guard.as_mut() {
+            let _ = writeln!(sink, "{line}");
+            let _ = sink.flush();
+        }
     }
 
     /// Read access to the registry.

@@ -1,0 +1,157 @@
+//! End-to-end observability tests over a real TCP socket: trace-ID
+//! propagation, the JSON-lines access log, and the Prometheus exposition,
+//! exercised the way an operator would see them.
+
+use geoalign_core::{IntegrationPipeline, ReferenceData};
+use geoalign_partition::DisaggregationMatrix;
+use geoalign_serve::{AppState, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` sink the test can read back: the access log goes here
+/// instead of a file.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn populated_state() -> Arc<AppState> {
+    let mut pipeline = IntegrationPipeline::new();
+    pipeline.register_system("zip", ["z1", "z2", "z3"]);
+    pipeline.register_system("county", ["A", "B"]);
+    let dm = DisaggregationMatrix::from_triples(
+        "population",
+        3,
+        2,
+        [(0, 0, 100.0), (1, 0, 60.0), (1, 1, 40.0), (2, 1, 80.0)],
+    )
+    .unwrap();
+    pipeline
+        .register_reference(
+            "zip",
+            "county",
+            ReferenceData::from_dm("population", dm).unwrap(),
+        )
+        .unwrap();
+    AppState::with_pipeline(pipeline, 8)
+}
+
+fn send(addr: std::net::SocketAddr, raw: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+const CROSSWALK_BODY: &str =
+    r#"{"source":"zip","target":"county","attributes":[{"name":"steam","values":[10,20,30]}]}"#;
+
+fn crosswalk_request(extra_headers: &str) -> String {
+    format!(
+        "POST /crosswalk HTTP/1.1\r\nHost: x\r\n{extra_headers}Content-Length: {}\r\n\r\n{}",
+        CROSSWALK_BODY.len(),
+        CROSSWALK_BODY
+    )
+}
+
+#[test]
+fn trace_id_round_trips_and_lands_in_the_access_log() {
+    let state = populated_state();
+    let log = SharedBuf::default();
+    state.set_access_log(Box::new(log.clone()));
+    assert!(state.access_log_enabled());
+    let server = Server::bind_with_state("127.0.0.1:0", ServerConfig::default(), state).unwrap();
+    let addr = server.addr();
+
+    let reply = send(addr, &crosswalk_request("X-Trace-Id: cafe0123deadbeef\r\n"));
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    // The caller's trace ID is echoed, not replaced.
+    assert!(
+        reply.contains("\r\nX-Trace-Id: cafe0123deadbeef\r\n"),
+        "{reply}"
+    );
+
+    // A request without the header gets a generated 16-hex ID.
+    let reply2 = send(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    let generated = reply2
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Trace-Id: "))
+        .expect("generated trace id header")
+        .trim()
+        .to_owned();
+    assert_eq!(generated.len(), 16, "{generated}");
+    assert!(generated.chars().all(|c| c.is_ascii_hexdigit()));
+
+    server.shutdown();
+
+    let text = log.contents();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+
+    // The /crosswalk line carries the caller's ID, the request line, and
+    // the per-phase spans collected while routing.
+    let crosswalk_line = lines[0];
+    assert!(
+        crosswalk_line.contains(r#""trace_id":"cafe0123deadbeef""#),
+        "{crosswalk_line}"
+    );
+    assert!(crosswalk_line.contains(r#""method":"POST""#));
+    assert!(crosswalk_line.contains(r#""path":"/crosswalk""#));
+    assert!(crosswalk_line.contains(r#""status":200"#));
+    // The serve path fuses disaggregation and re-aggregation into one
+    // pass, so those are the four spans a cold /crosswalk finishes.
+    for span in ["prepare", "weight_learning", "disaggregation", "apply"] {
+        assert!(
+            crosswalk_line.contains(&format!(r#""name":"{span}""#)),
+            "missing span {span} in {crosswalk_line}"
+        );
+    }
+
+    // The /healthz line carries the generated ID and no solver spans.
+    let healthz_line = lines[1];
+    assert!(
+        healthz_line.contains(&format!(r#""trace_id":"{generated}""#)),
+        "{healthz_line}"
+    );
+    assert!(healthz_line.contains(r#""path":"/healthz""#));
+    assert!(healthz_line.contains(r#""spans":[]"#), "{healthz_line}");
+}
+
+#[test]
+fn prometheus_exposition_is_served_over_tcp() {
+    let state = populated_state();
+    let server = Server::bind_with_state("127.0.0.1:0", ServerConfig::default(), state).unwrap();
+    let addr = server.addr();
+
+    assert!(send(addr, &crosswalk_request("")).starts_with("HTTP/1.1 200 OK"));
+
+    let metrics = send(
+        addr,
+        "GET /metrics?format=prometheus HTTP/1.1\r\nHost: x\r\n\r\n",
+    );
+    assert!(
+        metrics.contains("Content-Type: text/plain; version=0.0.4"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("# TYPE geoalign_serve_requests_total counter"));
+    assert!(metrics.contains("geoalign_serve_request_latency_micros_count"));
+    assert!(metrics.contains("geoalign_serve_cache_misses_total 1"));
+
+    server.shutdown();
+}

@@ -10,6 +10,21 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> no ad-hoc printing in library crates (use geoalign-obs)"
+# Library layers must report through the obs layer, not stdout/stderr.
+# Comment and doc-comment lines are tolerated; the CLI crate is the one
+# place allowed to print.
+if matches=$(grep -rnE '\b(println|eprintln)!' \
+        crates/geoalign-core/src crates/geoalign-serve/src \
+        | grep -vE ':[0-9]+:\s*(//|//!|///)'); then
+    echo "error: println!/eprintln! in a library crate — route it through geoalign-obs:" >&2
+    echo "$matches" >&2
+    exit 1
+fi
+
+echo "==> cargo test -q -p geoalign-obs"
+cargo test -q -p geoalign-obs
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
