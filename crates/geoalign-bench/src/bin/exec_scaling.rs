@@ -1,0 +1,213 @@
+//! Executor scaling baseline: sequential vs 2/4/8-thread wall times for
+//! the two hottest parallel paths — polygon overlay construction and
+//! prepared-crosswalk batch apply — on a Fig. 6-scale synthetic universe.
+//!
+//! Writes machine-readable `BENCH_exec.json` (see `--out`) so future PRs
+//! can compare against a recorded perf baseline. The file also records
+//! `hardware_threads`: speedups are only meaningful when the host actually
+//! has spare cores — on a single-core container every thread count
+//! measures the same serialized work and the speedup columns read ~1.0.
+//!
+//! Usage: `exec_scaling [--small|--medium] [--seed N] [--trials N]
+//!                      [--out BENCH_exec.json]`
+
+use geoalign_core::{GeoAlign, ReferenceData};
+use geoalign_exec::Executor;
+use geoalign_geom::{Aabb, Point2, VoronoiDiagram};
+use geoalign_partition::{AggregateVector, Overlay, PolygonUnitSystem};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Times `f` over `trials` runs and returns the mean wall time in ms.
+fn time_ms<R>(trials: usize, mut f: impl FnMut() -> R) -> f64 {
+    let _ = f(); // warm-up
+    let t = Instant::now();
+    for _ in 0..trials {
+        let _ = f();
+    }
+    t.elapsed().as_secs_f64() * 1e3 / trials as f64
+}
+
+fn json_timing_block(label: &str, sequential_ms: f64, parallel_ms: &[(usize, f64)]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "  \"{label}\": {{\n    \"sequential_ms\": {sequential_ms:.3}"
+    );
+    for &(threads, ms) in parallel_ms {
+        let _ = write!(out, ",\n    \"threads_{threads}_ms\": {ms:.3}");
+    }
+    for &(threads, ms) in parallel_ms {
+        let _ = write!(
+            out,
+            ",\n    \"speedup_{threads}x\": {:.3}",
+            sequential_ms / ms.max(1e-9)
+        );
+    }
+    out.push_str("\n  }");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20180326u64;
+    let mut trials = 5usize;
+    let mut out_path = "BENCH_exec.json".to_owned();
+    // Fine/coarse jittered-grid sizes: ~Fig. 6's medium universe.
+    let (mut fine, mut coarse) = (40usize, 8usize);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            "--trials" => trials = it.next().expect("--trials value").parse().expect("int"),
+            "--out" => out_path = it.next().expect("--out value").clone(),
+            "--small" => (fine, coarse) = (16, 4),
+            "--medium" => (fine, coarse) = (40, 8),
+            flag => {
+                eprintln!("unknown argument: {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Build the synthetic universe: a fine and a coarse Voronoi partition
+    // of the unit square (jittered grids, like the Fig. 6 catalogs).
+    let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+    let mut state = seed;
+    let mut r = |_| lcg(&mut state);
+    let f = VoronoiDiagram::jittered_grid(bounds, fine, fine, 0.45, &mut r).expect("fine voronoi");
+    let c = VoronoiDiagram::jittered_grid(bounds, coarse, coarse, 0.45, &mut r)
+        .expect("coarse voronoi");
+    let source = PolygonUnitSystem::from_voronoi("fine", f).expect("source system");
+    let target = PolygonUnitSystem::from_voronoi("coarse", c).expect("target system");
+
+    eprintln!(
+        "# exec_scaling — overlay {}x{} units, trials {trials}, hardware threads {}",
+        source.len(),
+        target.len(),
+        geoalign_exec::global_threads()
+    );
+
+    // --- Overlay construction -------------------------------------------
+    let seq_overlay =
+        Overlay::polygons_with(&source, &target, Executor::sequential()).expect("overlay");
+    let overlay_seq_ms = time_ms(trials, || {
+        Overlay::polygons_with(&source, &target, Executor::sequential()).expect("overlay")
+    });
+    let mut overlay_par = Vec::new();
+    for threads in THREAD_COUNTS {
+        let exec = Executor::new(threads);
+        // The parallel overlay must be bit-identical to the sequential one.
+        let par = Overlay::polygons_with(&source, &target, exec).expect("overlay");
+        assert_eq!(par.len(), seq_overlay.len(), "overlay determinism violated");
+        for (a, b) in seq_overlay.pieces().iter().zip(par.pieces()) {
+            assert_eq!(a.measure.to_bits(), b.measure.to_bits());
+        }
+        let ms = time_ms(trials, || {
+            Overlay::polygons_with(&source, &target, exec).expect("overlay")
+        });
+        overlay_par.push((threads, ms));
+        eprintln!("overlay   @{threads} threads: {ms:>9.3} ms (seq {overlay_seq_ms:.3} ms)");
+    }
+
+    // --- Prepared batch apply -------------------------------------------
+    // References: the overlay's measure matrix plus two pseudo-random
+    // rescalings of it, prepared once; the timed operation is applying the
+    // snapshot to a batch of objective vectors.
+    let mut refs = Vec::new();
+    for k in 0..3 {
+        let dm = seq_overlay
+            .measure_dm(format!("ref{k}"))
+            .expect("measure dm");
+        let scaled = if k == 0 {
+            dm
+        } else {
+            let triples: Vec<(usize, usize, f64)> = dm
+                .matrix()
+                .iter()
+                .map(|(i, j, v)| (i, j, v * (0.2 + lcg(&mut state))))
+                .collect();
+            geoalign_partition::DisaggregationMatrix::from_triples(
+                format!("ref{k}"),
+                source.len(),
+                target.len(),
+                triples,
+            )
+            .expect("scaled dm")
+        };
+        refs.push(ReferenceData::from_dm(format!("ref{k}"), scaled).expect("reference"));
+    }
+    let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+    let prepared = GeoAlign::new().prepare(&ref_slices).expect("prepare");
+    let objectives: Vec<AggregateVector> = (0..32)
+        .map(|i| {
+            let values: Vec<f64> = (0..source.len()).map(|_| lcg(&mut state) * 100.0).collect();
+            AggregateVector::new(format!("attr{i}"), values).expect("objective")
+        })
+        .collect();
+
+    let seq_batch = prepared
+        .apply_batch_with(&objectives, Executor::sequential())
+        .expect("batch apply");
+    let batch_seq_ms = time_ms(trials, || {
+        prepared
+            .apply_batch_with(&objectives, Executor::sequential())
+            .expect("batch apply")
+    });
+    let mut batch_par = Vec::new();
+    for threads in THREAD_COUNTS {
+        let exec = Executor::new(threads);
+        let par = prepared
+            .apply_batch_with(&objectives, exec)
+            .expect("batch apply");
+        for (a, b) in seq_batch.iter().zip(&par) {
+            assert_eq!(
+                a.estimate.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.estimate.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "batch apply determinism violated"
+            );
+        }
+        let ms = time_ms(trials, || {
+            prepared
+                .apply_batch_with(&objectives, exec)
+                .expect("batch apply")
+        });
+        batch_par.push((threads, ms));
+        eprintln!("batch     @{threads} threads: {ms:>9.3} ms (seq {batch_seq_ms:.3} ms)");
+    }
+
+    // --- BENCH_exec.json ------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"exec_scaling\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"trials\": {trials},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(
+        json,
+        "  \"universe\": {{ \"n_source\": {}, \"n_target\": {}, \"overlay_pieces\": {}, \"batch_size\": {} }},",
+        source.len(),
+        target.len(),
+        seq_overlay.len(),
+        objectives.len()
+    );
+    json.push_str(&json_timing_block("overlay", overlay_seq_ms, &overlay_par));
+    json.push_str(",\n");
+    json.push_str(&json_timing_block("batch_apply", batch_seq_ms, &batch_par));
+    json.push_str("\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_exec.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -66,6 +66,8 @@ pub struct CrosswalkArgs {
     pub show_timings: bool,
     /// Write JSON-lines span records of the run to this path.
     pub trace: Option<String>,
+    /// Override of the process-wide thread budget (`--threads`).
+    pub threads: Option<usize>,
 }
 
 /// Usage text.
@@ -75,16 +77,20 @@ geoalign — multi-reference crosswalk of aggregate tables (GeoAlign, EDBT 2018)
 USAGE:
     geoalign crosswalk --table T.csv --reference X1.csv [--reference X2.csv ...]
                        [--out OUT.csv] [--weights] [--timings] [--trace SPANS.jsonl]
+                       [--threads N]
     geoalign evaluate  --table T.csv --reference X1.csv [...] --truth TRUE.csv
     geoalign weights   --table T.csv --reference X1.csv [...]
     geoalign serve     [--addr HOST:PORT] [--workers N] [--cache-capacity M]
-                       [--access-log LOG.jsonl]
+                       [--access-log LOG.jsonl] [--threads N]
 
 FLAGS:
     --timings          print per-phase wall-clock timings to stderr
     --trace            write JSON-lines span records of the run to a file
+    --threads          process-wide thread budget for parallel work
+                       (default: GEOALIGN_THREADS, else available parallelism;
+                       results are bit-identical at any setting)
     --addr             serve: listen address (default 127.0.0.1:8077)
-    --workers          serve: worker threads (default 4)
+    --workers          serve: request worker threads (default: the thread budget)
     --cache-capacity   serve: prepared-crosswalk cache size (default 64)
     --access-log       serve: append one JSON line per request to a file
 
@@ -104,6 +110,7 @@ pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
     let mut show_weights = false;
     let mut show_timings = false;
     let mut trace = None;
+    let mut threads = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -114,6 +121,7 @@ pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
             "--weights" => show_weights = true,
             "--timings" => show_timings = true,
             "--trace" => trace = Some(need(&mut it, "--trace")?),
+            "--threads" => threads = Some(positive(&mut it, "--threads")?),
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
@@ -131,6 +139,7 @@ pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
         show_weights,
         show_timings,
         trace,
+        threads,
     })
 }
 
@@ -139,21 +148,25 @@ pub fn parse_args(args: &[String]) -> Result<CrosswalkArgs, CliError> {
 pub struct ServeArgs {
     /// Listen address.
     pub addr: String,
-    /// Worker thread count.
-    pub workers: usize,
+    /// Worker thread count override; `None` follows the process-wide
+    /// thread budget ([`geoalign_exec::global_threads`]).
+    pub workers: Option<usize>,
     /// Prepared-crosswalk cache capacity.
     pub cache_capacity: usize,
     /// JSON-lines access-log path (`--access-log`); `None` disables it.
     pub access_log: Option<String>,
+    /// Override of the process-wide thread budget (`--threads`).
+    pub threads: Option<usize>,
 }
 
 impl Default for ServeArgs {
     fn default() -> Self {
         ServeArgs {
             addr: "127.0.0.1:8077".to_owned(),
-            workers: 4,
+            workers: None,
             cache_capacity: 64,
             access_log: None,
+            threads: None,
         }
     }
 }
@@ -165,22 +178,16 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => parsed.addr = need(&mut it, "--addr")?,
-            "--workers" => {
-                parsed.workers = need(&mut it, "--workers")?
-                    .parse()
-                    .map_err(|_| CliError::Usage("--workers needs an integer".into()))?;
-            }
+            "--workers" => parsed.workers = Some(positive(&mut it, "--workers")?),
             "--cache-capacity" => {
                 parsed.cache_capacity = need(&mut it, "--cache-capacity")?
                     .parse()
                     .map_err(|_| CliError::Usage("--cache-capacity needs an integer".into()))?;
             }
             "--access-log" => parsed.access_log = Some(need(&mut it, "--access-log")?),
+            "--threads" => parsed.threads = Some(positive(&mut it, "--threads")?),
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
-    }
-    if parsed.workers == 0 {
-        return Err(CliError::Usage("--workers must be at least 1".into()));
     }
     Ok(parsed)
 }
@@ -201,6 +208,17 @@ fn need(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, Cli
     it.next()
         .cloned()
         .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+/// Parses a flag value as a positive integer (thread/worker counts).
+fn positive(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, CliError> {
+    let n: usize = need(it, flag)?
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag} needs an integer")))?;
+    if n == 0 {
+        return Err(CliError::Usage(format!("{flag} must be at least 1")));
+    }
+    Ok(n)
 }
 
 /// Everything the run produced, for the caller to print or write.
@@ -390,11 +408,28 @@ B,60
         assert!(a.show_timings);
         assert_eq!(a.trace.as_deref(), Some("spans.jsonl"));
         assert!(a.out.is_none());
+        assert!(a.threads.is_none());
 
         assert!(parse_args(&["--table".into()]).is_err());
         assert!(parse_args(&["--trace".into()]).is_err());
         assert!(parse_args(&["--bogus".into()]).is_err());
         assert!(parse_args(&["--table".into(), "t".into()]).is_err()); // no refs
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let args: Vec<String> = ["--table", "t.csv", "--reference", "x.csv", "--threads", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_args(&args).unwrap().threads, Some(8));
+        assert!(parse_args(&["--threads".into(), "0".into()]).is_err());
+        assert!(parse_args(&["--threads".into(), "many".into()]).is_err());
+
+        let a = parse_serve_args(&["--threads".into(), "4".into()]).unwrap();
+        assert_eq!(a.threads, Some(4));
+        assert!(a.workers.is_none());
+        assert!(parse_serve_args(&["--threads".into(), "0".into()]).is_err());
     }
 
     #[test]
@@ -415,7 +450,7 @@ B,60
         .collect();
         let a = parse_serve_args(&args).unwrap();
         assert_eq!(a.addr, "0.0.0.0:9000");
-        assert_eq!(a.workers, 8);
+        assert_eq!(a.workers, Some(8));
         assert_eq!(a.cache_capacity, 16);
         assert_eq!(a.access_log.as_deref(), Some("access.jsonl"));
         assert!(parse_serve_args(&["--workers".into(), "zero".into()]).is_err());

@@ -33,6 +33,9 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
             if cmd == "evaluate" && parsed.truth.is_none() {
                 return Err(CliError::Usage("evaluate requires --truth".into()));
             }
+            if let Some(n) = parsed.threads {
+                geoalign_exec::set_global_threads(n);
+            }
             // `--trace PATH`: stream every span the run finishes (prepare,
             // weight learning, disaggregation, ...) to PATH as JSON lines.
             let trace_subscriber = match &parsed.trace {
@@ -92,8 +95,13 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
         }
         "serve" => {
             let parsed = parse_serve_args(rest)?;
+            if let Some(n) = parsed.threads {
+                geoalign_exec::set_global_threads(n);
+            }
             let config = geoalign_serve::ServerConfig {
-                workers: parsed.workers,
+                // `--workers` overrides the request pool alone; otherwise
+                // it follows the process-wide thread budget.
+                workers: parsed.workers.unwrap_or_else(geoalign_exec::global_threads),
                 cache_capacity: parsed.cache_capacity,
                 access_log: parsed.access_log.clone(),
             };

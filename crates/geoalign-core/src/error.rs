@@ -47,6 +47,8 @@ pub enum CoreError {
     Partition(geoalign_partition::PartitionError),
     /// Propagated linear-algebra failure.
     Linalg(geoalign_linalg::LinalgError),
+    /// A parallel job failed (a task panicked).
+    Exec(geoalign_exec::ExecError),
 }
 
 impl fmt::Display for CoreError {
@@ -71,6 +73,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Partition(e) => write!(f, "partition error: {e}"),
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }
@@ -80,6 +83,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Partition(e) => Some(e),
             CoreError::Linalg(e) => Some(e),
+            CoreError::Exec(e) => Some(e),
             _ => None,
         }
     }
@@ -94,6 +98,12 @@ impl From<geoalign_partition::PartitionError> for CoreError {
 impl From<geoalign_linalg::LinalgError> for CoreError {
     fn from(e: geoalign_linalg::LinalgError) -> Self {
         CoreError::Linalg(e)
+    }
+}
+
+impl From<geoalign_exec::ExecError> for CoreError {
+    fn from(e: geoalign_exec::ExecError) -> Self {
+        CoreError::Exec(e)
     }
 }
 

@@ -63,6 +63,11 @@ global_counter!(
     "geoalign_core_store_evictions_total",
     "CrosswalkStore entries evicted to stay within capacity"
 );
+global_counter!(
+    store_coalesced,
+    "geoalign_core_store_coalesced_total",
+    "CrosswalkStore lookups that waited on another thread's in-flight prepare"
+);
 
 /// Records the Eq. 15 solver outcome: iteration count and the number of
 /// references carrying weight (active-set size).

@@ -208,42 +208,69 @@ impl IntegrationPipeline {
         tables: &[(&str, &AggregateTable)],
         target_system: &str,
     ) -> Result<JoinedTable, CoreError> {
+        self.join_with(tables, target_system, geoalign_exec::Executor::global())
+    }
+
+    /// [`IntegrationPipeline::join`] on an explicit executor. Each table
+    /// realigns independently (one task per table); columns come back in
+    /// input order and the first failing table (in input order) decides
+    /// the error, exactly like the sequential loop.
+    pub fn join_with(
+        &self,
+        tables: &[(&str, &AggregateTable)],
+        target_system: &str,
+        exec: geoalign_exec::Executor,
+    ) -> Result<JoinedTable, CoreError> {
         let target = self.system(target_system)?;
+        let per_table = exec.map_indexed(tables.len(), |i| {
+            let (system_name, table) = tables[i];
+            self.align_column(system_name, table, target_system)
+        })?;
         let mut columns = Vec::with_capacity(tables.len());
-        for (system_name, table) in tables {
-            let entry = self.system(system_name)?;
-            let vector: AggregateVector = table
-                .to_vector(&entry.index)
-                .map_err(CoreError::Partition)?;
-            if *system_name == target_system {
-                columns.push(AlignedColumn {
-                    attribute: table.attribute.clone(),
-                    reported_on: (*system_name).to_owned(),
-                    values: vector.into_values(),
-                    weights: None,
-                });
-                continue;
-            }
-            let key = ((*system_name).to_owned(), target_system.to_owned());
-            let refs = self
-                .references
-                .get(&key)
-                .ok_or_else(|| CoreError::UnknownReference {
-                    name: format!("crosswalk {system_name} -> {target_system}"),
-                })?;
-            let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
-            let result = self.aligner.estimate(&vector, &ref_slices)?;
-            columns.push(AlignedColumn {
-                attribute: table.attribute.clone(),
-                reported_on: (*system_name).to_owned(),
-                values: result.estimate,
-                weights: Some(result.weights),
-            });
+        for column in per_table {
+            columns.push(column?);
         }
         Ok(JoinedTable {
             system: target_system.to_owned(),
             unit_ids: target.index.ids().to_vec(),
             columns,
+        })
+    }
+
+    /// Realigns (or passes through) one table to the target system — the
+    /// per-table body of [`IntegrationPipeline::join`].
+    fn align_column(
+        &self,
+        system_name: &str,
+        table: &AggregateTable,
+        target_system: &str,
+    ) -> Result<AlignedColumn, CoreError> {
+        let entry = self.system(system_name)?;
+        let vector: AggregateVector = table
+            .to_vector(&entry.index)
+            .map_err(CoreError::Partition)?;
+        if system_name == target_system {
+            return Ok(AlignedColumn {
+                attribute: table.attribute.clone(),
+                reported_on: system_name.to_owned(),
+                values: vector.into_values(),
+                weights: None,
+            });
+        }
+        let key = (system_name.to_owned(), target_system.to_owned());
+        let refs = self
+            .references
+            .get(&key)
+            .ok_or_else(|| CoreError::UnknownReference {
+                name: format!("crosswalk {system_name} -> {target_system}"),
+            })?;
+        let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+        let result = self.aligner.estimate(&vector, &ref_slices)?;
+        Ok(AlignedColumn {
+            attribute: table.attribute.clone(),
+            reported_on: system_name.to_owned(),
+            values: result.estimate,
+            weights: Some(result.weights),
         })
     }
 }

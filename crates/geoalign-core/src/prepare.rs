@@ -246,6 +246,30 @@ impl PreparedCrosswalk {
         })
     }
 
+    /// Applies the snapshot to many objective vectors concurrently (one
+    /// task per vector) on the process-global executor. See
+    /// [`PreparedCrosswalk::apply_batch_with`].
+    pub fn apply_batch(
+        &self,
+        objectives: &[AggregateVector],
+    ) -> Result<Vec<CrosswalkEstimate>, CoreError> {
+        self.apply_batch_with(objectives, geoalign_exec::Executor::global())
+    }
+
+    /// [`PreparedCrosswalk::apply_batch`] on an explicit executor. Each
+    /// vector runs [`PreparedCrosswalk::apply_values`] independently;
+    /// results come back in input order, and the first failing vector (in
+    /// input order) decides the error — exactly like a sequential loop.
+    pub fn apply_batch_with(
+        &self,
+        objectives: &[AggregateVector],
+        exec: geoalign_exec::Executor,
+    ) -> Result<Vec<CrosswalkEstimate>, CoreError> {
+        let per_vector =
+            exec.map_indexed(objectives.len(), |i| self.apply_values(&objectives[i]))?;
+        per_vector.into_iter().collect()
+    }
+
     /// The per-query weight learning (Eq. 15) on the prepared Gram state.
     pub fn learn_weights(&self, objective_source: &AggregateVector) -> Result<Vec<f64>, CoreError> {
         self.check_objective(objective_source)?;

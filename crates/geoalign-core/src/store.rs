@@ -20,7 +20,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// Number of independent lock shards.
 const SHARDS: usize = 16;
@@ -90,6 +90,15 @@ struct Entry {
     last_used: AtomicU64,
 }
 
+/// One in-flight prepare that threads racing on the same cold key wait on
+/// (single-flight coalescing). `done` flips to `true` when the leading
+/// thread finishes — successfully or not — and the condvar wakes waiters.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
 /// Counter snapshot of a [`CrosswalkStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStats {
@@ -99,6 +108,9 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries evicted to stay within capacity.
     pub evictions: u64,
+    /// Lookups that waited on another thread's in-flight prepare instead
+    /// of preparing themselves (single-flight coalescing).
+    pub coalesced: u64,
     /// Entries currently cached.
     pub entries: usize,
 }
@@ -120,11 +132,14 @@ impl StoreStats {
 /// threads.
 pub struct CrosswalkStore {
     shards: Vec<RwLock<HashMap<CrosswalkKey, Entry>>>,
+    /// Prepares currently in flight, for single-flight coalescing.
+    flights: Mutex<HashMap<CrosswalkKey, Arc<Flight>>>,
     capacity: usize,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl std::fmt::Debug for CrosswalkStore {
@@ -142,11 +157,13 @@ impl CrosswalkStore {
     pub fn new(capacity: usize) -> Self {
         CrosswalkStore {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            flights: Mutex::new(HashMap::new()),
             capacity: capacity.max(1),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -192,12 +209,28 @@ impl CrosswalkStore {
         self.evict_over_capacity();
     }
 
+    /// Cache lookup that refreshes the LRU stamp but does not count a hit
+    /// or miss — used by the single-flight re-checks, whose initial
+    /// [`CrosswalkStore::get`] already counted the lookup.
+    fn lookup_quiet(&self, key: &CrosswalkKey) -> Option<Arc<PreparedCrosswalk>> {
+        let shard = self.shard(key).read().unwrap_or_else(|e| e.into_inner());
+        shard.get(key).map(|entry| {
+            entry.last_used.store(self.tick(), Ordering::Relaxed);
+            Arc::clone(&entry.prepared)
+        })
+    }
+
     /// Cache-through lookup: returns the cached snapshot or prepares one
     /// with `prepare`, stores it, and returns it. The boolean is `true`
-    /// on a hit. `prepare` runs outside any shard lock, so a slow prepare
-    /// never blocks readers; two threads racing on the same cold key may
-    /// both prepare, with one result winning the insert — acceptable for
-    /// a cache of deterministic values.
+    /// when the snapshot came from the cache (including after waiting on
+    /// another thread's prepare).
+    ///
+    /// Cold keys are **single-flight**: threads racing on the same missing
+    /// key elect one leader to run `prepare` (outside every lock, so a
+    /// slow prepare never blocks readers of other keys) while the rest
+    /// wait on it and are counted in `geoalign_core_store_coalesced_total`.
+    /// If the leader fails or panics its error is its own; waiters retry,
+    /// electing a new leader, so one bad prepare never wedges the key.
     pub fn get_or_insert_with<F>(
         &self,
         key: &CrosswalkKey,
@@ -209,9 +242,58 @@ impl CrosswalkStore {
         if let Some(found) = self.get(key) {
             return Ok((found, true));
         }
-        let prepared = Arc::new(prepare()?);
-        self.insert(key.clone(), Arc::clone(&prepared));
-        Ok((prepared, false))
+        let mut prepare = Some(prepare);
+        loop {
+            // Decide leader vs. waiter under the flights lock; the leader
+            // may have landed its insert between our miss and here, so
+            // re-check the cache first.
+            enum Role {
+                Leader(Arc<Flight>),
+                Waiter(Arc<Flight>),
+            }
+            let role = {
+                let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(found) = self.lookup_quiet(key) {
+                    return Ok((found, true));
+                }
+                match flights.get(key) {
+                    Some(flight) => Role::Waiter(Arc::clone(flight)),
+                    None => {
+                        let flight = Arc::new(Flight::default());
+                        flights.insert(key.clone(), Arc::clone(&flight));
+                        Role::Leader(flight)
+                    }
+                }
+            };
+            match role {
+                Role::Leader(flight) => {
+                    // The guard lands even on error or panic, so waiters
+                    // always wake up and can retry.
+                    let _landing = FlightLanding {
+                        store: self,
+                        key,
+                        flight: &flight,
+                    };
+                    let prepare = prepare.take().expect("a leader runs the closure only once");
+                    let snapshot = Arc::new(prepare()?);
+                    self.insert(key.clone(), Arc::clone(&snapshot));
+                    return Ok((snapshot, false));
+                }
+                Role::Waiter(flight) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    crate::obs::store_coalesced().inc();
+                    let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
+                    while !*done {
+                        done = flight.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+                    }
+                    drop(done);
+                    if let Some(found) = self.lookup_quiet(key) {
+                        return Ok((found, true));
+                    }
+                    // The leader failed; loop and possibly lead ourselves.
+                }
+            }
+        }
     }
 
     /// Drops the entry for `key`, if present. Used when a reference set
@@ -240,6 +322,7 @@ impl CrosswalkStore {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -271,6 +354,26 @@ impl CrosswalkStore {
                 crate::obs::store_evictions().inc();
             }
         }
+    }
+}
+
+/// Drop guard of a single-flight leader: deregisters the flight and wakes
+/// every waiter, whether the prepare returned, errored, or panicked.
+struct FlightLanding<'a> {
+    store: &'a CrosswalkStore,
+    key: &'a CrosswalkKey,
+    flight: &'a Arc<Flight>,
+}
+
+impl Drop for FlightLanding<'_> {
+    fn drop(&mut self) {
+        let mut flights = self.store.flights.lock().unwrap_or_else(|e| e.into_inner());
+        flights.remove(self.key);
+        drop(flights);
+        let mut done = self.flight.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        drop(done);
+        self.flight.cv.notify_all();
     }
 }
 
@@ -366,6 +469,75 @@ mod tests {
             .unwrap();
         assert!(hit2);
         assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn racing_cold_lookups_coalesce_to_one_prepare() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let store = CrosswalkStore::new(4);
+        let r = make_ref("pop", 1.0);
+        let key = CrosswalkKey::new("zip", "county", &[&r]);
+        let calls = AtomicUsize::new(0);
+        let (leader_entered_tx, leader_entered_rx) = mpsc::channel::<()>();
+
+        let (store, key, calls, r) = (&store, &key, &calls, &r);
+        let (first, second) = std::thread::scope(|s| {
+            let leader = s.spawn(move || {
+                let (p, hit) = store
+                    .get_or_insert_with(key, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        leader_entered_tx.send(()).unwrap();
+                        // Hold the flight open until the other thread is
+                        // provably waiting on it (bounded, ~1 s worst case).
+                        for _ in 0..1000 {
+                            if store.stats().coalesced >= 1 {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        GeoAlign::new().prepare(&[r])
+                    })
+                    .unwrap();
+                assert!(!hit, "the leader prepared, it did not hit");
+                p
+            });
+            let waiter = s.spawn(move || {
+                // Only start once the leader is inside its prepare, so this
+                // lookup must coalesce rather than lead or hit.
+                leader_entered_rx.recv().unwrap();
+                let (p, hit) = store
+                    .get_or_insert_with(key, || panic!("the closure must run exactly once"))
+                    .unwrap();
+                assert!(hit, "the waiter is served from the leader's insert");
+                p
+            });
+            (leader.join().unwrap(), waiter.join().unwrap())
+        });
+
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(store.stats().coalesced, 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn failed_leader_does_not_wedge_the_key() {
+        let store = CrosswalkStore::new(4);
+        let r = make_ref("pop", 1.0);
+        let key = CrosswalkKey::new("zip", "county", &[&r]);
+        let err = store
+            .get_or_insert_with(&key, || Err(CoreError::NoReferences))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NoReferences));
+        // The flight was cleaned up: a later lookup prepares normally.
+        let (p, hit) = store
+            .get_or_insert_with(&key, || GeoAlign::new().prepare(&[&r]))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(p.n_source(), 2);
     }
 
     #[test]

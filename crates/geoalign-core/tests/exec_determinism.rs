@@ -1,0 +1,160 @@
+//! Thread-count invariance of the parallel core paths: the integration
+//! pipeline's join and the prepared-crosswalk batch apply must be
+//! bit-identical at 1, 2 and 8 threads (DESIGN.md §9), including empty
+//! and single-item batches.
+
+use geoalign_core::{GeoAlign, IntegrationPipeline, ReferenceData};
+use geoalign_exec::Executor;
+use geoalign_partition::{AggregateTable, AggregateVector, DisaggregationMatrix};
+
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Two references over a 6-source / 3-target world with pseudo-random
+/// intersection masses (non-terminating binary fractions, so bitwise
+/// agreement is a statement about accumulation order).
+fn references(seed: u64) -> Vec<ReferenceData> {
+    let mut state = seed;
+    (0..2)
+        .map(|k| {
+            let triples: Vec<(usize, usize, f64)> = (0..6)
+                .flat_map(|i| {
+                    let a = lcg(&mut state) / 3.0 + 0.01;
+                    let b = lcg(&mut state) / 7.0 + 0.01;
+                    vec![(i, i % 3, a), (i, (i + 1) % 3, b)]
+                })
+                .collect();
+            let dm = DisaggregationMatrix::from_triples(format!("ref{k}"), 6, 3, triples).unwrap();
+            ReferenceData::from_dm(format!("ref{k}"), dm).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn batch_apply_is_thread_count_invariant() {
+    let refs = references(0x5eed);
+    let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+    let prepared = GeoAlign::new().prepare(&ref_slices).unwrap();
+
+    let mut state = 0x0b5e55ed;
+    let objectives: Vec<AggregateVector> = (0..13)
+        .map(|i| {
+            let values: Vec<f64> = (0..6).map(|_| lcg(&mut state) * 10.0 + 0.1).collect();
+            AggregateVector::new(format!("attr{i}"), values).unwrap()
+        })
+        .collect();
+
+    let reference = prepared
+        .apply_batch_with(&objectives, Executor::sequential())
+        .unwrap();
+    // The batch path agrees with one-at-a-time applies...
+    for (est, obj) in reference.iter().zip(&objectives) {
+        let single = prepared.apply_values(obj).unwrap();
+        assert_eq!(bits(&est.estimate), bits(&single.estimate));
+        assert_eq!(bits(&est.weights), bits(&single.weights));
+    }
+    // ...and with itself at every thread count.
+    for threads in THREAD_COUNTS {
+        let parallel = prepared
+            .apply_batch_with(&objectives, Executor::new(threads))
+            .unwrap();
+        assert_eq!(reference.len(), parallel.len());
+        for (a, b) in reference.iter().zip(&parallel) {
+            assert_eq!(bits(&a.estimate), bits(&b.estimate));
+            assert_eq!(bits(&a.weights), bits(&b.weights));
+        }
+    }
+}
+
+#[test]
+fn batch_apply_edge_batches() {
+    let refs = references(0x11);
+    let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+    let prepared = GeoAlign::new().prepare(&ref_slices).unwrap();
+    for threads in THREAD_COUNTS {
+        let exec = Executor::new(threads);
+        assert!(prepared.apply_batch_with(&[], exec).unwrap().is_empty());
+        let one = vec![AggregateVector::new("x", vec![1.0; 6]).unwrap()];
+        assert_eq!(prepared.apply_batch_with(&one, exec).unwrap().len(), 1);
+        // The first invalid vector (wrong length) decides the error,
+        // exactly like a sequential loop.
+        let bad = vec![
+            AggregateVector::new("ok", vec![1.0; 6]).unwrap(),
+            AggregateVector::new("short", vec![1.0; 2]).unwrap(),
+        ];
+        assert!(prepared.apply_batch_with(&bad, exec).is_err());
+    }
+}
+
+/// A pipeline holding two systems and a pseudo-random crosswalk.
+fn pipeline(seed: u64) -> IntegrationPipeline {
+    let mut p = IntegrationPipeline::new();
+    p.register_system("zip", ["z0", "z1", "z2", "z3", "z4", "z5"]);
+    p.register_system("county", ["A", "B", "C"]);
+    for r in references(seed) {
+        p.register_reference("zip", "county", r).unwrap();
+    }
+    p
+}
+
+#[test]
+fn pipeline_join_is_thread_count_invariant() {
+    let p = pipeline(0x7001);
+    let mut state: u64 = 0x70_01;
+    let mut csvs = Vec::new();
+    for t in 0..5 {
+        let mut csv = format!("zip,attr{t}\n");
+        for z in 0..6 {
+            csv.push_str(&format!("z{z},{}\n", lcg(&mut state) * 50.0 + 1.0));
+        }
+        csvs.push(csv);
+    }
+    // One table already on the target system rides along as pass-through.
+    let county_csv = "county,direct\nA,1.5\nB,2.5\nC,3.25\n".to_owned();
+    let mut parsed: Vec<AggregateTable> = csvs
+        .iter()
+        .map(|c| AggregateTable::parse_csv(c).unwrap())
+        .collect();
+    parsed.push(AggregateTable::parse_csv(&county_csv).unwrap());
+    let tables: Vec<(&str, &AggregateTable)> = parsed
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (if i < 5 { "zip" } else { "county" }, t))
+        .collect();
+
+    let reference = p
+        .join_with(&tables, "county", Executor::sequential())
+        .unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel = p
+            .join_with(&tables, "county", Executor::new(threads))
+            .unwrap();
+        assert_eq!(reference.columns.len(), parallel.columns.len());
+        for (a, b) in reference.columns.iter().zip(&parallel.columns) {
+            assert_eq!(a.attribute, b.attribute);
+            assert_eq!(bits(&a.values), bits(&b.values));
+            assert_eq!(
+                a.weights.as_deref().map(bits),
+                b.weights.as_deref().map(bits)
+            );
+        }
+    }
+    // Empty joins and unknown systems behave identically in parallel.
+    for threads in THREAD_COUNTS {
+        let exec = Executor::new(threads);
+        assert!(p.join_with(&[], "county", exec).unwrap().columns.is_empty());
+        assert!(p
+            .join_with(&[("mars", &parsed[0])], "county", exec)
+            .is_err());
+    }
+}

@@ -1,0 +1,579 @@
+//! **geoalign-exec** — the workspace's deterministic parallel execution
+//! layer, on `std` only.
+//!
+//! The paper's scalability claim (§4.4, Fig. 6: runtime linear in the
+//! number of units) rests on hot loops — overlay construction, point
+//! crosswalk aggregation, Gram assembly, pipeline realignment, batch
+//! apply — that this crate fans out over a scoped-thread pool. The
+//! non-negotiable constraint is the volume-preservation property
+//! (Eq. 14/17): parallelism must never change an answer. The executor
+//! guarantees that with two rules:
+//!
+//! 1. **Chunking is a pure function of the input length.** Chunk
+//!    boundaries never depend on the thread count, so the same input is
+//!    cut into the same tasks whether one thread or eight run them.
+//! 2. **Reduction is ordered.** Task results are merged strictly in task
+//!    order (an ordered left fold), so floating-point merges happen in
+//!    one fixed order. Results are therefore **bit-identical across
+//!    every thread count**, including the sequential (1-thread) path.
+//!
+//! Panics inside a task are caught per task and surfaced as
+//! [`ExecError::TaskPanicked`] from the lowest-indexed failing task —
+//! never a poisoned process, and deterministically the same error the
+//! sequential path would have hit first.
+//!
+//! The thread budget is process-wide: [`global_threads`] reads the
+//! `GEOALIGN_THREADS` environment variable (default: available
+//! parallelism), and [`set_global_threads`] lets a CLI flag
+//! (`geoalign --threads N`) override it. Long-running request workers
+//! ([`WorkerPool`], used by `geoalign-serve`) draw from the same budget,
+//! so a process has one knob instead of two competing pools.
+//!
+//! Nested parallel regions run inline: a task that itself calls into the
+//! executor executes its sub-tasks sequentially on the worker thread.
+//! That bounds the process at one level of fan-out (≤ budget threads)
+//! and changes nothing about results — chunking and merge order are the
+//! same either way.
+
+#![warn(missing_docs)]
+
+mod obs;
+pub mod pool;
+
+pub use pool::WorkerPool;
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Errors surfaced by a parallel job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A task panicked. The job ran to completion on the other tasks; the
+    /// reported task is the lowest-indexed one that panicked (the same
+    /// one a sequential run would have hit first).
+    TaskPanicked {
+        /// Index of the panicking task.
+        task: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::TaskPanicked { task, message } => {
+                write!(f, "task {task} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Fixed fan-out target of the default chunking policy. A function of
+/// nothing but this constant and the input length — crucially *not* of
+/// the thread count — so the task decomposition (and therefore every
+/// merge order) is identical at 1, 2, or 64 threads.
+const DEFAULT_CHUNKS: usize = 32;
+
+/// Chunk size of the default policy for `len` items: `ceil(len /
+/// DEFAULT_CHUNKS)`, minimum 1.
+pub fn default_chunk_size(len: usize) -> usize {
+    len.div_ceil(DEFAULT_CHUNKS).max(1)
+}
+
+/// Thread-budget override installed by [`set_global_threads`]
+/// (0 = no override).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The `GEOALIGN_THREADS` / available-parallelism default, read once.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        match std::env::var("GEOALIGN_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    })
+}
+
+/// The process-wide thread budget: the [`set_global_threads`] override
+/// when one is installed, else `GEOALIGN_THREADS`, else the machine's
+/// available parallelism. Always at least 1.
+pub fn global_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the process-wide thread budget (the `--threads` CLI flag).
+/// `0` removes the override, restoring the environment default. Affects
+/// executors obtained *after* the call via [`Executor::global`]; explicit
+/// [`Executor::new`] handles are unaffected.
+pub fn set_global_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+thread_local! {
+    /// Set while the current thread is executing tasks for some job, so
+    /// nested executor calls run inline instead of spawning a second
+    /// level of threads.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard for [`IN_PARALLEL_REGION`].
+struct RegionGuard {
+    was: bool,
+}
+
+impl RegionGuard {
+    fn enter() -> Self {
+        let was = IN_PARALLEL_REGION.with(|f| f.replace(true));
+        RegionGuard { was }
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let was = self.was;
+        IN_PARALLEL_REGION.with(|f| f.set(was));
+    }
+}
+
+/// A handle on the execution layer: a thread budget plus the chunked
+/// map/reduce primitives. Handles are `Copy`-cheap value types; the
+/// threads themselves are scoped to each job (no idle pool to leak).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::global()
+    }
+}
+
+impl Executor {
+    /// An executor running jobs on up to `threads` threads (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The strictly sequential executor (1 thread, everything inline).
+    pub fn sequential() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// An executor on the process-wide budget ([`global_threads`]).
+    pub fn global() -> Self {
+        Executor::new(global_threads())
+    }
+
+    /// The thread budget of this handle.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `tasks` independent tasks and returns their results **in task
+    /// order**. Tasks are picked up by workers in index order from a
+    /// shared counter; completion order is irrelevant because results are
+    /// slotted by index. Any panicking task turns the whole job into
+    /// `Err(TaskPanicked)` for the lowest panicking index.
+    ///
+    /// This is the primitive every other method builds on, and the locus
+    /// of the determinism contract: the caller sees results exactly as a
+    /// sequential `(0..tasks).map(run).collect()` would order them.
+    pub fn run_tasks<R, F>(&self, tasks: usize, run: F) -> Result<Vec<R>, ExecError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if tasks == 0 {
+            return Ok(Vec::new());
+        }
+        let inline = self.threads == 1 || tasks == 1 || IN_PARALLEL_REGION.with(Cell::get);
+        let t_job = Instant::now();
+        let result = if inline {
+            obs::inline_jobs_total().inc();
+            self.run_inline(tasks, &run)
+        } else {
+            obs::jobs_total().inc();
+            self.run_scoped(tasks, &run)
+        };
+        obs::job_micros().record(t_job.elapsed());
+        result
+    }
+
+    /// The sequential path: tasks in index order on the calling thread.
+    /// Panic capture matches the parallel path so error behaviour is
+    /// identical.
+    fn run_inline<R, F>(&self, tasks: usize, run: &F) -> Result<Vec<R>, ExecError>
+    where
+        F: Fn(usize) -> R + Sync,
+    {
+        let _region = RegionGuard::enter();
+        let mut out = Vec::with_capacity(tasks);
+        for task in 0..tasks {
+            obs::tasks_total().inc();
+            let t0 = Instant::now();
+            let r = catch_unwind(AssertUnwindSafe(|| run(task)));
+            obs::task_micros().record(t0.elapsed());
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    return Err(ExecError::TaskPanicked {
+                        task,
+                        message: panic_message(&*payload),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The parallel path: scoped workers pull task indices from an atomic
+    /// counter, stash `(index, result)` pairs locally, and the results
+    /// are re-assembled in index order after all workers join.
+    fn run_scoped<R, F>(&self, tasks: usize, run: &F) -> Result<Vec<R>, ExecError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(tasks);
+        let next = AtomicUsize::new(0);
+        let t_job = Instant::now();
+        let mut slots: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
+        let mut first_panic: Option<(usize, String)> = None;
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let _region = RegionGuard::enter();
+                        let mut local: Vec<(usize, Result<R, String>)> = Vec::new();
+                        loop {
+                            let task = next.fetch_add(1, Ordering::Relaxed);
+                            if task >= tasks {
+                                break;
+                            }
+                            // Queue wait: how long the task sat between job
+                            // submission and a worker picking it up.
+                            obs::queue_wait_micros().record(t_job.elapsed());
+                            obs::tasks_total().inc();
+                            let t0 = Instant::now();
+                            let r = catch_unwind(AssertUnwindSafe(|| run(task)));
+                            obs::task_micros().record(t0.elapsed());
+                            local.push((task, r.map_err(|p| panic_message(&*p))));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // A worker's own body cannot panic (task panics are caught
+                // inside it), but stay defensive rather than poisoning.
+                let Ok(local) = handle.join() else { continue };
+                for (task, result) in local {
+                    match result {
+                        Ok(v) => slots[task] = Some(v),
+                        Err(message) => {
+                            if first_panic.as_ref().is_none_or(|(t, _)| task < *t) {
+                                first_panic = Some((task, message));
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+        if let Some((task, message)) = first_panic {
+            return Err(ExecError::TaskPanicked { task, message });
+        }
+        // Every slot is filled: all indices below `tasks` were claimed and
+        // none panicked.
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("task result missing without a recorded panic"))
+            .collect())
+    }
+
+    /// Splits `items` into chunks of `chunk_size` (the last may be short)
+    /// and maps each chunk, returning chunk results **in chunk order**.
+    /// The closure receives the chunk's offset into `items` and the chunk
+    /// slice, so absolute item indices are `offset + k`.
+    pub fn par_chunks_sized<T, R, F>(
+        &self,
+        items: &[T],
+        chunk_size: usize,
+        f: F,
+    ) -> Result<Vec<R>, ExecError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let tasks = items.len().div_ceil(chunk_size);
+        self.run_tasks(tasks, |task| {
+            let start = task * chunk_size;
+            let end = (start + chunk_size).min(items.len());
+            f(start, &items[start..end])
+        })
+    }
+
+    /// [`Executor::par_chunks_sized`] under the default chunking policy
+    /// ([`default_chunk_size`]) — a pure function of `items.len()`, never
+    /// of the thread count.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, ExecError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        self.par_chunks_sized(items, default_chunk_size(items.len()), f)
+    }
+
+    /// Maps chunks of `items` in parallel and folds the chunk results
+    /// left-to-right in chunk order — the ordered pairwise reduction that
+    /// keeps floating-point merges bit-identical across thread counts.
+    /// Returns `None` for empty input.
+    pub fn map_reduce<T, R, M, D>(
+        &self,
+        items: &[T],
+        map: M,
+        mut reduce: D,
+    ) -> Result<Option<R>, ExecError>
+    where
+        T: Sync,
+        R: Send,
+        M: Fn(usize, &[T]) -> R + Sync,
+        D: FnMut(R, R) -> R,
+    {
+        let partials = self.par_chunks(items, map)?;
+        Ok(partials.into_iter().reduce(&mut reduce))
+    }
+
+    /// Runs `f(i)` for every `i in 0..n` (each index one task) and
+    /// returns the results in index order.
+    pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Result<Vec<R>, ExecError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.run_tasks(n, f)
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, discarding results — for tasks
+    /// that communicate through `Sync` shared state.
+    pub fn for_each_indexed<F>(&self, n: usize, f: F) -> Result<(), ExecError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run_tasks(n, f).map(|_| ())
+    }
+
+    /// The ranges the default chunking policy cuts `len` items into —
+    /// exposed so callers and tests can reason about task boundaries.
+    pub fn chunk_ranges(len: usize) -> impl Iterator<Item = Range<usize>> {
+        let chunk = default_chunk_size(len);
+        (0..len.div_ceil(chunk)).map(move |t| (t * chunk)..((t + 1) * chunk).min(len))
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        for threads in [1, 2, 8] {
+            let exec = Executor::new(threads);
+            let out = exec.run_tasks(100, |i| i * i).unwrap();
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_job_is_a_noop() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.run_tasks(0, |i| i).unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            exec.par_chunks(&[] as &[u8], |_, c| c.len()).unwrap(),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            exec.map_reduce(&[] as &[u8], |_, _| 0u64, |a, b| a + b)
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn chunk_boundaries_ignore_thread_count() {
+        // The chunk decomposition depends only on the input length.
+        let lens = [0usize, 1, 5, 31, 32, 33, 64, 1000, 12345];
+        for len in lens {
+            let ranges: Vec<_> = Executor::chunk_ranges(len).collect();
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            if len > 0 {
+                assert!(ranges.len() <= DEFAULT_CHUNKS.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_offsets_are_absolute() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 3, 8] {
+            let exec = Executor::new(threads);
+            let chunks = exec
+                .par_chunks(&items, |offset, chunk| {
+                    chunk.iter().enumerate().all(|(k, &v)| v == offset + k)
+                })
+                .unwrap();
+            assert!(chunks.into_iter().all(|ok| ok));
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_an_ordered_fold() {
+        // String concatenation is order-sensitive: any reordering of the
+        // merge would scramble the output.
+        let items: Vec<u32> = (0..500).collect();
+        let expect: String = items.iter().map(|i| format!("{i},")).collect();
+        for threads in [1, 2, 8] {
+            let exec = Executor::new(threads);
+            let got = exec
+                .map_reduce(
+                    &items,
+                    |_, chunk| chunk.iter().map(|i| format!("{i},")).collect::<String>(),
+                    |mut a, b| {
+                        a.push_str(&b);
+                        a
+                    },
+                )
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn float_sums_are_bit_identical_across_thread_counts() {
+        // Pathologically mixed magnitudes, where fp addition order matters.
+        let items: Vec<f64> = (0..4096)
+            .map(|i| (f64::from(i) * 0.37).sin() * 10f64.powi(i % 13 - 6))
+            .collect();
+        let sum = |exec: &Executor| -> f64 {
+            exec.map_reduce(&items, |_, chunk| chunk.iter().sum::<f64>(), |a, b| a + b)
+                .unwrap()
+                .unwrap()
+        };
+        let seq = sum(&Executor::sequential());
+        for threads in [2, 3, 8, 17] {
+            let par = sum(&Executor::new(threads));
+            assert_eq!(seq.to_bits(), par.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panics_surface_as_err_not_a_poisoned_process() {
+        let exec = Executor::new(4);
+        let err = exec
+            .run_tasks(50, |i| {
+                if i == 17 || i == 33 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+            .unwrap_err();
+        // Deterministically the lowest-indexed panic.
+        assert_eq!(
+            err,
+            ExecError::TaskPanicked {
+                task: 17,
+                message: "boom at 17".to_owned()
+            }
+        );
+        // The executor stays usable afterwards.
+        assert_eq!(exec.run_tasks(3, |i| i).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sequential_panic_matches_parallel_panic() {
+        let job = |exec: &Executor| exec.run_tasks(10, |i| if i == 4 { panic!("x") } else { i });
+        assert_eq!(job(&Executor::sequential()), job(&Executor::new(8)));
+    }
+
+    #[test]
+    fn nested_jobs_run_inline_without_thread_explosion() {
+        let exec = Executor::new(8);
+        let out = exec
+            .run_tasks(8, |i| {
+                // Nested call: must run inline on the worker and still be
+                // correct and ordered.
+                let inner = Executor::new(8).run_tasks(10, move |j| i * 10 + j).unwrap();
+                inner.iter().sum::<usize>()
+            })
+            .unwrap();
+        let expect: Vec<usize> = (0..8).map(|i| (0..10).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn for_each_indexed_covers_every_index() {
+        use std::sync::atomic::AtomicU64;
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        Executor::new(8)
+            .for_each_indexed(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn global_threads_override() {
+        // Note: other tests don't touch the override, so this is safe to
+        // toggle here as long as it is restored.
+        let before = global_threads();
+        set_global_threads(3);
+        assert_eq!(global_threads(), 3);
+        assert_eq!(Executor::global().threads(), 3);
+        set_global_threads(0);
+        assert_eq!(global_threads(), before);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Library-level metric handles for the execution layer, registered once
+//! in the process-global [`Registry`](geoalign_obs::Registry).
+//!
+//! Names follow `geoalign_<crate>_<name>_<unit>` (DESIGN.md §8). Handles
+//! are cached in `OnceLock` statics so the task loop pays only atomic
+//! increments.
+
+use geoalign_obs::{Counter, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
+
+macro_rules! global_counter {
+    ($fn_name:ident, $metric:literal, $help:literal) => {
+        /// Cached global handle for the metric named in the body.
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static C: OnceLock<Counter> = OnceLock::new();
+            C.get_or_init(|| Registry::global().counter($metric, $help))
+        }
+    };
+}
+
+macro_rules! global_histogram {
+    ($fn_name:ident, $metric:literal, $help:literal) => {
+        /// Cached global handle for the metric named in the body.
+        pub(crate) fn $fn_name() -> &'static Arc<Histogram> {
+            static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+            H.get_or_init(|| Registry::global().histogram($metric, $help))
+        }
+    };
+}
+
+global_counter!(
+    jobs_total,
+    "geoalign_exec_jobs_total",
+    "Parallel jobs run on scoped worker threads"
+);
+global_counter!(
+    inline_jobs_total,
+    "geoalign_exec_inline_jobs_total",
+    "Jobs run inline (1-thread budget, single task, or nested region)"
+);
+global_counter!(
+    tasks_total,
+    "geoalign_exec_tasks_total",
+    "Tasks executed across all jobs"
+);
+global_histogram!(
+    job_micros,
+    "geoalign_exec_job_micros",
+    "Wall time of one executor job (all tasks, including the ordered merge)"
+);
+global_histogram!(
+    task_micros,
+    "geoalign_exec_task_micros",
+    "Wall time of one task"
+);
+global_histogram!(
+    queue_wait_micros,
+    "geoalign_exec_queue_wait_micros",
+    "Delay between job submission and a worker picking the task up"
+);
+global_counter!(
+    pool_jobs_total,
+    "geoalign_exec_pool_jobs_total",
+    "Jobs handled by long-running WorkerPool workers"
+);
+global_counter!(
+    pool_panics_total,
+    "geoalign_exec_pool_panics_total",
+    "WorkerPool handler panics caught (worker survived)"
+);
+global_histogram!(
+    pool_queue_wait_micros,
+    "geoalign_exec_pool_queue_wait_micros",
+    "Delay between WorkerPool submit and a worker picking the job up"
+);

@@ -127,16 +127,31 @@ impl DMatrix {
 
     /// Gram matrix `AᵀA` (symmetric positive semidefinite).
     pub fn gram(&self) -> DMatrix {
+        // The tasks only run `dot`, which does not panic, so the only
+        // possible `ExecError` is an internal bug worth propagating loudly.
+        self.gram_with(geoalign_exec::Executor::global())
+            .expect("gram assembly task panicked")
+    }
+
+    /// [`DMatrix::gram`] on an explicit executor: each task computes one
+    /// row of the upper triangle. Every entry is a single independent dot
+    /// product, so the result is bit-identical at any thread count.
+    pub fn gram_with(&self, exec: geoalign_exec::Executor) -> Result<DMatrix, LinalgError> {
         let k = self.cols;
+        let upper = exec.map_indexed(k, |i| {
+            (i..k)
+                .map(|j| dot(self.column(i), self.column(j)))
+                .collect::<Vec<f64>>()
+        })?;
         let mut g = DMatrix::zeros(k, k);
-        for i in 0..k {
-            for j in i..k {
-                let v = dot(self.column(i), self.column(j));
+        for (i, row) in upper.into_iter().enumerate() {
+            for (off, v) in row.into_iter().enumerate() {
+                let j = i + off;
                 g[(i, j)] = v;
                 g[(j, i)] = v;
             }
         }
-        g
+        Ok(g)
     }
 
     /// Frobenius norm.

@@ -33,6 +33,8 @@ pub enum LinalgError {
     /// The problem is empty (zero rows or zero columns) where data is
     /// required.
     Empty,
+    /// A parallel job failed (a task panicked).
+    Exec(geoalign_exec::ExecError),
 }
 
 impl fmt::Display for LinalgError {
@@ -52,11 +54,25 @@ impl fmt::Display for LinalgError {
                 write!(f, "solver did not converge after {iterations} iterations")
             }
             LinalgError::Empty => write!(f, "empty problem"),
+            LinalgError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }
 
-impl std::error::Error for LinalgError {}
+impl std::error::Error for LinalgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LinalgError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<geoalign_exec::ExecError> for LinalgError {
+    fn from(e: geoalign_exec::ExecError) -> Self {
+        LinalgError::Exec(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -180,6 +180,17 @@ impl CsrMatrix {
 
     /// Matrix–vector product `A x`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.matvec_with(x, geoalign_exec::Executor::global())
+    }
+
+    /// [`CsrMatrix::matvec`] on an explicit executor. Rows fan out in
+    /// chunks; each output entry is an independent row gather, so the
+    /// result is bit-identical at any thread count.
+    pub fn matvec_with(
+        &self,
+        x: &[f64],
+        exec: geoalign_exec::Executor,
+    ) -> Result<Vec<f64>, LinalgError> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "csr_matvec",
@@ -187,15 +198,24 @@ impl CsrMatrix {
                 right: (x.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| {
-                let (cols, vals) = self.row(i);
-                cols.iter()
-                    .zip(vals)
-                    .map(|(&j, &v)| v * x[j as usize])
-                    .sum()
-            })
-            .collect())
+        let ranges: Vec<_> = geoalign_exec::Executor::chunk_ranges(self.rows).collect();
+        let per_chunk = exec.run_tasks(ranges.len(), |t| {
+            ranges[t]
+                .clone()
+                .map(|i| {
+                    let (cols, vals) = self.row(i);
+                    cols.iter()
+                        .zip(vals)
+                        .map(|(&j, &v)| v * x[j as usize])
+                        .sum()
+                })
+                .collect::<Vec<f64>>()
+        })?;
+        let mut y = Vec::with_capacity(self.rows);
+        for chunk in per_chunk {
+            y.extend(chunk);
+        }
+        Ok(y)
     }
 
     /// Transposed matrix–vector product `Aᵀ y`.

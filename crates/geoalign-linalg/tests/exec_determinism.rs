@@ -1,0 +1,96 @@
+//! Thread-count invariance of the parallel linear-algebra paths: Gram
+//! assembly and CSR mat-vec must be bit-identical at 1, 2 and 8 threads
+//! (DESIGN.md §9), including empty and single-row inputs.
+
+use geoalign_exec::Executor;
+use geoalign_linalg::{CooMatrix, DMatrix};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn dense(rows: usize, cols: usize, seed: u64) -> DMatrix {
+    let mut state = seed;
+    let mut m = DMatrix::zeros(rows, cols);
+    for j in 0..cols {
+        for v in m.column_mut(j) {
+            *v = lcg(&mut state) * 2.0 - 1.0;
+        }
+    }
+    m
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn gram_assembly_is_thread_count_invariant() {
+    for (rows, cols, seed) in [(40, 9, 0xabc), (7, 3, 0x123), (1, 1, 0x9), (5, 0, 0x77)] {
+        let a = dense(rows, cols, seed);
+        let reference = a.gram_with(Executor::sequential()).unwrap();
+        assert_eq!(reference.nrows(), cols);
+        for threads in THREAD_COUNTS {
+            let parallel = a.gram_with(Executor::new(threads)).unwrap();
+            for j in 0..cols {
+                assert_eq!(
+                    bits(reference.column(j)),
+                    bits(parallel.column(j)),
+                    "gram {rows}x{cols} column {j} differs at {threads} threads"
+                );
+            }
+        }
+        // The default entry point must agree with the explicit executor.
+        let implicit = a.gram();
+        for j in 0..cols {
+            assert_eq!(bits(reference.column(j)), bits(implicit.column(j)));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_matvec_is_thread_count_invariant(
+        rows in 0usize..70,
+        cols in 1usize..20,
+        seed in 0u64..u64::MAX,
+        density in 0.05f64..0.9,
+    ) {
+        let mut state = seed;
+        let mut coo = CooMatrix::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if lcg(&mut state) < density {
+                    coo.push(i, j, lcg(&mut state) * 10.0 - 5.0).unwrap();
+                }
+            }
+        }
+        let m = coo.to_csr();
+        let x: Vec<f64> = (0..cols).map(|_| lcg(&mut state) * 2.0 - 1.0).collect();
+        let reference = m.matvec_with(&x, Executor::sequential()).unwrap();
+        for threads in THREAD_COUNTS {
+            let parallel = m.matvec_with(&x, Executor::new(threads)).unwrap();
+            prop_assert_eq!(bits(&reference), bits(&parallel));
+        }
+        // The default entry point routes through the same chunking.
+        prop_assert_eq!(bits(&reference), bits(&m.matvec(&x).unwrap()));
+    }
+}
+
+#[test]
+fn csr_matvec_shape_errors_surface_at_any_thread_count() {
+    let mut coo = CooMatrix::new(3, 2);
+    coo.push(0, 0, 1.0).unwrap();
+    let m = coo.to_csr();
+    for threads in THREAD_COUNTS {
+        assert!(m.matvec_with(&[1.0], Executor::new(threads)).is_err());
+    }
+}

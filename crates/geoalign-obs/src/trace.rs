@@ -772,11 +772,11 @@ mod tests {
 
     #[test]
     fn ring_is_safe_under_concurrent_writers() {
-        let ring = Arc::new(SpanRing::new(8));
-        let handles: Vec<_> = (0..4)
-            .map(|t| {
-                let ring = Arc::clone(&ring);
-                std::thread::spawn(move || {
+        let ring = SpanRing::new(8);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = &ring;
+                s.spawn(move || {
                     for i in 0..500u64 {
                         ring.push(Box::new(SpanRecord {
                             id: t * 1000 + i,
@@ -790,12 +790,9 @@ mod tests {
                             kind: RecordKind::Span,
                         }));
                     }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
+                });
+            }
+        });
         assert!(ring.drain().len() <= 8);
     }
 

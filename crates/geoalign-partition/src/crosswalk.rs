@@ -11,6 +11,7 @@ use crate::aggregate::AggregateVector;
 use crate::disagg::DisaggregationMatrix;
 use crate::error::PartitionError;
 use crate::unit_system::PolygonUnitSystem;
+use geoalign_exec::Executor;
 use geoalign_geom::Point2;
 use geoalign_linalg::CooMatrix;
 
@@ -70,26 +71,89 @@ pub fn aggregate_points(
     target: &PolygonUnitSystem,
     policy: OutsidePolicy,
 ) -> Result<CrosswalkAggregates, PartitionError> {
+    aggregate_points_with(
+        attribute,
+        points,
+        source,
+        target,
+        policy,
+        Executor::global(),
+    )
+}
+
+/// Per-chunk partial state of a point aggregation: the two marginal
+/// accumulators, the COO triples in point order, and the skip count.
+struct ChunkAggregates {
+    src: Vec<f64>,
+    tgt: Vec<f64>,
+    triples: Vec<(usize, usize, f64)>,
+    skipped: usize,
+}
+
+/// [`aggregate_points`] on an explicit executor.
+///
+/// Points fan out in chunks; each chunk accumulates its own `src`/`tgt`
+/// partial sums and COO triples, and the partials merge strictly in chunk
+/// order. Chunk boundaries depend only on `points.len()`, so the result
+/// is bit-identical at every thread count; errors surface for the
+/// lowest-indexed offending point, exactly like a sequential scan.
+pub fn aggregate_points_with(
+    attribute: &str,
+    points: &[WeightedPoint],
+    source: &PolygonUnitSystem,
+    target: &PolygonUnitSystem,
+    policy: OutsidePolicy,
+    exec: Executor,
+) -> Result<CrosswalkAggregates, PartitionError> {
+    let per_chunk = exec.par_chunks(points, |offset, chunk| {
+        let mut part = ChunkAggregates {
+            src: vec![0.0; source.len()],
+            tgt: vec![0.0; target.len()],
+            triples: Vec::new(),
+            skipped: 0,
+        };
+        for (k, p) in chunk.iter().enumerate() {
+            let index = offset + k;
+            if !p.pos.is_finite() || !p.weight.is_finite() {
+                return Err(PartitionError::NonFinite);
+            }
+            let (Some(si), Some(ti)) = (source.locate(p.pos), target.locate(p.pos)) else {
+                match policy {
+                    OutsidePolicy::Skip => {
+                        part.skipped += 1;
+                        continue;
+                    }
+                    OutsidePolicy::Error => {
+                        return Err(PartitionError::PointOutsideUniverse { index })
+                    }
+                }
+            };
+            part.src[si] += p.weight;
+            part.tgt[ti] += p.weight;
+            part.triples.push((si, ti, p.weight));
+        }
+        Ok(part)
+    })?;
+
+    // Ordered merge: chunks are ascending point ranges, so folding them
+    // left-to-right reproduces the sequential accumulation order and the
+    // first error is the sequential first error.
     let mut src = vec![0.0; source.len()];
     let mut tgt = vec![0.0; target.len()];
     let mut coo = CooMatrix::new(source.len(), target.len());
     let mut skipped = 0usize;
-    for (index, p) in points.iter().enumerate() {
-        if !p.pos.is_finite() || !p.weight.is_finite() {
-            return Err(PartitionError::NonFinite);
+    for chunk in per_chunk {
+        let part = chunk?;
+        for (acc, v) in src.iter_mut().zip(&part.src) {
+            *acc += v;
         }
-        let (Some(si), Some(ti)) = (source.locate(p.pos), target.locate(p.pos)) else {
-            match policy {
-                OutsidePolicy::Skip => {
-                    skipped += 1;
-                    continue;
-                }
-                OutsidePolicy::Error => return Err(PartitionError::PointOutsideUniverse { index }),
-            }
-        };
-        src[si] += p.weight;
-        tgt[ti] += p.weight;
-        coo.push(si, ti, p.weight)?;
+        for (acc, v) in tgt.iter_mut().zip(&part.tgt) {
+            *acc += v;
+        }
+        for (si, ti, w) in part.triples {
+            coo.push(si, ti, w)?;
+        }
+        skipped += part.skipped;
     }
     Ok(CrosswalkAggregates {
         source: AggregateVector::new(attribute, src)?,

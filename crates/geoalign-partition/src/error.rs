@@ -44,6 +44,8 @@ pub enum PartitionError {
     },
     /// A tabular input failed to parse or reference the expected units.
     Table(crate::table::TableError),
+    /// A parallel job failed (a task panicked).
+    Exec(geoalign_exec::ExecError),
 }
 
 impl fmt::Display for PartitionError {
@@ -69,6 +71,7 @@ impl fmt::Display for PartitionError {
                 write!(f, "point {index} lies outside every unit of the universe")
             }
             PartitionError::Table(e) => write!(f, "table error: {e}"),
+            PartitionError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }
@@ -79,6 +82,7 @@ impl std::error::Error for PartitionError {
             PartitionError::Geometry(e) => Some(e),
             PartitionError::Linalg(e) => Some(e),
             PartitionError::Table(e) => Some(e),
+            PartitionError::Exec(e) => Some(e),
             _ => None,
         }
     }
@@ -93,6 +97,12 @@ impl From<geoalign_geom::GeomError> for PartitionError {
 impl From<geoalign_linalg::LinalgError> for PartitionError {
     fn from(e: geoalign_linalg::LinalgError) -> Self {
         PartitionError::Linalg(e)
+    }
+}
+
+impl From<geoalign_exec::ExecError> for PartitionError {
+    fn from(e: geoalign_exec::ExecError) -> Self {
+        PartitionError::Exec(e)
     }
 }
 

@@ -26,7 +26,9 @@ pub mod table;
 pub mod unit_system;
 
 pub use aggregate::AggregateVector;
-pub use crosswalk::{aggregate_points, CrosswalkAggregates, OutsidePolicy, WeightedPoint};
+pub use crosswalk::{
+    aggregate_points, aggregate_points_with, CrosswalkAggregates, OutsidePolicy, WeightedPoint,
+};
 pub use disagg::DisaggregationMatrix;
 pub use error::PartitionError;
 pub use overlay::{Overlay, OverlayPiece};

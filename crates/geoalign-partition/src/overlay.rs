@@ -9,6 +9,7 @@
 use crate::disagg::DisaggregationMatrix;
 use crate::error::PartitionError;
 use crate::unit_system::{BoxUnitSystem, IntervalUnitSystem, PolygonUnitSystem};
+use geoalign_exec::Executor;
 use geoalign_geom::clip::clip_convex;
 use geoalign_geom::Polygon;
 use geoalign_obs::span;
@@ -43,30 +44,50 @@ impl Overlay {
         source: &PolygonUnitSystem,
         target: &PolygonUnitSystem,
     ) -> Result<Self, PartitionError> {
+        Self::polygons_with(source, target, Executor::global())
+    }
+
+    /// [`Overlay::polygons`] on an explicit executor. Source units fan out
+    /// in chunks; per-chunk piece lists are concatenated in chunk order,
+    /// so the pieces come out in source-unit order (and within a source
+    /// unit in sorted target order) at every thread count.
+    pub fn polygons_with(
+        source: &PolygonUnitSystem,
+        target: &PolygonUnitSystem,
+        exec: Executor,
+    ) -> Result<Self, PartitionError> {
         let mut span = span!(
             "overlay_polygons",
             n_source = source.len(),
             n_target = target.len()
         );
-        let mut pieces = Vec::new();
-        let mut candidates: Vec<usize> = Vec::new();
         let probe_hist = crate::obs::rtree_candidates();
-        for (si, su) in source.units().iter().enumerate() {
-            candidates.clear();
-            target.rtree().query(su.bbox(), |ti| candidates.push(ti));
-            probe_hist.record_value(candidates.len() as u64);
-            // Deterministic order regardless of tree layout.
-            candidates.sort_unstable();
-            for &ti in &candidates {
-                if let Some(piece) = clip_convex(su, &target.units()[ti]) {
-                    pieces.push(OverlayPiece {
-                        source: si,
-                        target: ti,
-                        measure: piece.area(),
-                        polygon: Some(piece),
-                    });
+        let per_chunk = exec.par_chunks(source.units(), |offset, chunk| {
+            let mut pieces = Vec::new();
+            let mut candidates: Vec<usize> = Vec::new();
+            for (k, su) in chunk.iter().enumerate() {
+                let si = offset + k;
+                candidates.clear();
+                target.rtree().query(su.bbox(), |ti| candidates.push(ti));
+                probe_hist.record_value(candidates.len() as u64);
+                // Deterministic order regardless of tree layout.
+                candidates.sort_unstable();
+                for &ti in &candidates {
+                    if let Some(piece) = clip_convex(su, &target.units()[ti]) {
+                        pieces.push(OverlayPiece {
+                            source: si,
+                            target: ti,
+                            measure: piece.area(),
+                            polygon: Some(piece),
+                        });
+                    }
                 }
             }
+            pieces
+        })?;
+        let mut pieces = Vec::with_capacity(per_chunk.iter().map(Vec::len).sum());
+        for chunk in per_chunk {
+            pieces.extend(chunk);
         }
         crate::obs::overlay_total().inc();
         crate::obs::overlay_pieces_total().add(pieces.len() as u64);
@@ -126,6 +147,18 @@ impl Overlay {
     /// Overlays two n-dimensional box unit systems (O(|S|·|T|); box systems
     /// in this library are modest in size).
     pub fn boxes(source: &BoxUnitSystem, target: &BoxUnitSystem) -> Result<Self, PartitionError> {
+        Self::boxes_with(source, target, Executor::global())
+    }
+
+    /// [`Overlay::boxes`] on an explicit executor. Chunks of source units
+    /// each scan all targets; chunk results merge in chunk order, so both
+    /// the piece order and the first error (chunks are ascending source
+    /// ranges) match the sequential scan exactly.
+    pub fn boxes_with(
+        source: &BoxUnitSystem,
+        target: &BoxUnitSystem,
+        exec: Executor,
+    ) -> Result<Self, PartitionError> {
         if source.dim() != target.dim() {
             return Err(PartitionError::SystemMismatch {
                 what: "box overlay dimension",
@@ -138,18 +171,26 @@ impl Overlay {
             n_source = source.len(),
             n_target = target.len()
         );
-        let mut pieces = Vec::new();
-        for (si, su) in source.units().iter().enumerate() {
-            for (ti, tu) in target.units().iter().enumerate() {
-                if let Some(i) = su.intersection(tu)? {
-                    pieces.push(OverlayPiece {
-                        source: si,
-                        target: ti,
-                        measure: i.volume(),
-                        polygon: None,
-                    });
+        let per_chunk = exec.par_chunks(source.units(), |offset, chunk| {
+            let mut pieces = Vec::new();
+            for (k, su) in chunk.iter().enumerate() {
+                let si = offset + k;
+                for (ti, tu) in target.units().iter().enumerate() {
+                    if let Some(i) = su.intersection(tu)? {
+                        pieces.push(OverlayPiece {
+                            source: si,
+                            target: ti,
+                            measure: i.volume(),
+                            polygon: None,
+                        });
+                    }
                 }
             }
+            Ok::<_, PartitionError>(pieces)
+        })?;
+        let mut pieces = Vec::new();
+        for chunk in per_chunk {
+            pieces.extend(chunk?);
         }
         crate::obs::overlay_total().inc();
         crate::obs::overlay_pieces_total().add(pieces.len() as u64);

@@ -1,0 +1,232 @@
+//! Thread-count invariance of the parallel partition paths.
+//!
+//! The executor contract (DESIGN.md §9) promises bit-identical results at
+//! every thread count: chunk boundaries are a pure function of input
+//! length and the per-chunk partials merge in chunk order. These tests
+//! pin that promise for the polygon overlay, the box overlay, and point
+//! aggregation — at 1, 2 and 8 threads, including empty and single-chunk
+//! inputs.
+
+use geoalign_exec::Executor;
+use geoalign_geom::ndbox::grid_partition;
+use geoalign_geom::{Aabb, Point2, Polygon, VoronoiDiagram};
+use geoalign_partition::crosswalk::aggregate_points_with;
+use geoalign_partition::{BoxUnitSystem, OutsidePolicy, Overlay, PolygonUnitSystem, WeightedPoint};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A fine and a coarse Voronoi unit system over the unit square.
+fn voronoi_world(seed: u64, fine: usize, coarse: usize) -> (PolygonUnitSystem, PolygonUnitSystem) {
+    let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+    let mut state = seed;
+    let mut r = move |_| lcg(&mut state);
+    let f = VoronoiDiagram::jittered_grid(bounds, fine, fine, 0.45, &mut r).unwrap();
+    let c = VoronoiDiagram::jittered_grid(bounds, coarse, coarse, 0.45, &mut r).unwrap();
+    (
+        PolygonUnitSystem::from_voronoi("fine", f).unwrap(),
+        PolygonUnitSystem::from_voronoi("coarse", c).unwrap(),
+    )
+}
+
+fn assert_overlays_identical(reference: &Overlay, other: &Overlay, what: &str) {
+    assert_eq!(reference.len(), other.len(), "{what}: piece count differs");
+    for (a, b) in reference.pieces().iter().zip(other.pieces()) {
+        assert_eq!(a.source, b.source, "{what}: source order differs");
+        assert_eq!(a.target, b.target, "{what}: target order differs");
+        assert_eq!(
+            a.measure.to_bits(),
+            b.measure.to_bits(),
+            "{what}: measure differs bitwise ({} vs {})",
+            a.measure,
+            b.measure
+        );
+    }
+}
+
+#[test]
+fn polygon_overlay_is_thread_count_invariant() {
+    let (s, t) = voronoi_world(0xfeed, 8, 3);
+    let reference = Overlay::polygons_with(&s, &t, Executor::sequential()).unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel = Overlay::polygons_with(&s, &t, Executor::new(threads)).unwrap();
+        assert_overlays_identical(&reference, &parallel, &format!("polygons @{threads}"));
+    }
+}
+
+#[test]
+fn polygon_overlay_single_chunk_and_empty_inputs() {
+    // One source unit: a single chunk regardless of thread count.
+    let one = PolygonUnitSystem::new(
+        "one",
+        vec![Polygon::rect(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)).unwrap()],
+    )
+    .unwrap();
+    let (_, coarse) = voronoi_world(0xbee, 8, 3);
+    let reference = Overlay::polygons_with(&one, &coarse, Executor::sequential()).unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel = Overlay::polygons_with(&one, &coarse, Executor::new(threads)).unwrap();
+        assert_overlays_identical(&reference, &parallel, "single chunk");
+    }
+    // Disjoint systems: an empty overlay at every thread count.
+    let far = PolygonUnitSystem::new(
+        "far",
+        vec![Polygon::rect(Point2::new(9.0, 9.0), Point2::new(10.0, 10.0)).unwrap()],
+    )
+    .unwrap();
+    for threads in THREAD_COUNTS {
+        let ov = Overlay::polygons_with(&one, &far, Executor::new(threads)).unwrap();
+        assert!(ov.is_empty());
+    }
+}
+
+#[test]
+fn box_overlay_is_thread_count_invariant() {
+    let s = BoxUnitSystem::new(
+        "fine",
+        grid_partition(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)], &[5, 4, 3]).unwrap(),
+    )
+    .unwrap();
+    let t = BoxUnitSystem::new(
+        "coarse",
+        grid_partition(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)], &[2, 3, 2]).unwrap(),
+    )
+    .unwrap();
+    let reference = Overlay::boxes_with(&s, &t, Executor::sequential()).unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel = Overlay::boxes_with(&s, &t, Executor::new(threads)).unwrap();
+        assert_overlays_identical(&reference, &parallel, &format!("boxes @{threads}"));
+    }
+    // The dimension-mismatch error also surfaces on the parallel path.
+    let flat = BoxUnitSystem::new("flat", grid_partition(&[(0.0, 1.0)], &[2]).unwrap()).unwrap();
+    for threads in THREAD_COUNTS {
+        assert!(Overlay::boxes_with(&s, &flat, Executor::new(threads)).is_err());
+    }
+}
+
+/// Two small polygon systems for point aggregation: vertical strips and
+/// horizontal bands over [0,2]².
+fn strips_and_bands() -> (PolygonUnitSystem, PolygonUnitSystem) {
+    let strips = PolygonUnitSystem::new(
+        "strips",
+        (0..4)
+            .map(|i| {
+                Polygon::rect(
+                    Point2::new(i as f64 * 0.5, 0.0),
+                    Point2::new((i + 1) as f64 * 0.5, 2.0),
+                )
+                .unwrap()
+            })
+            .collect(),
+    )
+    .unwrap();
+    let bands = PolygonUnitSystem::new(
+        "bands",
+        (0..3)
+            .map(|i| {
+                Polygon::rect(
+                    Point2::new(0.0, i as f64 * 2.0 / 3.0),
+                    Point2::new(2.0, (i + 1) as f64 * 2.0 / 3.0),
+                )
+                .unwrap()
+            })
+            .collect(),
+    )
+    .unwrap();
+    (strips, bands)
+}
+
+fn assert_aggregates_identical(
+    reference: &geoalign_partition::CrosswalkAggregates,
+    other: &geoalign_partition::CrosswalkAggregates,
+) {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(reference.source.values()), bits(other.source.values()));
+    assert_eq!(bits(reference.target.values()), bits(other.target.values()));
+    assert_eq!(reference.skipped, other.skipped);
+    let triples = |agg: &geoalign_partition::CrosswalkAggregates| {
+        agg.dm
+            .matrix()
+            .iter()
+            .map(|(i, j, v)| (i, j, v.to_bits()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(triples(reference), triples(other));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aggregate_points_is_thread_count_invariant(
+        // Coordinates straddle the [0,2]² universe so some points fall
+        // outside and exercise the skip path; irrational-ish weights make
+        // bitwise agreement a real statement about accumulation order.
+        raw in proptest::collection::vec(
+            (-0.5f64..2.5, -0.5f64..2.5, 0.001f64..10.0), 0..150),
+    ) {
+        let (strips, bands) = strips_and_bands();
+        let points: Vec<WeightedPoint> = raw
+            .iter()
+            .map(|&(x, y, w)| WeightedPoint { pos: Point2::new(x, y), weight: w / 3.0 })
+            .collect();
+        let reference = aggregate_points_with(
+            "attr", &points, &strips, &bands, OutsidePolicy::Skip, Executor::sequential(),
+        ).unwrap();
+        for threads in THREAD_COUNTS {
+            let parallel = aggregate_points_with(
+                "attr", &points, &strips, &bands, OutsidePolicy::Skip, Executor::new(threads),
+            ).unwrap();
+            assert_aggregates_identical(&reference, &parallel);
+        }
+    }
+}
+
+#[test]
+fn aggregate_points_edge_inputs() {
+    let (strips, bands) = strips_and_bands();
+    // Empty input at every thread count.
+    for threads in THREAD_COUNTS {
+        let agg = aggregate_points_with(
+            "attr",
+            &[],
+            &strips,
+            &bands,
+            OutsidePolicy::Skip,
+            Executor::new(threads),
+        )
+        .unwrap();
+        assert_eq!(agg.source.total(), 0.0);
+        assert_eq!(agg.dm.nnz(), 0);
+        assert_eq!(agg.skipped, 0);
+    }
+    // A single point (single chunk) and the error path: the outside
+    // point's index must match the sequential scan at any thread count.
+    let points = vec![
+        WeightedPoint::unit(Point2::new(0.25, 0.25)),
+        WeightedPoint::unit(Point2::new(9.0, 9.0)),
+        WeightedPoint::unit(Point2::new(8.0, 8.0)),
+    ];
+    for threads in THREAD_COUNTS {
+        let err = aggregate_points_with(
+            "attr",
+            &points,
+            &strips,
+            &bands,
+            OutsidePolicy::Error,
+            Executor::new(threads),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            geoalign_partition::PartitionError::PointOutsideUniverse { index: 1 }
+        );
+    }
+}

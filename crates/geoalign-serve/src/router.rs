@@ -191,7 +191,11 @@ fn post_crosswalk(state: &AppState, req: &Request) -> Result<Response, HttpError
         ids.iter().map(|id| Json::from(id.clone())).collect()
     };
 
-    let mut columns = Vec::with_capacity(attributes.len());
+    // Validate the whole batch up front, then hand it to the prepared
+    // crosswalk in one `apply_batch` call so the executor can spread the
+    // attributes over the process thread budget.
+    let mut names = Vec::with_capacity(attributes.len());
+    let mut vectors = Vec::with_capacity(attributes.len());
     for attr in attributes {
         let name = str_field(attr, "name")?;
         let values: Vec<f64> = array_field(attr, "values")?
@@ -211,7 +215,13 @@ fn post_crosswalk(state: &AppState, req: &Request) -> Result<Response, HttpError
         }
         let vector = AggregateVector::new(name, values)
             .map_err(|e| HttpError::bad_request(format!("attribute '{name}': {e}")))?;
-        let applied = prepared.apply_values(&vector).map_err(|e| core_error(&e))?;
+        names.push(name);
+        vectors.push(vector);
+    }
+
+    let applied_batch = prepared.apply_batch(&vectors).map_err(|e| core_error(&e))?;
+    let mut columns = Vec::with_capacity(attributes.len());
+    for (name, applied) in names.into_iter().zip(applied_batch) {
         state.metrics.record_phases(&applied.timings);
         columns.push(Json::object([
             ("name", Json::from(name)),

@@ -1,24 +1,30 @@
 //! The TCP front end: a `std::net::TcpListener` accept loop feeding a
-//! fixed pool of worker threads over an mpsc channel. No async runtime —
-//! the request handlers are CPU-bound sparse algebra, so a thread per
-//! in-flight request up to the pool size is the right shape.
+//! fixed [`WorkerPool`](geoalign_exec::WorkerPool) of request workers. No
+//! async runtime — the request handlers are CPU-bound sparse algebra, so
+//! a thread per in-flight request up to the pool size is the right shape.
+//!
+//! The pool size defaults to [`geoalign_exec::global_threads`], the same
+//! process-wide budget the executor's parallel jobs draw from, so a serve
+//! process has one thread knob (`GEOALIGN_THREADS` / `--threads`) instead
+//! of two competing pools.
 
 use crate::http::{read_request, Request, Response};
 use crate::router::route;
 use crate::store::AppState;
+use geoalign_exec::WorkerPool;
 use geoalign_obs::{begin_trace, new_trace_id, SpanRecord};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling requests.
+    /// Worker threads handling requests. Defaults to the process-wide
+    /// thread budget ([`geoalign_exec::global_threads`]).
     pub workers: usize,
     /// Capacity of the prepared-crosswalk cache.
     pub cache_capacity: usize,
@@ -30,7 +36,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            workers: 4,
+            workers: geoalign_exec::global_threads(),
             cache_capacity: crate::store::DEFAULT_CACHE_CAPACITY,
             access_log: None,
         }
@@ -44,7 +50,7 @@ pub struct Server {
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    pool: Option<Arc<WorkerPool<TcpStream>>>,
 }
 
 impl Server {
@@ -72,27 +78,26 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
 
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let state = Arc::clone(&state);
-                std::thread::spawn(move || worker_loop(&rx, &state))
+        let pool = {
+            let state = Arc::clone(&state);
+            WorkerPool::new("geoalign-worker", config.workers, move |stream| {
+                handle_connection(stream, &state)
             })
-            .collect();
+        };
+        let pool_handle = Arc::new(pool);
 
         let accept_stop = Arc::clone(&stop);
+        let accept_pool = Arc::clone(&pool_handle);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
                 match stream {
-                    // A send can only fail after shutdown dropped the
-                    // workers; the connection is dropped with them.
+                    // A submit can only fail after shutdown closed the
+                    // pool; the connection is dropped with it.
                     Ok(s) => {
-                        let _ = tx.send(s);
+                        let _ = accept_pool.submit(s);
                     }
                     Err(_) => continue,
                 }
@@ -104,7 +109,7 @@ impl Server {
             state,
             stop,
             accept_thread: Some(accept_thread),
-            workers,
+            pool: Some(pool_handle),
         })
     }
 
@@ -126,23 +131,12 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Dropping the server drops the sender inside the accept thread's
-        // closure; with the accept thread joined, the channel is closed
-        // and each worker's recv() errors out.
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // With the accept thread joined, this is the pool's last handle:
+        // shutting it down drains queued connections and joins the workers
+        // (the Arc's Drop would do the same, but do it explicitly).
+        if let Some(pool) = self.pool.take().and_then(Arc::into_inner) {
+            pool.shutdown();
         }
-    }
-}
-
-fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<AppState>) {
-    loop {
-        let stream = {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv()
-        };
-        let Ok(stream) = stream else { return };
-        handle_connection(stream, state);
     }
 }
 
@@ -267,9 +261,16 @@ mod tests {
         let addr = server.addr();
         send(addr, "GET /healthz HTTP/1.1\r\n\r\n");
         server.shutdown();
-        // The port no longer accepts (give the OS a beat to tear down).
-        std::thread::sleep(Duration::from_millis(50));
-        let refused = TcpStream::connect(addr).is_err();
+        // The port stops accepting once the OS tears the listener down;
+        // poll for refusal instead of guessing a fixed grace period.
+        let mut refused = false;
+        for _ in 0..200 {
+            if TcpStream::connect(addr).is_err() {
+                refused = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
         assert!(refused, "listener should be closed after shutdown");
     }
 }

@@ -22,8 +22,28 @@ if matches=$(grep -rnE '\b(println|eprintln)!' \
     exit 1
 fi
 
+echo "==> no raw std::thread::spawn outside the execution layer"
+# All parallelism flows through geoalign-exec (Executor / WorkerPool) so
+# the process has one thread budget; geoalign-serve keeps its single
+# accept-loop thread. Everything else must not spawn threads directly.
+# std::thread::scope (used by the executor's tests and callers) is fine.
+if matches=$(grep -rn 'thread::spawn' crates/*/src \
+        | grep -v '^crates/geoalign-exec/src' \
+        | grep -v '^crates/geoalign-serve/src' \
+        | grep -vE ':[0-9]+:\s*(//|//!|///)'); then
+    echo "error: raw thread::spawn outside geoalign-exec — use the Executor or WorkerPool:" >&2
+    echo "$matches" >&2
+    exit 1
+fi
+
 echo "==> cargo test -q -p geoalign-obs"
 cargo test -q -p geoalign-obs
+
+echo "==> executor stress pass (GEOALIGN_THREADS=8)"
+# Re-run the execution layer's tests with an oversubscribed thread budget
+# (the env default is available parallelism); shakes out ordering bugs
+# that a single-thread default would hide.
+GEOALIGN_THREADS=8 cargo test -q -p geoalign-exec
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
