@@ -1,0 +1,220 @@
+//! Serve front-end baseline: per-request latency of `/crosswalk` batches
+//! over one persistent keep-alive connection versus a fresh TCP
+//! connection per request, against a real `geoalign-serve` instance on a
+//! loopback socket.
+//!
+//! Writes machine-readable `BENCH_serve.json` (see `--out`) so future
+//! PRs can compare the connection-lifecycle overhead against a recorded
+//! baseline. The file also records `hardware_threads`: the server's
+//! worker pool and the client share the host, so absolute numbers are
+//! only comparable on similar hosts.
+//!
+//! Usage: `serve_keepalive [--seed N] [--requests N] [--trials N]
+//!                         [--out BENCH_serve.json]`
+
+use geoalign_serve::{Server, ServerConfig};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn post_bytes(path: &str, body: &str, close: bool) -> Vec<u8> {
+    let connection = if close { "close" } else { "keep-alive" };
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
+         Connection: {connection}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Reads exactly one `Content-Length`-framed response from `reader` and
+/// returns its status, leaving the connection usable for the next one.
+fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
+    let mut status = 0u16;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("response head") == 0 {
+            panic!("EOF mid-response");
+        }
+        if status == 0 {
+            status = line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("bad status line: {line}"));
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("Content-Length");
+            }
+        }
+        if line == "\r\n" {
+            break;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("response body");
+    status
+}
+
+/// One request on a dedicated connection (connect + close every time).
+fn request_fresh(addr: SocketAddr, path: &str, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(&post_bytes(path, body, true))
+        .expect("write");
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20180326u64;
+    let mut requests = 200usize;
+    let mut trials = 3usize;
+    let mut out_path = "BENCH_serve.json".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            "--requests" => requests = it.next().expect("--requests value").parse().expect("int"),
+            "--trials" => trials = it.next().expect("--trials value").parse().expect("int"),
+            "--out" => out_path = it.next().expect("--out value").clone(),
+            flag => {
+                eprintln!("unknown argument: {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    // A small crosswalk world: 16 zips onto 4 counties, one reference.
+    let mut state = seed;
+    let n_source = 16usize;
+    let n_target = 4usize;
+    let units: Vec<String> = (0..n_source).map(|i| format!("\"z{i}\"")).collect();
+    assert_eq!(
+        request_fresh(
+            addr,
+            "/systems",
+            &format!("{{\"name\":\"zip\",\"units\":[{}]}}", units.join(","))
+        ),
+        200
+    );
+    let targets: Vec<String> = (0..n_target).map(|j| format!("\"c{j}\"")).collect();
+    assert_eq!(
+        request_fresh(
+            addr,
+            "/systems",
+            &format!("{{\"name\":\"county\",\"units\":[{}]}}", targets.join(","))
+        ),
+        200
+    );
+    let entries: Vec<String> = (0..n_source)
+        .map(|i| {
+            let j = i % n_target;
+            format!("[\"z{i}\",\"c{j}\",{:.3}]", 10.0 + 90.0 * lcg(&mut state))
+        })
+        .collect();
+    assert_eq!(
+        request_fresh(
+            addr,
+            "/references",
+            &format!(
+                "{{\"source\":\"zip\",\"target\":\"county\",\"name\":\"population\",\"entries\":[{}]}}",
+                entries.join(",")
+            )
+        ),
+        200
+    );
+
+    // The measured request: one attribute vector, snapshot served from
+    // the prepared-crosswalk cache after the first hit, so the timing is
+    // dominated by the connection lifecycle rather than the solver.
+    let values: Vec<String> = (0..n_source)
+        .map(|_| format!("{:.3}", 100.0 * lcg(&mut state)))
+        .collect();
+    let body = format!(
+        "{{\"source\":\"zip\",\"target\":\"county\",\"attributes\":[{{\"name\":\"load\",\"values\":[{}]}}]}}",
+        values.join(",")
+    );
+    assert_eq!(request_fresh(addr, "/crosswalk", &body), 200); // warm the cache
+
+    eprintln!(
+        "# serve_keepalive — {requests} requests x {trials} trials, hardware threads {}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // --- keep-alive: all requests on one persistent connection ----------
+    let keepalive_us = {
+        let t = Instant::now();
+        for _ in 0..trials {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let raw = post_bytes("/crosswalk", &body, false);
+            for _ in 0..requests {
+                writer.write_all(&raw).expect("write");
+                assert_eq!(read_response(&mut reader), 200);
+            }
+        }
+        t.elapsed().as_secs_f64() * 1e6 / (trials * requests) as f64
+    };
+    eprintln!("keep-alive connection: {keepalive_us:>9.1} us/request");
+
+    // --- per-request connections: connect + close every time -------------
+    let fresh_us = {
+        let t = Instant::now();
+        for _ in 0..trials {
+            for _ in 0..requests {
+                assert_eq!(request_fresh(addr, "/crosswalk", &body), 200);
+            }
+        }
+        t.elapsed().as_secs_f64() * 1e6 / (trials * requests) as f64
+    };
+    eprintln!("fresh connections:     {fresh_us:>9.1} us/request");
+
+    let reused = server.state().metrics.keepalive_reuse.get();
+    server.shutdown();
+
+    // --- BENCH_serve.json ------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve_keepalive\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"trials\": {trials},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(
+        json,
+        "  \"universe\": {{ \"n_source\": {n_source}, \"n_target\": {n_target}, \"body_bytes\": {} }},",
+        body.len()
+    );
+    let _ = writeln!(json, "  \"keepalive_reuse_total\": {reused},");
+    let _ = writeln!(json, "  \"crosswalk\": {{");
+    let _ = writeln!(json, "    \"keepalive_us_per_request\": {keepalive_us:.1},");
+    let _ = writeln!(json, "    \"fresh_conn_us_per_request\": {fresh_us:.1},");
+    let _ = writeln!(
+        json,
+        "    \"fresh_over_keepalive\": {:.3}",
+        fresh_us / keepalive_us.max(1e-9)
+    );
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

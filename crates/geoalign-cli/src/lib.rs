@@ -82,6 +82,8 @@ USAGE:
     geoalign weights   --table T.csv --reference X1.csv [...]
     geoalign serve     [--addr HOST:PORT] [--workers N] [--cache-capacity M]
                        [--access-log LOG.jsonl] [--threads N]
+                       [--max-connections N] [--idle-timeout SECS]
+                       [--max-requests-per-conn N]
 
 FLAGS:
     --timings          print per-phase wall-clock timings to stderr
@@ -93,6 +95,13 @@ FLAGS:
     --workers          serve: request worker threads (default: the thread budget)
     --cache-capacity   serve: prepared-crosswalk cache size (default 64)
     --access-log       serve: append one JSON line per request to a file
+    --max-connections  serve: connections queued for a worker before new
+                       arrivals are shed with 503 (default 128)
+    --idle-timeout     serve: seconds a keep-alive connection may idle, and
+                       the stalled-request deadline (default 30)
+    --max-requests-per-conn
+                       serve: requests served over one connection before the
+                       server closes it (default 1000)
 
 FILES:
     aggregate tables:  CSV `unit,value` with a header line
@@ -157,6 +166,15 @@ pub struct ServeArgs {
     pub access_log: Option<String>,
     /// Override of the process-wide thread budget (`--threads`).
     pub threads: Option<usize>,
+    /// Connections queued for a worker before new arrivals are shed
+    /// with 503 (`--max-connections`).
+    pub max_connections: usize,
+    /// Seconds a keep-alive connection may idle — also the stalled-
+    /// request read deadline (`--idle-timeout`).
+    pub idle_timeout_secs: u64,
+    /// Requests served over one connection before the server closes it
+    /// (`--max-requests-per-conn`).
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServeArgs {
@@ -167,6 +185,9 @@ impl Default for ServeArgs {
             cache_capacity: 64,
             access_log: None,
             threads: None,
+            max_connections: geoalign_serve::server::DEFAULT_MAX_CONNECTIONS,
+            idle_timeout_secs: geoalign_serve::server::DEFAULT_IDLE_TIMEOUT.as_secs(),
+            max_requests_per_conn: geoalign_serve::server::DEFAULT_MAX_REQUESTS_PER_CONN,
         }
     }
 }
@@ -186,6 +207,19 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
             }
             "--access-log" => parsed.access_log = Some(need(&mut it, "--access-log")?),
             "--threads" => parsed.threads = Some(positive(&mut it, "--threads")?),
+            "--max-connections" => {
+                // 0 is meaningful: a rendezvous queue that only accepts a
+                // connection when a worker is already free.
+                parsed.max_connections = need(&mut it, "--max-connections")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--max-connections needs an integer".into()))?;
+            }
+            "--idle-timeout" => {
+                parsed.idle_timeout_secs = positive(&mut it, "--idle-timeout")? as u64;
+            }
+            "--max-requests-per-conn" => {
+                parsed.max_requests_per_conn = positive(&mut it, "--max-requests-per-conn")?;
+            }
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
@@ -457,6 +491,52 @@ B,60
         assert!(parse_serve_args(&["--access-log".into()]).is_err());
         assert!(parse_serve_args(&["--workers".into(), "0".into()]).is_err());
         assert!(parse_serve_args(&["--nope".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_hardening_flag_parsing() {
+        // Defaults mirror the server's.
+        let d = parse_serve_args(&[]).unwrap();
+        assert_eq!(
+            d.max_connections,
+            geoalign_serve::server::DEFAULT_MAX_CONNECTIONS
+        );
+        assert_eq!(
+            d.idle_timeout_secs,
+            geoalign_serve::server::DEFAULT_IDLE_TIMEOUT.as_secs()
+        );
+        assert_eq!(
+            d.max_requests_per_conn,
+            geoalign_serve::server::DEFAULT_MAX_REQUESTS_PER_CONN
+        );
+
+        let args: Vec<String> = [
+            "--max-connections",
+            "4",
+            "--idle-timeout",
+            "5",
+            "--max-requests-per-conn",
+            "100",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let a = parse_serve_args(&args).unwrap();
+        assert_eq!(a.max_connections, 4);
+        assert_eq!(a.idle_timeout_secs, 5);
+        assert_eq!(a.max_requests_per_conn, 100);
+
+        // --max-connections 0 means a rendezvous queue and is legal;
+        // the time and per-connection caps must stay positive.
+        assert_eq!(
+            parse_serve_args(&["--max-connections".into(), "0".into()])
+                .unwrap()
+                .max_connections,
+            0
+        );
+        assert!(parse_serve_args(&["--max-connections".into(), "many".into()]).is_err());
+        assert!(parse_serve_args(&["--idle-timeout".into(), "0".into()]).is_err());
+        assert!(parse_serve_args(&["--max-requests-per-conn".into(), "0".into()]).is_err());
     }
 
     #[test]

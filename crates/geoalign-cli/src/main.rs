@@ -104,6 +104,9 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
                 workers: parsed.workers.unwrap_or_else(geoalign_exec::global_threads),
                 cache_capacity: parsed.cache_capacity,
                 access_log: parsed.access_log.clone(),
+                max_connections: parsed.max_connections,
+                idle_timeout: std::time::Duration::from_secs(parsed.idle_timeout_secs),
+                max_requests_per_conn: parsed.max_requests_per_conn,
             };
             let server = geoalign_serve::Server::bind(parsed.addr.as_str(), config)
                 .map_err(|e| CliError::Io(parsed.addr.clone(), e))?;

@@ -40,7 +40,7 @@
 mod obs;
 pub mod pool;
 
-pub use pool::WorkerPool;
+pub use pool::{RejectedJob, WorkerPool};
 
 use std::cell::Cell;
 use std::fmt;

@@ -73,3 +73,8 @@ global_histogram!(
     "geoalign_exec_pool_queue_wait_micros",
     "Delay between WorkerPool submit and a worker picking the job up"
 );
+global_counter!(
+    pool_rejected_total,
+    "geoalign_exec_pool_rejected_total",
+    "Jobs a saturated bounded WorkerPool queue handed back to the caller"
+);

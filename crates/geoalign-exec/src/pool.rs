@@ -3,14 +3,20 @@
 //! process-wide thread budget as the fork-join [`Executor`]
 //! (`crate::Executor`) instead of a second, competing hand-rolled pool.
 //!
+//! Two queue shapes: [`WorkerPool::new`] is unbounded (every submit is
+//! accepted), [`WorkerPool::bounded`] caps the queue so a producer can
+//! shed load with [`WorkerPool::try_submit`] instead of queueing
+//! without limit — the serve front end answers 503 from the rejection.
+//!
 //! Handler panics are caught per job (a panicking request must not take
 //! a worker down with it) and counted in
 //! `geoalign_exec_pool_panics_total`; queue wait per job goes to
-//! `geoalign_exec_pool_queue_wait_micros`.
+//! `geoalign_exec_pool_queue_wait_micros`; bounded-queue rejections to
+//! `geoalign_exec_pool_rejected_total`.
 
 use crate::obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -22,11 +28,30 @@ struct Envelope<J> {
     job: J,
 }
 
+/// The sending half: unbounded channel or capacity-bounded sync channel.
+enum Tx<J> {
+    Unbounded(mpsc::Sender<Envelope<J>>),
+    Bounded(mpsc::SyncSender<Envelope<J>>),
+}
+
+/// Why [`WorkerPool::try_submit`] did not queue a job. The job comes
+/// back to the caller so it can respond (e.g. write a 503) instead of
+/// losing it.
+#[derive(Debug)]
+pub enum RejectedJob<J> {
+    /// The bounded queue is full: every worker is busy and the backlog
+    /// is at capacity. Shed load.
+    Saturated(J),
+    /// The pool has shut down; no worker will ever pick the job up.
+    Closed(J),
+}
+
 /// A fixed pool of named, long-running worker threads consuming jobs from
 /// a shared queue. Dropping (or [`WorkerPool::shutdown`]ting) the pool
 /// closes the queue; workers drain what is already queued and exit.
 pub struct WorkerPool<J: Send + 'static> {
-    sender: Option<mpsc::Sender<Envelope<J>>>,
+    sender: Option<Tx<J>>,
+    queue_capacity: Option<usize>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -34,6 +59,7 @@ impl<J: Send + 'static> std::fmt::Debug for WorkerPool<J> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("workers", &self.handles.len())
+            .field("queue_capacity", &self.queue_capacity)
             .field("open", &self.sender.is_some())
             .finish()
     }
@@ -41,12 +67,55 @@ impl<J: Send + 'static> std::fmt::Debug for WorkerPool<J> {
 
 impl<J: Send + 'static> WorkerPool<J> {
     /// Spawns `workers` threads (minimum 1) named `<name>-<index>`, each
-    /// running `handler` on every job it receives.
+    /// running `handler` on every job it receives. The queue is
+    /// unbounded; see [`WorkerPool::bounded`] for a load-shedding pool.
     pub fn new<F>(name: &str, workers: usize, handler: F) -> Self
     where
         F: Fn(J) + Send + Sync + 'static,
     {
         let (sender, receiver) = mpsc::channel::<Envelope<J>>();
+        Self::start(
+            name,
+            workers,
+            Tx::Unbounded(sender),
+            None,
+            receiver,
+            handler,
+        )
+    }
+
+    /// Like [`WorkerPool::new`], but the queue holds at most
+    /// `queue_capacity` jobs beyond the ones workers are running.
+    /// [`WorkerPool::try_submit`] rejects instead of queueing past the
+    /// cap; [`WorkerPool::submit`] blocks until space frees up. A
+    /// capacity of 0 is a rendezvous queue: a job is only accepted when
+    /// a worker is already waiting for it.
+    pub fn bounded<F>(name: &str, workers: usize, queue_capacity: usize, handler: F) -> Self
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        let (sender, receiver) = mpsc::sync_channel::<Envelope<J>>(queue_capacity);
+        Self::start(
+            name,
+            workers,
+            Tx::Bounded(sender),
+            Some(queue_capacity),
+            receiver,
+            handler,
+        )
+    }
+
+    fn start<F>(
+        name: &str,
+        workers: usize,
+        sender: Tx<J>,
+        queue_capacity: Option<usize>,
+        receiver: mpsc::Receiver<Envelope<J>>,
+        handler: F,
+    ) -> Self
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
         let receiver = Arc::new(Mutex::new(receiver));
         let handler = Arc::new(handler);
         let handles = (0..workers.max(1))
@@ -61,6 +130,7 @@ impl<J: Send + 'static> WorkerPool<J> {
             .collect();
         WorkerPool {
             sender: Some(sender),
+            queue_capacity,
             handles,
         }
     }
@@ -70,17 +140,46 @@ impl<J: Send + 'static> WorkerPool<J> {
         self.handles.len()
     }
 
-    /// Queues a job. Returns `false` when the pool is already shut down
-    /// (the job is dropped).
+    /// The bounded queue's capacity; `None` for an unbounded pool.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue_capacity
+    }
+
+    /// Queues a job. On a bounded pool this blocks while the queue is
+    /// full. Returns `false` when the pool is already shut down (the
+    /// job is dropped).
     pub fn submit(&self, job: J) -> bool {
+        let envelope = Envelope {
+            submitted: Instant::now(),
+            job,
+        };
         match &self.sender {
-            Some(sender) => sender
-                .send(Envelope {
-                    submitted: Instant::now(),
-                    job,
-                })
-                .is_ok(),
+            Some(Tx::Unbounded(sender)) => sender.send(envelope).is_ok(),
+            Some(Tx::Bounded(sender)) => sender.send(envelope).is_ok(),
             None => false,
+        }
+    }
+
+    /// Queues a job without blocking. A full bounded queue returns
+    /// [`RejectedJob::Saturated`] with the job, so the caller can shed
+    /// load; an unbounded pool never saturates.
+    pub fn try_submit(&self, job: J) -> Result<(), RejectedJob<J>> {
+        let envelope = Envelope {
+            submitted: Instant::now(),
+            job,
+        };
+        match &self.sender {
+            Some(Tx::Unbounded(sender)) => sender
+                .send(envelope)
+                .map_err(|e| RejectedJob::Closed(e.0.job)),
+            Some(Tx::Bounded(sender)) => sender.try_send(envelope).map_err(|e| match e {
+                TrySendError::Full(envelope) => {
+                    obs::pool_rejected_total().inc();
+                    RejectedJob::Saturated(envelope.job)
+                }
+                TrySendError::Disconnected(envelope) => RejectedJob::Closed(envelope.job),
+            }),
+            None => Err(RejectedJob::Closed(envelope.job)),
         }
     }
 
@@ -129,6 +228,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc::channel;
+    use std::time::Duration;
 
     #[test]
     fn every_submitted_job_runs_once() {
@@ -140,6 +240,7 @@ mod tests {
             })
         };
         assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.queue_capacity(), None);
         for v in 1..=100 {
             assert!(pool.submit(v));
         }
@@ -158,7 +259,7 @@ mod tests {
         });
         pool.submit(0); // panics inside the handler
         pool.submit(7); // must still be handled by the same single worker
-        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(7));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(7));
         pool.shutdown();
     }
 
@@ -189,5 +290,61 @@ mod tests {
         pool.submit(());
         pool.shutdown();
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bounded_pool_saturates_and_returns_the_job() {
+        // One worker parked on a gate, queue capacity 1: the first job
+        // occupies the worker, the second fills the queue, the third
+        // must come back as Saturated.
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let gate_rx = Arc::clone(&gate_rx);
+            let done = Arc::clone(&done);
+            WorkerPool::bounded("gated", 1, 1, move |v: usize| {
+                gate_rx.lock().unwrap().recv().unwrap();
+                done.fetch_add(v, Ordering::Relaxed);
+            })
+        };
+        assert_eq!(pool.queue_capacity(), Some(1));
+        assert!(pool.try_submit(1).is_ok());
+        // Wait for the worker to pick job 1 up (it parks on the gate),
+        // so job 2 deterministically lands in the queue slot.
+        let t0 = Instant::now();
+        while pool.try_submit(2).is_err() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "worker never started"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Worker busy + queue full: the job is handed back.
+        match pool.try_submit(3) {
+            Err(RejectedJob::Saturated(job)) => assert_eq!(job, 3),
+            other => panic!("expected saturation, got {other:?}"),
+        }
+        // Opening the gate drains both accepted jobs.
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 3); // 1 + 2, not the shed 3
+    }
+
+    #[test]
+    fn bounded_pool_drains_queued_jobs_on_shutdown() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let seen = Arc::clone(&seen);
+            WorkerPool::bounded("drain", 2, 8, move |v: usize| {
+                seen.fetch_add(v, Ordering::Relaxed);
+            })
+        };
+        for v in 1..=8 {
+            assert!(pool.submit(v)); // blocks if full, never drops
+        }
+        pool.shutdown();
+        assert_eq!(seen.load(Ordering::Relaxed), 36);
     }
 }

@@ -15,7 +15,7 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: example\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n\r\n{body}",
+         Connection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .unwrap();

@@ -1,14 +1,47 @@
 //! A hand-rolled HTTP/1.1 subset on `std::io` — request parsing and
-//! response writing for the crosswalk service. One request per
-//! connection (`Connection: close`), bodies sized by `Content-Length`,
-//! no chunked encoding, no TLS. Deliberately minimal: the service's
-//! clients are programs, not browsers.
+//! response writing for the crosswalk service. Connections are
+//! persistent: the server loops [`read_request`] over one buffered
+//! reader, honoring `Connection: close` and the HTTP/1.0 default.
+//! Bodies are sized by `Content-Length`, no chunked encoding, no TLS.
+//! Deliberately minimal: the service's clients are programs, not
+//! browsers.
+//!
+//! Every read is bounded. The request line plus headers share a byte
+//! budget ([`MAX_HEAD_BYTES`], answered with 431 when exceeded), bodies
+//! are capped at [`MAX_BODY_BYTES`] (413), and a per-request deadline
+//! turns a stalled read into 408 instead of a parked worker.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, ErrorKind, Write};
+use std::time::{Duration, Instant};
 
 /// Upper bound on accepted request bodies (16 MiB) — a guard against
 /// unbounded allocation from a hostile or broken client.
 pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// Upper bound on the request line plus all headers together (64 KiB).
+/// A client streaming bytes with no newline hits this and gets a 431
+/// instead of growing a server-side buffer without limit.
+pub const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// Limits applied while reading one request.
+#[derive(Debug, Clone)]
+pub struct ReadLimits {
+    /// Byte budget shared by the request line and every header line.
+    pub max_head_bytes: usize,
+    /// Wall-clock budget for the whole head, measured from the first
+    /// byte. Enforced between socket reads, so its granularity is the
+    /// socket read timeout.
+    pub head_timeout: Option<Duration>,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        ReadLimits {
+            max_head_bytes: MAX_HEAD_BYTES,
+            head_timeout: None,
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -19,6 +52,8 @@ pub struct Request {
     pub path: String,
     /// Raw query string, without the `?`; empty when absent.
     pub query: String,
+    /// Protocol version as sent (`HTTP/1.1` or `HTTP/1.0`).
+    pub version: String,
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
@@ -40,6 +75,27 @@ impl Request {
         std::str::from_utf8(&self.body)
             .map_err(|_| HttpError::bad_request("request body is not valid UTF-8"))
     }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an
+    /// explicit `Connection: close` / `Connection: keep-alive` token
+    /// overrides either default.
+    pub fn keep_alive(&self) -> bool {
+        if let Some(value) = self.header("connection") {
+            let has = |token: &str| {
+                value
+                    .split(',')
+                    .any(|t| t.trim().eq_ignore_ascii_case(token))
+            };
+            if has("close") {
+                return false;
+            }
+            if has("keep-alive") {
+                return true;
+            }
+        }
+        self.version != "HTTP/1.0"
+    }
 }
 
 /// A request-level protocol failure, carrying the status to answer with.
@@ -59,6 +115,22 @@ impl HttpError {
             message: message.into(),
         }
     }
+
+    /// A 408 — the client stalled mid-request past the read deadline.
+    pub fn timeout(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 408,
+            message: message.into(),
+        }
+    }
+
+    /// A 431 — the request line + headers exceeded the head byte budget.
+    pub fn head_too_large() -> Self {
+        HttpError {
+            status: 431,
+            message: "request line and headers exceed the head byte limit".into(),
+        }
+    }
 }
 
 impl std::fmt::Display for HttpError {
@@ -69,17 +141,104 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// Reads and parses one request from `stream`. `Ok(None)` means the
-/// client closed the connection before sending anything.
-pub fn read_request<S: Read>(stream: S) -> Result<Option<Request>, HttpError> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
+/// Whether an I/O error is a socket read timeout (both kinds appear,
+/// depending on platform).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Reads one `\n`-terminated line (the trailing `\r\n`/`\n` stripped)
+/// into an owned `String`, drawing the consumed bytes from `budget`.
+/// `Ok(None)` is clean EOF before any byte of this line. Exceeding the
+/// budget is a 431; a read timeout is a 408; an EOF mid-line is a 400.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    budget: &mut usize,
+    deadline: Option<Instant>,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Err(HttpError::timeout("request head read past deadline"));
+            }
+        }
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::timeout("timed out reading request head"))
+            }
+            Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
+        };
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::bad_request("connection closed mid-line"));
+        }
+        // Scan at most one byte past the budget: enough to notice the
+        // overflow without buffering the excess.
+        let scan = &buf[..buf.len().min(budget.saturating_add(1))];
+        match scan.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if i + 1 > *budget {
+                    return Err(HttpError::head_too_large());
+                }
+                line.extend_from_slice(&scan[..i]);
+                reader.consume(i + 1);
+                *budget -= i + 1;
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                let text = String::from_utf8(line)
+                    .map_err(|_| HttpError::bad_request("request head is not valid UTF-8"))?;
+                return Ok(Some(text));
+            }
+            None => {
+                if scan.len() > *budget {
+                    return Err(HttpError::head_too_large());
+                }
+                line.extend_from_slice(scan);
+                let n = scan.len();
+                reader.consume(n);
+                *budget -= n;
+            }
+        }
     }
-    let line = line.trim_end_matches(['\r', '\n']);
+}
+
+/// Reads and parses one request from `reader` with default limits.
+/// `Ok(None)` means the client closed (or idled out) before sending
+/// anything.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    read_request_limited(reader, &ReadLimits::default())
+}
+
+/// [`read_request`] with explicit [`ReadLimits`]. The reader persists
+/// across calls on a keep-alive connection, so bytes the client
+/// pipelined ahead stay buffered for the next request.
+pub fn read_request_limited<R: BufRead>(
+    reader: &mut R,
+    limits: &ReadLimits,
+) -> Result<Option<Request>, HttpError> {
+    // Idle wait for the first byte: EOF or a read timeout here is a
+    // normal end of a keep-alive connection, not a protocol error.
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => return Ok(None),
+            Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
+        }
+    }
+    let deadline = limits.head_timeout.map(|t| Instant::now() + t);
+    let mut budget = limits.max_head_bytes;
+
+    let Some(line) = read_line_bounded(reader, &mut budget, deadline)? else {
+        return Ok(None);
+    };
     let mut parts = line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
@@ -87,6 +246,12 @@ pub fn read_request<S: Read>(stream: S) -> Result<Option<Request>, HttpError> {
             "malformed request line '{line}'"
         )));
     };
+    // A fourth token is smuggling-adjacent junk, not whitespace noise.
+    if parts.next().is_some() {
+        return Err(HttpError::bad_request(format!(
+            "trailing tokens after HTTP version in '{line}'"
+        )));
+    }
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError {
             status: 505,
@@ -100,13 +265,9 @@ pub fn read_request<S: Read>(stream: S) -> Result<Option<Request>, HttpError> {
 
     let mut headers = Vec::new();
     loop {
-        let mut header_line = String::new();
-        match reader.read_line(&mut header_line) {
-            Ok(0) => return Err(HttpError::bad_request("connection closed mid-headers")),
-            Ok(_) => {}
-            Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
-        }
-        let header_line = header_line.trim_end_matches(['\r', '\n']);
+        let Some(header_line) = read_line_bounded(reader, &mut budget, deadline)? else {
+            return Err(HttpError::bad_request("connection closed mid-headers"));
+        };
         if header_line.is_empty() {
             break;
         }
@@ -118,13 +279,23 @@ pub fn read_request<S: Read>(stream: S) -> Result<Option<Request>, HttpError> {
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| HttpError::bad_request("unparsable Content-Length"))?
-        .unwrap_or(0);
+    // Duplicate Content-Length headers that agree are tolerated;
+    // conflicting ones are the classic request-smuggling vector.
+    let mut content_length: Option<usize> = None;
+    for (_, value) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let n: usize = value
+            .parse()
+            .map_err(|_| HttpError::bad_request("unparsable Content-Length"))?;
+        match content_length {
+            Some(prev) if prev != n => {
+                return Err(HttpError::bad_request(
+                    "conflicting duplicate Content-Length headers",
+                ));
+            }
+            _ => content_length = Some(n),
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError {
             status: 413,
@@ -132,14 +303,19 @@ pub fn read_request<S: Read>(stream: S) -> Result<Option<Request>, HttpError> {
         });
     }
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| HttpError::bad_request(format!("short body: {e}")))?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if is_timeout(&e) {
+            HttpError::timeout("timed out reading request body")
+        } else {
+            HttpError::bad_request(format!("short body: {e}"))
+        }
+    })?;
 
     Ok(Some(Request {
         method: method.to_ascii_uppercase(),
         path,
         query,
+        version: version.to_owned(),
         headers,
         body,
     }))
@@ -155,6 +331,9 @@ pub struct Response {
     /// Extra response headers (e.g. `X-Trace-Id`), written verbatim after
     /// the standard ones.
     pub headers: Vec<(String, String)>,
+    /// Whether to advertise `Connection: close` (and close afterwards)
+    /// instead of the keep-alive default.
+    pub connection_close: bool,
     /// The body bytes.
     pub body: Vec<u8>,
 }
@@ -166,6 +345,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             headers: Vec::new(),
+            connection_close: false,
             body: body.into(),
         }
     }
@@ -177,6 +357,7 @@ impl Response {
             status: 200,
             content_type,
             headers: Vec::new(),
+            connection_close: false,
             body: body.into(),
         }
     }
@@ -188,6 +369,7 @@ impl Response {
             status,
             content_type: "application/json",
             headers: Vec::new(),
+            connection_close: false,
             body: body.to_string().into_bytes(),
         }
     }
@@ -197,29 +379,43 @@ impl Response {
         self.headers.push((name.into(), value.into()));
     }
 
-    /// Serializes the response onto `stream`.
+    /// Serializes the response onto `stream` as a single write, so a
+    /// keep-alive socket never has a partial response stuck behind
+    /// Nagle's algorithm waiting on a delayed ACK.
     pub fn write_to<S: Write>(&self, stream: &mut S) -> std::io::Result<()> {
         let reason = reason_phrase(self.status);
+        let connection = if self.connection_close {
+            "close"
+        } else {
+            "keep-alive"
+        };
+        let mut buf = Vec::with_capacity(256 + self.body.len());
         write!(
-            stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            buf,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason,
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            connection
         )?;
         for (name, value) in &self.headers {
-            write!(stream, "{name}: {value}\r\n")?;
+            write!(buf, "{name}: {value}\r\n")?;
         }
-        write!(stream, "\r\n")?;
-        stream.write_all(&self.body)?;
+        write!(buf, "\r\n")?;
+        buf.extend_from_slice(&self.body);
+        stream.write_all(&buf)?;
         stream.flush()
     }
 }
 
 impl From<HttpError> for Response {
     fn from(e: HttpError) -> Self {
-        Response::error(e.status, &e.message)
+        let mut resp = Response::error(e.status, &e.message);
+        // A protocol failure leaves the stream position unknown; the
+        // only safe follow-up is closing the connection.
+        resp.connection_close = true;
+        resp
     }
 }
 
@@ -229,9 +425,13 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -241,14 +441,19 @@ fn reason_phrase(status: u16) -> &'static str {
 mod tests {
     use super::*;
 
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut &raw[..])
+    }
+
     #[test]
     fn parses_post_with_body() {
         let raw =
             b"POST /crosswalk?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\nabcd";
-        let req = read_request(&raw[..]).unwrap().unwrap();
+        let req = parse(raw).unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/crosswalk");
         assert_eq!(req.query, "x=1");
+        assert_eq!(req.version, "HTTP/1.1");
         assert_eq!(req.header("host"), Some("localhost"));
         assert_eq!(req.header("HOST"), Some("localhost"));
         assert_eq!(req.body, b"abcd");
@@ -258,7 +463,7 @@ mod tests {
     #[test]
     fn parses_get_without_body() {
         let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
-        let req = read_request(&raw[..]).unwrap().unwrap();
+        let req = parse(raw).unwrap().unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
@@ -266,17 +471,110 @@ mod tests {
 
     #[test]
     fn empty_stream_is_none() {
-        assert!(read_request(&b""[..]).unwrap().is_none());
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn sequential_requests_parse_from_one_reader() {
+        let mut reader: &[u8] = b"GET /healthz HTTP/1.1\r\n\r\nPOST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /metrics HTTP/1.1\r\n\r\n";
+        let first = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        let second = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(second.path, "/x");
+        assert_eq!(second.body, b"hi");
+        let third = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(third.path, "/metrics");
+        assert!(read_request(&mut reader).unwrap().is_none());
     }
 
     #[test]
     fn rejects_malformed_requests() {
-        assert!(read_request(&b"BROKEN\r\n\r\n"[..]).is_err());
-        assert!(read_request(&b"GET / HTTP/2\r\n\r\n"[..]).is_err());
-        assert!(read_request(&b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"[..]).is_err());
-        assert!(read_request(&b"GET / HTTP/1.1\r\nContent-Length: zep\r\n\r\n"[..]).is_err());
+        assert!(parse(b"BROKEN\r\n\r\n").is_err());
+        assert!(parse(b"GET / HTTP/2\r\n\r\n").is_err());
+        assert!(parse(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        assert!(parse(b"GET / HTTP/1.1\r\nContent-Length: zep\r\n\r\n").is_err());
         // Body shorter than Content-Length.
-        assert!(read_request(&b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc"[..]).is_err());
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_request_line_tokens() {
+        let e = parse(b"GET / HTTP/1.1 smuggled\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.message.contains("trailing tokens"), "{e}");
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd";
+        let e = parse(raw).unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.message.contains("Content-Length"), "{e}");
+        // Agreeing duplicates are tolerated (first one wins, they match).
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        assert_eq!(parse(raw).unwrap().unwrap().body, b"abc");
+    }
+
+    #[test]
+    fn oversized_head_is_431_with_bounded_memory() {
+        // A request line that never ends: rejected once the head budget
+        // is spent, long before the 10 MiB "line" would be buffered.
+        let mut raw = b"GET /".to_vec();
+        raw.resize(raw.len() + (10 << 20), b'a');
+        let limits = ReadLimits::default();
+        let e = read_request_limited(&mut &raw[..], &limits).unwrap_err();
+        assert_eq!(e.status, 431);
+
+        // Unbounded header section: same verdict.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..10_000 {
+            raw.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "v".repeat(64)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let e = read_request_limited(&mut &raw[..], &limits).unwrap_err();
+        assert_eq!(e.status, 431);
+    }
+
+    #[test]
+    fn head_within_budget_still_parses() {
+        let raw = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+        let limits = ReadLimits {
+            max_head_bytes: raw.len(),
+            head_timeout: None,
+        };
+        assert!(read_request_limited(&mut &raw[..], &limits)
+            .unwrap()
+            .is_some());
+        let tight = ReadLimits {
+            max_head_bytes: 10,
+            head_timeout: None,
+        };
+        assert_eq!(
+            read_request_limited(&mut &raw[..], &tight)
+                .unwrap_err()
+                .status,
+            431
+        );
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_version() {
+        let req = |version: &str, conn: Option<&str>| Request {
+            method: "GET".into(),
+            path: "/".into(),
+            query: String::new(),
+            version: version.into(),
+            headers: conn
+                .map(|v| vec![("connection".to_owned(), v.to_owned())])
+                .unwrap_or_default(),
+            body: Vec::new(),
+        };
+        assert!(req("HTTP/1.1", None).keep_alive());
+        assert!(!req("HTTP/1.0", None).keep_alive());
+        assert!(!req("HTTP/1.1", Some("close")).keep_alive());
+        assert!(!req("HTTP/1.1", Some("Close")).keep_alive());
+        assert!(req("HTTP/1.0", Some("keep-alive")).keep_alive());
+        assert!(!req("HTTP/1.1", Some("keep-alive, close")).keep_alive());
     }
 
     #[test]
@@ -288,6 +586,7 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
         let mut out = Vec::new();
         Response::error(404, "no such route")
@@ -296,6 +595,33 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains(r#"{"error":"no such route"}"#));
+    }
+
+    #[test]
+    fn connection_close_is_advertised_when_set() {
+        let mut resp = Response::json(br#"{}"#.to_vec());
+        resp.connection_close = true;
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        // Error conversions close by default — the stream position after
+        // a parse failure is unknown.
+        let resp = Response::from(HttpError::head_too_large());
+        assert_eq!(resp.status, 431);
+        assert!(resp.connection_close);
+    }
+
+    #[test]
+    fn new_reason_phrases_cover_the_hardening_statuses() {
+        for (status, phrase) in [
+            (408, "Request Timeout"),
+            (429, "Too Many Requests"),
+            (431, "Request Header Fields Too Large"),
+            (503, "Service Unavailable"),
+        ] {
+            assert_eq!(reason_phrase(status), phrase);
+        }
     }
 
     #[test]

@@ -2,6 +2,11 @@
 //! serializer — just enough for the service's request and response bodies.
 //! No external dependencies; numbers are `f64` (like JavaScript), objects
 //! preserve insertion order.
+//!
+//! The parser is depth-limited ([`MAX_DEPTH`]): recursion tracks the
+//! nesting level, so a hostile body of 100k `[` characters is rejected
+//! with [`JsonErrorKind::TooDeep`] instead of overflowing the worker
+//! thread's stack.
 
 use std::fmt::Write as _;
 
@@ -154,6 +159,21 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. Every `[` or `{` costs
+/// one level; deeper documents are rejected before the recursion can
+/// threaten the stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// Classification of a [`JsonError`], so callers can count depth-limit
+/// rejections separately from plain syntax errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Malformed input.
+    Syntax,
+    /// Structurally valid prefix, but nested past [`MAX_DEPTH`].
+    TooDeep,
+}
+
 /// A JSON parse failure, with a byte offset into the input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -161,6 +181,8 @@ pub struct JsonError {
     pub message: String,
     /// Byte offset where it went wrong.
     pub offset: usize,
+    /// Whether this was a syntax error or a depth-limit rejection.
+    pub kind: JsonErrorKind,
 }
 
 impl std::fmt::Display for JsonError {
@@ -172,11 +194,11 @@ impl std::fmt::Display for JsonError {
 impl std::error::Error for JsonError {}
 
 /// Parses one JSON document; trailing whitespace is allowed, trailing
-/// content is an error.
+/// content is an error. Nesting past [`MAX_DEPTH`] is rejected.
 pub fn parse(text: &str) -> Result<Json, JsonError> {
     let bytes = text.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, MAX_DEPTH)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(err("trailing content after document", pos));
@@ -188,6 +210,15 @@ fn err(message: &str, offset: usize) -> JsonError {
     JsonError {
         message: message.to_owned(),
         offset,
+        kind: JsonErrorKind::Syntax,
+    }
+}
+
+fn too_deep(offset: usize) -> JsonError {
+    JsonError {
+        message: format!("nesting exceeds the depth limit of {MAX_DEPTH}"),
+        offset,
+        kind: JsonErrorKind::TooDeep,
     }
 }
 
@@ -206,7 +237,9 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+/// `depth` is the remaining nesting allowance; containers recurse with
+/// one less and reject when it runs out.
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(err("unexpected end of input", *pos)),
@@ -214,8 +247,8 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(Json::String),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'{') => parse_object(bytes, pos, depth),
         Some(_) => parse_number(bytes, pos),
     }
 }
@@ -332,7 +365,10 @@ fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
     Ok(code)
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth == 0 {
+        return Err(too_deep(*pos));
+    }
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -341,7 +377,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         return Ok(Json::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth - 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => {
@@ -356,7 +392,10 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth == 0 {
+        return Err(too_deep(*pos));
+    }
     expect(bytes, pos, b'{')?;
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -369,7 +408,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth - 1)?;
         pairs.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -436,6 +475,34 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting_without_overflow() {
+        // 100k open brackets: the seed parser recursed once per bracket
+        // until the thread stack blew; now it's a TooDeep error.
+        let hostile = "[".repeat(100_000);
+        let e = parse(&hostile).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+        assert!(e.message.contains("depth limit"), "{e}");
+
+        // Same for objects.
+        let hostile = r#"{"a":"#.repeat(100_000);
+        let e = parse(&hostile).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+
+        // Exactly at the limit parses; one past it does not.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert_eq!(parse(&deep).unwrap_err().kind, JsonErrorKind::TooDeep);
+
+        // Ordinary syntax errors keep the Syntax kind.
+        assert_eq!(parse("[1,").unwrap_err().kind, JsonErrorKind::Syntax);
     }
 
     #[test]

@@ -16,6 +16,18 @@
 //! dependencies — the handlers are CPU-bound sparse algebra, so threads
 //! are the right concurrency primitive and the binary stays small.
 //!
+//! Connections are persistent: a worker serves HTTP/1.1 requests on one
+//! socket until the peer asks for `Connection: close`, the idle timeout
+//! ([`ServerConfig::idle_timeout`]) expires, or the per-connection
+//! request cap ([`ServerConfig::max_requests_per_conn`]) is reached.
+//! Because a keep-alive connection pins its worker, admission is bounded
+//! instead of the accept loop: at most [`ServerConfig::max_connections`]
+//! connections queue for the pool, and everything beyond that is shed
+//! with `503` + `Retry-After`. Hostile input is cut off early — request
+//! heads over [`http::MAX_HEAD_BYTES`] get `431`, JSON nested deeper
+//! than [`json::MAX_DEPTH`] gets `400`, and a peer that stalls
+//! mid-request gets `408`. See DESIGN.md §10.
+//!
 //! The service is observable through `geoalign-obs`: every request runs
 //! under a trace scope keyed by its `X-Trace-Id` header (generated when
 //! absent, always echoed back), finished spans go into the optional

@@ -30,6 +30,19 @@ pub struct Metrics {
     pub requests_failed: Counter,
     /// `/crosswalk` attribute vectors applied.
     pub attributes_applied: Counter,
+    /// Requests served on an already-used keep-alive connection (the
+    /// second and later requests of each connection).
+    pub keepalive_reuse: Counter,
+    /// Connections shed with 503 because the worker queue was saturated.
+    pub shed: Counter,
+    /// Requests rejected with 431 (head byte limit).
+    pub header_limit_rejections: Counter,
+    /// Requests rejected with 413 (body byte limit).
+    pub body_limit_rejections: Counter,
+    /// Requests rejected with 408 (read deadline).
+    pub timeouts: Counter,
+    /// Request bodies rejected for JSON nesting past the depth limit.
+    pub depth_limit_rejections: Counter,
     /// Wall-clock latency of whole requests.
     pub request_latency: Arc<Histogram>,
     /// Prepare-phase latency (cache misses only).
@@ -59,6 +72,30 @@ impl Default for Metrics {
             "geoalign_serve_attributes_applied_total",
             "/crosswalk attribute vectors applied",
         );
+        let keepalive_reuse = registry.counter(
+            "geoalign_serve_keepalive_reuse_total",
+            "Requests served on an already-used keep-alive connection",
+        );
+        let shed = registry.counter(
+            "geoalign_serve_shed_total",
+            "Connections answered 503 because the worker queue was saturated",
+        );
+        let header_limit_rejections = registry.counter(
+            "geoalign_serve_header_limit_total",
+            "Requests rejected with 431 (request-head byte limit)",
+        );
+        let body_limit_rejections = registry.counter(
+            "geoalign_serve_body_limit_total",
+            "Requests rejected with 413 (body byte limit)",
+        );
+        let timeouts = registry.counter(
+            "geoalign_serve_timeout_total",
+            "Requests rejected with 408 (read deadline)",
+        );
+        let depth_limit_rejections = registry.counter(
+            "geoalign_serve_depth_limit_total",
+            "Bodies rejected for JSON nesting past the depth limit",
+        );
         let request_latency = registry.histogram(
             "geoalign_serve_request_latency_micros",
             "Wall-clock latency of whole requests",
@@ -81,6 +118,12 @@ impl Default for Metrics {
             requests_ok,
             requests_failed,
             attributes_applied,
+            keepalive_reuse,
+            shed,
+            header_limit_rejections,
+            body_limit_rejections,
+            timeouts,
+            depth_limit_rejections,
             request_latency,
             prepare_latency,
             weight_learning_latency,
@@ -95,13 +138,20 @@ impl Metrics {
         &self.registry
     }
 
-    /// Counts one finished request.
+    /// Counts one finished request. The limit-violation counters key off
+    /// the status the hardening layer assigned (431/413/408).
     pub fn record_request(&self, status: u16, latency: Duration) {
         self.requests_total.inc();
         if (200..300).contains(&status) {
             self.requests_ok.inc();
         } else {
             self.requests_failed.inc();
+        }
+        match status {
+            408 => self.timeouts.inc(),
+            413 => self.body_limit_rejections.inc(),
+            431 => self.header_limit_rejections.inc(),
+            _ => {}
         }
         self.request_latency.record(latency);
     }
@@ -129,6 +179,24 @@ impl Metrics {
             (
                 "attributes_applied",
                 Json::Number(self.attributes_applied.get() as f64),
+            ),
+            (
+                "keepalive_reuse",
+                Json::Number(self.keepalive_reuse.get() as f64),
+            ),
+            ("shed", Json::Number(self.shed.get() as f64)),
+            (
+                "header_limit_rejections",
+                Json::Number(self.header_limit_rejections.get() as f64),
+            ),
+            (
+                "body_limit_rejections",
+                Json::Number(self.body_limit_rejections.get() as f64),
+            ),
+            ("timeouts", Json::Number(self.timeouts.get() as f64)),
+            (
+                "depth_limit_rejections",
+                Json::Number(self.depth_limit_rejections.get() as f64),
             ),
             ("request_latency", histogram_to_json(&self.request_latency)),
             ("prepare_latency", histogram_to_json(&self.prepare_latency)),
@@ -226,8 +294,9 @@ mod tests {
 
     #[test]
     fn json_shape_is_backward_compatible() {
-        // Compatibility contract for pre-registry /metrics clients: same
-        // keys, same nesting, same histogram sub-shape, same key order.
+        // Compatibility contract for pre-registry /metrics clients: the
+        // original keys keep their order and nesting; the hardening
+        // counters are additive, slotted between them.
         let m = Metrics::default();
         m.record_request(200, Duration::from_micros(3));
         let json = m.to_json();
@@ -242,6 +311,12 @@ mod tests {
                 "requests_ok",
                 "requests_failed",
                 "attributes_applied",
+                "keepalive_reuse",
+                "shed",
+                "header_limit_rejections",
+                "body_limit_rejections",
+                "timeouts",
+                "depth_limit_rejections",
                 "request_latency",
                 "prepare_latency",
                 "weight_learning_latency",
@@ -260,6 +335,34 @@ mod tests {
         // Buckets are [lower_micros, count] pairs.
         let bucket = &hist.get("buckets_micros").unwrap().as_array().unwrap()[0];
         assert_eq!(bucket.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn limit_counters_key_off_the_status() {
+        let m = Metrics::default();
+        m.record_request(408, Duration::from_micros(1));
+        m.record_request(413, Duration::from_micros(1));
+        m.record_request(431, Duration::from_micros(1));
+        m.record_request(431, Duration::from_micros(1));
+        m.record_request(200, Duration::from_micros(1));
+        assert_eq!(m.timeouts.get(), 1);
+        assert_eq!(m.body_limit_rejections.get(), 1);
+        assert_eq!(m.header_limit_rejections.get(), 2);
+        assert_eq!(m.requests_failed.get(), 4);
+        let json = m.to_json();
+        assert_eq!(
+            json.get("header_limit_rejections").unwrap().as_f64(),
+            Some(2.0)
+        );
+        // The new counters ride into the Prometheus exposition under the
+        // names the runbooks will scrape.
+        let text = geoalign_obs::expo::prometheus_text([m.registry()]);
+        assert!(
+            text.contains("geoalign_serve_header_limit_total 2"),
+            "{text}"
+        );
+        assert!(text.contains("geoalign_serve_shed_total 0"));
+        assert!(text.contains("geoalign_serve_keepalive_reuse_total 0"));
     }
 
     #[test]

@@ -45,8 +45,15 @@ pub fn route(state: &AppState, req: &Request) -> Response {
     result.unwrap_or_else(Response::from)
 }
 
-fn parse_body(req: &Request) -> Result<Json, HttpError> {
-    json::parse(req.body_text()?).map_err(|e| HttpError::bad_request(e.to_string()))
+/// Parses the JSON body; a depth-limit rejection (stack-overflow guard)
+/// is counted separately from plain syntax errors.
+fn parse_body(state: &AppState, req: &Request) -> Result<Json, HttpError> {
+    json::parse(req.body_text()?).map_err(|e| {
+        if e.kind == json::JsonErrorKind::TooDeep {
+            state.metrics.depth_limit_rejections.inc();
+        }
+        HttpError::bad_request(e.to_string())
+    })
 }
 
 fn str_field<'a>(doc: &'a Json, key: &str) -> Result<&'a str, HttpError> {
@@ -74,7 +81,7 @@ fn core_error(e: &CoreError) -> HttpError {
 
 /// `POST /systems` — body `{"name": "zip", "units": ["z1", "z2", ...]}`.
 fn post_systems(state: &AppState, req: &Request) -> Result<Response, HttpError> {
-    let doc = parse_body(req)?;
+    let doc = parse_body(state, req)?;
     let name = str_field(&doc, "name")?;
     let units: Vec<String> = array_field(&doc, "units")?
         .iter()
@@ -104,7 +111,7 @@ fn post_systems(state: &AppState, req: &Request) -> Result<Response, HttpError> 
 ///   "entries": [["z1", "A", 100.0], ...]}`
 /// where each entry is `[source unit id, target unit id, value]`.
 fn post_references(state: &AppState, req: &Request) -> Result<Response, HttpError> {
-    let doc = parse_body(req)?;
+    let doc = parse_body(state, req)?;
     let source = str_field(&doc, "source")?;
     let target = str_field(&doc, "target")?;
     let name = str_field(&doc, "name")?;
@@ -174,7 +181,7 @@ fn post_references(state: &AppState, req: &Request) -> Result<Response, HttpErro
 /// One prepared crosswalk (cached across requests) is applied to every
 /// attribute in the batch.
 fn post_crosswalk(state: &AppState, req: &Request) -> Result<Response, HttpError> {
-    let doc = parse_body(req)?;
+    let doc = parse_body(state, req)?;
     let source = str_field(&doc, "source")?;
     let target = str_field(&doc, "target")?;
     let attributes = array_field(&doc, "attributes")?;
@@ -349,6 +356,7 @@ mod tests {
             method: method.to_owned(),
             path: path.to_owned(),
             query: String::new(),
+            version: "HTTP/1.1".to_owned(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
@@ -445,6 +453,24 @@ mod tests {
         // Malformed JSON.
         let r = route(&state, &request("POST", "/crosswalk", "{nope"));
         assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn deep_json_bodies_are_rejected_and_counted() {
+        let state = AppState::new(4);
+        let hostile = "[".repeat(100_000);
+        let r = route(&state, &request("POST", "/systems", &hostile));
+        assert_eq!(r.status, 400);
+        assert!(
+            String::from_utf8_lossy(&r.body).contains("depth limit"),
+            "{:?}",
+            String::from_utf8_lossy(&r.body)
+        );
+        assert_eq!(state.metrics.depth_limit_rejections.get(), 1);
+        // An ordinary syntax error does not bump the depth counter.
+        let r = route(&state, &request("POST", "/systems", "{nope"));
+        assert_eq!(r.status, 400);
+        assert_eq!(state.metrics.depth_limit_rejections.get(), 1);
     }
 
     #[test]

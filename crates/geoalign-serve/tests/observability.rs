@@ -64,7 +64,7 @@ const CROSSWALK_BODY: &str =
 
 fn crosswalk_request(extra_headers: &str) -> String {
     format!(
-        "POST /crosswalk HTTP/1.1\r\nHost: x\r\n{extra_headers}Content-Length: {}\r\n\r\n{}",
+        "POST /crosswalk HTTP/1.1\r\nHost: x\r\nConnection: close\r\n{extra_headers}Content-Length: {}\r\n\r\n{}",
         CROSSWALK_BODY.len(),
         CROSSWALK_BODY
     )
@@ -88,7 +88,10 @@ fn trace_id_round_trips_and_lands_in_the_access_log() {
     );
 
     // A request without the header gets a generated 16-hex ID.
-    let reply2 = send(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    let reply2 = send(
+        addr,
+        "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
     let generated = reply2
         .lines()
         .find_map(|l| l.strip_prefix("X-Trace-Id: "))
@@ -143,7 +146,7 @@ fn prometheus_exposition_is_served_over_tcp() {
 
     let metrics = send(
         addr,
-        "GET /metrics?format=prometheus HTTP/1.1\r\nHost: x\r\n\r\n",
+        "GET /metrics?format=prometheus HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
     );
     assert!(
         metrics.contains("Content-Type: text/plain; version=0.0.4"),

@@ -46,7 +46,7 @@ fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
     let mut stream = TcpStream::connect(addr).unwrap();
     write!(
         stream,
-        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .unwrap();

@@ -36,8 +36,25 @@ if matches=$(grep -rn 'thread::spawn' crates/*/src \
     exit 1
 fi
 
+echo "==> no unbounded reads in the serve front end"
+# Everything geoalign-serve reads off a socket must go through the
+# budgeted head/body readers of http.rs: a bare read_line/read_to_end/
+# read_to_string has no byte limit and reopens the slowloris/huge-head
+# hole the hardening suite closes. (Tests and benches may read freely —
+# the gate covers src/ only.)
+if matches=$(grep -rnE '\b(read_line|read_to_end|read_to_string)\b' \
+        crates/geoalign-serve/src \
+        | grep -vE ':[0-9]+:\s*(//|//!|///)'); then
+    echo "error: unbounded read in geoalign-serve — use the budgeted readers in http.rs:" >&2
+    echo "$matches" >&2
+    exit 1
+fi
+
 echo "==> cargo test -q -p geoalign-obs"
 cargo test -q -p geoalign-obs
+
+echo "==> serve hardening suite (hostile input, keep-alive, shedding)"
+cargo test -q -p geoalign-serve --test http_hardening
 
 echo "==> executor stress pass (GEOALIGN_THREADS=8)"
 # Re-run the execution layer's tests with an oversubscribed thread budget
