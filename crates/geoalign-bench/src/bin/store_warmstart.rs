@@ -1,0 +1,175 @@
+//! Warm-start baseline for the durable store: what does reviving a
+//! prepared crosswalk from disk cost compared to re-running prepare, and
+//! how long does recovery (WAL replay / snapshot load) take at boot? The
+//! `warm_speedup` column is honest — at small scales decoding can cost
+//! more than re-preparing; the durable tier's value there is surviving
+//! restarts with byte-identical answers, not raw speed.
+//!
+//! Three timed paths:
+//!
+//! * `cold_prepare` — `GeoAlign::prepare` from the raw references (the
+//!   work a restart without `--data-dir` repeats);
+//! * `warm_revive` — read + decode the persisted snapshot through
+//!   [`DurableBacking::lookup_prepared`], apply-equivalent bit for bit;
+//! * `recovery` — `Store` open time with the entries in the WAL
+//!   (`wal_replay_ms`) vs compacted into a snapshot (`snapshot_load_ms`).
+//!
+//! Writes machine-readable `BENCH_store.json` (see `--out`) so future PRs
+//! can compare against a recorded baseline.
+//!
+//! Usage: `store_warmstart [--small|--medium] [--seed N] [--trials N]
+//!                         [--out BENCH_store.json]`
+
+use geoalign_core::{CrosswalkKey, DurableBacking, GeoAlign, ReferenceData};
+use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+use geoalign_store::{Store, StoreOptions};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Times `f` over `trials` runs and returns the mean wall time in ms.
+fn time_ms<R>(trials: usize, mut f: impl FnMut() -> R) -> f64 {
+    let _ = f(); // warm-up
+    let t = Instant::now();
+    for _ in 0..trials {
+        let _ = f();
+    }
+    t.elapsed().as_secs_f64() * 1e3 / trials as f64
+}
+
+/// A synthetic reference: every source unit spills into 1–3 of the
+/// target units around its own scaled position, weights pseudo-random.
+fn synthetic_reference(
+    name: &str,
+    n_source: usize,
+    n_target: usize,
+    state: &mut u64,
+) -> ReferenceData {
+    let mut triples = Vec::with_capacity(n_source * 2);
+    for i in 0..n_source {
+        let spread = 1 + (lcg(state) * 3.0) as usize;
+        let base = i * n_target / n_source;
+        for k in 0..spread {
+            let j = (base + k) % n_target;
+            triples.push((i, j, 1.0 + lcg(state) * 99.0));
+        }
+    }
+    let dm = DisaggregationMatrix::from_triples(name, n_source, n_target, triples)
+        .expect("synthetic dm");
+    ReferenceData::from_dm(name, dm).expect("synthetic reference")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20180326u64;
+    let mut trials = 5usize;
+    let mut out_path = "BENCH_store.json".to_owned();
+    let (mut n_source, mut n_target) = (1600usize, 320usize);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            "--trials" => trials = it.next().expect("--trials value").parse().expect("int"),
+            "--out" => out_path = it.next().expect("--out value").clone(),
+            "--small" => (n_source, n_target) = (400, 80),
+            "--medium" => (n_source, n_target) = (1600, 320),
+            flag => {
+                eprintln!("unknown argument: {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("geoalign-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = || StoreOptions {
+        segment_max_bytes: 64 << 20,
+        fsync: false,
+    };
+
+    let mut state = seed;
+    let refs: Vec<ReferenceData> = (0..3)
+        .map(|k| synthetic_reference(&format!("ref{k}"), n_source, n_target, &mut state))
+        .collect();
+    let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+    let key = CrosswalkKey::new("fine", "coarse", &ref_slices);
+
+    eprintln!("# store_warmstart — {n_source}x{n_target} units, 3 references, trials {trials}");
+
+    // --- Cold prepare: the work a warm start avoids ---------------------
+    let prepared = Arc::new(GeoAlign::new().prepare(&ref_slices).expect("prepare"));
+    let cold_prepare_ms = time_ms(trials, || {
+        GeoAlign::new().prepare(&ref_slices).expect("prepare")
+    });
+    eprintln!("cold prepare:   {cold_prepare_ms:>9.3} ms");
+
+    // --- Persist, then revive from disk ---------------------------------
+    let backing = DurableBacking::open_with(&dir, opts()).expect("open backing");
+    backing.persist_prepared(&key, &prepared);
+    backing.flush();
+    let encoded_bytes = backing
+        .store()
+        .get(&geoalign_core::persist::prepared_key(&key))
+        .map_or(0, |v| v.len());
+    let revived = backing.lookup_prepared(&key).expect("warm lookup");
+    let warm_revive_ms = time_ms(trials, || {
+        backing.lookup_prepared(&key).expect("warm lookup")
+    });
+    eprintln!("warm revive:    {warm_revive_ms:>9.3} ms ({encoded_bytes} bytes)");
+
+    // The revived snapshot must answer byte-identically.
+    let objective = AggregateVector::new(
+        "bench",
+        (0..n_source).map(|_| lcg(&mut state) * 100.0).collect(),
+    )
+    .expect("objective");
+    let cold = prepared.apply_values(&objective).expect("cold apply");
+    let warm = revived.apply_values(&objective).expect("warm apply");
+    for (a, b) in cold.estimate.iter().zip(&warm.estimate) {
+        assert_eq!(a.to_bits(), b.to_bits(), "warm apply must be bit-identical");
+    }
+    drop(backing);
+
+    // --- Recovery: WAL replay vs snapshot load --------------------------
+    let wal_replay_ms = time_ms(trials, || Store::open_with(&dir, opts()).expect("open"));
+    {
+        let store = Store::open_with(&dir, opts()).expect("open");
+        store.checkpoint().expect("checkpoint");
+    }
+    let snapshot_load_ms = time_ms(trials, || Store::open_with(&dir, opts()).expect("open"));
+    eprintln!("wal replay:     {wal_replay_ms:>9.3} ms");
+    eprintln!("snapshot load:  {snapshot_load_ms:>9.3} ms");
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- BENCH_store.json ------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"store_warmstart\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"trials\": {trials},");
+    let _ = writeln!(
+        json,
+        "  \"universe\": {{ \"n_source\": {n_source}, \"n_target\": {n_target}, \"references\": 3 }},"
+    );
+    let _ = writeln!(json, "  \"encoded_bytes\": {encoded_bytes},");
+    let _ = writeln!(json, "  \"cold_prepare_ms\": {cold_prepare_ms:.3},");
+    let _ = writeln!(json, "  \"warm_revive_ms\": {warm_revive_ms:.3},");
+    let _ = writeln!(
+        json,
+        "  \"warm_speedup\": {:.3},",
+        cold_prepare_ms / warm_revive_ms.max(1e-9)
+    );
+    let _ = writeln!(json, "  \"wal_replay_ms\": {wal_replay_ms:.3},");
+    let _ = writeln!(json, "  \"snapshot_load_ms\": {snapshot_load_ms:.3}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_store.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -7,7 +7,9 @@
 //! * `evaluate` — additionally compare the estimate against a ground-truth
 //!   table and report RMSE / NRMSE;
 //! * `weights` — print only the learned reference weights;
-//! * `serve` — run the batch crosswalk HTTP service (`geoalign-serve`).
+//! * `serve` — run the batch crosswalk HTTP service (`geoalign-serve`);
+//! * `store` — administer a durable store directory (`geoalign-store`):
+//!   initialise, inspect, compact, or verify it offline.
 //!
 //! All inputs are CSV: aggregate tables are `unit,value` with a header,
 //! crosswalk files are `source,target,value` (the HUD USPS crosswalk
@@ -83,7 +85,8 @@ USAGE:
     geoalign serve     [--addr HOST:PORT] [--workers N] [--cache-capacity M]
                        [--access-log LOG.jsonl] [--threads N]
                        [--max-connections N] [--idle-timeout SECS]
-                       [--max-requests-per-conn N]
+                       [--max-requests-per-conn N] [--data-dir DIR]
+    geoalign store     <init|inspect|compact|verify> --data-dir DIR
 
 FLAGS:
     --timings          print per-phase wall-clock timings to stderr
@@ -102,6 +105,15 @@ FLAGS:
     --max-requests-per-conn
                        serve: requests served over one connection before the
                        server closes it (default 1000)
+    --data-dir         serve: durable store directory; registrations and
+                       prepared crosswalks survive restarts (snapshot + WAL)
+                       store: the directory the subcommand operates on
+
+STORE SUBCOMMANDS:
+    store init      create an empty durable store (fails on a non-empty dir)
+    store inspect   open the store (running recovery) and summarise contents
+    store compact   flush the WAL into a fresh snapshot and drop old segments
+    store verify    read-only structural check; exits 1 on any defect
 
 FILES:
     aggregate tables:  CSV `unit,value` with a header line
@@ -175,6 +187,8 @@ pub struct ServeArgs {
     /// Requests served over one connection before the server closes it
     /// (`--max-requests-per-conn`).
     pub max_requests_per_conn: usize,
+    /// Durable store directory (`--data-dir`); `None` serves from memory.
+    pub data_dir: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -188,6 +202,7 @@ impl Default for ServeArgs {
             max_connections: geoalign_serve::server::DEFAULT_MAX_CONNECTIONS,
             idle_timeout_secs: geoalign_serve::server::DEFAULT_IDLE_TIMEOUT.as_secs(),
             max_requests_per_conn: geoalign_serve::server::DEFAULT_MAX_REQUESTS_PER_CONN,
+            data_dir: None,
         }
     }
 }
@@ -220,10 +235,140 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
             "--max-requests-per-conn" => {
                 parsed.max_requests_per_conn = positive(&mut it, "--max-requests-per-conn")?;
             }
+            "--data-dir" => parsed.data_dir = Some(need(&mut it, "--data-dir")?),
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
     Ok(parsed)
+}
+
+/// What `geoalign store` should do to the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreAction {
+    /// Create an empty store (refuses a directory that already has one).
+    Init,
+    /// Open the store (running recovery) and summarise its contents.
+    Inspect,
+    /// Flush the WAL into a fresh snapshot and drop superseded segments.
+    Compact,
+    /// Read-only structural check of snapshot and WAL segments.
+    Verify,
+}
+
+/// Parsed command line for `geoalign store`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreArgs {
+    /// The action to run.
+    pub action: StoreAction,
+    /// The store directory (`--data-dir`).
+    pub data_dir: String,
+}
+
+/// Parses the `store` subcommand's action and flags.
+pub fn parse_store_args(args: &[String]) -> Result<StoreArgs, CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(CliError::Usage(
+            "store needs an action: init, inspect, compact, or verify".into(),
+        ));
+    };
+    let action = match action.as_str() {
+        "init" => StoreAction::Init,
+        "inspect" => StoreAction::Inspect,
+        "compact" => StoreAction::Compact,
+        "verify" => StoreAction::Verify,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown store action '{other}' (expected init, inspect, compact, or verify)"
+            )))
+        }
+    };
+    let mut data_dir = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--data-dir" => data_dir = Some(need(&mut it, "--data-dir")?),
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    let data_dir = data_dir.ok_or_else(|| CliError::Usage("store needs --data-dir".into()))?;
+    Ok(StoreArgs { action, data_dir })
+}
+
+/// Runs a `geoalign store` action and returns the report text to print.
+/// `verify` returns `Err` when the store has any structural defect, so
+/// the process exits nonzero for scripts.
+pub fn run_store(args: &StoreArgs) -> Result<String, CliError> {
+    use geoalign_store::Store;
+    let dir = &args.data_dir;
+    let store_err = |e: geoalign_store::StoreError| CliError::Run(e.to_string());
+    match args.action {
+        StoreAction::Init => {
+            Store::init(dir).map_err(store_err)?;
+            Ok(format!("initialised empty store at {dir}\n"))
+        }
+        StoreAction::Inspect => {
+            let store = Store::open(dir).map_err(store_err)?;
+            let count = |prefix: &str| store.iter_prefix(prefix).len();
+            let r = store.recovery();
+            let mut out = String::new();
+            let _ = writeln!(out, "store at {dir}");
+            let _ = writeln!(out, "  entries:              {}", store.len());
+            let _ = writeln!(out, "    unit systems:       {}", count("sys/"));
+            let _ = writeln!(out, "    references:         {}", count("ref/"));
+            let _ = writeln!(out, "    prepared crosswalks:{}", count("prep/"));
+            let _ = writeln!(out, "  last sequence:        {}", store.last_seq());
+            let _ = writeln!(out, "  snapshot records:     {}", r.snapshot_records);
+            let _ = writeln!(out, "  wal records replayed: {}", r.wal_records_replayed);
+            let _ = writeln!(out, "  wal segments:         {}", r.wal_segments);
+            let _ = writeln!(out, "  repairs:              {}", r.repairs);
+            if let Some(torn) = &r.torn_tail {
+                let _ = writeln!(out, "  torn tail repaired:   {torn}");
+            }
+            if let Some(defect) = &r.snapshot_defect {
+                let _ = writeln!(out, "  snapshot discarded:   {defect}");
+            }
+            Ok(out)
+        }
+        StoreAction::Compact => {
+            let store = Store::open(dir).map_err(store_err)?;
+            let report = store.checkpoint().map_err(store_err)?;
+            Ok(format!(
+                "compacted store at {dir}\n  records:              {}\n  snapshot bytes:       {}\n  wal segments removed: {}\n",
+                report.records, report.snapshot_bytes, report.wal_segments_removed
+            ))
+        }
+        StoreAction::Verify => {
+            let report = Store::verify(dir).map_err(store_err)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "store at {dir}");
+            let _ = writeln!(out, "  snapshot present:     {}", report.snapshot_present);
+            let _ = writeln!(out, "  snapshot records:     {}", report.snapshot_records);
+            let _ = writeln!(out, "  wal records:          {}", report.wal_records);
+            let _ = writeln!(out, "  wal segments:         {}", report.segments.len());
+            let _ = writeln!(out, "  last sequence:        {}", report.last_seq);
+            let mut defects = Vec::new();
+            if let Some(d) = &report.snapshot_defect {
+                defects.push(format!("snapshot: {d}"));
+            }
+            for seg in &report.segments {
+                if let Some(d) = &seg.defect {
+                    defects.push(format!("segment {}: {d}", seg.index));
+                }
+            }
+            if defects.is_empty() {
+                let _ = writeln!(out, "  clean");
+                Ok(out)
+            } else {
+                for d in &defects {
+                    let _ = writeln!(out, "  DEFECT {d}");
+                }
+                Err(CliError::Run(format!(
+                    "{out}store has {} defect(s); `geoalign store inspect` repairs what it can",
+                    defects.len()
+                )))
+            }
+        }
+    }
 }
 
 /// Renders per-phase timings as the stderr lines `--timings` prints.
@@ -537,6 +682,85 @@ B,60
         assert!(parse_serve_args(&["--max-connections".into(), "many".into()]).is_err());
         assert!(parse_serve_args(&["--idle-timeout".into(), "0".into()]).is_err());
         assert!(parse_serve_args(&["--max-requests-per-conn".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_data_dir_flag_parsing() {
+        assert!(parse_serve_args(&[]).unwrap().data_dir.is_none());
+        let a = parse_serve_args(&["--data-dir".into(), "/tmp/ga".into()]).unwrap();
+        assert_eq!(a.data_dir.as_deref(), Some("/tmp/ga"));
+        assert!(parse_serve_args(&["--data-dir".into()]).is_err());
+    }
+
+    #[test]
+    fn store_arg_parsing() {
+        let a = parse_store_args(&["init".into(), "--data-dir".into(), "d".into()]).unwrap();
+        assert_eq!(a.action, StoreAction::Init);
+        assert_eq!(a.data_dir, "d");
+        for (name, action) in [
+            ("inspect", StoreAction::Inspect),
+            ("compact", StoreAction::Compact),
+            ("verify", StoreAction::Verify),
+        ] {
+            let a = parse_store_args(&[name.into(), "--data-dir".into(), "d".into()]).unwrap();
+            assert_eq!(a.action, action);
+        }
+        assert!(parse_store_args(&[]).is_err()); // no action
+        assert!(parse_store_args(&["frobnicate".into()]).is_err()); // bad action
+        assert!(parse_store_args(&["init".into()]).is_err()); // no --data-dir
+        assert!(parse_store_args(&["init".into(), "--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn store_actions_init_inspect_compact_verify() {
+        let dir = std::env::temp_dir().join(format!("geoalign-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_string_lossy().into_owned();
+        let args = |action| StoreArgs {
+            action,
+            data_dir: dir_str.clone(),
+        };
+
+        let report = run_store(&args(StoreAction::Init)).unwrap();
+        assert!(report.contains("initialised"), "{report}");
+        // Init refuses to clobber an existing store.
+        assert!(run_store(&args(StoreAction::Init)).is_err());
+
+        // Put something in it through the store API, as serve would.
+        {
+            let store = geoalign_store::Store::open(&dir).unwrap();
+            store.put("sys/zip", vec![1, 2, 3]).unwrap();
+            store.put("prep/abc", vec![4, 5]).unwrap();
+        }
+
+        let report = run_store(&args(StoreAction::Inspect)).unwrap();
+        assert!(report.contains("unit systems:       1"), "{report}");
+        assert!(report.contains("prepared crosswalks:1"), "{report}");
+
+        let report = run_store(&args(StoreAction::Compact)).unwrap();
+        assert!(report.contains("records:              2"), "{report}");
+
+        let report = run_store(&args(StoreAction::Verify)).unwrap();
+        assert!(report.contains("clean"), "{report}");
+
+        // Damage the WAL tail: verify reports the defect and errs.
+        {
+            let store = geoalign_store::Store::open(&dir).unwrap();
+            store.put("sys/county", vec![9; 64]).unwrap();
+        }
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "log"))
+            .max()
+            .unwrap();
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        let err = run_store(&args(StoreAction::Verify)).unwrap_err();
+        assert!(err.to_string().contains("DEFECT"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The `geoalign` command-line entry point; see [`geoalign_cli`] for the
 //! testable implementation.
 
-use geoalign_cli::{format_timings, parse_args, parse_serve_args, run_crosswalk, CliError, USAGE};
+use geoalign_cli::{
+    format_timings, parse_args, parse_serve_args, parse_store_args, run_crosswalk, run_store,
+    CliError, USAGE,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -107,15 +110,36 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
                 max_connections: parsed.max_connections,
                 idle_timeout: std::time::Duration::from_secs(parsed.idle_timeout_secs),
                 max_requests_per_conn: parsed.max_requests_per_conn,
+                data_dir: parsed.data_dir.clone().map(std::path::PathBuf::from),
             };
             let server = geoalign_serve::Server::bind(parsed.addr.as_str(), config)
                 .map_err(|e| CliError::Io(parsed.addr.clone(), e))?;
             eprintln!("geoalign-serve listening on http://{}", server.addr());
-            eprintln!("endpoints: POST /systems /references /crosswalk — GET /healthz /metrics");
+            eprintln!(
+                "endpoints: POST /systems /references /crosswalk /checkpoint — GET /healthz /metrics"
+            );
+            if let Some(dir) = &parsed.data_dir {
+                let state = server.state();
+                if let Some(backing) = state.durable() {
+                    let r = backing.store().recovery();
+                    eprintln!(
+                        "durable store at {dir}: {} entries ({} from snapshot, {} WAL records replayed, {} repairs)",
+                        backing.store().len(),
+                        r.snapshot_records,
+                        r.wal_records_replayed,
+                        r.repairs
+                    );
+                }
+            }
             // Serve until the process is killed.
             loop {
                 std::thread::park();
             }
+        }
+        "store" => {
+            let parsed = parse_store_args(rest)?;
+            print!("{}", run_store(&parsed)?);
+            Ok(())
         }
         "--help" | "-h" | "help" => {
             print!("{USAGE}");

@@ -1,0 +1,181 @@
+//! End-to-end durability proof: a `geoalign serve --data-dir` process is
+//! killed with SIGKILL after computing a crosswalk, and the restarted
+//! process answers the same request byte-identically from disk — warm
+//! hits counted, no solver re-run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct ServeProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServeProc {
+    /// Starts `geoalign serve --data-dir dir --addr 127.0.0.1:0` and
+    /// waits for the listening line on stderr to learn the port.
+    fn start(dir: &Path) -> ServeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_geoalign"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--data-dir",
+                dir.to_str().unwrap(),
+            ])
+            .stderr(Stdio::piped())
+            .stdout(Stdio::null())
+            .spawn()
+            .expect("spawn geoalign serve");
+        let stderr = child.stderr.take().unwrap();
+        let mut lines = BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve exited before announcing its address")
+                .unwrap();
+            if let Some(rest) = line.split("listening on http://").nth(1) {
+                break rest.trim().to_owned();
+            }
+        };
+        // Drain the rest of stderr in the background so the child never
+        // blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ServeProc { child, addr }
+    }
+
+    /// One HTTP/1.1 request with `Connection: close`; returns the full
+    /// response text.
+    fn request(&self, method: &str, path: &str, body: &str) -> String {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect to serve");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk).unwrap() {
+                0 => break,
+                n => out.extend_from_slice(&chunk[..n]),
+            }
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    fn kill(mut self) {
+        // SIGKILL: no destructors, no flush — the crash the WAL is for.
+        self.child.kill().unwrap();
+        self.child.wait().unwrap();
+    }
+}
+
+/// The response body (after the blank line).
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or("")
+}
+
+/// The `"columns":[...]` slice of a /crosswalk body — the part of the
+/// answer that must be byte-identical across a restart (`cache_hit`
+/// legitimately differs).
+fn columns_of(body: &str) -> &str {
+    let start = body.find(r#""columns":"#).expect("columns in body");
+    &body[start..]
+}
+
+#[test]
+fn serve_survives_sigkill_and_answers_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("geoalign-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let crosswalk_body = r#"{"source":"zip","target":"county",
+        "attributes":[{"name":"steam","values":[10,20,30]}]}"#;
+
+    // ---- Cold process: register, compute, checkpoint, SIGKILL. ----
+    let cold_columns;
+    {
+        let serve = ServeProc::start(&dir);
+        let r = serve.request(
+            "POST",
+            "/systems",
+            r#"{"name":"zip","units":["z1","z2","z3"]}"#,
+        );
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        let r = serve.request("POST", "/systems", r#"{"name":"county","units":["A","B"]}"#);
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        let r = serve.request(
+            "POST",
+            "/references",
+            r#"{"source":"zip","target":"county","name":"population",
+               "entries":[["z1","A",100],["z2","A",60],["z2","B",40],["z3","B",80]]}"#,
+        );
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+
+        let r = serve.request("POST", "/crosswalk", crosswalk_body);
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        let body = body_of(&r);
+        assert!(body.contains(r#""cache_hit":false"#), "{body}");
+        cold_columns = columns_of(body).to_owned();
+
+        // Checkpoint drains the write-behind persister, so the prepared
+        // crosswalk is durable before the kill.
+        let r = serve.request("POST", "/checkpoint", "");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+
+        serve.kill();
+    }
+
+    // ---- Warm process: same data dir, no registration calls at all. ----
+    let serve = ServeProc::start(&dir);
+
+    let r = serve.request("GET", "/healthz", "");
+    let health = body_of(&r);
+    assert!(health.contains(r#""enabled":true"#), "{health}");
+
+    let r = serve.request("POST", "/crosswalk", crosswalk_body);
+    assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+    let body = body_of(&r);
+    // Served from the revived snapshot: a hit, not a recompute.
+    assert!(body.contains(r#""cache_hit":true"#), "{body}");
+    assert_eq!(
+        columns_of(body),
+        cold_columns,
+        "warm answer must be byte-identical to the pre-kill answer"
+    );
+
+    // The solver never ran in this process...
+    let r = serve.request("GET", "/metrics", "");
+    let metrics = body_of(&r);
+    let prepare = metrics
+        .split(r#""prepare_latency":{"#)
+        .nth(1)
+        .expect("prepare_latency in metrics");
+    assert!(
+        prepare.starts_with(r#""count":0"#),
+        "warm start must not re-run prepare: {prepare}"
+    );
+    // ...and the warm hit is visible on the store's counter.
+    let r = serve.request("GET", "/metrics?format=prometheus", "");
+    let prom = body_of(&r);
+    let warm_hits = prom
+        .lines()
+        .find(|l| l.starts_with("geoalign_store_warm_hits_total"))
+        .expect("warm-hits counter exported");
+    let count: u64 = warm_hits
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(count >= 1, "{warm_hits}");
+
+    serve.kill();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 /// Tunable knobs of the GeoAlign algorithm. The defaults reproduce the
 /// paper's method.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GeoAlignConfig {
     /// Which Eq. 15 solver to use.
     pub solver: SimplexSolver,

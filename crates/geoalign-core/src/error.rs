@@ -49,6 +49,12 @@ pub enum CoreError {
     Linalg(geoalign_linalg::LinalgError),
     /// A parallel job failed (a task panicked).
     Exec(geoalign_exec::ExecError),
+    /// A persistence failure: the durable store errored, or on-disk bytes
+    /// failed to decode back into domain objects.
+    Persist {
+        /// What failed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -74,6 +80,7 @@ impl fmt::Display for CoreError {
             CoreError::Partition(e) => write!(f, "partition error: {e}"),
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             CoreError::Exec(e) => write!(f, "execution error: {e}"),
+            CoreError::Persist { detail } => write!(f, "persistence error: {detail}"),
         }
     }
 }

@@ -31,10 +31,12 @@
 
 pub mod align;
 pub mod baselines;
+pub mod durable;
 pub mod error;
 pub mod eval;
 pub mod interpolator;
 mod obs;
+pub mod persist;
 pub mod pipeline;
 pub mod prepare;
 pub mod reference;
@@ -42,6 +44,7 @@ pub mod store;
 
 pub use align::{GeoAlign, GeoAlignConfig, GeoAlignResult, PhaseTimings};
 pub use baselines::{areal_weighting, dasymetric, regression_combiner};
+pub use durable::DurableBacking;
 pub use error::CoreError;
 pub use interpolator::{
     ArealWeightingInterpolator, DasymetricInterpolator, GeoAlignInterpolator, Interpolator,

@@ -68,6 +68,16 @@ global_counter!(
     "geoalign_core_store_coalesced_total",
     "CrosswalkStore lookups that waited on another thread's in-flight prepare"
 );
+global_counter!(
+    durable_persist_errors,
+    "geoalign_core_durable_persist_errors_total",
+    "Background persistence jobs whose durable write failed"
+);
+global_counter!(
+    durable_decode_errors,
+    "geoalign_core_durable_decode_errors_total",
+    "Durable read-throughs whose payload failed to decode (degraded to recompute)"
+);
 
 /// Records the Eq. 15 solver outcome: iteration count and the number of
 /// references carrying weight (active-set size).

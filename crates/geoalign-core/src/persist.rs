@@ -1,0 +1,474 @@
+//! Domain codecs over `geoalign-store`'s byte-level vocabulary: unit
+//! systems, references, and prepared crosswalks as length-prefixed
+//! little-endian payloads.
+//!
+//! The codecs live here (not in `geoalign-store`) so the persistence
+//! crate stays domain-blind and the dependency arrow keeps pointing from
+//! core to store. Every float is written as its exact IEEE-754 bit
+//! pattern and the Gram state is reassembled via
+//! [`GramSystem::from_parts`] rather than recomputed, so a decoded
+//! [`PreparedCrosswalk`] applies **byte-identically** to the one that
+//! was encoded — a warm-started server answers the same bytes the cold
+//! one did.
+//!
+//! ## Key space
+//!
+//! One flat, prefix-partitioned namespace inside the store:
+//!
+//! * `sys/<name>` — a unit system's identifier list;
+//! * `ref/<nnnnnnnn>` — one reference registration, in registration
+//!   order (the payload carries the system pair);
+//! * `prep/<fingerprint>/<len>/<len>/<source><target>` — a prepared
+//!   crosswalk; the explicit lengths keep names containing `/`
+//!   unambiguous.
+
+use crate::align::GeoAlignConfig;
+use crate::error::CoreError;
+use crate::prepare::PreparedCrosswalk;
+use crate::reference::ReferenceData;
+use crate::store::CrosswalkKey;
+use geoalign_linalg::simplex_ls::{GramSystem, SimplexSolver};
+use geoalign_linalg::DMatrix;
+use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+use geoalign_store::{ByteReader, ByteWriter};
+use std::time::Duration;
+
+/// Payload format version for every codec in this module.
+const CODEC_VERSION: u8 = 1;
+
+/// Key prefix for unit systems.
+pub const SYSTEM_PREFIX: &str = "sys/";
+/// Key prefix for reference registrations.
+pub const REFERENCE_PREFIX: &str = "ref/";
+/// Key prefix for prepared crosswalks.
+pub const PREPARED_PREFIX: &str = "prep/";
+
+/// Store key of the unit system `name`.
+pub fn system_key(name: &str) -> String {
+    format!("{SYSTEM_PREFIX}{name}")
+}
+
+/// Recovers a system name from its store key.
+pub fn system_name_from_key(key: &str) -> Option<&str> {
+    key.strip_prefix(SYSTEM_PREFIX)
+}
+
+/// Store key of the `index`-th reference registration. Zero-padded so
+/// lexicographic prefix iteration replays registrations in order.
+pub fn reference_key(index: u64) -> String {
+    format!("{REFERENCE_PREFIX}{index:08}")
+}
+
+/// Store key of a prepared crosswalk.
+pub fn prepared_key(key: &CrosswalkKey) -> String {
+    format!(
+        "{PREPARED_PREFIX}{:016x}/{}/{}/{}{}",
+        key.fingerprint,
+        key.source.len(),
+        key.target.len(),
+        key.source,
+        key.target
+    )
+}
+
+fn persist_err(what: &str, e: impl std::fmt::Display) -> CoreError {
+    CoreError::Persist {
+        detail: format!("{what}: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unit systems
+// ---------------------------------------------------------------------
+
+/// Encodes a unit system's identifier list.
+pub fn encode_unit_system(unit_ids: &[String]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(16 + unit_ids.iter().map(|s| 4 + s.len()).sum::<usize>());
+    w.u8(CODEC_VERSION);
+    w.u64(unit_ids.len() as u64);
+    for id in unit_ids {
+        w.str(id);
+    }
+    w.into_vec()
+}
+
+/// Decodes a unit system's identifier list.
+pub fn decode_unit_system(bytes: &[u8]) -> Result<Vec<String>, CoreError> {
+    let mut r = ByteReader::new(bytes);
+    (|| {
+        let version = r.u8()?;
+        if version != CODEC_VERSION {
+            return Err(geoalign_store::CodecError::new(format!(
+                "unsupported unit-system codec version {version}"
+            )));
+        }
+        let n = r.len_u64("unit count")?;
+        let mut ids = Vec::with_capacity(n.min(bytes.len()));
+        for _ in 0..n {
+            ids.push(r.str()?.to_owned());
+        }
+        r.expect_end()?;
+        Ok(ids)
+    })()
+    .map_err(|e| persist_err("unit system", e))
+}
+
+// ---------------------------------------------------------------------
+// References
+// ---------------------------------------------------------------------
+
+/// Encodes one reference registration: the system pair it belongs to
+/// plus the full [`ReferenceData`].
+pub fn encode_reference(source: &str, target: &str, r: &ReferenceData) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(64 + r.dm().nnz() * 24);
+    w.u8(CODEC_VERSION);
+    w.str(source);
+    w.str(target);
+    write_reference_data(&mut w, r);
+    w.into_vec()
+}
+
+/// Decodes one reference registration back into `(source, target, data)`.
+pub fn decode_reference(bytes: &[u8]) -> Result<(String, String, ReferenceData), CoreError> {
+    let mut r = ByteReader::new(bytes);
+    let (source, target) = (|| {
+        let version = r.u8()?;
+        if version != CODEC_VERSION {
+            return Err(geoalign_store::CodecError::new(format!(
+                "unsupported reference codec version {version}"
+            )));
+        }
+        Ok((r.str()?.to_owned(), r.str()?.to_owned()))
+    })()
+    .map_err(|e| persist_err("reference", e))?;
+    let data = read_reference_data(&mut r)?;
+    r.expect_end().map_err(|e| persist_err("reference", e))?;
+    Ok((source, target, data))
+}
+
+fn write_reference_data(w: &mut ByteWriter, r: &ReferenceData) {
+    w.str(r.name());
+    w.str(r.source().attribute());
+    w.f64_slice(r.source().values());
+    let dm = r.dm();
+    w.str(dm.attribute());
+    w.u64(dm.n_source() as u64);
+    w.u64(dm.n_target() as u64);
+    w.u64(dm.nnz() as u64);
+    for (i, j, v) in dm.matrix().iter() {
+        w.u64(i as u64);
+        w.u64(j as u64);
+        w.f64(v);
+    }
+}
+
+fn read_reference_data(r: &mut ByteReader<'_>) -> Result<ReferenceData, CoreError> {
+    let what = "reference data";
+    let name = r.str().map_err(|e| persist_err(what, e))?.to_owned();
+    let attr = r.str().map_err(|e| persist_err(what, e))?.to_owned();
+    let values = r
+        .f64_vec("source aggregates")
+        .map_err(|e| persist_err(what, e))?;
+    let source = AggregateVector::new(attr, values).map_err(|e| persist_err(what, e))?;
+    let dm_attr = r.str().map_err(|e| persist_err(what, e))?.to_owned();
+    let n_source = r.len_u64("dm n_source").map_err(|e| persist_err(what, e))?;
+    let n_target = r.len_u64("dm n_target").map_err(|e| persist_err(what, e))?;
+    let nnz = r.len_u64("dm nnz").map_err(|e| persist_err(what, e))?;
+    // Each triple takes 24 bytes; reject a lying count before allocating.
+    if nnz.checked_mul(24).is_none_or(|b| b > r.remaining()) {
+        return Err(CoreError::Persist {
+            detail: format!("{what}: nnz {nnz} exceeds remaining payload"),
+        });
+    }
+    let mut triples = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let i = r.len_u64("dm row").map_err(|e| persist_err(what, e))?;
+        let j = r.len_u64("dm col").map_err(|e| persist_err(what, e))?;
+        let v = r.f64().map_err(|e| persist_err(what, e))?;
+        triples.push((i, j, v));
+    }
+    let dm = DisaggregationMatrix::from_triples(dm_attr, n_source, n_target, triples)
+        .map_err(|e| persist_err(what, e))?;
+    ReferenceData::new(name, source, dm)
+}
+
+// ---------------------------------------------------------------------
+// Prepared crosswalks
+// ---------------------------------------------------------------------
+
+fn solver_byte(solver: SimplexSolver) -> u8 {
+    match solver {
+        SimplexSolver::ProjectedGradient => 0,
+        SimplexSolver::ActiveSet => 1,
+    }
+}
+
+fn solver_from_byte(b: u8) -> Result<SimplexSolver, CoreError> {
+    match b {
+        0 => Ok(SimplexSolver::ProjectedGradient),
+        1 => Ok(SimplexSolver::ActiveSet),
+        other => Err(CoreError::Persist {
+            detail: format!("unknown solver byte {other}"),
+        }),
+    }
+}
+
+fn write_dense(w: &mut ByteWriter, m: &DMatrix) {
+    w.u64(m.nrows() as u64);
+    w.u64(m.ncols() as u64);
+    for j in 0..m.ncols() {
+        for &v in m.column(j) {
+            w.f64(v);
+        }
+    }
+}
+
+fn read_dense(r: &mut ByteReader<'_>, what: &str) -> Result<DMatrix, CoreError> {
+    let rows = r.len_u64("nrows").map_err(|e| persist_err(what, e))?;
+    let cols = r.len_u64("ncols").map_err(|e| persist_err(what, e))?;
+    let cells = rows
+        .checked_mul(cols)
+        .filter(|&c| c.checked_mul(8).is_some_and(|b| b <= r.remaining()))
+        .ok_or_else(|| CoreError::Persist {
+            detail: format!("{what}: {rows}x{cols} exceeds remaining payload"),
+        })?;
+    let _ = cells;
+    let mut m = DMatrix::zeros(rows, cols);
+    for j in 0..cols {
+        for cell in m.column_mut(j) {
+            *cell = r.f64().map_err(|e| persist_err(what, e))?;
+        }
+    }
+    Ok(m)
+}
+
+/// Encodes a prepared crosswalk, snapshot state and all.
+pub fn encode_prepared(p: &PreparedCrosswalk) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(
+        256 + p.design.nrows() * p.design.ncols() * 8
+            + p.refs.iter().map(|r| r.dm().nnz() * 24).sum::<usize>(),
+    );
+    w.u8(CODEC_VERSION);
+    w.u8(solver_byte(p.config.solver));
+    w.u8(u8::from(p.config.normalize));
+    w.u64(p.n_source as u64);
+    w.u64(p.n_target as u64);
+    w.u64(p.prepare_time.as_micros().min(u128::from(u64::MAX)) as u64);
+    w.u64(p.refs.len() as u64);
+    for r in &p.refs {
+        write_reference_data(&mut w, r);
+    }
+    write_dense(&mut w, &p.design);
+    write_dense(&mut w, p.gram.gram());
+    w.f64(p.gram.frobenius());
+    w.u64(p.row_sums_per_ref.len() as u64);
+    for sums in &p.row_sums_per_ref {
+        w.f64_slice(sums);
+    }
+    w.into_vec()
+}
+
+/// Decodes a prepared crosswalk. The result is byte-identical in
+/// behavior to the encoded instance: same design matrix bits, same Gram
+/// state bits, so `apply_values` produces bit-equal estimates.
+pub fn decode_prepared(bytes: &[u8]) -> Result<PreparedCrosswalk, CoreError> {
+    let what = "prepared crosswalk";
+    let mut r = ByteReader::new(bytes);
+    let version = r.u8().map_err(|e| persist_err(what, e))?;
+    if version != CODEC_VERSION {
+        return Err(CoreError::Persist {
+            detail: format!("unsupported prepared-crosswalk codec version {version}"),
+        });
+    }
+    let solver = solver_from_byte(r.u8().map_err(|e| persist_err(what, e))?)?;
+    let normalize = match r.u8().map_err(|e| persist_err(what, e))? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(CoreError::Persist {
+                detail: format!("bad normalize byte {other}"),
+            })
+        }
+    };
+    let n_source = r.len_u64("n_source").map_err(|e| persist_err(what, e))?;
+    let n_target = r.len_u64("n_target").map_err(|e| persist_err(what, e))?;
+    let prepare_micros = r.u64().map_err(|e| persist_err(what, e))?;
+    let n_refs = r.len_u64("ref count").map_err(|e| persist_err(what, e))?;
+    if n_refs > bytes.len() {
+        return Err(CoreError::Persist {
+            detail: format!("{what}: ref count {n_refs} exceeds payload"),
+        });
+    }
+    let mut refs = Vec::with_capacity(n_refs);
+    for _ in 0..n_refs {
+        refs.push(read_reference_data(&mut r)?);
+    }
+    let design = read_dense(&mut r, "design matrix")?;
+    let gram_matrix = read_dense(&mut r, "gram matrix")?;
+    let frobenius = r.f64().map_err(|e| persist_err(what, e))?;
+    let gram =
+        GramSystem::from_parts(gram_matrix, frobenius).map_err(|e| persist_err("gram state", e))?;
+    let n_sums = r
+        .len_u64("row-sum vector count")
+        .map_err(|e| persist_err(what, e))?;
+    if n_sums != n_refs {
+        return Err(CoreError::Persist {
+            detail: format!("{what}: {n_sums} row-sum vectors for {n_refs} references"),
+        });
+    }
+    let mut row_sums_per_ref = Vec::with_capacity(n_sums);
+    for _ in 0..n_sums {
+        row_sums_per_ref.push(r.f64_vec("row sums").map_err(|e| persist_err(what, e))?);
+    }
+    r.expect_end().map_err(|e| persist_err(what, e))?;
+
+    // Cross-field consistency: the decoded parts must describe one
+    // coherent snapshot, or apply() would index out of bounds.
+    if design.nrows() != n_source || design.ncols() != n_refs || gram.n() != n_refs {
+        return Err(CoreError::Persist {
+            detail: format!(
+                "{what}: inconsistent shapes (design {}x{}, gram n={}, n_source={n_source}, refs={n_refs})",
+                design.nrows(),
+                design.ncols(),
+                gram.n()
+            ),
+        });
+    }
+    for (k, reference) in refs.iter().enumerate() {
+        if reference.n_source() != n_source
+            || reference.n_target() != n_target
+            || row_sums_per_ref[k].len() != n_source
+        {
+            return Err(CoreError::Persist {
+                detail: format!("{what}: reference {k} shapes inconsistent with snapshot"),
+            });
+        }
+    }
+    Ok(PreparedCrosswalk {
+        config: GeoAlignConfig { solver, normalize },
+        refs,
+        design,
+        gram,
+        row_sums_per_ref,
+        n_source,
+        n_target,
+        prepare_time: Duration::from_micros(prepare_micros),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::GeoAlign;
+
+    fn make_ref(name: &str, rows: &[&[f64]]) -> ReferenceData {
+        let n_source = rows.len();
+        let n_target = rows[0].len();
+        let mut triples = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    triples.push((i, j, v));
+                }
+            }
+        }
+        let dm = DisaggregationMatrix::from_triples(name, n_source, n_target, triples).unwrap();
+        ReferenceData::from_dm(name, dm).unwrap()
+    }
+
+    #[test]
+    fn unit_system_roundtrip() {
+        let ids = vec!["a".to_owned(), "unité/b".to_owned(), String::new()];
+        let bytes = encode_unit_system(&ids);
+        assert_eq!(decode_unit_system(&bytes).unwrap(), ids);
+        // Truncations error rather than panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_unit_system(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn reference_roundtrip_is_exact() {
+        let r = make_ref("pop", &[&[3.5, 0.0, 1.25], &[0.0, 2.0, 0.0]]);
+        let bytes = encode_reference("zip", "county", &r);
+        let (source, target, back) = decode_reference(&bytes).unwrap();
+        assert_eq!(source, "zip");
+        assert_eq!(target, "county");
+        assert_eq!(back.name(), "pop");
+        assert_eq!(back.n_source(), 2);
+        assert_eq!(back.n_target(), 3);
+        for (x, y) in back.source().values().iter().zip(r.source().values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let got: Vec<_> = back.dm().matrix().iter().collect();
+        let want: Vec<_> = r.dm().matrix().iter().collect();
+        assert_eq!(got.len(), want.len());
+        for ((i1, j1, v1), (i2, j2, v2)) in got.iter().zip(&want) {
+            assert_eq!((i1, j1), (i2, j2));
+            assert_eq!(v1.to_bits(), v2.to_bits());
+        }
+    }
+
+    #[test]
+    fn prepared_roundtrip_applies_bit_identically() {
+        let r1 = make_ref("a", &[&[3.0, 1.0], &[2.0, 2.0], &[0.0, 5.0]]);
+        let r2 = make_ref("b", &[&[1.0, 1.0], &[4.0, 0.0], &[1.0, 1.0]]);
+        let prepared = GeoAlign::new().prepare(&[&r1, &r2]).unwrap();
+        let bytes = encode_prepared(&prepared);
+        let revived = decode_prepared(&bytes).unwrap();
+        assert_eq!(revived.n_source(), prepared.n_source());
+        assert_eq!(revived.n_target(), prepared.n_target());
+        assert_eq!(revived.config(), prepared.config());
+        let obj = AggregateVector::new("obj", vec![10.0, 20.0, 30.0]).unwrap();
+        let cold = prepared.apply_values(&obj).unwrap();
+        let warm = revived.apply_values(&obj).unwrap();
+        for (x, y) in warm.estimate.iter().zip(&cold.estimate) {
+            assert_eq!(x.to_bits(), y.to_bits(), "estimates diverged");
+        }
+        for (x, y) in warm.weights.iter().zip(&cold.weights) {
+            assert_eq!(x.to_bits(), y.to_bits(), "weights diverged");
+        }
+        // Re-encoding the revived snapshot reproduces the exact bytes.
+        assert_eq!(encode_prepared(&revived), bytes);
+    }
+
+    #[test]
+    fn prepared_decode_rejects_damage() {
+        let r = make_ref("a", &[&[1.0, 2.0], &[3.0, 4.0]]);
+        let prepared = GeoAlign::new().prepare(&[&r]).unwrap();
+        let bytes = encode_prepared(&prepared);
+        // Every truncation errors cleanly.
+        for cut in 0..bytes.len() {
+            assert!(decode_prepared(&bytes[..cut]).is_err(), "cut {cut} decoded");
+        }
+        // Unsupported version byte.
+        let mut vbytes = bytes.clone();
+        vbytes[0] = 99;
+        assert!(decode_prepared(&vbytes).is_err());
+        // Bad solver byte.
+        let mut sbytes = bytes.clone();
+        sbytes[1] = 7;
+        assert!(decode_prepared(&sbytes).is_err());
+    }
+
+    #[test]
+    fn keys_are_stable_and_unambiguous() {
+        assert_eq!(system_key("zip"), "sys/zip");
+        assert_eq!(system_name_from_key("sys/a/b"), Some("a/b"));
+        assert_eq!(system_name_from_key("ref/00000001"), None);
+        assert_eq!(reference_key(3), "ref/00000003");
+        assert!(reference_key(2) < reference_key(10));
+        let a = prepared_key(&CrosswalkKey {
+            source: "a".into(),
+            target: "b/c".into(),
+            fingerprint: 0xabcd,
+        });
+        let b = prepared_key(&CrosswalkKey {
+            source: "a/b".into(),
+            target: "c".into(),
+            fingerprint: 0xabcd,
+        });
+        assert_ne!(a, b, "length prefixes must disambiguate '/' in names");
+        assert!(a.starts_with(PREPARED_PREFIX));
+    }
+}

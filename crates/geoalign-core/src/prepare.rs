@@ -35,18 +35,20 @@ use std::time::{Duration, Instant};
 /// ready to be applied to any number of objective vectors.
 #[derive(Debug, Clone)]
 pub struct PreparedCrosswalk {
-    config: GeoAlignConfig,
-    refs: Vec<ReferenceData>,
+    // Fields are crate-visible so `persist` can take a snapshot apart and
+    // reassemble a byte-identical one from disk.
+    pub(crate) config: GeoAlignConfig,
+    pub(crate) refs: Vec<ReferenceData>,
     /// Stacked source-level reference matrix of Eq. 15 (normalized
     /// per-column when the config says so).
-    design: DMatrix,
+    pub(crate) design: DMatrix,
     /// Normal-equations state `AᵀA` of the design matrix.
-    gram: GramSystem,
+    pub(crate) gram: GramSystem,
     /// Per-reference disaggregation-matrix row sums (Eq. 14 denominators).
-    row_sums_per_ref: Vec<Vec<f64>>,
-    n_source: usize,
-    n_target: usize,
-    prepare_time: Duration,
+    pub(crate) row_sums_per_ref: Vec<Vec<f64>>,
+    pub(crate) n_source: usize,
+    pub(crate) n_target: usize,
+    pub(crate) prepare_time: Duration,
 }
 
 /// Lightweight output of [`PreparedCrosswalk::apply_values`]: the estimate

@@ -13,6 +13,7 @@
 //! Hit/miss/eviction counters are lock-free atomics. Eviction is
 //! approximate LRU over last-used stamps from a global atomic clock.
 
+use crate::durable::DurableBacking;
 use crate::error::CoreError;
 use crate::prepare::PreparedCrosswalk;
 use crate::reference::ReferenceData;
@@ -134,6 +135,9 @@ pub struct CrosswalkStore {
     shards: Vec<RwLock<HashMap<CrosswalkKey, Entry>>>,
     /// Prepares currently in flight, for single-flight coalescing.
     flights: Mutex<HashMap<CrosswalkKey, Arc<Flight>>>,
+    /// Optional durable tier: cold misses read through to disk before
+    /// recomputing, and fresh prepares are written behind to it.
+    backing: Option<Arc<DurableBacking>>,
     capacity: usize,
     clock: AtomicU64,
     hits: AtomicU64,
@@ -158,6 +162,7 @@ impl CrosswalkStore {
         CrosswalkStore {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             flights: Mutex::new(HashMap::new()),
+            backing: None,
             capacity: capacity.max(1),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -165,6 +170,22 @@ impl CrosswalkStore {
             evictions: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
         }
+    }
+
+    /// [`CrosswalkStore::new`] with a durable backing tier. Cold misses
+    /// in [`CrosswalkStore::get_or_insert_with`] consult the disk store
+    /// before recomputing (a warm hit counts in
+    /// `geoalign_store_warm_hits_total`), and freshly prepared snapshots
+    /// are handed to the backing's write-behind persister.
+    pub fn with_backing(capacity: usize, backing: Arc<DurableBacking>) -> Self {
+        let mut store = Self::new(capacity);
+        store.backing = Some(backing);
+        store
+    }
+
+    /// The durable backing tier, when one is attached.
+    pub fn backing(&self) -> Option<&Arc<DurableBacking>> {
+        self.backing.as_ref()
     }
 
     fn shard(&self, key: &CrosswalkKey) -> &RwLock<HashMap<CrosswalkKey, Entry>> {
@@ -274,9 +295,21 @@ impl CrosswalkStore {
                         key,
                         flight: &flight,
                     };
+                    // Read-through: a snapshot persisted by an earlier
+                    // process serves this miss without re-preparing.
+                    if let Some(revived) =
+                        self.backing.as_ref().and_then(|b| b.lookup_prepared(key))
+                    {
+                        self.insert(key.clone(), Arc::clone(&revived));
+                        return Ok((revived, true));
+                    }
                     let prepare = prepare.take().expect("a leader runs the closure only once");
                     let snapshot = Arc::new(prepare()?);
                     self.insert(key.clone(), Arc::clone(&snapshot));
+                    // Write-behind: persist off the request path.
+                    if let Some(backing) = &self.backing {
+                        backing.persist_prepared(key, &snapshot);
+                    }
                     return Ok((snapshot, false));
                 }
                 Role::Waiter(flight) => {
@@ -538,6 +571,114 @@ mod tests {
             .unwrap();
         assert!(!hit);
         assert_eq!(p.n_source(), 2);
+    }
+
+    #[test]
+    fn evictions_are_counted_exactly_once_per_removed_entry() {
+        // Regression guard for the eviction metric: the counter (and its
+        // obs twin) must tick exactly once per entry actually removed —
+        // never for replacements, invalidations, or failed prepares.
+        let store = CrosswalkStore::new(3);
+        let refs: Vec<ReferenceData> = (0..10)
+            .map(|k| make_ref(&format!("r{k}"), k as f64 + 1.0))
+            .collect();
+        let obs_before = crate::obs::store_evictions().get();
+        for r in &refs {
+            let key = CrosswalkKey::new("zip", "county", &[r]);
+            store.insert(key, prepared(r));
+        }
+        // 10 inserts into capacity 3: exactly 7 entries were evicted.
+        let stats = store.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 7);
+        assert_eq!(crate::obs::store_evictions().get() - obs_before, 7);
+
+        // Replacing an existing key is not an eviction.
+        let key0 = CrosswalkKey::new("zip", "county", &[&refs[9]]);
+        store.insert(key0.clone(), prepared(&refs[9]));
+        assert_eq!(store.stats().evictions, 7);
+
+        // Invalidation is not an eviction.
+        store.invalidate(&key0);
+        assert_eq!(store.stats().evictions, 7);
+
+        // A failed single-flight leader inserts nothing and therefore
+        // evicts nothing.
+        let cold = CrosswalkKey::new("tract", "county", &[&refs[0]]);
+        let _ = store.get_or_insert_with(&cold, || Err(CoreError::NoReferences));
+        assert_eq!(store.stats().evictions, 7);
+        assert_eq!(crate::obs::store_evictions().get() - obs_before, 7);
+    }
+
+    #[test]
+    fn concurrent_eviction_never_double_counts() {
+        // Hammer a capacity-1 store from several threads; every eviction
+        // decision races with the others. Conservation must hold exactly:
+        // entries inserted == entries evicted + entries still present.
+        let store = CrosswalkStore::new(1);
+        let refs: Vec<ReferenceData> = (0..8)
+            .map(|k| make_ref(&format!("c{k}"), k as f64 + 1.0))
+            .collect();
+        let per_thread = 5usize;
+        std::thread::scope(|s| {
+            for chunk in refs.chunks(2) {
+                let (store, chunk) = (&store, chunk);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        for r in chunk {
+                            let key = CrosswalkKey::new("zip", "county", &[r]);
+                            store.insert(key, prepared(r));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        // 8 distinct keys re-inserted 5 times each: a re-insert of a key
+        // still cached replaces (no eviction); each eviction removed one
+        // entry. Exact conservation: what went in and is gone was evicted.
+        assert!(stats.entries <= 1 + 7); // capacity 1, transiently above
+        assert!(stats.evictions >= 7, "at least 7 distinct keys displaced");
+        assert!(
+            stats.evictions <= (per_thread * 8) as u64 - stats.entries as u64,
+            "counted more evictions ({}) than entries that could have left",
+            stats.evictions
+        );
+    }
+
+    #[test]
+    fn backing_read_through_and_write_behind() {
+        let dir =
+            std::env::temp_dir().join(format!("geoalign-core-backing-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = geoalign_store::StoreOptions {
+            segment_max_bytes: 64 << 20,
+            fsync: false,
+        };
+        let r = make_ref("pop", 1.0);
+        let key = CrosswalkKey::new("zip", "county", &[&r]);
+        {
+            let backing =
+                Arc::new(crate::durable::DurableBacking::open_with(&dir, opts.clone()).unwrap());
+            let store = CrosswalkStore::with_backing(4, Arc::clone(&backing));
+            let (_, hit) = store
+                .get_or_insert_with(&key, || GeoAlign::new().prepare(&[&r]))
+                .unwrap();
+            assert!(!hit, "first compute is a genuine miss");
+            backing.flush();
+        }
+        // Fresh cache, same disk: the miss is served from the store
+        // without running the prepare closure.
+        let backing = Arc::new(crate::durable::DurableBacking::open_with(&dir, opts).unwrap());
+        let store = CrosswalkStore::with_backing(4, backing);
+        let warm_before = geoalign_store::obs::warm_hits().get();
+        let (revived, hit) = store
+            .get_or_insert_with(&key, || panic!("warm start must not re-prepare"))
+            .unwrap();
+        assert!(hit, "disk revival counts as a hit");
+        assert_eq!(revived.n_source(), 2);
+        assert!(geoalign_store::obs::warm_hits().get() > warm_before);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

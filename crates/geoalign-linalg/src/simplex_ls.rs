@@ -73,6 +73,29 @@ impl GramSystem {
         })
     }
 
+    /// Reassembles a Gram state from its serialized parts — the exact
+    /// `gram` matrix and `frobenius` norm previously read out of an
+    /// instance built by [`GramSystem::new`]. Persisting the parts (as
+    /// bit patterns) and rebuilding through here yields a state that is
+    /// byte-identical to the original, which is what makes a
+    /// warm-started solve reproduce the cold one's results exactly.
+    pub fn from_parts(gram: DMatrix, frobenius: f64) -> Result<Self, LinalgError> {
+        if gram.nrows() == 0 || gram.ncols() == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if gram.nrows() != gram.ncols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gram_from_parts",
+                left: (gram.nrows(), gram.ncols()),
+                right: (gram.ncols(), gram.ncols()),
+            });
+        }
+        if !frobenius.is_finite() || frobenius < 0.0 {
+            return Err(LinalgError::NonFinite);
+        }
+        Ok(GramSystem { gram, frobenius })
+    }
+
     /// Number of columns of the underlying design matrix.
     pub fn n(&self) -> usize {
         self.gram.ncols()
@@ -81,6 +104,11 @@ impl GramSystem {
     /// The Gram matrix `AᵀA`.
     pub fn gram(&self) -> &DMatrix {
         &self.gram
+    }
+
+    /// The Frobenius norm `||A||_F` of the underlying design matrix.
+    pub fn frobenius(&self) -> f64 {
+        self.frobenius
     }
 
     /// `½ ||Aβ − b||²` expressed through the Gram state:
@@ -485,6 +513,32 @@ mod tests {
         );
         let s: f64 = beta.iter().sum();
         assert!((s - 1.0).abs() < 1e-9, "weights sum to {s}");
+    }
+
+    #[test]
+    fn gram_from_parts_is_bit_identical() {
+        let a = DMatrix::from_rows(&[&[1.0, 0.25], &[0.5, 3.0], &[2.0, 1.0]]).unwrap();
+        let gs = GramSystem::new(&a).unwrap();
+        let rebuilt = GramSystem::from_parts(gs.gram().clone(), gs.frobenius()).unwrap();
+        assert_eq!(rebuilt.n(), gs.n());
+        assert_eq!(rebuilt.frobenius().to_bits(), gs.frobenius().to_bits());
+        for j in 0..gs.n() {
+            for (x, y) in rebuilt.gram().column(j).iter().zip(gs.gram().column(j)) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Solves through the rebuilt state match the original exactly.
+        let atb = [0.7, 1.9];
+        let sol = solve_gram(&gs, &atb, 4.0, SimplexSolver::ActiveSet).unwrap();
+        let sol2 = solve_gram(&rebuilt, &atb, 4.0, SimplexSolver::ActiveSet).unwrap();
+        for (x, y) in sol.beta.iter().zip(&sol2.beta) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Defensive rejections.
+        assert!(GramSystem::from_parts(gs.gram().clone(), f64::NAN).is_err());
+        assert!(GramSystem::from_parts(gs.gram().clone(), -1.0).is_err());
+        let rect = DMatrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(GramSystem::from_parts(rect, 1.0).is_err());
     }
 
     #[test]

@@ -29,14 +29,16 @@ pub fn route(state: &AppState, req: &Request) -> Response {
         ("POST", "/systems") => post_systems(state, req),
         ("POST", "/references") => post_references(state, req),
         ("POST", "/crosswalk") => post_crosswalk(state, req),
+        ("POST", "/checkpoint") => post_checkpoint(state),
         ("GET", "/healthz") => Ok(get_healthz(state)),
         ("GET", "/metrics") => Ok(get_metrics(state, req)),
-        (_, "/systems" | "/references" | "/crosswalk" | "/healthz" | "/metrics") => {
-            Err(HttpError {
-                status: 405,
-                message: format!("method {} not allowed", req.method),
-            })
-        }
+        (
+            _,
+            "/systems" | "/references" | "/crosswalk" | "/checkpoint" | "/healthz" | "/metrics",
+        ) => Err(HttpError {
+            status: 405,
+            message: format!("method {} not allowed", req.method),
+        }),
         _ => Err(HttpError {
             status: 404,
             message: format!("no route for {}", req.path),
@@ -71,6 +73,7 @@ fn array_field<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], HttpError> {
 fn core_error(e: &CoreError) -> HttpError {
     let status = match e {
         CoreError::UnknownReference { .. } => 404,
+        CoreError::Persist { .. } => 500,
         _ => 400,
     };
     HttpError {
@@ -95,6 +98,11 @@ fn post_systems(state: &AppState, req: &Request) -> Result<Response, HttpError> 
         return Err(HttpError::bad_request("'units' must not be empty"));
     }
     let n = units.len();
+    // Write through before registering: a system the durable store never
+    // saw would orphan every reference on it at the next warm start.
+    state
+        .persist_system(name, &units)
+        .map_err(|e| core_error(&e))?;
     state.pipeline_mut().register_system(name, units);
     Ok(Response::json(
         Json::object([
@@ -158,10 +166,22 @@ fn post_references(state: &AppState, req: &Request) -> Result<Response, HttpErro
         .map_err(|e| HttpError::bad_request(e.to_string()))?;
     let nnz = dm.nnz();
     let reference = ReferenceData::from_dm(name, dm).map_err(|e| core_error(&e))?;
+    // Register before persisting: a record the registry rejected must
+    // never reach the WAL, where it would fail replay at the next boot.
     pipeline
-        .register_reference(source, target, reference)
+        .register_reference(source, target, reference.clone())
         .map_err(|e| core_error(&e))?;
     let count = pipeline.reference_count(source, target);
+    // Persist while still holding the pipeline write lock: the durable
+    // ref/<nnnnnnnn> index must be assigned in registration order, or a
+    // warm start would replay concurrent registrations in a different
+    // order than the cold pipeline saw them and break the byte-identical
+    // warm-start guarantee. Registration is rare; the fsync under the
+    // lock is acceptable.
+    state
+        .persist_reference(source, target, &reference)
+        .map_err(|e| core_error(&e))?;
+    drop(pipeline);
     Ok(Response::json(
         Json::object([
             ("registered", Json::from(name)),
@@ -255,6 +275,73 @@ fn post_crosswalk(state: &AppState, req: &Request) -> Result<Response, HttpError
     ))
 }
 
+/// `POST /checkpoint` — flushes the write-behind persister, snapshots the
+/// durable store, and truncates the WAL. `409` when the server runs
+/// without `--data-dir` (there is nothing to checkpoint).
+fn post_checkpoint(state: &AppState) -> Result<Response, HttpError> {
+    let Some(backing) = state.durable() else {
+        return Err(HttpError {
+            status: 409,
+            message: "no durable store: server started without --data-dir".to_owned(),
+        });
+    };
+    let report = backing.checkpoint().map_err(|e| core_error(&e))?;
+    Ok(Response::json(
+        Json::object([
+            ("seq", Json::Number(report.seq as f64)),
+            ("records", Json::Number(report.records as f64)),
+            ("snapshot_bytes", Json::Number(report.snapshot_bytes as f64)),
+            (
+                "wal_segments_removed",
+                Json::Number(report.wal_segments_removed as f64),
+            ),
+        ])
+        .to_string()
+        .into_bytes(),
+    ))
+}
+
+/// The `durability` object in `/healthz`: whether a durable store is
+/// attached and, when it is, what recovery found at boot — replayed WAL
+/// records, snapshot records, torn-tail and corruption repairs.
+fn durability_json(state: &AppState) -> Json {
+    let Some(backing) = state.durable() else {
+        return Json::object([("enabled", Json::Bool(false))]);
+    };
+    let store = backing.store();
+    let recovery = store.recovery();
+    let opt_str = |s: &Option<String>| match s {
+        Some(v) => Json::from(v.as_str()),
+        None => Json::Null,
+    };
+    Json::object([
+        ("enabled", Json::Bool(true)),
+        ("entries", Json::Number(store.len() as f64)),
+        ("last_seq", Json::Number(store.last_seq() as f64)),
+        (
+            "recovery",
+            Json::object([
+                (
+                    "snapshot_records",
+                    Json::Number(recovery.snapshot_records as f64),
+                ),
+                ("snapshot_defect", opt_str(&recovery.snapshot_defect)),
+                ("wal_segments", Json::Number(recovery.wal_segments as f64)),
+                (
+                    "wal_records_replayed",
+                    Json::Number(recovery.wal_records_replayed as f64),
+                ),
+                ("repairs", Json::Number(recovery.repairs as f64)),
+                ("torn_tail", opt_str(&recovery.torn_tail)),
+                (
+                    "replay_micros",
+                    Json::Number(recovery.replay.as_micros().min(u128::from(u64::MAX)) as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
 /// `GET /healthz` — readiness detail: cached crosswalks, uptime, and the
 /// build this binary came from (`GEOALIGN_GIT_HASH` is stamped at build
 /// time when available; "unknown" otherwise).
@@ -277,6 +364,7 @@ fn get_healthz(state: &AppState) -> Response {
                 "uptime_seconds",
                 Json::Number(state.uptime().as_secs() as f64),
             ),
+            ("durability", durability_json(state)),
             ("build", build),
         ])
         .to_string()
@@ -546,6 +634,131 @@ mod tests {
         let r = route(&state, &request("GET", "/metrics", ""));
         assert_eq!(r.content_type, "application/json");
         assert!(body_json(&r).get("request_latency").is_some());
+    }
+
+    #[test]
+    fn checkpoint_without_data_dir_is_409() {
+        let state = AppState::new(4);
+        let r = route(&state, &request("POST", "/checkpoint", ""));
+        assert_eq!(r.status, 409);
+        assert!(String::from_utf8_lossy(&r.body).contains("--data-dir"));
+        // And /healthz says durability is off.
+        let health = body_json(&route(&state, &request("GET", "/healthz", "")));
+        let durability = health.get("durability").unwrap();
+        assert_eq!(durability.get("enabled"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn checkpoint_and_healthz_report_durable_detail() {
+        let dir = std::env::temp_dir().join(format!("geoalign-router-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let state = AppState::open_durable(&dir, 8).unwrap();
+            let r = route(
+                &state,
+                &request("POST", "/systems", r#"{"name":"zip","units":["z1","z2"]}"#),
+            );
+            assert_eq!(r.status, 200);
+            let r = route(
+                &state,
+                &request("POST", "/systems", r#"{"name":"county","units":["A","B"]}"#),
+            );
+            assert_eq!(r.status, 200);
+            let r = route(
+                &state,
+                &request(
+                    "POST",
+                    "/references",
+                    r#"{"source":"zip","target":"county","name":"pop",
+                       "entries":[["z1","A",10],["z1","B",30],["z2","B",5]]}"#,
+                ),
+            );
+            assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+            let r = route(&state, &request("POST", "/checkpoint", ""));
+            assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+            let doc = body_json(&r);
+            assert_eq!(doc.get("records").unwrap().as_f64(), Some(3.0));
+            assert!(doc.get("snapshot_bytes").unwrap().as_f64().unwrap() > 0.0);
+        }
+        // Reopen: the registrations came back through the snapshot, and
+        // /healthz carries the recovery detail.
+        let state = AppState::open_durable(&dir, 8).unwrap();
+        let health = body_json(&route(&state, &request("GET", "/healthz", "")));
+        let durability = health.get("durability").unwrap();
+        assert_eq!(durability.get("enabled"), Some(&Json::Bool(true)));
+        assert_eq!(durability.get("entries").unwrap().as_f64(), Some(3.0));
+        let recovery = durability.get("recovery").unwrap();
+        assert_eq!(
+            recovery.get("snapshot_records").unwrap().as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(recovery.get("repairs").unwrap().as_f64(), Some(0.0));
+        assert_eq!(recovery.get("torn_tail"), Some(&Json::Null));
+        let body = r#"{"source":"zip","target":"county",
+            "attributes":[{"name":"x","values":[4,6]}]}"#;
+        let r = route(&state, &request("POST", "/crosswalk", body));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_reference_posts_persist_in_registration_order() {
+        // Regression: the ref/<nnnnnnnn> index must be assigned while the
+        // pipeline write lock is held, so racing POSTs persist in the
+        // same order they registered and warm-start replay reproduces the
+        // cold pipeline's reference sequence exactly.
+        let dir =
+            std::env::temp_dir().join(format!("geoalign-router-reforder-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold_order: Vec<String> = {
+            let state = AppState::open_durable(&dir, 8).unwrap();
+            let r = route(
+                &state,
+                &request("POST", "/systems", r#"{"name":"zip","units":["z1","z2"]}"#),
+            );
+            assert_eq!(r.status, 200);
+            let r = route(
+                &state,
+                &request("POST", "/systems", r#"{"name":"county","units":["A","B"]}"#),
+            );
+            assert_eq!(r.status, 200);
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let state = &state;
+                    s.spawn(move || {
+                        for i in 0..5 {
+                            let body = format!(
+                                r#"{{"source":"zip","target":"county","name":"r{t}-{i}",
+                                   "entries":[["z1","A",10],["z1","B",30],["z2","B",5]]}}"#
+                            );
+                            let r = route(state, &request("POST", "/references", &body));
+                            assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+                        }
+                    });
+                }
+            });
+            let order: Vec<String> = state
+                .pipeline()
+                .references("zip", "county")
+                .iter()
+                .map(|r| r.name().to_owned())
+                .collect();
+            order
+        };
+        assert_eq!(cold_order.len(), 20);
+
+        let state = AppState::open_durable(&dir, 8).unwrap();
+        let warm_order: Vec<String> = state
+            .pipeline()
+            .references("zip", "county")
+            .iter()
+            .map(|r| r.name().to_owned())
+            .collect();
+        assert_eq!(
+            warm_order, cold_order,
+            "warm-start replay must preserve registration order"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct ServerConfig {
     /// (`Connection: close` on the last response), so no client can pin
     /// a worker forever (`serve --max-requests-per-conn`).
     pub max_requests_per_conn: usize,
+    /// Directory of the durable store (`serve --data-dir`). When set, the
+    /// server warm-starts its registry from disk at boot and persists
+    /// registrations and prepared crosswalks; `None` serves from memory
+    /// only.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 /// Default queue bound for connections waiting on a worker.
@@ -73,6 +78,7 @@ impl Default for ServerConfig {
             max_connections: DEFAULT_MAX_CONNECTIONS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             max_requests_per_conn: DEFAULT_MAX_REQUESTS_PER_CONN,
+            data_dir: None,
         }
     }
 }
@@ -92,7 +98,12 @@ impl Server {
     /// once the socket is bound (so the port is immediately connectable —
     /// handy for tests binding port 0).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
-        Self::bind_with_state(addr, config.clone(), AppState::new(config.cache_capacity))
+        let state = match &config.data_dir {
+            Some(dir) => AppState::open_durable(dir, config.cache_capacity)
+                .map_err(|e| io::Error::other(format!("opening durable store: {e}")))?,
+            None => AppState::new(config.cache_capacity),
+        };
+        Self::bind_with_state(addr, config.clone(), state)
     }
 
     /// Like [`Server::bind`] but serving pre-populated state.
@@ -139,10 +150,16 @@ impl Server {
                         Ok(()) => {}
                         // Workers and queue saturated: shed from the
                         // accept thread instead of queueing unboundedly.
-                        Err(RejectedJob::Saturated(s)) => shed_connection(s, &accept_state),
-                        // Closed can only happen after shutdown closed
-                        // the pool; the connection is dropped with it.
-                        Err(RejectedJob::Closed(_)) => {}
+                        Err(RejectedJob::Saturated(s)) => {
+                            shed_connection(s, &accept_state, "saturated");
+                        }
+                        // The pool closed under shutdown while this
+                        // connection was already accepted: tell the
+                        // client to retry elsewhere instead of dropping
+                        // the socket without a byte.
+                        Err(RejectedJob::Closed(s)) => {
+                            shed_connection(s, &accept_state, "draining");
+                        }
                     },
                     Err(_) => continue,
                 }
@@ -188,17 +205,33 @@ impl Server {
     }
 }
 
-/// Answers a connection the pool had no room for: `503` with a
-/// `Retry-After` hint, written from the accept thread with a short write
-/// timeout so a slow reader cannot stall accepting.
-fn shed_connection(mut stream: TcpStream, state: &Arc<AppState>) {
+/// Answers a connection the pool could not take — saturated queue or a
+/// pool already draining for shutdown: `503` with a `Retry-After` hint,
+/// written from the accept thread with a short write timeout so a slow
+/// reader cannot stall accepting. Every shed lands one JSON line in the
+/// access log (there is no request to log, so the line carries the
+/// `reason` instead of a request line).
+fn shed_connection(mut stream: TcpStream, state: &Arc<AppState>, reason: &str) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let mut response = Response::error(503, "server saturated, retry shortly");
     response.connection_close = true;
     response.set_header("Retry-After", "1");
     state.metrics.shed.inc();
     state.metrics.record_request(503, Duration::ZERO);
+    state.log_access(&shed_log_line(reason));
     let _ = response.write_to(&mut stream);
+}
+
+/// One JSON access-log line for a shed connection.
+fn shed_log_line(reason: &str) -> String {
+    use crate::json::Json;
+    Json::object([
+        ("event", Json::from("shed")),
+        ("reason", Json::from(reason)),
+        ("status", Json::Number(503.0)),
+        ("retry_after_seconds", Json::Number(1.0)),
+    ])
+    .to_string()
 }
 
 /// Serves one connection: parse, route, respond — repeatedly, until the
@@ -398,6 +431,53 @@ mod tests {
         assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
         assert!(reply.contains("Connection: close\r\n"), "{reply}");
         server.shutdown();
+    }
+
+    #[test]
+    fn shed_answers_503_with_retry_after_and_logs_the_event() {
+        use std::sync::Mutex;
+        // A connected socket pair through a throwaway listener: the
+        // server half plays the connection the pool rejected.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_half, _) = listener.accept().unwrap();
+
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let state = AppState::new(4);
+        state.set_access_log(Box::new(SharedSink(Arc::clone(&log))));
+
+        // The shutdown-race path: the pool closed with this connection
+        // already accepted (RejectedJob::Closed).
+        shed_connection(server_half, &state, "draining");
+
+        let mut reply = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match client.read(&mut chunk).unwrap() {
+                0 => break,
+                n => reply.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let reply = String::from_utf8(reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+        assert!(reply.contains("Retry-After: 1\r\n"), "{reply}");
+        assert!(reply.contains("Connection: close\r\n"), "{reply}");
+
+        let logged = String::from_utf8(log.lock().unwrap().clone()).unwrap();
+        assert!(logged.contains(r#""event":"shed""#), "{logged}");
+        assert!(logged.contains(r#""reason":"draining""#), "{logged}");
+        assert!(logged.contains(r#""status":503"#), "{logged}");
+        assert_eq!(state.metrics.shed.get(), 1);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 
 use crate::metrics::Metrics;
 use geoalign_core::{
-    CoreError, CrosswalkKey, CrosswalkStore, IntegrationPipeline, PreparedCrosswalk, ReferenceData,
+    persist, CoreError, CrosswalkKey, CrosswalkStore, DurableBacking, IntegrationPipeline,
+    PreparedCrosswalk, ReferenceData,
 };
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
@@ -24,6 +26,11 @@ pub struct AppState {
     pub metrics: Metrics,
     started: Instant,
     access_log: Mutex<Option<Box<dyn Write + Send>>>,
+    /// The durable tier (`serve --data-dir`): registrations are written
+    /// through synchronously, prepared crosswalks behind the cache.
+    durable: Option<Arc<DurableBacking>>,
+    /// Next `ref/<nnnnnnnn>` key index — one past the highest replayed.
+    next_ref_index: AtomicU64,
 }
 
 impl std::fmt::Debug for AppState {
@@ -51,7 +58,109 @@ impl AppState {
             metrics: Metrics::default(),
             started: Instant::now(),
             access_log: Mutex::new(None),
+            durable: None,
+            next_ref_index: AtomicU64::new(0),
         })
+    }
+
+    /// State backed by the durable store at `data_dir` (`serve
+    /// --data-dir`). Opens (or creates) the store — running its recovery:
+    /// snapshot load, WAL replay, torn-tail repair — then warm-starts the
+    /// registry by replaying every persisted unit system and reference
+    /// registration into a fresh pipeline. Prepared crosswalks revive
+    /// lazily through the cache's read-through, so the first `/crosswalk`
+    /// after a restart answers from disk without re-running the solver.
+    pub fn open_durable(
+        data_dir: impl AsRef<std::path::Path>,
+        cache_capacity: usize,
+    ) -> Result<Arc<Self>, CoreError> {
+        let backing = Arc::new(DurableBacking::open(data_dir)?);
+        let mut pipeline = IntegrationPipeline::new();
+
+        // Replay systems first: references validate against them.
+        for (key, bytes) in backing.store().iter_prefix(persist::SYSTEM_PREFIX) {
+            let Some(name) = persist::system_name_from_key(&key) else {
+                continue;
+            };
+            let units = persist::decode_unit_system(&bytes)?;
+            pipeline.register_system(name, units);
+        }
+        // `ref/<nnnnnnnn>` keys sort in registration order, so the warm
+        // pipeline sees the same sequence the cold one did.
+        let mut next_ref_index = 0u64;
+        for (key, bytes) in backing.store().iter_prefix(persist::REFERENCE_PREFIX) {
+            let (source, target, data) = persist::decode_reference(&bytes)?;
+            pipeline.register_reference(&source, &target, data)?;
+            if let Some(idx) = key
+                .strip_prefix(persist::REFERENCE_PREFIX)
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                next_ref_index = next_ref_index.max(idx + 1);
+            }
+        }
+
+        Ok(Arc::new(AppState {
+            pipeline: RwLock::new(pipeline),
+            cache: CrosswalkStore::with_backing(cache_capacity, Arc::clone(&backing)),
+            metrics: Metrics::default(),
+            started: Instant::now(),
+            access_log: Mutex::new(None),
+            durable: Some(backing),
+            next_ref_index: AtomicU64::new(next_ref_index),
+        }))
+    }
+
+    /// The durable tier, when the server was started with `--data-dir`.
+    pub fn durable(&self) -> Option<&Arc<DurableBacking>> {
+        self.durable.as_ref()
+    }
+
+    /// Writes a unit-system registration through to the durable store.
+    /// Registration is rare and losing one would orphan every reference
+    /// on it, so this is a synchronous durable append (unlike prepared
+    /// crosswalks, which are persisted behind the response).
+    pub fn persist_system(&self, name: &str, unit_ids: &[String]) -> Result<(), CoreError> {
+        let Some(backing) = &self.durable else {
+            return Ok(());
+        };
+        backing
+            .store()
+            .put(
+                &persist::system_key(name),
+                persist::encode_unit_system(unit_ids),
+            )
+            .map_err(|e| CoreError::Persist {
+                detail: e.to_string(),
+            })?;
+        Ok(())
+    }
+
+    /// Writes a reference registration through to the durable store under
+    /// the next `ref/<nnnnnnnn>` key. Synchronous, like
+    /// [`Self::persist_system`]. Callers that can race (the `/references`
+    /// handler) must invoke this while still holding the pipeline write
+    /// lock, so the persisted index order matches registration order and
+    /// warm-start replay sees the same sequence the cold pipeline did.
+    pub fn persist_reference(
+        &self,
+        source: &str,
+        target: &str,
+        reference: &ReferenceData,
+    ) -> Result<(), CoreError> {
+        let Some(backing) = &self.durable else {
+            return Ok(());
+        };
+        let index = self.next_ref_index.fetch_add(1, Ordering::SeqCst);
+        backing
+            .store()
+            .put(
+                &persist::reference_key(index),
+                persist::encode_reference(source, target, reference),
+            )
+            .map_err(|e| CoreError::Persist {
+                detail: e.to_string(),
+            })?;
+        Ok(())
     }
 
     /// Time since this state was created (the server's uptime).
@@ -184,5 +293,68 @@ mod tests {
     fn missing_crosswalk_is_an_error() {
         let state = populated();
         assert!(state.prepared_crosswalk("county", "zip").is_err());
+    }
+
+    #[test]
+    fn durable_state_warm_starts_registry_and_crosswalks() {
+        let dir = std::env::temp_dir().join(format!("geoalign-serve-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cold_estimate: Vec<f64> = {
+            let state = AppState::open_durable(&dir, 8).unwrap();
+            {
+                let mut p = state.pipeline_mut();
+                p.register_system("zip", ["z1", "z2"]);
+                p.register_system("county", ["A", "B"]);
+            }
+            state
+                .persist_system("zip", &["z1".to_owned(), "z2".to_owned()])
+                .unwrap();
+            state
+                .persist_system("county", &["A".to_owned(), "B".to_owned()])
+                .unwrap();
+            let dm = DisaggregationMatrix::from_triples(
+                "pop",
+                2,
+                2,
+                [(0, 0, 10.0), (0, 1, 30.0), (1, 1, 5.0)],
+            )
+            .unwrap();
+            let reference = ReferenceData::from_dm("pop", dm).unwrap();
+            state
+                .pipeline_mut()
+                .register_reference("zip", "county", reference.clone())
+                .unwrap();
+            state
+                .persist_reference("zip", "county", &reference)
+                .unwrap();
+
+            let (prepared, hit) = state.prepared_crosswalk("zip", "county").unwrap();
+            assert!(!hit);
+            let obj = geoalign_partition::AggregateVector::new("o", vec![7.0, 11.0]).unwrap();
+            let result = prepared.apply_values(&obj).unwrap();
+            state.durable().unwrap().flush();
+            result.estimate
+        };
+
+        // A fresh state over the same directory replays the registry and
+        // revives the prepared crosswalk from disk: the closure would
+        // panic if the solver ran again.
+        let state = AppState::open_durable(&dir, 8).unwrap();
+        assert!(state.pipeline().has_system("zip"));
+        assert!(state.pipeline().has_system("county"));
+        assert_eq!(state.pipeline().references("zip", "county").len(), 1);
+        let (prepared, hit) = state.prepared_crosswalk("zip", "county").unwrap();
+        assert!(hit, "warm start must revive the prepared crosswalk");
+        let obj = geoalign_partition::AggregateVector::new("o", vec![7.0, 11.0]).unwrap();
+        let warm = prepared.apply_values(&obj).unwrap();
+        for (w, c) in warm.estimate.iter().zip(&cold_estimate) {
+            assert_eq!(
+                w.to_bits(),
+                c.to_bits(),
+                "warm answer must be byte-identical"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

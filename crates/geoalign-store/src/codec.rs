@@ -1,0 +1,295 @@
+//! Length-prefixed little-endian binary primitives — the byte-level
+//! vocabulary every on-disk payload in this workspace is written in.
+//!
+//! The writer is infallible (it only grows a `Vec<u8>`); the reader
+//! returns [`CodecError`] on any truncation or malformed length so a
+//! corrupt payload can never panic the decoder. Floats are stored as
+//! exact IEEE-754 bit patterns, which is what makes a decoded
+//! `PreparedCrosswalk` byte-identical to the one that was encoded.
+
+use std::fmt;
+
+/// A malformed or truncated binary payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What the decoder was reading when the payload ran out or lied.
+    pub detail: String,
+}
+
+impl CodecError {
+    /// A codec error with the given detail message. Public so domain
+    /// codecs layered on [`ByteReader`] can raise their own.
+    pub fn new(detail: impl Into<String>) -> Self {
+        CodecError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed payload: {}", self.detail)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer pre-sized for roughly `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its exact IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by the string's UTF-8 bytes.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by the raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        debug_assert!(b.len() <= u32::MAX as usize);
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a `u64` count followed by each value's bit pattern.
+    pub fn f64_slice(&mut self, values: &[f64]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.f64(v);
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The finished payload.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                CodecError::new(format!(
+                    "{what}: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a raw byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` that must fit a `usize` (a count or dimension).
+    pub fn len_u64(&mut self, what: &str) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::new(format!("{what}: {v} overflows usize")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32`-length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.u32()? as usize;
+        self.take(n, "length-prefixed bytes")
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|e| CodecError::new(format!("string is not UTF-8: {e}")))
+    }
+
+    /// Reads a `u64`-count-prefixed `f64` vector.
+    pub fn f64_vec(&mut self, what: &str) -> Result<Vec<f64>, CodecError> {
+        let n = self.len_u64(what)?;
+        // Guard against a lying count before allocating.
+        if n.checked_mul(8)
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(CodecError::new(format!(
+                "{what}: count {n} exceeds remaining payload"
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the payload is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails unless the payload is fully consumed — catches payloads with
+    /// trailing garbage that a partial decode would silently accept.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::new(format!(
+                "{} unexpected trailing bytes",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.str("unit système");
+        w.bytes(&[1, 2, 3]);
+        w.f64_slice(&[1.5, -2.5]);
+        let buf = w.into_vec();
+
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "unit système");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.f64_vec("v").unwrap(), vec![1.5, -2.5]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.str("hello");
+        let buf = w.into_vec();
+        for cut in 0..buf.len() {
+            let mut r = ByteReader::new(&buf[..cut]);
+            assert!(r.str().is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn lying_length_prefixes_are_rejected() {
+        // Claims 1000 bytes follow, provides 2.
+        let mut w = ByteWriter::new();
+        w.u32(1000);
+        w.u8(1);
+        w.u8(2);
+        let buf = w.into_vec();
+        assert!(ByteReader::new(&buf).bytes().is_err());
+
+        // f64 vector claiming more entries than the payload can hold.
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX);
+        let buf = w.into_vec();
+        assert!(ByteReader::new(&buf).f64_vec("v").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_caught() {
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        r.u8().unwrap();
+        assert!(r.expect_end().is_err());
+        r.u8().unwrap();
+        r.expect_end().unwrap();
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the persistence layer.
+
+use crate::codec::CodecError;
+use std::fmt;
+use std::path::Path;
+
+/// Errors raised by the store, WAL, and snapshot machinery.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure, with the path and operation that
+    /// failed.
+    Io {
+        /// What the store was doing (e.g. `"append wal-00000001.log"`).
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// On-disk bytes that fail validation beyond what recovery repairs —
+    /// e.g. a snapshot with a bad magic number.
+    Corrupt {
+        /// What was found where.
+        context: String,
+    },
+    /// A record payload that decoded incorrectly.
+    Codec(CodecError),
+}
+
+impl StoreError {
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn io_at(op: &str, path: &Path, source: std::io::Error) -> Self {
+        StoreError::Io {
+            context: format!("{op} {}", path.display()),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(context: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "I/O error: {context}: {source}"),
+            StoreError::Corrupt { context } => write!(f, "corrupt store: {context}"),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Codec(e) => Some(e),
+            StoreError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}

@@ -1,0 +1,53 @@
+//! # geoalign-store
+//!
+//! Crash-safe persistence for GeoAlign serving state, built on `std`
+//! alone: a string-keyed map of opaque byte values, durably backed by an
+//! append-only write-ahead log and periodic compacted snapshots.
+//!
+//! The crate is deliberately domain-blind — it stores `Vec<u8>` and
+//! knows nothing about unit systems or crosswalks. The domain codecs
+//! live in `geoalign-core::persist`, which keeps the dependency arrow
+//! pointing the right way (core depends on store, never the reverse).
+//!
+//! ## Durability contract
+//!
+//! * [`Store::put`] / [`Store::delete`] return only after the mutation
+//!   is framed, checksummed, appended to the current WAL segment, and
+//!   fsynced (unless opened with [`StoreOptions::fsync`] `= false`).
+//! * [`Store::checkpoint`] writes a sorted snapshot to a temp file,
+//!   fsyncs it, atomically renames it into place, fsyncs the directory,
+//!   rotates to a fresh WAL segment, and deletes the segments the
+//!   snapshot made redundant. The rename is the commit point.
+//! * [`Store::open`] replays: snapshot first (a damaged snapshot is
+//!   discarded wholesale and counted as a repair), then every WAL record
+//!   with a sequence number past the snapshot's. A torn tail — the
+//!   half-written record a crash leaves behind — is detected by length
+//!   framing + CRC-32 and truncated away; the store recovers to the last
+//!   *committed* write, never to a partial one.
+//!
+//! ## Concurrency contract
+//!
+//! Reads take a shared lock on the in-memory map and never touch disk.
+//! Writes serialize on an internal writer mutex; a mutation becomes
+//! visible to readers only after it is durable. `&Store` is `Sync` —
+//! share it behind an `Arc` freely.
+//!
+//! On-disk format details are documented in `DESIGN.md` §11.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+mod crc32;
+mod error;
+pub mod obs;
+mod snapshot;
+mod store;
+mod wal;
+
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use crc32::crc32;
+pub use error::StoreError;
+pub use store::{
+    first_segment_path, is_store_dir, CheckpointReport, RecoveryReport, SegmentVerify, Store,
+    StoreOptions, VerifyReport, WAL_HEADER_BYTES,
+};

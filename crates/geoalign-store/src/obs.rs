@@ -1,0 +1,67 @@
+//! Metric handles for the persistence layer, registered once in the
+//! process-global [`Registry`](geoalign_obs::Registry) under the
+//! workspace convention `geoalign_<crate>_<name>_<unit>` (DESIGN.md §8).
+//!
+//! The handles are `pub` (unlike the other crates' `pub(crate)` obs
+//! modules) because the durable cache tier lives in `geoalign-core`: a
+//! read-through that revives a prepared crosswalk from disk is a *store*
+//! warm hit even though core's code path records it.
+
+use geoalign_obs::{Counter, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
+
+macro_rules! global_histogram {
+    ($fn_name:ident, $metric:literal, $help:literal) => {
+        /// Cached global handle for the metric named in the body.
+        pub fn $fn_name() -> &'static Arc<Histogram> {
+            static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+            H.get_or_init(|| Registry::global().histogram($metric, $help))
+        }
+    };
+}
+
+macro_rules! global_counter {
+    ($fn_name:ident, $metric:literal, $help:literal) => {
+        /// Cached global handle for the metric named in the body.
+        pub fn $fn_name() -> &'static Counter {
+            static C: OnceLock<Counter> = OnceLock::new();
+            C.get_or_init(|| Registry::global().counter($metric, $help))
+        }
+    };
+}
+
+global_counter!(
+    wal_appends,
+    "geoalign_store_wal_appends_total",
+    "Records appended to the write-ahead log"
+);
+global_counter!(
+    checkpoints,
+    "geoalign_store_checkpoints_total",
+    "Snapshots checkpointed (compacted + WAL truncated)"
+);
+global_counter!(
+    corruption_repairs,
+    "geoalign_store_corruption_repairs_total",
+    "Corruption events repaired on recovery (torn tails truncated, bad records dropped)"
+);
+global_counter!(
+    warm_hits,
+    "geoalign_store_warm_hits_total",
+    "Cold cache lookups served from the durable store instead of recomputing"
+);
+global_histogram!(
+    fsync_micros,
+    "geoalign_store_wal_fsync_micros",
+    "Wall time of the fsync that commits each WAL append"
+);
+global_histogram!(
+    replay_micros,
+    "geoalign_store_replay_micros",
+    "Wall time of snapshot load + WAL replay on Store::open"
+);
+global_histogram!(
+    snapshot_bytes,
+    "geoalign_store_snapshot_bytes",
+    "Size of each checkpointed snapshot file in bytes"
+);

@@ -1,0 +1,284 @@
+//! Compacted snapshots: a point-in-time image of the whole key space,
+//! written atomically so a crash mid-checkpoint can never damage the
+//! previous snapshot.
+//!
+//! Layout: `[GASN magic][u32 version][u64 seq][u64 count]` followed by
+//! `count` CRC-framed entries (`[u32 len][u32 crc][key][value]`). The
+//! file is written to `snapshot.tmp`, fsynced, renamed over
+//! `snapshot.snap`, and the directory is fsynced — the rename is the
+//! commit point. A snapshot that fails validation on load is discarded
+//! wholesale (counted as a corruption repair) and the map is rebuilt
+//! from the WAL alone.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use crate::wal::sync_dir;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening a snapshot file.
+pub(crate) const SNAP_MAGIC: [u8; 4] = *b"GASN";
+/// Snapshot header bytes: magic + version + seq + count.
+const SNAP_HEADER_BYTES: usize = 4 + 4 + 8 + 8;
+
+/// Committed snapshot file inside `dir`.
+pub(crate) fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.snap")
+}
+
+fn snapshot_tmp_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.tmp")
+}
+
+/// A decoded snapshot.
+#[derive(Debug)]
+pub(crate) struct SnapshotData {
+    /// The WAL sequence number the snapshot covers: every mutation with
+    /// `seq <= seq` is already folded into `entries`.
+    pub seq: u64,
+    /// All live key/value pairs at `seq`, sorted by key.
+    pub entries: Vec<(String, Vec<u8>)>,
+}
+
+/// Result of attempting to load the snapshot.
+#[derive(Debug)]
+pub(crate) struct SnapshotLoad {
+    /// The snapshot, when one was present and intact.
+    pub data: Option<SnapshotData>,
+    /// Why a present snapshot was rejected (`None` when absent or clean).
+    pub defect: Option<String>,
+}
+
+/// Writes `entries` as a snapshot covering `seq`, atomically. Entries
+/// are sorted by key before writing so identical contents always produce
+/// identical bytes. Returns the snapshot's size in bytes.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    seq: u64,
+    entries: &mut [(String, Vec<u8>)],
+) -> Result<u64, StoreError> {
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut buf = Vec::with_capacity(
+        SNAP_HEADER_BYTES
+            + entries
+                .iter()
+                .map(|(k, v)| 16 + k.len() + v.len())
+                .sum::<usize>(),
+    );
+    buf.extend_from_slice(&SNAP_MAGIC);
+    buf.extend_from_slice(&crate::wal::FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (key, value) in entries.iter() {
+        let mut payload = ByteWriter::with_capacity(8 + key.len() + value.len());
+        payload.str(key);
+        payload.bytes(value);
+        let payload = payload.into_vec();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+
+    let tmp = snapshot_tmp_path(dir);
+    let mut file = File::create(&tmp).map_err(|e| StoreError::io_at("create", &tmp, e))?;
+    file.write_all(&buf)
+        .map_err(|e| StoreError::io_at("write", &tmp, e))?;
+    file.sync_all()
+        .map_err(|e| StoreError::io_at("fsync", &tmp, e))?;
+    drop(file);
+    let dst = snapshot_path(dir);
+    std::fs::rename(&tmp, &dst).map_err(|e| StoreError::io_at("rename", &dst, e))?;
+    sync_dir(dir)?;
+    crate::obs::snapshot_bytes().record_value(buf.len() as u64);
+    Ok(buf.len() as u64)
+}
+
+/// Loads and validates the snapshot, if one exists. Any defect — bad
+/// magic, bad version, checksum mismatch, truncation, a lying count —
+/// rejects the whole file (snapshots are all-or-nothing; a partial image
+/// would silently lose keys).
+pub(crate) fn load_snapshot(dir: &Path) -> Result<SnapshotLoad, StoreError> {
+    let path = snapshot_path(dir);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(SnapshotLoad {
+                data: None,
+                defect: None,
+            })
+        }
+        Err(e) => return Err(StoreError::io_at("read", &path, e)),
+    };
+    match parse_snapshot(&bytes) {
+        Ok(data) => Ok(SnapshotLoad {
+            data: Some(data),
+            defect: None,
+        }),
+        Err(defect) => Ok(SnapshotLoad {
+            data: None,
+            defect: Some(defect),
+        }),
+    }
+}
+
+fn parse_snapshot(bytes: &[u8]) -> Result<SnapshotData, String> {
+    if bytes.len() < SNAP_HEADER_BYTES {
+        return Err("snapshot shorter than its header".to_owned());
+    }
+    if bytes[..4] != SNAP_MAGIC {
+        return Err("bad snapshot magic".to_owned());
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != crate::wal::FORMAT_VERSION {
+        return Err(format!("unsupported snapshot format version {version}"));
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let count = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
+    let count = usize::try_from(count).map_err(|_| format!("entry count {count} overflows"))?;
+    if count > bytes.len() {
+        // Each entry takes at least one byte of frame; a count larger
+        // than the file is a lie — reject before reserving memory.
+        return Err(format!("entry count {count} exceeds file size"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    let mut pos = SNAP_HEADER_BYTES;
+    for i in 0..count {
+        if bytes.len() - pos < 8 {
+            return Err(format!("torn frame header for entry {i}"));
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let crc = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        let start = pos + 8;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| format!("torn payload for entry {i}"))?;
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            return Err(format!("checksum mismatch for entry {i}"));
+        }
+        let mut r = ByteReader::new(payload);
+        let decode = (|| -> Result<(String, Vec<u8>), crate::codec::CodecError> {
+            let key = r.str()?.to_owned();
+            let value = r.bytes()?.to_vec();
+            r.expect_end()?;
+            Ok((key, value))
+        })();
+        match decode {
+            Ok(pair) => entries.push(pair),
+            Err(e) => return Err(format!("undecodable entry {i}: {e}")),
+        }
+        pos = end;
+    }
+    if pos != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after last entry",
+            bytes.len() - pos
+        ));
+    }
+    Ok(SnapshotData { seq, entries })
+}
+
+/// Removes a rejected snapshot (and any stale tmp file) so the next
+/// checkpoint starts clean.
+pub(crate) fn discard_snapshot(dir: &Path) -> Result<(), StoreError> {
+    for path in [snapshot_path(dir), snapshot_tmp_path(dir)] {
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::io_at("remove", &path, e)),
+        }
+    }
+    sync_dir(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("geoalign-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_and_sorted_determinism() {
+        let dir = tmp_dir("roundtrip");
+        let mut entries = vec![
+            ("zeta".to_owned(), b"z".to_vec()),
+            ("alpha".to_owned(), vec![0u8; 64]),
+        ];
+        let size = write_snapshot(&dir, 42, &mut entries).unwrap();
+        assert!(size > 0);
+        let first = std::fs::read(snapshot_path(&dir)).unwrap();
+
+        let load = load_snapshot(&dir).unwrap();
+        assert!(load.defect.is_none());
+        let data = load.data.unwrap();
+        assert_eq!(data.seq, 42);
+        assert_eq!(data.entries.len(), 2);
+        assert_eq!(data.entries[0].0, "alpha");
+        assert_eq!(data.entries[1].0, "zeta");
+
+        // Same content in a different order produces identical bytes.
+        let mut reordered = vec![
+            ("alpha".to_owned(), vec![0u8; 64]),
+            ("zeta".to_owned(), b"z".to_vec()),
+        ];
+        write_snapshot(&dir, 42, &mut reordered).unwrap();
+        assert_eq!(std::fs::read(snapshot_path(&dir)).unwrap(), first);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn absent_snapshot_is_not_a_defect() {
+        let dir = tmp_dir("absent");
+        let load = load_snapshot(&dir).unwrap();
+        assert!(load.data.is_none());
+        assert!(load.defect.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_not_panicked() {
+        let dir = tmp_dir("trunc");
+        let mut entries = vec![("key".to_owned(), b"value".to_vec())];
+        write_snapshot(&dir, 7, &mut entries).unwrap();
+        let full = std::fs::read(snapshot_path(&dir)).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(snapshot_path(&dir), &full[..cut]).unwrap();
+            let load = load_snapshot(&dir).unwrap();
+            assert!(load.data.is_none(), "cut at {cut} loaded");
+            assert!(load.defect.is_some(), "cut at {cut} had no defect");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected_and_discardable() {
+        let dir = tmp_dir("corrupt");
+        let mut entries = vec![("key".to_owned(), b"value".to_vec())];
+        write_snapshot(&dir, 7, &mut entries).unwrap();
+        let mut bytes = std::fs::read(snapshot_path(&dir)).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(snapshot_path(&dir), &bytes).unwrap();
+        let load = load_snapshot(&dir).unwrap();
+        assert!(load.data.is_none());
+        assert!(load.defect.unwrap().contains("checksum"));
+        discard_snapshot(&dir).unwrap();
+        let load = load_snapshot(&dir).unwrap();
+        assert!(load.data.is_none() && load.defect.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -56,6 +56,35 @@ cargo test -q -p geoalign-obs
 echo "==> serve hardening suite (hostile input, keep-alive, shedding)"
 cargo test -q -p geoalign-serve --test http_hardening
 
+echo "==> no unchecked I/O unwraps in geoalign-store"
+# A persistence layer must surface every I/O failure as a StoreError the
+# caller can handle; an unwrap() on a Result in src/ turns a full disk
+# into a panic mid-request. Lock poisoning is the one tolerated use and
+# is written as expect("... poisoned") to document itself.
+store_unwraps=""
+for f in crates/geoalign-store/src/*.rs; do
+    # Only non-test code counts: stop at the `mod tests` line when present.
+    # (grep exits 1 on no match; keep that from tripping set -o pipefail.)
+    limit=$({ grep -n '^mod tests' "$f" || true; } | head -1 | cut -d: -f1)
+    [ -z "$limit" ] && limit=0
+    found=$(awk -v limit="$limit" -v file="$f" \
+        '(limit == 0 || NR < limit) && /\.unwrap\(\)/ && $0 !~ /^[[:space:]]*\/\// \
+         { print file ":" NR ": " $0 }' "$f")
+    if [ -n "$found" ]; then
+        store_unwraps="${store_unwraps}${found}"$'\n'
+    fi
+done
+if [ -n "$store_unwraps" ]; then
+    echo "error: unwrap() in geoalign-store/src — return a StoreError instead:" >&2
+    echo "$store_unwraps" >&2
+    exit 1
+fi
+
+echo "==> store torture pass (GEOALIGN_THREADS=8)"
+# WAL truncated at every byte offset + concurrent writers/checkpoints,
+# under an oversubscribed thread budget.
+GEOALIGN_THREADS=8 cargo test -q -p geoalign-store --test recovery_torture
+
 echo "==> executor stress pass (GEOALIGN_THREADS=8)"
 # Re-run the execution layer's tests with an oversubscribed thread budget
 # (the env default is available parallelism); shakes out ordering bugs
