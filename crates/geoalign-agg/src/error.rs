@@ -1,0 +1,90 @@
+//! Error type for the aggregate-state layer.
+
+use std::fmt;
+
+/// Errors raised when building, merging or decoding aggregate states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggError {
+    /// The attribute name was empty.
+    EmptyAttribute,
+    /// A unit-system dimension was zero.
+    ZeroDimension {
+        /// Which axis was empty (`"source"` or `"target"`).
+        axis: &'static str,
+    },
+    /// A unit-system dimension exceeds the `u32` cell-key space.
+    DimensionTooLarge {
+        /// Which axis overflowed.
+        axis: &'static str,
+        /// The requested number of units.
+        len: usize,
+    },
+    /// A point referenced a unit index outside its system.
+    UnitOutOfBounds {
+        /// Which axis the index belongs to.
+        axis: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of units on that axis.
+        len: usize,
+    },
+    /// A point carried a NaN or infinite weight.
+    NonFiniteWeight,
+    /// Two states disagree on attribute or shape and cannot merge.
+    StateMismatch {
+        /// What differs between the states.
+        detail: String,
+    },
+    /// A serialized state was truncated, malformed or non-canonical.
+    Codec {
+        /// What the decoder was reading when it failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggError::EmptyAttribute => write!(f, "aggregate attribute name is empty"),
+            AggError::ZeroDimension { axis } => {
+                write!(f, "{axis} unit system has no units")
+            }
+            AggError::DimensionTooLarge { axis, len } => {
+                write!(f, "{axis} unit count {len} exceeds the cell key space")
+            }
+            AggError::UnitOutOfBounds { axis, index, len } => {
+                write!(f, "{axis} unit {index} out of bounds for {len} units")
+            }
+            AggError::NonFiniteWeight => write!(f, "point weight is NaN or infinite"),
+            AggError::StateMismatch { detail } => {
+                write!(f, "aggregate states cannot merge: {detail}")
+            }
+            AggError::Codec { detail } => write!(f, "malformed aggregate state: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+impl From<geoalign_store::codec::CodecError> for AggError {
+    fn from(e: geoalign_store::codec::CodecError) -> Self {
+        AggError::Codec { detail: e.detail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = AggError::UnitOutOfBounds {
+            axis: "source",
+            index: 7,
+            len: 3,
+        };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+        let e: AggError = geoalign_store::codec::CodecError::new("bad").into();
+        assert!(e.to_string().contains("bad"));
+    }
+}

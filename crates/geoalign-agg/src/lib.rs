@@ -1,0 +1,27 @@
+//! Mergeable two-step aggregate states for GeoAlign.
+//!
+//! The partial/accessor split of two-step aggregates (as in TimescaleDB
+//! Toolkit) applied to the point crosswalk: [`AggState`] is the partial —
+//! a serializable, mergeable exact summary of weighted point records over
+//! a `(source, target)` unit-system pair — and [`AggState::finalize`] is
+//! the accessor that rounds it into the marginal totals and intersection
+//! triples the estimator consumes.
+//!
+//! The merge law is strict: `merge` is commutative and associative, and
+//! folding any split of the same input — per-chunk partials, streamed
+//! batches, decoded checkpoints — produces *bit-identical* state. That is
+//! achieved by keeping every cell sum exact ([`ExactSum`], a fixed-point
+//! superaccumulator) and rounding exactly once at finalize, and it is what
+//! lets a streaming server answer byte-identically to a cold batch run.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod state;
+pub mod sum;
+
+mod obs;
+
+pub use error::AggError;
+pub use state::{AggState, FinalizedAggregates, AGG_CODEC_VERSION};
+pub use sum::ExactSum;

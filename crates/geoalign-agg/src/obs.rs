@@ -1,0 +1,17 @@
+//! Metric handles for the aggregate layer, registered once in the
+//! process-global [`Registry`](geoalign_obs::Registry). Names follow the
+//! workspace convention `geoalign_<crate>_<name>_<unit>` (DESIGN.md §8).
+
+use geoalign_obs::{Counter, Registry};
+use std::sync::OnceLock;
+
+/// Cached global handle for `geoalign_agg_merge_total`.
+pub(crate) fn merge_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        Registry::global().counter(
+            "geoalign_agg_merge_total",
+            "Aggregate-state merges performed (chunk folds and batch ingests)",
+        )
+    })
+}

@@ -1,0 +1,476 @@
+//! Exact, order-independent summation of `f64` values.
+//!
+//! A mergeable aggregate state is only split-invariant if its partial sums
+//! are: folding points in a different chunking must yield bit-identical
+//! state. Floating-point addition is not associative, so the accumulator
+//! here is a fixed-point *superaccumulator*: every finite `f64` is an
+//! integer multiple of 2⁻¹⁰⁷⁴ (the subnormal quantum), so sums are kept as
+//! exact arbitrary-precision integers in that unit and rounded to `f64`
+//! once, at finalize. Integer addition is commutative and associative, and
+//! the representation below is canonical (a pure function of the summed
+//! value), so any grouping of the same inputs produces byte-identical
+//! state — the merge law the aggregate layer is built on.
+
+use geoalign_store::codec::{ByteReader, ByteWriter, CodecError};
+use std::cmp::Ordering;
+
+/// Decoder cap on limb vectors: the largest reachable magnitude
+/// (2⁶⁴ summands of `f64::MAX`) spans < 2200 bits ≈ 35 limbs, so any
+/// payload claiming more is corrupt, not large.
+const MAX_LIMBS: usize = 64;
+
+/// A non-negative integer in units of 2⁻¹⁰⁷⁴, stored as little-endian
+/// 64-bit limbs with `offset` leading zero limbs elided:
+/// `value = Σ limbs[i] · 2^(64·(offset+i))`.
+///
+/// Canonical invariant (restored after every mutation): `limbs` has no
+/// zero first or last element, and zero is `{ offset: 0, limbs: [] }`.
+/// Canonical form is unique per value, which is what makes equal sums
+/// byte-identical however they were grouped.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct Magnitude {
+    offset: u32,
+    limbs: Vec<u64>,
+}
+
+impl Magnitude {
+    /// The zero magnitude.
+    pub(crate) fn zero() -> Self {
+        Magnitude::default()
+    }
+
+    /// Canonicalizes a raw limb vector: trims high zero limbs and folds
+    /// low zero limbs into the offset.
+    fn from_raw(mut offset: u32, mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        let low_zeros = limbs.iter().take_while(|&&l| l == 0).count();
+        if low_zeros == limbs.len() {
+            return Magnitude::zero();
+        }
+        limbs.drain(..low_zeros);
+        offset += low_zeros as u32;
+        Magnitude { offset, limbs }
+    }
+
+    /// The magnitude of a finite `f64`: its 53-bit significand shifted to
+    /// the absolute bit position of its exponent (subnormals land at
+    /// bit 0 and are therefore represented exactly).
+    pub(crate) fn from_f64_abs(x: f64) -> Self {
+        debug_assert!(x.is_finite());
+        let bits = x.abs().to_bits();
+        let frac = bits & ((1u64 << 52) - 1);
+        let biased = (bits >> 52) & 0x7ff;
+        // value = m · 2^(shift − 1074); shift = biased − 1 for normals
+        // (m has the implicit leading bit), 0 for subnormals.
+        let (m, shift) = if biased == 0 {
+            (frac, 0u64)
+        } else {
+            ((1u64 << 52) | frac, biased - 1)
+        };
+        if m == 0 {
+            return Magnitude::zero();
+        }
+        let wide = (m as u128) << (shift % 64);
+        Magnitude::from_raw((shift / 64) as u32, vec![wide as u64, (wide >> 64) as u64])
+    }
+
+    /// Whether this is the zero magnitude.
+    pub(crate) fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// One past the highest occupied limb index (absolute).
+    fn end(&self) -> u32 {
+        self.offset + self.limbs.len() as u32
+    }
+
+    /// The limb at absolute index `abs` (zero outside the stored span).
+    fn limb_at(&self, abs: u64) -> u64 {
+        if abs < self.offset as u64 || abs >= self.end() as u64 {
+            0
+        } else {
+            self.limbs[(abs - self.offset as u64) as usize]
+        }
+    }
+
+    /// Exact in-place addition (limbwise with carry).
+    pub(crate) fn add_assign(&mut self, other: &Magnitude) {
+        if other.is_zero() {
+            return;
+        }
+        if self.is_zero() {
+            *self = other.clone();
+            return;
+        }
+        let off = self.offset.min(other.offset);
+        let span = (self.end().max(other.end()) - off) as usize;
+        let mut out = vec![0u64; span + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[(self.offset - off) as usize + i] = l;
+        }
+        let base = (other.offset - off) as usize;
+        let mut carry = 0u64;
+        for (i, &l) in other.limbs.iter().enumerate() {
+            let (s1, c1) = out[base + i].overflowing_add(l);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[base + i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        let mut i = base + other.limbs.len();
+        while carry != 0 {
+            let (s, c) = out[i].overflowing_add(carry);
+            out[i] = s;
+            carry = u64::from(c);
+            i += 1;
+        }
+        *self = Magnitude::from_raw(off, out);
+    }
+
+    /// Exact subtraction `self − other`; requires `self >= other`.
+    fn sub(&self, other: &Magnitude) -> Magnitude {
+        debug_assert!(self.cmp_magnitude(other) != Ordering::Less);
+        if other.is_zero() {
+            return self.clone();
+        }
+        let off = self.offset.min(other.offset);
+        let span = (self.end() - off) as usize;
+        let mut out = vec![0u64; span];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[(self.offset - off) as usize + i] = l;
+        }
+        let base = (other.offset - off) as usize;
+        let mut borrow = 0u64;
+        for (i, &l) in other.limbs.iter().enumerate() {
+            let (d1, b1) = out[base + i].overflowing_sub(l);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[base + i] = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        let mut i = base + other.limbs.len();
+        while borrow != 0 {
+            let (d, b) = out[i].overflowing_sub(borrow);
+            out[i] = d;
+            borrow = u64::from(b);
+            i += 1;
+        }
+        Magnitude::from_raw(off, out)
+    }
+
+    /// Total order on represented values (canonical form makes the
+    /// high-limb comparison sound).
+    pub(crate) fn cmp_magnitude(&self, other: &Magnitude) -> Ordering {
+        let (ea, eb) = (self.end(), other.end());
+        if ea != eb {
+            // The top limb of the longer span is nonzero (canonical), so
+            // the longer span is strictly larger.
+            return ea.cmp(&eb);
+        }
+        for abs in (0..u64::from(ea)).rev() {
+            let (la, lb) = (self.limb_at(abs), other.limb_at(abs));
+            if la != lb {
+                return la.cmp(&lb);
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Absolute bit index of the most significant set bit. Panics on zero
+    /// (callers handle zero first).
+    fn highest_bit(&self) -> u64 {
+        let last = self.limbs[self.limbs.len() - 1];
+        64 * (u64::from(self.end()) - 1) + 63 - u64::from(last.leading_zeros())
+    }
+
+    /// Whether absolute bit `pos` is set.
+    fn bit(&self, pos: u64) -> bool {
+        (self.limb_at(pos / 64) >> (pos % 64)) & 1 == 1
+    }
+
+    /// The 53 bits starting at absolute bit `lo` (little-endian).
+    fn bits53_at(&self, lo: u64) -> u64 {
+        let li = lo / 64;
+        let s = lo % 64;
+        let w = (self.limb_at(li) as u128) | ((self.limb_at(li + 1) as u128) << 64);
+        ((w >> s) as u64) & ((1u64 << 53) - 1)
+    }
+
+    /// Whether any bit strictly below absolute bit `pos` is set.
+    fn any_bit_below(&self, pos: u64) -> bool {
+        let li = pos / 64;
+        for abs in u64::from(self.offset)..li.min(u64::from(self.end())) {
+            if self.limb_at(abs) != 0 {
+                return true;
+            }
+        }
+        let s = pos % 64;
+        s > 0 && self.limb_at(li) & ((1u64 << s) - 1) != 0
+    }
+
+    /// Rounds `value · 2⁻¹⁰⁷⁴` to the nearest `f64` (ties to even) — the
+    /// same result a single correctly-rounded sum would produce.
+    pub(crate) fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let p = self.highest_bit();
+        if p <= 51 {
+            // Below 2⁵² the value is a single limb at offset 0 and is
+            // exactly a subnormal bit pattern (biased exponent 0).
+            return f64::from_bits(self.limbs[0]);
+        }
+        // Normal range: biased exponent E gives values (2⁵²+F)·2^(E−1) in
+        // quantum units, so E = P − 51.
+        let mut exp = p - 51;
+        let mut m = self.bits53_at(p - 52);
+        if p >= 53 {
+            let guard = self.bit(p - 53);
+            let sticky = p >= 54 && self.any_bit_below(p - 53);
+            if guard && (sticky || m & 1 == 1) {
+                m += 1;
+                if m == 1u64 << 53 {
+                    m >>= 1;
+                    exp += 1;
+                }
+            }
+        }
+        if exp >= 0x7ff {
+            return f64::INFINITY;
+        }
+        f64::from_bits((exp << 52) | (m & ((1u64 << 52) - 1)))
+    }
+
+    /// Serializes the canonical form.
+    fn write(&self, w: &mut ByteWriter) {
+        w.u32(self.offset);
+        w.u32(self.limbs.len() as u32);
+        for &l in &self.limbs {
+            w.u64(l);
+        }
+    }
+
+    /// Reads a magnitude, rejecting non-canonical forms so the codec is a
+    /// bijection (decode∘encode = id and encode∘decode = id).
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let offset = r.u32()?;
+        let n = r.u32()? as usize;
+        if n > MAX_LIMBS || offset as usize > MAX_LIMBS {
+            return Err(CodecError::new(format!(
+                "magnitude claims {n} limbs at offset {offset}"
+            )));
+        }
+        let mut limbs = Vec::with_capacity(n);
+        for _ in 0..n {
+            limbs.push(r.u64()?);
+        }
+        let canonical = match limbs.as_slice() {
+            [] => offset == 0,
+            [first, .., last] => *first != 0 && *last != 0,
+            [only] => *only != 0,
+        };
+        if !canonical {
+            return Err(CodecError::new("magnitude is not in canonical form"));
+        }
+        Ok(Magnitude { offset, limbs })
+    }
+}
+
+/// An exact running sum of finite `f64` values: positive and negative
+/// inputs accumulate in separate [`Magnitude`]s, so the state is a pure
+/// function of the input multiset — merging is commutative, associative
+/// and bit-stable under any split of the input.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExactSum {
+    pos: Magnitude,
+    neg: Magnitude,
+}
+
+impl ExactSum {
+    /// An empty sum.
+    pub fn new() -> Self {
+        ExactSum::default()
+    }
+
+    /// Adds a finite value exactly. Non-finite inputs are a caller bug
+    /// (the aggregate layer validates before absorbing).
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        let m = Magnitude::from_f64_abs(x);
+        if x.is_sign_negative() {
+            self.neg.add_assign(&m);
+        } else {
+            self.pos.add_assign(&m);
+        }
+    }
+
+    /// Folds another sum in exactly.
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.pos.add_assign(&other.pos);
+        self.neg.add_assign(&other.neg);
+    }
+
+    /// Whether nothing (or only zeros) has been added.
+    pub fn is_zero(&self) -> bool {
+        self.pos.is_zero() && self.neg.is_zero()
+    }
+
+    /// The correctly-rounded value of the sum (round to nearest, ties to
+    /// even; exact cancellation yields `+0.0`, overflow yields ±∞).
+    pub fn value(&self) -> f64 {
+        match self.pos.cmp_magnitude(&self.neg) {
+            Ordering::Equal => 0.0,
+            Ordering::Greater => self.pos.sub(&self.neg).to_f64(),
+            Ordering::Less => -self.neg.sub(&self.pos).to_f64(),
+        }
+    }
+
+    /// Serializes the sum (canonical, hence deterministic).
+    pub(crate) fn write(&self, w: &mut ByteWriter) {
+        self.pos.write(w);
+        self.neg.write(w);
+    }
+
+    /// Reads a sum written by [`ExactSum::write`].
+    pub(crate) fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(ExactSum {
+            pos: Magnitude::read(r)?,
+            neg: Magnitude::read(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_of(values: &[f64]) -> ExactSum {
+        let mut s = ExactSum::new();
+        for &v in values {
+            s.add(v);
+        }
+        s
+    }
+
+    #[test]
+    fn single_values_round_trip_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            -123.456,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            -5e-324,
+            1.5e-310, // subnormal
+            (1u64 << 53) as f64,
+        ] {
+            assert_eq!(sum_of(&[v]).value().to_bits(), (v + 0.0).to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn exact_cancellation_is_positive_zero() {
+        let s = sum_of(&[0.1, 2.5, -0.1, -2.5]);
+        assert!(s.is_zero() || s.value() == 0.0);
+        assert_eq!(s.value().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn integer_sums_are_exact() {
+        let s = sum_of(&[1.0; 1000]);
+        assert_eq!(s.value(), 1000.0);
+        let mut s = ExactSum::new();
+        for i in 0..1000 {
+            s.add(i as f64);
+            s.add(-(i as f64));
+        }
+        assert_eq!(s.value().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn catastrophic_cancellation_is_handled() {
+        // Naive left-to-right f64 summation gets this badly wrong.
+        let s = sum_of(&[1e16, 1.0, -1e16]);
+        assert_eq!(s.value(), 1.0);
+        let s = sum_of(&[1e308, 1e308, -1e308]);
+        assert_eq!(s.value(), 1e308);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let s = sum_of(&[f64::MAX, f64::MAX]);
+        assert_eq!(s.value(), f64::INFINITY);
+        let s = sum_of(&[-f64::MAX, -f64::MAX]);
+        assert_eq!(s.value(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 2^53 + 1 is not representable: ties round to even (2^53).
+        let s = sum_of(&[(1u64 << 53) as f64, 1.0]);
+        assert_eq!(s.value(), (1u64 << 53) as f64);
+        // 2^53 + 2 is representable.
+        let s = sum_of(&[(1u64 << 53) as f64, 2.0]);
+        assert_eq!(s.value(), ((1u64 << 53) + 2) as f64);
+        // 2^53 + 3 rounds up to 2^53 + 4 (tie to even on the last bit).
+        let s = sum_of(&[(1u64 << 53) as f64, 3.0]);
+        assert_eq!(s.value(), ((1u64 << 53) + 4) as f64);
+        // 2^53 + 1 + something tiny is above the tie: rounds up.
+        let s = sum_of(&[(1u64 << 53) as f64, 1.0, 5e-324]);
+        assert_eq!(s.value(), ((1u64 << 53) + 2) as f64);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all = [0.1, -7.25, 1e300, 5e-324, -0.3, 42.0, -1e300];
+        let whole = sum_of(&all);
+        for split in 0..=all.len() {
+            let mut left = sum_of(&all[..split]);
+            let right = sum_of(&all[split..]);
+            left.merge(&right);
+            assert_eq!(left, whole, "split at {split}");
+            assert_eq!(left.value().to_bits(), whole.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_bytes() {
+        let s = sum_of(&[0.1, -2.5, 1e-310, 7e300]);
+        let mut w = ByteWriter::new();
+        s.write(&mut w);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        let decoded = ExactSum::read(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(decoded, s);
+        let mut w2 = ByteWriter::new();
+        decoded.write(&mut w2);
+        assert_eq!(w2.into_vec(), buf);
+    }
+
+    #[test]
+    fn codec_rejects_non_canonical() {
+        // A zero high limb is non-canonical.
+        let mut w = ByteWriter::new();
+        w.u32(0); // offset
+        w.u32(2); // limbs
+        w.u64(1);
+        w.u64(0);
+        w.u32(0);
+        w.u32(0);
+        let buf = w.into_vec();
+        assert!(ExactSum::read(&mut ByteReader::new(&buf)).is_err());
+        // Zero with a nonzero offset is non-canonical.
+        let mut w = ByteWriter::new();
+        w.u32(3);
+        w.u32(0);
+        w.u32(0);
+        w.u32(0);
+        let buf = w.into_vec();
+        assert!(ExactSum::read(&mut ByteReader::new(&buf)).is_err());
+    }
+}

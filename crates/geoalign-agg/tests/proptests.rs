@@ -1,0 +1,158 @@
+//! Property-based tests of the AggState merge algebra: the laws the
+//! streaming pipeline leans on. Merge must be commutative and associative,
+//! any split of the input (empty and single-point batches included) must
+//! fold to bit-identical state, and a state that round-trips through the
+//! codec must merge exactly like the in-memory original.
+
+use geoalign_agg::AggState;
+use proptest::prelude::*;
+
+const N_SOURCE: usize = 6;
+const N_TARGET: usize = 4;
+
+/// One absorbed record: cell coordinates plus a weight stretched across
+/// magnitudes (huge, tiny and subnormal scales stress the exact sums).
+type Point = (usize, usize, f64);
+
+fn scale_weight((si, ti, w, scale): (usize, usize, f64, u8)) -> Point {
+    let w = match scale % 5 {
+        0 => w,
+        1 => w * 1e300,
+        2 => w * 1e-300,
+        3 => w * 5e-324, // subnormal territory
+        _ => w.trunc(),  // integer weights
+    };
+    (si, ti, w)
+}
+
+fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0..N_SOURCE, 0..N_TARGET, -1000.0..1000.0f64, 0..5u8).prop_map(scale_weight),
+        0..40,
+    )
+}
+
+/// Absorbs `points` into a fresh state, skipping every 7th record to keep
+/// the skip counter in play.
+fn state_of(points: &[Point]) -> AggState {
+    let mut s = AggState::new("prop", N_SOURCE, N_TARGET).expect("valid shape");
+    for (k, &(si, ti, w)) in points.iter().enumerate() {
+        if k % 7 == 6 {
+            s.record_skipped();
+        } else {
+            s.absorb(si, ti, w).expect("in-bounds finite record");
+        }
+    }
+    s
+}
+
+/// Splits `points` into batches by the (possibly over-long, possibly
+/// zero-sized) `sizes`; whatever remains becomes a final batch.
+fn split<'a>(points: &'a [Point], sizes: &[usize]) -> Vec<&'a [Point]> {
+    let mut batches = Vec::new();
+    let mut rest = points;
+    for &n in sizes {
+        let n = n.min(rest.len());
+        let (head, tail) = rest.split_at(n);
+        batches.push(head);
+        rest = tail;
+    }
+    batches.push(rest);
+    batches
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in points_strategy(), b in points_strategy()) {
+        let (sa, sb) = (state_of(&a), state_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb).expect("same shape");
+        let mut ba = sb.clone();
+        ba.merge(&sa).expect("same shape");
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.encode(), ba.encode());
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in points_strategy(),
+        b in points_strategy(),
+        c in points_strategy()
+    ) {
+        let (sa, sb, sc) = (state_of(&a), state_of(&b), state_of(&c));
+        // (a ⊔ b) ⊔ c
+        let mut left = sa.clone();
+        left.merge(&sb).expect("same shape");
+        left.merge(&sc).expect("same shape");
+        // a ⊔ (b ⊔ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc).expect("same shape");
+        let mut right = sa.clone();
+        right.merge(&bc).expect("same shape");
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.encode(), right.encode());
+    }
+
+    #[test]
+    fn merge_is_split_invariant(
+        points in points_strategy(),
+        sizes in prop::collection::vec(0..7usize, 0..12)
+    ) {
+        // Batches of size zero and one occur naturally in `sizes`.
+        let whole = state_of(&points);
+        let mut folded = AggState::new("prop", N_SOURCE, N_TARGET).expect("valid shape");
+        let mut offset = 0;
+        for batch in split(&points, &sizes) {
+            // Rebuild each batch with the *global* record index driving
+            // the skip pattern, so the multiset of absorbed records
+            // matches the one-shot state exactly.
+            let mut part = AggState::new("prop", N_SOURCE, N_TARGET).expect("valid shape");
+            for (k, &(si, ti, w)) in batch.iter().enumerate() {
+                if (offset + k) % 7 == 6 {
+                    part.record_skipped();
+                } else {
+                    part.absorb(si, ti, w).expect("in-bounds finite record");
+                }
+            }
+            offset += batch.len();
+            folded.merge(&part).expect("same shape");
+        }
+        prop_assert_eq!(&folded, &whole);
+        prop_assert_eq!(folded.encode(), whole.encode());
+        // The accessor agrees bitwise too.
+        let (ff, wf) = (folded.finalize(), whole.finalize());
+        prop_assert_eq!(ff, wf);
+    }
+
+    #[test]
+    fn decoded_states_merge_like_in_memory(
+        a in points_strategy(),
+        b in points_strategy()
+    ) {
+        let (sa, sb) = (state_of(&a), state_of(&b));
+        let mut in_memory = sa.clone();
+        in_memory.merge(&sb).expect("same shape");
+        // encode → decode → merge must land on the same bytes.
+        let da = AggState::decode(&sa.encode()).expect("own encoding decodes");
+        let db = AggState::decode(&sb.encode()).expect("own encoding decodes");
+        let mut via_codec = da;
+        via_codec.merge(&db).expect("same shape");
+        prop_assert_eq!(&via_codec, &in_memory);
+        prop_assert_eq!(via_codec.encode(), in_memory.encode());
+    }
+
+    #[test]
+    fn finalize_marginals_are_cell_consistent(points in points_strategy()) {
+        let f = state_of(&points).finalize();
+        // Marginals are exact row/column sums of the triples: re-summing
+        // the rounded triples per row agrees within one rounding step.
+        for (si, total) in f.source.iter().enumerate() {
+            let naive: f64 = f.triples.iter()
+                .filter(|(i, _, _)| *i == si)
+                .map(|&(_, _, w)| w)
+                .sum();
+            let tol = 1e-9 * (naive.abs() + total.abs()).max(1.0);
+            prop_assert!((naive - total).abs() <= tol, "row {si}: {naive} vs {total}");
+        }
+    }
+}

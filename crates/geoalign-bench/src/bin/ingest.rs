@@ -1,0 +1,241 @@
+//! Streaming-ingest cost: what does folding one `/ingest` batch into a
+//! live crosswalk cost on the incremental path (state merge + one-column
+//! delta re-prepare) versus the naive alternative (re-aggregate every
+//! point seen so far and re-run the full `O(n²m)` prepare)?
+//!
+//! The incremental path is the one geoalign-serve takes; the full path is
+//! what a server without mergeable aggregate states would be forced into.
+//! Both are timed per batch at a paper-scale universe (the United States
+//! 30,238 × 3,142 unit counts by default), and the bench asserts the two
+//! paths stay **bit-identical** — the incremental snapshot must answer
+//! exactly like a from-scratch prepare over the concatenated points.
+//!
+//! Batches arrive pre-located (unit-id triples), matching the `/ingest`
+//! wire format: the point-in-polygon cost is identical on both paths, so
+//! it is excluded; what differs is the fold + prepare work.
+//!
+//! Writes machine-readable `BENCH_ingest.json` (see `--out`).
+//!
+//! Usage: `ingest [--small|--medium] [--seed N] [--batches N]
+//!                [--batch-points N] [--out BENCH_ingest.json]`
+
+use geoalign_agg::AggState;
+use geoalign_core::{GeoAlign, ReferenceData};
+use geoalign_partition::{AggregateVector, DisaggregationMatrix};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A synthetic static reference: every source unit spills into 1–3 of the
+/// target units around its own scaled position, weights pseudo-random.
+fn synthetic_reference(
+    name: &str,
+    n_source: usize,
+    n_target: usize,
+    state: &mut u64,
+) -> ReferenceData {
+    let mut triples = Vec::with_capacity(n_source * 2);
+    for i in 0..n_source {
+        let spread = 1 + (lcg(state) * 3.0) as usize;
+        let base = i * n_target / n_source;
+        for k in 0..spread {
+            let j = (base + k) % n_target;
+            triples.push((i, j, 1.0 + lcg(state) * 99.0));
+        }
+    }
+    let dm = DisaggregationMatrix::from_triples(name, n_source, n_target, triples)
+        .expect("synthetic dm");
+    ReferenceData::from_dm(name, dm).expect("synthetic reference")
+}
+
+/// One pre-located ingest batch: `(source, target, weight)` triples whose
+/// target tracks the source position (spatially coherent, like real
+/// points), with a few duplicates mixed in.
+fn synthetic_batch(
+    n_points: usize,
+    n_source: usize,
+    n_target: usize,
+    state: &mut u64,
+) -> Vec<(usize, usize, f64)> {
+    let mut batch = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        if !batch.is_empty() && lcg(state) < 0.05 {
+            // At-least-once delivery re-sends an earlier record verbatim.
+            let k = (lcg(state) * batch.len() as f64) as usize;
+            batch.push(batch[k.min(batch.len() - 1)]);
+            continue;
+        }
+        let si = (lcg(state) * n_source as f64) as usize % n_source;
+        let jitter = (lcg(state) * 3.0) as usize;
+        let ti = (si * n_target / n_source + jitter) % n_target;
+        batch.push((si, ti, 0.5 + lcg(state) * 2.0));
+    }
+    batch
+}
+
+fn absorb_all(
+    attr: &str,
+    n_source: usize,
+    n_target: usize,
+    points: &[(usize, usize, f64)],
+) -> AggState {
+    let mut s = AggState::new(attr, n_source, n_target).expect("state");
+    for &(si, ti, w) in points {
+        s.absorb(si, ti, w).expect("absorb");
+    }
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20180326u64;
+    let mut n_batches = 5usize;
+    let mut batch_points = 20_000usize;
+    let mut out_path = "BENCH_ingest.json".to_owned();
+    // Paper United States unit counts (§4.1: 30,238 zips / 3,142 counties).
+    let (mut n_source, mut n_target) = (30_238usize, 3_142usize);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            "--batches" => n_batches = it.next().expect("--batches value").parse().expect("int"),
+            "--batch-points" => {
+                batch_points = it
+                    .next()
+                    .expect("--batch-points value")
+                    .parse()
+                    .expect("int")
+            }
+            "--out" => out_path = it.next().expect("--out value").clone(),
+            "--small" => {
+                (n_source, n_target) = (400, 80);
+                batch_points = 2_000;
+                n_batches = 3;
+            }
+            "--medium" => (n_source, n_target) = (3_000, 320),
+            flag => {
+                eprintln!("unknown argument: {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut state = seed;
+    let statics: Vec<ReferenceData> = (0..2)
+        .map(|k| synthetic_reference(&format!("ref{k}"), n_source, n_target, &mut state))
+        .collect();
+
+    eprintln!(
+        "# ingest — {n_source}x{n_target} units, 2 static references, \
+         {n_batches} batches x {batch_points} points"
+    );
+
+    // Seed the streaming reference with a first batch so both paths start
+    // from a live (already-prepared) pair, the steady-state a server is in.
+    let first = synthetic_batch(batch_points, n_source, n_target, &mut state);
+    let mut live = absorb_all("stream", n_source, n_target, &first);
+    let mut all_points = first;
+    let streaming_index = statics.len();
+
+    let make_ref = |s: &AggState| {
+        let dm = DisaggregationMatrix::from_state(s).expect("dm from state");
+        ReferenceData::from_dm(s.attribute(), dm).expect("reference from state")
+    };
+    let full_prepare = |stream_ref: ReferenceData| {
+        let mut refs: Vec<&ReferenceData> = statics.iter().collect();
+        let r = stream_ref;
+        refs.push(&r);
+        GeoAlign::new().prepare(&refs).expect("prepare")
+    };
+
+    let mut prepared = full_prepare(make_ref(&live));
+
+    let mut batches_json: Vec<String> = Vec::new();
+    let (mut sum_inc, mut sum_full) = (0.0f64, 0.0f64);
+    for b in 0..n_batches {
+        let batch = synthetic_batch(batch_points, n_source, n_target, &mut state);
+
+        // --- Incremental: fold the batch, delta-update one column -------
+        let t0 = Instant::now();
+        let part = absorb_all("stream", n_source, n_target, &batch);
+        let mut next = live.clone();
+        next.merge(&part).expect("merge");
+        let (inc_prepared, touched) = prepared
+            .with_reference_updated(streaming_index, make_ref(&next))
+            .expect("incremental prepare");
+        let incremental_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // --- Full: re-aggregate everything, re-prepare from scratch -----
+        all_points.extend_from_slice(&batch);
+        let t1 = Instant::now();
+        let whole = absorb_all("stream", n_source, n_target, &all_points);
+        let full_prepared = full_prepare(make_ref(&whole));
+        let full_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // The streamed fold must be indistinguishable from the re-run.
+        assert_eq!(
+            next.encode(),
+            whole.encode(),
+            "batch {b}: folded state diverged from re-aggregation"
+        );
+        let probe = AggregateVector::new(
+            "probe",
+            (0..n_source).map(|_| lcg(&mut state) * 100.0).collect(),
+        )
+        .expect("probe");
+        let inc_est = inc_prepared.apply_values(&probe).expect("inc apply");
+        let full_est = full_prepared.apply_values(&probe).expect("full apply");
+        for (x, y) in inc_est.estimate.iter().zip(&full_est.estimate) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "batch {b}: incremental answers diverged from full re-prepare"
+            );
+        }
+
+        live = next;
+        prepared = inc_prepared;
+        sum_inc += incremental_ms;
+        sum_full += full_ms;
+        eprintln!(
+            "batch {b}: incremental {incremental_ms:>9.3} ms ({touched} rows touched), \
+             full {full_ms:>9.3} ms, speedup {:>6.2}x",
+            full_ms / incremental_ms.max(1e-9)
+        );
+        batches_json.push(format!(
+            "    {{ \"batch\": {b}, \"incremental_ms\": {incremental_ms:.3}, \
+             \"full_ms\": {full_ms:.3}, \"touched_rows\": {touched} }}"
+        ));
+    }
+
+    let mean_inc = sum_inc / n_batches as f64;
+    let mean_full = sum_full / n_batches as f64;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"ingest\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(
+        json,
+        "  \"universe\": {{ \"n_source\": {n_source}, \"n_target\": {n_target}, \"static_references\": 2 }},"
+    );
+    let _ = writeln!(json, "  \"batch_points\": {batch_points},");
+    let _ = writeln!(json, "  \"batches\": [");
+    let _ = writeln!(json, "{}", batches_json.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"mean_incremental_ms\": {mean_inc:.3},");
+    let _ = writeln!(json, "  \"mean_full_ms\": {mean_full:.3},");
+    let _ = writeln!(
+        json,
+        "  \"mean_speedup\": {:.3}",
+        mean_full / mean_inc.max(1e-9)
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -9,7 +9,10 @@
 //! * `weights` — print only the learned reference weights;
 //! * `serve` — run the batch crosswalk HTTP service (`geoalign-serve`);
 //! * `store` — administer a durable store directory (`geoalign-store`):
-//!   initialise, inspect, compact, or verify it offline.
+//!   initialise, inspect, compact, or verify it offline;
+//! * `agg` — inspect or merge mergeable aggregate states
+//!   (`geoalign-agg`), either standalone state files or the streaming
+//!   rollups inside a durable store.
 //!
 //! All inputs are CSV: aggregate tables are `unit,value` with a header,
 //! crosswalk files are `source,target,value` (the HUD USPS crosswalk
@@ -87,6 +90,8 @@ USAGE:
                        [--max-connections N] [--idle-timeout SECS]
                        [--max-requests-per-conn N] [--data-dir DIR]
     geoalign store     <init|inspect|compact|verify> --data-dir DIR
+    geoalign agg       inspect (FILE | --data-dir DIR)
+    geoalign agg       merge OUT.aggstate IN1.aggstate [IN2.aggstate ...]
 
 FLAGS:
     --timings          print per-phase wall-clock timings to stderr
@@ -114,6 +119,15 @@ STORE SUBCOMMANDS:
     store inspect   open the store (running recovery) and summarise contents
     store compact   flush the WAL into a fresh snapshot and drop old segments
     store verify    read-only structural check; exits 1 on any defect
+
+AGG SUBCOMMANDS:
+    agg inspect FILE           decode one mergeable aggregate state file
+                               (the versioned `AggState` codec) and summarise it
+    agg inspect --data-dir DIR open a durable store and summarise every
+                               streaming-ingest rollup under agg/
+    agg merge OUT IN [IN ...]  merge state files into OUT; the merge is
+                               commutative and associative, so any order and
+                               grouping writes the identical bytes
 
 FILES:
     aggregate tables:  CSV `unit,value` with a header line
@@ -371,6 +385,124 @@ pub fn run_store(args: &StoreArgs) -> Result<String, CliError> {
     }
 }
 
+/// Parsed command line for `geoalign agg`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggArgs {
+    /// Decode one aggregate state file and summarise it.
+    InspectFile(String),
+    /// Open a durable store and summarise every `agg/` rollup.
+    InspectStore(String),
+    /// Merge state files into one output file.
+    Merge {
+        /// Output path for the merged state.
+        out: String,
+        /// Input state files (at least one).
+        inputs: Vec<String>,
+    },
+}
+
+/// Parses the `agg` subcommand's action and flags.
+pub fn parse_agg_args(args: &[String]) -> Result<AggArgs, CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(CliError::Usage(
+            "agg needs an action: inspect or merge".into(),
+        ));
+    };
+    match action.as_str() {
+        "inspect" => match rest {
+            [flag, dir] if flag == "--data-dir" => Ok(AggArgs::InspectStore(dir.clone())),
+            [file] if file != "--data-dir" => Ok(AggArgs::InspectFile(file.clone())),
+            _ => Err(CliError::Usage(
+                "agg inspect needs exactly one of FILE or --data-dir DIR".into(),
+            )),
+        },
+        "merge" => match rest {
+            [] | [_] => Err(CliError::Usage(
+                "agg merge needs an output path and at least one input file".into(),
+            )),
+            [out, inputs @ ..] => Ok(AggArgs::Merge {
+                out: out.clone(),
+                inputs: inputs.to_vec(),
+            }),
+        },
+        other => Err(CliError::Usage(format!(
+            "unknown agg action '{other}' (expected inspect or merge)"
+        ))),
+    }
+}
+
+/// Renders one state as the `agg inspect` report lines, indented by
+/// `pad`.
+fn format_agg_state(out: &mut String, state: &geoalign_agg::AggState, pad: &str) {
+    let fin = state.finalize();
+    let source_total: f64 = fin.source.iter().sum();
+    let target_total: f64 = fin.target.iter().sum();
+    let _ = writeln!(
+        out,
+        "{pad}shape:           {} x {} (source x target)",
+        state.n_source(),
+        state.n_target()
+    );
+    let _ = writeln!(out, "{pad}points absorbed: {}", state.count());
+    let _ = writeln!(out, "{pad}points skipped:  {}", state.skipped());
+    let _ = writeln!(out, "{pad}nonzero cells:   {}", state.n_cells());
+    let _ = writeln!(out, "{pad}source total:    {source_total}");
+    let _ = writeln!(out, "{pad}target total:    {target_total}");
+}
+
+fn read_agg_state(path: &str) -> Result<geoalign_agg::AggState, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| CliError::Io(path.to_owned(), e))?;
+    geoalign_agg::AggState::decode(&bytes).map_err(|e| CliError::Run(format!("{path}: {e}")))
+}
+
+/// Runs a `geoalign agg` action and returns the report text to print.
+pub fn run_agg(args: &AggArgs) -> Result<String, CliError> {
+    match args {
+        AggArgs::InspectFile(path) => {
+            let state = read_agg_state(path)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "aggregate state '{}' ({path})", state.attribute());
+            format_agg_state(&mut out, &state, "  ");
+            Ok(out)
+        }
+        AggArgs::InspectStore(dir) => {
+            let store =
+                geoalign_store::Store::open(dir).map_err(|e| CliError::Run(e.to_string()))?;
+            let rollups = store.iter_prefix("agg/");
+            let mut out = String::new();
+            let _ = writeln!(out, "store at {dir}: {} streaming rollup(s)", rollups.len());
+            for (key, bytes) in rollups {
+                let (source, target, state) = geoalign_core::persist::decode_agg_rollup(&bytes)
+                    .map_err(|e| CliError::Run(format!("{key}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "  {key}: '{}' on {source} -> {target}",
+                    state.attribute()
+                );
+                format_agg_state(&mut out, &state, "    ");
+            }
+            Ok(out)
+        }
+        AggArgs::Merge { out, inputs } => {
+            let mut states = inputs.iter().map(|p| read_agg_state(p));
+            let mut merged = states.next().expect("parse enforces at least one input")?;
+            for state in states {
+                merged
+                    .merge(&state?)
+                    .map_err(|e| CliError::Run(e.to_string()))?;
+            }
+            std::fs::write(out, merged.encode()).map_err(|e| CliError::Io(out.clone(), e))?;
+            Ok(format!(
+                "merged {} state(s) into {out}: '{}', {} points, {} cells\n",
+                inputs.len(),
+                merged.attribute(),
+                merged.count(),
+                merged.n_cells()
+            ))
+        }
+    }
+}
+
 /// Renders per-phase timings as the stderr lines `--timings` prints.
 pub fn format_timings(t: &PhaseTimings) -> String {
     let micros = |d: std::time::Duration| d.as_secs_f64() * 1e6;
@@ -593,6 +725,90 @@ B,60
         assert!(parse_args(&["--trace".into()]).is_err());
         assert!(parse_args(&["--bogus".into()]).is_err());
         assert!(parse_args(&["--table".into(), "t".into()]).is_err()); // no refs
+    }
+
+    #[test]
+    fn agg_arg_parsing() {
+        let sv = |xs: &[&str]| -> Vec<String> { xs.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(
+            parse_agg_args(&sv(&["inspect", "s.aggstate"])).unwrap(),
+            AggArgs::InspectFile("s.aggstate".into())
+        );
+        assert_eq!(
+            parse_agg_args(&sv(&["inspect", "--data-dir", "d"])).unwrap(),
+            AggArgs::InspectStore("d".into())
+        );
+        assert_eq!(
+            parse_agg_args(&sv(&["merge", "out", "a", "b"])).unwrap(),
+            AggArgs::Merge {
+                out: "out".into(),
+                inputs: vec!["a".into(), "b".into()],
+            }
+        );
+        assert!(parse_agg_args(&[]).is_err());
+        assert!(parse_agg_args(&sv(&["inspect"])).is_err());
+        assert!(parse_agg_args(&sv(&["inspect", "--data-dir"])).is_err());
+        assert!(parse_agg_args(&sv(&["inspect", "a", "b"])).is_err());
+        assert!(parse_agg_args(&sv(&["merge", "out"])).is_err());
+        assert!(parse_agg_args(&sv(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn agg_inspect_and_merge_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("geoalign-cli-agg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        let mut a = geoalign_agg::AggState::new("footfall", 3, 2).unwrap();
+        a.absorb(0, 0, 2.5).unwrap();
+        a.absorb(2, 1, 1.25).unwrap();
+        a.record_skipped();
+        let mut b = geoalign_agg::AggState::new("footfall", 3, 2).unwrap();
+        b.absorb(0, 0, 0.5).unwrap();
+        b.absorb(1, 1, 4.0).unwrap();
+        std::fs::write(path("a.aggstate"), a.encode()).unwrap();
+        std::fs::write(path("b.aggstate"), b.encode()).unwrap();
+
+        let report = run_agg(&AggArgs::InspectFile(path("a.aggstate"))).unwrap();
+        assert!(report.contains("'footfall'"), "{report}");
+        assert!(report.contains("3 x 2"), "{report}");
+        assert!(report.contains("points absorbed: 2"), "{report}");
+        assert!(report.contains("points skipped:  1"), "{report}");
+
+        // Merge in both orders: commutativity means identical bytes.
+        run_agg(&AggArgs::Merge {
+            out: path("ab.aggstate"),
+            inputs: vec![path("a.aggstate"), path("b.aggstate")],
+        })
+        .unwrap();
+        run_agg(&AggArgs::Merge {
+            out: path("ba.aggstate"),
+            inputs: vec![path("b.aggstate"), path("a.aggstate")],
+        })
+        .unwrap();
+        let ab = std::fs::read(path("ab.aggstate")).unwrap();
+        let ba = std::fs::read(path("ba.aggstate")).unwrap();
+        assert_eq!(ab, ba, "merge order must not change the bytes");
+        let merged = geoalign_agg::AggState::decode(&ab).unwrap();
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.skipped(), 1);
+
+        // Mismatched shapes refuse to merge.
+        let other = geoalign_agg::AggState::new("footfall", 2, 2).unwrap();
+        std::fs::write(path("other.aggstate"), other.encode()).unwrap();
+        let e = run_agg(&AggArgs::Merge {
+            out: path("bad.aggstate"),
+            inputs: vec![path("a.aggstate"), path("other.aggstate")],
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("cannot merge"), "{e}");
+
+        // Corrupt input errors cleanly with the path named.
+        std::fs::write(path("junk.aggstate"), [9u8, 9, 9]).unwrap();
+        let e = run_agg(&AggArgs::InspectFile(path("junk.aggstate"))).unwrap_err();
+        assert!(e.to_string().contains("junk.aggstate"), "{e}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! testable implementation.
 
 use geoalign_cli::{
-    format_timings, parse_args, parse_serve_args, parse_store_args, run_crosswalk, run_store,
-    CliError, USAGE,
+    format_timings, parse_agg_args, parse_args, parse_serve_args, parse_store_args, run_agg,
+    run_crosswalk, run_store, CliError, USAGE,
 };
 use std::process::ExitCode;
 
@@ -116,7 +116,7 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| CliError::Io(parsed.addr.clone(), e))?;
             eprintln!("geoalign-serve listening on http://{}", server.addr());
             eprintln!(
-                "endpoints: POST /systems /references /crosswalk /checkpoint — GET /healthz /metrics"
+                "endpoints: POST /systems /references /ingest /crosswalk /checkpoint — GET /healthz /metrics"
             );
             if let Some(dir) = &parsed.data_dir {
                 let state = server.state();
@@ -139,6 +139,11 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
         "store" => {
             let parsed = parse_store_args(rest)?;
             print!("{}", run_store(&parsed)?);
+            Ok(())
+        }
+        "agg" => {
+            let parsed = parse_agg_args(rest)?;
+            print!("{}", run_agg(&parsed)?);
             Ok(())
         }
         "--help" | "-h" | "help" => {

@@ -48,6 +48,16 @@ global_histogram!(
     "geoalign_core_solver_support_size",
     "Active-set size of the learned weights (references with nonzero beta)"
 );
+global_histogram!(
+    incremental_prepare_micros,
+    "geoalign_core_incremental_prepare_micros",
+    "Wall time of an incremental prepared-crosswalk update (one reference delta)"
+);
+global_counter!(
+    incremental_rows,
+    "geoalign_core_incremental_prepare_rows_total",
+    "Design-matrix rows touched by incremental prepared-crosswalk updates"
+);
 global_counter!(
     store_hits,
     "geoalign_core_store_hits_total",

@@ -18,6 +18,9 @@
 //! * `sys/<name>` — a unit system's identifier list;
 //! * `ref/<nnnnnnnn>` — one reference registration, in registration
 //!   order (the payload carries the system pair);
+//! * `agg/<nnnnnnnn>` — one streaming-ingest aggregate rollup, in
+//!   first-ingest order (the payload carries the system pair and the
+//!   full mergeable state, which subsumes every batch folded so far);
 //! * `prep/<fingerprint>/<len>/<len>/<source><target>` — a prepared
 //!   crosswalk; the explicit lengths keep names containing `/`
 //!   unambiguous.
@@ -42,6 +45,8 @@ pub const SYSTEM_PREFIX: &str = "sys/";
 pub const REFERENCE_PREFIX: &str = "ref/";
 /// Key prefix for prepared crosswalks.
 pub const PREPARED_PREFIX: &str = "prep/";
+/// Key prefix for streaming-ingest aggregate rollups.
+pub const AGG_PREFIX: &str = "agg/";
 
 /// Store key of the unit system `name`.
 pub fn system_key(name: &str) -> String {
@@ -57,6 +62,13 @@ pub fn system_name_from_key(key: &str) -> Option<&str> {
 /// lexicographic prefix iteration replays registrations in order.
 pub fn reference_key(index: u64) -> String {
     format!("{REFERENCE_PREFIX}{index:08}")
+}
+
+/// Store key of the `index`-th aggregate rollup. Zero-padded so
+/// lexicographic prefix iteration replays rollups in first-ingest order,
+/// keeping warm-start reference positions stable.
+pub fn agg_key(index: u64) -> String {
+    format!("{AGG_PREFIX}{index:08}")
 }
 
 /// Store key of a prepared crosswalk.
@@ -144,6 +156,48 @@ pub fn decode_reference(bytes: &[u8]) -> Result<(String, String, ReferenceData),
     let data = read_reference_data(&mut r)?;
     r.expect_end().map_err(|e| persist_err("reference", e))?;
     Ok((source, target, data))
+}
+
+// ---------------------------------------------------------------------
+// Aggregate rollups
+// ---------------------------------------------------------------------
+
+/// Encodes one streaming-ingest rollup: the system pair it belongs to
+/// plus the full mergeable [`AggState`](geoalign_agg::AggState). The
+/// state's own codec is canonical, so re-persisting an unchanged rollup
+/// writes the same bytes.
+pub fn encode_agg_rollup(source: &str, target: &str, state: &geoalign_agg::AggState) -> Vec<u8> {
+    let state_bytes = state.encode();
+    let mut w = ByteWriter::with_capacity(32 + state_bytes.len());
+    w.u8(CODEC_VERSION);
+    w.str(source);
+    w.str(target);
+    w.bytes(&state_bytes);
+    w.into_vec()
+}
+
+/// Decodes one rollup back into `(source, target, state)`.
+pub fn decode_agg_rollup(
+    bytes: &[u8],
+) -> Result<(String, String, geoalign_agg::AggState), CoreError> {
+    let mut r = ByteReader::new(bytes);
+    let (source, target, state_bytes) = (|| {
+        let version = r.u8()?;
+        if version != CODEC_VERSION {
+            return Err(geoalign_store::CodecError::new(format!(
+                "unsupported aggregate-rollup codec version {version}"
+            )));
+        }
+        let source = r.str()?.to_owned();
+        let target = r.str()?.to_owned();
+        let state_bytes = r.bytes()?;
+        r.expect_end()?;
+        Ok((source, target, state_bytes))
+    })()
+    .map_err(|e| persist_err("aggregate rollup", e))?;
+    let state = geoalign_agg::AggState::decode(state_bytes)
+        .map_err(|e| persist_err("aggregate rollup", e))?;
+    Ok((source, target, state))
 }
 
 fn write_reference_data(w: &mut ByteWriter, r: &ReferenceData) {
@@ -452,12 +506,47 @@ mod tests {
     }
 
     #[test]
+    fn agg_rollup_roundtrip_is_byte_identical() {
+        let mut state = geoalign_agg::AggState::new("pop", 3, 2).unwrap();
+        state.absorb(0, 1, 2.5).unwrap();
+        state.absorb(2, 0, 1e-300).unwrap();
+        state.absorb(0, 1, -0.5).unwrap();
+        state.record_skipped();
+        let bytes = encode_agg_rollup("zip", "county", &state);
+        let (source, target, back) = decode_agg_rollup(&bytes).unwrap();
+        assert_eq!(source, "zip");
+        assert_eq!(target, "county");
+        assert_eq!(back, state);
+        // Re-encoding reproduces the exact bytes (codec is canonical).
+        assert_eq!(encode_agg_rollup(&source, &target, &back), bytes);
+    }
+
+    #[test]
+    fn agg_rollup_decode_rejects_damage() {
+        let mut state = geoalign_agg::AggState::new("pop", 2, 2).unwrap();
+        state.absorb(1, 0, 4.0).unwrap();
+        let bytes = encode_agg_rollup("a", "b", &state);
+        for cut in 0..bytes.len() {
+            assert!(decode_agg_rollup(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut vbytes = bytes.clone();
+        vbytes[0] = 99;
+        assert!(decode_agg_rollup(&vbytes).is_err());
+        // Trailing garbage is rejected too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode_agg_rollup(&extended).is_err());
+    }
+
+    #[test]
     fn keys_are_stable_and_unambiguous() {
         assert_eq!(system_key("zip"), "sys/zip");
         assert_eq!(system_name_from_key("sys/a/b"), Some("a/b"));
         assert_eq!(system_name_from_key("ref/00000001"), None);
         assert_eq!(reference_key(3), "ref/00000003");
         assert!(reference_key(2) < reference_key(10));
+        assert_eq!(agg_key(7), "agg/00000007");
+        assert!(agg_key(2) < agg_key(10));
         let a = prepared_key(&CrosswalkKey {
             source: "a".into(),
             target: "b/c".into(),

@@ -156,6 +156,47 @@ impl IntegrationPipeline {
         Ok(())
     }
 
+    /// Replaces the reference at `position` for the `(source, target)`
+    /// pair — the streaming-ingest upsert: a live aggregate state folds a
+    /// new batch in, re-finalizes, and swaps its reference in place while
+    /// every other registration keeps its position (and hence its design-
+    /// matrix column). Dimensions are validated like
+    /// [`IntegrationPipeline::register_reference`].
+    pub fn replace_reference(
+        &mut self,
+        source: &str,
+        target: &str,
+        position: usize,
+        reference: ReferenceData,
+    ) -> Result<(), CoreError> {
+        let s = self.system(source)?;
+        let t = self.system(target)?;
+        if reference.n_source() != s.index.len() {
+            return Err(CoreError::SourceMismatch {
+                objective: s.index.len(),
+                reference: reference.n_source(),
+                name: reference.name().to_owned(),
+            });
+        }
+        if reference.n_target() != t.index.len() {
+            return Err(CoreError::TargetMismatch {
+                left: t.index.len(),
+                right: reference.n_target(),
+                name: reference.name().to_owned(),
+            });
+        }
+        let key = (source.to_owned(), target.to_owned());
+        let slot = self
+            .references
+            .get_mut(&key)
+            .and_then(|refs| refs.get_mut(position))
+            .ok_or_else(|| CoreError::UnknownReference {
+                name: format!("{source} -> {target} reference #{position}"),
+            })?;
+        *slot = reference;
+        Ok(())
+    }
+
     /// The registered unit identifiers of `system`.
     pub fn unit_ids(&self, system: &str) -> Result<&[String], CoreError> {
         Ok(self.system(system)?.index.ids())
@@ -431,6 +472,49 @@ mod tests {
         // Mass conserved regardless of the mixture.
         let total: f64 = joined.columns[0].values.iter().sum();
         assert!((total - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replace_reference_swaps_in_place() {
+        let mut p = pipeline();
+        let dm2 = DisaggregationMatrix::from_triples(
+            "accidents",
+            3,
+            2,
+            [(0, 0, 5.0), (1, 1, 9.0), (2, 1, 4.0)],
+        )
+        .unwrap();
+        p.register_reference(
+            "zip",
+            "county",
+            ReferenceData::from_dm("accidents", dm2).unwrap(),
+        )
+        .unwrap();
+        // Replace position 0; position 1 must keep its place.
+        let dm3 =
+            DisaggregationMatrix::from_triples("population", 3, 2, [(0, 0, 7.0), (2, 1, 3.0)])
+                .unwrap();
+        p.replace_reference(
+            "zip",
+            "county",
+            0,
+            ReferenceData::from_dm("population", dm3).unwrap(),
+        )
+        .unwrap();
+        let refs = p.references("zip", "county");
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].source().values()[0], 7.0);
+        assert_eq!(refs[1].name(), "accidents");
+        // Out-of-range position and bad dimensions are rejected.
+        let dm4 = DisaggregationMatrix::from_triples("x", 3, 2, [(0, 0, 1.0)]).unwrap();
+        let ok = ReferenceData::from_dm("x", dm4).unwrap();
+        assert!(p.replace_reference("zip", "county", 9, ok).is_err());
+        let dm5 = DisaggregationMatrix::from_triples("x", 2, 2, [(0, 0, 1.0)]).unwrap();
+        let bad = ReferenceData::from_dm("x", dm5).unwrap();
+        assert!(matches!(
+            p.replace_reference("zip", "county", 0, bad),
+            Err(CoreError::SourceMismatch { .. })
+        ));
     }
 
     #[test]

@@ -137,6 +137,100 @@ impl PreparedCrosswalk {
         self.prepare_time
     }
 
+    /// The incremental-maintenance delta path: rebuilds the snapshot after
+    /// exactly one reference changed — or one was appended, at
+    /// `index == references().len()` — re-deriving only that reference's
+    /// design column, Gram row/column and disaggregation row sums instead
+    /// of re-running the full `O(n²m)` prepare.
+    ///
+    /// The result is **bit-identical** to [`GeoAlign::prepare`] over the
+    /// same final reference set: unchanged columns keep their exact bits,
+    /// the touched Gram entries are the same independent dot products a
+    /// from-scratch build evaluates, and the Frobenius norm is recomputed
+    /// whole. This is what lets a streaming server fold `/ingest` batches
+    /// in and still answer exactly like a cold batch run.
+    ///
+    /// Returns the new snapshot plus the number of *touched rows*: source
+    /// units whose design-column value actually changed (all nonzero rows,
+    /// for an append).
+    pub fn with_reference_updated(
+        &self,
+        index: usize,
+        reference: ReferenceData,
+    ) -> Result<(PreparedCrosswalk, usize), CoreError> {
+        let t0 = Instant::now();
+        let _span = span!("incremental_prepare", index = index);
+        if index > self.refs.len() {
+            return Err(CoreError::UnknownReference {
+                name: format!("reference #{index}"),
+            });
+        }
+        if reference.n_source() != self.n_source {
+            return Err(CoreError::SourceMismatch {
+                objective: self.n_source,
+                reference: reference.n_source(),
+                name: reference.name().to_owned(),
+            });
+        }
+        if reference.n_target() != self.n_target {
+            return Err(CoreError::TargetMismatch {
+                left: self.n_target,
+                right: reference.n_target(),
+                name: reference.name().to_owned(),
+            });
+        }
+        let column = if self.config.normalize {
+            reference.source().normalized()
+        } else {
+            reference.source().values().to_vec()
+        };
+        let touched = if index < self.refs.len() {
+            let old = self.design.column(index);
+            column
+                .iter()
+                .zip(old)
+                .filter(|(a, b)| a.to_bits() != b.to_bits())
+                .count()
+        } else {
+            column.iter().filter(|&&v| v != 0.0).count()
+        };
+        // Unchanged columns are copied bit-for-bit out of the existing
+        // design; only the updated column is rebuilt from the reference.
+        let mut columns: Vec<Vec<f64>> = (0..self.design.ncols())
+            .map(|j| self.design.column(j).to_vec())
+            .collect();
+        if index < columns.len() {
+            columns[index] = column;
+        } else {
+            columns.push(column);
+        }
+        let design = DMatrix::from_columns(&columns)?;
+        let gram = self.gram.with_updated_column(&design, index)?;
+        let row_sums = reference.dm().matrix().row_sums();
+        let mut refs = self.refs.clone();
+        let mut row_sums_per_ref = self.row_sums_per_ref.clone();
+        if index < refs.len() {
+            refs[index] = reference;
+            row_sums_per_ref[index] = row_sums;
+        } else {
+            refs.push(reference);
+            row_sums_per_ref.push(row_sums);
+        }
+        crate::obs::incremental_rows().add(touched as u64);
+        let prepared = PreparedCrosswalk {
+            config: self.config,
+            refs,
+            design,
+            gram,
+            row_sums_per_ref,
+            n_source: self.n_source,
+            n_target: self.n_target,
+            prepare_time: t0.elapsed(),
+        };
+        crate::obs::incremental_prepare_micros().record(prepared.prepare_time);
+        Ok((prepared, touched))
+    }
+
     /// Runs the per-query half of Algorithm 1 against the snapshot.
     /// Numerically identical to [`GeoAlign::estimate`] with the same
     /// references: both run the simplex solver on the same Gram state and
@@ -390,6 +484,91 @@ mod tests {
             Err(CoreError::SourceMismatch { .. })
         ));
         assert!(GeoAlign::new().prepare(&[]).is_err());
+    }
+
+    /// Asserts two snapshots are bitwise identical in every field that
+    /// feeds the numerics (prepare_time is wall clock and excluded).
+    fn assert_prepared_identical(a: &PreparedCrosswalk, b: &PreparedCrosswalk) {
+        assert_eq!(a.n_source, b.n_source);
+        assert_eq!(a.n_target, b.n_target);
+        assert_eq!(a.refs.len(), b.refs.len());
+        for j in 0..a.design.ncols() {
+            for (x, y) in a.design.column(j).iter().zip(b.design.column(j)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "design col {j}");
+            }
+        }
+        assert_eq!(a.gram.frobenius().to_bits(), b.gram.frobenius().to_bits());
+        for j in 0..a.gram.n() {
+            for (x, y) in a.gram.gram().column(j).iter().zip(b.gram.gram().column(j)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "gram col {j}");
+            }
+        }
+        for (ra, rb) in a.row_sums_per_ref.iter().zip(&b.row_sums_per_ref) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row sums");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_is_bitwise_exact() {
+        let r1 = make_ref("a", &[&[3.0, 1.0], &[2.0, 2.0], &[0.0, 5.0]]);
+        let r2 = make_ref("b", &[&[1.0, 1.0], &[4.0, 0.0], &[1.0, 1.0]]);
+        let ga = GeoAlign::new();
+        let prepared = ga.prepare(&[&r1, &r2]).unwrap();
+
+        // Replacing a reference matches a from-scratch prepare bit for bit.
+        let r2v2 = make_ref("b", &[&[1.5, 1.0], &[4.0, 0.25], &[2.0, 1.0]]);
+        let (delta, touched) = prepared.with_reference_updated(1, r2v2.clone()).unwrap();
+        let scratch = ga.prepare(&[&r1, &r2v2]).unwrap();
+        assert_prepared_identical(&delta, &scratch);
+        assert!(touched > 0 && touched <= 3);
+
+        // Appending a reference matches too.
+        let r3 = make_ref("c", &[&[0.5, 0.5], &[1.0, 1.0], &[2.0, 0.0]]);
+        let (grown, appended_rows) = delta.with_reference_updated(2, r3.clone()).unwrap();
+        let scratch3 = ga.prepare(&[&r1, &r2v2, &r3]).unwrap();
+        assert_prepared_identical(&grown, &scratch3);
+        assert_eq!(appended_rows, 3);
+
+        // Applies through the delta snapshot are bit-identical as well.
+        let obj = agg(&[10.0, 20.0, 30.0]);
+        let via_delta = grown.apply_values(&obj).unwrap();
+        let via_scratch = scratch3.apply_values(&obj).unwrap();
+        for (p, q) in via_delta.estimate.iter().zip(&via_scratch.estimate) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+
+        // A sequence of replacements stays exact (no drift accumulation).
+        let mut rolling = grown;
+        let mut latest = r3;
+        for round in 1..=4 {
+            let v = round as f64;
+            latest = make_ref("c", &[&[0.5 * v, 0.5], &[1.0, v], &[2.0, 0.125 * v]]);
+            rolling = rolling.with_reference_updated(2, latest.clone()).unwrap().0;
+        }
+        let scratch_final = ga.prepare(&[&r1, &r2v2, &latest]).unwrap();
+        assert_prepared_identical(&rolling, &scratch_final);
+    }
+
+    #[test]
+    fn incremental_update_rejects_bad_shapes() {
+        let r = make_ref("a", &[&[1.0, 2.0], &[3.0, 4.0]]);
+        let prepared = GeoAlign::new().prepare(&[&r]).unwrap();
+        // Index beyond an append.
+        assert!(prepared.with_reference_updated(2, r.clone()).is_err());
+        // Source-dimension mismatch.
+        let bad = make_ref("b", &[&[1.0, 2.0]]);
+        assert!(matches!(
+            prepared.with_reference_updated(0, bad),
+            Err(CoreError::SourceMismatch { .. })
+        ));
+        // Target-dimension mismatch.
+        let bad = make_ref("b", &[&[1.0], &[2.0]]);
+        assert!(matches!(
+            prepared.with_reference_updated(0, bad),
+            Err(CoreError::TargetMismatch { .. })
+        ));
     }
 
     #[test]

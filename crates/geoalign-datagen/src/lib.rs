@@ -10,6 +10,8 @@
 //! * [`process`] — inhomogeneous, clustered and hard-core point processes;
 //! * [`universe`] — paired fine/coarse Voronoi unit systems, including the
 //!   six-level scalability hierarchy of paper Figure 6;
+//! * [`streaming`] — ordered point-batch streams (with duplicates and
+//!   out-of-region records) for the `/ingest` path;
 //! * [`datasets`] — the New York State (8 datasets) and United States
 //!   (10 datasets) catalogs of paper §4.1.
 
@@ -18,9 +20,11 @@
 pub mod datasets;
 pub mod intensity;
 pub mod process;
+pub mod streaming;
 pub mod towns;
 pub mod universe;
 
 pub use datasets::{ny_catalog, us_catalog, CatalogSize, SyntheticCatalog, SyntheticDataset};
+pub use streaming::{streaming_scenario, StreamingConfig, StreamingScenario};
 pub use towns::{Town, TownModel};
 pub use universe::{generate_hierarchy, HierarchyLevel, SyntheticUniverse, HIERARCHY};

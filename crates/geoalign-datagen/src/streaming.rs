@@ -1,0 +1,226 @@
+//! Ordered point-batch streams for exercising the `/ingest` path.
+//!
+//! A [`StreamingScenario`] is a universe plus an *ordered* sequence of
+//! point batches, the shape a live feed delivers them in. The stream is
+//! deliberately messy in the two ways real feeds are:
+//!
+//! * **duplicates** — a fraction of every batch re-emits an earlier record
+//!   bit-for-bit (same position, same weight), within the batch or from a
+//!   previous one, the way at-least-once delivery re-sends; and
+//! * **out-of-region points** — a fraction of records falls outside the
+//!   universe bounds and must be skipped (the paper's `OutsidePolicy::Skip`
+//!   census records whose geocode lands in the ocean).
+//!
+//! Because the aggregate fold is a split-invariant state merge, feeding the
+//! batches one at a time must end bit-identical to feeding
+//! [`StreamingScenario::all_points`] in one shot — the invariant the
+//! serve-layer streaming tests and `BENCH_ingest` lean on. Generation is
+//! deterministic per `(config, seed)`.
+
+use crate::towns::TownModel;
+use crate::universe::SyntheticUniverse;
+use geoalign_geom::{Aabb, Point2};
+use geoalign_partition::{PartitionError, WeightedPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size and messiness knobs for a streaming scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingConfig {
+    /// Approximate number of source (fine) units.
+    pub n_source: usize,
+    /// Approximate number of target (coarse) units.
+    pub n_target: usize,
+    /// Number of ordered batches in the stream.
+    pub n_batches: usize,
+    /// Points per batch (before duplication replaces some of them).
+    pub points_per_batch: usize,
+    /// Fraction of each batch re-emitting an earlier record verbatim.
+    pub duplicate_frac: f64,
+    /// Fraction of each batch falling outside the universe bounds.
+    pub outside_frac: f64,
+}
+
+impl StreamingConfig {
+    /// A small stream for tests and CI (sub-second generation).
+    pub fn small() -> Self {
+        Self {
+            n_source: 60,
+            n_target: 8,
+            n_batches: 6,
+            points_per_batch: 400,
+            duplicate_frac: 0.08,
+            outside_frac: 0.05,
+        }
+    }
+}
+
+/// A universe plus the ordered batches a feed would deliver over it.
+#[derive(Debug, Clone)]
+pub struct StreamingScenario {
+    /// The universe the stream's points live in (or just outside of).
+    pub universe: SyntheticUniverse,
+    /// Attribute name carried by every record.
+    pub attribute: String,
+    /// The ordered point batches; order matters to a consumer replaying
+    /// the feed, even though the aggregate fold itself is order-free.
+    pub batches: Vec<Vec<WeightedPoint>>,
+    /// Number of generated records lying outside the universe bounds
+    /// (a lower bound on what `OutsidePolicy::Skip` must drop — boundary
+    /// slivers of the tessellation can reject in-bounds points too).
+    pub n_outside: usize,
+    /// Number of records that are verbatim re-emissions of earlier ones.
+    pub n_duplicates: usize,
+}
+
+impl StreamingScenario {
+    /// The whole stream concatenated in feed order — what a one-shot
+    /// (non-streaming) consumer would aggregate for the exactness check.
+    pub fn all_points(&self) -> Vec<WeightedPoint> {
+        self.batches.iter().flatten().copied().collect()
+    }
+
+    /// Total records across all batches.
+    pub fn total_points(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+}
+
+/// Generates a streaming scenario: a town-structured universe and
+/// `n_batches` ordered batches with duplicate and out-of-region records
+/// mixed in. Deterministic per `(config, seed)`.
+pub fn streaming_scenario(
+    config: StreamingConfig,
+    seed: u64,
+) -> Result<StreamingScenario, PartitionError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (config.n_source as f64).sqrt().max(4.0);
+    let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(side, side));
+    let n_towns = (config.n_source / 3).max(6);
+    let towns = TownModel::generate(bounds, n_towns, 1.05, 5_000.0, 0.01, 0.05, &mut rng);
+    let universe = SyntheticUniverse::generate(
+        "streaming",
+        bounds,
+        config.n_source,
+        config.n_target,
+        &mut rng,
+    )?;
+
+    let mut batches: Vec<Vec<WeightedPoint>> = Vec::with_capacity(config.n_batches);
+    // Records already emitted, the duplicate pool: at-least-once delivery
+    // can re-send anything the feed has produced so far.
+    let mut emitted: Vec<WeightedPoint> = Vec::new();
+    let mut n_outside = 0usize;
+    let mut n_duplicates = 0usize;
+
+    for _ in 0..config.n_batches {
+        let mut batch = Vec::with_capacity(config.points_per_batch);
+        for _ in 0..config.points_per_batch {
+            let roll: f64 = rng.random::<f64>();
+            let p = if roll < config.duplicate_frac && !emitted.is_empty() {
+                // Verbatim re-emission — same bits, position and weight.
+                n_duplicates += 1;
+                emitted[rng.random_range(0..emitted.len())]
+            } else if roll < config.duplicate_frac + config.outside_frac {
+                // A record geocoded past the region edge, on a random side.
+                n_outside += 1;
+                let off = side * rng.random_range(0.05..0.5);
+                let along = rng.random_range(bounds.min.x..bounds.max.x);
+                let pos = match rng.random_range(0..4u32) {
+                    0 => Point2::new(bounds.min.x - off, along),
+                    1 => Point2::new(bounds.max.x + off, along),
+                    2 => Point2::new(along, bounds.min.y - off),
+                    _ => Point2::new(along, bounds.max.y + off),
+                };
+                WeightedPoint {
+                    pos,
+                    weight: rng.random_range(0.5..2.0),
+                }
+            } else {
+                WeightedPoint {
+                    pos: towns.sample(1, 1.0, 1.0, 0.05, &mut rng)[0],
+                    weight: rng.random_range(0.5..2.0),
+                }
+            };
+            emitted.push(p);
+            batch.push(p);
+        }
+        batches.push(batch);
+    }
+
+    Ok(StreamingScenario {
+        universe,
+        attribute: "footfall".to_owned(),
+        batches,
+        n_outside,
+        n_duplicates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoalign_agg::AggState;
+    use geoalign_exec::Executor;
+    use geoalign_partition::{aggregate_points_state, OutsidePolicy};
+
+    #[test]
+    fn scenario_is_deterministic_per_seed() {
+        let a = streaming_scenario(StreamingConfig::small(), 17).unwrap();
+        let b = streaming_scenario(StreamingConfig::small(), 17).unwrap();
+        assert_eq!(a.batches, b.batches);
+        let c = streaming_scenario(StreamingConfig::small(), 18).unwrap();
+        assert_ne!(a.batches, c.batches);
+    }
+
+    #[test]
+    fn stream_has_duplicates_and_outside_points() {
+        let s = streaming_scenario(StreamingConfig::small(), 5).unwrap();
+        assert_eq!(s.batches.len(), 6);
+        assert_eq!(s.total_points(), 6 * 400);
+        assert!(s.n_duplicates > 0, "no duplicate records generated");
+        assert!(s.n_outside > 0, "no out-of-region records generated");
+        // The counters describe the stream truthfully.
+        let outside = s
+            .all_points()
+            .iter()
+            .filter(|p| !s.universe.bounds.contains(p.pos))
+            .count();
+        assert!(outside >= s.n_outside, "{outside} < {}", s.n_outside);
+    }
+
+    #[test]
+    fn batchwise_fold_matches_one_shot_bitwise() {
+        let s = streaming_scenario(StreamingConfig::small(), 23).unwrap();
+        let exec = Executor::global();
+        let mut folded =
+            AggState::new(&s.attribute, s.universe.n_source(), s.universe.n_target()).unwrap();
+        for batch in &s.batches {
+            let part = aggregate_points_state(
+                &s.attribute,
+                batch,
+                &s.universe.source,
+                &s.universe.target,
+                OutsidePolicy::Skip,
+                exec,
+            )
+            .unwrap();
+            folded.merge(&part).unwrap();
+        }
+        let one_shot = aggregate_points_state(
+            &s.attribute,
+            &s.all_points(),
+            &s.universe.source,
+            &s.universe.target,
+            OutsidePolicy::Skip,
+            exec,
+        )
+        .unwrap();
+        assert_eq!(
+            folded.encode(),
+            one_shot.encode(),
+            "batch fold diverged from the one-shot aggregate"
+        );
+        assert!(folded.skipped() as usize >= s.n_outside);
+    }
+}

@@ -96,6 +96,51 @@ impl GramSystem {
         Ok(GramSystem { gram, frobenius })
     }
 
+    /// The incremental-prepare delta path: rebuilds the Gram state after
+    /// exactly one column of the design matrix changed (or one column was
+    /// appended), touching only that column's row/column of `G` instead of
+    /// recomputing all `O(n²)` dot products.
+    ///
+    /// `a` is the *full updated* design matrix and `index` the changed
+    /// column; `index == self.n()` grows the system by one column. Every
+    /// Gram entry is a single independent dot product with the lower
+    /// column index as the left operand — the same evaluation
+    /// [`GramSystem::new`] performs — and the Frobenius norm is recomputed
+    /// whole, so the result is bit-identical to a from-scratch build over
+    /// `a`.
+    pub fn with_updated_column(
+        &self,
+        a: &DMatrix,
+        index: usize,
+    ) -> Result<GramSystem, LinalgError> {
+        let old_n = self.n();
+        let n = a.ncols();
+        let grows = n == old_n + 1 && index == old_n;
+        if a.nrows() == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if index >= n || (n != old_n && !grows) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gram_update_column",
+                left: (old_n, old_n),
+                right: (n, index),
+            });
+        }
+        let mut gram = DMatrix::zeros(n, n);
+        for i in 0..old_n {
+            for j in 0..old_n {
+                gram[(i, j)] = self.gram[(i, j)];
+            }
+        }
+        for j in 0..n {
+            let (lo, hi) = (index.min(j), index.max(j));
+            let v = dot(a.column(lo), a.column(hi));
+            gram[(lo, hi)] = v;
+            gram[(hi, lo)] = v;
+        }
+        GramSystem::from_parts(gram, a.frobenius_norm())
+    }
+
     /// Number of columns of the underlying design matrix.
     pub fn n(&self) -> usize {
         self.gram.ncols()
@@ -539,6 +584,54 @@ mod tests {
         assert!(GramSystem::from_parts(gs.gram().clone(), -1.0).is_err());
         let rect = DMatrix::from_rows(&[&[1.0, 2.0]]).unwrap();
         assert!(GramSystem::from_parts(rect, 1.0).is_err());
+    }
+
+    /// Asserts two Gram states are bitwise identical.
+    fn assert_gram_identical(a: &GramSystem, b: &GramSystem) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.frobenius().to_bits(), b.frobenius().to_bits());
+        for j in 0..a.n() {
+            for (x, y) in a.gram().column(j).iter().zip(b.gram().column(j)) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn updated_column_matches_from_scratch_bitwise() {
+        let mut columns = vec![
+            vec![1.0, 0.5, 2.0, 0.125],
+            vec![0.25, 3.0, 1.0, 0.7],
+            vec![0.1, 0.2, 0.3, 0.4],
+        ];
+        let a0 = DMatrix::from_columns(&columns).unwrap();
+        let gs0 = GramSystem::new(&a0).unwrap();
+        // Replace each column in turn: the delta path must agree with a
+        // full rebuild bit for bit.
+        for index in 0..columns.len() {
+            let mut changed = columns.clone();
+            changed[index] = vec![9.0, 0.01, 4.5, 1.25];
+            let a1 = DMatrix::from_columns(&changed).unwrap();
+            let delta = gs0.with_updated_column(&a1, index).unwrap();
+            let scratch = GramSystem::new(&a1).unwrap();
+            assert_gram_identical(&delta, &scratch);
+        }
+        // Appending a column grows the system identically too.
+        columns.push(vec![0.9, 0.8, 0.7, 0.6]);
+        let a2 = DMatrix::from_columns(&columns).unwrap();
+        let grown = gs0.with_updated_column(&a2, 3).unwrap();
+        assert_gram_identical(&grown, &GramSystem::new(&a2).unwrap());
+    }
+
+    #[test]
+    fn updated_column_rejects_shape_mismatch() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let gs = GramSystem::new(&a).unwrap();
+        // Index beyond an append.
+        assert!(gs.with_updated_column(&a, 2).is_err());
+        // Column count that is neither n nor n+1.
+        let wide = DMatrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap();
+        assert!(gs.with_updated_column(&wide, 0).is_err());
     }
 
     #[test]

@@ -11,9 +11,9 @@ use crate::aggregate::AggregateVector;
 use crate::disagg::DisaggregationMatrix;
 use crate::error::PartitionError;
 use crate::unit_system::PolygonUnitSystem;
+use geoalign_agg::AggState;
 use geoalign_exec::Executor;
 use geoalign_geom::Point2;
-use geoalign_linalg::CooMatrix;
 
 /// A point record with a weight (1 for plain counts).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,22 +81,15 @@ pub fn aggregate_points(
     )
 }
 
-/// Per-chunk partial state of a point aggregation: the two marginal
-/// accumulators, the COO triples in point order, and the skip count.
-struct ChunkAggregates {
-    src: Vec<f64>,
-    tgt: Vec<f64>,
-    triples: Vec<(usize, usize, f64)>,
-    skipped: usize,
-}
-
 /// [`aggregate_points`] on an explicit executor.
 ///
-/// Points fan out in chunks; each chunk accumulates its own `src`/`tgt`
-/// partial sums and COO triples, and the partials merge strictly in chunk
-/// order. Chunk boundaries depend only on `points.len()`, so the result
-/// is bit-identical at every thread count; errors surface for the
-/// lowest-indexed offending point, exactly like a sequential scan.
+/// Points fan out in chunks; each chunk folds into its own [`AggState`]
+/// partial and the partials merge strictly in chunk order. The state's
+/// cell sums are exact, so the merged state — and everything finalized
+/// from it — is bit-identical at every thread count *and* under any other
+/// split of the same points (see [`aggregate_points_state`]); errors
+/// surface for the lowest-indexed offending point, exactly like a
+/// sequential scan.
 pub fn aggregate_points_with(
     attribute: &str,
     points: &[WeightedPoint],
@@ -105,13 +98,25 @@ pub fn aggregate_points_with(
     policy: OutsidePolicy,
     exec: Executor,
 ) -> Result<CrosswalkAggregates, PartitionError> {
+    let state = aggregate_points_state(attribute, points, source, target, policy, exec)?;
+    CrosswalkAggregates::from_state(&state)
+}
+
+/// Aggregates weighted points into a mergeable [`AggState`] partial — the
+/// two-step form of [`aggregate_points_with`]. The returned state can be
+/// serialized, shipped and merged with states built from other batches of
+/// the same universe; folding any partition of the same points yields
+/// bit-identical state.
+pub fn aggregate_points_state(
+    attribute: &str,
+    points: &[WeightedPoint],
+    source: &PolygonUnitSystem,
+    target: &PolygonUnitSystem,
+    policy: OutsidePolicy,
+    exec: Executor,
+) -> Result<AggState, PartitionError> {
     let per_chunk = exec.par_chunks(points, |offset, chunk| {
-        let mut part = ChunkAggregates {
-            src: vec![0.0; source.len()],
-            tgt: vec![0.0; target.len()],
-            triples: Vec::new(),
-            skipped: 0,
-        };
+        let mut part = AggState::new(attribute, source.len(), target.len())?;
         for (k, p) in chunk.iter().enumerate() {
             let index = offset + k;
             if !p.pos.is_finite() || !p.weight.is_finite() {
@@ -120,7 +125,7 @@ pub fn aggregate_points_with(
             let (Some(si), Some(ti)) = (source.locate(p.pos), target.locate(p.pos)) else {
                 match policy {
                     OutsidePolicy::Skip => {
-                        part.skipped += 1;
+                        part.record_skipped();
                         continue;
                     }
                     OutsidePolicy::Error => {
@@ -128,39 +133,39 @@ pub fn aggregate_points_with(
                     }
                 }
             };
-            part.src[si] += p.weight;
-            part.tgt[ti] += p.weight;
-            part.triples.push((si, ti, p.weight));
+            part.absorb(si, ti, p.weight)?;
         }
         Ok(part)
     })?;
 
-    // Ordered merge: chunks are ascending point ranges, so folding them
-    // left-to-right reproduces the sequential accumulation order and the
-    // first error is the sequential first error.
-    let mut src = vec![0.0; source.len()];
-    let mut tgt = vec![0.0; target.len()];
-    let mut coo = CooMatrix::new(source.len(), target.len());
-    let mut skipped = 0usize;
+    // Ordered fold: chunks are ascending point ranges, so folding them
+    // left-to-right surfaces the sequential first error. The merge itself
+    // is order-independent — the state is exact.
+    let mut state = AggState::new(attribute, source.len(), target.len())?;
     for chunk in per_chunk {
-        let part = chunk?;
-        for (acc, v) in src.iter_mut().zip(&part.src) {
-            *acc += v;
-        }
-        for (acc, v) in tgt.iter_mut().zip(&part.tgt) {
-            *acc += v;
-        }
-        for (si, ti, w) in part.triples {
-            coo.push(si, ti, w)?;
-        }
-        skipped += part.skipped;
+        state.merge(&chunk?)?;
     }
-    Ok(CrosswalkAggregates {
-        source: AggregateVector::new(attribute, src)?,
-        target: AggregateVector::new(attribute, tgt)?,
-        dm: DisaggregationMatrix::new(attribute, coo.to_csr())?,
-        skipped,
-    })
+    Ok(state)
+}
+
+impl CrosswalkAggregates {
+    /// The accessor half of the two-step aggregation: rounds a mergeable
+    /// [`AggState`] into the three-level view the estimator consumes.
+    pub fn from_state(state: &AggState) -> Result<Self, PartitionError> {
+        let fin = state.finalize();
+        let dm = DisaggregationMatrix::from_triples(
+            &fin.attribute,
+            state.n_source(),
+            state.n_target(),
+            fin.triples.iter().copied(),
+        )?;
+        Ok(CrosswalkAggregates {
+            source: AggregateVector::new(&fin.attribute, fin.source)?,
+            target: AggregateVector::new(&fin.attribute, fin.target)?,
+            dm,
+            skipped: fin.skipped as usize,
+        })
+    }
 }
 
 #[cfg(test)]

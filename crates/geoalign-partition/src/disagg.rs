@@ -36,6 +36,22 @@ impl DisaggregationMatrix {
         })
     }
 
+    /// Builds from a mergeable aggregate state — the delta path of the
+    /// streaming pipeline. Folding a new batch into an
+    /// [`AggState`](geoalign_agg::AggState) and rebuilding through here
+    /// yields the exact matrix a from-scratch aggregation of all points
+    /// would produce, because the state's cell sums are exact and rounded
+    /// once.
+    pub fn from_state(state: &geoalign_agg::AggState) -> Result<Self, PartitionError> {
+        let fin = state.finalize();
+        Self::from_triples(
+            &fin.attribute,
+            state.n_source(),
+            state.n_target(),
+            fin.triples.iter().copied(),
+        )
+    }
+
     /// Builds from `(source, target, value)` triples.
     pub fn from_triples(
         attribute: impl Into<String>,

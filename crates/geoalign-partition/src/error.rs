@@ -46,6 +46,8 @@ pub enum PartitionError {
     Table(crate::table::TableError),
     /// A parallel job failed (a task panicked).
     Exec(geoalign_exec::ExecError),
+    /// The underlying aggregate-state layer failed.
+    Aggregate(geoalign_agg::AggError),
 }
 
 impl fmt::Display for PartitionError {
@@ -72,6 +74,7 @@ impl fmt::Display for PartitionError {
             }
             PartitionError::Table(e) => write!(f, "table error: {e}"),
             PartitionError::Exec(e) => write!(f, "execution error: {e}"),
+            PartitionError::Aggregate(e) => write!(f, "aggregate error: {e}"),
         }
     }
 }
@@ -83,6 +86,7 @@ impl std::error::Error for PartitionError {
             PartitionError::Linalg(e) => Some(e),
             PartitionError::Table(e) => Some(e),
             PartitionError::Exec(e) => Some(e),
+            PartitionError::Aggregate(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +107,12 @@ impl From<geoalign_linalg::LinalgError> for PartitionError {
 impl From<geoalign_exec::ExecError> for PartitionError {
     fn from(e: geoalign_exec::ExecError) -> Self {
         PartitionError::Exec(e)
+    }
+}
+
+impl From<geoalign_agg::AggError> for PartitionError {
+    fn from(e: geoalign_agg::AggError) -> Self {
+        PartitionError::Aggregate(e)
     }
 }
 

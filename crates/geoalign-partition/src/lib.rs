@@ -27,7 +27,8 @@ pub mod unit_system;
 
 pub use aggregate::AggregateVector;
 pub use crosswalk::{
-    aggregate_points, aggregate_points_with, CrosswalkAggregates, OutsidePolicy, WeightedPoint,
+    aggregate_points, aggregate_points_state, aggregate_points_with, CrosswalkAggregates,
+    OutsidePolicy, WeightedPoint,
 };
 pub use disagg::DisaggregationMatrix;
 pub use error::PartitionError;

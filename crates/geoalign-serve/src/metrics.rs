@@ -43,6 +43,11 @@ pub struct Metrics {
     pub timeouts: Counter,
     /// Request bodies rejected for JSON nesting past the depth limit.
     pub depth_limit_rejections: Counter,
+    /// Design-matrix rows touched by incremental prepared-crosswalk
+    /// updates on `/ingest`.
+    pub ingest_touched_rows: Counter,
+    /// Points per `/ingest` batch (a value histogram, not a latency).
+    pub ingest_batch_points: Arc<Histogram>,
     /// Wall-clock latency of whole requests.
     pub request_latency: Arc<Histogram>,
     /// Prepare-phase latency (cache misses only).
@@ -96,6 +101,14 @@ impl Default for Metrics {
             "geoalign_serve_depth_limit_total",
             "Bodies rejected for JSON nesting past the depth limit",
         );
+        let ingest_touched_rows = registry.counter(
+            "geoalign_serve_ingest_touched_rows_total",
+            "Design-matrix rows touched by incremental prepared-crosswalk updates on /ingest",
+        );
+        let ingest_batch_points = registry.histogram(
+            "geoalign_serve_ingest_batch_points",
+            "Points per /ingest batch",
+        );
         let request_latency = registry.histogram(
             "geoalign_serve_request_latency_micros",
             "Wall-clock latency of whole requests",
@@ -124,6 +137,8 @@ impl Default for Metrics {
             body_limit_rejections,
             timeouts,
             depth_limit_rejections,
+            ingest_touched_rows,
+            ingest_batch_points,
             request_latency,
             prepare_latency,
             weight_learning_latency,
@@ -197,6 +212,14 @@ impl Metrics {
             (
                 "depth_limit_rejections",
                 Json::Number(self.depth_limit_rejections.get() as f64),
+            ),
+            (
+                "ingest_touched_rows",
+                Json::Number(self.ingest_touched_rows.get() as f64),
+            ),
+            (
+                "ingest_batch_points",
+                histogram_to_json(&self.ingest_batch_points),
             ),
             ("request_latency", histogram_to_json(&self.request_latency)),
             ("prepare_latency", histogram_to_json(&self.prepare_latency)),
@@ -317,6 +340,8 @@ mod tests {
                 "body_limit_rejections",
                 "timeouts",
                 "depth_limit_rejections",
+                "ingest_touched_rows",
+                "ingest_batch_points",
                 "request_latency",
                 "prepare_latency",
                 "weight_learning_latency",

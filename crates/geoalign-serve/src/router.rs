@@ -4,6 +4,7 @@
 //! |--------|---------------|------------------------------------------------|
 //! | POST   | `/systems`    | register a unit system                         |
 //! | POST   | `/references` | register a reference crosswalk                 |
+//! | POST   | `/ingest`     | fold a point batch into a streaming reference  |
 //! | POST   | `/crosswalk`  | apply one crosswalk to a batch of attributes   |
 //! | GET    | `/healthz`    | readiness: store size, uptime, build info      |
 //! | GET    | `/metrics`    | counters, cache stats, latency histograms      |
@@ -28,23 +29,30 @@ pub fn route(state: &AppState, req: &Request) -> Response {
     let result = match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/systems") => post_systems(state, req),
         ("POST", "/references") => post_references(state, req),
+        ("POST", "/ingest") => post_ingest(state, req),
         ("POST", "/crosswalk") => post_crosswalk(state, req),
         ("POST", "/checkpoint") => post_checkpoint(state),
         ("GET", "/healthz") => Ok(get_healthz(state)),
         ("GET", "/metrics") => Ok(get_metrics(state, req)),
-        (
-            _,
-            "/systems" | "/references" | "/crosswalk" | "/checkpoint" | "/healthz" | "/metrics",
-        ) => Err(HttpError {
-            status: 405,
-            message: format!("method {} not allowed", req.method),
-        }),
+        (_, "/systems" | "/references" | "/ingest" | "/crosswalk" | "/checkpoint") => {
+            Ok(method_not_allowed(&req.method, "POST"))
+        }
+        (_, "/healthz" | "/metrics") => Ok(method_not_allowed(&req.method, "GET")),
         _ => Err(HttpError {
             status: 404,
             message: format!("no route for {}", req.path),
         }),
     };
     result.unwrap_or_else(Response::from)
+}
+
+/// A 405 carrying the `Allow` header RFC 9110 requires. The request was
+/// fully parsed, so the connection stays open — unlike protocol errors,
+/// where the stream position is unknown.
+fn method_not_allowed(method: &str, allow: &'static str) -> Response {
+    let mut resp = Response::error(405, &format!("method {method} not allowed"));
+    resp.set_header("Allow", allow);
+    resp
 }
 
 /// Parses the JSON body; a depth-limit rejection (stack-overflow guard)
@@ -188,6 +196,99 @@ fn post_references(state: &AppState, req: &Request) -> Result<Response, HttpErro
             ("pair", Json::from(format!("{source}->{target}"))),
             ("nnz", Json::Number(nnz as f64)),
             ("references_for_pair", Json::Number(count as f64)),
+        ])
+        .to_string()
+        .into_bytes(),
+    ))
+}
+
+/// `POST /ingest` — body
+/// `{"source": "zip", "target": "county", "attribute": "pop",
+///   "points": [["z1", "A", 2.5], ...]}`
+/// where each point is `[source unit id, target unit id, weight]`.
+///
+/// Folds the batch into the pair's streaming reference: the first batch
+/// registers it, later batches merge into its state and replace it in
+/// place, refreshing any cached prepared crosswalk through the
+/// incremental delta path. Points naming unknown units are skipped and
+/// counted (mirroring `OutsidePolicy::Skip`); negative or non-finite
+/// weights reject the whole batch up front, so a batch is folded
+/// all-or-nothing.
+fn post_ingest(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+    let doc = parse_body(state, req)?;
+    let source = str_field(&doc, "source")?;
+    let target = str_field(&doc, "target")?;
+    let attribute = str_field(&doc, "attribute")?;
+    let entries = array_field(&doc, "points")?;
+    if entries.is_empty() {
+        return Err(HttpError::bad_request("'points' must not be empty"));
+    }
+
+    let (source_ids, target_ids) = {
+        let pipeline = state.pipeline();
+        (
+            pipeline
+                .unit_ids(source)
+                .map_err(|e| core_error(&e))?
+                .to_vec(),
+            pipeline
+                .unit_ids(target)
+                .map_err(|e| core_error(&e))?
+                .to_vec(),
+        )
+    };
+
+    let mut points = Vec::with_capacity(entries.len());
+    let mut unknown = 0u64;
+    for entry in entries {
+        let fields = entry
+            .as_array()
+            .filter(|f| f.len() == 3)
+            .ok_or_else(|| HttpError::bad_request("each point must be [source, target, weight]"))?;
+        let s = fields[0]
+            .as_str()
+            .ok_or_else(|| HttpError::bad_request("point source unit must be a string"))?;
+        let t = fields[1]
+            .as_str()
+            .ok_or_else(|| HttpError::bad_request("point target unit must be a string"))?;
+        let w = fields[2]
+            .as_f64()
+            .ok_or_else(|| HttpError::bad_request("point weight must be a number"))?;
+        if !w.is_finite() || w < 0.0 {
+            return Err(HttpError::bad_request(format!(
+                "point weight {w} must be finite and non-negative"
+            )));
+        }
+        match (
+            source_ids.iter().position(|u| u == s),
+            target_ids.iter().position(|u| u == t),
+        ) {
+            (Some(si), Some(ti)) => points.push((si, ti, w)),
+            _ => unknown += 1,
+        }
+    }
+
+    state
+        .metrics
+        .ingest_batch_points
+        .record_value(entries.len() as u64);
+    let outcome = state
+        .ingest(source, target, attribute, &points, unknown)
+        .map_err(|e| core_error(&e))?;
+    Ok(Response::json(
+        Json::object([
+            ("ingested", Json::from(attribute)),
+            ("pair", Json::from(format!("{source}->{target}"))),
+            ("absorbed", Json::Number(outcome.absorbed as f64)),
+            ("skipped", Json::Number(outcome.skipped as f64)),
+            ("total_points", Json::Number(outcome.total_points as f64)),
+            ("total_skipped", Json::Number(outcome.total_skipped as f64)),
+            (
+                "references_for_pair",
+                Json::Number(outcome.references_for_pair as f64),
+            ),
+            ("incremental", Json::Bool(outcome.incremental)),
+            ("touched_rows", Json::Number(outcome.touched_rows as f64)),
         ])
         .to_string()
         .into_bytes(),

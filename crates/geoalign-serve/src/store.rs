@@ -5,10 +5,13 @@
 //! cache and metrics traffic is lock-free or sharded.
 
 use crate::metrics::Metrics;
+use geoalign_agg::AggState;
 use geoalign_core::{
     persist, CoreError, CrosswalkKey, CrosswalkStore, DurableBacking, IntegrationPipeline,
     PreparedCrosswalk, ReferenceData,
 };
+use geoalign_partition::DisaggregationMatrix;
+use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -16,6 +19,46 @@ use std::time::Instant;
 
 /// Default number of prepared crosswalks the cache retains.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// One streaming reference fed by `/ingest`: its durable rollup key, its
+/// position within the pair's reference list, and the mergeable state
+/// every batch so far has been folded into.
+#[derive(Debug)]
+struct IngestSlot {
+    agg_index: u64,
+    position: usize,
+    state: AggState,
+}
+
+/// All streaming references, keyed by `(source, target, attribute)`.
+#[derive(Debug, Default)]
+struct IngestRegistry {
+    slots: HashMap<(String, String, String), IngestSlot>,
+    /// Next `agg/<nnnnnnnn>` key index — one past the highest replayed.
+    next_index: u64,
+}
+
+/// What one `/ingest` batch did, for the response body.
+#[derive(Debug)]
+pub struct IngestOutcome {
+    /// Points folded into the state this batch.
+    pub absorbed: u64,
+    /// Points skipped this batch (unknown unit ids).
+    pub skipped: u64,
+    /// Points folded across every batch so far.
+    pub total_points: u64,
+    /// Points skipped across every batch so far.
+    pub total_skipped: u64,
+    /// The streaming reference's position within the pair.
+    pub position: usize,
+    /// References registered for the pair after the fold.
+    pub references_for_pair: usize,
+    /// Whether a cached prepared crosswalk was refreshed in place through
+    /// the incremental delta path (vs left for the next `/crosswalk`).
+    pub incremental: bool,
+    /// Design-matrix rows the incremental update touched.
+    pub touched_rows: usize,
+}
 
 /// Everything the worker threads share.
 pub struct AppState {
@@ -31,6 +74,9 @@ pub struct AppState {
     durable: Option<Arc<DurableBacking>>,
     /// Next `ref/<nnnnnnnn>` key index — one past the highest replayed.
     next_ref_index: AtomicU64,
+    /// Streaming-ingest references. Lock order: pipeline write lock
+    /// first, then this (only [`Self::ingest`] takes both).
+    ingest: Mutex<IngestRegistry>,
 }
 
 impl std::fmt::Debug for AppState {
@@ -60,6 +106,7 @@ impl AppState {
             access_log: Mutex::new(None),
             durable: None,
             next_ref_index: AtomicU64::new(0),
+            ingest: Mutex::new(IngestRegistry::default()),
         })
     }
 
@@ -98,6 +145,33 @@ impl AppState {
                 next_ref_index = next_ref_index.max(idx + 1);
             }
         }
+        // `agg/<nnnnnnnn>` keys sort in first-ingest order. Streaming
+        // references append after the replayed static registrations, so
+        // warm positions match the cold server's as long as a pair's
+        // static references are all registered before its first ingest
+        // (the supported ordering; DESIGN.md §12).
+        let mut ingest = IngestRegistry::default();
+        for (key, bytes) in backing.store().iter_prefix(persist::AGG_PREFIX) {
+            let (source, target, state) = persist::decode_agg_rollup(&bytes)?;
+            let dm = DisaggregationMatrix::from_state(&state).map_err(CoreError::from)?;
+            let reference = ReferenceData::from_dm(state.attribute(), dm)?;
+            let position = pipeline.reference_count(&source, &target);
+            pipeline.register_reference(&source, &target, reference)?;
+            let agg_index = key
+                .strip_prefix(persist::AGG_PREFIX)
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(ingest.next_index);
+            ingest.next_index = ingest.next_index.max(agg_index + 1);
+            let attribute = state.attribute().to_owned();
+            ingest.slots.insert(
+                (source, target, attribute),
+                IngestSlot {
+                    agg_index,
+                    position,
+                    state,
+                },
+            );
+        }
 
         Ok(Arc::new(AppState {
             pipeline: RwLock::new(pipeline),
@@ -107,6 +181,7 @@ impl AppState {
             access_log: Mutex::new(None),
             durable: Some(backing),
             next_ref_index: AtomicU64::new(next_ref_index),
+            ingest: Mutex::new(ingest),
         }))
     }
 
@@ -161,6 +236,158 @@ impl AppState {
                 detail: e.to_string(),
             })?;
         Ok(())
+    }
+
+    /// Writes a streaming-ingest rollup through to the durable store
+    /// under its assigned `agg/<nnnnnnnn>` key. Each fold overwrites the
+    /// previous rollup for the slot — the mergeable state subsumes every
+    /// batch — so warm-start replay reads one record per streaming
+    /// reference. Synchronous, like [`Self::persist_reference`], and for
+    /// the same reason called under the pipeline write lock.
+    fn persist_agg_rollup(
+        &self,
+        index: u64,
+        source: &str,
+        target: &str,
+        state: &AggState,
+    ) -> Result<(), CoreError> {
+        let Some(backing) = &self.durable else {
+            return Ok(());
+        };
+        backing
+            .store()
+            .put(
+                &persist::agg_key(index),
+                persist::encode_agg_rollup(source, target, state),
+            )
+            .map_err(|e| CoreError::Persist {
+                detail: e.to_string(),
+            })?;
+        Ok(())
+    }
+
+    /// Folds one `/ingest` batch of pre-located points into the streaming
+    /// reference for `(source, target, attribute)`.
+    ///
+    /// The first batch for a key registers a new reference on the pair;
+    /// later batches merge into the slot's [`AggState`] and replace that
+    /// reference in place, so `/crosswalk` always answers over the full
+    /// point stream seen so far — byte-identical to a cold server fed the
+    /// concatenated points in one shot, because the state's merge is
+    /// split-invariant and the prepared-crosswalk delta path is bitwise
+    /// exact. A cached prepared crosswalk for the pair is refreshed
+    /// through [`PreparedCrosswalk::with_reference_updated`] (re-solving
+    /// only the touched design rows) and re-keyed; the stale cache entry
+    /// is invalidated either way. The updated rollup is written through
+    /// to the durable store before the fold commits.
+    ///
+    /// `points` are `(source unit, target unit, weight)` index triples
+    /// already resolved and validated by the caller; `unknown` counts the
+    /// batch's points that named unknown units (recorded as skipped,
+    /// mirroring `OutsidePolicy::Skip`).
+    pub fn ingest(
+        &self,
+        source: &str,
+        target: &str,
+        attribute: &str,
+        points: &[(usize, usize, f64)],
+        unknown: u64,
+    ) -> Result<IngestOutcome, CoreError> {
+        let mut pipeline = self.pipeline_mut();
+        let n_source = pipeline.unit_ids(source)?.len();
+        let n_target = pipeline.unit_ids(target)?.len();
+
+        // The pair's cache key before the fold — the entry to refresh
+        // incrementally and then invalidate.
+        let old_key = {
+            let refs: Vec<&ReferenceData> = pipeline.references(source, target).iter().collect();
+            (!refs.is_empty()).then(|| CrosswalkKey::new(source, target, &refs))
+        };
+
+        let mut batch = AggState::new(attribute, n_source, n_target)
+            .map_err(geoalign_partition::PartitionError::from)?;
+        for &(si, ti, w) in points {
+            batch
+                .absorb(si, ti, w)
+                .map_err(geoalign_partition::PartitionError::from)?;
+        }
+        for _ in 0..unknown {
+            batch.record_skipped();
+        }
+        let absorbed = batch.count();
+
+        let mut registry = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        let slot_key = (source.to_owned(), target.to_owned(), attribute.to_owned());
+        let (state, position, agg_index, appended) = match registry.slots.get(&slot_key) {
+            Some(slot) => {
+                let mut state = slot.state.clone();
+                state
+                    .merge(&batch)
+                    .map_err(geoalign_partition::PartitionError::from)?;
+                (state, slot.position, slot.agg_index, false)
+            }
+            None => (
+                batch,
+                pipeline.reference_count(source, target),
+                registry.next_index,
+                true,
+            ),
+        };
+        let total_points = state.count();
+        let total_skipped = state.skipped();
+
+        let dm = DisaggregationMatrix::from_state(&state)?;
+        let reference = ReferenceData::from_dm(attribute, dm)?;
+        if appended {
+            pipeline.register_reference(source, target, reference.clone())?;
+        } else {
+            pipeline.replace_reference(source, target, position, reference.clone())?;
+        }
+        // Durable write under both locks, so rollup state on disk never
+        // runs ahead of (or falls behind) the registered reference.
+        self.persist_agg_rollup(agg_index, source, target, &state)?;
+        if appended {
+            registry.next_index += 1;
+        }
+        registry.slots.insert(
+            slot_key,
+            IngestSlot {
+                agg_index,
+                position,
+                state,
+            },
+        );
+        drop(registry);
+
+        let references_for_pair = pipeline.reference_count(source, target);
+        let mut touched_rows = 0usize;
+        let mut incremental = false;
+        if let Some(old) = &old_key {
+            if let Some(prepared) = self.cache.get(old) {
+                let (updated, touched) = prepared.with_reference_updated(position, reference)?;
+                let refs: Vec<&ReferenceData> =
+                    pipeline.references(source, target).iter().collect();
+                let new_key = CrosswalkKey::new(source, target, &refs);
+                self.cache.insert(new_key, Arc::new(updated));
+                touched_rows = touched;
+                incremental = true;
+            }
+            // Only the folded pair's entry is touched; prepared
+            // crosswalks for other pairs stay cached.
+            self.cache.invalidate(old);
+        }
+        self.metrics.ingest_touched_rows.add(touched_rows as u64);
+
+        Ok(IngestOutcome {
+            absorbed,
+            skipped: unknown,
+            total_points,
+            total_skipped,
+            position,
+            references_for_pair,
+            incremental,
+            touched_rows,
+        })
     }
 
     /// Time since this state was created (the server's uptime).

@@ -73,6 +73,7 @@ impl Client {
             status,
             connection: header("Connection").unwrap_or_default(),
             retry_after: header("Retry-After"),
+            allow: header("Allow"),
             body: String::from_utf8_lossy(&body).into_owned(),
         })
     }
@@ -88,6 +89,7 @@ struct ResponseView {
     status: u16,
     connection: String,
     retry_after: Option<String>,
+    allow: Option<String>,
     body: String,
 }
 
@@ -113,6 +115,35 @@ fn one_connection_serves_many_requests_without_advertising_close() {
     assert_eq!(server.state().metrics.keepalive_reuse.get(), 3);
     // Close the client first so the pinned worker unblocks on EOF
     // instead of holding shutdown until the idle timeout.
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn unsupported_methods_get_405_with_allow() {
+    let server = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr());
+
+    client.send("GET", "/ingest", "", "");
+    let reply = client.read_response().unwrap();
+    assert_eq!(reply.status, 405, "{}", reply.body);
+    assert_eq!(reply.allow.as_deref(), Some("POST"));
+    // The request was fully parsed, so — unlike protocol errors — the
+    // connection stays open...
+    assert_eq!(reply.connection, "keep-alive");
+
+    // ...and keeps serving: a write-method probe of a read route names
+    // the right verb, then a well-formed request succeeds.
+    client.send("DELETE", "/metrics", "", "");
+    let reply = client.read_response().unwrap();
+    assert_eq!(reply.status, 405);
+    assert_eq!(reply.allow.as_deref(), Some("GET"));
+
+    client.send("GET", "/healthz", "", "");
+    let reply = client.read_response().unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(reply.allow.is_none(), "2xx must not carry Allow");
+
     drop(client);
     server.shutdown();
 }

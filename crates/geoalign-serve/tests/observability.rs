@@ -144,6 +144,21 @@ fn prometheus_exposition_is_served_over_tcp() {
 
     assert!(send(addr, &crosswalk_request("")).starts_with("HTTP/1.1 200 OK"));
 
+    // Two /ingest batches: the first registers the streaming reference,
+    // the second folds into it (a state merge).
+    for _ in 0..2 {
+        let body = r#"{"source":"zip","target":"county","attribute":"footfall",
+            "points":[["z1","A",2],["z2","B",1.5],["z3","B",4]]}"#;
+        let reply = send(
+            addr,
+            &format!(
+                "POST /ingest HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    }
+
     let metrics = send(
         addr,
         "GET /metrics?format=prometheus HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
@@ -155,6 +170,17 @@ fn prometheus_exposition_is_served_over_tcp() {
     assert!(metrics.contains("# TYPE geoalign_serve_requests_total counter"));
     assert!(metrics.contains("geoalign_serve_request_latency_micros_count"));
     assert!(metrics.contains("geoalign_serve_cache_misses_total 1"));
+    // The ingest batch-size histogram: two batches of three points each.
+    assert!(
+        metrics.contains("# TYPE geoalign_serve_ingest_batch_points histogram"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("geoalign_serve_ingest_batch_points_count 2"));
+    assert!(metrics.contains("geoalign_serve_ingest_batch_points_sum 6"));
+    assert!(metrics.contains("geoalign_serve_ingest_touched_rows_total"));
+    // The second batch merged into the first's state; the aggregate
+    // crate's merge counter rides in via the process-global registry.
+    assert!(metrics.contains("geoalign_agg_merge_total"), "{metrics}");
 
     server.shutdown();
 }

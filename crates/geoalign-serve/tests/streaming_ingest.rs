@@ -1,0 +1,192 @@
+//! Streaming-ingest exactness tests: after any sequence of `/ingest`
+//! batches, `/crosswalk` must answer **byte-identically** to a cold
+//! server fed the concatenated points in one shot — the fold is a
+//! split-invariant state merge and the cached prepared crosswalk is
+//! refreshed through a bitwise-exact delta path, so the two servers are
+//! observationally indistinguishable. The durable variant stops the
+//! first server uncleanly (no checkpoint, WAL only — the on-disk state a
+//! SIGKILL leaves behind) and requires the warm restart to keep the same
+//! guarantee.
+
+use geoalign_serve::{route, AppState, Json, Request};
+use std::sync::Arc;
+
+const ZIPS: [&str; 4] = ["z1", "z2", "z3", "z4"];
+
+/// Point batches with duplicates (same point repeated within and across
+/// batches) and out-of-region points (`zX`, `q9`) that must be skipped.
+const BATCHES: [&[(&str, &str, f64)]; 3] = [
+    &[
+        ("z1", "A", 2.0),
+        ("z1", "A", 2.0),
+        ("z2", "B", 1.5),
+        ("zX", "A", 9.0),
+    ],
+    &[
+        ("z2", "B", 0.25),
+        ("z3", "C", 4.0),
+        ("z3", "B", 0.5),
+        ("q9", "Q", 1.0),
+    ],
+    &[("z4", "C", 3.0), ("z1", "B", 1e-3), ("z2", "B", 1.5)],
+];
+
+fn request(method: &str, path: &str, body: &str) -> Request {
+    Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        query: String::new(),
+        version: "HTTP/1.1".to_owned(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+fn post_ok(state: &AppState, path: &str, body: &str) -> Json {
+    let r = route(state, &request("POST", path, body));
+    assert_eq!(
+        r.status,
+        200,
+        "POST {path}: {}",
+        String::from_utf8_lossy(&r.body)
+    );
+    geoalign_serve::json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap()
+}
+
+/// Registers the two systems and one static reference, through the same
+/// HTTP handlers a client would use (so a durable state persists them).
+fn register_world(state: &AppState) {
+    post_ok(
+        state,
+        "/systems",
+        r#"{"name":"zip","units":["z1","z2","z3","z4"]}"#,
+    );
+    post_ok(
+        state,
+        "/systems",
+        r#"{"name":"county","units":["A","B","C"]}"#,
+    );
+    post_ok(
+        state,
+        "/references",
+        r#"{"source":"zip","target":"county","name":"population",
+           "entries":[["z1","A",120],["z1","B",40],["z2","B",75],
+                      ["z3","B",10],["z3","C",90],["z4","C",55]]}"#,
+    );
+}
+
+fn ingest_body(points: &[(&str, &str, f64)]) -> String {
+    let items: Vec<String> = points
+        .iter()
+        .map(|(s, t, w)| format!(r#"["{s}","{t}",{w}]"#))
+        .collect();
+    format!(
+        r#"{{"source":"zip","target":"county","attribute":"footfall","points":[{}]}}"#,
+        items.join(",")
+    )
+}
+
+/// One `/crosswalk` answer, reduced to the part that must be
+/// byte-identical across servers (the `cache_hit` flag legitimately
+/// differs between a streamed and a one-shot server).
+fn crosswalk_columns(state: &AppState) -> String {
+    let body = format!(
+        r#"{{"source":"zip","target":"county","attributes":[{}]}}"#,
+        ZIPS.iter()
+            .enumerate()
+            .map(|(i, _)| format!(
+                r#"{{"name":"a{i}","values":[{},7.25,0.5,{}]}}"#,
+                10.0 + i as f64,
+                3.0 * (i + 1) as f64
+            ))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let doc = post_ok(state, "/crosswalk", &body);
+    doc.get("columns").unwrap().to_string()
+}
+
+fn one_shot_columns() -> String {
+    let state = AppState::new(8);
+    register_world(&state);
+    let all: Vec<(&str, &str, f64)> = BATCHES.iter().flat_map(|b| b.iter().copied()).collect();
+    let doc = post_ok(&state, "/ingest", &ingest_body(&all));
+    assert_eq!(doc.get("absorbed").unwrap().as_f64(), Some(9.0));
+    assert_eq!(doc.get("skipped").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("incremental"), Some(&Json::Bool(false)));
+    crosswalk_columns(&state)
+}
+
+#[test]
+fn streamed_batches_match_one_shot_bitwise() {
+    let streamed = AppState::new(8);
+    register_world(&streamed);
+    // Warm the cache so every fold exercises the incremental delta path
+    // (a cold pair would just fall back to a full prepare later).
+    crosswalk_columns(&streamed);
+    for (i, batch) in BATCHES.iter().enumerate() {
+        let doc = post_ok(&streamed, "/ingest", &ingest_body(batch));
+        assert_eq!(
+            doc.get("incremental"),
+            Some(&Json::Bool(true)),
+            "batch {i} must refresh the cached snapshot incrementally"
+        );
+        assert!(
+            doc.get("touched_rows").unwrap().as_f64().unwrap() > 0.0,
+            "batch {i} touched no design rows"
+        );
+        assert_eq!(doc.get("references_for_pair").unwrap().as_f64(), Some(2.0));
+    }
+
+    // Answered from the incrementally-maintained snapshot, not a
+    // re-prepare: the lookup must hit the cache.
+    let hits_before = streamed.cache.stats().hits;
+    let streamed_columns = crosswalk_columns(&streamed);
+    assert!(streamed.cache.stats().hits > hits_before);
+
+    assert_eq!(
+        streamed_columns,
+        one_shot_columns(),
+        "streamed /ingest answers diverged from the one-shot server"
+    );
+}
+
+#[test]
+fn warm_restart_after_unclean_stop_matches_one_shot() {
+    let dir = std::env::temp_dir().join(format!("geoalign-serve-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_columns: String = {
+        let state = AppState::open_durable(&dir, 8).unwrap();
+        register_world(&state);
+        crosswalk_columns(&state);
+        for batch in &BATCHES {
+            post_ok(&state, "/ingest", &ingest_body(batch));
+        }
+        let columns = crosswalk_columns(&state);
+        state.durable().unwrap().flush();
+        columns
+        // Dropped without a checkpoint: the WAL alone carries the
+        // registrations and rollups, as after a SIGKILL.
+    };
+
+    let warm: Arc<AppState> = AppState::open_durable(&dir, 8).unwrap();
+    let warm_columns = crosswalk_columns(&warm);
+    assert_eq!(
+        warm_columns, cold_columns,
+        "warm restart diverged from the server that ingested the stream"
+    );
+    assert_eq!(
+        warm_columns,
+        one_shot_columns(),
+        "warm restart diverged from a cold one-shot server"
+    );
+
+    // The stream keeps going after the restart: the replayed slot
+    // accepts the next fold in place, without a duplicate reference.
+    let doc = post_ok(&warm, "/ingest", &ingest_body(BATCHES[0]));
+    assert_eq!(doc.get("references_for_pair").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("total_points").unwrap().as_f64(), Some(12.0));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -80,6 +80,32 @@ if [ -n "$store_unwraps" ]; then
     exit 1
 fi
 
+echo "==> no unchecked unwraps in geoalign-agg"
+# The aggregate-state crate feeds the serve ingest path: a malformed or
+# truncated state must surface as an AggError, never a panic. Lock
+# poisoning is the one tolerated use, written as expect("... poisoned").
+agg_unwraps=""
+for f in crates/geoalign-agg/src/*.rs; do
+    limit=$({ grep -n '^mod tests' "$f" || true; } | head -1 | cut -d: -f1)
+    [ -z "$limit" ] && limit=0
+    found=$(awk -v limit="$limit" -v file="$f" \
+        '(limit == 0 || NR < limit) && /\.unwrap\(\)/ && $0 !~ /^[[:space:]]*\/\// \
+         { print file ":" NR ": " $0 }' "$f")
+    if [ -n "$found" ]; then
+        agg_unwraps="${agg_unwraps}${found}"$'\n'
+    fi
+done
+if [ -n "$agg_unwraps" ]; then
+    echo "error: unwrap() in geoalign-agg/src — return an AggError instead:" >&2
+    echo "$agg_unwraps" >&2
+    exit 1
+fi
+
+echo "==> aggregate-state algebra pass (GEOALIGN_THREADS=8)"
+# Merge commutativity/associativity/split-invariance and codec roundtrips
+# under an oversubscribed thread budget.
+GEOALIGN_THREADS=8 cargo test -q -p geoalign-agg --test proptests
+
 echo "==> store torture pass (GEOALIGN_THREADS=8)"
 # WAL truncated at every byte offset + concurrent writers/checkpoints,
 # under an oversubscribed thread budget.
@@ -94,5 +120,11 @@ GEOALIGN_THREADS=8 cargo test -q -p geoalign-exec
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "==> ingest bench smoke (small universe)"
+# Exercises the incremental-vs-full fold comparison end to end, including
+# its bit-identity assertions; the committed BENCH_ingest.json baseline is
+# regenerated separately at paper scale.
+./target/release/ingest --small --out target/BENCH_ingest_smoke.json >/dev/null
 
 echo "All checks passed."
