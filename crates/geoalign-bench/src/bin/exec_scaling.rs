@@ -185,16 +185,38 @@ fn main() {
         eprintln!("batch     @{threads} threads: {ms:>9.3} ms (seq {batch_seq_ms:.3} ms)");
     }
 
+    // --- Speedup sanity gate --------------------------------------------
+    // On a host with real parallelism the hottest path must show at least
+    // a 2x speedup at some thread count; on a single-hardware-thread host
+    // every configuration measures the same serialized work, so the gate
+    // is skipped and the JSON says why.
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let best_speedup = overlay_par
+        .iter()
+        .map(|&(_, ms)| overlay_seq_ms / ms.max(1e-9))
+        .chain(batch_par.iter().map(|&(_, ms)| batch_seq_ms / ms.max(1e-9)))
+        .fold(0.0f64, f64::max);
+    if hardware_threads > 1 {
+        assert!(
+            best_speedup >= 2.0,
+            "expected a >=2x speedup on a {hardware_threads}-thread host (best {best_speedup:.2}x)"
+        );
+    } else {
+        eprintln!("single-hardware-thread host; skipping the >=2x speedup gate");
+    }
+
     // --- BENCH_exec.json ------------------------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"exec_scaling\",");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"trials\": {trials},");
-    let _ = writeln!(
-        json,
-        "  \"hardware_threads\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    if hardware_threads == 1 {
+        let _ = writeln!(
+            json,
+            "  \"speedup_note\": \"single-hardware-thread host; speedups not meaningful\","
+        );
+    }
     let _ = writeln!(
         json,
         "  \"universe\": {{ \"n_source\": {}, \"n_target\": {}, \"overlay_pieces\": {}, \"batch_size\": {} }},",

@@ -1,0 +1,175 @@
+//! Profiler overhead benchmark: paper-scale `prepare` (30238 source x
+//! 3142 target units, the Fig. 5 census universe) timed with and without
+//! the `geoalign-obs` sampling profiler attached.
+//!
+//! Rounds are interleaved — each round times one baseline prepare and one
+//! prepare under a freshly started profiler — and the minimum of each
+//! side is compared, so cache/thermal drift hits both sides equally and
+//! one clean round per side suffices. Writes `BENCH_profile.json` and
+//! fails when the measured overhead exceeds the 5% budget the profiler
+//! is designed to (DESIGN.md §13).
+//!
+//! Usage: `profile [--small] [--seed N] [--rounds N] [--hz HZ]
+//!                 [--out BENCH_profile.json]`
+
+use geoalign_core::{GeoAlign, ReferenceData};
+use geoalign_obs::Profiler;
+use geoalign_partition::DisaggregationMatrix;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Overhead budget: the profiled prepare may be at most this much slower.
+const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds one synthetic reference: each source unit splits over 1–3
+/// pseudo-random target units with positive intersection aggregates.
+fn synthetic_reference(
+    name: &str,
+    n_source: usize,
+    n_target: usize,
+    state: &mut u64,
+) -> ReferenceData {
+    let mut triples = Vec::with_capacity(n_source * 2);
+    for i in 0..n_source {
+        let fanout = 1 + (lcg(state) * 3.0) as usize; // 1..=3
+        for k in 0..fanout {
+            let j = ((lcg(state) * n_target as f64) as usize + k) % n_target;
+            triples.push((i, j, 0.5 + lcg(state) * 99.5));
+        }
+    }
+    // Collapse duplicate (i, j) cells the jittered draw may produce.
+    triples.sort_by_key(|t| (t.0, t.1));
+    triples.dedup_by(|a, b| {
+        if a.0 == b.0 && a.1 == b.1 {
+            b.2 += a.2;
+            true
+        } else {
+            false
+        }
+    });
+    let dm = DisaggregationMatrix::from_triples(name.to_owned(), n_source, n_target, triples)
+        .expect("synthetic dm");
+    ReferenceData::from_dm(name.to_owned(), dm).expect("reference")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20180326u64;
+    let mut rounds = 7usize;
+    let mut hz = 997u64;
+    let mut out_path = "BENCH_profile.json".to_owned();
+    // Paper scale: census blocks onto counties (Fig. 5's universe).
+    let (mut n_source, mut n_target) = (30238usize, 3142usize);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            "--rounds" => rounds = it.next().expect("--rounds value").parse().expect("int"),
+            "--hz" => hz = it.next().expect("--hz value").parse().expect("int"),
+            "--out" => out_path = it.next().expect("--out value").clone(),
+            "--small" => (n_source, n_target) = (2000, 200),
+            flag => {
+                eprintln!("unknown argument: {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut state = seed;
+    let refs: Vec<ReferenceData> = (0..3)
+        .map(|k| synthetic_reference(&format!("ref{k}"), n_source, n_target, &mut state))
+        .collect();
+    let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+    let nnz: usize = refs.iter().map(|r| r.dm().matrix().nnz()).sum();
+    eprintln!(
+        "# profile — prepare over {n_source}x{n_target} units, {} refs ({nnz} cells), \
+         {rounds} rounds @ {hz} Hz",
+        refs.len()
+    );
+
+    // Warm-up, and calibration: one prepare is only a few ms at this
+    // scale, far too short to resolve a %-level overhead against
+    // scheduler noise, so each measurement times a batch of prepares
+    // sized to roughly 200 ms of work.
+    let t = Instant::now();
+    let _ = GeoAlign::new().prepare(&ref_slices).expect("prepare");
+    let once_ms = (t.elapsed().as_secs_f64() * 1e3).max(1e-3);
+    let iters = ((200.0 / once_ms).ceil() as usize).clamp(1, 500);
+    eprintln!("# one prepare ~{once_ms:.3} ms -> {iters} prepares per measurement");
+
+    let time_batch = |iters: usize| -> f64 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            let _ = GeoAlign::new().prepare(&ref_slices).expect("prepare");
+        }
+        t.elapsed().as_secs_f64() * 1e3 / iters as f64
+    };
+
+    let mut base_min = f64::INFINITY;
+    let mut prof_min = f64::INFINITY;
+    let mut sweeps = 0u64;
+    let mut stack_samples = 0u64;
+    let mut sampler_busy_micros = 0u128;
+    let mut gram_profiled = false;
+    for round in 0..rounds {
+        let base_ms = time_batch(iters);
+        base_min = base_min.min(base_ms);
+
+        let profiler = Profiler::start(hz);
+        let prof_ms = time_batch(iters);
+        let report = profiler.stop();
+        prof_min = prof_min.min(prof_ms);
+        sweeps += report.sweeps;
+        stack_samples += report.stack_samples;
+        sampler_busy_micros += report.sampler_busy.as_micros();
+        gram_profiled |= report.collapsed_text().contains("gram");
+        eprintln!(
+            "round {round}: baseline {base_ms:>8.3} ms/prepare, profiled {prof_ms:>8.3} ms/prepare"
+        );
+    }
+
+    let overhead_pct = 100.0 * (prof_min - base_min) / base_min;
+    eprintln!(
+        "baseline min {base_min:.3} ms, profiled min {prof_min:.3} ms -> overhead {overhead_pct:.2}%"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"profile_overhead\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"hz\": {hz},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(
+        json,
+        "  \"universe\": {{ \"n_source\": {n_source}, \"n_target\": {n_target}, \"refs\": {}, \"nnz\": {nnz} }},",
+        refs.len()
+    );
+    let _ = writeln!(json, "  \"baseline_ms_min\": {base_min:.3},");
+    let _ = writeln!(json, "  \"profiled_ms_min\": {prof_min:.3},");
+    let _ = writeln!(json, "  \"overhead_pct\": {overhead_pct:.3},");
+    let _ = writeln!(json, "  \"overhead_budget_pct\": {OVERHEAD_BUDGET_PCT},");
+    let _ = writeln!(json, "  \"sweeps\": {sweeps},");
+    let _ = writeln!(json, "  \"stack_samples\": {stack_samples},");
+    let _ = writeln!(json, "  \"sampler_busy_micros\": {sampler_busy_micros},");
+    let _ = writeln!(json, "  \"gram_span_profiled\": {gram_profiled}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_profile.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+
+    assert!(
+        overhead_pct <= OVERHEAD_BUDGET_PCT,
+        "profiler overhead {overhead_pct:.2}% exceeds the {OVERHEAD_BUDGET_PCT}% budget"
+    );
+}

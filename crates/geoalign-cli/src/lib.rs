@@ -7,6 +7,9 @@
 //! * `evaluate` — additionally compare the estimate against a ground-truth
 //!   table and report RMSE / NRMSE;
 //! * `weights` — print only the learned reference weights;
+//! * `profile` — run the crosswalk pipeline repeatedly under the
+//!   std-only sampling profiler and emit collapsed stacks plus a
+//!   top-phases table (`geoalign-obs`);
 //! * `serve` — run the batch crosswalk HTTP service (`geoalign-serve`);
 //! * `store` — administer a durable store directory (`geoalign-store`):
 //!   initialise, inspect, compact, or verify it offline;
@@ -85,10 +88,14 @@ USAGE:
                        [--threads N]
     geoalign evaluate  --table T.csv --reference X1.csv [...] --truth TRUE.csv
     geoalign weights   --table T.csv --reference X1.csv [...]
+    geoalign profile   --table T.csv --reference X1.csv [...]
+                       [--hz HZ] [--rounds N] [--out STACKS.txt] [--top N]
+                       [--threads N]
     geoalign serve     [--addr HOST:PORT] [--workers N] [--cache-capacity M]
                        [--access-log LOG.jsonl] [--threads N]
                        [--max-connections N] [--idle-timeout SECS]
                        [--max-requests-per-conn N] [--data-dir DIR]
+                       [--debug-endpoints]
     geoalign store     <init|inspect|compact|verify> --data-dir DIR
     geoalign agg       inspect (FILE | --data-dir DIR)
     geoalign agg       merge OUT.aggstate IN1.aggstate [IN2.aggstate ...]
@@ -113,6 +120,14 @@ FLAGS:
     --data-dir         serve: durable store directory; registrations and
                        prepared crosswalks survive restarts (snapshot + WAL)
                        store: the directory the subcommand operates on
+    --debug-endpoints  serve: enable GET /debug/{profile,spans,slow,threads}
+                       (off by default; they 404 when disabled)
+    --hz               profile: sampling frequency (default 997)
+    --rounds           profile: pipeline repetitions under the profiler
+                       (default 20)
+    --top              profile: rows in the stderr phase table (default 10)
+    --out              profile: write collapsed stacks here instead of
+                       stdout (feed to flamegraph.pl)
 
 STORE SUBCOMMANDS:
     store init      create an empty durable store (fails on a non-empty dir)
@@ -203,6 +218,9 @@ pub struct ServeArgs {
     pub max_requests_per_conn: usize,
     /// Durable store directory (`--data-dir`); `None` serves from memory.
     pub data_dir: Option<String>,
+    /// Enable the `/debug/*` introspection endpoints
+    /// (`--debug-endpoints`); off by default — they 404 otherwise.
+    pub debug_endpoints: bool,
 }
 
 impl Default for ServeArgs {
@@ -217,6 +235,7 @@ impl Default for ServeArgs {
             idle_timeout_secs: geoalign_serve::server::DEFAULT_IDLE_TIMEOUT.as_secs(),
             max_requests_per_conn: geoalign_serve::server::DEFAULT_MAX_REQUESTS_PER_CONN,
             data_dir: None,
+            debug_endpoints: false,
         }
     }
 }
@@ -250,10 +269,112 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                 parsed.max_requests_per_conn = positive(&mut it, "--max-requests-per-conn")?;
             }
             "--data-dir" => parsed.data_dir = Some(need(&mut it, "--data-dir")?),
+            "--debug-endpoints" => parsed.debug_endpoints = true,
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
     Ok(parsed)
+}
+
+/// Parsed command line for `geoalign profile`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileArgs {
+    /// Path of the objective aggregate table.
+    pub table: String,
+    /// Paths of the reference crosswalk files (at least one).
+    pub references: Vec<String>,
+    /// Sampling frequency in Hz (`--hz`, default 997 — a prime, so the
+    /// sampler does not phase-lock with periodic work).
+    pub hz: u64,
+    /// Pipeline repetitions under the profiler (`--rounds`).
+    pub rounds: usize,
+    /// Collapsed-stack output path (stdout when absent).
+    pub out: Option<String>,
+    /// Rows in the stderr phase table (`--top`).
+    pub top: usize,
+    /// Override of the process-wide thread budget (`--threads`).
+    pub threads: Option<usize>,
+}
+
+impl Default for ProfileArgs {
+    fn default() -> Self {
+        ProfileArgs {
+            table: String::new(),
+            references: Vec::new(),
+            hz: 997,
+            rounds: 20,
+            out: None,
+            top: 10,
+            threads: None,
+        }
+    }
+}
+
+/// Parses the `profile` subcommand's flags.
+pub fn parse_profile_args(args: &[String]) -> Result<ProfileArgs, CliError> {
+    let mut parsed = ProfileArgs::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--table" => parsed.table = need(&mut it, "--table")?,
+            "--reference" => parsed.references.push(need(&mut it, "--reference")?),
+            "--hz" => parsed.hz = positive(&mut it, "--hz")? as u64,
+            "--rounds" => parsed.rounds = positive(&mut it, "--rounds")?,
+            "--out" => parsed.out = Some(need(&mut it, "--out")?),
+            "--top" => parsed.top = positive(&mut it, "--top")?,
+            "--threads" => parsed.threads = Some(positive(&mut it, "--threads")?),
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    if parsed.table.is_empty() {
+        return Err(CliError::Usage("--table is required".into()));
+    }
+    if parsed.references.is_empty() {
+        return Err(CliError::Usage(
+            "at least one --reference is required".into(),
+        ));
+    }
+    Ok(parsed)
+}
+
+/// Everything one profiling run produced.
+#[derive(Debug)]
+pub struct ProfileOutput {
+    /// Collapsed-stack lines (`thread;span;... count`), ready for
+    /// `flamegraph.pl`.
+    pub collapsed: String,
+    /// The plain-text top-phases table for stderr.
+    pub phase_table: String,
+    /// Sampler sweeps performed.
+    pub sweeps: u64,
+    /// Samples that captured a non-empty span stack.
+    pub stack_samples: u64,
+    /// Wall-clock duration of the profiled section.
+    pub duration: std::time::Duration,
+}
+
+/// Runs the crosswalk pipeline `rounds` times under the sampling
+/// profiler and returns the collapsed stacks plus a phase summary.
+/// Each round is wrapped in a `pipeline` span so the profile is
+/// non-empty even when individual phases finish between samples.
+pub fn run_profile(
+    table_csv: &str,
+    reference_csvs: &[(String, String)],
+    args: &ProfileArgs,
+) -> Result<ProfileOutput, CliError> {
+    let profiler = geoalign_obs::Profiler::start(args.hz);
+    for _ in 0..args.rounds {
+        let _span = geoalign_obs::span!("pipeline");
+        run_crosswalk(table_csv, reference_csvs, None)?;
+    }
+    let report = profiler.stop();
+    Ok(ProfileOutput {
+        collapsed: report.collapsed_text(),
+        phase_table: report.phase_table(args.top),
+        sweeps: report.sweeps,
+        stack_samples: report.stack_samples,
+        duration: report.duration,
+    })
 }
 
 /// What `geoalign store` should do to the directory.
@@ -906,6 +1027,81 @@ B,60
         let a = parse_serve_args(&["--data-dir".into(), "/tmp/ga".into()]).unwrap();
         assert_eq!(a.data_dir.as_deref(), Some("/tmp/ga"));
         assert!(parse_serve_args(&["--data-dir".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_debug_endpoints_flag_parsing() {
+        // Off by default: /debug/* must not be reachable unless asked for.
+        assert!(!parse_serve_args(&[]).unwrap().debug_endpoints);
+        let a = parse_serve_args(&["--debug-endpoints".into()]).unwrap();
+        assert!(a.debug_endpoints);
+    }
+
+    #[test]
+    fn profile_arg_parsing() {
+        let a = parse_profile_args(&[
+            "--table".into(),
+            "t.csv".into(),
+            "--reference".into(),
+            "x.csv".into(),
+        ])
+        .unwrap();
+        assert_eq!(a.table, "t.csv");
+        assert_eq!(a.references, vec!["x.csv".to_owned()]);
+        assert_eq!(a.hz, 997);
+        assert_eq!(a.rounds, 20);
+        assert_eq!(a.top, 10);
+        assert!(a.out.is_none());
+
+        let b = parse_profile_args(&[
+            "--table".into(),
+            "t.csv".into(),
+            "--reference".into(),
+            "x.csv".into(),
+            "--hz".into(),
+            "2000".into(),
+            "--rounds".into(),
+            "3".into(),
+            "--top".into(),
+            "5".into(),
+            "--out".into(),
+            "stacks.txt".into(),
+        ])
+        .unwrap();
+        assert_eq!(b.hz, 2000);
+        assert_eq!(b.rounds, 3);
+        assert_eq!(b.top, 5);
+        assert_eq!(b.out.as_deref(), Some("stacks.txt"));
+
+        assert!(parse_profile_args(&[]).is_err());
+        assert!(parse_profile_args(&["--table".into(), "t.csv".into()]).is_err());
+        assert!(parse_profile_args(&[
+            "--table".into(),
+            "t.csv".into(),
+            "--reference".into(),
+            "x.csv".into(),
+            "--hz".into(),
+            "0".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn profile_run_captures_the_pipeline_span() {
+        let args = ProfileArgs {
+            table: "t".into(),
+            references: vec!["pop".into()],
+            hz: 4000,
+            rounds: 40,
+            ..ProfileArgs::default()
+        };
+        let out = run_profile(STEAM, &[("pop".into(), POP.into())], &args).unwrap();
+        // The tiny fixture may finish between samples, but sweeps must
+        // have happened and any captured stack must mention `pipeline`.
+        assert!(out.sweeps > 0);
+        if !out.collapsed.is_empty() {
+            assert!(out.collapsed.contains("pipeline"), "{}", out.collapsed);
+        }
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //! testable implementation.
 
 use geoalign_cli::{
-    format_timings, parse_agg_args, parse_args, parse_serve_args, parse_store_args, run_agg,
-    run_crosswalk, run_store, CliError, USAGE,
+    format_timings, parse_agg_args, parse_args, parse_profile_args, parse_serve_args,
+    parse_store_args, run_agg, run_crosswalk, run_profile, run_store, CliError, USAGE,
 };
 use std::process::ExitCode;
+
+// Byte-level cost accounting (the alloc_bytes of X-Cost and the access
+// log) is opt-in per binary; the CLI opts in. See DESIGN.md §13.
+geoalign_obs::install_counting_allocator!();
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -96,6 +100,33 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "profile" => {
+            let parsed = parse_profile_args(rest)?;
+            if let Some(n) = parsed.threads {
+                geoalign_exec::set_global_threads(n);
+            }
+            let table_csv = read(&parsed.table)?;
+            let reference_csvs: Vec<(String, String)> = parsed
+                .references
+                .iter()
+                .map(|p| read(p).map(|text| (p.clone(), text)))
+                .collect::<Result<_, _>>()?;
+            let out = run_profile(&table_csv, &reference_csvs, &parsed)?;
+            match &parsed.out {
+                Some(path) => std::fs::write(path, &out.collapsed)
+                    .map_err(|e| CliError::Io(path.clone(), e))?,
+                None => print!("{}", out.collapsed),
+            }
+            eprintln!(
+                "profiled {} rounds in {:.1} ms: {} sweeps, {} stack samples",
+                parsed.rounds,
+                out.duration.as_secs_f64() * 1e3,
+                out.sweeps,
+                out.stack_samples,
+            );
+            eprint!("{}", out.phase_table);
+            Ok(())
+        }
         "serve" => {
             let parsed = parse_serve_args(rest)?;
             if let Some(n) = parsed.threads {
@@ -111,6 +142,7 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
                 idle_timeout: std::time::Duration::from_secs(parsed.idle_timeout_secs),
                 max_requests_per_conn: parsed.max_requests_per_conn,
                 data_dir: parsed.data_dir.clone().map(std::path::PathBuf::from),
+                debug_endpoints: parsed.debug_endpoints,
             };
             let server = geoalign_serve::Server::bind(parsed.addr.as_str(), config)
                 .map_err(|e| CliError::Io(parsed.addr.clone(), e))?;
@@ -118,6 +150,11 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
             eprintln!(
                 "endpoints: POST /systems /references /ingest /crosswalk /checkpoint — GET /healthz /metrics"
             );
+            if parsed.debug_endpoints {
+                eprintln!(
+                    "debug endpoints: GET /debug/profile /debug/spans /debug/slow /debug/threads"
+                );
+            }
             if let Some(dir) = &parsed.data_dir {
                 let state = server.state();
                 if let Some(backing) = state.durable() {

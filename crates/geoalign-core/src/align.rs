@@ -169,7 +169,10 @@ impl GeoAlign {
         } else {
             objective_source.values().to_vec()
         };
-        let solution = simplex_ls::solve(&a, &b, self.config.solver)?;
+        let solution = {
+            let _span = span!("solver", refs = refs.len());
+            simplex_ls::solve(&a, &b, self.config.solver)?
+        };
         crate::obs::record_solver(solution.iterations, &solution.beta);
         Ok(solution.beta)
     }

@@ -83,9 +83,19 @@ impl GeoAlign {
             })
             .collect();
         let design = DMatrix::from_columns(&columns)?;
-        let gram = GramSystem::new(&design)?;
+        let gram = {
+            let _span = span!("gram", refs = refs.len(), n_source = n_source);
+            GramSystem::new(&design)?
+        };
         let row_sums_per_ref: Vec<Vec<f64>> =
             refs.iter().map(|r| r.dm().matrix().row_sums()).collect();
+        geoalign_obs::cost::add_rows(n_source as u64);
+        geoalign_obs::cost::add_cells(
+            refs.iter()
+                .map(|r| r.dm().matrix().nnz() as u64)
+                .sum::<u64>()
+                + (n_source * refs.len()) as u64,
+        );
         let prepared = PreparedCrosswalk {
             config: *self.config(),
             refs: refs.iter().map(|&r| r.clone()).collect(),
@@ -238,6 +248,7 @@ impl PreparedCrosswalk {
     pub fn apply(&self, objective_source: &AggregateVector) -> Result<GeoAlignResult, CoreError> {
         self.check_objective(objective_source)?;
         let _apply_span = span!("apply", refs = self.refs.len(), n_source = self.n_source);
+        self.attribute_apply_cost();
         let t_apply = Instant::now();
         let mut timings = PhaseTimings::default();
 
@@ -294,6 +305,7 @@ impl PreparedCrosswalk {
     ) -> Result<CrosswalkEstimate, CoreError> {
         self.check_objective(objective_source)?;
         let _apply_span = span!("apply", refs = self.refs.len(), n_source = self.n_source);
+        self.attribute_apply_cost();
         let t_apply = Instant::now();
         let mut timings = PhaseTimings::default();
 
@@ -376,9 +388,25 @@ impl PreparedCrosswalk {
         };
         let atb = self.design.tr_matvec(&b)?;
         let btb = dot(&b, &b);
-        let solution = simplex_ls::solve_gram(&self.gram, &atb, btb, self.config.solver)?;
+        let solution = {
+            let _span = span!("solver", refs = self.refs.len());
+            simplex_ls::solve_gram(&self.gram, &atb, btb, self.config.solver)?
+        };
         crate::obs::record_solver(solution.iterations, &solution.beta);
         Ok(solution.beta)
+    }
+
+    /// Charges this apply's workload — rows the mixture kernel walks and
+    /// disaggregation cells it visits — to the caller's cost scope (a
+    /// no-op when none is open).
+    fn attribute_apply_cost(&self) {
+        geoalign_obs::cost::add_rows(self.n_source as u64);
+        geoalign_obs::cost::add_cells(
+            self.refs
+                .iter()
+                .map(|r| r.dm().matrix().nnz() as u64)
+                .sum::<u64>(),
+        );
     }
 
     fn check_objective(&self, objective_source: &AggregateVector) -> Result<(), CoreError> {

@@ -40,7 +40,7 @@
 mod obs;
 pub mod pool;
 
-pub use pool::{RejectedJob, WorkerPool};
+pub use pool::{PoolStats, PoolStatsSnapshot, RejectedJob, WorkerPool};
 
 use std::cell::Cell;
 use std::fmt;
@@ -204,6 +204,9 @@ impl Executor {
         if tasks == 0 {
             return Ok(Vec::new());
         }
+        // Attribute the fan-out to the requesting thread's cost scope (a
+        // no-op unless the caller opened one).
+        geoalign_obs::cost::add_tasks(tasks as u64);
         let inline = self.threads == 1 || tasks == 1 || IN_PARALLEL_REGION.with(Cell::get);
         let t_job = Instant::now();
         let result = if inline {

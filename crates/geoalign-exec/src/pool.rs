@@ -16,10 +16,54 @@
 
 use crate::obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Live occupancy counters of one [`WorkerPool`], shared with embedders
+/// (the serve layer's `/debug/threads` endpoint). All counters are
+/// monotonic; derived figures come from [`PoolStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    submitted: AtomicU64,
+    started: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// One consistent-enough reading of a pool's [`PoolStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    /// Jobs accepted into the queue since the pool started.
+    pub submitted: u64,
+    /// Jobs a worker has picked up.
+    pub started: u64,
+    /// Jobs whose handler returned (or panicked).
+    pub completed: u64,
+    /// Jobs queued but not yet picked up (`submitted - started`).
+    pub queue_depth: u64,
+    /// Jobs currently inside a handler (`started - completed`).
+    pub active: u64,
+}
+
+impl PoolStats {
+    /// Reads the counters. The three loads are not atomic together, so
+    /// derived figures can be off by in-flight jobs — fine for
+    /// introspection.
+    pub fn snapshot(&self) -> PoolStatsSnapshot {
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let started = self.started.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        PoolStatsSnapshot {
+            submitted,
+            started,
+            completed,
+            queue_depth: submitted.saturating_sub(started),
+            active: started.saturating_sub(completed),
+        }
+    }
+}
 
 /// A job envelope: the payload plus its submission instant, so pickup
 /// latency can be recorded.
@@ -53,6 +97,7 @@ pub struct WorkerPool<J: Send + 'static> {
     sender: Option<Tx<J>>,
     queue_capacity: Option<usize>,
     handles: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
 }
 
 impl<J: Send + 'static> std::fmt::Debug for WorkerPool<J> {
@@ -118,13 +163,15 @@ impl<J: Send + 'static> WorkerPool<J> {
     {
         let receiver = Arc::new(Mutex::new(receiver));
         let handler = Arc::new(handler);
+        let stats = Arc::new(PoolStats::default());
         let handles = (0..workers.max(1))
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
                 let handler = Arc::clone(&handler);
+                let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || worker_loop(&receiver, &*handler))
+                    .spawn(move || worker_loop(&receiver, &*handler, &stats))
                     .expect("spawning a worker thread failed")
             })
             .collect();
@@ -132,7 +179,14 @@ impl<J: Send + 'static> WorkerPool<J> {
             sender: Some(sender),
             queue_capacity,
             handles,
+            stats,
         }
+    }
+
+    /// A shared handle to this pool's occupancy counters; stays valid
+    /// after the pool shuts down.
+    pub fn stats(&self) -> Arc<PoolStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Number of worker threads.
@@ -153,11 +207,15 @@ impl<J: Send + 'static> WorkerPool<J> {
             submitted: Instant::now(),
             job,
         };
-        match &self.sender {
+        let accepted = match &self.sender {
             Some(Tx::Unbounded(sender)) => sender.send(envelope).is_ok(),
             Some(Tx::Bounded(sender)) => sender.send(envelope).is_ok(),
             None => false,
+        };
+        if accepted {
+            self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         }
+        accepted
     }
 
     /// Queues a job without blocking. A full bounded queue returns
@@ -168,7 +226,7 @@ impl<J: Send + 'static> WorkerPool<J> {
             submitted: Instant::now(),
             job,
         };
-        match &self.sender {
+        let queued = match &self.sender {
             Some(Tx::Unbounded(sender)) => sender
                 .send(envelope)
                 .map_err(|e| RejectedJob::Closed(e.0.job)),
@@ -180,7 +238,11 @@ impl<J: Send + 'static> WorkerPool<J> {
                 TrySendError::Disconnected(envelope) => RejectedJob::Closed(envelope.job),
             }),
             None => Err(RejectedJob::Closed(envelope.job)),
+        };
+        if queued.is_ok() {
+            self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         }
+        queued
     }
 
     /// Closes the queue and joins every worker after it drains the jobs
@@ -206,6 +268,7 @@ impl<J: Send + 'static> Drop for WorkerPool<J> {
 fn worker_loop<J>(
     receiver: &Arc<Mutex<mpsc::Receiver<Envelope<J>>>>,
     handler: &(dyn Fn(J) + Sync),
+    stats: &PoolStats,
 ) {
     loop {
         let envelope = {
@@ -215,11 +278,13 @@ fn worker_loop<J>(
         let Ok(Envelope { submitted, job }) = envelope else {
             return; // queue closed: pool is shutting down
         };
+        stats.started.fetch_add(1, Ordering::Relaxed);
         obs::pool_queue_wait_micros().record(submitted.elapsed());
         obs::pool_jobs_total().inc();
         if catch_unwind(AssertUnwindSafe(|| handler(job))).is_err() {
             obs::pool_panics_total().inc();
         }
+        stats.completed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -330,6 +395,51 @@ mod tests {
         gate_tx.send(()).unwrap();
         pool.shutdown();
         assert_eq!(done.load(Ordering::Relaxed), 3); // 1 + 2, not the shed 3
+    }
+
+    #[test]
+    fn stats_track_submitted_started_completed() {
+        let pool = WorkerPool::new("stats", 2, |_: usize| {});
+        let stats = pool.stats();
+        for v in 0..10 {
+            assert!(pool.submit(v));
+        }
+        pool.shutdown(); // drains everything
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.started, 10);
+        assert_eq!(snap.completed, 10);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.active, 0);
+    }
+
+    #[test]
+    fn stats_expose_queue_depth_while_workers_are_busy() {
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        let pool = {
+            let gate_rx = Arc::clone(&gate_rx);
+            WorkerPool::bounded("depth", 1, 4, move |_: usize| {
+                gate_rx.lock().unwrap().recv().unwrap();
+            })
+        };
+        let stats = pool.stats();
+        assert!(pool.submit(1));
+        // Wait until the single worker has picked job 1 up.
+        let t0 = Instant::now();
+        while stats.snapshot().started == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "worker never ran");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(pool.submit(2)); // parks in the queue behind the gated job
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.active, 1);
+        assert_eq!(snap.queue_depth, 1);
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(stats.snapshot().completed, 2);
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Per-request resource accounting.
+//!
+//! A [`CostScope`] opened at the edge (one per HTTP request, or one per
+//! CLI pipeline run) collects everything the layers below attribute to it:
+//! rows and cells processed ([`add_rows`] / [`add_cells`], called from
+//! geoalign-core's prepare/apply kernels), executor tasks spawned
+//! ([`add_tasks`], called from `Executor::run_tasks`), and bytes allocated
+//! on the scope's thread via the [`CountingAllocator`] shim. The scope is
+//! thread-local and nestable, mirroring `trace::begin_trace`; attribution
+//! hooks are no-ops costing one relaxed atomic load while no scope is
+//! open anywhere in the process.
+//!
+//! # Allocation accounting
+//!
+//! A library cannot impose a `#[global_allocator]` on the binaries that
+//! link it, so byte counting is opt-in: a binary (or integration test)
+//! invokes [`install_counting_allocator!`] once at top level, after which
+//! every allocation increments a per-thread byte counter and
+//! [`RequestCost::alloc_bytes`] reports the scope's delta. Without the
+//! shim the field is zero. Work handed to pool threads allocates on those
+//! threads and is *not* attributed to the requesting scope — the counter
+//! is per-thread by design (no cross-thread synchronization on the
+//! allocation hot path); on the default single-thread budget everything
+//! runs inline and the attribution is complete.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// What one scope consumed. Wall time per phase rides separately in the
+/// span records collected by the trace layer; this struct carries the
+/// resource counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestCost {
+    /// Source/target rows the core kernels touched for this scope.
+    pub rows: u64,
+    /// Sparse cells (disaggregation-matrix entries, design cells) visited.
+    pub cells: u64,
+    /// Tasks handed to the execution layer on this thread.
+    pub exec_tasks: u64,
+    /// Bytes allocated on this thread inside the scope; zero unless the
+    /// binary installed [`install_counting_allocator!`].
+    pub alloc_bytes: u64,
+}
+
+#[derive(Clone, Copy, Default)]
+struct CostState {
+    rows: u64,
+    cells: u64,
+    tasks: u64,
+    bytes_start: u64,
+}
+
+static ACTIVE_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STATE: RefCell<Option<CostState>> = const { RefCell::new(None) };
+}
+
+/// Opens a cost scope on this thread. Drop (or [`CostScope::finish`])
+/// closes it; an enclosing scope, if any, is restored and keeps its own
+/// counts (nested scopes do not roll up).
+pub fn begin() -> CostScope {
+    ACTIVE_SCOPES.fetch_add(1, Ordering::Relaxed);
+    let fresh = CostState {
+        bytes_start: thread_allocated_bytes(),
+        ..CostState::default()
+    };
+    let prev = STATE.with(|s| s.borrow_mut().replace(fresh));
+    CostScope {
+        prev,
+        finished: false,
+    }
+}
+
+/// An open accounting scope; see [`begin`].
+pub struct CostScope {
+    prev: Option<CostState>,
+    finished: bool,
+}
+
+impl CostScope {
+    /// Closes the scope and returns what it consumed.
+    pub fn finish(mut self) -> RequestCost {
+        self.close()
+    }
+
+    fn close(&mut self) -> RequestCost {
+        if self.finished {
+            return RequestCost::default();
+        }
+        self.finished = true;
+        ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        let state = STATE
+            .try_with(|s| s.borrow_mut().take())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
+        let _ = STATE.try_with(|s| *s.borrow_mut() = self.prev.take());
+        RequestCost {
+            rows: state.rows,
+            cells: state.cells,
+            exec_tasks: state.tasks,
+            alloc_bytes: thread_allocated_bytes().saturating_sub(state.bytes_start),
+        }
+    }
+}
+
+impl Drop for CostScope {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+#[inline]
+fn with_state(f: impl FnOnce(&mut CostState)) {
+    if ACTIVE_SCOPES.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let _ = STATE.try_with(|s| {
+        if let Some(state) = s.borrow_mut().as_mut() {
+            f(state);
+        }
+    });
+}
+
+/// Attributes `n` processed rows to the current scope, if any.
+#[inline]
+pub fn add_rows(n: u64) {
+    with_state(|s| s.rows = s.rows.saturating_add(n));
+}
+
+/// Attributes `n` visited sparse cells to the current scope, if any.
+#[inline]
+pub fn add_cells(n: u64) {
+    with_state(|s| s.cells = s.cells.saturating_add(n));
+}
+
+/// Attributes `n` executor tasks to the current scope, if any.
+#[inline]
+pub fn add_tasks(n: u64) {
+    with_state(|s| s.tasks = s.tasks.saturating_add(n));
+}
+
+// ---------------------------------------------------------------------------
+// Counting allocator shim
+// ---------------------------------------------------------------------------
+
+static ALLOCATOR_INSTALLED: AtomicBool = AtomicBool::new(false);
+/// Allocations made while the thread-local counter is unavailable
+/// (thread teardown) land here so nothing panics inside the allocator.
+static TEARDOWN_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotonic count of bytes allocated on this thread since it started.
+/// Always zero unless the binary installed the counting allocator.
+pub fn thread_allocated_bytes() -> u64 {
+    THREAD_BYTES.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Whether a [`CountingAllocator`] has served at least one allocation in
+/// this process (i.e. `alloc_bytes` figures are meaningful).
+pub fn allocator_installed() -> bool {
+    ALLOCATOR_INSTALLED.load(Ordering::Relaxed)
+}
+
+/// A `GlobalAlloc` that delegates to the system allocator and charges
+/// each allocation's size to a per-thread counter. Install it with
+/// [`install_counting_allocator!`] in a binary or integration test.
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// `const` constructor for `static` allocator declarations.
+    pub const fn new() -> CountingAllocator {
+        CountingAllocator
+    }
+
+    #[inline]
+    fn charge(size: usize) {
+        ALLOCATOR_INSTALLED.store(true, Ordering::Relaxed);
+        if THREAD_BYTES
+            .try_with(|b| b.set(b.get().wrapping_add(size as u64)))
+            .is_err()
+        {
+            TEARDOWN_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        CountingAllocator::new()
+    }
+}
+
+// SAFETY: delegates every operation to `std::alloc::System` with the
+// caller's layout unchanged; the counter update allocates nothing.
+unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        Self::charge(layout.size());
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        Self::charge(layout.size());
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        Self::charge(new_size.saturating_sub(layout.size()));
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Installs [`CountingAllocator`] as the process allocator. Invoke once
+/// at the top level of a binary or integration-test crate:
+///
+/// ```ignore
+/// geoalign_obs::install_counting_allocator!();
+/// ```
+#[macro_export]
+macro_rules! install_counting_allocator {
+    () => {
+        #[global_allocator]
+        static GEOALIGN_COUNTING_ALLOCATOR: $crate::cost::CountingAllocator =
+            $crate::cost::CountingAllocator::new();
+    };
+}
+
+impl RequestCost {
+    /// The compact `key=value;...` form carried in the `X-Cost` response
+    /// header, e.g. `rows=3;cells=4;tasks=1;alloc_bytes=2048`.
+    pub fn header_value(&self) -> String {
+        format!(
+            "rows={};cells={};tasks={};alloc_bytes={}",
+            self.rows, self.cells, self.exec_tasks, self.alloc_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_collects_and_restores() {
+        let outer = begin();
+        add_rows(5);
+        add_cells(7);
+        {
+            let inner = begin();
+            add_rows(2);
+            add_tasks(3);
+            let cost = inner.finish();
+            assert_eq!(cost.rows, 2);
+            assert_eq!(cost.cells, 0);
+            assert_eq!(cost.exec_tasks, 3);
+        }
+        // The outer scope's counts survived the nested scope.
+        add_rows(1);
+        let cost = outer.finish();
+        assert_eq!(cost.rows, 6);
+        assert_eq!(cost.cells, 7);
+        assert_eq!(cost.exec_tasks, 0);
+    }
+
+    #[test]
+    fn hooks_without_scope_are_noops() {
+        add_rows(100);
+        add_cells(100);
+        add_tasks(100);
+        let scope = begin();
+        let cost = scope.finish();
+        assert_eq!(cost.rows, 0);
+        assert_eq!(cost.cells, 0);
+        assert_eq!(cost.exec_tasks, 0);
+    }
+
+    #[test]
+    fn drop_without_finish_restores_previous_scope() {
+        let outer = begin();
+        add_rows(4);
+        {
+            let _inner = begin();
+            add_rows(9);
+            // Dropped without finish().
+        }
+        add_rows(1);
+        let cost = outer.finish();
+        assert_eq!(cost.rows, 5);
+    }
+
+    #[test]
+    fn header_value_format() {
+        let cost = RequestCost {
+            rows: 3,
+            cells: 12,
+            exec_tasks: 2,
+            alloc_bytes: 4096,
+        };
+        assert_eq!(
+            cost.header_value(),
+            "rows=3;cells=12;tasks=2;alloc_bytes=4096"
+        );
+    }
+
+    #[test]
+    fn alloc_bytes_zero_without_shim() {
+        // The unit-test binary does not install the allocator; the delta
+        // must read as zero rather than garbage.
+        let scope = begin();
+        let _v: Vec<u8> = Vec::with_capacity(1 << 16);
+        let cost = scope.finish();
+        if !allocator_installed() {
+            assert_eq!(cost.alloc_bytes, 0);
+        }
+    }
+}

@@ -21,6 +21,15 @@
 //! * [`expo`] — exposition encoders: Prometheus text format
 //!   (`_bucket`/`_sum`/`_count` series for histograms) and a hand-rolled
 //!   JSON shape, both over registry snapshots.
+//! * [`profile`] — a sampling wall-clock profiler over the span facade: a
+//!   sampler thread sweeps every thread's shared span stack and
+//!   aggregates collapsed stacks (`flamegraph.pl` format). Start/stoppable
+//!   at runtime ([`profile::Profiler`]); off, it costs one atomic load
+//!   per span.
+//! * [`cost`] — per-request resource accounting: a [`cost::CostScope`]
+//!   collects rows/cells processed, executor tasks spawned, and (with the
+//!   opt-in [`install_counting_allocator!`] shim) bytes allocated, into a
+//!   [`RequestCost`] the serve layer logs and echoes as `X-Cost`.
 //!
 //! Metric names follow `geoalign_<crate>_<name>_<unit>` (see DESIGN.md
 //! §8). Everything is `std`-only and adds no dependencies anywhere.
@@ -46,14 +55,18 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod expo;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
+pub use cost::{CostScope, RequestCost};
 pub use metrics::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Counter, Gauge, Histogram,
     HistogramSnapshot, MetricSnapshot, Registry, BUCKETS,
 };
+pub use profile::{PhaseStat, ProfileReport, Profiler};
 pub use trace::{
     begin_trace, new_trace_id, FieldValue, JsonLinesSubscriber, MemorySubscriber, SpanRecord,
     StderrSubscriber, Subscriber, TraceScope,

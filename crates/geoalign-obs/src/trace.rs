@@ -363,6 +363,8 @@ impl SpanRing {
     }
 
     /// Publishes one record, displacing the oldest if the ring is full.
+    /// Displacement is counted in `geoalign_obs_trace_dropped_total` —
+    /// the record was lost before anyone drained it.
     pub fn push(&self, record: Box<SpanRecord>) {
         let i = self.head.fetch_add(1, Ordering::Relaxed) & (self.slots.len() - 1);
         let old = self.slots[i].swap(Box::into_raw(record), Ordering::AcqRel);
@@ -371,6 +373,7 @@ impl SpanRing {
             // (every pointer stored in a slot came from Box::into_raw and
             // is removed from the ring by exactly one swap).
             drop(unsafe { Box::from_raw(old) });
+            trace_dropped_counter().inc();
         }
     }
 
@@ -398,6 +401,23 @@ impl Drop for SpanRing {
 
 /// Capacity of the global ring ([`drain_recent`]).
 const RING_CAPACITY: usize = 1024;
+
+/// Counts span records silently displaced from a ring before being
+/// drained (process-global, covers every [`SpanRing`]).
+fn trace_dropped_counter() -> &'static crate::metrics::Counter {
+    static COUNTER: OnceLock<crate::metrics::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        crate::metrics::Registry::global().counter(
+            "geoalign_obs_trace_dropped_total",
+            "Span records displaced from a trace ring before being drained",
+        )
+    })
+}
+
+/// Total span records lost to ring overflow so far.
+pub fn trace_dropped_total() -> u64 {
+    trace_dropped_counter().get()
+}
 
 struct Tracer {
     ring: SpanRing,
@@ -482,6 +502,35 @@ pub fn enabled() -> bool {
         return true;
     }
     CURRENT.with(|c| c.borrow().collect.is_some())
+}
+
+/// Which facets of span handling are live for a new span: `record` emits
+/// a [`SpanRecord`] on drop (subscribers / trace scope / ring), `profile`
+/// shares the span on this thread's sampling stack
+/// ([`crate::profile`]). Cheap to query; see [`span_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanMode {
+    /// Emit a record when the span finishes.
+    pub record: bool,
+    /// Publish the span on the shared profiling stack while open.
+    pub profile: bool,
+}
+
+impl SpanMode {
+    /// Whether a real guard is needed at all.
+    pub fn any(self) -> bool {
+        self.record || self.profile
+    }
+}
+
+/// The current [`SpanMode`], consulted by [`span!`](crate::span!) before
+/// constructing a guard. With no subscriber, no trace scope, and no
+/// running profiler this is two atomic loads plus a thread-local read.
+pub fn span_mode() -> SpanMode {
+    SpanMode {
+        record: enabled(),
+        profile: crate::profile::profiling_active(),
+    }
 }
 
 /// A trace scope: while alive, every record finished on this thread
@@ -611,6 +660,9 @@ fn emit(
 #[derive(Debug)]
 pub struct Span {
     inner: Option<SpanInner>,
+    /// Whether this guard pushed a frame on the profiling stack (and so
+    /// must pop it on drop).
+    profiled: bool,
 }
 
 #[derive(Debug)]
@@ -624,8 +676,21 @@ struct SpanInner {
 }
 
 impl Span {
-    /// Opens a live span (assumes the caller checked [`enabled`]).
-    pub fn new(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Span {
+    /// Opens a guard for the given [`SpanMode`]: a full recording span,
+    /// a lightweight profile-only frame, or both. `fields` should be
+    /// empty when `mode.record` is false (they would be discarded).
+    pub fn open(
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+        mode: SpanMode,
+    ) -> Span {
+        let profiled = mode.profile && crate::profile::push_frame(name);
+        if !mode.record {
+            return Span {
+                inner: None,
+                profiled,
+            };
+        }
         let id = tracer().next_span_id.fetch_add(1, Ordering::Relaxed);
         let parent = CURRENT.with(|c| {
             let mut state = c.borrow_mut();
@@ -642,12 +707,29 @@ impl Span {
                 start: Instant::now(),
                 start_unix_micros: unix_micros_now(),
             }),
+            profiled,
         }
+    }
+
+    /// Opens a live recording span (assumes the caller checked
+    /// [`enabled`]); joins the profiling stack too when a profiler runs.
+    pub fn new(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Span {
+        Span::open(
+            name,
+            fields,
+            SpanMode {
+                record: true,
+                profile: crate::profile::profiling_active(),
+            },
+        )
     }
 
     /// An inert guard for call sites where tracing is off.
     pub fn disabled() -> Span {
-        Span { inner: None }
+        Span {
+            inner: None,
+            profiled: false,
+        }
     }
 
     /// Attaches another field to a live span (no-op when disabled).
@@ -660,6 +742,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.profiled {
+            crate::profile::pop_frame();
+        }
         let Some(inner) = self.inner.take() else {
             return;
         };
@@ -707,19 +792,26 @@ pub fn event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
 /// ```
 ///
 /// When tracing is disabled (no subscriber, no trace scope) the guard is
-/// inert and the field expressions are not evaluated.
+/// inert and the field expressions are not evaluated. While a sampling
+/// profiler runs ([`crate::profile::Profiler`]) the guard additionally
+/// publishes the span on this thread's shared profiling stack — without
+/// building fields or a record unless recording is also on.
 #[macro_export]
 macro_rules! span {
-    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
-        if $crate::trace::enabled() {
-            $crate::trace::Span::new(
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let __geoalign_span_mode = $crate::trace::span_mode();
+        if __geoalign_span_mode.record {
+            $crate::trace::Span::open(
                 $name,
                 vec![$((stringify!($key), $crate::trace::FieldValue::from($value))),*],
+                __geoalign_span_mode,
             )
+        } else if __geoalign_span_mode.profile {
+            $crate::trace::Span::open($name, ::std::vec::Vec::new(), __geoalign_span_mode)
         } else {
             $crate::trace::Span::disabled()
         }
-    };
+    }};
 }
 
 /// Emits a one-shot event with key/value fields:
@@ -768,6 +860,33 @@ mod tests {
         let ids: Vec<u64> = drained.iter().map(|r| r.id).collect();
         assert_eq!(ids, [3, 4, 5, 6]);
         assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_overflow_bumps_the_dropped_counter() {
+        let ring = SpanRing::new(4);
+        let before = trace_dropped_total();
+        for id in 1..=10 {
+            ring.push(Box::new(SpanRecord {
+                id,
+                parent: None,
+                trace_id: None,
+                name: "overflow",
+                thread: Arc::from("t"),
+                start_unix_micros: 0,
+                duration_micros: 0,
+                fields: Vec::new(),
+                kind: RecordKind::Span,
+            }));
+        }
+        drop(ring);
+        // Capacity 4, 10 pushes: ids 1..=6 were displaced unseen. Other
+        // tests share the process-global counter, so assert the floor.
+        assert!(
+            trace_dropped_total() >= before + 6,
+            "dropped counter did not advance: before={before} after={}",
+            trace_dropped_total()
+        );
     }
 
     #[test]

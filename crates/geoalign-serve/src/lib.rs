@@ -54,6 +54,7 @@ pub mod json;
 pub mod metrics;
 pub mod router;
 pub mod server;
+pub mod slo;
 pub mod store;
 
 pub use http::{Request, Response};

@@ -56,6 +56,9 @@ pub struct Metrics {
     pub weight_learning_latency: Arc<Histogram>,
     /// Disaggregation latency per applied attribute.
     pub disaggregation_latency: Arc<Histogram>,
+    /// Per-route SLO latency histograms and burn counters (registered in
+    /// the same registry; exposed via Prometheus, not the legacy JSON).
+    pub slo: crate::slo::Slo,
 }
 
 impl Default for Metrics {
@@ -125,6 +128,7 @@ impl Default for Metrics {
             "geoalign_serve_disaggregation_latency_micros",
             "Disaggregation latency per applied attribute",
         );
+        let slo = crate::slo::Slo::register(&registry);
         Metrics {
             registry,
             requests_total,
@@ -143,6 +147,7 @@ impl Default for Metrics {
             prepare_latency,
             weight_learning_latency,
             disaggregation_latency,
+            slo,
         }
     }
 }

@@ -12,6 +12,10 @@
 //! `/metrics` serves the JSON snapshot by default and Prometheus text
 //! exposition when asked — either `GET /metrics?format=prometheus` or an
 //! `Accept: text/plain` header.
+//!
+//! With [`crate::ServerConfig::debug_endpoints`] the introspection suite
+//! `GET /debug/{profile,spans,slow,threads}` answers too (DESIGN.md §13);
+//! without the flag the whole `/debug` prefix 404s like any unknown path.
 
 use crate::http::{HttpError, Request, Response};
 use crate::json::{self, Json};
@@ -26,6 +30,12 @@ const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 /// Dispatches one request to its handler. Never panics; every failure
 /// becomes a JSON error response.
 pub fn route(state: &AppState, req: &Request) -> Response {
+    // The introspection suite answers only with `--debug-endpoints`;
+    // without the flag the whole prefix 404s exactly like unknown paths,
+    // so production config reveals nothing.
+    if req.path == "/debug" || req.path.starts_with("/debug/") {
+        return route_debug(state, req);
+    }
     let result = match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/systems") => post_systems(state, req),
         ("POST", "/references") => post_references(state, req),
@@ -44,6 +54,29 @@ pub fn route(state: &AppState, req: &Request) -> Response {
         }),
     };
     result.unwrap_or_else(Response::from)
+}
+
+/// Dispatch within `/debug/*` (gated on `--debug-endpoints`).
+fn route_debug(state: &AppState, req: &Request) -> Response {
+    let not_found = || {
+        Response::from(HttpError {
+            status: 404,
+            message: format!("no route for {}", req.path),
+        })
+    };
+    if !state.debug_endpoints_enabled() {
+        return not_found();
+    }
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/debug/profile") => get_debug_profile(req),
+        ("GET", "/debug/spans") => get_debug_spans(),
+        ("GET", "/debug/slow") => get_debug_slow(state),
+        ("GET", "/debug/threads") => get_debug_threads(state),
+        (_, "/debug/profile" | "/debug/spans" | "/debug/slow" | "/debug/threads") => {
+            method_not_allowed(&req.method, "GET")
+        }
+        _ => not_found(),
+    }
 }
 
 /// A 405 carrying the `Allow` header RFC 9110 requires. The request was
@@ -534,6 +567,141 @@ fn get_metrics(state: &AppState, req: &Request) -> Response {
     };
     doc.push(("cache".to_owned(), cache));
     Response::json(Json::Object(doc).to_string().into_bytes())
+}
+
+/// One `k=v` query parameter parsed as an integer, clamped to a range.
+fn query_u64(req: &Request, key: &str, default: u64, min: u64, max: u64) -> u64 {
+    req.query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix(key)?.strip_prefix('='))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default)
+        .clamp(min, max)
+}
+
+/// `GET /debug/profile?seconds=N[&hz=M]` — runs the sampling profiler
+/// for the window and answers collapsed stacks as `text/plain`
+/// (`flamegraph.pl` input). Blocks the handling worker for the window by
+/// design; the window is capped at 30 s. Sampling statistics ride in
+/// `X-Profile-*` headers so the body stays pure collapsed stacks.
+fn get_debug_profile(req: &Request) -> Response {
+    let seconds = query_u64(req, "seconds", 2, 1, 30);
+    let hz = query_u64(req, "hz", 997, 1, 5_000);
+    let profiler = geoalign_obs::Profiler::start(hz);
+    std::thread::sleep(std::time::Duration::from_secs(seconds));
+    let report = profiler.stop();
+    let mut resp = Response::text(
+        "text/plain; charset=utf-8",
+        report.collapsed_text().into_bytes(),
+    );
+    resp.set_header("X-Profile-Sweeps", report.sweeps.to_string());
+    resp.set_header("X-Profile-Stack-Samples", report.stack_samples.to_string());
+    resp.set_header("X-Profile-Idle-Samples", report.idle_samples.to_string());
+    resp.set_header(
+        "X-Profile-Sampler-Busy-Micros",
+        report.sampler_busy.as_micros().to_string(),
+    );
+    resp
+}
+
+/// `GET /debug/spans` — drains the process-global trace ring and answers
+/// the recent span records as a JSON array (oldest first).
+fn get_debug_spans() -> Response {
+    let records: Vec<Json> = geoalign_obs::trace::drain_recent()
+        .iter()
+        .map(span_record_json)
+        .collect();
+    Response::json(
+        Json::object([
+            ("count", Json::Number(records.len() as f64)),
+            ("spans", Json::Array(records)),
+        ])
+        .to_string()
+        .into_bytes(),
+    )
+}
+
+/// `GET /debug/slow` — the slowest requests retained so far, slowest
+/// first, each with its full span records (ids and parents intact, so a
+/// client can rebuild the tree).
+fn get_debug_slow(state: &AppState) -> Response {
+    let entries: Vec<Json> = state
+        .slow_requests()
+        .iter()
+        .map(|e| {
+            Json::object([
+                ("trace_id", Json::from(e.trace_id.as_str())),
+                ("method", Json::from(e.method.as_str())),
+                ("path", Json::from(e.path.as_str())),
+                ("status", Json::Number(f64::from(e.status))),
+                ("duration_micros", Json::Number(e.duration_micros as f64)),
+                (
+                    "spans",
+                    Json::Array(e.spans.iter().map(span_record_json).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        Json::object([("slowest", Json::Array(entries))])
+            .to_string()
+            .into_bytes(),
+    )
+}
+
+/// `GET /debug/threads` — request-pool occupancy (submitted / started /
+/// completed, queue depth, jobs in flight) plus the process thread
+/// budget.
+fn get_debug_threads(state: &AppState) -> Response {
+    let pool = match state.pool_stats() {
+        Some(s) => Json::object([
+            ("submitted", Json::Number(s.submitted as f64)),
+            ("started", Json::Number(s.started as f64)),
+            ("completed", Json::Number(s.completed as f64)),
+            ("queue_depth", Json::Number(s.queue_depth as f64)),
+            ("active", Json::Number(s.active as f64)),
+        ]),
+        // Routing without a bound server (unit tests, embedders).
+        None => Json::Null,
+    };
+    Response::json(
+        Json::object([
+            ("pool", pool),
+            (
+                "exec_threads",
+                Json::Number(geoalign_exec::global_threads() as f64),
+            ),
+            (
+                "hardware_threads",
+                Json::Number(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+            ),
+        ])
+        .to_string()
+        .into_bytes(),
+    )
+}
+
+/// One span record as JSON for the debug endpoints: identity, tree
+/// links, timing.
+fn span_record_json(s: &geoalign_obs::SpanRecord) -> Json {
+    Json::object([
+        ("id", Json::Number(s.id as f64)),
+        (
+            "parent",
+            s.parent.map_or(Json::Null, |p| Json::Number(p as f64)),
+        ),
+        (
+            "trace_id",
+            s.trace_id.as_deref().map_or(Json::Null, Json::from),
+        ),
+        ("name", Json::from(s.name)),
+        ("thread", Json::from(&*s.thread)),
+        (
+            "start_unix_micros",
+            Json::Number(s.start_unix_micros as f64),
+        ),
+        ("duration_micros", Json::Number(s.duration_micros as f64)),
+    ])
 }
 
 #[cfg(test)]

@@ -60,6 +60,11 @@ pub struct ServerConfig {
     /// registrations and prepared crosswalks; `None` serves from memory
     /// only.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Whether the `/debug/*` introspection routes (profile, spans, slow,
+    /// threads) answer. Off by default — without `serve
+    /// --debug-endpoints` they 404 like any unknown path, so
+    /// introspection cannot leak in production config.
+    pub debug_endpoints: bool,
 }
 
 /// Default queue bound for connections waiting on a worker.
@@ -79,6 +84,7 @@ impl Default for ServerConfig {
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             max_requests_per_conn: DEFAULT_MAX_REQUESTS_PER_CONN,
             data_dir: None,
+            debug_endpoints: false,
         }
     }
 }
@@ -119,6 +125,7 @@ impl Server {
                 .open(path)?;
             state.set_access_log(Box::new(file));
         }
+        state.set_debug_endpoints(config.debug_endpoints);
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -136,6 +143,7 @@ impl Server {
             )
         };
         let pool_handle = Arc::new(pool);
+        state.set_pool_stats(pool_handle.stats());
 
         let accept_stop = Arc::clone(&stop);
         let accept_pool = Arc::clone(&pool_handle);
@@ -288,18 +296,34 @@ fn handle_connection(
                     .map(str::to_owned)
                     .unwrap_or_else(new_trace_id);
                 let scope = begin_trace(&trace_id);
+                let cost_scope = geoalign_obs::cost::begin();
                 let mut response = route(state, &request);
+                let cost = cost_scope.finish();
                 let spans = scope.finish();
                 response.set_header("X-Trace-Id", trace_id.clone());
+                response.set_header("X-Cost", cost.header_value());
                 response.connection_close = close;
+                let elapsed = t0.elapsed();
                 state.log_access(&access_log_line(
                     &trace_id,
                     &request,
                     response.status,
-                    t0.elapsed(),
+                    elapsed,
                     &spans,
+                    &cost,
                 ));
-                state.metrics.record_request(response.status, t0.elapsed());
+                state.metrics.record_request(response.status, elapsed);
+                state.metrics.slo.record(&request.path, elapsed);
+                if state.debug_endpoints_enabled() {
+                    state.record_slow(crate::store::SlowEntry {
+                        trace_id: trace_id.clone(),
+                        method: request.method.clone(),
+                        path: request.path.clone(),
+                        status: response.status,
+                        duration_micros: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                        spans,
+                    });
+                }
                 if response.write_to(&mut stream).is_err() || close {
                     return;
                 }
@@ -339,14 +363,17 @@ fn lingering_close(stream: &TcpStream, reader: &mut BufReader<TcpStream>) {
 }
 
 /// One JSON access-log line: the trace ID, request line, status, total
-/// duration, and a `spans` array with each finished span's name and wall
-/// time (the per-phase breakdown of `/crosswalk` requests).
+/// duration, a `spans` array with each finished span's name and wall
+/// time (the per-phase breakdown of `/crosswalk` requests), and the
+/// request's resource `cost` (rows/cells/tasks/bytes; see
+/// [`geoalign_obs::RequestCost`]).
 fn access_log_line(
     trace_id: &str,
     request: &Request,
     status: u16,
     duration: Duration,
     spans: &[SpanRecord],
+    cost: &geoalign_obs::RequestCost,
 ) -> String {
     use crate::json::Json;
     let span_entries: Vec<Json> = spans
@@ -368,6 +395,15 @@ fn access_log_line(
             Json::Number(duration.as_micros().min(u128::from(u64::MAX)) as f64),
         ),
         ("spans", Json::Array(span_entries)),
+        (
+            "cost",
+            Json::object([
+                ("rows", Json::Number(cost.rows as f64)),
+                ("cells", Json::Number(cost.cells as f64)),
+                ("exec_tasks", Json::Number(cost.exec_tasks as f64)),
+                ("alloc_bytes", Json::Number(cost.alloc_bytes as f64)),
+            ]),
+        ),
     ])
     .to_string()
 }

@@ -1,0 +1,136 @@
+//! Per-route SLO latency tracking.
+//!
+//! Every route the server exposes gets a latency histogram
+//! (`geoalign_serve_route_<route>_latency_micros`) and a burn counter
+//! (`geoalign_serve_route_<route>_slo_breach_total`) that increments
+//! whenever a request finishes over the route's latency objective. The
+//! route set is closed — unknown paths fall into `other` — so the
+//! metric cardinality is fixed no matter what clients request. Both
+//! series live in the serve [`crate::Metrics`] registry and ride out
+//! through `/metrics` with everything else.
+
+use geoalign_obs::{Histogram, Registry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One route's objective and its two series.
+#[derive(Debug)]
+struct RouteSlo {
+    route: &'static str,
+    objective: Duration,
+    latency: Arc<Histogram>,
+    breaches: geoalign_obs::Counter,
+}
+
+/// The closed route set and each route's latency objective. `/debug/*`
+/// is one bucket: the profile endpoint blocks for its sampling window by
+/// design, so it gets a deliberately loose objective.
+const ROUTES: &[(&str, &str, Duration)] = &[
+    ("/systems", "systems", Duration::from_millis(100)),
+    ("/references", "references", Duration::from_millis(250)),
+    ("/ingest", "ingest", Duration::from_millis(250)),
+    ("/crosswalk", "crosswalk", Duration::from_millis(250)),
+    ("/checkpoint", "checkpoint", Duration::from_millis(1000)),
+    ("/healthz", "healthz", Duration::from_millis(25)),
+    ("/metrics", "metrics", Duration::from_millis(50)),
+    ("/debug", "debug", Duration::from_secs(60)),
+    ("", "other", Duration::from_millis(100)),
+];
+
+/// All per-route SLO series; construct once per [`crate::Metrics`].
+#[derive(Debug)]
+pub struct Slo {
+    routes: Vec<RouteSlo>,
+}
+
+impl Slo {
+    /// Registers the per-route series in `registry`.
+    pub fn register(registry: &Registry) -> Slo {
+        let routes = ROUTES
+            .iter()
+            .map(|&(_, name, objective)| RouteSlo {
+                route: name,
+                objective,
+                latency: registry.histogram(
+                    &format!("geoalign_serve_route_{name}_latency_micros"),
+                    &format!("Request latency of the {name} route"),
+                ),
+                breaches: registry.counter(
+                    &format!("geoalign_serve_route_{name}_slo_breach_total"),
+                    &format!("Requests on the {name} route that finished over its SLO"),
+                ),
+            })
+            .collect();
+        Slo { routes }
+    }
+
+    /// Maps a request path to its route bucket name.
+    pub fn route_of(path: &str) -> &'static str {
+        for &(prefix, name, _) in ROUTES {
+            if prefix.is_empty() {
+                continue;
+            }
+            if path == prefix
+                || path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/')
+            {
+                return name;
+            }
+        }
+        "other"
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, path: &str, latency: Duration) {
+        let route = Self::route_of(path);
+        if let Some(r) = self.routes.iter().find(|r| r.route == route) {
+            r.latency.record(latency);
+            if latency > r.objective {
+                r.breaches.inc();
+            }
+        }
+    }
+
+    /// The latency objective of `path`'s route (for tests and docs).
+    pub fn objective_of(path: &str) -> Duration {
+        let route = Self::route_of(path);
+        ROUTES
+            .iter()
+            .find(|&&(_, name, _)| name == route)
+            .map(|&(_, _, d)| d)
+            .unwrap_or(Duration::from_millis(100))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_map_to_route_buckets() {
+        assert_eq!(Slo::route_of("/crosswalk"), "crosswalk");
+        assert_eq!(Slo::route_of("/healthz"), "healthz");
+        assert_eq!(Slo::route_of("/debug/profile"), "debug");
+        assert_eq!(Slo::route_of("/debug/slow"), "debug");
+        assert_eq!(Slo::route_of("/nope"), "other");
+        assert_eq!(Slo::route_of("/crosswalker"), "other");
+    }
+
+    #[test]
+    fn breaches_count_only_over_objective() {
+        let registry = Registry::new();
+        let slo = Slo::register(&registry);
+        slo.record("/healthz", Duration::from_millis(1));
+        slo.record("/healthz", Duration::from_millis(500));
+        slo.record("/crosswalk", Duration::from_millis(100));
+        let text = geoalign_obs::expo::prometheus_text([&registry]);
+        assert!(
+            text.contains("geoalign_serve_route_healthz_slo_breach_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("geoalign_serve_route_crosswalk_slo_breach_total 0"),
+            "{text}"
+        );
+        assert!(text.contains("geoalign_serve_route_healthz_latency_micros_count 2"));
+    }
+}

@@ -10,12 +10,57 @@ use geoalign_core::{
     persist, CoreError, CrosswalkKey, CrosswalkStore, DurableBacking, IntegrationPipeline,
     PreparedCrosswalk, ReferenceData,
 };
+use geoalign_obs::SpanRecord;
 use geoalign_partition::DisaggregationMatrix;
 use std::collections::HashMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
+
+/// How many slowest requests `/debug/slow` retains.
+pub const SLOW_RING_CAPACITY: usize = 16;
+
+/// One retained slow request: the access-log facts plus the full span
+/// records, so `/debug/slow` can render the span tree.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// The request's trace ID.
+    pub trace_id: String,
+    /// Request method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// Total wall time in microseconds.
+    pub duration_micros: u64,
+    /// Every span finished while routing (ids/parents intact).
+    pub spans: Vec<SpanRecord>,
+}
+
+/// The k-slowest-requests ring behind `/debug/slow`: kept sorted by
+/// duration descending, evicting the fastest entry once full.
+#[derive(Debug, Default)]
+struct SlowRing {
+    entries: Vec<SlowEntry>,
+}
+
+impl SlowRing {
+    fn record(&mut self, entry: SlowEntry) {
+        if self.entries.len() >= SLOW_RING_CAPACITY {
+            let min = self.entries.last().map(|e| e.duration_micros).unwrap_or(0);
+            if entry.duration_micros <= min {
+                return;
+            }
+            self.entries.pop();
+        }
+        let at = self
+            .entries
+            .partition_point(|e| e.duration_micros >= entry.duration_micros);
+        self.entries.insert(at, entry);
+    }
+}
 
 /// Default number of prepared crosswalks the cache retains.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
@@ -77,6 +122,15 @@ pub struct AppState {
     /// Streaming-ingest references. Lock order: pipeline write lock
     /// first, then this (only [`Self::ingest`] takes both).
     ingest: Mutex<IngestRegistry>,
+    /// Whether `/debug/*` introspection routes answer (requires the
+    /// `--debug-endpoints` flag; everything 404s otherwise).
+    debug_endpoints: AtomicBool,
+    /// The slowest requests seen so far, for `/debug/slow`. Only fed
+    /// while debug endpoints are enabled.
+    slow: Mutex<SlowRing>,
+    /// The request pool's occupancy counters, set by the server at bind
+    /// time; `/debug/threads` reads them.
+    pool_stats: Mutex<Option<Arc<geoalign_exec::PoolStats>>>,
 }
 
 impl std::fmt::Debug for AppState {
@@ -107,6 +161,9 @@ impl AppState {
             durable: None,
             next_ref_index: AtomicU64::new(0),
             ingest: Mutex::new(IngestRegistry::default()),
+            debug_endpoints: AtomicBool::new(false),
+            slow: Mutex::new(SlowRing::default()),
+            pool_stats: Mutex::new(None),
         })
     }
 
@@ -182,7 +239,53 @@ impl AppState {
             durable: Some(backing),
             next_ref_index: AtomicU64::new(next_ref_index),
             ingest: Mutex::new(ingest),
+            debug_endpoints: AtomicBool::new(false),
+            slow: Mutex::new(SlowRing::default()),
+            pool_stats: Mutex::new(None),
         }))
+    }
+
+    /// Whether `/debug/*` routes answer; off by default.
+    pub fn debug_endpoints_enabled(&self) -> bool {
+        self.debug_endpoints.load(Ordering::Relaxed)
+    }
+
+    /// Turns `/debug/*` routes on or off (the server sets this from
+    /// `ServerConfig::debug_endpoints` at bind time).
+    pub fn set_debug_endpoints(&self, enabled: bool) {
+        self.debug_endpoints.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Offers a finished request to the slow-request ring (kept only if
+    /// it ranks among the slowest seen).
+    pub fn record_slow(&self, entry: SlowEntry) {
+        self.slow
+            .lock()
+            .expect("slow ring lock poisoned")
+            .record(entry);
+    }
+
+    /// The current slow-request ring, slowest first.
+    pub fn slow_requests(&self) -> Vec<SlowEntry> {
+        self.slow
+            .lock()
+            .expect("slow ring lock poisoned")
+            .entries
+            .clone()
+    }
+
+    /// Publishes the request pool's counters for `/debug/threads`.
+    pub fn set_pool_stats(&self, stats: Arc<geoalign_exec::PoolStats>) {
+        *self.pool_stats.lock().expect("pool stats lock poisoned") = Some(stats);
+    }
+
+    /// The request pool's counters, when a server is attached.
+    pub fn pool_stats(&self) -> Option<geoalign_exec::PoolStatsSnapshot> {
+        self.pool_stats
+            .lock()
+            .expect("pool stats lock poisoned")
+            .as_ref()
+            .map(|s| s.snapshot())
     }
 
     /// The durable tier, when the server was started with `--data-dir`.

@@ -1,0 +1,266 @@
+//! Real-TCP tests of the `/debug` introspection suite: the
+//! `--debug-endpoints` gate, the sampling profiler endpoint capturing
+//! the pipeline's hot phases, and the spans/slow/threads views.
+
+use geoalign_core::{GeoAlign, IntegrationPipeline, ReferenceData};
+use geoalign_geom::Interval;
+use geoalign_partition::{AggregateVector, DisaggregationMatrix, IntervalUnitSystem, Overlay};
+use geoalign_serve::{AppState, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn populated_state() -> Arc<AppState> {
+    let mut pipeline = IntegrationPipeline::new();
+    pipeline.register_system("zip", ["z1", "z2", "z3"]);
+    pipeline.register_system("county", ["A", "B"]);
+    let dm = DisaggregationMatrix::from_triples(
+        "population",
+        3,
+        2,
+        [(0, 0, 100.0), (1, 0, 60.0), (1, 1, 40.0), (2, 1, 80.0)],
+    )
+    .unwrap();
+    pipeline
+        .register_reference(
+            "zip",
+            "county",
+            ReferenceData::from_dm("population", dm).unwrap(),
+        )
+        .unwrap();
+    AppState::with_pipeline(pipeline, 8)
+}
+
+fn send(addr: std::net::SocketAddr, raw: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    send(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn crosswalk_request() -> String {
+    let body =
+        r#"{"source":"zip","target":"county","attributes":[{"name":"steam","values":[10,20,30]}]}"#;
+    format!(
+        "POST /crosswalk HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn debug_config() -> ServerConfig {
+    ServerConfig {
+        debug_endpoints: true,
+        workers: 2,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn debug_endpoints_are_gated_off_by_default() {
+    let server =
+        Server::bind_with_state("127.0.0.1:0", ServerConfig::default(), populated_state()).unwrap();
+    let addr = server.addr();
+    // Indistinguishable from an unknown route: same 404, no hint that
+    // the introspection suite exists.
+    for path in [
+        "/debug/profile",
+        "/debug/spans",
+        "/debug/slow",
+        "/debug/threads",
+        "/debug",
+        "/debug/nonsense",
+    ] {
+        let reply = get(addr, path);
+        assert!(reply.starts_with("HTTP/1.1 404"), "{path}: {reply}");
+    }
+    server.shutdown();
+}
+
+/// A synthetic pipeline big enough that its phases survive between
+/// profiler sweeps: 16 references over 2000 source x 200 target units,
+/// so the Gram build and the dense solver both take sampleable time.
+fn pipeline_load() -> (Vec<ReferenceData>, AggregateVector) {
+    let mut state = 20180326u64;
+    let mut lcg = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let (n_source, n_target) = (2000usize, 200usize);
+    let refs: Vec<ReferenceData> = (0..16)
+        .map(|k| {
+            let mut triples = Vec::new();
+            for i in 0..n_source {
+                let j = (lcg() * n_target as f64) as usize % n_target;
+                triples.push((i, j, 0.5 + lcg() * 99.5));
+                triples.push((i, (j + 1) % n_target, 0.5 + lcg() * 99.5));
+            }
+            triples.sort_by_key(|t| (t.0, t.1));
+            triples.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+            let dm =
+                DisaggregationMatrix::from_triples(format!("ref{k}"), n_source, n_target, triples)
+                    .unwrap();
+            ReferenceData::from_dm(format!("ref{k}"), dm).unwrap()
+        })
+        .collect();
+    let objective = AggregateVector::new(
+        "load",
+        (0..n_source).map(|_| lcg() * 100.0).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    (refs, objective)
+}
+
+/// Two interval systems with enough bins that the overlay merge is
+/// sampleable.
+fn overlay_load() -> (IntervalUnitSystem, IntervalUnitSystem) {
+    let bins = |n: usize, name: &str| {
+        let units: Vec<Interval> = (0..n)
+            .map(|i| Interval::new(i as f64, (i + 1) as f64).unwrap())
+            .collect();
+        IntervalUnitSystem::new(name, units).unwrap()
+    };
+    (bins(4_000, "fine"), bins(400, "coarse"))
+}
+
+#[test]
+fn debug_profile_names_the_pipelines_hot_phases() {
+    let server = Server::bind_with_state("127.0.0.1:0", debug_config(), populated_state()).unwrap();
+    let addr = server.addr();
+
+    // Keep the pipeline hot from a worker thread while /debug/profile
+    // samples: the profiler is process-global, so any thread's spans
+    // land in the collapsed stacks — exactly what an operator gets when
+    // profiling a server under real load.
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let (refs, objective) = pipeline_load();
+            let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+            let (fine, coarse) = overlay_load();
+            while !stop.load(Ordering::Relaxed) {
+                // gram (inside prepare) and apply: the snapshot path.
+                let prepared = GeoAlign::new().prepare(&ref_slices).unwrap();
+                let _ = prepared.apply(&objective).unwrap();
+                // solver: the one-shot estimate path solves the dense
+                // least-squares system — O(n x refs^2) inside the span.
+                let _ = GeoAlign::new().estimate(&objective, &ref_slices).unwrap();
+                // overlay: the partition-intersection phase.
+                let _ = Overlay::intervals(&fine, &coarse).unwrap();
+            }
+        })
+    };
+
+    // A little real HTTP traffic so server-side request spans exist too.
+    let reply = send(addr, &crosswalk_request());
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+
+    // Sampling is statistical: accumulate 1-second profiles until every
+    // phase has been caught on a stack (a few seconds at 2 kHz).
+    let want = ["overlay", "gram", "solver", "apply"];
+    let mut collapsed = String::new();
+    for _ in 0..12 {
+        let reply = get(addr, "/debug/profile?seconds=1&hz=2000");
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("Content-Type: text/plain"), "{reply}");
+        assert!(reply.contains("X-Profile-Sweeps:"), "{reply}");
+        let body = reply.split("\r\n\r\n").nth(1).unwrap_or("");
+        collapsed.push_str(body);
+        collapsed.push('\n');
+        if want.iter().all(|p| collapsed.contains(p)) {
+            break;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    load.join().unwrap();
+
+    assert!(!collapsed.trim().is_empty(), "empty profile");
+    for phase in want {
+        assert!(
+            collapsed.contains(phase),
+            "phase '{phase}' never sampled; collapsed stacks:\n{collapsed}"
+        );
+    }
+    // Collapsed-stack shape: every line is `thread;span;... count`.
+    for line in collapsed.lines().filter(|l| !l.trim().is_empty()) {
+        let (stack, count) = line.rsplit_once(' ').expect("count column");
+        assert!(!stack.is_empty(), "{line}");
+        assert!(count.parse::<u64>().is_ok(), "{line}");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn debug_suite_reports_cost_spans_slow_and_threads() {
+    let server = Server::bind_with_state("127.0.0.1:0", debug_config(), populated_state()).unwrap();
+    let addr = server.addr();
+
+    // Every response carries the request's resource accounting; a cold
+    // /crosswalk touches real rows and cells.
+    let reply = send(addr, &crosswalk_request());
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    let cost = reply
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Cost: "))
+        .expect("X-Cost header")
+        .trim()
+        .to_owned();
+    for key in ["rows=", "cells=", "tasks=", "alloc_bytes="] {
+        assert!(cost.contains(key), "{cost}");
+    }
+    let rows: u64 = cost
+        .split(';')
+        .find_map(|kv| kv.strip_prefix("rows="))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(rows > 0, "cold /crosswalk should count rows: {cost}");
+
+    // /debug/spans: the recent-span ring has the crosswalk's phases.
+    let spans = get(addr, "/debug/spans");
+    assert!(spans.starts_with("HTTP/1.1 200 OK"), "{spans}");
+    assert!(spans.contains(r#""count":"#), "{spans}");
+    assert!(spans.contains(r#""name":"prepare""#), "{spans}");
+
+    // /debug/slow: the crosswalk request with its full span tree.
+    let slow = get(addr, "/debug/slow");
+    assert!(slow.starts_with("HTTP/1.1 200 OK"), "{slow}");
+    assert!(slow.contains(r#""path":"/crosswalk""#), "{slow}");
+    assert!(slow.contains(r#""trace_id":"#), "{slow}");
+    assert!(slow.contains(r#""duration_micros":"#), "{slow}");
+
+    // /debug/threads: pool counters and the thread budget.
+    let threads = get(addr, "/debug/threads");
+    assert!(threads.starts_with("HTTP/1.1 200 OK"), "{threads}");
+    for key in [
+        r#""pool""#,
+        r#""submitted""#,
+        r#""queue_depth""#,
+        r#""exec_threads""#,
+        r#""hardware_threads""#,
+    ] {
+        assert!(threads.contains(key), "{threads}");
+    }
+
+    // Wrong method on a known debug route: 405 with Allow, not 404.
+    let reply = send(
+        addr,
+        "POST /debug/threads HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 405"), "{reply}");
+    assert!(reply.contains("Allow: GET"), "{reply}");
+
+    server.shutdown();
+}

@@ -137,6 +137,90 @@ fn trace_id_round_trips_and_lands_in_the_access_log() {
 }
 
 #[test]
+fn ingest_and_checkpoint_trace_ids_land_in_the_access_log() {
+    let dir = std::env::temp_dir().join(format!("geoalign-serve-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let state = AppState::open_durable(&dir, 8).unwrap();
+    let log = SharedBuf::default();
+    state.set_access_log(Box::new(log.clone()));
+    let server = Server::bind_with_state("127.0.0.1:0", ServerConfig::default(), state).unwrap();
+    let addr = server.addr();
+
+    for body in [
+        r#"{"name":"zip","units":["z1","z2","z3"]}"#,
+        r#"{"name":"county","units":["A","B"]}"#,
+    ] {
+        let reply = send(
+            addr,
+            &format!(
+                "POST /systems HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    }
+
+    // /ingest with a caller-supplied trace ID: echoed, not replaced.
+    let ingest_body = r#"{"source":"zip","target":"county","attribute":"footfall",
+        "points":[["z1","A",2],["z2","B",1.5],["z3","B",4]]}"#;
+    let reply = send(
+        addr,
+        &format!(
+            "POST /ingest HTTP/1.1\r\nHost: x\r\nConnection: close\r\nX-Trace-Id: 1234abcd1234abcd\r\nContent-Length: {}\r\n\r\n{ingest_body}",
+            ingest_body.len()
+        ),
+    );
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    assert!(
+        reply.contains("\r\nX-Trace-Id: 1234abcd1234abcd\r\n"),
+        "{reply}"
+    );
+
+    // /checkpoint without the header gets a generated 16-hex ID.
+    let reply = send(
+        addr,
+        "POST /checkpoint HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    let checkpoint_trace = reply
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Trace-Id: "))
+        .expect("generated trace id header")
+        .trim()
+        .to_owned();
+    assert_eq!(checkpoint_trace.len(), 16, "{checkpoint_trace}");
+    assert!(checkpoint_trace.chars().all(|c| c.is_ascii_hexdigit()));
+
+    server.shutdown();
+
+    let text = log.contents();
+    let ingest_line = text
+        .lines()
+        .find(|l| l.contains(r#""path":"/ingest""#))
+        .expect("ingest access-log line");
+    assert!(
+        ingest_line.contains(r#""trace_id":"1234abcd1234abcd""#),
+        "{ingest_line}"
+    );
+    assert!(ingest_line.contains(r#""method":"POST""#));
+    assert!(ingest_line.contains(r#""status":200"#));
+    // Every line now carries the request's resource accounting.
+    assert!(ingest_line.contains(r#""cost""#), "{ingest_line}");
+
+    let checkpoint_line = text
+        .lines()
+        .find(|l| l.contains(r#""path":"/checkpoint""#))
+        .expect("checkpoint access-log line");
+    assert!(
+        checkpoint_line.contains(&format!(r#""trace_id":"{checkpoint_trace}""#)),
+        "{checkpoint_line}"
+    );
+    assert!(checkpoint_line.contains(r#""status":200"#));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn prometheus_exposition_is_served_over_tcp() {
     let state = populated_state();
     let server = Server::bind_with_state("127.0.0.1:0", ServerConfig::default(), state).unwrap();

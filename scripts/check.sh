@@ -27,9 +27,14 @@ echo "==> no raw std::thread::spawn outside the execution layer"
 # the process has one thread budget; geoalign-serve keeps its single
 # accept-loop thread. Everything else must not spawn threads directly.
 # std::thread::scope (used by the executor's tests and callers) is fine.
+# The one other sanctioned thread is the profiler's sampler
+# (geoalign-obs/src/profile.rs) — it must live outside the pool because
+# it observes the pool, and it spawns via thread::Builder so it is named
+# in profiles and thread dumps.
 if matches=$(grep -rn 'thread::spawn' crates/*/src \
         | grep -v '^crates/geoalign-exec/src' \
         | grep -v '^crates/geoalign-serve/src' \
+        | grep -v '^crates/geoalign-obs/src/profile.rs' \
         | grep -vE ':[0-9]+:\s*(//|//!|///)'); then
     echo "error: raw thread::spawn outside geoalign-exec — use the Executor or WorkerPool:" >&2
     echo "$matches" >&2
@@ -50,8 +55,32 @@ if matches=$(grep -rnE '\b(read_line|read_to_end|read_to_string)\b' \
     exit 1
 fi
 
+echo "==> metric naming: geoalign_<crate>_<name>_<unit>"
+# Every registered metric name is a literal "geoalign_..." string in a
+# src/ file; hold them all to the §8 convention so a scrape stays
+# self-describing. <crate> must be a workspace layer (demo/test/expo are
+# the obs crate's own doc and test fixtures); <unit> is _total for
+# counters, _micros for wall-time histograms, or a bare quantity noun
+# for gauges/value histograms. Dynamically formatted names (the per-route
+# SLO series) are covered by their format-string suffixes in slo.rs and
+# its tests, not this literal scan.
+bad_names=$(grep -rhoE '"geoalign_[a-z0-9_]+"' crates/*/src | sort -u \
+    | grep -vE '^"geoalign_(demo|test|expo)_' \
+    | grep -vE '^"geoalign_(core|partition|serve|store|agg|obs|exec)_[a-z0-9_]+_(total|micros|entries|candidates|points|bytes|size|iterations)"$' \
+    || true)
+if [ -n "$bad_names" ]; then
+    echo "error: metric name outside the geoalign_<crate>_<name>_<unit> convention:" >&2
+    echo "$bad_names" >&2
+    exit 1
+fi
+
 echo "==> cargo test -q -p geoalign-obs"
 cargo test -q -p geoalign-obs
+
+echo "==> /debug introspection suite (gate + live profile)"
+# Proves /debug/* 404s without --debug-endpoints and that a live-server
+# /debug/profile returns collapsed stacks naming the pipeline phases.
+cargo test -q -p geoalign-serve --test debug_introspection
 
 echo "==> serve hardening suite (hostile input, keep-alive, shedding)"
 cargo test -q -p geoalign-serve --test http_hardening
