@@ -1,7 +1,9 @@
 //! Serve front-end baseline: per-request latency of `/crosswalk` batches
 //! over one persistent keep-alive connection versus a fresh TCP
 //! connection per request, against a real `geoalign-serve` instance on a
-//! loopback socket.
+//! loopback socket — plus a `connections_held` sweep that parks N idle
+//! keep-alive connections and measures what they cost a foreground
+//! client (p99 latency) and the process (resident thread count).
 //!
 //! Writes machine-readable `BENCH_serve.json` (see `--out`) so future
 //! PRs can compare the connection-lifecycle overhead against a recorded
@@ -10,7 +12,8 @@
 //! only comparable on similar hosts.
 //!
 //! Usage: `serve_keepalive [--seed N] [--requests N] [--trials N]
-//!                         [--out BENCH_serve.json]`
+//!                         [--connections 100,1000,5000] [--pin-workers]
+//!                         [--label NAME] [--out BENCH_serve.json]`
 
 use geoalign_serve::{Server, ServerConfig};
 use std::fmt::Write as _;
@@ -76,33 +79,41 @@ fn request_fresh(addr: SocketAddr, path: &str, body: &str) -> u16 {
     read_response(&mut reader)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed = 20180326u64;
-    let mut requests = 200usize;
-    let mut trials = 3usize;
-    let mut out_path = "BENCH_serve.json".to_owned();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
-            "--requests" => requests = it.next().expect("--requests value").parse().expect("int"),
-            "--trials" => trials = it.next().expect("--trials value").parse().expect("int"),
-            "--out" => out_path = it.next().expect("--out value").clone(),
-            flag => {
-                eprintln!("unknown argument: {flag}");
-                std::process::exit(2);
-            }
-        }
-    }
+/// Resident thread count of this process, from `/proc/self/status`.
+/// Returns 0 where procfs is unavailable.
+fn resident_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
 
-    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
-    let addr = server.addr();
+/// One idle keep-alive connection: proven live by a single `/healthz`
+/// round-trip, then parked (the socket stays open, nothing more is sent).
+struct IdleConn {
+    _stream: TcpStream,
+}
 
-    // A small crosswalk world: 16 zips onto 4 counties, one reference.
+fn open_idle_conn(addr: SocketAddr) -> IdleConn {
+    let stream = TcpStream::connect(addr).expect("connect idle");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n")
+        .expect("write idle");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    assert_eq!(read_response(&mut reader), 200);
+    IdleConn { _stream: stream }
+}
+
+/// Registers the bench's crosswalk world on a server and returns the
+/// `/crosswalk` request body whose latency the bench measures.
+fn register_world(addr: SocketAddr, seed: u64, n_source: usize, n_target: usize) -> String {
     let mut state = seed;
-    let n_source = 16usize;
-    let n_target = 4usize;
     let units: Vec<String> = (0..n_source).map(|i| format!("\"z{i}\"")).collect();
     assert_eq!(
         request_fresh(
@@ -138,17 +149,117 @@ fn main() {
         ),
         200
     );
-
-    // The measured request: one attribute vector, snapshot served from
-    // the prepared-crosswalk cache after the first hit, so the timing is
-    // dominated by the connection lifecycle rather than the solver.
     let values: Vec<String> = (0..n_source)
         .map(|_| format!("{:.3}", 100.0 * lcg(&mut state)))
         .collect();
-    let body = format!(
+    format!(
         "{{\"source\":\"zip\",\"target\":\"county\",\"attributes\":[{{\"name\":\"load\",\"values\":[{}]}}]}}",
         values.join(",")
-    );
+    )
+}
+
+/// One sweep point: park `connections` idle keep-alive connections, then
+/// measure a foreground keep-alive client's per-request latency.
+struct SweepPoint {
+    connections: usize,
+    p50_us: f64,
+    p99_us: f64,
+    threads: usize,
+}
+
+fn run_sweep_point(
+    connections: usize,
+    requests: usize,
+    seed: u64,
+    pin_workers: bool,
+) -> SweepPoint {
+    let mut config = ServerConfig {
+        max_connections: connections + 64,
+        ..ServerConfig::default()
+    };
+    if pin_workers {
+        // Pre-reactor comparison mode: a thread-per-connection server can
+        // only hold an idle keep-alive connection by pinning a worker, so
+        // holding N connections requires N workers.
+        config.workers = connections + 8;
+    }
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.addr();
+    let body = register_world(addr, seed, 16, 4);
+    assert_eq!(request_fresh(addr, "/crosswalk", &body), 200); // warm the cache
+
+    let held: Vec<IdleConn> = (0..connections).map(|_| open_idle_conn(addr)).collect();
+    let threads = resident_threads();
+
+    // Foreground client: one keep-alive connection, per-request latency.
+    let stream = TcpStream::connect(addr).expect("connect fg");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let raw = post_bytes("/crosswalk", &body, false);
+    let mut lat_us: Vec<f64> = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let t = Instant::now();
+        writer.write_all(&raw).expect("write fg");
+        assert_eq!(read_response(&mut reader), 200);
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| lat_us[((lat_us.len() as f64 * p).ceil() as usize).min(lat_us.len()) - 1];
+    let point = SweepPoint {
+        connections,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        threads,
+    };
+    drop(held);
+    server.shutdown();
+    point
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20180326u64;
+    let mut requests = 200usize;
+    let mut trials = 3usize;
+    let mut sweep: Vec<usize> = vec![100, 1000, 5000];
+    let mut pin_workers = false;
+    let mut label = "reactor".to_owned();
+    let mut out_path = "BENCH_serve.json".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            "--requests" => requests = it.next().expect("--requests value").parse().expect("int"),
+            "--trials" => trials = it.next().expect("--trials value").parse().expect("int"),
+            "--connections" => {
+                sweep = it
+                    .next()
+                    .expect("--connections value")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().expect("int"))
+                    .collect();
+            }
+            "--pin-workers" => pin_workers = true,
+            "--label" => label = it.next().expect("--label value").clone(),
+            "--out" => out_path = it.next().expect("--out value").clone(),
+            flag => {
+                eprintln!("unknown argument: {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    // A small crosswalk world: 16 zips onto 4 counties, one reference.
+    // The measured request: one attribute vector, snapshot served from
+    // the prepared-crosswalk cache after the first hit, so the timing is
+    // dominated by the connection lifecycle rather than the solver.
+    let n_source = 16usize;
+    let n_target = 4usize;
+    let body = register_world(addr, seed, n_source, n_target);
     assert_eq!(request_fresh(addr, "/crosswalk", &body), 200); // warm the cache
 
     eprintln!(
@@ -188,6 +299,17 @@ fn main() {
     let reused = server.state().metrics.keepalive_reuse.get();
     server.shutdown();
 
+    // --- connections_held sweep: cost of parked idle keep-alive conns ----
+    let mut points: Vec<SweepPoint> = Vec::with_capacity(sweep.len());
+    for &connections in &sweep {
+        let point = run_sweep_point(connections, requests, seed, pin_workers);
+        eprintln!(
+            "held {:>5} idle conns: fg p50 {:>8.1} us, p99 {:>8.1} us, {} resident threads",
+            point.connections, point.p50_us, point.p99_us, point.threads
+        );
+        points.push(point);
+    }
+
     // --- BENCH_serve.json ------------------------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"serve_keepalive\",");
@@ -213,7 +335,21 @@ fn main() {
         "    \"fresh_over_keepalive\": {:.3}",
         fresh_us / keepalive_us.max(1e-9)
     );
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"connections_held\": {{");
+    let _ = writeln!(json, "    \"label\": \"{label}\",");
+    let _ = writeln!(json, "    \"pin_workers\": {pin_workers},");
+    let _ = writeln!(json, "    \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"connections\": {}, \"foreground_p50_us\": {:.1}, \
+             \"foreground_p99_us\": {:.1}, \"resident_threads\": {} }}{comma}",
+            p.connections, p.p50_us, p.p99_us, p.threads
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     eprintln!("wrote {out_path}");
     print!("{json}");

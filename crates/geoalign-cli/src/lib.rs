@@ -94,7 +94,8 @@ USAGE:
     geoalign serve     [--addr HOST:PORT] [--workers N] [--cache-capacity M]
                        [--access-log LOG.jsonl] [--threads N]
                        [--max-connections N] [--idle-timeout SECS]
-                       [--max-requests-per-conn N] [--data-dir DIR]
+                       [--max-requests-per-conn N] [--drain-timeout SECS]
+                       [--event-loop epoll|poll] [--data-dir DIR]
                        [--debug-endpoints]
     geoalign store     <init|inspect|compact|verify> --data-dir DIR
     geoalign agg       inspect (FILE | --data-dir DIR)
@@ -107,16 +108,23 @@ FLAGS:
                        (default: GEOALIGN_THREADS, else available parallelism;
                        results are bit-identical at any setting)
     --addr             serve: listen address (default 127.0.0.1:8077)
-    --workers          serve: request worker threads (default: the thread budget)
+    --workers          serve: compute worker threads (default: the thread
+                       budget); bounds concurrent request execution only —
+                       idle connections don't hold workers
     --cache-capacity   serve: prepared-crosswalk cache size (default 64)
     --access-log       serve: append one JSON line per request to a file
-    --max-connections  serve: connections queued for a worker before new
-                       arrivals are shed with 503 (default 128)
+    --max-connections  serve: open connections admitted beyond the workers
+                       (cap = workers + N); arrivals past the cap are shed
+                       with 503 (default 128)
     --idle-timeout     serve: seconds a keep-alive connection may idle, and
                        the stalled-request deadline (default 30)
     --max-requests-per-conn
                        serve: requests served over one connection before the
                        server closes it (default 1000)
+    --drain-timeout    serve: seconds shutdown waits for in-flight requests
+                       before force-closing their connections (default 5)
+    --event-loop       serve: readiness backend for the connection reactor,
+                       epoll (default) or poll
     --data-dir         serve: durable store directory; registrations and
                        prepared crosswalks survive restarts (snapshot + WAL)
                        store: the directory the subcommand operates on
@@ -216,6 +224,11 @@ pub struct ServeArgs {
     /// Requests served over one connection before the server closes it
     /// (`--max-requests-per-conn`).
     pub max_requests_per_conn: usize,
+    /// Seconds shutdown waits for in-flight requests before force-closing
+    /// their connections (`--drain-timeout`).
+    pub drain_timeout_secs: u64,
+    /// Readiness backend for the connection reactor (`--event-loop`).
+    pub event_loop: geoalign_serve::EventLoopKind,
     /// Durable store directory (`--data-dir`); `None` serves from memory.
     pub data_dir: Option<String>,
     /// Enable the `/debug/*` introspection endpoints
@@ -234,6 +247,8 @@ impl Default for ServeArgs {
             max_connections: geoalign_serve::server::DEFAULT_MAX_CONNECTIONS,
             idle_timeout_secs: geoalign_serve::server::DEFAULT_IDLE_TIMEOUT.as_secs(),
             max_requests_per_conn: geoalign_serve::server::DEFAULT_MAX_REQUESTS_PER_CONN,
+            drain_timeout_secs: geoalign_serve::server::DEFAULT_DRAIN_TIMEOUT.as_secs(),
+            event_loop: geoalign_serve::EventLoopKind::default(),
             data_dir: None,
             debug_endpoints: false,
         }
@@ -267,6 +282,18 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
             }
             "--max-requests-per-conn" => {
                 parsed.max_requests_per_conn = positive(&mut it, "--max-requests-per-conn")?;
+            }
+            "--drain-timeout" => {
+                // 0 is meaningful: shutdown force-closes in-flight
+                // connections immediately.
+                parsed.drain_timeout_secs = need(&mut it, "--drain-timeout")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--drain-timeout needs an integer".into()))?;
+            }
+            "--event-loop" => {
+                parsed.event_loop = need(&mut it, "--event-loop")?
+                    .parse()
+                    .map_err(|e: String| CliError::Usage(e))?;
             }
             "--data-dir" => parsed.data_dir = Some(need(&mut it, "--data-dir")?),
             "--debug-endpoints" => parsed.debug_endpoints = true,
@@ -1019,6 +1046,36 @@ B,60
         assert!(parse_serve_args(&["--max-connections".into(), "many".into()]).is_err());
         assert!(parse_serve_args(&["--idle-timeout".into(), "0".into()]).is_err());
         assert!(parse_serve_args(&["--max-requests-per-conn".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_reactor_flag_parsing() {
+        let d = parse_serve_args(&[]).unwrap();
+        assert_eq!(
+            d.drain_timeout_secs,
+            geoalign_serve::server::DEFAULT_DRAIN_TIMEOUT.as_secs()
+        );
+        assert_eq!(d.event_loop, geoalign_serve::EventLoopKind::Epoll);
+
+        let a = parse_serve_args(&[
+            "--drain-timeout".into(),
+            "9".into(),
+            "--event-loop".into(),
+            "poll".into(),
+        ])
+        .unwrap();
+        assert_eq!(a.drain_timeout_secs, 9);
+        assert_eq!(a.event_loop, geoalign_serve::EventLoopKind::Poll);
+
+        // 0 is legal: shutdown force-closes in-flight work immediately.
+        assert_eq!(
+            parse_serve_args(&["--drain-timeout".into(), "0".into()])
+                .unwrap()
+                .drain_timeout_secs,
+            0
+        );
+        assert!(parse_serve_args(&["--event-loop".into(), "kqueue".into()]).is_err());
+        assert!(parse_serve_args(&["--drain-timeout".into(), "soon".into()]).is_err());
     }
 
     #[test]

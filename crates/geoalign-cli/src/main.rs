@@ -141,6 +141,8 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
                 max_connections: parsed.max_connections,
                 idle_timeout: std::time::Duration::from_secs(parsed.idle_timeout_secs),
                 max_requests_per_conn: parsed.max_requests_per_conn,
+                drain_timeout: std::time::Duration::from_secs(parsed.drain_timeout_secs),
+                event_loop: parsed.event_loop,
                 data_dir: parsed.data_dir.clone().map(std::path::PathBuf::from),
                 debug_endpoints: parsed.debug_endpoints,
             };

@@ -1,0 +1,121 @@
+//! Completion handoff from pool workers back to an event loop.
+//!
+//! A readiness reactor (geoalign-serve's front end) must never block on
+//! compute: CPU-bound work runs on a [`WorkerPool`](crate::WorkerPool)
+//! thread, and the finished result has to travel back to the single
+//! reactor thread, which at that moment is parked inside `poll(2)`. A
+//! channel alone cannot do that — receiving would block the reactor —
+//! so [`CompletionQueue`] pairs a mutex-guarded queue with a *notify*
+//! callback the constructor captures (in serve: one byte down the
+//! reactor's wakeup pipe). Workers push; the push fires the callback
+//! only on the empty→non-empty transition, so a burst of completions
+//! costs one wakeup, not one per item; the reactor drains the whole
+//! queue once it runs.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A multi-producer queue whose pushes wake a single consumer through a
+/// caller-supplied callback instead of blocking it.
+///
+/// The callback runs on the *producer's* thread while the queue lock is
+/// already released, so it must be cheap and non-blocking itself (a
+/// pipe write, a flag store) — never the drain.
+pub struct CompletionQueue<T> {
+    queue: Mutex<VecDeque<T>>,
+    notify: Box<dyn Fn() + Send + Sync>,
+}
+
+impl<T> CompletionQueue<T> {
+    /// A queue whose empty→non-empty transitions invoke `notify`.
+    pub fn new(notify: impl Fn() + Send + Sync + 'static) -> Self {
+        CompletionQueue {
+            queue: Mutex::new(VecDeque::new()),
+            notify: Box::new(notify),
+        }
+    }
+
+    /// Enqueues one completion. Fires the notify callback only when the
+    /// queue was empty, coalescing wakeups under bursts: the consumer is
+    /// expected to drain fully on each wakeup.
+    pub fn push(&self, item: T) {
+        let was_empty = {
+            let mut queue = self.queue.lock().expect("completion queue poisoned");
+            let was_empty = queue.is_empty();
+            queue.push_back(item);
+            was_empty
+        };
+        if was_empty {
+            (self.notify)();
+        }
+    }
+
+    /// Takes everything queued so far. The consumer calls this once per
+    /// wakeup; completions pushed after the drain trigger their own
+    /// notify because the queue passed through empty again.
+    pub fn drain(&self) -> Vec<T> {
+        let mut queue = self.queue.lock().expect("completion queue poisoned");
+        queue.drain(..).collect()
+    }
+
+    /// Number of queued completions (diagnostic; racy by nature).
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("completion queue poisoned").len()
+    }
+
+    /// Whether the queue is currently empty (diagnostic; racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for CompletionQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionQueue")
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn push_notifies_only_on_empty_to_nonempty() {
+        let wakeups = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&wakeups);
+        let q = CompletionQueue::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(wakeups.load(Ordering::SeqCst), 1, "burst coalesces");
+        assert_eq!(q.drain(), vec![1, 2, 3]);
+        assert!(q.is_empty());
+        q.push(4);
+        assert_eq!(wakeups.load(Ordering::SeqCst), 2, "re-armed after drain");
+        assert_eq!(q.drain(), vec![4]);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_arrive() {
+        let q = Arc::new(CompletionQueue::new(|| {}));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        q.push(t * 100 + i);
+                    }
+                });
+            }
+        });
+        let mut got = q.drain();
+        got.sort_unstable();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+    }
+}

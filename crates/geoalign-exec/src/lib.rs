@@ -37,9 +37,11 @@
 
 #![warn(missing_docs)]
 
+pub mod handoff;
 mod obs;
 pub mod pool;
 
+pub use handoff::CompletionQueue;
 pub use pool::{PoolStats, PoolStatsSnapshot, RejectedJob, WorkerPool};
 
 use std::cell::Cell;

@@ -147,64 +147,254 @@ fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
-/// Reads one `\n`-terminated line (the trailing `\r\n`/`\n` stripped)
-/// into an owned `String`, drawing the consumed bytes from `budget`.
-/// `Ok(None)` is clean EOF before any byte of this line. Exceeding the
-/// budget is a 431; a read timeout is a 408; an EOF mid-line is a 400.
-fn read_line_bounded<R: BufRead>(
-    reader: &mut R,
-    budget: &mut usize,
-    deadline: Option<Instant>,
-) -> Result<Option<String>, HttpError> {
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        if let Some(d) = deadline {
-            if Instant::now() >= d {
-                return Err(HttpError::timeout("request head read past deadline"));
+/// Which part of a request the [`RequestParser`] is currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParsePhase {
+    /// Waiting for (or mid-way through) the request line.
+    RequestLine,
+    /// Request line parsed; consuming header lines up to the blank line.
+    Headers,
+    /// Head complete; consuming `Content-Length` body bytes.
+    Body,
+}
+
+/// An incremental HTTP/1.1 request parser: bytes go in as they arrive
+/// (from a non-blocking socket or a buffered reader), a [`Request`]
+/// comes out once complete. One parser instance lives per connection
+/// and resets itself after each parsed request, so pipelined bytes
+/// carry straight into the next one.
+///
+/// The byte budgets are identical to the blocking reader's: the request
+/// line and all headers share `max_head_bytes` (431 past it, checked
+/// without buffering the excess), each head line must be UTF-8 (400),
+/// and bodies above [`MAX_BODY_BYTES`] get 413. Errors are terminal:
+/// after an `Err` the parser (and the connection) must be discarded.
+#[derive(Debug)]
+pub struct RequestParser {
+    max_head_bytes: usize,
+    budget: usize,
+    phase: ParsePhase,
+    started: bool,
+    line: Vec<u8>,
+    method: String,
+    path: String,
+    query: String,
+    version: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+    body: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser enforcing `max_head_bytes` across request line + headers.
+    pub fn new(max_head_bytes: usize) -> Self {
+        RequestParser {
+            max_head_bytes,
+            budget: max_head_bytes,
+            phase: ParsePhase::RequestLine,
+            started: false,
+            line: Vec::new(),
+            method: String::new(),
+            path: String::new(),
+            query: String::new(),
+            version: String::new(),
+            headers: Vec::new(),
+            content_length: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// Whether any byte of the current request has been consumed. While
+    /// `false`, an EOF or a quiet socket is an idle keep-alive
+    /// connection ending normally; once `true`, the same events are
+    /// protocol errors ([`RequestParser::eof_error`] / 408).
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// Whether the parser is still reading the request head (request
+    /// line or headers) as opposed to the body — decides which stall
+    /// deadline applies and which 408 message a timeout gets.
+    pub fn in_head(&self) -> bool {
+        self.phase != ParsePhase::Body
+    }
+
+    /// Consumes bytes from `buf`. Returns how many bytes were consumed
+    /// and the completed request, if this chunk finished one. Bytes
+    /// beyond a completed request are left unconsumed (the caller keeps
+    /// them for the next call — that is how pipelining works); the
+    /// parser is already reset for the next request when `Some` returns.
+    pub fn feed(&mut self, buf: &[u8]) -> Result<(usize, Option<Request>), HttpError> {
+        let mut consumed = 0usize;
+        while consumed < buf.len() {
+            let rest = &buf[consumed..];
+            match self.phase {
+                ParsePhase::RequestLine | ParsePhase::Headers => {
+                    self.started = true;
+                    // Scan at most one byte past the budget: enough to
+                    // notice the overflow without buffering the excess.
+                    let scan = &rest[..rest.len().min(self.budget.saturating_add(1))];
+                    match scan.iter().position(|&b| b == b'\n') {
+                        Some(i) => {
+                            if i + 1 > self.budget {
+                                return Err(HttpError::head_too_large());
+                            }
+                            self.line.extend_from_slice(&scan[..i]);
+                            self.budget -= i + 1;
+                            consumed += i + 1;
+                            if self.line.last() == Some(&b'\r') {
+                                self.line.pop();
+                            }
+                            let text = String::from_utf8(std::mem::take(&mut self.line)).map_err(
+                                |_| HttpError::bad_request("request head is not valid UTF-8"),
+                            )?;
+                            self.complete_line(text)?;
+                        }
+                        None => {
+                            if scan.len() > self.budget {
+                                return Err(HttpError::head_too_large());
+                            }
+                            self.line.extend_from_slice(scan);
+                            self.budget -= scan.len();
+                            consumed += scan.len();
+                        }
+                    }
+                }
+                ParsePhase::Body => {
+                    let need = self.content_length - self.body.len();
+                    let take = need.min(rest.len());
+                    self.body.extend_from_slice(&rest[..take]);
+                    consumed += take;
+                }
+            }
+            if self.phase == ParsePhase::Body && self.body.len() == self.content_length {
+                return Ok((consumed, Some(self.take_request())));
             }
         }
-        let buf = match reader.fill_buf() {
-            Ok(buf) => buf,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) if is_timeout(&e) => {
-                return Err(HttpError::timeout("timed out reading request head"))
+        // A zero-length chunk can still complete a request whose head
+        // ended exactly at the previous chunk boundary with no body.
+        if self.phase == ParsePhase::Body && self.body.len() == self.content_length {
+            return Ok((consumed, Some(self.take_request())));
+        }
+        Ok((consumed, None))
+    }
+
+    /// The protocol error a peer EOF amounts to at the current position.
+    /// Only meaningful once [`RequestParser::started`] is true — an EOF
+    /// before the first byte is a normal keep-alive close, not an error.
+    pub fn eof_error(&self) -> HttpError {
+        match self.phase {
+            _ if !self.line.is_empty() => HttpError::bad_request("connection closed mid-line"),
+            ParsePhase::RequestLine | ParsePhase::Headers => {
+                HttpError::bad_request("connection closed mid-headers")
             }
-            Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
+            ParsePhase::Body => HttpError::bad_request(format!(
+                "short body: connection closed after {} of {} body bytes",
+                self.body.len(),
+                self.content_length
+            )),
+        }
+    }
+
+    /// One complete head line: the request line, a header, or the blank
+    /// separator ending the head.
+    fn complete_line(&mut self, text: String) -> Result<(), HttpError> {
+        match self.phase {
+            ParsePhase::RequestLine => {
+                let mut parts = text.split_whitespace();
+                let (Some(method), Some(target), Some(version)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(HttpError::bad_request(format!(
+                        "malformed request line '{text}'"
+                    )));
+                };
+                // A fourth token is smuggling-adjacent junk, not
+                // whitespace noise.
+                if parts.next().is_some() {
+                    return Err(HttpError::bad_request(format!(
+                        "trailing tokens after HTTP version in '{text}'"
+                    )));
+                }
+                if !version.starts_with("HTTP/1.") {
+                    return Err(HttpError {
+                        status: 505,
+                        message: format!("unsupported {version}"),
+                    });
+                }
+                self.method = method.to_ascii_uppercase();
+                match target.split_once('?') {
+                    Some((p, q)) => {
+                        self.path = p.to_owned();
+                        self.query = q.to_owned();
+                    }
+                    None => {
+                        self.path = target.to_owned();
+                        self.query = String::new();
+                    }
+                }
+                self.version = version.to_owned();
+                self.phase = ParsePhase::Headers;
+                Ok(())
+            }
+            ParsePhase::Headers if text.is_empty() => {
+                // End of head. Duplicate Content-Length headers that
+                // agree are tolerated; conflicting ones are the classic
+                // request-smuggling vector.
+                let mut content_length: Option<usize> = None;
+                for (_, value) in self.headers.iter().filter(|(k, _)| k == "content-length") {
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| HttpError::bad_request("unparsable Content-Length"))?;
+                    match content_length {
+                        Some(prev) if prev != n => {
+                            return Err(HttpError::bad_request(
+                                "conflicting duplicate Content-Length headers",
+                            ));
+                        }
+                        _ => content_length = Some(n),
+                    }
+                }
+                let content_length = content_length.unwrap_or(0);
+                if content_length > MAX_BODY_BYTES {
+                    return Err(HttpError {
+                        status: 413,
+                        message: "request body too large".into(),
+                    });
+                }
+                self.content_length = content_length;
+                self.body = Vec::with_capacity(content_length);
+                self.phase = ParsePhase::Body;
+                Ok(())
+            }
+            ParsePhase::Headers => {
+                let Some((name, value)) = text.split_once(':') else {
+                    return Err(HttpError::bad_request(format!("malformed header '{text}'")));
+                };
+                self.headers
+                    .push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+                Ok(())
+            }
+            ParsePhase::Body => unreachable!("complete_line in body phase"),
+        }
+    }
+
+    /// Takes the finished request and resets for the next one.
+    fn take_request(&mut self) -> Request {
+        let request = Request {
+            method: std::mem::take(&mut self.method),
+            path: std::mem::take(&mut self.path),
+            query: std::mem::take(&mut self.query),
+            version: std::mem::take(&mut self.version),
+            headers: std::mem::take(&mut self.headers),
+            body: std::mem::take(&mut self.body),
         };
-        if buf.is_empty() {
-            if line.is_empty() {
-                return Ok(None);
-            }
-            return Err(HttpError::bad_request("connection closed mid-line"));
-        }
-        // Scan at most one byte past the budget: enough to notice the
-        // overflow without buffering the excess.
-        let scan = &buf[..buf.len().min(budget.saturating_add(1))];
-        match scan.iter().position(|&b| b == b'\n') {
-            Some(i) => {
-                if i + 1 > *budget {
-                    return Err(HttpError::head_too_large());
-                }
-                line.extend_from_slice(&scan[..i]);
-                reader.consume(i + 1);
-                *budget -= i + 1;
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                let text = String::from_utf8(line)
-                    .map_err(|_| HttpError::bad_request("request head is not valid UTF-8"))?;
-                return Ok(Some(text));
-            }
-            None => {
-                if scan.len() > *budget {
-                    return Err(HttpError::head_too_large());
-                }
-                line.extend_from_slice(scan);
-                let n = scan.len();
-                reader.consume(n);
-                *budget -= n;
-            }
-        }
+        self.budget = self.max_head_bytes;
+        self.phase = ParsePhase::RequestLine;
+        self.started = false;
+        self.line.clear();
+        self.content_length = 0;
+        request
     }
 }
 
@@ -218,6 +408,10 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
 /// [`read_request`] with explicit [`ReadLimits`]. The reader persists
 /// across calls on a keep-alive connection, so bytes the client
 /// pipelined ahead stay buffered for the next request.
+///
+/// This is the blocking driver over [`RequestParser`] — the reactor
+/// drives the same parser from readiness events, so the two paths
+/// cannot drift apart on budgets or error mapping.
 pub fn read_request_limited<R: BufRead>(
     reader: &mut R,
     limits: &ReadLimits,
@@ -234,91 +428,36 @@ pub fn read_request_limited<R: BufRead>(
         }
     }
     let deadline = limits.head_timeout.map(|t| Instant::now() + t);
-    let mut budget = limits.max_head_bytes;
-
-    let Some(line) = read_line_bounded(reader, &mut budget, deadline)? else {
-        return Ok(None);
-    };
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Err(HttpError::bad_request(format!(
-            "malformed request line '{line}'"
-        )));
-    };
-    // A fourth token is smuggling-adjacent junk, not whitespace noise.
-    if parts.next().is_some() {
-        return Err(HttpError::bad_request(format!(
-            "trailing tokens after HTTP version in '{line}'"
-        )));
-    }
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError {
-            status: 505,
-            message: format!("unsupported {version}"),
-        });
-    }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_owned(), q.to_owned()),
-        None => (target.to_owned(), String::new()),
-    };
-
-    let mut headers = Vec::new();
+    let mut parser = RequestParser::new(limits.max_head_bytes);
     loop {
-        let Some(header_line) = read_line_bounded(reader, &mut budget, deadline)? else {
-            return Err(HttpError::bad_request("connection closed mid-headers"));
-        };
-        if header_line.is_empty() {
-            break;
-        }
-        let Some((name, value)) = header_line.split_once(':') else {
-            return Err(HttpError::bad_request(format!(
-                "malformed header '{header_line}'"
-            )));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
-    }
-
-    // Duplicate Content-Length headers that agree are tolerated;
-    // conflicting ones are the classic request-smuggling vector.
-    let mut content_length: Option<usize> = None;
-    for (_, value) in headers.iter().filter(|(k, _)| k == "content-length") {
-        let n: usize = value
-            .parse()
-            .map_err(|_| HttpError::bad_request("unparsable Content-Length"))?;
-        match content_length {
-            Some(prev) if prev != n => {
-                return Err(HttpError::bad_request(
-                    "conflicting duplicate Content-Length headers",
-                ));
+        if parser.in_head() {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(HttpError::timeout("request head read past deadline"));
+                }
             }
-            _ => content_length = Some(n),
+        }
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::timeout(if parser.in_head() {
+                    "timed out reading request head"
+                } else {
+                    "timed out reading request body"
+                }));
+            }
+            Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
+        };
+        if buf.is_empty() {
+            return Err(parser.eof_error());
+        }
+        let (consumed, done) = parser.feed(buf)?;
+        reader.consume(consumed);
+        if let Some(request) = done {
+            return Ok(Some(request));
         }
     }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError {
-            status: 413,
-            message: "request body too large".into(),
-        });
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| {
-        if is_timeout(&e) {
-            HttpError::timeout("timed out reading request body")
-        } else {
-            HttpError::bad_request(format!("short body: {e}"))
-        }
-    })?;
-
-    Ok(Some(Request {
-        method: method.to_ascii_uppercase(),
-        path,
-        query,
-        version: version.to_owned(),
-        headers,
-        body,
-    }))
 }
 
 /// An HTTP response ready to serialize.

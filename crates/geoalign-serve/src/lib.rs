@@ -10,23 +10,25 @@
 //! [`geoalign_core::CrosswalkStore`], and answers `/crosswalk` batches by
 //! applying the snapshot to every attribute vector in the request.
 //!
-//! Everything is `std`-only: a [`std::net::TcpListener`] accept loop, a
-//! fixed worker thread pool, a hand-rolled HTTP/1.1 subset ([`http`]) and
-//! a minimal JSON codec ([`json`]). No async runtime, no external
-//! dependencies — the handlers are CPU-bound sparse algebra, so threads
-//! are the right concurrency primitive and the binary stays small.
+//! Everything is `std`-only: a single-threaded readiness [`reactor`]
+//! (`epoll(7)`/`poll(2)` over `O_NONBLOCK` sockets, through a local FFI
+//! shim), a fixed worker thread pool for the CPU-bound handlers, a
+//! hand-rolled incremental HTTP/1.1 subset ([`http`]) and a minimal
+//! JSON codec ([`json`]). No async runtime, no external dependencies —
+//! the handlers are sparse algebra, so pool threads are the right
+//! compute primitive, while connections are multiplexed so an idle
+//! socket costs bytes, not a thread.
 //!
-//! Connections are persistent: a worker serves HTTP/1.1 requests on one
-//! socket until the peer asks for `Connection: close`, the idle timeout
-//! ([`ServerConfig::idle_timeout`]) expires, or the per-connection
-//! request cap ([`ServerConfig::max_requests_per_conn`]) is reached.
-//! Because a keep-alive connection pins its worker, admission is bounded
-//! instead of the accept loop: at most [`ServerConfig::max_connections`]
-//! connections queue for the pool, and everything beyond that is shed
-//! with `503` + `Retry-After`. Hostile input is cut off early — request
-//! heads over [`http::MAX_HEAD_BYTES`] get `431`, JSON nested deeper
-//! than [`json::MAX_DEPTH`] gets `400`, and a peer that stalls
-//! mid-request gets `408`. See DESIGN.md §10.
+//! Connections are persistent: the reactor serves HTTP/1.1 requests on
+//! one socket until the peer asks for `Connection: close`, the idle
+//! timeout ([`ServerConfig::idle_timeout`]) expires, or the
+//! per-connection request cap ([`ServerConfig::max_requests_per_conn`])
+//! is reached. [`ServerConfig::workers`] bounds *compute* only; at most
+//! `workers + max_connections` sockets are admitted, and everything
+//! beyond that is shed with `503` + `Retry-After`. Hostile input is cut
+//! off early — request heads over [`http::MAX_HEAD_BYTES`] get `431`,
+//! JSON nested deeper than [`json::MAX_DEPTH`] gets `400`, and a peer
+//! that stalls mid-request gets `408`. See DESIGN.md §10 and §14.
 //!
 //! The service is observable through `geoalign-obs`: every request runs
 //! under a trace scope keyed by its `X-Trace-Id` header (generated when
@@ -49,9 +51,11 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod conn;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod reactor;
 pub mod router;
 pub mod server;
 pub mod slo;
@@ -60,6 +64,7 @@ pub mod store;
 pub use http::{Request, Response};
 pub use json::Json;
 pub use metrics::Metrics;
+pub use reactor::EventLoopKind;
 pub use router::route;
 pub use server::{Server, ServerConfig};
 pub use store::AppState;

@@ -14,7 +14,7 @@
 use crate::json::Json;
 use geoalign_core::PhaseTimings;
 pub use geoalign_obs::Histogram;
-use geoalign_obs::{bucket_lower_bound, Counter, Registry};
+use geoalign_obs::{bucket_lower_bound, Counter, Gauge, Registry};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -59,6 +59,25 @@ pub struct Metrics {
     /// Per-route SLO latency histograms and burn counters (registered in
     /// the same registry; exposed via Prometheus, not the legacy JSON).
     pub slo: crate::slo::Slo,
+    /// Connections currently registered with the reactor (gauge; includes
+    /// idle keep-alive connections — they cost an fd and a slab slot, not
+    /// a thread).
+    pub open_connections: Gauge,
+    /// Times the reactor's poll/epoll wait returned (each return may
+    /// carry many readiness events).
+    pub poll_wakeups: Counter,
+    /// Readiness events delivered to connections (reads, writes, wakeup
+    /// bytes, listener accepts).
+    pub readiness_events: Counter,
+    /// State transitions a connection made over its lifetime, recorded at
+    /// close (a value histogram: 2 ≈ one-shot request, higher = keep-alive
+    /// reuse).
+    pub conn_state_transitions: Arc<Histogram>,
+    /// Errors returned by `accept(2)` that the loop used to swallow.
+    pub accept_errors: Counter,
+    /// Socket-option failures (`O_NONBLOCK`/`TCP_NODELAY`/timeouts) on
+    /// accepted connections, previously discarded with `let _`.
+    pub sockopt_errors: Counter,
 }
 
 impl Default for Metrics {
@@ -129,6 +148,30 @@ impl Default for Metrics {
             "Disaggregation latency per applied attribute",
         );
         let slo = crate::slo::Slo::register(&registry);
+        let open_connections = registry.gauge(
+            "geoalign_serve_open_connections",
+            "Connections currently registered with the reactor (idle keep-alive included)",
+        );
+        let poll_wakeups = registry.counter(
+            "geoalign_serve_poll_wakeups_total",
+            "Times the reactor's readiness wait returned",
+        );
+        let readiness_events = registry.counter(
+            "geoalign_serve_readiness_events_total",
+            "Readiness events delivered to connections by the reactor",
+        );
+        let conn_state_transitions = registry.histogram(
+            "geoalign_serve_conn_state_transitions",
+            "State-machine transitions per connection, recorded at close",
+        );
+        let accept_errors = registry.counter(
+            "geoalign_serve_accept_errors_total",
+            "accept(2) errors in the listener loop",
+        );
+        let sockopt_errors = registry.counter(
+            "geoalign_serve_sockopt_errors_total",
+            "Socket-option failures on accepted connections",
+        );
         Metrics {
             registry,
             requests_total,
@@ -148,6 +191,12 @@ impl Default for Metrics {
             weight_learning_latency,
             disaggregation_latency,
             slo,
+            open_connections,
+            poll_wakeups,
+            readiness_events,
+            conn_state_transitions,
+            accept_errors,
+            sockopt_errors,
         }
     }
 }

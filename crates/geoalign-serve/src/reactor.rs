@@ -1,0 +1,823 @@
+//! The readiness reactor: one thread, `O_NONBLOCK` sockets, and a
+//! `poll(2)`/`epoll(7)` event loop, so an idle keep-alive connection
+//! costs a slab slot and a file descriptor instead of a parked thread.
+//!
+//! Layout of the serve front end after this module (DESIGN.md §14):
+//!
+//! ```text
+//!             accept            readiness events           completions
+//!   clients ────────▶ reactor ◀────────────────── poller ◀──── wakeup pipe
+//!                        │                                         ▲
+//!                        │ ExecJob (parsed request)                │ 1 byte on
+//!                        ▼                                         │ empty→busy
+//!                  WorkerPool ──── route() ──▶ CompletionQueue ────┘
+//! ```
+//!
+//! The reactor owns every socket. CPU-bound work (routing, sparse
+//! algebra) never runs on the reactor thread: a parsed request is
+//! dispatched to the [`WorkerPool`] as an [`ExecJob`], the worker
+//! serializes the response and pushes a [`Completion`], and the
+//! completion queue's notify callback writes one byte down the wakeup
+//! pipe to pull the reactor out of its poll. Stale completions — the
+//! connection was force-closed and its slab slot reused while the job
+//! ran — are discarded by generation stamp.
+//!
+//! Syscalls go through a local `extern "C"` shim rather than a binding
+//! crate: the workspace is std-only, and `poll`/`epoll_*` live in libc,
+//! which every Rust binary already links.
+
+use crate::conn::{AfterWrite, ConnContext, Connection, Directive, Interest};
+use crate::http::Request;
+use crate::server::shed_connection;
+use crate::store::AppState;
+use geoalign_exec::{CompletionQueue, WorkerPool};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which readiness backend drives the event loop
+/// (`serve --event-loop`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventLoopKind {
+    /// `epoll(7)`: O(ready) per wakeup. The default on Linux; on other
+    /// platforms it silently degrades to `poll`.
+    #[default]
+    Epoll,
+    /// `poll(2)`: portable, O(registered) per wakeup. The fallback, and
+    /// a debugging aid when epoll behavior is in question.
+    Poll,
+}
+
+impl std::str::FromStr for EventLoopKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "epoll" => Ok(EventLoopKind::Epoll),
+            "poll" => Ok(EventLoopKind::Poll),
+            other => Err(format!("unknown event loop '{other}' (epoll|poll)")),
+        }
+    }
+}
+
+/// A parsed request on its way to a pool worker.
+#[derive(Debug)]
+pub(crate) struct ExecJob {
+    /// Slab slot of the connection that read the request.
+    pub token: usize,
+    /// Generation stamp guarding against slot reuse.
+    pub gen: u64,
+    /// The request itself.
+    pub request: Request,
+    /// Whether the response must carry `Connection: close`.
+    pub close: bool,
+    /// Dispatch instant: request latency includes queue wait.
+    pub t0: Instant,
+}
+
+/// A serialized response on its way back from a pool worker.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    /// Slab slot the response belongs to.
+    pub token: usize,
+    /// Generation stamp; mismatches are discarded.
+    pub gen: u64,
+    /// The full serialized HTTP response.
+    pub bytes: Vec<u8>,
+    /// Whether the connection closes after this response.
+    pub close: bool,
+}
+
+/// Raw syscall shim. Only symbols libc already exports to every Rust
+/// binary; no binding crate.
+mod ffi {
+    use std::os::raw::{c_int, c_ulong};
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        // `nfds_t` is `unsigned long` on Linux, the only platform this
+        // shim is exercised on (the epoll backend is cfg-gated the same
+        // way).
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use std::os::raw::c_int;
+
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLLIN: u32 = 0x1;
+        pub const EPOLLOUT: u32 = 0x4;
+        pub const EPOLLERR: u32 = 0x8;
+        pub const EPOLLHUP: u32 = 0x10;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+
+        /// Mirrors `struct epoll_event`, which x86-64 declares packed.
+        /// Fields must be read by value, never by reference.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            pub fn close(fd: c_int) -> c_int;
+        }
+    }
+}
+
+/// Readiness a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Want {
+    Read,
+    Write,
+}
+
+/// One delivered readiness event.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    token: usize,
+    readable: bool,
+    writable: bool,
+}
+
+/// The polling backend: a uniform register/wait façade over `epoll`
+/// (Linux) and `poll`. Both are level-triggered; a token with
+/// [`Interest::None`] is *removed* so a half-open socket can't spin the
+/// loop with events nobody consumes.
+enum Poller {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: RawFd,
+        registered: HashMap<usize, (RawFd, Want)>,
+    },
+    Poll {
+        registered: HashMap<usize, (RawFd, Want)>,
+    },
+}
+
+impl Poller {
+    fn new(kind: EventLoopKind) -> std::io::Result<Poller> {
+        match kind {
+            #[cfg(target_os = "linux")]
+            EventLoopKind::Epoll => {
+                let epfd = unsafe { ffi::epoll::epoll_create1(ffi::epoll::EPOLL_CLOEXEC) };
+                if epfd < 0 {
+                    return Err(std::io::Error::last_os_error());
+                }
+                Ok(Poller::Epoll {
+                    epfd,
+                    registered: HashMap::new(),
+                })
+            }
+            #[cfg(not(target_os = "linux"))]
+            EventLoopKind::Epoll => Ok(Poller::Poll {
+                registered: HashMap::new(),
+            }),
+            EventLoopKind::Poll => Ok(Poller::Poll {
+                registered: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Upserts (or with `want: None`, removes) a token's registration.
+    fn set(&mut self, token: usize, fd: RawFd, want: Option<Want>) {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll { epfd, registered } => {
+                use ffi::epoll::*;
+                let prev = registered.get(&token).copied();
+                match (prev, want) {
+                    (None, None) => {}
+                    (Some(_), None) => {
+                        registered.remove(&token);
+                        let mut ev = EpollEvent { events: 0, data: 0 };
+                        unsafe { epoll_ctl(*epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+                    }
+                    (prev, Some(w)) => {
+                        if prev.map(|(_, pw)| pw) == Some(w) {
+                            return;
+                        }
+                        let mask = match w {
+                            Want::Read => EPOLLIN | EPOLLRDHUP,
+                            Want::Write => EPOLLOUT,
+                        };
+                        let mut ev = EpollEvent {
+                            events: mask,
+                            data: token as u64,
+                        };
+                        let op = if prev.is_some() {
+                            EPOLL_CTL_MOD
+                        } else {
+                            EPOLL_CTL_ADD
+                        };
+                        unsafe { epoll_ctl(*epfd, op, fd, &mut ev) };
+                        registered.insert(token, (fd, w));
+                    }
+                }
+            }
+            Poller::Poll { registered } => match want {
+                Some(w) => {
+                    registered.insert(token, (fd, w));
+                }
+                None => {
+                    registered.remove(&token);
+                }
+            },
+        }
+    }
+
+    /// Blocks until readiness or `timeout`, pushing events into `out`.
+    /// `EINTR` retries internally. Returns the number of events.
+    fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<Event>) -> std::io::Result<usize> {
+        out.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                // Ceil so a 0.4ms-away deadline doesn't spin at 0ms.
+                let extra = u128::from(d.subsec_nanos() % 1_000_000 != 0);
+                d.as_millis().saturating_add(extra).min(i32::MAX as u128) as i32
+            }
+        };
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll { epfd, .. } => {
+                use ffi::epoll::*;
+                let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+                let n = loop {
+                    let n = unsafe {
+                        epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = std::io::Error::last_os_error();
+                    if err.kind() != ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                for ev in buf.iter().take(n) {
+                    let ev = *ev; // copy out of the (packed) buffer slot
+                    let bits = ev.events;
+                    out.push(Event {
+                        token: ev.data as usize,
+                        readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                        writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                    });
+                }
+                Ok(out.len())
+            }
+            Poller::Poll { registered } => {
+                let mut fds: Vec<ffi::PollFd> = Vec::with_capacity(registered.len());
+                let mut tokens: Vec<usize> = Vec::with_capacity(registered.len());
+                for (&token, &(fd, want)) in registered.iter() {
+                    fds.push(ffi::PollFd {
+                        fd,
+                        events: match want {
+                            Want::Read => ffi::POLLIN,
+                            Want::Write => ffi::POLLOUT,
+                        },
+                        revents: 0,
+                    });
+                    tokens.push(token);
+                }
+                let n = loop {
+                    let n = unsafe {
+                        ffi::poll(
+                            fds.as_mut_ptr(),
+                            fds.len() as std::os::raw::c_ulong,
+                            timeout_ms,
+                        )
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = std::io::Error::last_os_error();
+                    if err.kind() != ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                if n > 0 {
+                    for (pfd, &token) in fds.iter().zip(tokens.iter()) {
+                        let bits = pfd.revents;
+                        if bits == 0 {
+                            continue;
+                        }
+                        out.push(Event {
+                            token,
+                            readable: bits
+                                & (ffi::POLLIN | ffi::POLLHUP | ffi::POLLERR | ffi::POLLNVAL)
+                                != 0,
+                            writable: bits & (ffi::POLLOUT | ffi::POLLHUP | ffi::POLLERR) != 0,
+                        });
+                    }
+                }
+                Ok(out.len())
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Poller::Epoll { epfd, .. } = self {
+            unsafe { ffi::epoll::close(*epfd) };
+        }
+    }
+}
+
+/// Wakeup-pipe token (never a slab index).
+const WAKE_TOKEN: usize = usize::MAX;
+/// Listener token (never a slab index).
+const LISTEN_TOKEN: usize = usize::MAX - 1;
+
+/// Everything the reactor thread needs, handed over by
+/// [`Server::bind_with_state`](crate::server::Server).
+pub(crate) struct ReactorConfig {
+    pub listener: TcpListener,
+    pub state: Arc<AppState>,
+    pub pool: Arc<WorkerPool<ExecJob>>,
+    pub completions: Arc<CompletionQueue<Completion>>,
+    pub wake_rx: UnixStream,
+    pub stop: Arc<AtomicBool>,
+    pub idle_timeout: Duration,
+    pub max_requests: usize,
+    /// Open-connection cap: `workers + max_connections`, matching the
+    /// blocking front end's "being served + waiting" budget.
+    pub capacity: usize,
+    pub drain_timeout: Duration,
+    pub event_loop: EventLoopKind,
+}
+
+/// Flips an accepted socket to the reactor's required modes. Returns
+/// `false` (drop the connection) only when `O_NONBLOCK` cannot be set —
+/// a blocking socket would hang the whole loop. A `TCP_NODELAY` failure
+/// is counted but tolerated: it costs latency, not correctness.
+pub(crate) fn configure_admitted(stream: &TcpStream, state: &AppState) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        state.metrics.sockopt_errors.inc();
+        return false;
+    }
+    if stream.set_nodelay(true).is_err() {
+        state.metrics.sockopt_errors.inc();
+    }
+    true
+}
+
+/// Spawns the reactor thread. Returns once the loop's poller and wakeup
+/// plumbing are registered (the listener is already bound and
+/// connectable before this is called).
+pub(crate) fn spawn(config: ReactorConfig) -> std::io::Result<std::thread::JoinHandle<()>> {
+    let mut reactor = Reactor::new(config)?;
+    std::thread::Builder::new()
+        .name("geoalign-reactor".to_string())
+        .spawn(move || reactor.run())
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    conns: Vec<Option<Connection>>,
+    free: Vec<usize>,
+    next_gen: u64,
+    /// Stale-allowed lower bound over every connection deadline: the
+    /// poll timeout. Min-updated on deadline changes; the exact minimum
+    /// is recomputed only when the bound fires, so the per-event cost
+    /// stays O(ready) even with thousands of parked connections.
+    next_deadline: Option<Instant>,
+    state: Arc<AppState>,
+    pool: Arc<WorkerPool<ExecJob>>,
+    completions: Arc<CompletionQueue<Completion>>,
+    stop: Arc<AtomicBool>,
+    idle_timeout: Duration,
+    max_requests: usize,
+    capacity: usize,
+    drain_timeout: Duration,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    open: usize,
+}
+
+impl Reactor {
+    fn new(config: ReactorConfig) -> std::io::Result<Reactor> {
+        config.listener.set_nonblocking(true)?;
+        config.wake_rx.set_nonblocking(true)?;
+        let mut poller = Poller::new(config.event_loop)?;
+        poller.set(LISTEN_TOKEN, config.listener.as_raw_fd(), Some(Want::Read));
+        poller.set(WAKE_TOKEN, config.wake_rx.as_raw_fd(), Some(Want::Read));
+        Ok(Reactor {
+            poller,
+            listener: Some(config.listener),
+            wake_rx: config.wake_rx,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            next_deadline: None,
+            state: config.state,
+            pool: config.pool,
+            completions: config.completions,
+            stop: config.stop,
+            idle_timeout: config.idle_timeout,
+            max_requests: config.max_requests,
+            capacity: config.capacity,
+            drain_timeout: config.drain_timeout,
+            draining: false,
+            drain_deadline: None,
+            open: 0,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        loop {
+            if self.stop.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining {
+                if self.open == 0 {
+                    break;
+                }
+                if let Some(dd) = self.drain_deadline {
+                    if Instant::now() >= dd {
+                        break; // force-close whatever is left
+                    }
+                }
+            }
+            let timeout = self.poll_timeout();
+            match self.poller.wait(timeout, &mut events) {
+                Ok(_) => {}
+                Err(_) => {
+                    // EINTR is retried inside wait(); anything else is
+                    // unexpected — back off briefly so a persistent
+                    // error can't turn the loop into a busy spin.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            }
+            self.state.metrics.poll_wakeups.inc();
+            self.state.metrics.readiness_events.add(events.len() as u64);
+            let batch = std::mem::take(&mut events);
+            for ev in batch.iter().copied() {
+                match ev.token {
+                    WAKE_TOKEN => self.on_wake(),
+                    LISTEN_TOKEN => self.on_accept(),
+                    token => self.on_conn_event(token, ev),
+                }
+            }
+            events = batch; // reclaim the buffer's capacity
+            self.expire_deadlines();
+        }
+        // Drain over (or instant shutdown with no connections): close
+        // everything still open, recording transition counts.
+        for token in 0..self.conns.len() {
+            if self.conns[token].is_some() {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// The poll timeout: time to the nearest deadline lower bound (or
+    /// the drain deadline), infinite when nothing is pending.
+    fn poll_timeout(&self) -> Option<Duration> {
+        let mut soonest = self.next_deadline;
+        if let Some(dd) = self.drain_deadline {
+            soonest = Some(soonest.map_or(dd, |d| d.min(dd)));
+        }
+        soonest.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Shutdown observed: stop accepting (drop the listener so the port
+    /// refuses immediately), reap parked connections, and give in-flight
+    /// requests until the drain deadline to finish.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            self.poller.set(LISTEN_TOKEN, listener.as_raw_fd(), None);
+        }
+        for token in 0..self.conns.len() {
+            if self.conns[token].as_ref().is_some_and(Connection::is_idle) {
+                self.close_conn(token);
+            }
+        }
+        self.drain_deadline = Some(Instant::now() + self.drain_timeout);
+    }
+
+    /// Wakeup-pipe readable: swallow the bytes, then apply every queued
+    /// completion (and notice `stop`, checked at the top of the loop).
+    fn on_wake(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match self.wake_rx.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+        for completion in self.completions.drain() {
+            self.apply_completion(completion);
+        }
+    }
+
+    fn apply_completion(&mut self, completion: Completion) {
+        let Some(conn) = self
+            .conns
+            .get_mut(completion.token)
+            .and_then(Option::as_mut)
+        else {
+            return; // connection force-closed while the job ran
+        };
+        if conn.gen() != completion.gen {
+            return; // slot reused: response belongs to a dead connection
+        }
+        let after = if completion.close {
+            AfterWrite::Close
+        } else {
+            AfterWrite::KeepAlive
+        };
+        let ctx = ConnContext {
+            idle_timeout: self.idle_timeout,
+            max_requests: self.max_requests,
+            draining: self.draining,
+            metrics: &self.state.metrics,
+        };
+        let directive = conn.start_write(completion.bytes, after, &ctx);
+        self.apply(completion.token, directive);
+    }
+
+    /// Listener readable: accept the whole burst, shedding past the
+    /// connection cap with the same 503 + `Retry-After` contract the
+    /// blocking front end had.
+    fn on_accept(&mut self) {
+        loop {
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    if self.open >= self.capacity {
+                        // Accepted sockets are blocking by default; shed
+                        // writes with a 1s write timeout, unchanged.
+                        shed_connection(stream, &self.state, "saturated");
+                        continue;
+                    }
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // EMFILE, ECONNABORTED, …: count it and yield to the
+                    // poller instead of spinning on a hot error.
+                    self.state.metrics.accept_errors.inc();
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if !configure_admitted(&stream, &self.state) {
+            return;
+        }
+        self.next_gen += 1;
+        let now = Instant::now();
+        let conn = Connection::new(stream, self.next_gen, now, self.idle_timeout);
+        let token = match self.free.pop() {
+            Some(t) => {
+                self.conns[t] = Some(conn);
+                t
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        self.open += 1;
+        self.state.metrics.open_connections.add(1);
+        self.sync(token);
+    }
+
+    fn on_conn_event(&mut self, token: usize, ev: Event) {
+        if ev.readable {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                return;
+            };
+            let ctx = ConnContext {
+                idle_timeout: self.idle_timeout,
+                max_requests: self.max_requests,
+                draining: self.draining,
+                metrics: &self.state.metrics,
+            };
+            let directive = conn.on_readable(&ctx);
+            self.apply(token, directive);
+        }
+        if ev.writable {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                return;
+            };
+            let ctx = ConnContext {
+                idle_timeout: self.idle_timeout,
+                max_requests: self.max_requests,
+                draining: self.draining,
+                metrics: &self.state.metrics,
+            };
+            let directive = conn.on_writable(&ctx);
+            self.apply(token, directive);
+        }
+    }
+
+    fn apply(&mut self, token: usize, directive: Directive) {
+        match directive {
+            Directive::Continue => self.sync(token),
+            Directive::Close => self.close_conn(token),
+            Directive::Dispatch(request, close) => {
+                self.sync(token); // Executing → no socket interest
+                let gen = self.conns[token]
+                    .as_ref()
+                    .map(Connection::gen)
+                    .unwrap_or_default();
+                let job = ExecJob {
+                    token,
+                    gen,
+                    request,
+                    close,
+                    t0: Instant::now(),
+                };
+                if !self.pool.submit(job) {
+                    // Pool already shut down (shutdown race): nothing
+                    // will answer this request; drop the connection.
+                    self.close_conn(token);
+                }
+            }
+        }
+    }
+
+    /// Re-arms the poller to the connection's current interest and folds
+    /// its deadline into the timeout lower bound.
+    fn sync(&mut self, token: usize) {
+        let Some(conn) = self.conns.get(token).and_then(Option::as_ref) else {
+            return;
+        };
+        let want = match conn.interest() {
+            Interest::None => None,
+            Interest::Read => Some(Want::Read),
+            Interest::Write => Some(Want::Write),
+        };
+        self.poller.set(token, conn.raw_fd(), want);
+        if let Some(d) = conn.deadline() {
+            self.next_deadline = Some(self.next_deadline.map_or(d, |nd| nd.min(d)));
+        }
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::take) else {
+            return;
+        };
+        self.poller.set(token, conn.raw_fd(), None);
+        self.state
+            .metrics
+            .conn_state_transitions
+            .record_value(conn.transitions());
+        self.state.metrics.open_connections.add(-1);
+        self.open -= 1;
+        self.free.push(token);
+        // `conn` drops here, closing the socket.
+    }
+
+    /// Runs expiries once the deadline lower bound fires, then
+    /// recomputes the exact bound. Removals can leave the bound stale
+    /// (early wakeups), never late ones.
+    fn expire_deadlines(&mut self) {
+        let Some(bound) = self.next_deadline else {
+            return;
+        };
+        let now = Instant::now();
+        if now < bound {
+            return;
+        }
+        for token in 0..self.conns.len() {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.deadline().is_some_and(|d| d <= now) {
+                let ctx = ConnContext {
+                    idle_timeout: self.idle_timeout,
+                    max_requests: self.max_requests,
+                    draining: self.draining,
+                    metrics: &self.state.metrics,
+                };
+                let directive = conn.on_deadline(&ctx);
+                self.apply(token, directive);
+            }
+        }
+        self.next_deadline = self
+            .conns
+            .iter()
+            .flatten()
+            .filter_map(Connection::deadline)
+            .min();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::io::FromRawFd;
+
+    #[test]
+    fn event_loop_kind_parses_both_backends() {
+        assert_eq!("epoll".parse::<EventLoopKind>(), Ok(EventLoopKind::Epoll));
+        assert_eq!("poll".parse::<EventLoopKind>(), Ok(EventLoopKind::Poll));
+        assert!("kqueue".parse::<EventLoopKind>().is_err());
+    }
+
+    #[test]
+    fn a_sockopt_failure_on_a_non_socket_is_counted_not_fatal() {
+        let state = AppState::new(4);
+        // /dev/null takes O_NONBLOCK but rejects TCP_NODELAY with
+        // ENOTSOCK: exactly the counted-but-tolerated path.
+        let file = std::fs::File::open("/dev/null").unwrap();
+        let fd = {
+            use std::os::unix::io::IntoRawFd;
+            file.into_raw_fd()
+        };
+        let stream = unsafe { TcpStream::from_raw_fd(fd) };
+        assert!(configure_admitted(&stream, &state));
+        assert_eq!(state.metrics.sockopt_errors.get(), 1);
+    }
+
+    #[test]
+    fn a_healthy_socket_admits_without_counting_errors() {
+        let state = AppState::new(4);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        assert!(configure_admitted(&stream, &state));
+        assert_eq!(state.metrics.sockopt_errors.get(), 0);
+    }
+
+    #[test]
+    fn both_pollers_deliver_readiness_for_a_readable_socket() {
+        for kind in [EventLoopKind::Epoll, EventLoopKind::Poll] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            let mut poller = Poller::new(kind).unwrap();
+            poller.set(7, server.as_raw_fd(), Some(Want::Read));
+            let mut events = Vec::new();
+            // Nothing to read yet: a short wait times out empty.
+            let n = poller
+                .wait(Some(Duration::from_millis(10)), &mut events)
+                .unwrap();
+            assert_eq!(n, 0, "{kind:?} must time out with no data");
+            use std::io::Write;
+            client.write_all(b"x").unwrap();
+            let n = poller
+                .wait(Some(Duration::from_secs(5)), &mut events)
+                .unwrap();
+            assert_eq!(n, 1, "{kind:?} must report the readable socket");
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable);
+            // Deregistration silences it even though data is pending.
+            poller.set(7, server.as_raw_fd(), None);
+            let n = poller
+                .wait(Some(Duration::from_millis(10)), &mut events)
+                .unwrap();
+            assert_eq!(n, 0, "{kind:?} must drop deregistered sockets");
+        }
+    }
+}

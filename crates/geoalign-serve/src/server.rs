@@ -1,60 +1,71 @@
-//! The TCP front end: a `std::net::TcpListener` accept loop feeding a
-//! bounded [`WorkerPool`](geoalign_exec::WorkerPool) of request workers.
-//! No async runtime — the request handlers are CPU-bound sparse algebra,
-//! so a thread per in-flight connection up to the pool size is the right
-//! shape.
+//! The TCP front end: a single-threaded readiness reactor
+//! ([`crate::reactor`]) multiplexing every connection over non-blocking
+//! sockets, feeding an *unbounded* [`WorkerPool`](geoalign_exec::WorkerPool)
+//! of compute workers. No async runtime — the event loop is `poll(2)`/
+//! `epoll(7)` behind a std-only FFI shim, and the request handlers stay
+//! plain synchronous code on pool threads.
 //!
-//! Connections are persistent: a worker loops `read_request` on its
-//! connection, serving follow-up requests without fresh TCP handshakes,
-//! until the client asks for `Connection: close`, the idle timeout
-//! expires, or [`ServerConfig::max_requests_per_conn`] is reached. A
-//! keep-alive connection therefore *pins* its worker, which is why the
-//! submit queue is bounded: when every worker is busy and
-//! [`ServerConfig::max_connections`] connections are already waiting,
-//! new arrivals are shed with `503` + `Retry-After` instead of queueing
-//! without limit.
+//! Connections are persistent and cheap: an idle keep-alive connection
+//! costs a slab slot and a file descriptor, not a thread, so `--workers`
+//! bounds *compute concurrency* only. Admission is still bounded —
+//! `workers + max_connections` sockets may be open; arrivals past that
+//! are shed with `503` + `Retry-After` from the reactor, exactly as the
+//! blocking front end shed them from its accept loop. The pool queue can
+//! be unbounded precisely because each connection has at most one
+//! request in flight: the connection cap is the queue bound.
 //!
 //! The pool size defaults to [`geoalign_exec::global_threads`], the same
 //! process-wide budget the executor's parallel jobs draw from, so a serve
 //! process has one thread knob (`GEOALIGN_THREADS` / `--threads`) instead
 //! of two competing pools.
 
-use crate::http::{read_request_limited, ReadLimits, Request, Response};
+use crate::http::{Request, Response};
+use crate::reactor::{self, Completion, EventLoopKind, ExecJob, ReactorConfig};
 use crate::router::route;
 use crate::store::AppState;
-use geoalign_exec::{RejectedJob, WorkerPool};
+use geoalign_exec::{CompletionQueue, WorkerPool};
 use geoalign_obs::{begin_trace, new_trace_id, SpanRecord};
 use std::io;
-use std::io::BufReader;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections. Defaults to the process-wide
-    /// thread budget ([`geoalign_exec::global_threads`]).
+    /// Worker threads handling request compute. Defaults to the
+    /// process-wide thread budget ([`geoalign_exec::global_threads`]).
+    /// Bounds compute only — idle connections don't consume workers.
     pub workers: usize,
     /// Capacity of the prepared-crosswalk cache.
     pub cache_capacity: usize,
     /// Path of the JSON-lines access log (`serve --access-log`); `None`
     /// disables access logging.
     pub access_log: Option<String>,
-    /// Connections allowed to wait for a worker beyond the ones being
-    /// served. Arrivals past this are shed with `503 Service
-    /// Unavailable` + `Retry-After` (`serve --max-connections`).
+    /// Connections admitted beyond the `workers` actively computable
+    /// ones: the open-connection cap is `workers + max_connections`.
+    /// Arrivals past it are shed with `503 Service Unavailable` +
+    /// `Retry-After` (`serve --max-connections`).
     pub max_connections: usize,
-    /// Socket read timeout, and so: how long an idle keep-alive
-    /// connection holds its worker, and the deadline for a stalled
-    /// request head (answered `408`). (`serve --idle-timeout`.)
+    /// How long an idle keep-alive connection stays open, and the
+    /// deadline for a stalled request head (answered `408`).
+    /// (`serve --idle-timeout`.)
     pub idle_timeout: Duration,
     /// Requests served over one connection before the server closes it
     /// (`Connection: close` on the last response), so no client can pin
-    /// a worker forever (`serve --max-requests-per-conn`).
+    /// a connection forever (`serve --max-requests-per-conn`).
     pub max_requests_per_conn: usize,
+    /// How long shutdown waits for in-flight requests to finish before
+    /// force-closing their connections (`serve --drain-timeout`). Idle
+    /// connections close immediately when shutdown begins.
+    pub drain_timeout: Duration,
+    /// Readiness backend for the reactor (`serve --event-loop`):
+    /// `epoll` (Linux default) or portable `poll`.
+    pub event_loop: EventLoopKind,
     /// Directory of the durable store (`serve --data-dir`). When set, the
     /// server warm-starts its registry from disk at boot and persists
     /// registrations and prepared crosswalks; `None` serves from memory
@@ -67,12 +78,14 @@ pub struct ServerConfig {
     pub debug_endpoints: bool,
 }
 
-/// Default queue bound for connections waiting on a worker.
+/// Default connection headroom beyond the worker count.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 128;
 /// Default socket read / idle timeout.
 pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 /// Default requests-per-connection cap.
 pub const DEFAULT_MAX_REQUESTS_PER_CONN: usize = 1000;
+/// Default shutdown drain window for in-flight requests.
+pub const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -83,6 +96,8 @@ impl Default for ServerConfig {
             max_connections: DEFAULT_MAX_CONNECTIONS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             max_requests_per_conn: DEFAULT_MAX_REQUESTS_PER_CONN,
+            drain_timeout: DEFAULT_DRAIN_TIMEOUT,
+            event_loop: EventLoopKind::default(),
             data_dir: None,
             debug_endpoints: false,
         }
@@ -95,14 +110,15 @@ pub struct Server {
     addr: SocketAddr,
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    pool: Option<Arc<WorkerPool<TcpStream>>>,
+    reactor_thread: Option<JoinHandle<()>>,
+    pool: Option<Arc<WorkerPool<ExecJob>>>,
+    wake_tx: UnixStream,
 }
 
 impl Server {
-    /// Binds `addr` and starts accepting in background threads. Returns
-    /// once the socket is bound (so the port is immediately connectable —
-    /// handy for tests binding port 0).
+    /// Binds `addr` and starts the reactor in a background thread.
+    /// Returns once the socket is bound (so the port is immediately
+    /// connectable — handy for tests binding port 0).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
         let state = match &config.data_dir {
             Some(dir) => AppState::open_durable(dir, config.cache_capacity)
@@ -130,56 +146,52 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
 
+        // The wakeup pipe: workers (and shutdown) write one byte to pull
+        // the reactor out of its poll. Both ends non-blocking; a full
+        // pipe or a gone reactor makes the write a harmless error.
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        let completions = {
+            let tx = wake_tx.try_clone()?;
+            Arc::new(CompletionQueue::new(move || {
+                let _ = (&tx).write(&[1]);
+            }))
+        };
+
         let pool = {
             let state = Arc::clone(&state);
+            let completions = Arc::clone(&completions);
             let stop = Arc::clone(&stop);
-            let idle_timeout = config.idle_timeout;
-            let max_requests = config.max_requests_per_conn;
-            WorkerPool::bounded(
-                "geoalign-worker",
-                config.workers,
-                config.max_connections,
-                move |stream| handle_connection(stream, &state, idle_timeout, max_requests, &stop),
-            )
+            WorkerPool::new("geoalign-worker", config.workers, move |job| {
+                handle_request(job, &state, &completions, &stop)
+            })
         };
         let pool_handle = Arc::new(pool);
         state.set_pool_stats(pool_handle.stats());
 
-        let accept_stop = Arc::clone(&stop);
-        let accept_pool = Arc::clone(&pool_handle);
-        let accept_state = Arc::clone(&state);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(s) => match accept_pool.try_submit(s) {
-                        Ok(()) => {}
-                        // Workers and queue saturated: shed from the
-                        // accept thread instead of queueing unboundedly.
-                        Err(RejectedJob::Saturated(s)) => {
-                            shed_connection(s, &accept_state, "saturated");
-                        }
-                        // The pool closed under shutdown while this
-                        // connection was already accepted: tell the
-                        // client to retry elsewhere instead of dropping
-                        // the socket without a byte.
-                        Err(RejectedJob::Closed(s)) => {
-                            shed_connection(s, &accept_state, "draining");
-                        }
-                    },
-                    Err(_) => continue,
-                }
-            }
-        });
+        let reactor_thread = reactor::spawn(ReactorConfig {
+            listener,
+            state: Arc::clone(&state),
+            pool: Arc::clone(&pool_handle),
+            completions,
+            wake_rx,
+            stop: Arc::clone(&stop),
+            idle_timeout: config.idle_timeout,
+            max_requests: config.max_requests_per_conn,
+            // "being computed + admitted beyond that", the same budget
+            // the bounded pool queue used to enforce.
+            capacity: config.workers + config.max_connections,
+            drain_timeout: config.drain_timeout,
+            event_loop: config.event_loop,
+        })?;
 
         Ok(Server {
             addr: local_addr,
             state,
             stop,
-            accept_thread: Some(accept_thread),
+            reactor_thread: Some(reactor_thread),
             pool: Some(pool_handle),
+            wake_tx,
         })
     }
 
@@ -193,19 +205,19 @@ impl Server {
         &self.state
     }
 
-    /// Stops accepting, drains the workers, and joins all threads.
-    /// In-flight requests finish; keep-alive connections are told
-    /// `Connection: close` on their next response instead of being cut
-    /// mid-exchange.
+    /// Stops accepting (the port refuses immediately), closes idle
+    /// keep-alive connections, lets in-flight requests finish for up to
+    /// [`ServerConfig::drain_timeout`], then joins every thread.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        // One byte down the wakeup pipe: the reactor notices `stop` the
+        // moment it wakes, no listener-poke connection needed.
+        let _ = (&self.wake_tx).write(&[1]);
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
-        // With the accept thread joined, this is the pool's last handle:
-        // shutting it down drains queued connections and joins the workers
+        // With the reactor joined, this is the pool's last handle:
+        // shutting it down drains queued jobs and joins the workers
         // (the Arc's Drop would do the same, but do it explicitly).
         if let Some(pool) = self.pool.take().and_then(Arc::into_inner) {
             pool.shutdown();
@@ -213,13 +225,84 @@ impl Server {
     }
 }
 
-/// Answers a connection the pool could not take — saturated queue or a
-/// pool already draining for shutdown: `503` with a `Retry-After` hint,
-/// written from the accept thread with a short write timeout so a slow
-/// reader cannot stall accepting. Every shed lands one JSON line in the
-/// access log (there is no request to log, so the line carries the
-/// `reason` instead of a request line).
-fn shed_connection(mut stream: TcpStream, state: &Arc<AppState>, reason: &str) {
+/// Runs one parsed request on a pool worker: route, observe, serialize,
+/// and push the finished bytes back to the reactor.
+///
+/// Every request runs under a trace scope keyed by its `X-Trace-Id`
+/// header (one is generated when absent); the ID is echoed in the
+/// response, and the spans finished while routing — the core's
+/// per-phase spans among them — go into the access-log line. The
+/// request latency is measured from dispatch, so it includes any wait
+/// in the pool queue.
+fn handle_request(
+    job: ExecJob,
+    state: &Arc<AppState>,
+    completions: &Arc<CompletionQueue<Completion>>,
+    stop: &AtomicBool,
+) {
+    let ExecJob {
+        token,
+        gen,
+        request,
+        close,
+        t0,
+    } = job;
+    let trace_id = request
+        .header("x-trace-id")
+        .map(str::to_owned)
+        .unwrap_or_else(new_trace_id);
+    let scope = begin_trace(&trace_id);
+    let cost_scope = geoalign_obs::cost::begin();
+    let mut response = route(state, &request);
+    let cost = cost_scope.finish();
+    let spans = scope.finish();
+    // Shutdown may have begun while this request was queued or routing:
+    // honor the old front end's promise that a draining keep-alive
+    // connection is *told* `Connection: close` on its final response.
+    let close = close || stop.load(Ordering::SeqCst);
+    response.set_header("X-Trace-Id", trace_id.clone());
+    response.set_header("X-Cost", cost.header_value());
+    response.connection_close = close;
+    let elapsed = t0.elapsed();
+    state.log_access(&access_log_line(
+        &trace_id,
+        &request,
+        response.status,
+        elapsed,
+        &spans,
+        &cost,
+    ));
+    state.metrics.record_request(response.status, elapsed);
+    state.metrics.slo.record(&request.path, elapsed);
+    if state.debug_endpoints_enabled() {
+        state.record_slow(crate::store::SlowEntry {
+            trace_id: trace_id.clone(),
+            method: request.method.clone(),
+            path: request.path.clone(),
+            status: response.status,
+            duration_micros: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+            spans,
+        });
+    }
+    let mut bytes = Vec::with_capacity(512);
+    response
+        .write_to(&mut bytes)
+        .expect("serializing to a Vec cannot fail");
+    completions.push(Completion {
+        token,
+        gen,
+        bytes,
+        close,
+    });
+}
+
+/// Answers a connection the reactor could not admit — the open-connection
+/// cap is reached or the server is draining: `503` with a `Retry-After`
+/// hint, written with a short write timeout so a slow reader cannot
+/// stall the reactor. Every shed lands one JSON line in the access log
+/// (there is no request to log, so the line carries the `reason`
+/// instead of a request line).
+pub(crate) fn shed_connection(mut stream: TcpStream, state: &Arc<AppState>, reason: &str) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let mut response = Response::error(503, "server saturated, retry shortly");
     response.connection_close = true;
@@ -240,126 +323,6 @@ fn shed_log_line(reason: &str) -> String {
         ("retry_after_seconds", Json::Number(1.0)),
     ])
     .to_string()
-}
-
-/// Serves one connection: parse, route, respond — repeatedly, until the
-/// client closes, asks to close, idles out, trips a limit, or the
-/// per-connection request cap is reached.
-///
-/// Every parsed request runs under a trace scope keyed by its
-/// `X-Trace-Id` header (one is generated when absent); the ID is echoed
-/// in the response, and the spans finished while routing — the core's
-/// per-phase spans among them — go into the access-log line.
-fn handle_connection(
-    stream: TcpStream,
-    state: &Arc<AppState>,
-    idle_timeout: Duration,
-    max_requests: usize,
-    stop: &AtomicBool,
-) {
-    let _ = stream.set_read_timeout(Some(idle_timeout));
-    let _ = stream.set_write_timeout(Some(idle_timeout));
-    // Responses must not sit in the kernel behind Nagle's algorithm
-    // while the connection stays open for the next request.
-    let _ = stream.set_nodelay(true);
-    // A separate read handle: the buffered reader must persist across
-    // requests (pipelined bytes live in its buffer) while responses are
-    // written to the original stream.
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut stream = stream;
-    let limits = ReadLimits {
-        max_head_bytes: crate::http::MAX_HEAD_BYTES,
-        head_timeout: Some(idle_timeout),
-    };
-    let mut served = 0usize;
-    loop {
-        let outcome = read_request_limited(&mut reader, &limits);
-        let t0 = Instant::now();
-        match outcome {
-            Ok(None) => return, // client closed or idled out between requests
-            Ok(Some(request)) => {
-                if served > 0 {
-                    state.metrics.keepalive_reuse.inc();
-                }
-                served += 1;
-                // Close after this response when the client asked to,
-                // the per-connection cap is reached, or the server is
-                // draining for shutdown.
-                let close =
-                    !request.keep_alive() || served >= max_requests || stop.load(Ordering::SeqCst);
-
-                let trace_id = request
-                    .header("x-trace-id")
-                    .map(str::to_owned)
-                    .unwrap_or_else(new_trace_id);
-                let scope = begin_trace(&trace_id);
-                let cost_scope = geoalign_obs::cost::begin();
-                let mut response = route(state, &request);
-                let cost = cost_scope.finish();
-                let spans = scope.finish();
-                response.set_header("X-Trace-Id", trace_id.clone());
-                response.set_header("X-Cost", cost.header_value());
-                response.connection_close = close;
-                let elapsed = t0.elapsed();
-                state.log_access(&access_log_line(
-                    &trace_id,
-                    &request,
-                    response.status,
-                    elapsed,
-                    &spans,
-                    &cost,
-                ));
-                state.metrics.record_request(response.status, elapsed);
-                state.metrics.slo.record(&request.path, elapsed);
-                if state.debug_endpoints_enabled() {
-                    state.record_slow(crate::store::SlowEntry {
-                        trace_id: trace_id.clone(),
-                        method: request.method.clone(),
-                        path: request.path.clone(),
-                        status: response.status,
-                        duration_micros: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
-                        spans,
-                    });
-                }
-                if response.write_to(&mut stream).is_err() || close {
-                    return;
-                }
-            }
-            Err(e) => {
-                // Limit violations and malformed requests: answer with
-                // the assigned status (431/408/413/400) and close — the
-                // stream position is unknown after a failed parse.
-                let response = Response::from(e);
-                state.metrics.record_request(response.status, t0.elapsed());
-                let _ = response.write_to(&mut stream);
-                lingering_close(&stream, &mut reader);
-                return;
-            }
-        }
-    }
-}
-
-/// Half-closes the write side and drains a bounded amount of unread
-/// input before the socket is dropped. Closing with bytes still queued
-/// in the receive buffer makes the kernel answer with RST, which can
-/// discard the error response before the peer reads it; the drain turns
-/// that into an orderly FIN while the byte cap and short timeout keep a
-/// hostile peer from pinning the worker.
-fn lingering_close(stream: &TcpStream, reader: &mut BufReader<TcpStream>) {
-    use std::io::Read;
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let mut budget: usize = 1 << 20;
-    let mut chunk = [0u8; 4096];
-    while budget > 0 {
-        match reader.read(&mut chunk) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => budget = budget.saturating_sub(n),
-        }
-    }
 }
 
 /// One JSON access-log line: the trace ID, request line, status, total
@@ -412,6 +375,7 @@ fn access_log_line(
 mod tests {
     use super::*;
     use std::io::{Read, Write};
+    use std::time::Instant;
 
     /// One-shot client: sends `raw` and reads to EOF (with an explicit
     /// chunked loop — check.sh bans the unbounded read helpers in this
@@ -473,7 +437,7 @@ mod tests {
     fn shed_answers_503_with_retry_after_and_logs_the_event() {
         use std::sync::Mutex;
         // A connected socket pair through a throwaway listener: the
-        // server half plays the connection the pool rejected.
+        // server half plays the connection the reactor rejected.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (server_half, _) = listener.accept().unwrap();
@@ -492,8 +456,8 @@ mod tests {
         let state = AppState::new(4);
         state.set_access_log(Box::new(SharedSink(Arc::clone(&log))));
 
-        // The shutdown-race path: the pool closed with this connection
-        // already accepted (RejectedJob::Closed).
+        // The shutdown-race path: shutdown began with this connection
+        // already accepted.
         shed_connection(server_half, &state, "draining");
 
         let mut reply = Vec::new();
@@ -541,5 +505,93 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert!(refused, "listener should be closed after shutdown");
+    }
+
+    #[test]
+    fn shutdown_waits_for_an_in_flight_request_then_closes() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                cache_capacity: 4,
+                debug_endpoints: true,
+                drain_timeout: Duration::from_secs(10),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // Park a request on a worker: /debug/profile sleeps ~1s.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /debug/profile?seconds=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        // Give the reactor time to parse and dispatch it.
+        std::thread::sleep(Duration::from_millis(200));
+        let t0 = Instant::now();
+        server.shutdown();
+        let shutdown_took = t0.elapsed();
+        // Shutdown must have waited for the profile to finish (~800ms
+        // left of its second), not cut the connection...
+        let mut reply = Vec::new();
+        let mut chunk = [0u8; 4096];
+        slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        loop {
+            match slow.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => reply.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let reply = String::from_utf8(reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        // ...and the response of a drained connection says close even
+        // though the client asked keep-alive.
+        assert!(reply.contains("Connection: close\r\n"), "{reply}");
+        assert!(
+            shutdown_took < Duration::from_secs(5),
+            "drain should end when the in-flight request does, took {shutdown_took:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_force_closes_past_the_drain_timeout() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                cache_capacity: 4,
+                debug_endpoints: true,
+                drain_timeout: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // A 3s in-flight request against a 200ms drain budget.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /debug/profile?seconds=3 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let t0 = Instant::now();
+        server.shutdown();
+        // The reactor must give up at the drain deadline; only the pool
+        // join (the sleeping worker) extends past it, and the socket is
+        // force-closed rather than answered.
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "shutdown must not hang on a stuck request"
+        );
+        slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match slow.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    assert!(
+                        !String::from_utf8_lossy(&chunk[..n]).starts_with("HTTP/1.1 200"),
+                        "a force-closed connection must not receive the response"
+                    );
+                }
+            }
+        }
     }
 }

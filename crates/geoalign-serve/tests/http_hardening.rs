@@ -348,3 +348,151 @@ fn shutdown_drains_a_parked_connection_within_the_idle_timeout() {
     );
     assert!(client.at_eof());
 }
+
+#[test]
+fn a_slow_loris_gets_408_without_delaying_a_fast_client() {
+    // One compute worker: if the loris cost a thread (or a worker), the
+    // fast client would feel it. Under the reactor it costs a slab slot.
+    let server = serve(ServerConfig {
+        workers: 1,
+        idle_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    // The loris: one header byte every 100ms, forever (or until 408).
+    let loris = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let head = b"GET /healthz HTTP/1.1\r\nX-Slow: ";
+        let t0 = std::time::Instant::now();
+        for byte in head.iter().cycle() {
+            if s.write_all(&[*byte]).is_err() {
+                break; // server gave up on us — expected
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            if t0.elapsed() > Duration::from_secs(8) {
+                panic!("loris was never cut off");
+            }
+        }
+        let mut reply = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => reply.extend_from_slice(&chunk[..n]),
+            }
+        }
+        (String::from_utf8_lossy(&reply).into_owned(), t0.elapsed())
+    });
+
+    // Meanwhile the fast client must see ordinary latencies: the loris
+    // holds no worker, so p99 stays a round-trip, not an idle-timeout.
+    std::thread::sleep(Duration::from_millis(100)); // let the loris start
+    let mut fast = Client::connect(addr);
+    let mut worst = Duration::ZERO;
+    for _ in 0..50 {
+        let t0 = std::time::Instant::now();
+        fast.send("GET", "/healthz", "", "");
+        assert_eq!(fast.read_response().unwrap().status, 200);
+        worst = worst.max(t0.elapsed());
+    }
+    assert!(
+        worst < Duration::from_millis(250),
+        "fast client's worst round-trip {worst:?} suggests the loris held a worker"
+    );
+
+    let (reply, cut_after) = loris.join().unwrap();
+    assert!(reply.contains("408"), "loris should be told 408: {reply:?}");
+    assert!(
+        cut_after < Duration::from_secs(5),
+        "loris outlived the head-stall budget: {cut_after:?}"
+    );
+    assert_eq!(server.state().metrics.timeouts.get(), 1);
+    drop(fast);
+    server.shutdown();
+}
+
+#[test]
+fn a_thousand_idle_connections_fit_without_a_thousand_threads() {
+    fn resident_threads() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Threads:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or(0)
+    }
+
+    // Default worker count, explicit connection headroom: the acceptance
+    // bar is 1000 parked keep-alive connections with no per-connection
+    // threads while the server still answers.
+    let server = serve(ServerConfig {
+        max_connections: 1100,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let before = resident_threads();
+
+    let mut parked = Vec::with_capacity(1000);
+    for i in 0..1000 {
+        let mut c = Client::connect(addr);
+        c.send("GET", "/healthz", "", "");
+        assert_eq!(c.read_response().unwrap().status, 200, "conn {i}");
+        parked.push(c); // keep-alive: the connection stays open, idle
+    }
+    assert_eq!(server.state().metrics.open_connections.get(), 1000);
+
+    let after = resident_threads();
+    assert!(
+        after <= before + 5,
+        "1000 idle connections grew the thread count {before} -> {after}"
+    );
+
+    // The server still serves promptly through the parked crowd.
+    let mut fast = Client::connect(addr);
+    for _ in 0..10 {
+        let t0 = std::time::Instant::now();
+        fast.send("GET", "/healthz", "", "");
+        assert_eq!(fast.read_response().unwrap().status, 200);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "foreground request slowed to {:?} behind idle connections",
+            t0.elapsed()
+        );
+    }
+
+    drop(parked);
+    drop(fast);
+    server.shutdown();
+}
+
+#[test]
+fn accept_and_sockopt_error_counters_are_exported() {
+    let server = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr());
+    client.send("GET", "/metrics?format=prometheus", "", "");
+    let reply = client.read_response().unwrap();
+    assert_eq!(reply.status, 200);
+    for metric in [
+        "geoalign_serve_accept_errors_total",
+        "geoalign_serve_sockopt_errors_total",
+        "geoalign_serve_open_connections",
+        "geoalign_serve_poll_wakeups_total",
+        "geoalign_serve_readiness_events_total",
+    ] {
+        assert!(
+            reply.body.contains(metric),
+            "{metric} missing from exposition:\n{}",
+            reply.body
+        );
+    }
+    // Nothing errored in this healthy exchange.
+    assert!(reply.body.contains("geoalign_serve_accept_errors_total 0"));
+    assert!(reply.body.contains("geoalign_serve_sockopt_errors_total 0"));
+    drop(client);
+    server.shutdown();
+}

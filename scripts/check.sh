@@ -25,19 +25,44 @@ fi
 echo "==> no raw std::thread::spawn outside the execution layer"
 # All parallelism flows through geoalign-exec (Executor / WorkerPool) so
 # the process has one thread budget; geoalign-serve keeps its single
-# accept-loop thread. Everything else must not spawn threads directly.
-# std::thread::scope (used by the executor's tests and callers) is fine.
-# The one other sanctioned thread is the profiler's sampler
-# (geoalign-obs/src/profile.rs) — it must live outside the pool because
-# it observes the pool, and it spawns via thread::Builder so it is named
-# in profiles and thread dumps.
+# reactor thread (spawned via thread::Builder in reactor.rs — nothing
+# else in serve may create threads, and in particular never one per
+# connection). std::thread::scope (used by the executor's tests and
+# callers) is fine. The one other sanctioned thread is the profiler's
+# sampler (geoalign-obs/src/profile.rs) — it must live outside the pool
+# because it observes the pool, and it spawns via thread::Builder so it
+# is named in profiles and thread dumps.
 if matches=$(grep -rn 'thread::spawn' crates/*/src \
         | grep -v '^crates/geoalign-exec/src' \
-        | grep -v '^crates/geoalign-serve/src' \
+        | grep -v '^crates/geoalign-serve/src/reactor.rs' \
         | grep -v '^crates/geoalign-obs/src/profile.rs' \
         | grep -vE ':[0-9]+:\s*(//|//!|///)'); then
     echo "error: raw thread::spawn outside geoalign-exec — use the Executor or WorkerPool:" >&2
     echo "$matches" >&2
+    exit 1
+fi
+
+echo "==> no blocking socket idioms in the serve reactor path"
+# The serve front end is a readiness reactor over O_NONBLOCK sockets:
+# idle time is handled by poll timeouts and explicit deadlines, never by
+# set_read_timeout-driven blocking reads. A set_read_timeout in src/
+# means a blocking read crept back into the event path (tests may use it
+# on their client sockets freely — in-file test modules are skipped;
+# set_write_timeout stays legal for the reactor's synchronous shed write).
+reactor_blocking=""
+for f in crates/geoalign-serve/src/*.rs; do
+    limit=$({ grep -nE '^(mod tests|#\[cfg\(test\)\])' "$f" || true; } | head -1 | cut -d: -f1)
+    [ -z "$limit" ] && limit=0
+    found=$(awk -v limit="$limit" -v file="$f" \
+        '(limit == 0 || NR < limit) && /set_read_timeout/ && $0 !~ /^[[:space:]]*\/\// \
+         { print file ":" NR ": " $0 }' "$f")
+    if [ -n "$found" ]; then
+        reactor_blocking="${reactor_blocking}${found}"$'\n'
+    fi
+done
+if [ -n "$reactor_blocking" ]; then
+    echo "error: set_read_timeout in geoalign-serve/src — the reactor owns all idle handling:" >&2
+    echo "$reactor_blocking" >&2
     exit 1
 fi
 
@@ -66,7 +91,7 @@ echo "==> metric naming: geoalign_<crate>_<name>_<unit>"
 # its tests, not this literal scan.
 bad_names=$(grep -rhoE '"geoalign_[a-z0-9_]+"' crates/*/src | sort -u \
     | grep -vE '^"geoalign_(demo|test|expo)_' \
-    | grep -vE '^"geoalign_(core|partition|serve|store|agg|obs|exec)_[a-z0-9_]+_(total|micros|entries|candidates|points|bytes|size|iterations)"$' \
+    | grep -vE '^"geoalign_(core|partition|serve|store|agg|obs|exec)_[a-z0-9_]+_(total|micros|entries|candidates|points|bytes|size|iterations|connections|transitions)"$' \
     || true)
 if [ -n "$bad_names" ]; then
     echo "error: metric name outside the geoalign_<crate>_<name>_<unit> convention:" >&2
@@ -84,6 +109,12 @@ cargo test -q -p geoalign-serve --test debug_introspection
 
 echo "==> serve hardening suite (hostile input, keep-alive, shedding)"
 cargo test -q -p geoalign-serve --test http_hardening
+
+echo "==> serve hardening under a starved thread budget (GEOALIGN_THREADS=2)"
+# The reactor must hold every contract with two compute workers: idle
+# connections cost no worker, so a tiny pool changes throughput, never
+# lifecycle semantics (408s, shedding, drains, keep-alive).
+GEOALIGN_THREADS=2 cargo test -q -p geoalign-serve --test http_hardening
 
 echo "==> no unchecked I/O unwraps in geoalign-store"
 # A persistence layer must surface every I/O failure as a StoreError the
