@@ -250,15 +250,24 @@ impl Connection {
                     return self.fail(self.parser.eof_error(), ctx);
                 }
                 Ok(n) => match self.feed(&scratch[..n], ctx) {
-                    Directive::Continue => {
+                    Directive::Continue => match self.state {
                         // A parse error mid-chunk flips the state to
                         // Draining (the 4xx is already flushed): the
                         // rest of the input is discard, not requests.
-                        if matches!(self.state, ConnState::Draining { .. }) {
-                            return self.drain_readable();
+                        ConnState::Draining { .. } => return self.drain_readable(),
+                        ConnState::Idle { .. }
+                        | ConnState::ReadingHead { .. }
+                        | ConnState::ReadingBody { .. } => continue,
+                        // Any other state ends the read loop: a parse
+                        // error whose 4xx hit WouldBlock parks in
+                        // Writing, and reading on would feed the
+                        // already-errored parser and clobber the
+                        // half-written response. Interest re-arms per
+                        // the new state.
+                        ConnState::Executing | ConnState::Writing { .. } => {
+                            return Directive::Continue
                         }
-                        continue;
-                    }
+                    },
                     other => return other,
                 },
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -342,6 +351,14 @@ impl Connection {
     /// linger-close. No access-log line and no SLO sample — only the
     /// status counters — exactly like the blocking path.
     fn fail(&mut self, error: HttpError, ctx: &ConnContext<'_>) -> Directive {
+        if matches!(
+            self.state,
+            ConnState::Writing { .. } | ConnState::Draining { .. }
+        ) {
+            // A response is already queued or on the wire; a second
+            // failure must never reset the write buffer under it.
+            return Directive::Continue;
+        }
         let response = Response::from(error);
         ctx.metrics.record_request(response.status, Duration::ZERO);
         let mut bytes = Vec::with_capacity(256);
@@ -558,6 +575,51 @@ mod tests {
         };
         assert_eq!(req.path, "/b");
         assert_eq!(metrics.keepalive_reuse.get(), 1);
+    }
+
+    #[test]
+    fn a_parse_error_behind_a_full_send_buffer_stops_the_read_loop() {
+        let metrics = Metrics::default();
+        let (mut client, server) = pair();
+        let mut conn = Connection::new(server, 1, Instant::now(), Duration::from_secs(30));
+        let c = ctx(&metrics);
+        // A malformed request line with plenty of trailing bytes: the
+        // read loop must stop at the error instead of feeding the
+        // poisoned parser (which would clobber the pending response).
+        let mut bad = b"BROKEN\r\n\r\n".to_vec();
+        bad.resize(32 * 1024, b'x');
+        client.write_all(&bad).unwrap();
+        // Fill the server→client direction so the 4xx cannot flush and
+        // the connection parks in Writing instead of Draining. The
+        // kernel keeps moving send-buffer bytes into the client's
+        // receive window for a while, so "full" only counts once a
+        // write still blocks after a pause.
+        let junk = [0u8; 64 * 1024];
+        loop {
+            match conn.stream.write(&junk) {
+                Ok(_) => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(30));
+                    match conn.stream.write(&junk) {
+                        Ok(_) => continue,
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) => panic!("filling the send buffer: {e}"),
+                    }
+                }
+                Err(e) => panic!("filling the send buffer: {e}"),
+            }
+        }
+        assert!(matches!(conn.on_readable(&c), Directive::Continue));
+        assert_eq!(
+            conn.interest(),
+            Interest::Write,
+            "the 4xx must stay parked in Writing"
+        );
+        assert_eq!(
+            metrics.requests_failed.get(),
+            1,
+            "exactly one error response may be recorded"
+        );
     }
 
     #[test]

@@ -167,14 +167,19 @@ enum ParsePhase {
 /// The byte budgets are identical to the blocking reader's: the request
 /// line and all headers share `max_head_bytes` (431 past it, checked
 /// without buffering the excess), each head line must be UTF-8 (400),
-/// and bodies above [`MAX_BODY_BYTES`] get 413. Errors are terminal:
-/// after an `Err` the parser (and the connection) must be discarded.
+/// and bodies above [`MAX_BODY_BYTES`] get 413. Errors are terminal and
+/// sticky: after an `Err` the parser is poisoned — every later feed
+/// returns the same error, so a caller that accidentally re-feeds an
+/// errored parser can never conjure a request out of poisoned state.
 #[derive(Debug)]
 pub struct RequestParser {
     max_head_bytes: usize,
     budget: usize,
     phase: ParsePhase,
     started: bool,
+    /// The first error this parser returned; replayed on every feed
+    /// after it, making errors terminal even for a buggy caller.
+    poison: Option<HttpError>,
     line: Vec<u8>,
     method: String,
     path: String,
@@ -193,6 +198,7 @@ impl RequestParser {
             budget: max_head_bytes,
             phase: ParsePhase::RequestLine,
             started: false,
+            poison: None,
             line: Vec::new(),
             method: String::new(),
             path: String::new(),
@@ -225,6 +231,19 @@ impl RequestParser {
     /// them for the next call — that is how pipelining works); the
     /// parser is already reset for the next request when `Some` returns.
     pub fn feed(&mut self, buf: &[u8]) -> Result<(usize, Option<Request>), HttpError> {
+        if let Some(poison) = &self.poison {
+            return Err(poison.clone());
+        }
+        match self.feed_inner(buf) {
+            Err(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    fn feed_inner(&mut self, buf: &[u8]) -> Result<(usize, Option<Request>), HttpError> {
         let mut consumed = 0usize;
         while consumed < buf.len() {
             let rest = &buf[consumed..];
@@ -634,6 +653,18 @@ mod tests {
         assert!(parse(b"GET / HTTP/1.1\r\nContent-Length: zep\r\n\r\n").is_err());
         // Body shorter than Content-Length.
         assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn parser_errors_are_sticky() {
+        let mut parser = RequestParser::new(MAX_HEAD_BYTES);
+        let first = parser.feed(b"BROKEN\r\n").unwrap_err();
+        assert_eq!(first.status, 400);
+        // Re-feeding a poisoned parser — even perfectly valid bytes —
+        // must replay the original error, never yield a request.
+        let again = parser.feed(b"GET / HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(again.status, first.status);
+        assert_eq!(again.message, first.message);
     }
 
     #[test]

@@ -78,6 +78,10 @@ pub struct Metrics {
     /// Socket-option failures (`O_NONBLOCK`/`TCP_NODELAY`/timeouts) on
     /// accepted connections, previously discarded with `let _`.
     pub sockopt_errors: Counter,
+    /// Readiness-poller failures: `epoll_ctl` registrations rejected by
+    /// the kernel (the connection is closed, not phantom-registered) and
+    /// non-EINTR poll/epoll-wait errors in the event loop.
+    pub poller_errors: Counter,
 }
 
 impl Default for Metrics {
@@ -172,6 +176,10 @@ impl Default for Metrics {
             "geoalign_serve_sockopt_errors_total",
             "Socket-option failures on accepted connections",
         );
+        let poller_errors = registry.counter(
+            "geoalign_serve_poller_errors_total",
+            "Readiness-poller failures (epoll_ctl registration and poll-wait errors)",
+        );
         Metrics {
             registry,
             requests_total,
@@ -197,6 +205,7 @@ impl Default for Metrics {
             conn_state_transitions,
             accept_errors,
             sockopt_errors,
+            poller_errors,
         }
     }
 }

@@ -211,7 +211,14 @@ impl Poller {
     }
 
     /// Upserts (or with `want: None`, removes) a token's registration.
-    fn set(&mut self, token: usize, fd: RawFd, want: Option<Want>) {
+    ///
+    /// A rejected `EPOLL_CTL_ADD`/`MOD` (`ENOSPC` from
+    /// `max_user_watches`, `EMFILE`, a dead fd) returns `Err` and leaves
+    /// the token unregistered — never a phantom entry that would let the
+    /// connection hang eventlessly until its deadline reaps it. Removal
+    /// failures are ignored: the kernel drops epoll membership with the
+    /// fd anyway.
+    fn set(&mut self, token: usize, fd: RawFd, want: Option<Want>) -> std::io::Result<()> {
         match self {
             #[cfg(target_os = "linux")]
             Poller::Epoll { epfd, registered } => {
@@ -226,7 +233,7 @@ impl Poller {
                     }
                     (prev, Some(w)) => {
                         if prev.map(|(_, pw)| pw) == Some(w) {
-                            return;
+                            return Ok(());
                         }
                         let mask = match w {
                             Want::Read => EPOLLIN | EPOLLRDHUP,
@@ -241,7 +248,13 @@ impl Poller {
                         } else {
                             EPOLL_CTL_ADD
                         };
-                        unsafe { epoll_ctl(*epfd, op, fd, &mut ev) };
+                        if unsafe { epoll_ctl(*epfd, op, fd, &mut ev) } < 0 {
+                            // A failed MOD leaves the kernel on the old
+                            // mask; dropping the bookkeeping entry keeps
+                            // our view pessimistic (caller closes).
+                            registered.remove(&token);
+                            return Err(std::io::Error::last_os_error());
+                        }
                         registered.insert(token, (fd, w));
                     }
                 }
@@ -255,6 +268,7 @@ impl Poller {
                 }
             },
         }
+        Ok(())
     }
 
     /// Blocks until readiness or `timeout`, pushing events into `out`.
@@ -412,11 +426,17 @@ struct Reactor {
     conns: Vec<Option<Connection>>,
     free: Vec<usize>,
     next_gen: u64,
-    /// Stale-allowed lower bound over every connection deadline: the
-    /// poll timeout. Min-updated on deadline changes; the exact minimum
-    /// is recomputed only when the bound fires, so the per-event cost
-    /// stays O(ready) even with thousands of parked connections.
-    next_deadline: Option<Instant>,
+    /// Timer heap: `(deadline, token, gen)` entries, soonest first.
+    /// Lazy deletion — a refreshed or closed connection leaves its stale
+    /// entry behind, to be discarded when popped (the gen stamp and a
+    /// re-check of the connection's live deadline filter it out). Each
+    /// expiry therefore touches only due entries, O(log n) apiece,
+    /// instead of sweeping the whole slab.
+    timers: std::collections::BinaryHeap<std::cmp::Reverse<(Instant, usize, u64)>>,
+    /// Latest armed deadline per slab slot — dedupes heap pushes so a
+    /// busy connection re-syncing with an unchanged deadline doesn't
+    /// grow the heap.
+    armed: Vec<Option<Instant>>,
     state: Arc<AppState>,
     pool: Arc<WorkerPool<ExecJob>>,
     completions: Arc<CompletionQueue<Completion>>,
@@ -435,8 +455,8 @@ impl Reactor {
         config.listener.set_nonblocking(true)?;
         config.wake_rx.set_nonblocking(true)?;
         let mut poller = Poller::new(config.event_loop)?;
-        poller.set(LISTEN_TOKEN, config.listener.as_raw_fd(), Some(Want::Read));
-        poller.set(WAKE_TOKEN, config.wake_rx.as_raw_fd(), Some(Want::Read));
+        poller.set(LISTEN_TOKEN, config.listener.as_raw_fd(), Some(Want::Read))?;
+        poller.set(WAKE_TOKEN, config.wake_rx.as_raw_fd(), Some(Want::Read))?;
         Ok(Reactor {
             poller,
             listener: Some(config.listener),
@@ -444,7 +464,8 @@ impl Reactor {
             conns: Vec::new(),
             free: Vec::new(),
             next_gen: 0,
-            next_deadline: None,
+            timers: std::collections::BinaryHeap::new(),
+            armed: Vec::new(),
             state: config.state,
             pool: config.pool,
             completions: config.completions,
@@ -460,7 +481,13 @@ impl Reactor {
     }
 
     fn run(&mut self) {
+        /// Consecutive poll failures tolerated (~1s at the 10ms backoff)
+        /// before the loop gives up: a poller this broken delivers no
+        /// events, so every connection is frozen — better to force-close
+        /// them all and exit than to spin silently forever.
+        const MAX_CONSECUTIVE_POLL_ERRORS: u32 = 100;
         let mut events: Vec<Event> = Vec::with_capacity(256);
+        let mut poll_failures = 0u32;
         loop {
             if self.stop.load(Ordering::SeqCst) && !self.draining {
                 self.begin_drain();
@@ -477,11 +504,17 @@ impl Reactor {
             }
             let timeout = self.poll_timeout();
             match self.poller.wait(timeout, &mut events) {
-                Ok(_) => {}
+                Ok(_) => poll_failures = 0,
                 Err(_) => {
                     // EINTR is retried inside wait(); anything else is
-                    // unexpected — back off briefly so a persistent
-                    // error can't turn the loop into a busy spin.
+                    // unexpected — count it, back off briefly so the
+                    // loop can't busy-spin, and bail out entirely once
+                    // the error proves persistent.
+                    self.state.metrics.poller_errors.inc();
+                    poll_failures += 1;
+                    if poll_failures >= MAX_CONSECUTIVE_POLL_ERRORS {
+                        break;
+                    }
                     std::thread::sleep(Duration::from_millis(10));
                     continue;
                 }
@@ -508,10 +541,11 @@ impl Reactor {
         }
     }
 
-    /// The poll timeout: time to the nearest deadline lower bound (or
-    /// the drain deadline), infinite when nothing is pending.
+    /// The poll timeout: time to the soonest timer entry (possibly a
+    /// stale one — that only costs an early wakeup, never a late one) or
+    /// the drain deadline, infinite when nothing is pending.
     fn poll_timeout(&self) -> Option<Duration> {
-        let mut soonest = self.next_deadline;
+        let mut soonest = self.timers.peek().map(|std::cmp::Reverse((d, _, _))| *d);
         if let Some(dd) = self.drain_deadline {
             soonest = Some(soonest.map_or(dd, |d| d.min(dd)));
         }
@@ -524,7 +558,7 @@ impl Reactor {
     fn begin_drain(&mut self) {
         self.draining = true;
         if let Some(listener) = self.listener.take() {
-            self.poller.set(LISTEN_TOKEN, listener.as_raw_fd(), None);
+            let _ = self.poller.set(LISTEN_TOKEN, listener.as_raw_fd(), None);
         }
         for token in 0..self.conns.len() {
             if self.conns[token].as_ref().is_some_and(Connection::is_idle) {
@@ -665,10 +699,9 @@ impl Reactor {
             Directive::Close => self.close_conn(token),
             Directive::Dispatch(request, close) => {
                 self.sync(token); // Executing → no socket interest
-                let gen = self.conns[token]
-                    .as_ref()
-                    .map(Connection::gen)
-                    .unwrap_or_default();
+                let Some(gen) = self.conns[token].as_ref().map(Connection::gen) else {
+                    return; // sync closed the connection (poller failure)
+                };
                 let job = ExecJob {
                     token,
                     gen,
@@ -685,8 +718,10 @@ impl Reactor {
         }
     }
 
-    /// Re-arms the poller to the connection's current interest and folds
-    /// its deadline into the timeout lower bound.
+    /// Re-arms the poller to the connection's current interest and the
+    /// timer heap to its deadline. A kernel-rejected registration closes
+    /// the connection: a socket the poller can't watch would otherwise
+    /// hang eventlessly until its deadline reaped it.
     fn sync(&mut self, token: usize) {
         let Some(conn) = self.conns.get(token).and_then(Option::as_ref) else {
             return;
@@ -696,17 +731,41 @@ impl Reactor {
             Interest::Read => Some(Want::Read),
             Interest::Write => Some(Want::Write),
         };
-        self.poller.set(token, conn.raw_fd(), want);
-        if let Some(d) = conn.deadline() {
-            self.next_deadline = Some(self.next_deadline.map_or(d, |nd| nd.min(d)));
+        let fd = conn.raw_fd();
+        let gen = conn.gen();
+        let deadline = conn.deadline();
+        if self.poller.set(token, fd, want).is_err() {
+            self.state.metrics.poller_errors.inc();
+            self.close_conn(token);
+            return;
         }
+        if let Some(d) = deadline {
+            self.arm_timer(token, gen, d);
+        }
+    }
+
+    /// Pushes a timer-heap entry for `(token, gen)` unless the slot's
+    /// latest armed deadline already matches (dedupe). Stale entries are
+    /// discarded lazily in [`Reactor::expire_deadlines`].
+    fn arm_timer(&mut self, token: usize, gen: u64, deadline: Instant) {
+        if self.armed.len() <= token {
+            self.armed.resize(token + 1, None);
+        }
+        if self.armed[token] == Some(deadline) {
+            return;
+        }
+        self.armed[token] = Some(deadline);
+        self.timers.push(std::cmp::Reverse((deadline, token, gen)));
     }
 
     fn close_conn(&mut self, token: usize) {
         let Some(conn) = self.conns.get_mut(token).and_then(Option::take) else {
             return;
         };
-        self.poller.set(token, conn.raw_fd(), None);
+        let _ = self.poller.set(token, conn.raw_fd(), None);
+        if let Some(slot) = self.armed.get_mut(token) {
+            *slot = None;
+        }
         self.state
             .metrics
             .conn_state_transitions
@@ -717,38 +776,45 @@ impl Reactor {
         // `conn` drops here, closing the socket.
     }
 
-    /// Runs expiries once the deadline lower bound fires, then
-    /// recomputes the exact bound. Removals can leave the bound stale
-    /// (early wakeups), never late ones.
+    /// Pops due timer entries and fires the expiries they stand for.
+    /// Lazy deletion: an entry whose connection is gone, re-generationed,
+    /// or whose live deadline moved later is discarded (the moved one
+    /// re-armed at its true time) — only due entries are ever touched,
+    /// so expiry cost is O(due · log n), not O(connections).
     fn expire_deadlines(&mut self) {
-        let Some(bound) = self.next_deadline else {
-            return;
-        };
         let now = Instant::now();
-        if now < bound {
-            return;
-        }
-        for token in 0..self.conns.len() {
-            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
-                continue;
-            };
-            if conn.deadline().is_some_and(|d| d <= now) {
-                let ctx = ConnContext {
-                    idle_timeout: self.idle_timeout,
-                    max_requests: self.max_requests,
-                    draining: self.draining,
-                    metrics: &self.state.metrics,
-                };
-                let directive = conn.on_deadline(&ctx);
-                self.apply(token, directive);
+        while let Some(&std::cmp::Reverse((due, token, gen))) = self.timers.peek() {
+            if due > now {
+                break;
             }
+            self.timers.pop();
+            if self.armed.get(token).copied().flatten() == Some(due) {
+                self.armed[token] = None;
+            }
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                continue; // closed since this entry was pushed
+            };
+            if conn.gen() != gen {
+                continue; // slot reused by a newer connection
+            }
+            let Some(deadline) = conn.deadline() else {
+                continue; // state moved to Executing: no deadline
+            };
+            if deadline > now {
+                // The deadline was refreshed (e.g. body-read progress):
+                // this entry fired early, re-arm at the real time.
+                self.arm_timer(token, gen, deadline);
+                continue;
+            }
+            let ctx = ConnContext {
+                idle_timeout: self.idle_timeout,
+                max_requests: self.max_requests,
+                draining: self.draining,
+                metrics: &self.state.metrics,
+            };
+            let directive = conn.on_deadline(&ctx);
+            self.apply(token, directive);
         }
-        self.next_deadline = self
-            .conns
-            .iter()
-            .flatten()
-            .filter_map(Connection::deadline)
-            .min();
     }
 }
 
@@ -789,6 +855,27 @@ mod tests {
         assert_eq!(state.metrics.sockopt_errors.get(), 0);
     }
 
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn a_rejected_epoll_registration_is_an_error_not_a_phantom_entry() {
+        let mut poller = Poller::new(EventLoopKind::Epoll).unwrap();
+        // A dead fd: EPOLL_CTL_ADD gets EBADF from the kernel.
+        let dead_fd = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            stream.as_raw_fd()
+        }; // stream dropped → fd closed
+        assert!(poller.set(9, dead_fd, Some(Want::Read)).is_err());
+        // No phantom registration was recorded: deregistering is the
+        // (None, None) no-op, and a wait sees nothing.
+        assert!(poller.set(9, dead_fd, None).is_ok());
+        let mut events = Vec::new();
+        let n = poller
+            .wait(Some(Duration::from_millis(10)), &mut events)
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
     #[test]
     fn both_pollers_deliver_readiness_for_a_readable_socket() {
         for kind in [EventLoopKind::Epoll, EventLoopKind::Poll] {
@@ -797,7 +884,7 @@ mod tests {
             let (server, _) = listener.accept().unwrap();
             server.set_nonblocking(true).unwrap();
             let mut poller = Poller::new(kind).unwrap();
-            poller.set(7, server.as_raw_fd(), Some(Want::Read));
+            poller.set(7, server.as_raw_fd(), Some(Want::Read)).unwrap();
             let mut events = Vec::new();
             // Nothing to read yet: a short wait times out empty.
             let n = poller
@@ -813,7 +900,7 @@ mod tests {
             assert_eq!(events[0].token, 7);
             assert!(events[0].readable);
             // Deregistration silences it even though data is pending.
-            poller.set(7, server.as_raw_fd(), None);
+            poller.set(7, server.as_raw_fd(), None).unwrap();
             let n = poller
                 .wait(Some(Duration::from_millis(10)), &mut events)
                 .unwrap();
