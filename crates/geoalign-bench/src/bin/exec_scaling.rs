@@ -208,6 +208,7 @@ fn main() {
     // --- BENCH_exec.json ------------------------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"exec_scaling\",");
+    json.push_str(&geoalign_bench::metadata_json_lines());
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"trials\": {trials},");
     let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");

@@ -218,6 +218,7 @@ fn main() {
     let mean_full = sum_full / n_batches as f64;
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"ingest\",");
+    json.push_str(&geoalign_bench::metadata_json_lines());
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(
         json,

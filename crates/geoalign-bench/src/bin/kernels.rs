@@ -1,0 +1,648 @@
+//! Kernel throughput suite: before/after numbers for the cache-aware
+//! kernel rework (blocked gram, branch-free CSR matvec, scratch-arena
+//! solvers and apply path).
+//!
+//! "Before" is not a guess: the pre-rework kernels are transliterated
+//! into [`old`] below, run against the library's current kernels on the
+//! same inputs, and asserted **bit-identical** at 1, 2 and 8 threads
+//! before anything is timed. The JSON then records rows/sec and
+//! ns/element for both, per universe scale — small, medium, and the
+//! paper's 30238×3142 US universe.
+//!
+//! Writes `BENCH_kernels.json` (see `--out`). At the paper scale the
+//! binary additionally gates on the rework actually winning single-thread
+//! on gram and CSR matvec — the whole point of the rework.
+//!
+//! Usage: `kernels [--small|--medium|--paper] [--seed N] [--trials N]
+//!                 [--out BENCH_kernels.json]`
+//! (no scale flag runs all three scales; `--small` is the CI smoke mode)
+
+use geoalign_core::{GeoAlign, PreparedCrosswalk, ReferenceData};
+use geoalign_exec::Executor;
+use geoalign_geom::{Aabb, Point2, VoronoiDiagram};
+use geoalign_linalg::dense::{axpy, dot, norm2};
+use geoalign_linalg::simplex_ls::{
+    project_to_simplex, solve_projected_gradient_gram_scratch, GramSystem,
+};
+use geoalign_linalg::{CooMatrix, CsrMatrix, DMatrix, LinalgError, SolverScratch};
+use geoalign_partition::{AggregateVector, DisaggregationMatrix, Overlay, PolygonUnitSystem};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// FISTA budget used by `solve_gram` for the projected-gradient solver.
+const PG_MAX_ITER: usize = 2000;
+const PG_TOL: f64 = 1e-12;
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Times `f` over `trials` runs (after one warm-up) and returns the mean
+/// wall time in nanoseconds.
+fn time_ns<R>(trials: usize, mut f: impl FnMut() -> R) -> f64 {
+    let _ = f();
+    let t = Instant::now();
+    for _ in 0..trials {
+        let _ = f();
+    }
+    t.elapsed().as_secs_f64() * 1e9 / trials as f64
+}
+
+/// The pre-rework kernels, transliterated from this repository's own
+/// history (the commit the rework replaced) so before/after numbers are
+/// measured, not remembered. Each must stay bit-identical to its
+/// replacement — the mainline asserts it before timing.
+mod old {
+    use super::*;
+
+    /// Old `DMatrix::gram_with`: one freshly allocated upper-triangle row
+    /// `Vec` per column task, assembled into the Gram matrix afterwards.
+    pub fn gram_with(a: &DMatrix, exec: Executor) -> Result<DMatrix, LinalgError> {
+        let k = a.ncols();
+        let upper = exec.map_indexed(k, |i| {
+            (i..k)
+                .map(|j| dot(a.column(i), a.column(j)))
+                .collect::<Vec<f64>>()
+        })?;
+        let mut g = DMatrix::zeros(k, k);
+        for (i, row) in upper.into_iter().enumerate() {
+            for (off, v) in row.into_iter().enumerate() {
+                let j = i + off;
+                g[(i, j)] = v;
+                g[(j, i)] = v;
+            }
+        }
+        Ok(g)
+    }
+
+    /// Old `CsrMatrix::matvec_with`: a materialized chunk-range `Vec`, one
+    /// allocated partial-result `Vec` per chunk, and a gather copy at the
+    /// end.
+    pub fn matvec_with(m: &CsrMatrix, x: &[f64], exec: Executor) -> Result<Vec<f64>, LinalgError> {
+        let ranges: Vec<_> = Executor::chunk_ranges(m.nrows()).collect();
+        let per_chunk = exec.run_tasks(ranges.len(), |t| {
+            ranges[t]
+                .clone()
+                .map(|i| {
+                    let (cols, vals) = m.row(i);
+                    cols.iter()
+                        .zip(vals)
+                        .map(|(&j, &v)| v * x[j as usize])
+                        .sum()
+                })
+                .collect::<Vec<f64>>()
+        })?;
+        let mut y = Vec::with_capacity(m.nrows());
+        for chunk in per_chunk {
+            y.extend(chunk);
+        }
+        Ok(y)
+    }
+
+    fn objective(gs: &GramSystem, beta: &[f64], atb: &[f64], btb: f64) -> Result<f64, LinalgError> {
+        let gb = gs.gram().matvec(beta)?;
+        Ok(0.5 * dot(beta, &gb) - dot(beta, atb) + 0.5 * btb)
+    }
+
+    fn gradient(gs: &GramSystem, beta: &[f64], atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut g = gs.gram().matvec(beta)?;
+        for (gi, ci) in g.iter_mut().zip(atb) {
+            *gi -= ci;
+        }
+        Ok(g)
+    }
+
+    /// Old FISTA loop of `solve_projected_gradient_gram`: fresh `grad`,
+    /// `z`, `x_next` and `diff` vectors plus two clones per iteration.
+    pub fn solve_projected_gradient_gram(
+        gs: &GramSystem,
+        atb: &[f64],
+        btb: f64,
+        max_iter: usize,
+        tol: f64,
+    ) -> Result<(Vec<f64>, f64, usize), LinalgError> {
+        let n = gs.n();
+        let g = gs.gram();
+        let mut lmax = 0.0f64;
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                row_sum += g[(i, j)].abs();
+            }
+            lmax = lmax.max(row_sum);
+        }
+        let step = 1.0 / lmax.max(f64::MIN_POSITIVE);
+
+        let mut x = vec![1.0 / n as f64; n];
+        let mut y = x.clone();
+        let mut t = 1.0f64;
+        let mut iterations = 0;
+        let scale = btb.sqrt().max(1.0);
+        let mut best = x.clone();
+        let mut best_obj = objective(gs, &x, atb, btb)?;
+        let mut prev_obj = best_obj;
+        for _ in 0..max_iter {
+            iterations += 1;
+            let grad = gradient(gs, &y, atb)?;
+            let mut z: Vec<f64> = y.clone();
+            axpy(-step, &grad, &mut z);
+            let x_next = project_to_simplex(&z);
+            let obj = objective(gs, &x_next, atb, btb)?;
+            if obj < best_obj {
+                best_obj = obj;
+                best.clone_from(&x_next);
+            }
+            let restart = obj > prev_obj;
+            prev_obj = obj;
+            let t_next = if restart {
+                1.0
+            } else {
+                0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt())
+            };
+            let momentum = if restart { 0.0 } else { (t - 1.0) / t_next };
+            let diff: Vec<f64> = x_next.iter().zip(&x).map(|(p, q)| p - q).collect();
+            let delta = norm2(&diff);
+            y = x_next.clone();
+            axpy(momentum, &diff, &mut y);
+            x = x_next;
+            t = t_next;
+            if delta <= tol * scale {
+                break;
+            }
+        }
+        let beta = project_to_simplex(&best);
+        let objective = objective(gs, &beta, atb, btb)?;
+        Ok((beta, objective, iterations))
+    }
+
+    /// Old `apply_batch_with`: each task runs the public allocating
+    /// `apply_values` (a fresh working set per query) — exactly the
+    /// pre-rework batch path.
+    pub fn apply_batch_with(
+        prepared: &PreparedCrosswalk,
+        objectives: &[AggregateVector],
+        exec: Executor,
+    ) -> Vec<geoalign_core::CrosswalkEstimate> {
+        exec.map_indexed(objectives.len(), |i| {
+            prepared.apply_values(&objectives[i]).expect("apply")
+        })
+        .expect("batch")
+    }
+}
+
+/// One benchmark universe: a dense design matrix (gram + solver), a
+/// sparse crosswalk matrix (matvec), prepared references with a query
+/// batch (apply), and jittered-grid dimensions (overlay).
+struct Scale {
+    name: &'static str,
+    n_source: usize,
+    n_target: usize,
+    refs: usize,
+    nnz_per_row: usize,
+    batch: usize,
+    grid_fine: usize,
+    grid_coarse: usize,
+}
+
+const SCALES: [Scale; 3] = [
+    Scale {
+        name: "small",
+        n_source: 2_000,
+        n_target: 200,
+        refs: 4,
+        nnz_per_row: 4,
+        batch: 8,
+        grid_fine: 16,
+        grid_coarse: 4,
+    },
+    Scale {
+        name: "medium",
+        n_source: 7_560,
+        n_target: 786,
+        refs: 6,
+        nnz_per_row: 5,
+        batch: 8,
+        grid_fine: 40,
+        grid_coarse: 8,
+    },
+    Scale {
+        name: "paper",
+        n_source: 30_238,
+        n_target: 3_142,
+        refs: 8,
+        nnz_per_row: 6,
+        batch: 8,
+        grid_fine: 174,
+        grid_coarse: 56,
+    },
+];
+
+/// A random sparse crosswalk: `nnz_per_row` entries per source row at
+/// pseudo-random distinct target columns.
+fn random_csr(scale: &Scale, state: &mut u64) -> CsrMatrix {
+    let mut coo = CooMatrix::new(scale.n_source, scale.n_target);
+    for i in 0..scale.n_source {
+        let start = (lcg(state) * scale.n_target as f64) as usize % scale.n_target;
+        let stride = 1 + (lcg(state) * 7.0) as usize;
+        for s in 0..scale.nnz_per_row {
+            let j = (start + s * stride) % scale.n_target;
+            let v = 0.1 + lcg(state) * 10.0;
+            coo.push(i, j, v).expect("in-bounds push");
+        }
+        // Duplicate (i, j) pairs are merged by `to_csr`; row occupancy may
+        // be below nnz_per_row when the stride wraps, which is fine.
+    }
+    coo.to_csr()
+}
+
+fn random_design(scale: &Scale, state: &mut u64) -> DMatrix {
+    let columns: Vec<Vec<f64>> = (0..scale.refs)
+        .map(|_| {
+            (0..scale.n_source)
+                .map(|_| lcg(state) * 100.0)
+                .collect::<Vec<f64>>()
+        })
+        .collect();
+    DMatrix::from_columns(&columns).expect("design")
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Before/after timings of one kernel, single-thread and at 8 threads.
+struct KernelTimings {
+    old_seq_ns: f64,
+    new_seq_ns: f64,
+    old_t8_ns: f64,
+    new_t8_ns: f64,
+    /// Logical rows one run processes (throughput numerator).
+    rows: u64,
+    /// Elements (mul-adds / nonzeros / cells) one run touches.
+    elements: u64,
+}
+
+impl KernelTimings {
+    fn json(&self, label: &str) -> String {
+        let mut out = String::new();
+        let rps = |ns: f64| self.rows as f64 / (ns.max(1.0) * 1e-9);
+        let npe = |ns: f64| ns / (self.elements.max(1) as f64);
+        let _ = writeln!(out, "      \"{label}\": {{");
+        let _ = writeln!(
+            out,
+            "        \"old_ms\": {:.4}, \"new_ms\": {:.4}, \"single_thread_speedup\": {:.3},",
+            self.old_seq_ns / 1e6,
+            self.new_seq_ns / 1e6,
+            self.old_seq_ns / self.new_seq_ns.max(1.0)
+        );
+        let _ = writeln!(
+            out,
+            "        \"old_rows_per_sec\": {:.0}, \"new_rows_per_sec\": {:.0},",
+            rps(self.old_seq_ns),
+            rps(self.new_seq_ns)
+        );
+        let _ = writeln!(
+            out,
+            "        \"old_ns_per_element\": {:.3}, \"new_ns_per_element\": {:.3},",
+            npe(self.old_seq_ns),
+            npe(self.new_seq_ns)
+        );
+        let _ = write!(
+            out,
+            "        \"old_threads8_ms\": {:.4}, \"new_threads8_ms\": {:.4}\n      }}",
+            self.old_t8_ns / 1e6,
+            self.new_t8_ns / 1e6
+        );
+        out
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 30238u64;
+    let mut trials = 5usize;
+    let mut out_path = "BENCH_kernels.json".to_owned();
+    let mut only: Option<&'static str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed value").parse().expect("int"),
+            "--trials" => trials = it.next().expect("--trials value").parse().expect("int"),
+            "--out" => out_path = it.next().expect("--out value").clone(),
+            "--small" => only = Some("small"),
+            "--medium" => only = Some("medium"),
+            "--paper" | "--full" => only = Some("paper"),
+            flag => {
+                eprintln!("unknown argument: {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scales: Vec<&Scale> = SCALES
+        .iter()
+        .filter(|s| only.is_none_or(|o| o == s.name))
+        .collect();
+
+    let mut scale_blocks: Vec<String> = Vec::new();
+    for scale in &scales {
+        let mut state = seed;
+        eprintln!(
+            "# kernels — scale {} ({}x{}, {} refs), trials {trials}",
+            scale.name, scale.n_source, scale.n_target, scale.refs
+        );
+        let design = random_design(scale, &mut state);
+        let csr = random_csr(scale, &mut state);
+        let x: Vec<f64> = (0..scale.n_target).map(|_| lcg(&mut state) * 3.0).collect();
+        let seq = Executor::sequential();
+        let t8 = Executor::new(8);
+
+        // --- gram ---------------------------------------------------------
+        let new_gram = design.gram_with(seq).expect("gram");
+        for threads in [1usize, 2, 8] {
+            let exec = if threads == 1 {
+                Executor::sequential()
+            } else {
+                Executor::new(threads)
+            };
+            let old_g = old::gram_with(&design, exec).expect("old gram");
+            let new_g = design.gram_with(exec).expect("new gram");
+            for j in 0..new_gram.ncols() {
+                assert_bits_eq(old_g.column(j), new_gram.column(j), "gram old-vs-new");
+                assert_bits_eq(new_g.column(j), new_gram.column(j), "gram threads");
+            }
+        }
+        let k = scale.refs as u64;
+        let gram = KernelTimings {
+            old_seq_ns: time_ns(trials, || old::gram_with(&design, seq).expect("gram")),
+            new_seq_ns: time_ns(trials, || design.gram_with(seq).expect("gram")),
+            old_t8_ns: time_ns(trials, || old::gram_with(&design, t8).expect("gram")),
+            new_t8_ns: time_ns(trials, || design.gram_with(t8).expect("gram")),
+            rows: scale.n_source as u64,
+            elements: k * (k + 1) / 2 * scale.n_source as u64,
+        };
+
+        // --- CSR matvec ---------------------------------------------------
+        let new_y = csr.matvec_with(&x, seq).expect("matvec");
+        for threads in [1usize, 2, 8] {
+            let exec = if threads == 1 {
+                Executor::sequential()
+            } else {
+                Executor::new(threads)
+            };
+            let old_y = old::matvec_with(&csr, &x, exec).expect("old matvec");
+            let par_y = csr.matvec_with(&x, exec).expect("new matvec");
+            assert_bits_eq(&old_y, &new_y, "csr_matvec old-vs-new");
+            assert_bits_eq(&par_y, &new_y, "csr_matvec threads");
+        }
+        let matvec = KernelTimings {
+            old_seq_ns: time_ns(trials * 4, || old::matvec_with(&csr, &x, seq).expect("mv")),
+            new_seq_ns: time_ns(trials * 4, || csr.matvec_with(&x, seq).expect("mv")),
+            old_t8_ns: time_ns(trials * 4, || old::matvec_with(&csr, &x, t8).expect("mv")),
+            new_t8_ns: time_ns(trials * 4, || csr.matvec_with(&x, t8).expect("mv")),
+            rows: csr.nrows() as u64,
+            elements: csr.nnz() as u64,
+        };
+
+        // --- simplex-LS (FISTA) -------------------------------------------
+        let gs = GramSystem::new(&design).expect("gram system");
+        let b: Vec<f64> = (0..scale.n_source)
+            .map(|_| lcg(&mut state) * 100.0)
+            .collect();
+        let atb = design.tr_matvec(&b).expect("atb");
+        let btb = dot(&b, &b);
+        let (old_beta, old_obj, old_iters) =
+            old::solve_projected_gradient_gram(&gs, &atb, btb, PG_MAX_ITER, PG_TOL)
+                .expect("old pg");
+        let mut solver_scratch = SolverScratch::new();
+        let new_sol = solve_projected_gradient_gram_scratch(
+            &gs,
+            &atb,
+            btb,
+            PG_MAX_ITER,
+            PG_TOL,
+            &mut solver_scratch,
+        )
+        .expect("new pg");
+        assert_bits_eq(&old_beta, &new_sol.beta, "fista beta old-vs-new");
+        assert_eq!(old_obj.to_bits(), new_sol.objective.to_bits(), "fista obj");
+        assert_eq!(old_iters, new_sol.iterations, "fista iteration count");
+        let iters = old_iters.max(1) as u64;
+        let simplex = KernelTimings {
+            old_seq_ns: time_ns(trials, || {
+                old::solve_projected_gradient_gram(&gs, &atb, btb, PG_MAX_ITER, PG_TOL).expect("pg")
+            }),
+            new_seq_ns: time_ns(trials, || {
+                solve_projected_gradient_gram_scratch(
+                    &gs,
+                    &atb,
+                    btb,
+                    PG_MAX_ITER,
+                    PG_TOL,
+                    &mut solver_scratch,
+                )
+                .expect("pg")
+            }),
+            // The solver is single-threaded; reuse the sequential numbers
+            // so the JSON schema stays uniform.
+            old_t8_ns: 0.0,
+            new_t8_ns: 0.0,
+            rows: iters,
+            elements: iters * k * k,
+        };
+        let simplex = KernelTimings {
+            old_t8_ns: simplex.old_seq_ns,
+            new_t8_ns: simplex.new_seq_ns,
+            ..simplex
+        };
+
+        // --- apply_batch --------------------------------------------------
+        let refs: Vec<ReferenceData> = (0..scale.refs)
+            .map(|r| {
+                let m = random_csr(scale, &mut state);
+                let triples: Vec<(usize, usize, f64)> = m.iter().collect();
+                let dm = DisaggregationMatrix::from_triples(
+                    format!("ref{r}"),
+                    scale.n_source,
+                    scale.n_target,
+                    triples,
+                )
+                .expect("dm");
+                ReferenceData::from_dm(format!("ref{r}"), dm).expect("reference")
+            })
+            .collect();
+        let ref_slices: Vec<&ReferenceData> = refs.iter().collect();
+        let prepared = GeoAlign::new().prepare(&ref_slices).expect("prepare");
+        let objectives: Vec<AggregateVector> = (0..scale.batch)
+            .map(|i| {
+                let values: Vec<f64> = (0..scale.n_source)
+                    .map(|_| lcg(&mut state) * 100.0)
+                    .collect();
+                AggregateVector::new(format!("attr{i}"), values).expect("objective")
+            })
+            .collect();
+        let total_nnz: u64 = refs.iter().map(|r| r.dm().matrix().nnz() as u64).sum();
+        let baseline = prepared
+            .apply_batch_with(&objectives, seq)
+            .expect("batch apply");
+        for threads in [1usize, 2, 8] {
+            let exec = if threads == 1 {
+                Executor::sequential()
+            } else {
+                Executor::new(threads)
+            };
+            let old_batch = old::apply_batch_with(&prepared, &objectives, exec);
+            let new_batch = prepared.apply_batch_with(&objectives, exec).expect("batch");
+            for ((o, n), base) in old_batch.iter().zip(&new_batch).zip(&baseline) {
+                assert_bits_eq(&o.estimate, &base.estimate, "apply old-vs-new");
+                assert_bits_eq(&n.estimate, &base.estimate, "apply threads");
+                assert_bits_eq(&o.weights, &base.weights, "apply weights old");
+                assert_bits_eq(&n.weights, &base.weights, "apply weights new");
+            }
+        }
+        let apply = KernelTimings {
+            old_seq_ns: time_ns(trials, || {
+                old::apply_batch_with(&prepared, &objectives, seq)
+            }),
+            new_seq_ns: time_ns(trials, || {
+                prepared.apply_batch_with(&objectives, seq).expect("batch")
+            }),
+            old_t8_ns: time_ns(trials, || old::apply_batch_with(&prepared, &objectives, t8)),
+            new_t8_ns: time_ns(trials, || {
+                prepared.apply_batch_with(&objectives, t8).expect("batch")
+            }),
+            rows: (scale.batch * scale.n_source) as u64,
+            elements: scale.batch as u64 * total_nnz,
+        };
+
+        // --- overlay (untouched kernel: current numbers only) -------------
+        let bounds = Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let mut r = |_| lcg(&mut state);
+        let fine =
+            VoronoiDiagram::jittered_grid(bounds, scale.grid_fine, scale.grid_fine, 0.45, &mut r)
+                .expect("fine voronoi");
+        let coarse = VoronoiDiagram::jittered_grid(
+            bounds,
+            scale.grid_coarse,
+            scale.grid_coarse,
+            0.45,
+            &mut r,
+        )
+        .expect("coarse voronoi");
+        let src = PolygonUnitSystem::from_voronoi("fine", fine).expect("source system");
+        let tgt = PolygonUnitSystem::from_voronoi("coarse", coarse).expect("target system");
+        let overlay_trials = if scale.name == "paper" { 1 } else { trials };
+        let seq_overlay = Overlay::polygons_with(&src, &tgt, seq).expect("overlay");
+        for threads in [2usize, 8] {
+            let par = Overlay::polygons_with(&src, &tgt, Executor::new(threads)).expect("overlay");
+            assert_eq!(par.len(), seq_overlay.len(), "overlay determinism");
+            for (a, b) in seq_overlay.pieces().iter().zip(par.pieces()) {
+                assert_eq!(a.measure.to_bits(), b.measure.to_bits(), "overlay bits");
+            }
+        }
+        let overlay_seq_ns = time_ns(overlay_trials, || {
+            Overlay::polygons_with(&src, &tgt, seq).expect("overlay")
+        });
+        let overlay_t8_ns = time_ns(overlay_trials, || {
+            Overlay::polygons_with(&src, &tgt, t8).expect("overlay")
+        });
+
+        // --- single-thread win gate (paper scale only) --------------------
+        if scale.name == "paper" {
+            assert!(
+                gram.new_seq_ns <= gram.old_seq_ns,
+                "gram rework must win single-thread at paper scale: old {:.3} ms vs new {:.3} ms",
+                gram.old_seq_ns / 1e6,
+                gram.new_seq_ns / 1e6
+            );
+            assert!(
+                matvec.new_seq_ns <= matvec.old_seq_ns,
+                "matvec rework must win single-thread at paper scale: old {:.3} ms vs new {:.3} ms",
+                matvec.old_seq_ns / 1e6,
+                matvec.new_seq_ns / 1e6
+            );
+        }
+        for (label, t) in [
+            ("gram", &gram),
+            ("csr_matvec", &matvec),
+            ("simplex_ls", &simplex),
+            ("apply_batch", &apply),
+        ] {
+            eprintln!(
+                "{label:>11} @{}: old {:>10.3} ms, new {:>10.3} ms ({:.2}x single-thread)",
+                scale.name,
+                t.old_seq_ns / 1e6,
+                t.new_seq_ns / 1e6,
+                t.old_seq_ns / t.new_seq_ns.max(1.0)
+            );
+        }
+        eprintln!(
+            "    overlay @{}: {:>10.3} ms seq, {:>10.3} ms @8 ({} pieces)",
+            scale.name,
+            overlay_seq_ns / 1e6,
+            overlay_t8_ns / 1e6,
+            seq_overlay.len()
+        );
+
+        // --- JSON block ---------------------------------------------------
+        let mut block = String::new();
+        let _ = writeln!(block, "    \"{}\": {{", scale.name);
+        let _ = writeln!(
+            block,
+            "      \"universe\": {{ \"n_source\": {}, \"n_target\": {}, \"refs\": {}, \"nnz\": {}, \"batch\": {}, \"fista_iterations\": {} }},",
+            scale.n_source,
+            scale.n_target,
+            scale.refs,
+            csr.nnz(),
+            scale.batch,
+            old_iters
+        );
+        block.push_str(&gram.json("gram"));
+        block.push_str(",\n");
+        block.push_str(&matvec.json("csr_matvec"));
+        block.push_str(",\n");
+        block.push_str(&simplex.json("simplex_ls"));
+        block.push_str(",\n");
+        block.push_str(&apply.json("apply_batch"));
+        block.push_str(",\n");
+        let _ = writeln!(
+            block,
+            "      \"overlay\": {{ \"ms\": {:.4}, \"threads8_ms\": {:.4}, \"pieces\": {}, \"pieces_per_sec\": {:.0}, \"ns_per_piece\": {:.1} }}",
+            overlay_seq_ns / 1e6,
+            overlay_t8_ns / 1e6,
+            seq_overlay.len(),
+            seq_overlay.len() as f64 / (overlay_seq_ns.max(1.0) * 1e-9),
+            overlay_seq_ns / seq_overlay.len().max(1) as f64
+        );
+        block.push_str("    }");
+        scale_blocks.push(block);
+    }
+
+    // --- BENCH_kernels.json ----------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kernels\",");
+    json.push_str(&geoalign_bench::metadata_json_lines());
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"trials\": {trials},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(
+        json,
+        "  \"bit_identity\": {{ \"thread_counts\": [1, 2, 8], \"old_equals_new\": true }},"
+    );
+    json.push_str("  \"scales\": {\n");
+    json.push_str(&scale_blocks.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

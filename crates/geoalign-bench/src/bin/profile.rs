@@ -142,6 +142,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"profile_overhead\",");
+    json.push_str(&geoalign_bench::metadata_json_lines());
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"rounds\": {rounds},");
     let _ = writeln!(json, "  \"hz\": {hz},");

@@ -313,6 +313,7 @@ fn main() {
     // --- BENCH_serve.json ------------------------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"serve_keepalive\",");
+    json.push_str(&geoalign_bench::metadata_json_lines());
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"requests\": {requests},");
     let _ = writeln!(json, "  \"trials\": {trials},");

@@ -152,6 +152,7 @@ fn main() {
     // --- BENCH_store.json ------------------------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"store_warmstart\",");
+    json.push_str(&geoalign_bench::metadata_json_lines());
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"trials\": {trials},");
     let _ = writeln!(

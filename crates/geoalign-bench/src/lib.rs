@@ -51,6 +51,64 @@ impl ScalePreset {
     }
 }
 
+/// Provenance metadata every `BENCH_*.json` writer embeds right after its
+/// `"bench"` field: the git revision the numbers were measured at and an
+/// ISO-8601 UTC timestamp. Returns ready-to-splice JSON lines (each ends
+/// with `,\n`), so callers `push_str` it into their hand-rolled writer.
+pub fn metadata_json_lines() -> String {
+    format!(
+        "  \"git_rev\": \"{}\",\n  \"timestamp\": \"{}\",\n",
+        git_rev(),
+        iso8601_utc_now()
+    )
+}
+
+/// The short git revision of the working tree, or `"unknown"` outside a
+/// repository (benchmarks keep working from an exported tarball).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// `YYYY-MM-DDThh:mm:ssZ` for the current wall clock, from the UNIX epoch
+/// via the proleptic-Gregorian civil-from-days conversion (std only).
+fn iso8601_utc_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    let tod = secs % 86_400;
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        tod / 3600,
+        (tod % 3600) / 60,
+        tod % 60
+    )
+}
+
+/// Days-since-epoch → (year, month, day) in the proleptic Gregorian
+/// calendar (Howard Hinnant's `civil_from_days` algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
 /// Generates the NY evaluation catalog at a preset.
 pub fn ny_eval_catalog(preset: ScalePreset, seed: u64) -> Result<Catalog, CoreError> {
     let synth =
@@ -80,6 +138,32 @@ pub fn us_catalog_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(20_675), (2026, 8, 10));
+    }
+
+    #[test]
+    fn metadata_lines_are_splicable_json() {
+        let lines = metadata_json_lines();
+        assert!(lines.starts_with("  \"git_rev\": \""));
+        assert!(lines.contains("\"timestamp\": \""));
+        assert!(lines.ends_with(",\n"));
+        // The timestamp parses shape-wise: YYYY-MM-DDThh:mm:ssZ.
+        let ts = lines
+            .split("\"timestamp\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap();
+        assert_eq!(ts.len(), 20, "{ts}");
+        assert_eq!(&ts[4..5], "-");
+        assert_eq!(&ts[10..11], "T");
+        assert_eq!(&ts[19..], "Z");
+    }
 
     #[test]
     fn preset_parsing() {

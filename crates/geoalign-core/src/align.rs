@@ -288,18 +288,27 @@ pub(crate) fn disaggregate_with(
 
 /// The effective weights `β'_k = β_k / max_i a_rk^s[i]` of Eq. 14.
 pub(crate) fn scale_adapted_weights(weights: &[f64], row_sums_per_ref: &[Vec<f64>]) -> Vec<f64> {
-    weights
-        .iter()
-        .zip(row_sums_per_ref)
-        .map(|(&w, sums)| {
-            let m = sums.iter().copied().fold(0.0f64, f64::max);
-            if m > 0.0 {
-                w / m
-            } else {
-                0.0
-            }
-        })
-        .collect()
+    let mut out = Vec::new();
+    scale_adapted_weights_into(weights, row_sums_per_ref, &mut out);
+    out
+}
+
+/// [`scale_adapted_weights`] into a reusable buffer (cleared and
+/// overwritten) for the allocation-free apply path.
+pub(crate) fn scale_adapted_weights_into(
+    weights: &[f64],
+    row_sums_per_ref: &[Vec<f64>],
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend(weights.iter().zip(row_sums_per_ref).map(|(&w, sums)| {
+        let m = sums.iter().copied().fold(0.0f64, f64::max);
+        if m > 0.0 {
+            w / m
+        } else {
+            0.0
+        }
+    }));
 }
 
 /// Weighted and unweighted per-source-unit denominators of Eq. 14.
@@ -308,15 +317,37 @@ pub(crate) fn row_denominators(
     adapted: &[f64],
     n_source: usize,
 ) -> (Vec<f64>, Vec<f64>) {
-    let mut weighted = vec![0.0; n_source];
-    let mut unweighted = vec![0.0; n_source];
+    let mut weighted = Vec::new();
+    let mut unweighted = Vec::new();
+    row_denominators_into(
+        row_sums_per_ref,
+        adapted,
+        n_source,
+        &mut weighted,
+        &mut unweighted,
+    );
+    (weighted, unweighted)
+}
+
+/// [`row_denominators`] into reusable buffers (cleared and overwritten)
+/// for the allocation-free apply path.
+pub(crate) fn row_denominators_into(
+    row_sums_per_ref: &[Vec<f64>],
+    adapted: &[f64],
+    n_source: usize,
+    weighted: &mut Vec<f64>,
+    unweighted: &mut Vec<f64>,
+) {
+    weighted.clear();
+    weighted.resize(n_source, 0.0);
+    unweighted.clear();
+    unweighted.resize(n_source, 0.0);
     for (sums, &w) in row_sums_per_ref.iter().zip(adapted) {
         for (i, &v) in sums.iter().enumerate() {
             weighted[i] += w * v;
             unweighted[i] += v;
         }
     }
-    (weighted, unweighted)
 }
 
 #[cfg(test)]

@@ -51,6 +51,6 @@ pub use interpolator::{
     RegressionInterpolator,
 };
 pub use pipeline::{AlignedColumn, IntegrationPipeline, JoinedTable};
-pub use prepare::{CrosswalkEstimate, PreparedCrosswalk};
+pub use prepare::{ApplyScratch, CrosswalkEstimate, PreparedCrosswalk};
 pub use reference::{validate_references, ReferenceData};
 pub use store::{fingerprint_references, CrosswalkKey, CrosswalkStore, StoreStats};

@@ -18,17 +18,50 @@
 //! to `estimate(v, refs)` — not merely close.
 
 use crate::align::{
-    disaggregate_with, row_denominators, scale_adapted_weights, GeoAlign, GeoAlignConfig,
+    disaggregate_with, row_denominators_into, scale_adapted_weights_into, GeoAlign, GeoAlignConfig,
     GeoAlignResult, PhaseTimings,
 };
 use crate::error::CoreError;
 use crate::reference::{validate_references, ReferenceData};
 use geoalign_linalg::dense::dot;
 use geoalign_linalg::simplex_ls::{self, GramSystem};
-use geoalign_linalg::{CsrMatrix, DMatrix};
+use geoalign_linalg::{CsrMatrix, DMatrix, SolverScratch};
 use geoalign_obs::span;
 use geoalign_partition::AggregateVector;
 use std::time::{Duration, Instant};
+
+/// Reusable working memory for [`PreparedCrosswalk::apply_values`]: the
+/// normalized objective, right-hand-side products, Eq. 14 denominators
+/// and per-row factors, plus the solver arena. One arena per thread
+/// (never shared — [`PreparedCrosswalk::apply_batch_with`] creates one
+/// per worker); buffers carry capacity between queries, never values.
+/// See DESIGN.md §15 for the ownership and bit-identity rules.
+#[derive(Debug, Default)]
+pub struct ApplyScratch {
+    /// Normalized (or copied) objective vector `b`.
+    b: Vec<f64>,
+    /// Right-hand side `Aᵀb`.
+    atb: Vec<f64>,
+    /// Scale-adapted weights `β'`.
+    adapted: Vec<f64>,
+    /// Weighted denominators of Eq. 14.
+    weighted: Vec<f64>,
+    /// Unweighted denominators (fallback mass).
+    unweighted: Vec<f64>,
+    /// Per-row weighted-mixture factors.
+    rf_weighted: Vec<f64>,
+    /// Per-row uniform-fallback factors.
+    rf_fallback: Vec<f64>,
+    /// Simplex-solver arena threaded into `solve_gram_scratch`.
+    solver: SolverScratch,
+}
+
+impl ApplyScratch {
+    /// An empty arena; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The value-independent snapshot of a crosswalk: everything
 /// [`GeoAlign::estimate`] computes that depends only on the references,
@@ -303,41 +336,85 @@ impl PreparedCrosswalk {
         &self,
         objective_source: &AggregateVector,
     ) -> Result<CrosswalkEstimate, CoreError> {
+        self.apply_values_scratch(objective_source, &mut ApplyScratch::new())
+    }
+
+    /// [`PreparedCrosswalk::apply_values`] through a reusable
+    /// [`ApplyScratch`]: identical arithmetic in the identical order —
+    /// the result is bit-for-bit the same — but a repeated query only
+    /// allocates its two outputs (the estimate and the weights).
+    pub fn apply_values_scratch(
+        &self,
+        objective_source: &AggregateVector,
+        scratch: &mut ApplyScratch,
+    ) -> Result<CrosswalkEstimate, CoreError> {
         self.check_objective(objective_source)?;
         let _apply_span = span!("apply", refs = self.refs.len(), n_source = self.n_source);
         self.attribute_apply_cost();
         let t_apply = Instant::now();
+        // Output allocation: the estimate the caller keeps.
+        let mut estimate = vec![0.0; self.n_target];
+        let (weights, timings) =
+            self.apply_values_into(objective_source, &mut estimate, scratch)?;
+        crate::obs::apply_micros().record(t_apply.elapsed());
+        Ok(CrosswalkEstimate {
+            estimate,
+            weights,
+            timings,
+        })
+    }
+
+    /// The allocation-free apply core: accumulates the estimate into the
+    /// caller's `estimate` slice (length `n_target`, fully overwritten)
+    /// through the scratch arena. Zero heap allocations here once the
+    /// arena has grown to the problem size (enforced by check.sh's
+    /// hot-loop gate — keep `.clone()`/`to_vec()`/`vec![` out); the
+    /// returned weights are the solver wrapper's output allocation.
+    fn apply_values_into(
+        &self,
+        objective_source: &AggregateVector,
+        estimate: &mut [f64],
+        s: &mut ApplyScratch,
+    ) -> Result<(Vec<f64>, PhaseTimings), CoreError> {
         let mut timings = PhaseTimings::default();
 
         let t0 = Instant::now();
         let weights = {
             let _span = span!("weight_learning");
-            self.learn_weights(objective_source)?
+            self.learn_weights_scratch(objective_source, s)?
         };
         timings.weight_learning = t0.elapsed();
 
         let t1 = Instant::now();
         let _disagg_span = span!("disaggregation");
-        let adapted = scale_adapted_weights(&weights, &self.row_sums_per_ref);
-        let (weighted, unweighted) =
-            row_denominators(&self.row_sums_per_ref, &adapted, self.n_source);
+        scale_adapted_weights_into(&weights, &self.row_sums_per_ref, &mut s.adapted);
+        row_denominators_into(
+            &self.row_sums_per_ref,
+            &s.adapted,
+            self.n_source,
+            &mut s.weighted,
+            &mut s.unweighted,
+        );
         let obj = objective_source.values();
         // Per-row factors: the weighted-mixture factor and the uniform
         // fallback factor; exactly one of the two is nonzero per live row.
-        let mut rf_weighted = vec![0.0; self.n_source];
-        let mut rf_fallback = vec![0.0; self.n_source];
+        s.rf_weighted.clear();
+        s.rf_weighted.resize(self.n_source, 0.0);
+        s.rf_fallback.clear();
+        s.rf_fallback.resize(self.n_source, 0.0);
+        #[allow(clippy::needless_range_loop)] // lockstep over four row slices
         for i in 0..self.n_source {
-            if weighted[i] > 0.0 {
-                rf_weighted[i] = obj[i] / weighted[i];
-            } else if unweighted[i] > 0.0 {
-                rf_fallback[i] = obj[i] / unweighted[i];
+            if s.weighted[i] > 0.0 {
+                s.rf_weighted[i] = obj[i] / s.weighted[i];
+            } else if s.unweighted[i] > 0.0 {
+                s.rf_fallback[i] = obj[i] / s.unweighted[i];
             }
         }
-        let mut estimate = vec![0.0; self.n_target];
+        estimate.fill(0.0);
         for (k, r) in self.refs.iter().enumerate() {
-            let bk = adapted[k];
+            let bk = s.adapted[k];
             for (i, j, v) in r.dm().matrix().iter() {
-                let f = bk * rf_weighted[i] + rf_fallback[i];
+                let f = bk * s.rf_weighted[i] + s.rf_fallback[i];
                 if f != 0.0 {
                     estimate[j] += f * v;
                 }
@@ -345,13 +422,7 @@ impl PreparedCrosswalk {
         }
         drop(_disagg_span);
         timings.disaggregation = t1.elapsed();
-
-        crate::obs::apply_micros().record(t_apply.elapsed());
-        Ok(CrosswalkEstimate {
-            estimate,
-            weights,
-            timings,
-        })
+        Ok((weights, timings))
     }
 
     /// Applies the snapshot to many objective vectors concurrently (one
@@ -365,32 +436,56 @@ impl PreparedCrosswalk {
     }
 
     /// [`PreparedCrosswalk::apply_batch`] on an explicit executor. Each
-    /// vector runs [`PreparedCrosswalk::apply_values`] independently;
-    /// results come back in input order, and the first failing vector (in
-    /// input order) decides the error — exactly like a sequential loop.
+    /// vector runs [`PreparedCrosswalk::apply_values`] independently
+    /// through one [`ApplyScratch`] per worker thread (so a warm batch
+    /// stops re-allocating the apply working set); results come back in
+    /// input order, and the first failing vector (in input order) decides
+    /// the error — exactly like a sequential loop.
     pub fn apply_batch_with(
         &self,
         objectives: &[AggregateVector],
         exec: geoalign_exec::Executor,
     ) -> Result<Vec<CrosswalkEstimate>, CoreError> {
         let per_vector =
-            exec.map_indexed(objectives.len(), |i| self.apply_values(&objectives[i]))?;
+            exec.run_tasks_with(objectives.len(), ApplyScratch::new, |scratch, i| {
+                self.apply_values_scratch(&objectives[i], scratch)
+            })?;
         per_vector.into_iter().collect()
     }
 
     /// The per-query weight learning (Eq. 15) on the prepared Gram state.
     pub fn learn_weights(&self, objective_source: &AggregateVector) -> Result<Vec<f64>, CoreError> {
+        self.learn_weights_scratch(objective_source, &mut ApplyScratch::new())
+    }
+
+    /// [`PreparedCrosswalk::learn_weights`] through a reusable
+    /// [`ApplyScratch`] — the allocation-free form `apply_values_into`
+    /// calls per query. The returned `β` is the only output allocation.
+    pub fn learn_weights_scratch(
+        &self,
+        objective_source: &AggregateVector,
+        s: &mut ApplyScratch,
+    ) -> Result<Vec<f64>, CoreError> {
         self.check_objective(objective_source)?;
-        let b = if self.config.normalize {
-            objective_source.normalized()
+        if self.config.normalize {
+            objective_source.normalized_into(&mut s.b);
         } else {
-            objective_source.values().to_vec()
-        };
-        let atb = self.design.tr_matvec(&b)?;
-        let btb = dot(&b, &b);
+            s.b.clear();
+            s.b.extend_from_slice(objective_source.values());
+        }
+        s.atb.clear();
+        s.atb.resize(self.design.ncols(), 0.0);
+        self.design.tr_matvec_into(&s.b, &mut s.atb)?;
+        let btb = dot(&s.b, &s.b);
         let solution = {
             let _span = span!("solver", refs = self.refs.len());
-            simplex_ls::solve_gram(&self.gram, &atb, btb, self.config.solver)?
+            simplex_ls::solve_gram_scratch(
+                &self.gram,
+                &s.atb,
+                btb,
+                self.config.solver,
+                &mut s.solver,
+            )?
         };
         crate::obs::record_solver(solution.iterations, &solution.beta);
         Ok(solution.beta)

@@ -203,6 +203,31 @@ impl Executor {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.run_tasks_with(tasks, || (), |(), task| run(task))
+    }
+
+    /// [`Executor::run_tasks`] with a per-worker scratch state: every
+    /// worker thread calls `init()` once and reuses the resulting value
+    /// across all tasks it picks up (the sequential path creates exactly
+    /// one). This is the allocation-amortisation hook for hot kernels —
+    /// a worker's scratch arena is built once per job, not once per task.
+    ///
+    /// **Determinism contract:** which worker runs which task is racy, so
+    /// task results must not depend on what earlier tasks left in the
+    /// scratch state. Scratch is for *capacity* reuse (buffers a task
+    /// fully overwrites before reading), never for carrying values
+    /// between tasks.
+    pub fn run_tasks_with<S, R, I, F>(
+        &self,
+        tasks: usize,
+        init: I,
+        run: F,
+    ) -> Result<Vec<R>, ExecError>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
         if tasks == 0 {
             return Ok(Vec::new());
         }
@@ -213,10 +238,10 @@ impl Executor {
         let t_job = Instant::now();
         let result = if inline {
             obs::inline_jobs_total().inc();
-            self.run_inline(tasks, &run)
+            self.run_inline(tasks, &init, &run)
         } else {
             obs::jobs_total().inc();
-            self.run_scoped(tasks, &run)
+            self.run_scoped(tasks, &init, &run)
         };
         obs::job_micros().record(t_job.elapsed());
         result
@@ -225,16 +250,18 @@ impl Executor {
     /// The sequential path: tasks in index order on the calling thread.
     /// Panic capture matches the parallel path so error behaviour is
     /// identical.
-    fn run_inline<R, F>(&self, tasks: usize, run: &F) -> Result<Vec<R>, ExecError>
+    fn run_inline<S, R, I, F>(&self, tasks: usize, init: &I, run: &F) -> Result<Vec<R>, ExecError>
     where
-        F: Fn(usize) -> R + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
     {
         let _region = RegionGuard::enter();
+        let mut state = init();
         let mut out = Vec::with_capacity(tasks);
         for task in 0..tasks {
             obs::tasks_total().inc();
             let t0 = Instant::now();
-            let r = catch_unwind(AssertUnwindSafe(|| run(task)));
+            let r = catch_unwind(AssertUnwindSafe(|| run(&mut state, task)));
             obs::task_micros().record(t0.elapsed());
             match r {
                 Ok(v) => out.push(v),
@@ -251,11 +278,14 @@ impl Executor {
 
     /// The parallel path: scoped workers pull task indices from an atomic
     /// counter, stash `(index, result)` pairs locally, and the results
-    /// are re-assembled in index order after all workers join.
-    fn run_scoped<R, F>(&self, tasks: usize, run: &F) -> Result<Vec<R>, ExecError>
+    /// are re-assembled in index order after all workers join. Each
+    /// worker owns one `init()` state for its whole run; the state never
+    /// crosses threads, so it needs no `Send`.
+    fn run_scoped<S, R, I, F>(&self, tasks: usize, init: &I, run: &F) -> Result<Vec<R>, ExecError>
     where
         R: Send,
-        F: Fn(usize) -> R + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
     {
         let workers = self.threads.min(tasks);
         let next = AtomicUsize::new(0);
@@ -268,6 +298,7 @@ impl Executor {
                 .map(|_| {
                     scope.spawn(|| {
                         let _region = RegionGuard::enter();
+                        let mut state = init();
                         let mut local: Vec<(usize, Result<R, String>)> = Vec::new();
                         loop {
                             let task = next.fetch_add(1, Ordering::Relaxed);
@@ -279,7 +310,7 @@ impl Executor {
                             obs::queue_wait_micros().record(t_job.elapsed());
                             obs::tasks_total().inc();
                             let t0 = Instant::now();
-                            let r = catch_unwind(AssertUnwindSafe(|| run(task)));
+                            let r = catch_unwind(AssertUnwindSafe(|| run(&mut state, task)));
                             obs::task_micros().record(t0.elapsed());
                             local.push((task, r.map_err(|p| panic_message(&*p))));
                         }
@@ -563,6 +594,69 @@ mod tests {
             })
             .unwrap();
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_tasks_with_reuses_one_state_per_worker() {
+        use std::sync::atomic::AtomicU64;
+        // Count init() calls: at most `threads` states for the parallel
+        // path, exactly one for the sequential path.
+        for threads in [1usize, 2, 8] {
+            let inits = AtomicU64::new(0);
+            let exec = Executor::new(threads);
+            let out = exec
+                .run_tasks_with(
+                    64,
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        Vec::<u8>::new()
+                    },
+                    |scratch, task| {
+                        // Scratch must be overwritten before use — here we
+                        // clear and refill, so results never depend on what a
+                        // previous task left behind.
+                        scratch.clear();
+                        scratch.extend(std::iter::repeat_n(task as u8, 3));
+                        scratch.iter().map(|&b| b as usize).sum::<usize>()
+                    },
+                )
+                .unwrap();
+            assert_eq!(out, (0..64).map(|t| t * 3).collect::<Vec<_>>());
+            let states = inits.load(Ordering::Relaxed);
+            assert!(states >= 1 && states <= threads as u64, "threads={threads}");
+            if threads == 1 {
+                assert_eq!(states, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_tasks_with_panic_matches_run_tasks_semantics() {
+        let job = |exec: &Executor| {
+            exec.run_tasks_with(10, || 0u32, |_, i| if i == 4 { panic!("x") } else { i })
+        };
+        assert_eq!(job(&Executor::sequential()), job(&Executor::new(8)));
+        assert!(matches!(
+            job(&Executor::new(8)),
+            Err(ExecError::TaskPanicked { task: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn run_tasks_with_empty_job_skips_init() {
+        use std::sync::atomic::AtomicU64;
+        let inits = AtomicU64::new(0);
+        let out = Executor::new(4)
+            .run_tasks_with(
+                0,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |(), i| i,
+            )
+            .unwrap();
+        assert_eq!(out, Vec::<usize>::new());
+        assert_eq!(inits.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -94,6 +94,14 @@ impl DMatrix {
 
     /// Matrix–vector product `A x`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// [`DMatrix::matvec`] into a caller-provided output slice of length
+    /// `nrows` — the allocation-free form for hot loops.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matvec",
@@ -101,7 +109,14 @@ impl DMatrix {
                 right: (x.len(), 1),
             });
         }
-        let mut y = vec![0.0; self.rows];
+        if y.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_into",
+                left: (self.rows, self.cols),
+                right: (y.len(), 1),
+            });
+        }
+        y.fill(0.0);
         for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
@@ -110,11 +125,19 @@ impl DMatrix {
                 *yi += aij * xj;
             }
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Transposed matrix–vector product `Aᵀ y`.
     pub fn tr_matvec(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut out = vec![0.0; self.cols];
+        self.tr_matvec_into(y, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`DMatrix::tr_matvec`] into a caller-provided output slice of
+    /// length `ncols` — the allocation-free form for hot loops.
+    pub fn tr_matvec_into(&self, y: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
         if y.len() != self.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "tr_matvec",
@@ -122,7 +145,17 @@ impl DMatrix {
                 right: (y.len(), 1),
             });
         }
-        Ok((0..self.cols).map(|j| dot(self.column(j), y)).collect())
+        if out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "tr_matvec_into",
+                left: (self.cols, self.rows),
+                right: (out.len(), 1),
+            });
+        }
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = dot(self.column(j), y);
+        }
+        Ok(())
     }
 
     /// Gram matrix `AᵀA` (symmetric positive semidefinite).
@@ -134,23 +167,61 @@ impl DMatrix {
     }
 
     /// [`DMatrix::gram`] on an explicit executor: each task computes one
-    /// row of the upper triangle. Every entry is a single independent dot
-    /// product, so the result is bit-identical at any thread count.
+    /// row of the upper triangle, in 4-column blocks, writing entries (and
+    /// their mirrors) straight into the shared output — no per-row `Vec`
+    /// and no copy pass.
+    ///
+    /// Bit-identity: every Gram entry is still exactly
+    /// `dot(column(i), column(j))` — the blocked kernel keeps four
+    /// *independent* accumulators, one per output entry, each summing in
+    /// index order, so entry values match the naive loop to the bit and
+    /// are independent of the thread count. The blocking buys instruction
+    /// parallelism (four dependent-add chains instead of one) and one
+    /// read of column `i` per four columns `j`.
+    ///
+    /// Disjointness (safety of the shared write): task `i` writes cells
+    /// `{(i, j), (j, i) : j ≥ i}`. For `i1 < i2`, a collision would need
+    /// either equal rows/cols (impossible: `i1 ≠ i2`) or `(i1, j)` to
+    /// equal some `(j', i2)` — forcing `j' = i1 ≥ i2`, a contradiction.
     pub fn gram_with(&self, exec: geoalign_exec::Executor) -> Result<DMatrix, LinalgError> {
         let k = self.cols;
-        let upper = exec.map_indexed(k, |i| {
-            (i..k)
-                .map(|j| dot(self.column(i), self.column(j)))
-                .collect::<Vec<f64>>()
-        })?;
         let mut g = DMatrix::zeros(k, k);
-        for (i, row) in upper.into_iter().enumerate() {
-            for (off, v) in row.into_iter().enumerate() {
-                let j = i + off;
-                g[(i, j)] = v;
-                g[(j, i)] = v;
-            }
+        if k == 0 {
+            return Ok(g);
         }
+        let out = crate::kernel::DisjointWriter::new(&mut g.data);
+        exec.for_each_indexed(k, |i| {
+            let ci = self.column(i);
+            let mut j = i;
+            while j + GRAM_BLOCK <= k {
+                let s = dot4(
+                    ci,
+                    self.column(j),
+                    self.column(j + 1),
+                    self.column(j + 2),
+                    self.column(j + 3),
+                );
+                for (off, &v) in s.iter().enumerate() {
+                    let jj = j + off;
+                    // SAFETY: in bounds (i, jj < k); disjoint across tasks
+                    // per the proof in the doc comment above.
+                    unsafe {
+                        out.write(jj * k + i, v); // g[(i, jj)]
+                        out.write(i * k + jj, v); // g[(jj, i)]
+                    }
+                }
+                j += GRAM_BLOCK;
+            }
+            while j < k {
+                let v = dot(ci, self.column(j));
+                // SAFETY: as above.
+                unsafe {
+                    out.write(j * k + i, v);
+                    out.write(i * k + j, v);
+                }
+                j += 1;
+            }
+        })?;
         Ok(g)
     }
 
@@ -158,6 +229,62 @@ impl DMatrix {
     pub fn frobenius_norm(&self) -> f64 {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
+
+    /// Reshapes in place to `rows × cols` with every entry zero, reusing
+    /// the existing allocation when capacity allows — the scratch-arena
+    /// resize primitive.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Becomes a copy of `src`, reusing this matrix's allocation (unlike
+    /// `clone_from`, which would reallocate via `Clone`).
+    pub fn copy_from(&mut self, src: &DMatrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Becomes the horizontal concatenation of `src`'s columns `idx`,
+    /// reusing this matrix's allocation — the scratch form of
+    /// [`DMatrix::from_columns`] for passive-set submatrix selection.
+    pub fn copy_columns_from(&mut self, src: &DMatrix, idx: &[usize]) {
+        self.rows = src.rows;
+        self.cols = idx.len();
+        self.data.clear();
+        for &j in idx {
+            self.data.extend_from_slice(src.column(j));
+        }
+    }
+}
+
+/// Column-block width of the tiled Gram kernel: entries are produced
+/// four at a time from one pass over column `i`.
+const GRAM_BLOCK: usize = 4;
+
+/// Four dot products against a common left vector in one pass. Each
+/// accumulator sums `a[t] * b?[t]` in index order starting from zero —
+/// exactly the fold [`dot`] performs — so each of the four results is
+/// bit-identical to the corresponding standalone `dot` call.
+#[inline]
+fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    debug_assert!(a.len() == b0.len() && a.len() == b1.len());
+    debug_assert!(a.len() == b2.len() && a.len() == b3.len());
+    // Accumulators start at -0.0, the additive identity `Sum<f64>` folds
+    // from, so each lane is bitwise identical to a `dot` call — including
+    // the empty-slice and all-(-0.0) cases.
+    let (mut s0, mut s1, mut s2, mut s3) = (-0.0f64, -0.0f64, -0.0f64, -0.0f64);
+    for ((((&ai, &x0), &x1), &x2), &x3) in a.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+        s0 += ai * x0;
+        s1 += ai * x1;
+        s2 += ai * x2;
+        s3 += ai * x3;
+    }
+    [s0, s1, s2, s3]
 }
 
 impl std::ops::Index<(usize, usize)> for DMatrix {
@@ -284,83 +411,11 @@ pub struct HouseholderQr {
 impl HouseholderQr {
     /// Factorizes `a` (requires `nrows >= ncols` and at least one column).
     pub fn new(a: &DMatrix) -> Result<Self, LinalgError> {
-        let (m, n) = (a.nrows(), a.ncols());
-        if n == 0 || m == 0 {
-            return Err(LinalgError::Empty);
-        }
-        if m < n {
-            return Err(LinalgError::ShapeMismatch {
-                op: "qr",
-                left: (m, n),
-                right: (n, n),
-            });
-        }
         let mut qr = a.clone();
-        let mut tau = vec![0.0; n];
-        for k in 0..n {
-            // Householder vector for column k, rows k..m.
-            let col = qr.column(k);
-            let alpha = norm2(&col[k..]);
-            if alpha == 0.0 {
-                tau[k] = 0.0;
-                continue;
-            }
-            let akk = col[k];
-            let beta = if akk >= 0.0 { -alpha } else { alpha };
-            let ck = qr.column_mut(k);
-            ck[k] = akk - beta;
-            let vnorm_sq: f64 = ck[k..].iter().map(|v| v * v).sum();
-            tau[k] = 2.0 / vnorm_sq;
-            // Apply the reflector to the remaining columns.
-            // Copy v to avoid aliasing (v lives in column k).
-            let v: Vec<f64> = qr.column(k)[k..].to_vec();
-            for j in (k + 1)..n {
-                let cj = qr.column_mut(j);
-                let w = tau[k] * dot(&v, &cj[k..]);
-                for (c, &vi) in cj[k..].iter_mut().zip(&v) {
-                    *c -= w * vi;
-                }
-            }
-            // Store beta (the R diagonal) at (k, k); the Householder vector
-            // occupies rows k+1..m of column k, with v[0] remembered via
-            // tau normalization: we keep v as-is but overwrite position k
-            // with beta and stash v0 implicitly by rescaling tau.
-            // Simpler: rescale the stored vector so v0 = 1.
-            let v0 = v[0];
-            if v0 != 0.0 {
-                let ck = qr.column_mut(k);
-                for c in ck[k + 1..].iter_mut() {
-                    *c /= v0;
-                }
-                tau[k] *= v0 * v0;
-                ck[k] = beta;
-            } else {
-                qr.column_mut(k)[k] = beta;
-            }
-        }
+        let mut tau = Vec::new();
+        let mut v = Vec::new();
+        householder_factor(&mut qr, &mut tau, &mut v)?;
         Ok(Self { qr, tau })
-    }
-
-    /// Applies `Qᵀ` to `b` in place.
-    fn apply_qt(&self, b: &mut [f64]) {
-        let (m, n) = (self.qr.nrows(), self.qr.ncols());
-        debug_assert_eq!(b.len(), m);
-        for k in 0..n {
-            if self.tau[k] == 0.0 {
-                continue;
-            }
-            // v = [1, qr[k+1.., k]].
-            let col = self.qr.column(k);
-            let mut w = b[k];
-            for (bi, &vi) in b[k + 1..m].iter().zip(&col[k + 1..m]) {
-                w += bi * vi;
-            }
-            w *= self.tau[k];
-            b[k] -= w;
-            for (bi, &vi) in b[k + 1..m].iter_mut().zip(&col[k + 1..m]) {
-                *bi -= w * vi;
-            }
-        }
     }
 
     /// Solves the least-squares problem `min ||A x - b||²`.
@@ -374,27 +429,140 @@ impl HouseholderQr {
             });
         }
         let mut y = b.to_vec();
-        self.apply_qt(&mut y);
-        // Back substitution on R (upper n×n block). A diagonal entry that is
-        // negligibly small relative to the largest one signals (numerical)
-        // rank deficiency.
-        let rmax = (0..n).map(|i| self.qr[(i, i)].abs()).fold(0.0f64, f64::max);
-        let tol = rmax * (self.qr.nrows().max(n) as f64) * 16.0 * f64::EPSILON;
         let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut s = y[i];
-            #[allow(clippy::needless_range_loop)] // x[j] is being built in place
-            for j in (i + 1)..n {
-                s -= self.qr[(i, j)] * x[j];
-            }
-            let rii = self.qr[(i, i)];
-            if rii.abs() <= tol {
-                return Err(LinalgError::Singular);
-            }
-            x[i] = s / rii;
-        }
+        householder_solve_into(&self.qr, &self.tau, &mut y, &mut x)?;
         Ok(x)
     }
+}
+
+/// In-place Householder factorization: `qr` holds the input matrix on
+/// entry and the packed factors (R in the upper triangle, unit-scaled
+/// reflectors below) on exit. `tau` receives the Householder scalars and
+/// `v` is reflector scratch, both reused across calls — the
+/// allocation-free core behind [`HouseholderQr::new`] and the solver
+/// scratch paths. Requires `nrows >= ncols >= 1`.
+pub(crate) fn householder_factor(
+    qr: &mut DMatrix,
+    tau: &mut Vec<f64>,
+    v: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
+    let (m, n) = (qr.nrows(), qr.ncols());
+    if n == 0 || m == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if m < n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "qr",
+            left: (m, n),
+            right: (n, n),
+        });
+    }
+    tau.clear();
+    tau.resize(n, 0.0);
+    for k in 0..n {
+        // Householder vector for column k, rows k..m.
+        let col = qr.column(k);
+        let alpha = norm2(&col[k..]);
+        if alpha == 0.0 {
+            tau[k] = 0.0;
+            continue;
+        }
+        let akk = col[k];
+        let beta = if akk >= 0.0 { -alpha } else { alpha };
+        let ck = qr.column_mut(k);
+        ck[k] = akk - beta;
+        let vnorm_sq: f64 = ck[k..].iter().map(|q| q * q).sum();
+        tau[k] = 2.0 / vnorm_sq;
+        // Apply the reflector to the remaining columns.
+        // Copy v to avoid aliasing (v lives in column k).
+        v.clear();
+        v.extend_from_slice(&qr.column(k)[k..]);
+        for j in (k + 1)..n {
+            let cj = qr.column_mut(j);
+            let w = tau[k] * dot(v, &cj[k..]);
+            for (c, &vi) in cj[k..].iter_mut().zip(v.iter()) {
+                *c -= w * vi;
+            }
+        }
+        // Store beta (the R diagonal) at (k, k); the Householder vector
+        // occupies rows k+1..m of column k, with v[0] remembered via
+        // tau normalization: we keep v as-is but overwrite position k
+        // with beta and stash v0 implicitly by rescaling tau.
+        // Simpler: rescale the stored vector so v0 = 1.
+        let v0 = v[0];
+        if v0 != 0.0 {
+            let ck = qr.column_mut(k);
+            for c in ck[k + 1..].iter_mut() {
+                *c /= v0;
+            }
+            tau[k] *= v0 * v0;
+            ck[k] = beta;
+        } else {
+            qr.column_mut(k)[k] = beta;
+        }
+    }
+    Ok(())
+}
+
+/// Applies `Qᵀ` (from packed factors) to `b` in place.
+fn householder_apply_qt(qr: &DMatrix, tau: &[f64], b: &mut [f64]) {
+    let (m, n) = (qr.nrows(), qr.ncols());
+    debug_assert_eq!(b.len(), m);
+    for k in 0..n {
+        if tau[k] == 0.0 {
+            continue;
+        }
+        // v = [1, qr[k+1.., k]].
+        let col = qr.column(k);
+        let mut w = b[k];
+        for (bi, &vi) in b[k + 1..m].iter().zip(&col[k + 1..m]) {
+            w += bi * vi;
+        }
+        w *= tau[k];
+        b[k] -= w;
+        for (bi, &vi) in b[k + 1..m].iter_mut().zip(&col[k + 1..m]) {
+            *bi -= w * vi;
+        }
+    }
+}
+
+/// Least-squares solve from packed Householder factors: `y` holds `b` on
+/// entry and is clobbered; the solution lands in `x` (length `ncols`).
+/// The allocation-free core behind [`HouseholderQr::solve`].
+pub(crate) fn householder_solve_into(
+    qr: &DMatrix,
+    tau: &[f64],
+    y: &mut [f64],
+    x: &mut [f64],
+) -> Result<(), LinalgError> {
+    let (m, n) = (qr.nrows(), qr.ncols());
+    if y.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            op: "qr_solve",
+            left: (m, n),
+            right: (y.len(), 1),
+        });
+    }
+    debug_assert_eq!(x.len(), n);
+    householder_apply_qt(qr, tau, y);
+    // Back substitution on R (upper n×n block). A diagonal entry that is
+    // negligibly small relative to the largest one signals (numerical)
+    // rank deficiency.
+    let rmax = (0..n).map(|i| qr[(i, i)].abs()).fold(0.0f64, f64::max);
+    let tol = rmax * (m.max(n) as f64) * 16.0 * f64::EPSILON;
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        #[allow(clippy::needless_range_loop)] // x[j] is being built in place
+        for j in (i + 1)..n {
+            s -= qr[(i, j)] * x[j];
+        }
+        let rii = qr[(i, i)];
+        if rii.abs() <= tol {
+            return Err(LinalgError::Singular);
+        }
+        x[i] = s / rii;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,76 @@
+//! Shared plumbing for parallel kernels that write disjoint index sets
+//! of one preallocated output buffer.
+//!
+//! The executor's determinism contract makes every task's *value* a pure
+//! function of the input, so the only thing standing between a kernel
+//! and a zero-copy parallel write is the aliasing rule: `&mut [f64]`
+//! cannot be shared across worker closures. [`DisjointWriter`] is the
+//! narrow escape hatch — a write-only raw-pointer view whose safety
+//! argument is carried by each kernel's disjointness proof (documented
+//! at the call sites in `dense.rs` / `sparse.rs`).
+
+use std::marker::PhantomData;
+
+/// Write-only view of an output slice that parallel tasks write
+/// *disjoint* index sets into.
+///
+/// Soundness rests on three facts: the view permits writes only (no task
+/// ever reads through it), each kernel proves no element index is
+/// written by two different tasks, and the executor joins every worker
+/// before the mutable borrow this view was built from ends.
+pub(crate) struct DisjointWriter<'a> {
+    ptr: *mut f64,
+    len: usize,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: per the type-level contract above, concurrent tasks never
+// touch the same element and never read, so sharing the view across
+// worker threads cannot produce a data race.
+unsafe impl Send for DisjointWriter<'_> {}
+unsafe impl Sync for DisjointWriter<'_> {}
+
+impl<'a> DisjointWriter<'a> {
+    /// Wraps `out` for the duration of one parallel job.
+    pub(crate) fn new(out: &'a mut [f64]) -> Self {
+        Self {
+            ptr: out.as_mut_ptr(),
+            len: out.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds, and across the whole parallel job no
+    /// element index may be written by more than one task. (One task
+    /// writing the same index repeatedly is fine — tasks are
+    /// single-threaded.)
+    #[inline]
+    pub(crate) unsafe fn write(&self, index: usize, value: f64) {
+        debug_assert!(index < self.len);
+        // SAFETY: in bounds per the caller contract; no concurrent access
+        // to this element per the disjointness contract.
+        unsafe { *self.ptr.add(index) = value };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut out = vec![0.0f64; 257];
+        let writer = DisjointWriter::new(&mut out);
+        geoalign_exec::Executor::new(8)
+            .for_each_indexed(257, |i| {
+                // SAFETY: task i writes index i only — trivially disjoint.
+                unsafe { writer.write(i, i as f64 + 0.5) };
+            })
+            .unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as f64 + 0.5));
+    }
+}

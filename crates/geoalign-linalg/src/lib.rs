@@ -9,13 +9,17 @@
 //! * [`CooMatrix`], [`CsrMatrix`] — sparse builders and compute format;
 //! * [`nnls()`] — Lawson–Hanson non-negative least squares;
 //! * [`simplex_ls`] — two independent solvers for Eq. 15;
+//! * [`SolverScratch`] — reusable buffer arena that makes repeated
+//!   solves allocation-free on the hot path;
 //! * [`stats`] — RMSE/NRMSE, Pearson correlation, quantiles.
 
 #![warn(missing_docs)]
 
 pub mod dense;
 pub mod error;
+mod kernel;
 pub mod nnls;
+pub mod scratch;
 pub mod simplex_ls;
 pub mod sparse;
 pub mod stats;
@@ -23,5 +27,6 @@ pub mod stats;
 pub use dense::{Cholesky, DMatrix, HouseholderQr};
 pub use error::LinalgError;
 pub use nnls::{nnls, NnlsSolution};
+pub use scratch::SolverScratch;
 pub use simplex_ls::{SimplexLsSolution, SimplexSolver};
 pub use sparse::{CooMatrix, CsrMatrix};

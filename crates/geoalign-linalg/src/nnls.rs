@@ -4,8 +4,9 @@
 //! behind the simplex-constrained weight learning of Eq. 15: the equality
 //! constraint is handled by the wrapper in [`crate::simplex_ls`].
 
-use crate::dense::{DMatrix, HouseholderQr};
+use crate::dense::{householder_factor, householder_solve_into, DMatrix};
 use crate::error::LinalgError;
+use crate::scratch::SolverScratch;
 
 /// Result of an NNLS solve.
 #[derive(Debug, Clone)]
@@ -24,6 +25,18 @@ pub struct NnlsSolution {
 /// steps for any full-rank passive subproblem sequence; a generous
 /// iteration cap guards degenerate inputs.
 pub fn nnls(a: &DMatrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
+    nnls_scratch(a, b, &mut SolverScratch::new())
+}
+
+/// [`nnls`] through a reusable [`SolverScratch`]: identical arithmetic
+/// in the identical order — the result is bit-for-bit the same — but a
+/// steady-state iteration performs zero heap allocations. The only
+/// allocation left is the returned `x`.
+pub fn nnls_scratch(
+    a: &DMatrix,
+    b: &[f64],
+    scratch: &mut SolverScratch,
+) -> Result<NnlsSolution, LinalgError> {
     let (m, n) = (a.nrows(), a.ncols());
     if m == 0 || n == 0 {
         return Err(LinalgError::Empty);
@@ -38,11 +51,32 @@ pub fn nnls(a: &DMatrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
     if b.iter().any(|v| !v.is_finite()) {
         return Err(LinalgError::NonFinite);
     }
+    let iterations = nnls_iterate(a, b, scratch)?;
+    // Output allocation: the final iterate.
+    let mut x = Vec::with_capacity(n);
+    x.extend_from_slice(&scratch.x_nnls);
+    let residual_norm = crate::dense::norm2(&scratch.resid);
+    Ok(NnlsSolution {
+        x,
+        residual_norm,
+        iterations,
+    })
+}
 
-    let mut x = vec![0.0; n];
-    let mut passive = vec![false; n];
-    // Gradient of ½||Ax−b||² is Aᵀ(Ax−b); w = −gradient = Aᵀ(b−Ax).
-    let mut resid: Vec<f64> = b.to_vec(); // b - A x (x = 0 initially)
+/// The Lawson–Hanson loop on preallocated buffers; leaves the final
+/// iterate in `s.x_nnls` and the residual in `s.resid`, returning the
+/// outer iteration count. Zero heap allocations once the arena has grown
+/// to the problem size (enforced by check.sh's hot-loop gate — keep
+/// `.clone()`/`to_vec()`/`vec![` out of here).
+fn nnls_iterate(a: &DMatrix, b: &[f64], s: &mut SolverScratch) -> Result<usize, LinalgError> {
+    let (m, n) = (a.nrows(), a.ncols());
+    s.x_nnls.clear();
+    s.x_nnls.resize(n, 0.0);
+    s.support.clear();
+    s.support.resize(n, false); // the passive set
+                                // Gradient of ½||Ax−b||² is Aᵀ(Ax−b); w = −gradient = Aᵀ(b−Ax).
+    s.resid.clear();
+    s.resid.extend_from_slice(b); // b - A x (x = 0 initially)
     let max_iter = 3 * n + 30;
     let mut iterations = 0;
 
@@ -55,11 +89,15 @@ pub fn nnls(a: &DMatrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
         if iterations > max_iter {
             return Err(LinalgError::DidNotConverge { iterations });
         }
-        let w = a.tr_matvec(&resid)?;
+        s.grad.clear();
+        s.grad.resize(n, 0.0);
+        a.tr_matvec_into(&s.resid, &mut s.grad)?;
+        let w = &s.grad;
         // Pick the most violated KKT multiplier among active constraints.
         let mut best: Option<(usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)] // lockstep over support + w
         for j in 0..n {
-            if !passive[j] && w[j] > tol {
+            if !s.support[j] && w[j] > tol {
                 match best {
                     Some((_, bw)) if w[j] <= bw => {}
                     _ => best = Some((j, w[j])),
@@ -69,39 +107,53 @@ pub fn nnls(a: &DMatrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
         let Some((enter, _)) = best else {
             break; // KKT satisfied
         };
-        passive[enter] = true;
+        s.support[enter] = true;
 
         // Inner loop: solve the unconstrained LS on the passive set and
         // backtrack while any passive coordinate would go negative.
         loop {
-            let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
-            let cols: Vec<Vec<f64>> = idx.iter().map(|&j| a.column(j).to_vec()).collect();
-            let sub = DMatrix::from_columns(&cols)?;
-            let z_sub = match HouseholderQr::new(&sub)?.solve(b) {
-                Ok(z) => z,
+            {
+                let (idx, passive) = (&mut s.idx, &s.support);
+                idx.clear();
+                idx.extend((0..n).filter(|&j| passive[j]));
+            }
+            s.sub.copy_columns_from(a, &s.idx);
+            s.kkt.qr.copy_from(&s.sub);
+            householder_factor(&mut s.kkt.qr, &mut s.kkt.tau, &mut s.kkt.v)?;
+            s.kkt.y.clear();
+            s.kkt.y.extend_from_slice(b);
+            s.kkt.sol.clear();
+            s.kkt.sol.resize(s.idx.len(), 0.0);
+            match householder_solve_into(&s.kkt.qr, &s.kkt.tau, &mut s.kkt.y, &mut s.kkt.sol) {
+                Ok(()) => {}
                 Err(LinalgError::Singular) => {
                     // The entering column is linearly dependent on the
                     // passive set; drop it and accept the current iterate.
-                    passive[enter] = false;
+                    s.support[enter] = false;
                     break;
                 }
                 Err(e) => return Err(e),
-            };
-            let mut z = vec![0.0; n];
-            for (&j, &v) in idx.iter().zip(&z_sub) {
-                z[j] = v;
             }
-            if idx.iter().all(|&j| z[j] > 0.0) {
-                x = z;
+            s.zfull.clear();
+            s.zfull.resize(n, 0.0);
+            for (&j, &v) in s.idx.iter().zip(&s.kkt.sol) {
+                s.zfull[j] = v;
+            }
+            let z = &s.zfull;
+            if s.idx.iter().all(|&j| z[j] > 0.0) {
+                // The historical loop moved z into x; the double-buffer
+                // swap produces the same values with no copy (zfull is
+                // fully rebuilt each inner iteration).
+                std::mem::swap(&mut s.x_nnls, &mut s.zfull);
                 break;
             }
             // Step from x toward z, stopping at the first boundary.
             let mut alpha = f64::INFINITY;
-            for &j in &idx {
+            for &j in &s.idx {
                 if z[j] <= 0.0 {
-                    let denom = x[j] - z[j];
+                    let denom = s.x_nnls[j] - z[j];
                     if denom > 0.0 {
-                        alpha = alpha.min(x[j] / denom);
+                        alpha = alpha.min(s.x_nnls[j] / denom);
                     }
                 }
             }
@@ -109,34 +161,30 @@ pub fn nnls(a: &DMatrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
                 alpha = 0.0;
             }
             for j in 0..n {
-                if passive[j] {
-                    x[j] += alpha * (z[j] - x[j]);
+                if s.support[j] {
+                    s.x_nnls[j] += alpha * (s.zfull[j] - s.x_nnls[j]);
                 }
             }
             // Move coordinates that hit zero back to the active set.
             for j in 0..n {
-                if passive[j] && x[j] <= tol.max(f64::EPSILON) {
-                    x[j] = 0.0;
-                    passive[j] = false;
+                if s.support[j] && s.x_nnls[j] <= tol.max(f64::EPSILON) {
+                    s.x_nnls[j] = 0.0;
+                    s.support[j] = false;
                 }
             }
-            if !passive.iter().any(|&p| p) {
+            if !s.support.iter().any(|&p| p) {
                 break;
             }
         }
         // Refresh the residual.
-        let ax = a.matvec(&x)?;
-        for (r, (&bi, &axi)) in resid.iter_mut().zip(b.iter().zip(&ax)) {
+        s.ax.clear();
+        s.ax.resize(m, 0.0);
+        a.matvec_into(&s.x_nnls, &mut s.ax)?;
+        for (r, (&bi, &axi)) in s.resid.iter_mut().zip(b.iter().zip(&s.ax)) {
             *r = bi - axi;
         }
     }
-
-    let residual_norm = crate::dense::norm2(&resid);
-    Ok(NnlsSolution {
-        x,
-        residual_norm,
-        iterations,
-    })
+    Ok(iterations)
 }
 
 /// Verifies the KKT conditions of an NNLS solution up to `tol`:

@@ -1,0 +1,140 @@
+//! Reusable buffer arenas for the solver hot paths.
+//!
+//! Every simplex-LS / NNLS solve needs a dozen working vectors (iterates,
+//! gradients, KKT systems, Householder factors). Allocating them per call
+//! made the solvers allocation-bound at the paper's reference counts
+//! (k ≤ 10, where the linear algebra itself is a handful of tiny dot
+//! products). [`SolverScratch`] owns all of them; the `*_scratch` solver
+//! entry points thread one arena through, and the arena's buffers grow to
+//! their high-water mark once and are then reused — a steady-state solver
+//! iteration performs **zero heap allocations**.
+//!
+//! Ownership rules (also DESIGN.md §15):
+//!
+//! * An arena belongs to one thread. Parallel batch paths create one per
+//!   worker via `Executor::run_tasks_with`, never share one.
+//! * Buffers carry **capacity** between calls, never values: every
+//!   `*_scratch` core fully overwrites a buffer (clear + resize/extend)
+//!   before reading it, so results are bit-identical whatever a previous
+//!   solve left behind.
+//! * Dropping the arena releases everything; there is no trim API because
+//!   the high-water mark is bounded by the largest problem shape seen.
+
+use crate::dense::DMatrix;
+
+/// Packed buffers for one bordered-KKT (or passive-set) factor/solve:
+/// the assembled system, its in-place Householder factorization, and the
+/// right-hand-side / solution vectors.
+#[derive(Debug)]
+pub(crate) struct KktScratch {
+    /// The assembled KKT (or passive-column) matrix.
+    pub(crate) kkt: DMatrix,
+    /// In-place Householder factors of `kkt` (or its ridge fallback).
+    pub(crate) qr: DMatrix,
+    /// Householder scalars.
+    pub(crate) tau: Vec<f64>,
+    /// Reflector scratch for the factorization.
+    pub(crate) v: Vec<f64>,
+    /// Right-hand side of the system.
+    pub(crate) rhs: Vec<f64>,
+    /// Solve clobber buffer (`Qᵀ` is applied to it in place).
+    pub(crate) y: Vec<f64>,
+    /// Solution vector.
+    pub(crate) sol: Vec<f64>,
+}
+
+impl KktScratch {
+    fn new() -> Self {
+        KktScratch {
+            kkt: DMatrix::zeros(0, 0),
+            qr: DMatrix::zeros(0, 0),
+            tau: Vec::new(),
+            v: Vec::new(),
+            rhs: Vec::new(),
+            y: Vec::new(),
+            sol: Vec::new(),
+        }
+    }
+}
+
+/// Reusable working memory for the simplex-LS and NNLS solvers.
+///
+/// Create one (cheap — every buffer starts empty), then pass it to the
+/// `*_scratch` solver entry points ([`crate::simplex_ls::solve_gram_scratch`],
+/// [`crate::nnls::nnls_scratch`]). See the module docs for the ownership
+/// and bit-identity rules.
+#[derive(Debug)]
+pub struct SolverScratch {
+    // Shared across solvers.
+    /// Gradient / dual-violation buffer.
+    pub(crate) grad: Vec<f64>,
+    /// `G·β` product buffer for objective evaluation.
+    pub(crate) gb: Vec<f64>,
+    /// Active / passive index list.
+    pub(crate) idx: Vec<usize>,
+    /// KKT / passive-set factor-solve buffers.
+    pub(crate) kkt: KktScratch,
+    // FISTA (projected gradient).
+    /// Current iterate.
+    pub(crate) x: Vec<f64>,
+    /// Momentum iterate.
+    pub(crate) yk: Vec<f64>,
+    /// Next iterate (double-buffered against `x`).
+    pub(crate) x_next: Vec<f64>,
+    /// Pre-projection step target.
+    pub(crate) z: Vec<f64>,
+    /// Iterate difference for the stall test and momentum.
+    pub(crate) diff: Vec<f64>,
+    /// Best feasible iterate seen (FISTA is not monotone).
+    pub(crate) best: Vec<f64>,
+    /// Simplex-projection sort buffer.
+    pub(crate) u: Vec<f64>,
+    // Active set.
+    /// Active-set iterate.
+    pub(crate) xas: Vec<f64>,
+    /// Support membership flags.
+    pub(crate) support: Vec<bool>,
+    // NNLS (Lawson–Hanson).
+    /// NNLS iterate.
+    pub(crate) x_nnls: Vec<f64>,
+    /// Residual `b − Ax`.
+    pub(crate) resid: Vec<f64>,
+    /// Passive-column submatrix.
+    pub(crate) sub: DMatrix,
+    /// Full-length trial point scattered from the passive solve.
+    pub(crate) zfull: Vec<f64>,
+    /// `A·x` product buffer.
+    pub(crate) ax: Vec<f64>,
+}
+
+impl SolverScratch {
+    /// An empty arena; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        SolverScratch {
+            grad: Vec::new(),
+            gb: Vec::new(),
+            idx: Vec::new(),
+            kkt: KktScratch::new(),
+            x: Vec::new(),
+            yk: Vec::new(),
+            x_next: Vec::new(),
+            z: Vec::new(),
+            diff: Vec::new(),
+            best: Vec::new(),
+            u: Vec::new(),
+            xas: Vec::new(),
+            support: Vec::new(),
+            x_nnls: Vec::new(),
+            resid: Vec::new(),
+            sub: DMatrix::zeros(0, 0),
+            zfull: Vec::new(),
+            ax: Vec::new(),
+        }
+    }
+}
+
+impl Default for SolverScratch {
+    fn default() -> Self {
+        SolverScratch::new()
+    }
+}

@@ -17,9 +17,10 @@
 //! Tests assert the two agree, giving mutual validation without an external
 //! reference implementation.
 
-use crate::dense::{axpy, dot, norm2, DMatrix, HouseholderQr};
+use crate::dense::{axpy, dot, householder_factor, householder_solve_into, norm2, DMatrix};
 
 use crate::error::LinalgError;
+use crate::scratch::{KktScratch, SolverScratch};
 
 /// Result of a simplex-constrained least-squares solve.
 #[derive(Debug, Clone)]
@@ -156,22 +157,38 @@ impl GramSystem {
         self.frobenius
     }
 
-    /// `½ ||Aβ − b||²` expressed through the Gram state:
-    /// `½ βᵀGβ − βᵀ(Aᵀb) + ½ bᵀb`.
-    fn objective(&self, beta: &[f64], atb: &[f64], btb: f64) -> Result<f64, LinalgError> {
-        let gb = self.gram.matvec(beta)?;
-        let quad = dot(beta, &gb);
+    /// `½ ||Aβ − b||²` expressed through the Gram state
+    /// (`½ βᵀGβ − βᵀ(Aᵀb) + ½ bᵀb`) through a reusable `Gβ` buffer —
+    /// the allocation-free form the scratch solvers call every iteration.
+    fn objective_scratch(
+        &self,
+        beta: &[f64],
+        atb: &[f64],
+        btb: f64,
+        gb: &mut Vec<f64>,
+    ) -> Result<f64, LinalgError> {
+        gb.clear();
+        gb.resize(beta.len(), 0.0);
+        self.gram.matvec_into(beta, gb)?;
+        let quad = dot(beta, gb);
         let lin = dot(beta, atb);
         Ok(0.5 * quad - lin + 0.5 * btb)
     }
 
-    /// Gradient `Aᵀ(Aβ − b) = Gβ − Aᵀb`.
-    fn gradient(&self, beta: &[f64], atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        let mut g = self.gram.matvec(beta)?;
-        for (gi, ci) in g.iter_mut().zip(atb) {
+    /// Gradient `Aᵀ(Aβ − b) = Gβ − Aᵀb` into a reusable buffer.
+    fn gradient_into(
+        &self,
+        beta: &[f64],
+        atb: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        out.clear();
+        out.resize(beta.len(), 0.0);
+        self.gram.matvec_into(beta, out)?;
+        for (gi, ci) in out.iter_mut().zip(atb) {
             *gi -= ci;
         }
-        Ok(g)
+        Ok(())
     }
 }
 
@@ -193,9 +210,20 @@ fn validate_rhs(gs: &GramSystem, atb: &[f64], btb: f64) -> Result<(), LinalgErro
 /// Euclidean projection of `v` onto the probability simplex
 /// `{ x : x >= 0, Σx = 1 }` (Duchi, Shalev-Shwartz, Singer, Chandra 2008).
 pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
+    let mut u = Vec::new();
+    let mut out = Vec::new();
+    project_to_simplex_into(v, &mut u, &mut out);
+    out
+}
+
+/// [`project_to_simplex`] through reusable buffers: `u` is the sort
+/// scratch, `out` receives the projection. The allocation-free form the
+/// FISTA loop calls every iteration.
+fn project_to_simplex_into(v: &[f64], u: &mut Vec<f64>, out: &mut Vec<f64>) {
     let n = v.len();
     assert!(n > 0, "cannot project an empty vector");
-    let mut u: Vec<f64> = v.to_vec();
+    u.clear();
+    u.extend_from_slice(v);
     u.sort_by(|a, b| b.total_cmp(a)); // descending
     let mut css = 0.0;
     let mut rho = 0usize;
@@ -209,7 +237,8 @@ pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
         }
     }
     debug_assert!(rho > 0);
-    v.iter().map(|&vi| (vi - theta).max(0.0)).collect()
+    out.clear();
+    out.extend(v.iter().map(|&vi| (vi - theta).max(0.0)));
 }
 
 /// Solves Eq. 15 by FISTA with simplex projection.
@@ -265,7 +294,47 @@ pub fn solve_projected_gradient_gram(
     max_iter: usize,
     tol: f64,
 ) -> Result<SimplexLsSolution, LinalgError> {
+    solve_projected_gradient_gram_scratch(gs, atb, btb, max_iter, tol, &mut SolverScratch::new())
+}
+
+/// [`solve_projected_gradient_gram`] through a reusable
+/// [`SolverScratch`]: identical arithmetic in the identical order — the
+/// result is bit-for-bit the same — but a steady-state iteration
+/// performs zero heap allocations. The only allocation left is the
+/// returned `beta`.
+pub fn solve_projected_gradient_gram_scratch(
+    gs: &GramSystem,
+    atb: &[f64],
+    btb: f64,
+    max_iter: usize,
+    tol: f64,
+    scratch: &mut SolverScratch,
+) -> Result<SimplexLsSolution, LinalgError> {
     validate_rhs(gs, atb, btb)?;
+    let iterations = fista_iterate(gs, atb, btb, max_iter, tol, scratch)?;
+    // Output allocation: the best iterate, re-projected exactly as the
+    // historical implementation did.
+    let beta = project_to_simplex(&scratch.best);
+    let objective = gs.objective_scratch(&beta, atb, btb, &mut scratch.gb)?;
+    Ok(SimplexLsSolution {
+        beta,
+        objective,
+        iterations,
+    })
+}
+
+/// The FISTA loop on preallocated buffers; leaves the best iterate in
+/// `s.best` and returns the iteration count. Zero heap allocations once
+/// the arena has grown to the problem size (enforced by check.sh's
+/// hot-loop gate — keep `.clone()`/`to_vec()`/`vec![` out of here).
+fn fista_iterate(
+    gs: &GramSystem,
+    atb: &[f64],
+    btb: f64,
+    max_iter: usize,
+    tol: f64,
+    s: &mut SolverScratch,
+) -> Result<usize, LinalgError> {
     let n = gs.n();
 
     // Lipschitz constant of the gradient: λ_max(AᵀA). Power iteration only
@@ -283,10 +352,10 @@ pub fn solve_projected_gradient_gram(
     }
     let step = 1.0 / lmax.max(f64::MIN_POSITIVE);
 
-    let objective = |beta: &[f64]| -> Result<f64, LinalgError> { gs.objective(beta, atb, btb) };
-
-    let mut x = vec![1.0 / n as f64; n];
-    let mut y = x.clone();
+    s.x.clear();
+    s.x.resize(n, 1.0 / n as f64);
+    s.yk.clear();
+    s.yk.extend_from_slice(&s.x);
     let mut t = 1.0f64;
     let mut iterations = 0;
     let scale = btb.sqrt().max(1.0);
@@ -294,20 +363,23 @@ pub fn solve_projected_gradient_gram(
     // restart the momentum when the objective rises (O'Donoghue–Candès
     // adaptive restart), which restores monotone-ish behavior without
     // giving up acceleration.
-    let mut best = x.clone();
-    let mut best_obj = objective(&x)?;
+    s.best.clear();
+    s.best.extend_from_slice(&s.x);
+    let mut best_obj = gs.objective_scratch(&s.x, atb, btb, &mut s.gb)?;
     let mut prev_obj = best_obj;
     for _ in 0..max_iter {
         iterations += 1;
         // Gradient at y: Aᵀ(Ay − b) = Gy − Aᵀb.
-        let grad = gs.gradient(&y, atb)?;
-        let mut z: Vec<f64> = y.clone();
-        axpy(-step, &grad, &mut z);
-        let x_next = project_to_simplex(&z);
-        let obj = objective(&x_next)?;
+        gs.gradient_into(&s.yk, atb, &mut s.grad)?;
+        s.z.clear();
+        s.z.extend_from_slice(&s.yk);
+        axpy(-step, &s.grad, &mut s.z);
+        project_to_simplex_into(&s.z, &mut s.u, &mut s.x_next);
+        let obj = gs.objective_scratch(&s.x_next, atb, btb, &mut s.gb)?;
         if obj < best_obj {
             best_obj = obj;
-            best.clone_from(&x_next);
+            s.best.clear();
+            s.best.extend_from_slice(&s.x_next);
         }
         let restart = obj > prev_obj;
         prev_obj = obj;
@@ -317,23 +389,22 @@ pub fn solve_projected_gradient_gram(
             0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt())
         };
         let momentum = if restart { 0.0 } else { (t - 1.0) / t_next };
-        let diff: Vec<f64> = x_next.iter().zip(&x).map(|(p, q)| p - q).collect();
-        let delta = norm2(&diff);
-        y = x_next.clone();
-        axpy(momentum, &diff, &mut y);
-        x = x_next;
+        s.diff.clear();
+        s.diff.extend(s.x_next.iter().zip(&s.x).map(|(p, q)| p - q));
+        let delta = norm2(&s.diff);
+        s.yk.clear();
+        s.yk.extend_from_slice(&s.x_next);
+        axpy(momentum, &s.diff, &mut s.yk);
+        // The historical loop cloned x_next into x; the double-buffer swap
+        // produces the same values with no copy (x_next is fully rebuilt
+        // by the projection next iteration).
+        std::mem::swap(&mut s.x, &mut s.x_next);
         t = t_next;
         if delta <= tol * scale {
             break;
         }
     }
-    let beta = project_to_simplex(&best);
-    let objective = objective(&beta)?;
-    Ok(SimplexLsSolution {
-        beta,
-        objective,
-        iterations,
-    })
+    Ok(iterations)
 }
 
 /// Solves Eq. 15 exactly with an active-set method.
@@ -359,10 +430,43 @@ pub fn solve_active_set_gram(
     atb: &[f64],
     btb: f64,
 ) -> Result<SimplexLsSolution, LinalgError> {
-    validate_rhs(gs, atb, btb)?;
-    let n = gs.n();
+    solve_active_set_gram_scratch(gs, atb, btb, &mut SolverScratch::new())
+}
 
-    let objective = |beta: &[f64]| -> Result<f64, LinalgError> { gs.objective(beta, atb, btb) };
+/// [`solve_active_set_gram`] through a reusable [`SolverScratch`]:
+/// identical arithmetic in the identical order — the result is
+/// bit-for-bit the same — but a steady-state iteration performs zero
+/// heap allocations. The only allocation left is the returned `beta`.
+pub fn solve_active_set_gram_scratch(
+    gs: &GramSystem,
+    atb: &[f64],
+    btb: f64,
+    scratch: &mut SolverScratch,
+) -> Result<SimplexLsSolution, LinalgError> {
+    validate_rhs(gs, atb, btb)?;
+    let iterations = active_set_iterate(gs, atb, btb, scratch)?;
+    // Output allocation: the accepted support iterate.
+    let mut beta = Vec::with_capacity(scratch.xas.len());
+    beta.extend_from_slice(&scratch.xas);
+    let objective = gs.objective_scratch(&beta, atb, btb, &mut scratch.gb)?;
+    Ok(SimplexLsSolution {
+        beta,
+        objective,
+        iterations,
+    })
+}
+
+/// The active-set loop on preallocated buffers; leaves the final iterate
+/// in `s.xas` and returns the iteration count. Zero heap allocations
+/// once the arena has grown to the problem size (enforced by check.sh's
+/// hot-loop gate — keep `.clone()`/`to_vec()`/`vec![` out of here).
+fn active_set_iterate(
+    gs: &GramSystem,
+    atb: &[f64],
+    btb: f64,
+    s: &mut SolverScratch,
+) -> Result<usize, LinalgError> {
+    let n = gs.n();
 
     // Start from the best single vertex e_k; on a vertex the objective
     // reduces to ½G[k,k] − (Aᵀb)[k] + ½bᵀb.
@@ -375,9 +479,11 @@ pub fn solve_active_set_gram(
             best_k = k;
         }
     }
-    let mut x = vec![0.0; n];
-    x[best_k] = 1.0;
-    let mut support: Vec<bool> = (0..n).map(|j| j == best_k).collect();
+    s.xas.clear();
+    s.xas.resize(n, 0.0);
+    s.xas[best_k] = 1.0;
+    s.support.clear();
+    s.support.extend((0..n).map(|j| j == best_k));
 
     let scale = btb.sqrt().max(1.0) * gs.frobenius.max(1.0);
     let tol = 1e-12 * scale.max(1.0) * (n as f64);
@@ -389,24 +495,31 @@ pub fn solve_active_set_gram(
         // Solve the equality-constrained LS on the current support:
         //   min ||A_S z − b||²  s.t.  1ᵀz = 1
         // via the KKT system [G 1; 1ᵀ 0][z; λ] = [A_Sᵀ b; 1].
-        let idx: Vec<usize> = (0..n).filter(|&j| support[j]).collect();
-        let z = eq_constrained_ls(gs, atb, &idx)?;
-        let negative = idx.iter().enumerate().any(|(q, _)| z[q] < -tol);
+        {
+            let (idx, support) = (&mut s.idx, &s.support);
+            idx.clear();
+            idx.extend((0..n).filter(|&j| support[j]));
+        }
+        eq_constrained_ls_scratch(gs, atb, &s.idx, &mut s.kkt)?;
+        let z = &s.kkt.sol;
+        let negative = s.idx.iter().enumerate().any(|(q, _)| z[q] < -tol);
         if !negative {
             // Accept z on the support.
-            x.iter_mut().for_each(|v| *v = 0.0);
-            for (q, &j) in idx.iter().enumerate() {
-                x[j] = z[q].max(0.0);
+            s.xas.iter_mut().for_each(|v| *v = 0.0);
+            for (q, &j) in s.idx.iter().enumerate() {
+                s.xas[j] = z[q].max(0.0);
             }
-            renormalize(&mut x);
+            renormalize(&mut s.xas);
             // Check outer KKT: gradient g = Aᵀ(Ax − b) = Gx − Aᵀb; with
             // multiplier λ for the equality, optimality needs g_j >= λ for
             // all j with equality on the support. λ = min over support.
-            let g = gs.gradient(&x, atb)?;
-            let lambda = idx.iter().map(|&j| g[j]).fold(f64::INFINITY, f64::min);
+            gs.gradient_into(&s.xas, atb, &mut s.grad)?;
+            let g = &s.grad;
+            let lambda = s.idx.iter().map(|&j| g[j]).fold(f64::INFINITY, f64::min);
             let mut enter: Option<(usize, f64)> = None;
+            #[allow(clippy::needless_range_loop)] // lockstep over support + g
             for j in 0..n {
-                if !support[j] {
+                if !s.support[j] {
                     let viol = lambda - g[j]; // g_j < λ violates optimality
                     if viol > tol * 1e3 {
                         match enter {
@@ -418,87 +531,104 @@ pub fn solve_active_set_gram(
             }
             match enter {
                 Some((j, _)) => {
-                    support[j] = true;
+                    s.support[j] = true;
                     continue;
                 }
                 None => break, // optimal
             }
         }
         // Backtrack toward z until the first support coordinate hits zero.
+        let z = &s.kkt.sol;
         let mut alpha = 1.0f64;
-        for (q, &j) in idx.iter().enumerate() {
+        for (q, &j) in s.idx.iter().enumerate() {
             if z[q] < 0.0 {
-                let denom = x[j] - z[q];
+                let denom = s.xas[j] - z[q];
                 if denom > 0.0 {
-                    alpha = alpha.min(x[j] / denom);
+                    alpha = alpha.min(s.xas[j] / denom);
                 }
             }
         }
-        for (q, &j) in idx.iter().enumerate() {
-            x[j] += alpha * (z[q] - x[j]);
+        for (q, &j) in s.idx.iter().enumerate() {
+            s.xas[j] += alpha * (z[q] - s.xas[j]);
         }
         for j in 0..n {
-            if support[j] && x[j] <= tol {
-                x[j] = 0.0;
-                support[j] = false;
+            if s.support[j] && s.xas[j] <= tol {
+                s.xas[j] = 0.0;
+                s.support[j] = false;
             }
         }
-        if !support.iter().any(|&s| s) {
+        if !s.support.iter().any(|&f| f) {
             // Numerical corner: restart from the best vertex.
-            support[best_k] = true;
-            x[best_k] = 1.0;
+            s.support[best_k] = true;
+            s.xas[best_k] = 1.0;
         }
-        renormalize(&mut x);
+        renormalize(&mut s.xas);
     }
 
-    renormalize(&mut x);
-    let objective = objective(&x)?;
-    Ok(SimplexLsSolution {
-        beta: x,
-        objective,
-        iterations,
-    })
+    renormalize(&mut s.xas);
+    Ok(iterations)
 }
 
 /// Solves `min ||A_S z − b||²` s.t. `Σz = 1` on the columns `idx` via the
 /// KKT linear system, solved with QR on the bordered matrix. Works purely
 /// off the Gram state: `G_S` is a sub-block of `AᵀA` and `c = (Aᵀb)_S`.
-fn eq_constrained_ls(gs: &GramSystem, atb: &[f64], idx: &[usize]) -> Result<Vec<f64>, LinalgError> {
+/// The solution lands in `bufs.sol` (length `idx.len()`); every buffer is
+/// reused across calls, so a steady-state call allocates nothing.
+fn eq_constrained_ls_scratch(
+    gs: &GramSystem,
+    atb: &[f64],
+    idx: &[usize],
+    bufs: &mut KktScratch,
+) -> Result<(), LinalgError> {
     let k = idx.len();
     if k == 0 {
         return Err(LinalgError::Empty);
     }
     if k == 1 {
-        return Ok(vec![1.0]);
+        bufs.sol.clear();
+        bufs.sol.push(1.0);
+        return Ok(());
     }
     // KKT: [G  1][z]   [c]
     //      [1ᵀ 0][λ] = [1]
     // where G = A_Sᵀ A_S and c = A_Sᵀ b.
     let gram = gs.gram();
-    let mut kkt = DMatrix::zeros(k + 1, k + 1);
+    bufs.kkt.reshape_zeroed(k + 1, k + 1);
     for (p, &jp) in idx.iter().enumerate() {
         for (q, &jq) in idx.iter().enumerate() {
-            kkt[(p, q)] = gram[(jp, jq)];
+            bufs.kkt[(p, q)] = gram[(jp, jq)];
         }
-        kkt[(p, k)] = 1.0;
-        kkt[(k, p)] = 1.0;
+        bufs.kkt[(p, k)] = 1.0;
+        bufs.kkt[(k, p)] = 1.0;
     }
-    let mut rhs = vec![0.0; k + 1];
+    bufs.rhs.clear();
+    bufs.rhs.resize(k + 1, 0.0);
     for (p, &jp) in idx.iter().enumerate() {
-        rhs[p] = atb[jp];
+        bufs.rhs[p] = atb[jp];
     }
-    rhs[k] = 1.0;
-    let sol = HouseholderQr::new(&kkt)?.solve(&rhs).or_else(|_| {
+    bufs.rhs[k] = 1.0;
+    bufs.qr.copy_from(&bufs.kkt);
+    householder_factor(&mut bufs.qr, &mut bufs.tau, &mut bufs.v)?;
+    bufs.y.clear();
+    bufs.y.extend_from_slice(&bufs.rhs);
+    bufs.sol.clear();
+    bufs.sol.resize(k + 1, 0.0);
+    if householder_solve_into(&bufs.qr, &bufs.tau, &mut bufs.y, &mut bufs.sol).is_err() {
         // Singular KKT (duplicate columns in the support): fall back to a
         // ridge-regularized system, which picks the minimum-norm split.
-        let mut reg = kkt.clone();
-        let scale = (0..k).map(|p| reg[(p, p)].abs()).fold(0.0f64, f64::max);
+        bufs.qr.copy_from(&bufs.kkt);
+        let scale = (0..k).map(|p| bufs.qr[(p, p)].abs()).fold(0.0f64, f64::max);
         for p in 0..k {
-            reg[(p, p)] += 1e-10 * scale.max(1.0);
+            bufs.qr[(p, p)] += 1e-10 * scale.max(1.0);
         }
-        HouseholderQr::new(&reg)?.solve(&rhs)
-    })?;
-    Ok(sol[..k].to_vec())
+        householder_factor(&mut bufs.qr, &mut bufs.tau, &mut bufs.v)?;
+        bufs.y.clear();
+        bufs.y.extend_from_slice(&bufs.rhs);
+        householder_solve_into(&bufs.qr, &bufs.tau, &mut bufs.y, &mut bufs.sol)?;
+    }
+    // Drop the multiplier entry so callers read z as sol[..k].
+    bufs.sol.truncate(k);
+    Ok(())
 }
 
 /// Clamps tiny negatives to zero and rescales so the vector sums to 1.
@@ -539,11 +669,25 @@ pub fn solve_gram(
     btb: f64,
     solver: SimplexSolver,
 ) -> Result<SimplexLsSolution, LinalgError> {
+    solve_gram_scratch(gs, atb, btb, solver, &mut SolverScratch::new())
+}
+
+/// [`solve_gram`] through a reusable [`SolverScratch`] — the entry point
+/// batch-apply paths call once per objective with a per-worker arena.
+/// Results are bit-identical to [`solve_gram`] (which routes through
+/// here with a fresh arena).
+pub fn solve_gram_scratch(
+    gs: &GramSystem,
+    atb: &[f64],
+    btb: f64,
+    solver: SimplexSolver,
+    scratch: &mut SolverScratch,
+) -> Result<SimplexLsSolution, LinalgError> {
     match solver {
         SimplexSolver::ProjectedGradient => {
-            solve_projected_gradient_gram(gs, atb, btb, 2000, 1e-12)
+            solve_projected_gradient_gram_scratch(gs, atb, btb, 2000, 1e-12, scratch)
         }
-        SimplexSolver::ActiveSet => solve_active_set_gram(gs, atb, btb),
+        SimplexSolver::ActiveSet => solve_active_set_gram_scratch(gs, atb, btb, scratch),
     }
 }
 

@@ -183,14 +183,36 @@ impl CsrMatrix {
         self.matvec_with(x, geoalign_exec::Executor::global())
     }
 
-    /// [`CsrMatrix::matvec`] on an explicit executor. Rows fan out in
-    /// chunks; each output entry is an independent row gather, so the
-    /// result is bit-identical at any thread count.
+    /// [`CsrMatrix::matvec`] on an explicit executor.
     pub fn matvec_with(
         &self,
         x: &[f64],
         exec: geoalign_exec::Executor,
     ) -> Result<Vec<f64>, LinalgError> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y, exec)?;
+        Ok(y)
+    }
+
+    /// [`CsrMatrix::matvec`] into a caller-provided output slice of
+    /// length `nrows` — the allocation-free hot path. Rows fan out in the
+    /// executor's standard chunks (a pure function of `nrows`); each task
+    /// writes its own row range of `y` directly, so there is no range
+    /// list, no per-chunk buffer, and no copy pass. Each output entry is
+    /// an independent row gather accumulated in stored order, so the
+    /// result is bit-identical at any thread count.
+    ///
+    /// The inner loop is branch-free: `x` is indexed unchecked, which is
+    /// sound because every stored column index is `< ncols` by
+    /// construction ([`CooMatrix::push`] bounds-checks, and every other
+    /// constructor preserves the invariant) and `x.len() == ncols` is
+    /// checked on entry.
+    pub fn matvec_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        exec: geoalign_exec::Executor,
+    ) -> Result<(), LinalgError> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "csr_matvec",
@@ -198,24 +220,38 @@ impl CsrMatrix {
                 right: (x.len(), 1),
             });
         }
-        let ranges: Vec<_> = geoalign_exec::Executor::chunk_ranges(self.rows).collect();
-        let per_chunk = exec.run_tasks(ranges.len(), |t| {
-            ranges[t]
-                .clone()
-                .map(|i| {
-                    let (cols, vals) = self.row(i);
-                    cols.iter()
-                        .zip(vals)
-                        .map(|(&j, &v)| v * x[j as usize])
-                        .sum()
-                })
-                .collect::<Vec<f64>>()
-        })?;
-        let mut y = Vec::with_capacity(self.rows);
-        for chunk in per_chunk {
-            y.extend(chunk);
+        if y.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "csr_matvec_into",
+                left: (self.rows, self.cols),
+                right: (y.len(), 1),
+            });
         }
-        Ok(y)
+        let chunk = geoalign_exec::default_chunk_size(self.rows);
+        let tasks = self.rows.div_ceil(chunk);
+        let out = crate::kernel::DisjointWriter::new(y);
+        exec.for_each_indexed(tasks, |t| {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(self.rows);
+            for i in start..end {
+                let s = self.row_ptr[i] as usize;
+                let e = self.row_ptr[i + 1] as usize;
+                let cols = &self.col_idx[s..e];
+                let vals = &self.values[s..e];
+                // -0.0 is `Sum<f64>`'s fold identity: keeps empty rows
+                // bitwise identical to the old per-row `.sum()`.
+                let mut acc = -0.0;
+                for (&j, &v) in cols.iter().zip(vals) {
+                    // SAFETY: j < self.cols == x.len() (CSR construction
+                    // invariant, see doc comment).
+                    acc += v * unsafe { *x.get_unchecked(j as usize) };
+                }
+                // SAFETY: i < rows == y.len(); row ranges are disjoint
+                // across tasks, so index i is written by task t only.
+                unsafe { out.write(i, acc) };
+            }
+        })?;
+        Ok(())
     }
 
     /// Transposed matrix–vector product `Aᵀ y`.

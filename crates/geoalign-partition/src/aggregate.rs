@@ -66,11 +66,21 @@ impl AggregateVector {
     /// measured on different scales contribute comparably. A zero vector
     /// normalizes to itself.
     pub fn normalized(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.normalized_into(&mut out);
+        out
+    }
+
+    /// [`AggregateVector::normalized`] into a reusable buffer (cleared
+    /// and overwritten), so per-query hot paths skip the allocation.
+    pub fn normalized_into(&self, out: &mut Vec<f64>) {
+        out.clear();
         let max = self.values.iter().copied().fold(0.0f64, f64::max);
         if max == 0.0 {
-            return self.values.clone();
+            out.extend_from_slice(&self.values);
+            return;
         }
-        self.values.iter().map(|v| v / max).collect()
+        out.extend(self.values.iter().map(|v| v / max));
     }
 
     /// Consumes the vector, returning its values.

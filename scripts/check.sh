@@ -171,6 +171,50 @@ echo "==> store torture pass (GEOALIGN_THREADS=8)"
 # under an oversubscribed thread budget.
 GEOALIGN_THREADS=8 cargo test -q -p geoalign-store --test recovery_torture
 
+echo "==> zero-allocation kernel cores (DESIGN.md §15)"
+# The gated hot-path cores own no allocations: every buffer they touch
+# comes in through &mut arguments or a scratch arena, so a steady-state
+# iteration performs zero heap allocations. An allocation idiom
+# (.clone() / .to_vec() / vec![) inside one of these bodies is a
+# regression even if it compiles clean. Capacity-reusing copies
+# (clone_from / copy_from / extend) stay legal.
+alloc_hits=""
+while read -r file fns; do
+    for fn in $fns; do
+        found=$(awk -v fname="$fn" -v file="$file" '
+            in_fn == 0 && $0 ~ ("fn " fname "[(<]") { in_fn = 1; seen = 1 }
+            in_fn {
+                if ($0 !~ /^[[:space:]]*\/\// && $0 ~ /\.clone\(\)|\.to_vec\(|vec!\[/)
+                    print file ":" NR ": " $0
+                n = gsub(/\{/, "{"); m = gsub(/\}/, "}")
+                depth += n - m
+                if (depth > 0) opened = 1
+                if (opened && depth <= 0) in_fn = 0
+            }
+            END { if (!seen) print file ": gated fn " fname " not found (update check.sh)" }
+        ' "$file")
+        if [ -n "$found" ]; then
+            alloc_hits="${alloc_hits}${found}"$'\n'
+        fi
+    done
+done <<'EOF'
+crates/geoalign-linalg/src/dense.rs gram_with matvec_into tr_matvec_into householder_factor householder_apply_qt householder_solve_into
+crates/geoalign-linalg/src/sparse.rs matvec_into
+crates/geoalign-linalg/src/simplex_ls.rs fista_iterate active_set_iterate eq_constrained_ls_scratch project_to_simplex_into
+crates/geoalign-linalg/src/nnls.rs nnls_iterate
+crates/geoalign-core/src/prepare.rs apply_values_into
+EOF
+if [ -n "$alloc_hits" ]; then
+    echo "error: allocation in a zero-alloc kernel core — route the buffer through the scratch arena:" >&2
+    echo "$alloc_hits" >&2
+    exit 1
+fi
+
+echo "==> kernel bit-identity pass (GEOALIGN_THREADS=8)"
+# Old-vs-new kernel transliterations must agree bitwise at an
+# oversubscribed thread budget too (proptest sweeps + solver fixtures).
+GEOALIGN_THREADS=8 cargo test -q -p geoalign-linalg --test kernel_equivalence
+
 echo "==> executor stress pass (GEOALIGN_THREADS=8)"
 # Re-run the execution layer's tests with an oversubscribed thread budget
 # (the env default is available parallelism); shakes out ordering bugs
@@ -186,5 +230,11 @@ echo "==> ingest bench smoke (small universe)"
 # its bit-identity assertions; the committed BENCH_ingest.json baseline is
 # regenerated separately at paper scale.
 ./target/release/ingest --small --out target/BENCH_ingest_smoke.json >/dev/null
+
+echo "==> kernels bench smoke (small universe)"
+# Runs the old-vs-new throughput comparison at the small scale, including
+# its in-binary bit-identity assertions at 1/2/8 threads; the committed
+# BENCH_kernels.json baseline is regenerated separately at paper scale.
+./target/release/kernels --small --trials 1 --out target/BENCH_kernels_smoke.json >/dev/null
 
 echo "All checks passed."
